@@ -1,0 +1,102 @@
+// Ablation of the Section-IV operational variants, the design choices
+// DESIGN.md calls out:
+//  * single-link-per-node operation (gamma sequential invocations) vs the
+//    HARTS-style all-links assumption;
+//  * k < gamma cycle subsets: the reliability-for-time trade;
+//  * overlapped stages: the (mu-1)^2 alpha saving;
+//  * message packetization: rounds scale linearly with message length.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+int main() {
+  const Hypercube q(6);  // 64 nodes, gamma = 6
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+
+  {
+    AsciiTable table(
+        "Link concurrency x cycle subset on Q_6 (eta = 2)\n"
+        "single-link mode = one transmitter/receiver per node: the k\n"
+        "directed cycles run as sequential invocations");
+    table.set_header({"mode", "k cycles", "finish", "model",
+                      "copies/pair", "buffered"});
+    for (const auto concurrency :
+         {LinkConcurrency::kAllLinks, LinkConcurrency::kSingleLinkPerNode}) {
+      for (std::uint32_t k : {2u, 4u, 6u}) {
+        IhcOptions io{.eta = 2, .concurrency = concurrency,
+                      .cycles_to_use = k};
+        const auto run = run_ihc(q, io, opt);
+        const double model =
+            concurrency == LinkConcurrency::kAllLinks
+                ? model::ihc_dedicated(q.node_count(), 2, opt.net)
+                : model::ihc_single_link(q.node_count(), 2, k, opt.net);
+        table.add_row(
+            {concurrency == LinkConcurrency::kAllLinks ? "all-links"
+                                                       : "single-link",
+             std::to_string(k), fmt_time_ps(run.finish),
+             fmt_time_ps(static_cast<SimTime>(model)),
+             std::to_string(run.ledger.copies(0, 1)),
+             std::to_string(run.stats.buffered_relays)});
+      }
+      table.add_separator();
+    }
+    table.print();
+  }
+
+  {
+    // N must be divisible by mu for a contention-free eta = mu run; Q_6
+    // has N = 64, so mu = 3 needs a different host - use SQ_6 (N = 36,
+    // divisible by 2, 3 and 4) for the whole sweep.
+    const SquareMesh sq6(6);
+    AsciiTable table("\nOverlapped stages (eta = mu) on SQ_6 (N = 36)");
+    table.set_header({"mu", "plain", "overlapped", "saving",
+                      "predicted (mu-1)^2 alpha"});
+    for (std::uint32_t mu : {2u, 3u, 4u}) {
+      AtaOptions o = opt;
+      o.net.mu = mu;
+      const auto plain = run_ihc(sq6, IhcOptions{.eta = mu}, o);
+      const auto over =
+          run_ihc(sq6, IhcOptions{.eta = mu, .overlap_stages = true}, o);
+      table.add_row(
+          {std::to_string(mu), fmt_time_ps(plain.finish),
+           fmt_time_ps(over.finish),
+           fmt_time_ps(plain.finish - over.finish),
+           fmt_time_ps(static_cast<SimTime>(mu - 1) *
+                       static_cast<SimTime>(mu - 1) * o.net.alpha)});
+    }
+    table.print();
+  }
+
+  {
+    AsciiTable table("\nMessage packetization on Q_6 (eta = 2, mu = 2)");
+    table.set_header({"message units", "packets", "finish", "model"});
+    for (std::uint32_t units : {2u, 4u, 8u, 16u, 32u}) {
+      const auto run =
+          run_ihc(q, IhcOptions{.eta = 2, .message_units = units}, opt);
+      table.add_row(
+          {std::to_string(units),
+           std::to_string(ihc_packet_count(units, opt.net.mu)),
+           fmt_time_ps(run.finish),
+           fmt_time_ps(static_cast<SimTime>(model::ihc_message_dedicated(
+               q.node_count(), 2, units, opt.net)))});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nReadings: in all-links mode the cycle subset is free (the cycles\n"
+      "are link-disjoint and parallel); in single-link mode time scales\n"
+      "linearly with k - the paper's reliability-for-time trade.  The\n"
+      "overlap saving matches (mu-1)^2 alpha exactly, and long messages\n"
+      "pipeline in ceil(L/mu) rounds with zero contention throughout.\n");
+  return 0;
+}

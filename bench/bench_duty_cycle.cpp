@@ -1,0 +1,75 @@
+// E16 (extension) - the feasibility claim of Section VI-A, quantified:
+// "it is feasible to dedicate the interconnection network to the ATA
+// reliable broadcast operation for this length of time."
+//
+// A clock-sync or diagnosis service runs ATA broadcast periodically; what
+// matters is the *duty cycle* - the fraction of each period the network
+// is dedicated.  We run a periodic IHC service on simulated networks
+// (and evaluate the Q_16 case analytically with the paper's parameters)
+// across sync periods.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/service.hpp"
+#include "topology/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+int main() {
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_us(500);  // the paper's conservative 0.5 ms
+  p.mu = 2;
+
+  {
+    AsciiTable table(
+        "Measured duty cycle of a periodic IHC service on Q_8\n"
+        "(alpha = 20 ns, tau_S = 0.5 ms, eta = mu = 2, 5 rounds each)");
+    table.set_header({"sync period", "round time (mean)", "duty cycle",
+                      "missed deadlines", "complete"});
+    const Hypercube q(8);
+    for (const SimTime period :
+         {sim_ms(2), sim_ms(10), sim_ms(100), sim_ms(1000)}) {
+      AtaOptions opt;
+      opt.net = p;
+      ServiceConfig config;
+      config.period = period;
+      config.rounds = 5;
+      const ServiceReport r = run_periodic_service(q, config, opt);
+      table.add_row(
+          {fmt_time_ps(period),
+           fmt_time_ps(static_cast<SimTime>(r.round_times.mean())),
+           fmt_double(100.0 * r.duty_cycle, 3) + "%",
+           std::to_string(r.missed_deadlines),
+           r.all_rounds_complete ? "yes" : "NO"});
+    }
+    table.print();
+  }
+
+  {
+    AsciiTable table(
+        "\nAnalytical duty cycle at the paper's scales (eta = mu = 2)");
+    table.set_header({"network", "round time", "1 ms period", "10 ms",
+                      "100 ms"});
+    for (const unsigned m : {10u, 12u, 14u, 16u}) {
+      const std::uint64_t n = 1ull << m;
+      const double round = model::ihc_dedicated(n, 2, p);
+      auto duty = [round](double period_ms) {
+        return fmt_double(100.0 * round / (period_ms * 1e9), 2) + "%";
+      };
+      table.add_row({"Q_" + std::to_string(m),
+                     fmt_time_ps(static_cast<SimTime>(round)), duty(1.0),
+                     duty(10.0), duty(100.0)});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nEven a 64K-node hypercube spends ~3.6 ms per ATA round (startup-\n"
+      "dominated at tau_S = 0.5 ms): a 100 ms clock-sync period costs\n"
+      "under 4%% of the network - the paper's feasibility claim, in duty-\n"
+      "cycle form.  At Q_10 and below the round itself is ~1 ms and the\n"
+      "dedication cost is around 1%% for typical sync periods.\n");
+  return 0;
+}

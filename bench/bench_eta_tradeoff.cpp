@@ -1,0 +1,51 @@
+// E11 - the eta trade-off of Section IV: "By adjusting the interleaving
+// distance eta, we can flexibly decrease the link utilization of the IHC
+// algorithm (for normal traffic) at the expense of an increase in the time
+// required for ATA reliable broadcast."  We sweep eta and report both
+// sides of the trade.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "topology/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+int main() {
+  const Hypercube q(8);
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_us(1);
+  p.mu = 2;
+
+  AsciiTable table(
+      "IHC eta sweep on Q_8 (alpha = 20 ns, tau_S = 1 us, mu = 2)\n"
+      "mean link utilization = fraction of link-time the broadcast\n"
+      "occupies; 1 - that is what remains for normal traffic");
+  table.set_header({"eta", "finish", "model", "mean link util",
+                    "left for other traffic"});
+  // Every eta in the sweep satisfies the contention-freedom precondition
+  // (256 mod eta is 0 or >= mu); see eta_is_contention_free().
+
+  for (std::uint32_t eta : {2u, 4u, 6u, 8u, 16u, 32u, 64u}) {
+    AtaOptions opt;
+    opt.net = p;
+    const auto run = run_ihc(q, IhcOptions{.eta = eta}, opt);
+    table.add_row(
+        {std::to_string(eta), fmt_time_ps(run.finish),
+         fmt_time_ps(static_cast<SimTime>(
+             model::ihc_dedicated(q.node_count(), eta, p))),
+         fmt_double(run.mean_link_utilization, 4),
+         fmt_double(1.0 - run.mean_link_utilization, 4)});
+  }
+  table.print();
+
+  std::printf(
+      "\nDoubling eta doubles the stage count (time grows linearly in\n"
+      "eta) while the broadcast's own packets thin out proportionally on\n"
+      "every link - the utilization column falls like 1/eta.  eta = mu is\n"
+      "the fastest contention-free setting; larger eta trades time for\n"
+      "headroom, exactly the knob Section IV describes.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// E7 - Figs. 8 and 9 of the paper: the cut-through / store-and-forward
+// structure of the KS (hex mesh) and VSQ (square mesh) single-node
+// reliable broadcasts.  The paper derives the longest paths:
+//   KS : 3 store-and-forward + (2m - 5) cut-through operations,
+//   VSQ: 3 store-and-forward + (2 sqrt(N) - 6) cut-through operations.
+// We analyze our reconstructed patterns structurally (per-path SAF/CT
+// counts straight from the dissemination trees) and compare the measured
+// single-broadcast times to the closed forms.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/hc_broadcast.hpp"
+#include "core/ks.hpp"
+#include "core/vsq.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+namespace {
+
+AtaOptions options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+struct PathProfile {
+  std::size_t max_saf = 0;
+  std::size_t max_ct = 0;
+  std::size_t max_hops = 0;
+};
+
+PathProfile profile(const std::vector<std::vector<FlowTreeNode>>& trees) {
+  PathProfile p;
+  for (const auto& tree : trees) {
+    for (std::size_t i = 1; i < tree.size(); ++i) {
+      std::size_t saf = 0, ct = 0, hops = 0;
+      for (std::size_t cur = i; cur != 0;
+           cur = static_cast<std::size_t>(tree[cur].parent)) {
+        ++hops;
+        (tree[cur].cut_through_preferred ? ct : saf)++;
+      }
+      p.max_saf = std::max(p.max_saf, saf);
+      p.max_ct = std::max(p.max_ct, ct);
+      p.max_hops = std::max(p.max_hops, hops);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const AtaOptions opt = options();
+
+  std::printf("Fig. 8 - KS broadcast pattern structure (hex meshes)\n");
+  AsciiTable ks_table;
+  ks_table.set_header({"mesh", "variant", "max SAF", "max CT",
+                       "sim 1 bcast", "model 1 bcast", "queue wait"});
+  for (NodeId m : {3u, 5u, 8u, 12u}) {
+    const HexMesh hex(m);
+    const double model =
+        model::ks_ata_dedicated(hex.node_count(), opt.net) /
+        static_cast<double>(hex.node_count());
+    for (const auto variant :
+         {KsVariant::kClassic, KsVariant::kAxisAvoiding}) {
+      const auto p = profile(ks_trees(hex, 0, variant));
+      const auto run = run_ks_single(hex, 0, opt, variant);
+      ks_table.add_row(
+          {hex.name(),
+           variant == KsVariant::kClassic ? "classic" : "axis-avoiding",
+           std::to_string(p.max_saf) + " (paper: 3)",
+           std::to_string(p.max_ct) + " (vs " + std::to_string(2 * m - 5) +
+               ")",
+           fmt_time_ps(run.finish),
+           fmt_time_ps(static_cast<SimTime>(model)),
+           fmt_time_ps(run.stats.total_queue_wait)});
+    }
+    ks_table.add_separator();
+  }
+  ks_table.print();
+  std::printf(
+      "\n(A single KS tree simulated alone meets the closed form exactly -\n"
+      "the intra-tree schedule is contention-free; the full-broadcast\n"
+      "slowdown is cross-tree line sharing, which the axis-avoiding\n"
+      "variant halves in aggregate without shortening the critical\n"
+      "path.)\n");
+
+  std::printf("\nFig. 9 - VSQ broadcast pattern structure (square meshes)\n");
+  AsciiTable vsq_table;
+  vsq_table.set_header({"mesh", "N", "max SAF (paper: 3)",
+                        "max CT (paper: 2sqrt(N)-6)", "sim 1 bcast",
+                        "model 1 bcast"});
+  for (NodeId m : {4u, 8u, 12u, 16u}) {
+    const SquareMesh mesh(m);
+    const auto p = profile(vsq_trees(mesh, 0));
+    const auto run = run_vsq_single(mesh, 0, opt);
+    const double model =
+        model::vsq_ata_dedicated(mesh.node_count(), opt.net) /
+        static_cast<double>(mesh.node_count());
+    vsq_table.add_row(
+        {mesh.name(), std::to_string(mesh.node_count()),
+         std::to_string(p.max_saf),
+         std::to_string(p.max_ct) + " (vs " + std::to_string(2 * m - 6) +
+             ")",
+         fmt_time_ps(run.finish),
+         fmt_time_ps(static_cast<SimTime>(model))});
+  }
+  vsq_table.print();
+
+  // Section II's companion claim: "for a single reliable broadcast
+  // operation, the KS algorithm is much faster than an algorithm based on
+  // the use of edge-disjoint Hamiltonian cycles" - the HC broadcast pays
+  // O(N) alpha per broadcast, the sector patterns only O(sqrt N) alpha.
+  std::printf(
+      "\nSingle reliable broadcast: sector patterns vs the\n"
+      "Hamiltonian-cycle broadcast (Section II comparison).  The claim\n"
+      "lives in the transmission-dominated regime (N alpha >> tau_S):\n"
+      "the HC walk pays O(N) alpha, the sector patterns O(sqrt N) alpha\n"
+      "but 3 startups.  Both regimes shown:\n");
+  AsciiTable single_table;
+  single_table.set_header({"network", "tau_S", "KS/VSQ single",
+                           "HC single", "HC/sector"});
+  for (const SimTime tau_s : {sim_ns(200), sim_us(5)}) {
+    AtaOptions so = opt;
+    so.net.tau_s = tau_s;
+    for (NodeId m : {8u, 12u, 16u}) {
+      const HexMesh hex(m);
+      const auto ks = run_ks_single(hex, 0, so);
+      const auto hc = run_hc_broadcast(hex, 0, so);
+      single_table.add_row(
+          {hex.name(), fmt_time_ps(tau_s), fmt_time_ps(ks.finish),
+           fmt_time_ps(hc.finish),
+           fmt_ratio(static_cast<double>(hc.finish) /
+                     static_cast<double>(ks.finish))});
+    }
+    for (NodeId m : {16u, 24u}) {
+      const SquareMesh mesh(m);
+      const auto vsq = run_vsq_single(mesh, 0, so);
+      const auto hc = run_hc_broadcast(mesh, 0, so);
+      single_table.add_row(
+          {mesh.name(), fmt_time_ps(tau_s), fmt_time_ps(vsq.finish),
+           fmt_time_ps(hc.finish),
+           fmt_ratio(static_cast<double>(hc.finish) /
+                     static_cast<double>(vsq.finish))});
+    }
+    single_table.add_separator();
+  }
+  single_table.print();
+  std::printf(
+      "\nWith tau_S = 200 ns the HC walk loses by the predicted O(sqrt N)\n"
+      "factor (the KS-paper claim the text cites); with tau_S = 5 us the\n"
+      "single startup of the HC walk wins instead - the trade-off flips\n"
+      "at roughly 2 tau_S = (N - 2 sqrt(N)) alpha.\n");
+
+  std::printf(
+      "\nBoth reconstructions keep the paper's defining property - a\n"
+      "constant number (<= 3) of store-and-forward operations per path\n"
+      "with all remaining hops cut-through, so a single broadcast costs\n"
+      "O(sqrt(N)) alpha instead of the O(N) alpha of a Hamiltonian-cycle\n"
+      "walk.  Exact fork placement differs from [15] (see DESIGN.md), so\n"
+      "CT counts differ from the paper's constants by O(1) and measured\n"
+      "times deviate where the six directional trees share links.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E13 (extension) - delivery-latency profiles of the ATA algorithms.
+//
+// The paper compares only total completion times; applications care about
+// finer milestones.  A clock-synchronization round can proceed once every
+// pair has ONE intact copy; Byzantine voting needs all gamma.  This bench
+// measures both milestones per algorithm on the same network, exposing a
+// structural difference the totals hide: IHC delivers its first copies
+// almost as late as its last (every copy rides a full-cycle pipeline),
+// while VRS-ATA's first copies of early sources arrive long before its
+// total time, and FRS delivers everything in a burst of merged steps.
+#include <cstdio>
+
+#include "core/frs.hpp"
+#include "core/ihc.hpp"
+#include "core/latency.hpp"
+#include "core/vrs.hpp"
+#include "topology/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+int main() {
+  const Hypercube q(5);  // 32 nodes
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+
+  AsciiTable table(
+      "Delivery-latency milestones on Q_5 (alpha = 20 ns, tau_S = 5 us,\n"
+      "mu = 2): 'first copy' = every pair has >= 1 copy; 'all copies' =\n"
+      "every pair has all gamma");
+  table.set_header({"algorithm", "first copy", "all copies",
+                    "mean pair first", "mean pair last", "stddev last"});
+
+  auto add = [&table](const AtaResult& result) {
+    const LatencyReport lat = delivery_latency(result.ledger);
+    table.add_row(
+        {result.algorithm, fmt_time_ps(lat.first_copy_completion),
+         fmt_time_ps(lat.full_completion),
+         fmt_time_ps(static_cast<SimTime>(lat.first_copy_times.mean())),
+         fmt_time_ps(static_cast<SimTime>(lat.last_copy_times.mean())),
+         fmt_time_ps(static_cast<SimTime>(lat.last_copy_times.stddev()))});
+  };
+
+  add(run_ihc(q, IhcOptions{.eta = 2}, opt));
+  add(run_ihc(q, IhcOptions{.eta = 4}, opt));
+  add(run_frs(q, opt));
+  add(run_vrs_ata(q, opt));
+  table.print();
+
+  std::printf(
+      "\nReadings: IHC completes both milestones orders of magnitude\n"
+      "earlier; its first-copy and all-copies milestones are close (every\n"
+      "copy travels a full cycle).  FRS's milestones coincide with its\n"
+      "last merged steps.  VRS-ATA's mean pair latency is dominated by\n"
+      "the sequential broadcast schedule: late sources deliver ~N times\n"
+      "later than early ones (large stddev).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths:
+// Hamiltonian decomposition, schedule generation/checking, the event-driven
+// simulator core, and the max-flow machinery.
+#include <benchmark/benchmark.h>
+
+#include "core/agreement.hpp"
+#include "core/ihc.hpp"
+#include "graph/connectivity.hpp"
+#include "sim/flit_network.hpp"
+#include "graph/torus_decomposition.hpp"
+#include "sched/ihc_schedule.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace {
+
+using namespace ihc;
+
+void BM_TorusDecomposition(benchmark::State& state) {
+  const auto m = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    auto cycles = torus_two_hamiltonian_cycles(m, m);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_TorusDecomposition)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_HypercubeDecomposition(benchmark::State& state) {
+  // Note: the construction memoizes; this measures the memoized copy path
+  // after the first iteration, which is the production access pattern.
+  const auto m = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto cycles = hypercube_hamiltonian_cycles(m);
+    benchmark::DoNotOptimize(cycles);
+  }
+}
+BENCHMARK(BM_HypercubeDecomposition)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_IhcScheduleCheck(benchmark::State& state) {
+  const Hypercube q(static_cast<unsigned>(state.range(0)));
+  const IhcSchedule schedule(q, 2);
+  for (auto _ : state) {
+    auto check = check_schedule(q.graph(), schedule);
+    benchmark::DoNotOptimize(check);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(q.gamma()) * q.node_count() *
+      (q.node_count() - 1));
+}
+BENCHMARK(BM_IhcScheduleCheck)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_IhcSimulation(benchmark::State& state) {
+  const Hypercube q(static_cast<unsigned>(state.range(0)));
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  for (auto _ : state) {
+    auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+    benchmark::DoNotOptimize(result);
+  }
+  // One "item" = one packet-hop event.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(q.gamma()) * q.node_count() *
+      (q.node_count() - 1));
+}
+BENCHMARK(BM_IhcSimulation)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_NodeDisjointPaths(benchmark::State& state) {
+  const Graph g = make_hypercube_graph(static_cast<unsigned>(state.range(0)));
+  NodeId t = g.node_count() - 1;
+  for (auto _ : state) {
+    auto flow = max_node_disjoint_paths(g, 0, t);
+    benchmark::DoNotOptimize(flow);
+  }
+}
+BENCHMARK(BM_NodeDisjointPaths)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_FlitSimulation(benchmark::State& state) {
+  const SquareMesh mesh(static_cast<NodeId>(state.range(0)));
+  const auto packets = ihc_flit_packets(mesh, 2, 4, true);
+  for (auto _ : state) {
+    FlitNetwork net(mesh.graph(),
+                    FlitParams{.vc_count = 2, .buffer_flits = 2});
+    for (const auto& p : packets) {
+      FlitPacketSpec copy = p;
+      net.add_packet(std::move(copy));
+    }
+    auto result = net.run();
+    benchmark::DoNotOptimize(result);
+    state.counters["flit_hops"] =
+        static_cast<double>(result.flit_hops);
+  }
+}
+BENCHMARK(BM_FlitSimulation)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SignedAgreement(benchmark::State& state) {
+  const Hypercube q(static_cast<unsigned>(state.range(0)));
+  const KeyRing keys(3);
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  for (auto _ : state) {
+    FaultPlan faults(9);
+    faults.add(1, FaultMode::kCorrupt);
+    auto result = run_signed_agreement(q, keys, faults, opt,
+                                       AgreementConfig{.commander = 0});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SignedAgreement)->Arg(3)->Arg(4);
+
+void BM_SquareMeshConstruction(benchmark::State& state) {
+  const auto m = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    SquareMesh mesh(m);
+    benchmark::DoNotOptimize(mesh.hamiltonian_cycles());
+  }
+}
+BENCHMARK(BM_SquareMeshConstruction)->Arg(8)->Arg(16);
+
+}  // namespace

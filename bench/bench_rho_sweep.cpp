@@ -1,0 +1,76 @@
+// E8 - Section VI-B: "In the general case of rho > 0, the execution times
+// ... fall between the best and worst-case execution times of Tables II
+// and IV."  We load every link with Poisson background traffic at
+// utilization rho and measure the IHC algorithm between its two bounds,
+// reporting how many potential cut-throughs survive.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "topology/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+int main() {
+  const Hypercube q(6);
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_ns(200);  // small startup so contention effects dominate
+  p.mu = 2;
+  p.background_mu = 8;
+
+  const double best = model::ihc_dedicated(q.node_count(), 2, p);
+  const double worst = model::ihc_worst(q.node_count(), 2, p);
+
+  AsciiTable table(
+      "IHC on Q_6 under background load (eta = 2, alpha = 20 ns,\n"
+      "tau_S = 200 ns, background packets of 8 FIFO units).\n"
+      "'1st-order' = naive per-relay degradation model (no convoys)");
+  table.set_header({"rho", "finish", "per-cycle", "1st-order", "vs best",
+                    "vs worst", "CT kept", "buffered", "bg packets"});
+
+  for (const double rho :
+       {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    AtaOptions opt;
+    opt.net = p;
+    opt.net.rho = rho;
+    opt.net.seed = 0xFEEDu + static_cast<std::uint64_t>(rho * 100);
+    const auto run = run_ihc(q, IhcOptions{.eta = 2}, opt);
+    const auto async_run = run_ihc(
+        q, IhcOptions{.eta = 2, .barrier = StageBarrier::kPerCycle}, opt);
+    const double total_relays = static_cast<double>(
+        run.stats.cut_throughs + run.stats.buffered_relays);
+    table.add_row(
+        {fmt_double(rho, 2), fmt_time_ps(run.finish),
+         fmt_time_ps(async_run.finish),
+         fmt_time_ps(static_cast<SimTime>(
+             model::ihc_first_order_load(q.node_count(), 2, opt.net))),
+         fmt_ratio(static_cast<double>(run.finish) / best),
+         fmt_double(static_cast<double>(run.finish) / worst, 3),
+         fmt_double(100.0 * static_cast<double>(run.stats.cut_throughs) /
+                        total_relays,
+                    1) +
+             "%",
+         std::to_string(run.stats.buffered_relays),
+         std::to_string(run.stats.background_packets)});
+  }
+  table.print();
+
+  std::printf(
+      "\nbest (Table II)  = %s\nworst (Table IV) = %s (D = 0 here)\n"
+      "\nAs rho grows, cut-throughs degrade into buffered relays and the\n"
+      "finish time climbs from the Table II bound toward the Table IV\n"
+      "bound, exactly as Section VI-B describes.  The naive first-order\n"
+      "model under-predicts the climb: a buffered packet delays every\n"
+      "packet pipelined behind it (convoy formation), an effect per-relay\n"
+      "models cannot see.  The 'per-cycle' column runs the paper's\n"
+      "asynchronous stage progression (a cycle that drains its stage\n"
+      "early advances immediately), which recovers part of the convoy\n"
+      "loss.  (The worst-case bound assumes EVERY relay buffers and\n"
+      "pays D; the measured ratio can pass 1 at high rho because natural\n"
+      "queueing behind long background packets exceeds D = 0.)\n",
+      fmt_time_ps(static_cast<SimTime>(best)).c_str(),
+      fmt_time_ps(static_cast<SimTime>(worst)).c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E2 - Table II of the paper: execution times of the five ATA reliable
+// broadcast algorithms on a dedicated network (rho = 0), with the closed
+// forms evaluated next to measured simulator runs.
+//
+// Expected shape (the paper's conclusions):
+//  * IHC is fastest everywhere and its measured time matches the model
+//    EXACTLY (zero buffered relays - the contention-freedom claim);
+//  * FRS pays one startup per step but moves (N-1)L bytes over every link;
+//  * the sequential-broadcast algorithms (VRS-ATA, KS-ATA, VSQ-ATA) carry
+//    an N-fold startup factor and lose by orders of magnitude.
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/frs.hpp"
+#include "core/ihc.hpp"
+#include "core/ks.hpp"
+#include "core/vrs.hpp"
+#include "core/vsq.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+namespace {
+
+AtaOptions options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+void add_row(AsciiTable& table, const std::string& net,
+             const std::string& algo, double model_ps,
+             const AtaResult* run) {
+  std::vector<std::string> row{net, algo,
+                               fmt_time_ps(static_cast<SimTime>(model_ps))};
+  if (run != nullptr) {
+    row.push_back(fmt_time_ps(run->finish));
+    row.push_back(std::to_string(run->stats.buffered_relays));
+    row.push_back(fmt_ratio(static_cast<double>(run->finish) / model_ps));
+  } else {
+    row.insert(row.end(), {"(model only)", "-", "-"});
+  }
+  table.add_row(std::move(row));
+}
+
+}  // namespace
+
+int main() {
+  const AtaOptions opt = options();
+  AsciiTable table(
+      "Table II - execution times, dedicated network (rho = 0)\n"
+      "alpha = 20 ns, tau_S = 5 us, mu = 2, eta = 2");
+  table.set_header({"network", "algorithm", "model", "simulated",
+                    "buffered", "sim/model"});
+
+  // Hypercubes: IHC vs VRS-ATA vs FRS.
+  for (unsigned m : {4u, 6u, 8u, 10u}) {
+    const Hypercube q(m);
+    const auto n = q.node_count();
+    {
+      const auto run = run_ihc(q, IhcOptions{.eta = 2}, opt);
+      add_row(table, q.name(), "IHC", model::ihc_dedicated(n, 2, opt.net),
+              &run);
+    }
+    {
+      const double model = model::vrs_ata_dedicated(n, opt.net);
+      if (m <= 8) {
+        const auto run = run_vrs_ata(q, opt);
+        add_row(table, q.name(), "VRS-ATA", model, &run);
+      } else {
+        add_row(table, q.name(), "VRS-ATA", model, nullptr);
+      }
+    }
+    {
+      const auto run = run_frs(q, opt);
+      add_row(table, q.name(), "FRS", model::frs_dedicated(n, opt.net),
+              &run);
+    }
+    table.add_separator();
+  }
+
+  // Hex meshes: IHC vs KS-ATA.  N = 3m(m-1)+1 is never divisible by 2,
+  // so the contention-free eta is topology-specific (paper precondition:
+  // every initiator gap, including the wrap-around one, must be >= mu).
+  for (NodeId m : {3u, 5u, 8u}) {
+    const HexMesh h(m);
+    const auto n = h.node_count();
+    {
+      const std::uint32_t eta =
+          smallest_contention_free_eta(n, opt.net.mu);
+      const auto run = run_ihc(h, IhcOptions{.eta = eta}, opt);
+      add_row(table, h.name(), "IHC(eta=" + std::to_string(eta) + ")",
+              model::ihc_dedicated(n, eta, opt.net), &run);
+    }
+    {
+      const auto run = run_ks_ata(h, opt);
+      add_row(table, h.name(), "KS-ATA", model::ks_ata_dedicated(n, opt.net),
+              &run);
+    }
+    table.add_separator();
+  }
+
+  // Square meshes: IHC vs VSQ-ATA.
+  for (NodeId m : {4u, 8u, 12u}) {
+    const SquareMesh sq(m);
+    const auto n = sq.node_count();
+    {
+      const auto run = run_ihc(sq, IhcOptions{.eta = 2}, opt);
+      add_row(table, sq.name(), "IHC", model::ihc_dedicated(n, 2, opt.net),
+              &run);
+    }
+    {
+      const auto run = run_vsq_ata(sq, opt);
+      add_row(table, sq.name(), "VSQ-ATA",
+              model::vsq_ata_dedicated(n, opt.net), &run);
+    }
+    table.add_separator();
+  }
+
+  table.print();
+  std::printf(
+      "\nNotes: IHC's sim/model ratio is exactly 1.00x - the schedule is\n"
+      "contention-free, so every relay cuts through.  The event-driven\n"
+      "simulator overlaps the redirect operations that the paper's\n"
+      "step-wise model serializes, so VRS-ATA/VSQ-ATA measure slightly\n"
+      "below their closed forms; the reconstructed KS pattern suffers\n"
+      "intra-broadcast link sharing the original avoids, so KS-ATA\n"
+      "measures above its form.  The ordering of Table II is preserved\n"
+      "in every case.\n");
+  return 0;
+}

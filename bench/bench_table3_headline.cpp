@@ -1,0 +1,115 @@
+// E3 - Table III and the Section VI-A headline numbers:
+//  * execution times with rho = 0 and eta = mu = 2 (Table III);
+//  * "the time required for ATA reliable broadcast using the IHC algorithm
+//    is 2 tau_S + 0.02 ms on a 1024-node Q_10 and 2 tau_S + 1.31 ms on a
+//    64K-node Q_16";
+//  * "over 68.7 billion packets can be sent and received in 1.81 ms on a
+//    64K-node hypercube" (tau_S = 0.5 ms, alpha = 20 ns).
+//
+// We reproduce the formulas, check the quoted figures, flag the paper's
+// internal factor-2 slip (the quoted alpha-terms equal N*alpha, which is
+// the eta = mu = 1 optimum, not the 2N*alpha of the eta = 2 formula), and
+// validate the Q_10 entries against full simulations.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/frs.hpp"
+#include "core/ihc.hpp"
+#include "topology/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+namespace {
+
+NetworkParams paper_params() {
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_us(500);  // the paper's conservative 0.5 ms
+  p.mu = 2;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  NetworkParams p = paper_params();
+
+  {
+    AsciiTable table(
+        "Table III - execution times with rho = 0 and eta = mu = 2\n"
+        "alpha = 20 ns, tau_S = 0.5 ms, mu = 2");
+    table.set_header({"N", "IHC", "VRS-ATA", "FRS"});
+    for (unsigned m : {6u, 8u, 10u, 12u, 14u, 16u}) {
+      const std::uint64_t n = 1ull << m;
+      table.add_row({"2^" + std::to_string(m),
+                     fmt_time_ps(static_cast<SimTime>(
+                         model::ihc_dedicated(n, 2, p))),
+                     fmt_time_ps(static_cast<SimTime>(
+                         model::vrs_ata_dedicated(n, p))),
+                     fmt_time_ps(static_cast<SimTime>(
+                         model::frs_dedicated(n, p)))});
+    }
+    table.print();
+  }
+
+  // Headline checks.
+  std::printf("\n--- Section VI-A headline numbers ---\n");
+  const double q10_alpha_term = 1024.0 * static_cast<double>(p.alpha);
+  const double q16_alpha_term = 65536.0 * static_cast<double>(p.alpha);
+  std::printf(
+      "quoted   : IHC on Q_10 = 2 tau_S + 0.02 ms; on Q_16 = 2 tau_S + "
+      "1.31 ms\n");
+  std::printf("N*alpha  : Q_10 -> %.3f ms, Q_16 -> %.3f ms  (matches the "
+              "quoted alpha terms)\n",
+              q10_alpha_term / 1e9, q16_alpha_term / 1e9);
+  std::printf(
+      "2N*alpha : Q_10 -> %.3f ms, Q_16 -> %.3f ms  (what the eta=mu=2 "
+      "formula gives;\n           the paper's quoted figures are a factor "
+      "2 low - see EXPERIMENTS.md)\n",
+      2 * q10_alpha_term / 1e9, 2 * q16_alpha_term / 1e9);
+
+  const std::uint64_t packets = model::total_packets(65536, 16);
+  const double optimal = model::optimal_lower_bound(65536, p);
+  std::printf(
+      "\npackets  : gamma N (N-1) on Q_16 = %llu  (\"over 68.7 billion\": "
+      "%s)\n",
+      static_cast<unsigned long long>(packets),
+      packets > 68'700'000'000ull ? "yes" : "NO");
+  std::printf(
+      "optimum  : tau_S + (N-1) alpha on Q_16 = %.3f ms  (paper: 1.81 ms)\n",
+      optimal / 1e9);
+
+  // Simulation validation at Q_10 (a 64K-node simulation would take
+  // ~68.7e9 events; the model is exact at every size we can simulate).
+  std::printf("\n--- Q_10 simulation validation ---\n");
+  const Hypercube q10(10);
+  AtaOptions opt;
+  opt.net = p;
+  {
+    const auto run = run_ihc(q10, IhcOptions{.eta = 2}, opt);
+    std::printf("IHC eta=mu=2 : simulated %s, model %s, buffered=%llu\n",
+                fmt_time_ps(run.finish).c_str(),
+                fmt_time_ps(static_cast<SimTime>(
+                    model::ihc_dedicated(1024, 2, p))).c_str(),
+                static_cast<unsigned long long>(run.stats.buffered_relays));
+  }
+  {
+    AtaOptions opt1 = opt;
+    opt1.net.mu = 1;
+    const auto run = run_ihc(q10, IhcOptions{.eta = 1}, opt1);
+    std::printf(
+        "IHC eta=mu=1 : simulated %s, optimal bound %s (Theorem 4)\n",
+        fmt_time_ps(run.finish).c_str(),
+        fmt_time_ps(static_cast<SimTime>(
+            model::optimal_lower_bound(1024, opt1.net))).c_str());
+  }
+  {
+    const auto run = run_frs(q10, opt);
+    std::printf("FRS          : simulated %s, model %s\n",
+                fmt_time_ps(run.finish).c_str(),
+                fmt_time_ps(static_cast<SimTime>(
+                    model::frs_dedicated(1024, p))).c_str());
+  }
+  return 0;
+}

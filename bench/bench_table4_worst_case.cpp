@@ -1,0 +1,89 @@
+// E4 - Table IV of the paper: worst-case execution times, where every
+// potential cut-through degrades to a store-and-forward with queueing
+// delay D.  The paper's conclusion: FRS (which merges messages) wins under
+// heavy load, while IHC retains the best worst case among the cut-through
+// algorithms.  We print the closed forms, validate IHC/FRS against forced
+// store-and-forward simulations, and sweep D to expose the IHC/FRS
+// crossover.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/frs.hpp"
+#include "core/ihc.hpp"
+#include "topology/hypercube.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+int main() {
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_us(5);
+  p.mu = 2;
+  p.queueing_delay = sim_us(20);
+
+  {
+    AsciiTable table(
+        "Table IV - worst-case execution times\n"
+        "alpha = 20 ns, tau_S = 5 us, mu = 2, D = 20 us, eta = 2");
+    table.set_header(
+        {"N", "IHC", "VRS-ATA", "KS-ATA", "VSQ-ATA", "FRS", "winner"});
+    for (unsigned m : {4u, 6u, 8u, 10u, 12u}) {
+      const std::uint64_t n = 1ull << m;
+      const double ihc = model::ihc_worst(n, 2, p);
+      const double frs = model::frs_worst(n, p);
+      table.add_row(
+          {"2^" + std::to_string(m),
+           fmt_time_ps(static_cast<SimTime>(ihc)),
+           fmt_time_ps(static_cast<SimTime>(model::vrs_ata_worst(n, p))),
+           fmt_time_ps(static_cast<SimTime>(model::ks_ata_worst(n, p))),
+           fmt_time_ps(static_cast<SimTime>(model::vsq_ata_worst(n, p))),
+           fmt_time_ps(static_cast<SimTime>(frs)), frs < ihc ? "FRS" : "IHC"});
+    }
+    table.print();
+  }
+
+  // Simulation validation: force store-and-forward + D on a Q_4/Q_6.
+  std::printf("\n--- forced store-and-forward simulation validation ---\n");
+  for (unsigned m : {4u, 6u}) {
+    const Hypercube q(m);
+    AtaOptions opt;
+    opt.net = p;
+    opt.net.switching = Switching::kStoreAndForward;
+    const auto ihc_run = run_ihc(q, IhcOptions{.eta = 2}, opt);
+    const auto frs_run = run_frs(q, opt);
+    std::printf(
+        "Q_%u: IHC sim %s vs model %s | FRS sim %s vs model %s\n", m,
+        fmt_time_ps(ihc_run.finish).c_str(),
+        fmt_time_ps(static_cast<SimTime>(
+            model::ihc_worst(q.node_count(), 2, opt.net))).c_str(),
+        fmt_time_ps(frs_run.finish).c_str(),
+        fmt_time_ps(static_cast<SimTime>(
+            model::frs_worst(q.node_count(), opt.net))).c_str());
+  }
+
+  // Crossover: with small D the cut-through IHC still wins; as D grows the
+  // per-step merging of FRS takes over (it pays log N + 1 startups instead
+  // of eta (N-1)).
+  std::printf("\n--- IHC/FRS crossover in D (N = 256, eta = 2) ---\n");
+  AsciiTable sweep;
+  sweep.set_header({"D", "IHC worst", "FRS worst", "winner"});
+  for (const SimTime d :
+       {sim_ns(0), sim_ns(100), sim_us(1), sim_us(10), sim_us(100)}) {
+    NetworkParams pd = p;
+    pd.queueing_delay = d;
+    const double ihc = model::ihc_worst(256, 2, pd);
+    const double frs = model::frs_worst(256, pd);
+    sweep.add_row({fmt_time_ps(d),
+                   fmt_time_ps(static_cast<SimTime>(ihc)),
+                   fmt_time_ps(static_cast<SimTime>(frs)),
+                   frs < ihc ? "FRS" : "IHC"});
+  }
+  sweep.print();
+  std::printf(
+      "\nNote: in the worst case FRS wins even at D = 0 - its advantage is\n"
+      "paying (log2 N + 1) startups instead of eta (N-1); D only widens\n"
+      "the gap.  Among the cut-through algorithms IHC keeps the best worst\n"
+      "case (Table IV rows).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Byzantine agreement with signed messages over the broadcast primitives
+// (the paper's second motivating application; cf. Lamport-Shostak-Pease
+// [18] and the signed-message scheme of Rivest et al. [22], Section I).
+//
+// The library's SM(t) implementation: the commander reliably broadcasts
+// its signed order over the gamma Hamiltonian cycles; for t+1 rounds
+// every node re-broadcasts commander-signed values it has learned via IHC
+// all-to-all rounds; relays cannot forge the commander's MAC, so a node
+// that ends up with exactly one validly-signed value adopts it, and
+// conflicting values convict the commander.  Three acts:
+//   1. everyone loyal;
+//   2. honest commander + two traitorous relays (tamper and drop);
+//   3. traitorous commander equivocating with a colluding relay.
+#include <cstdio>
+
+#include "core/agreement.hpp"
+#include "core/runner.hpp"
+#include "topology/square_mesh.hpp"
+
+using namespace ihc;
+
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+void act(const char* title, const SquareMesh& mesh, const KeyRing& keys,
+         FaultPlan& faults) {
+  const AgreementConfig config{.commander = 0};
+  const AgreementResult r =
+      run_signed_agreement(mesh, keys, faults, base_options(), config);
+  int adopted = 0, convicted = 0;
+  for (NodeId v = 1; v < mesh.node_count(); ++v) {
+    if (faults.is_faulty(v)) continue;
+    if (r.decision[v] == config.default_order)
+      ++convicted;
+    else
+      ++adopted;
+  }
+  std::printf("%s\n", title);
+  std::printf(
+      "  rounds: %u (t+1), network time %.1f us\n"
+      "  loyal lieutenants: %d adopt the commander's order, %d fall back\n"
+      "  agreement: %s, validity: %s\n\n",
+      r.rounds_used, static_cast<double>(r.network_time) / 1e6, adopted,
+      convicted, r.agreement ? "REACHED" : "BROKEN",
+      r.validity ? "holds" : "n/a (commander faulty)");
+}
+
+}  // namespace
+
+int main() {
+  const SquareMesh mesh(5);  // 25 nodes, gamma = 4
+  const KeyRing keys(0xA9E2);
+  std::printf(
+      "signed Byzantine agreement (SM(t)) on %s, commander = node 0\n\n",
+      mesh.name().c_str());
+
+  {
+    FaultPlan faults(1);
+    act("Act 1: everyone loyal", mesh, keys, faults);
+  }
+  {
+    FaultPlan faults(2);
+    faults.add(12, FaultMode::kCorrupt);
+    faults.add(7, FaultMode::kSilent);
+    act("Act 2: honest commander, traitorous relays at nodes 12 and 7",
+        mesh, keys, faults);
+  }
+  {
+    FaultPlan faults(3);
+    faults.add(0, FaultMode::kEquivocate);
+    faults.add(9, FaultMode::kCorrupt);
+    act("Act 3: equivocating commander with a colluding relay at node 9",
+        mesh, keys, faults);
+  }
+
+  std::printf(
+      "With signatures the tolerance reaches t <= gamma - 1 (Section I):\n"
+      "a relay cannot forge the commander's MAC, and an equivocating\n"
+      "commander convicts itself by shipping two validly-signed orders.\n");
+  return 0;
+}

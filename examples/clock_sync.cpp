@@ -1,0 +1,61 @@
+// Fault-tolerant clock synchronization over IHC (the paper's first
+// motivating application, Section I; cf. Lamport-Melliar-Smith [19]).
+//
+// Every node keeps a local clock with a random initial skew and its own
+// drift rate; node 11 is Byzantine and broadcasts garbage readings.  Each
+// round, the library's ClockSynchronizer IHC-broadcasts every clock value
+// (as packet payloads), votes per origin over the gamma copies, and
+// applies the fault-tolerant midpoint rule (trim t extremes, average the
+// rest).  The healthy skew collapses each round and regrows only by
+// drift - a bounded sawtooth - while the liar is simply trimmed away.
+#include <cstdio>
+#include <vector>
+
+#include "core/clock_sync.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+using namespace ihc;
+
+int main() {
+  const Hypercube cube(4);  // 16 nodes, gamma = 4
+  const NodeId byzantine = 11;
+  SplitMix64 rng(2026);
+
+  std::vector<double> clocks(cube.node_count());
+  for (auto& c : clocks) c = 50.0 + 20.0 * rng.uniform();
+  std::vector<double> drift(cube.node_count());
+  for (auto& d : drift) d = 200.0 * (rng.uniform() - 0.5);  // +-100 ppm
+
+  ClockSynchronizer sync(cube, clocks,
+                         ClockSyncConfig{.fault_tolerance = 1});
+
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  FaultPlan faults(1);
+  faults.add(byzantine, FaultMode::kEquivocate);
+  opt.faults = &faults;
+
+  std::printf(
+      "fault-tolerant clock sync on %s, Byzantine clock at node %u\n\n",
+      cube.name().c_str(), byzantine);
+  std::printf("%-6s %-16s %-16s %s\n", "round", "spread before",
+              "spread after", "broadcast time");
+  for (int round = 1; round <= 6; ++round) {
+    sync.advance(10'000.0, drift);  // 10 ms of free-running drift
+    const ClockSyncRound r = sync.run_round(opt);
+    std::printf("%-6d %12.4f us  %12.6f us  %.1f us\n", round,
+                r.spread_before_us, r.spread_after_us,
+                static_cast<double>(r.network_time) / 1e6);
+  }
+
+  std::printf(
+      "\nEach round costs one IHC all-to-all broadcast (contention-free:\n"
+      "eta (tau_S + N alpha) of network time) and resynchronizes the\n"
+      "healthy clocks exactly; between rounds they drift apart by at most\n"
+      "(drift range) x (interval).  The Byzantine node's readings are\n"
+      "trimmed by the midpoint rule and cannot steer the cluster.\n");
+  return 0;
+}

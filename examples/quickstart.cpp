@@ -1,0 +1,66 @@
+// Quickstart: the 60-second tour of the library.
+//
+//   1. build a topology in class Lambda (here a 6-dimensional hypercube),
+//   2. look at its Hamiltonian-cycle decomposition,
+//   3. run the IHC all-to-all reliable broadcast on the cut-through
+//      simulator,
+//   4. check the paper's claims: zero contention, gamma copies delivered
+//      everywhere, finish time equal to the closed form.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/lambda.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ihc;
+
+  // 1. A 64-node hypercube.  Any Topology subclass works the same way:
+  //    SquareMesh, HexMesh, Circulant, or your own.
+  const Hypercube cube(6);
+  std::printf("topology   : %s, N = %u nodes, gamma = %u\n",
+              cube.name().c_str(), cube.node_count(), cube.gamma());
+
+  // 2. Condition LC2: gamma/2 edge-disjoint Hamiltonian cycles.  They are
+  //    constructed on first access and machine-verified.
+  std::printf("HC set     : %zu undirected edge-disjoint Hamiltonian "
+              "cycles -> %zu directed\n",
+              cube.hamiltonian_cycles().size(),
+              cube.directed_cycles().size());
+  const LambdaReport lambda = check_lambda(cube);
+  std::printf("class      : in Lambda = %s, connectivity == gamma = %s\n",
+              lambda.in_lambda() ? "yes" : "no",
+              lambda.connectivity ? "yes" : "no");
+
+  // 3. Run IHC.  eta is the interleaving distance; eta = mu is the
+  //    fastest contention-free setting.
+  AtaOptions options;
+  options.net.alpha = sim_ns(20);  // cut-through latency (TORUS chip)
+  options.net.tau_s = sim_us(5);   // store-and-forward startup
+  options.net.mu = 2;              // packet = 2 FIFO units
+  const AtaResult result = run_ihc(cube, IhcOptions{.eta = 2}, options);
+
+  // 4. The paper's claims, checked live.
+  std::printf("\nIHC run    : finished in %s\n",
+              fmt_time_ps(result.finish).c_str());
+  std::printf("model      : %s (Table II row - must match exactly)\n",
+              fmt_time_ps(static_cast<SimTime>(model::ihc_dedicated(
+                  cube.node_count(), 2, options.net))).c_str());
+  std::printf("contention : %llu buffered relays (claim: 0), %llu "
+              "cut-throughs\n",
+              static_cast<unsigned long long>(result.stats.buffered_relays),
+              static_cast<unsigned long long>(result.stats.cut_throughs));
+  std::printf("deliveries : %llu packet copies - gamma copies for every "
+              "ordered pair: %s\n",
+              static_cast<unsigned long long>(result.stats.deliveries),
+              result.ledger.all_pairs_have(cube.gamma()) ? "yes" : "NO");
+  std::printf("bandwidth  : %.1f%% of link capacity used by the broadcast; "
+              "the rest stays\n             available for normal traffic "
+              "(raise eta to lower this)\n",
+              100.0 * result.mean_link_utilization);
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# One-command reproduction: configure, build, run the full test suite and
+# every bench harness, capturing outputs at the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt

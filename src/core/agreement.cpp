@@ -1,0 +1,140 @@
+#include "core/agreement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/hc_broadcast.hpp"
+#include "core/ihc.hpp"
+#include "core/runner.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+/// Accepted values per node: value -> the commander-signed MAC proving it.
+using ValueSet = std::map<std::uint64_t, std::uint64_t>;
+
+/// Harvests validly-commander-signed values from a ledger round.
+void harvest(const DeliveryLedger& ledger, const KeyRing& keys,
+             NodeId commander, std::vector<ValueSet>& values) {
+  const NodeId n = ledger.node_count();
+  for (NodeId o = 0; o < n; ++o) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (o == d) continue;
+      for (const CopyRecord& copy : ledger.records(o, d)) {
+        if (keys.verify(commander, copy.payload, copy.mac))
+          values[d].emplace(copy.payload, copy.mac);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AgreementResult run_signed_agreement(const Topology& topo,
+                                     const KeyRing& keys, FaultPlan& faults,
+                                     const AtaOptions& base_options,
+                                     const AgreementConfig& config) {
+  const NodeId n = topo.node_count();
+  require(config.commander < n, "commander out of range");
+  const std::uint32_t rounds =
+      config.rounds != 0
+          ? config.rounds
+          : static_cast<std::uint32_t>(faults.fault_count()) + 1;
+
+  AtaOptions opt = base_options;
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  opt.faults = &faults;
+  opt.keys = &keys;
+
+  AgreementResult result;
+  std::vector<ValueSet> values(n);
+  // What each node has already re-broadcast (loyal nodes announce each
+  // value once).
+  std::vector<std::set<std::uint64_t>> announced(n);
+
+  // Round 0: the commander's signed reliable broadcast.  An equivocating
+  // commander signs different orders per route (FaultPlan::origin_payload
+  // through the default make_flow path).
+  {
+    const AtaResult round = run_hc_broadcast(topo, config.commander, opt);
+    result.network_time += round.finish;
+    harvest(round.ledger, keys, config.commander, values);
+    // The commander knows its own order(s).
+    const std::uint64_t own = honest_payload(config.commander);
+    values[config.commander].emplace(
+        faults.origin_payload(config.commander, own, 0),
+        keys.sign(config.commander,
+                  faults.origin_payload(config.commander, own, 0)));
+  }
+
+  // Relay rounds: every node re-broadcasts one learned value, carrying
+  // the COMMANDER's signature.  Traitors re-broadcast the value most
+  // likely to split views (their newest); loyal nodes announce values
+  // they have not yet shared.
+  std::vector<PayloadOverride> overrides(n);
+  for (std::uint32_t r = 1; r <= rounds; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      PayloadOverride& o = overrides[v];
+      o = PayloadOverride{0xD0, 0};  // nothing to say: invalid MAC, ignored
+      const bool traitor = faults.is_faulty(v);
+      if (traitor && !values[v].empty()) {
+        // Replay the largest-keyed value (maximally different from the
+        // loyal nodes' smallest-first announcements).
+        const auto it = std::prev(values[v].end());
+        o = PayloadOverride{it->first, it->second};
+        continue;
+      }
+      for (const auto& [value, mac] : values[v]) {
+        if (announced[v].insert(value).second) {
+          o = PayloadOverride{value, mac};
+          break;
+        }
+      }
+    }
+    opt.payload_override = &overrides;
+    const AtaResult round = run_ihc(
+        topo,
+        IhcOptions{.eta = smallest_contention_free_eta(n, opt.net.mu)},
+        opt);
+    opt.payload_override = nullptr;
+    result.network_time += round.finish;
+    harvest(round.ledger, keys, config.commander, values);
+    ++result.rounds_used;
+  }
+
+  // Decision rule.
+  result.decision.assign(n, config.default_order);
+  result.values_seen.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.values_seen[v] = static_cast<std::uint32_t>(values[v].size());
+    if (values[v].size() == 1)
+      result.decision[v] = values[v].begin()->first;
+  }
+
+  // Verdicts over loyal lieutenants.
+  result.agreement = true;
+  std::uint64_t reference = 0;
+  bool have_reference = false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (faults.is_faulty(v) || v == config.commander) continue;
+    if (!have_reference) {
+      reference = result.decision[v];
+      have_reference = true;
+    } else if (result.decision[v] != reference) {
+      result.agreement = false;
+    }
+  }
+  result.validity = true;
+  if (!faults.is_faulty(config.commander)) {
+    const std::uint64_t order = honest_payload(config.commander);
+    for (NodeId v = 0; v < n; ++v) {
+      if (faults.is_faulty(v) || v == config.commander) continue;
+      if (result.decision[v] != order) result.validity = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace ihc

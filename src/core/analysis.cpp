@@ -1,0 +1,121 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ihc::model {
+namespace {
+double a(const NetworkParams& p) { return static_cast<double>(p.alpha); }
+double ts(const NetworkParams& p) { return static_cast<double>(p.tau_s); }
+double mu(const NetworkParams& p) { return static_cast<double>(p.mu); }
+double d(const NetworkParams& p) {
+  return static_cast<double>(p.queueing_delay);
+}
+double log2n(std::uint64_t n) {
+  return std::log2(static_cast<double>(n));
+}
+}  // namespace
+
+double saf_op(const NetworkParams& p) { return ts(p) + mu(p) * a(p); }
+
+double ihc_dedicated(std::uint64_t n, std::uint32_t eta,
+                     const NetworkParams& p) {
+  return eta * (ts(p) + mu(p) * a(p) + (static_cast<double>(n) - 2) * a(p));
+}
+
+double ihc_dedicated_overlapped(std::uint64_t n, const NetworkParams& p) {
+  const double save = (mu(p) - 1) * (mu(p) - 1) * a(p);
+  return ihc_dedicated(n, p.mu, p) - save;
+}
+
+double ihc_single_link(std::uint64_t n, std::uint32_t eta,
+                       std::uint32_t cycles, const NetworkParams& p) {
+  return cycles * ihc_dedicated(n, eta, p);
+}
+
+double ihc_message_dedicated(std::uint64_t n, std::uint32_t eta,
+                             std::uint32_t message_units,
+                             const NetworkParams& p) {
+  const std::uint32_t rounds =
+      message_units <= p.mu ? 1 : (message_units + p.mu - 1) / p.mu;
+  return rounds * ihc_dedicated(n, eta, p);
+}
+
+double vrs_ata_dedicated(std::uint64_t n, const NetworkParams& p) {
+  return static_cast<double>(n) *
+         ((log2n(n) - 1) * saf_op(p) + 2 * a(p));
+}
+
+double ks_ata_dedicated(std::uint64_t n, const NetworkParams& p) {
+  const double ct_ops = 2 * std::sqrt((static_cast<double>(n) - 1) / 3) - 5;
+  return static_cast<double>(n) * (3 * saf_op(p) + ct_ops * a(p));
+}
+
+double vsq_ata_dedicated(std::uint64_t n, const NetworkParams& p) {
+  const double ct_ops = 2 * std::sqrt(static_cast<double>(n)) - 6;
+  return static_cast<double>(n) * (3 * saf_op(p) + ct_ops * a(p));
+}
+
+double frs_dedicated(std::uint64_t n, const NetworkParams& p) {
+  return (log2n(n) + 1) * ts(p) +
+         (static_cast<double>(n) - 1) * mu(p) * a(p);
+}
+
+double ihc_worst(std::uint64_t n, std::uint32_t eta, const NetworkParams& p) {
+  return eta * (static_cast<double>(n) - 1) * (saf_op(p) + d(p));
+}
+
+double vrs_ata_worst(std::uint64_t n, const NetworkParams& p) {
+  return static_cast<double>(n) * (log2n(n) + 1) * (saf_op(p) + d(p));
+}
+
+double ks_ata_worst(std::uint64_t n, const NetworkParams& p) {
+  const double ops = 2 * std::sqrt((static_cast<double>(n) - 1) / 3) - 2;
+  return static_cast<double>(n) * ops * (saf_op(p) + d(p));
+}
+
+double vsq_ata_worst(std::uint64_t n, const NetworkParams& p) {
+  const double ops = 2 * std::sqrt(static_cast<double>(n)) - 3;
+  return static_cast<double>(n) * ops * (saf_op(p) + d(p));
+}
+
+double frs_worst(std::uint64_t n, const NetworkParams& p) {
+  return (log2n(n) + 1) * (ts(p) + d(p)) +
+         (static_cast<double>(n) - 1) * mu(p) * a(p);
+}
+
+double ihc_vs_cut_through_eta_bound(std::uint64_t n) {
+  const double nd = static_cast<double>(n);
+  const double hyper = std::log2(nd) - 1;
+  const double hex = 2 * std::sqrt((nd - 1) / 3) - 2;
+  const double square = 2 * std::sqrt(nd) - 3;
+  return std::min(hyper, std::min(hex, square));
+}
+
+bool ihc_beats_frs_condition(const NetworkParams& p) {
+  return static_cast<double>(p.tau_s) >=
+         0.5 * mu(p) * mu(p) * a(p);
+}
+
+double ihc_first_order_load(std::uint64_t n, std::uint32_t eta,
+                            const NetworkParams& p) {
+  // Residual occupancy of the background packet blocking a relay, under a
+  // memoryless arrival assumption: half its transmission time.
+  const double residual =
+      0.5 * static_cast<double>(p.background_mu) * a(p);
+  const double degraded_extra =
+      ts(p) + mu(p) * a(p) + residual - a(p);  // buffered minus cut-through
+  const double per_relay = a(p) + p.rho * degraded_extra;
+  return eta * (ts(p) + mu(p) * a(p) +
+                (static_cast<double>(n) - 2) * per_relay);
+}
+
+double optimal_lower_bound(std::uint64_t n, const NetworkParams& p) {
+  return ts(p) + (static_cast<double>(n) - 1) * a(p);
+}
+
+std::uint64_t total_packets(std::uint64_t n, std::uint32_t gamma) {
+  return gamma * n * (n - 1);
+}
+
+}  // namespace ihc::model

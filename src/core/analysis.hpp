@@ -1,0 +1,114 @@
+/// \file analysis.hpp
+/// \brief Closed-form execution-time models of Section VI: Table II
+/// (dedicated network), Table IV (worst case), and the Theorem 4 lower
+/// bound.
+///
+/// Times are returned as double picoseconds (the mesh formulas involve
+/// square roots).  The same NetworkParams used by the simulator supply
+/// alpha, tau_S, mu and D, so every model value is directly comparable to
+/// a measured finish time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/params.hpp"
+
+namespace ihc {
+namespace model {
+
+/// tau_S + mu * alpha: one store-and-forward operation.
+[[nodiscard]] double saf_op(const NetworkParams& p);
+
+// --- Table II: dedicated network (rho = 0) ------------------------------
+
+/// IHC: eta (tau_S + mu alpha + (N-2) alpha).
+[[nodiscard]] double ihc_dedicated(std::uint64_t n, std::uint32_t eta,
+                                   const NetworkParams& p);
+
+/// Modified (overlapped) IHC with eta == mu: subtracts (mu-1)^2 alpha.
+[[nodiscard]] double ihc_dedicated_overlapped(std::uint64_t n,
+                                              const NetworkParams& p);
+
+/// IHC under the single-link-per-node constraint (Section IV): k
+/// sequential invocations, one per directed Hamiltonian cycle used.
+[[nodiscard]] double ihc_single_link(std::uint64_t n, std::uint32_t eta,
+                                     std::uint32_t cycles,
+                                     const NetworkParams& p);
+
+/// IHC broadcasting a message of `message_units` FIFO units per node:
+/// ceil(units / mu) packet rounds (Section IV packetization).
+[[nodiscard]] double ihc_message_dedicated(std::uint64_t n,
+                                           std::uint32_t eta,
+                                           std::uint32_t message_units,
+                                           const NetworkParams& p);
+
+/// VRS-ATA: N ((log2 N - 1)(tau_S + mu alpha) + 2 alpha).
+[[nodiscard]] double vrs_ata_dedicated(std::uint64_t n,
+                                       const NetworkParams& p);
+
+/// KS-ATA: N (3 (tau_S + mu alpha) + (2 sqrt((N-1)/3) - 5) alpha).
+[[nodiscard]] double ks_ata_dedicated(std::uint64_t n,
+                                      const NetworkParams& p);
+
+/// VSQ-ATA: N (3 (tau_S + mu alpha) + (2 sqrt(N) - 6) alpha).
+[[nodiscard]] double vsq_ata_dedicated(std::uint64_t n,
+                                       const NetworkParams& p);
+
+/// FRS: (log2 N + 1) tau_S + (N-1) mu alpha.
+[[nodiscard]] double frs_dedicated(std::uint64_t n, const NetworkParams& p);
+
+// --- Table IV: worst case (every cut-through degraded, queueing D) ------
+
+/// IHC: eta (N-1)(tau_S + mu alpha + D).
+[[nodiscard]] double ihc_worst(std::uint64_t n, std::uint32_t eta,
+                               const NetworkParams& p);
+
+/// VRS-ATA: N (log2 N + 1)(tau_S + mu alpha + D).
+[[nodiscard]] double vrs_ata_worst(std::uint64_t n, const NetworkParams& p);
+
+/// KS-ATA: N (2 sqrt((N-1)/3) - 2)(tau_S + mu alpha + D).
+[[nodiscard]] double ks_ata_worst(std::uint64_t n, const NetworkParams& p);
+
+/// VSQ-ATA: N (2 sqrt(N) - 3)(tau_S + mu alpha + D).
+[[nodiscard]] double vsq_ata_worst(std::uint64_t n, const NetworkParams& p);
+
+/// FRS: (log2 N + 1)(tau_S + D) + (N-1) mu alpha.
+[[nodiscard]] double frs_worst(std::uint64_t n, const NetworkParams& p);
+
+// --- Section VI-A dominance conditions ------------------------------------
+
+/// The paper: "The IHC algorithm performs better than all of the other
+/// cut-through algorithms if eta <= min{log2 N - 1,
+/// 2 sqrt((N-1)/3) - 2, 2 sqrt(N) - 3}."  Returns that bound.
+[[nodiscard]] double ihc_vs_cut_through_eta_bound(std::uint64_t n);
+
+/// The paper: "If, in addition, eta = mu and tau_S >= mu^2 alpha / 2, the
+/// IHC algorithm is also faster than the FRS algorithm."
+[[nodiscard]] bool ihc_beats_frs_condition(const NetworkParams& p);
+
+// --- First-order load model (extension) -----------------------------------
+
+/// Naive prediction of the IHC time under background load rho: every
+/// relay independently degrades to a buffered one with probability rho,
+/// paying tau_S + mu alpha plus the mean residual occupancy of the
+/// blocking background packet instead of alpha.  Deliberately ignores
+/// convoy formation (a buffered packet delays everything behind it), so
+/// the measured time exceeds this once rho is non-trivial - quantified in
+/// bench_rho_sweep.
+[[nodiscard]] double ihc_first_order_load(std::uint64_t n, std::uint32_t eta,
+                                          const NetworkParams& p);
+
+// --- Theorem 4 -----------------------------------------------------------
+
+/// Lower bound on any ATA reliable broadcast in a dedicated network:
+/// tau_S + (N-1) alpha (met by IHC with eta = mu = 1).
+[[nodiscard]] double optimal_lower_bound(std::uint64_t n,
+                                         const NetworkParams& p);
+
+/// Total packets sent and received: gamma N (N-1) (the paper's headline
+/// "over 68.7 billion packets" for a 64K-node Q_16).
+[[nodiscard]] std::uint64_t total_packets(std::uint64_t n,
+                                          std::uint32_t gamma);
+
+}  // namespace model
+}  // namespace ihc

@@ -1,0 +1,54 @@
+/// \file ata.hpp
+/// \brief Common interface of the all-to-all reliable broadcast algorithms.
+///
+/// Every algorithm (IHC and the four comparison algorithms of Section V)
+/// is a driver that installs flows into the simulator and returns an
+/// AtaResult: the finish time, the simulator statistics, and the delivery
+/// ledger from which all reliability verdicts are computed.
+#pragma once
+
+#include <string>
+
+#include "sim/delivery.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/signature.hpp"
+
+namespace ihc {
+
+/// An explicit (payload, MAC) pair for one origin's packets - used by
+/// protocols (e.g. signed Byzantine agreement) whose packets carry values
+/// signed by a *third party* rather than the origin itself.
+struct PayloadOverride {
+  std::uint64_t payload = 0;
+  std::uint64_t mac = 0;
+};
+
+/// Options shared by all ATA algorithm drivers.
+struct AtaOptions {
+  NetworkParams net;
+  DeliveryLedger::Granularity granularity =
+      DeliveryLedger::Granularity::kCounts;
+  /// Optional Byzantine faults (not owned; may be nullptr).
+  FaultPlan* faults = nullptr;
+  /// Optional signing keys; when set, every packet carries a MAC.
+  const KeyRing* keys = nullptr;
+  /// Optional per-origin packet contents, indexed by NodeId (not owned;
+  /// may be nullptr; must cover all nodes when set).  Overrides the
+  /// default honest_payload/keys signing entirely - including for
+  /// equivocating origins.
+  const std::vector<PayloadOverride>* payload_override = nullptr;
+};
+
+struct AtaResult {
+  std::string algorithm;
+  SimTime finish = 0;
+  NetStats stats;
+  DeliveryLedger ledger;
+  double mean_link_utilization = 0.0;
+};
+
+/// The honest broadcast value of a node (a deterministic 64-bit tag).
+[[nodiscard]] std::uint64_t honest_payload(NodeId v);
+
+}  // namespace ihc

@@ -1,0 +1,116 @@
+#include "core/clock_sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/verify.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::uint64_t encode_clock(double clock_us) {
+  require(clock_us >= 0.0 && clock_us < 1e12, "clock out of range");
+  return static_cast<std::uint64_t>(std::llround(clock_us * 1e6));  // ps
+}
+
+double decode_clock(std::uint64_t payload) {
+  return static_cast<double>(payload) / 1e6;
+}
+
+ClockSynchronizer::ClockSynchronizer(const Topology& topo,
+                                     std::vector<double> clocks,
+                                     ClockSyncConfig config)
+    : topo_(&topo), clocks_(std::move(clocks)), config_(config) {
+  require(clocks_.size() == topo.node_count(),
+          "one clock per node required");
+  require(topo.node_count() > 3 * config_.fault_tolerance,
+          "fault-tolerant midpoint requires N > 3t");
+}
+
+double ClockSynchronizer::spread_us(
+    const std::vector<NodeId>& exclude) const {
+  double lo = 1e300, hi = -1e300;
+  for (NodeId v = 0; v < clocks_.size(); ++v) {
+    if (std::find(exclude.begin(), exclude.end(), v) != exclude.end())
+      continue;
+    lo = std::min(lo, clocks_[v]);
+    hi = std::max(hi, clocks_[v]);
+  }
+  return hi - lo;
+}
+
+ClockSyncRound ClockSynchronizer::run_round(const AtaOptions& options) {
+  const NodeId n = topo_->node_count();
+  const std::vector<NodeId> faulty =
+      options.faults != nullptr ? options.faults->faulty_nodes()
+                                : std::vector<NodeId>{};
+
+  ClockSyncRound round;
+  round.spread_before_us = spread_us(faulty);
+
+  // Broadcast every clock as the packet payload.  An equivocating node's
+  // per-route lies are produced by the fault plan below; honest payloads
+  // are the encoded clocks.
+  std::vector<PayloadOverride> overrides(n);
+  for (NodeId v = 0; v < n; ++v)
+    overrides[v] = PayloadOverride{encode_clock(clocks_[v]), 0};
+  AtaOptions opt = options;
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  opt.payload_override = &overrides;
+  // A Byzantine clock broadcasts an arbitrary (wrong) value; the
+  // fault-tolerant midpoint's extreme-trimming absorbs it.  (Per-route
+  // equivocation detection is the voting/agreement layer's job.)
+  if (opt.faults != nullptr) {
+    for (const NodeId f : faulty) {
+      overrides[f].payload =
+          opt.faults->origin_payload(f, overrides[f].payload, 0);
+    }
+  }
+  const AtaResult result = run_ihc(*topo_, config_.ihc, opt);
+  round.network_time = result.finish;
+
+  // Every healthy node votes per origin and applies the midpoint rule.
+  std::vector<double> next = clocks_;
+  const std::uint32_t t = config_.fault_tolerance;
+  for (NodeId v = 0; v < n; ++v) {
+    if (std::find(faulty.begin(), faulty.end(), v) != faulty.end())
+      continue;
+    // Use the quantized self-reading so every node computes from the
+    // same numbers the network carried.
+    std::vector<double> readings{decode_clock(encode_clock(clocks_[v]))};
+    for (NodeId o = 0; o < n; ++o) {
+      if (o == v) continue;
+      const auto value =
+          majority_value(result.ledger, o, v, topo_->gamma(),
+                         VoteRule::kReceivedMajority);
+      if (!value.has_value()) {
+        ++round.rejected_origins;
+        continue;
+      }
+      readings.push_back(decode_clock(*value));
+    }
+    std::sort(readings.begin(), readings.end());
+    IHC_ENSURE(readings.size() > 2 * t, "too few readings for the rule");
+    double sum = 0;
+    std::size_t count = 0;
+    for (std::size_t i = t; i + t < readings.size(); ++i) {
+      sum += readings[i];
+      ++count;
+    }
+    next[v] = sum / static_cast<double>(count);
+  }
+  clocks_ = std::move(next);
+  round.spread_after_us = spread_us(faulty);
+  return round;
+}
+
+void ClockSynchronizer::advance(double interval_us,
+                                const std::vector<double>& drift_ppm) {
+  for (NodeId v = 0; v < clocks_.size(); ++v) {
+    const double drift =
+        drift_ppm.empty() ? 0.0 : drift_ppm[v] * 1e-6 * interval_us;
+    clocks_[v] += interval_us + drift;
+  }
+}
+
+}  // namespace ihc

@@ -1,0 +1,71 @@
+/// \file clock_sync.hpp
+/// \brief Fault-tolerant clock synchronization over the ATA broadcast -
+/// the paper's first motivating application (Section I; cf. Lamport &
+/// Melliar-Smith [19], Krishna-Shin-Butler [17]).
+///
+/// Each round, every node broadcasts its clock reading (fixed-point
+/// encoded as the packet payload) with the IHC algorithm; every healthy
+/// node then applies the fault-tolerant midpoint rule: decide each
+/// origin's reading by majority vote over the gamma copies, drop origins
+/// whose vote fails (a two-faced clock convicts itself), sort the
+/// accepted readings, discard the t smallest and t largest, and adopt the
+/// mean of the rest.
+///
+/// Classic guarantee (N >= 3t + 1): one round at least halves the skew
+/// among healthy clocks, down to the floor set by reading error - the
+/// tests verify the halving and the floor.
+#pragma once
+
+#include <vector>
+
+#include "core/ata.hpp"
+#include "core/ihc.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// Fixed-point encoding of clock values (picoseconds as uint64).
+[[nodiscard]] std::uint64_t encode_clock(double clock_us);
+[[nodiscard]] double decode_clock(std::uint64_t payload);
+
+struct ClockSyncConfig {
+  std::uint32_t fault_tolerance = 1;  ///< t of the midpoint rule
+  IhcOptions ihc{.eta = 2};
+};
+
+struct ClockSyncRound {
+  double spread_before_us = 0;  ///< healthy max-min before the round
+  double spread_after_us = 0;   ///< after applying the midpoint rule
+  SimTime network_time = 0;     ///< simulated time of the ATA broadcast
+  std::size_t rejected_origins = 0;  ///< readings that failed the vote
+};
+
+class ClockSynchronizer {
+ public:
+  /// \param topo    host topology (must outlive the synchronizer)
+  /// \param clocks  initial clock values (microseconds), one per node
+  ClockSynchronizer(const Topology& topo, std::vector<double> clocks,
+                    ClockSyncConfig config);
+
+  [[nodiscard]] const std::vector<double>& clocks() const { return clocks_; }
+
+  /// Max - min over the given healthy set (all nodes if empty).
+  [[nodiscard]] double spread_us(
+      const std::vector<NodeId>& exclude = {}) const;
+
+  /// Runs one synchronization round: IHC broadcast of every clock, then
+  /// the fault-tolerant midpoint at every healthy node.  Faulty nodes
+  /// (from options.faults) keep arbitrary clocks.
+  ClockSyncRound run_round(const AtaOptions& options);
+
+  /// Advances every clock by `interval_us` plus its per-node drift rate
+  /// (ppm-scale factors in `drift`; empty = no drift).
+  void advance(double interval_us, const std::vector<double>& drift_ppm);
+
+ private:
+  const Topology* topo_;
+  std::vector<double> clocks_;
+  ClockSyncConfig config_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,79 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+DiagnosisResult run_distributed_diagnosis(const Topology& topo,
+                                          FaultPlan& faults,
+                                          const AtaOptions& base_options,
+                                          const DiagnosisConfig& config) {
+  const NodeId n = topo.node_count();
+  const auto faulty = faults.faulty_nodes();
+  auto is_faulty = [&faulty](NodeId v) {
+    return std::find(faulty.begin(), faulty.end(), v) != faulty.end();
+  };
+
+  DiagnosisResult result;
+  result.suspicion.assign(n, 0);
+  // suspicion_by[v][w]: observer v's evidence against w.
+  std::vector<std::vector<std::uint64_t>> suspicion_by(
+      n, std::vector<std::uint64_t>(n, 0));
+
+  const auto& cycles = topo.directed_cycles();
+  for (std::uint32_t round = 0; round < config.rounds; ++round) {
+    AtaOptions opt = base_options;
+    opt.granularity = DeliveryLedger::Granularity::kFull;
+    opt.faults = &faults;
+    const AtaResult run = run_ihc(topo, config.ihc, opt);
+    result.network_time += run.finish;
+    ++result.rounds_run;
+
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_faulty(v)) continue;
+      for (NodeId o = 0; o < n; ++o) {
+        if (o == v || is_faulty(o)) continue;
+        const auto& copies = run.ledger.records(o, v);
+        if (copies.empty()) continue;
+        // The presumed-true value: the median payload (majority of the
+        // copies are intact as long as the culprits are a minority of
+        // the routes).
+        std::vector<std::uint64_t> values;
+        values.reserve(copies.size());
+        for (const auto& c : copies) values.push_back(c.payload);
+        std::sort(values.begin(), values.end());
+        const std::uint64_t truth = values[values.size() / 2];
+
+        std::vector<bool> route_clean(cycles.size(), false);
+        for (const auto& c : copies)
+          if (c.payload == truth) route_clean[c.route] = true;
+        for (std::size_t j = 0; j < cycles.size(); ++j) {
+          if (route_clean[j]) continue;
+          // Missing or divergent: every interior relay is a suspect.
+          for (NodeId w = cycles[j].next(o); w != v; w = cycles[j].next(w))
+            ++suspicion_by[v][w];
+        }
+      }
+    }
+  }
+
+  // Aggregate and vote.
+  result.votes.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_faulty(v)) continue;
+    NodeId best = 0;
+    for (NodeId w = 0; w < n; ++w) {
+      result.suspicion[w] += suspicion_by[v][w];
+      if (suspicion_by[v][w] > suspicion_by[v][best]) best = w;
+    }
+    ++result.votes[best];
+  }
+  result.convicted = static_cast<NodeId>(
+      std::max_element(result.votes.begin(), result.votes.end()) -
+      result.votes.begin());
+  return result;
+}
+
+}  // namespace ihc

@@ -1,0 +1,48 @@
+/// \file diagnosis.hpp
+/// \brief Distributed diagnosis of intermittently faulty processors over
+/// the ATA broadcast - the paper's third motivating application
+/// (Section I; cf. Yang & Masson [25]).
+///
+/// Intermittent faults defeat single observations: the culprit relays
+/// most packets faithfully and tampers with only some.  The diagnoser
+/// accumulates evidence across rounds of IHC heartbeats: whenever the
+/// gamma copies of one origin's message disagree at a receiver (or a
+/// route's copy is missing outright), every interior relay of the
+/// offending route becomes a suspect.  Innocent nodes appear in offending
+/// routes by coincidence; the culprit appears in ALL of them - its count
+/// separates over rounds, and the healthy nodes convict it by vote.
+#pragma once
+
+#include <vector>
+
+#include "core/ata.hpp"
+#include "core/ihc.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+struct DiagnosisConfig {
+  std::uint32_t rounds = 10;
+  IhcOptions ihc{.eta = 2};
+  std::uint64_t seed = 0xD1A6;
+};
+
+struct DiagnosisResult {
+  /// votes[w] = number of healthy nodes whose top suspect is w.
+  std::vector<std::uint32_t> votes;
+  /// The plurality suspect.
+  NodeId convicted = kInvalidNode;
+  /// Aggregated per-node suspicion scores (summed over observers).
+  std::vector<std::uint64_t> suspicion;
+  std::uint32_t rounds_run = 0;
+  SimTime network_time = 0;
+};
+
+/// Runs `config.rounds` heartbeat rounds with `faults` injected (the
+/// intermittent culprits, typically FaultMode::kRandom) and returns the
+/// accumulated verdicts.
+[[nodiscard]] DiagnosisResult run_distributed_diagnosis(
+    const Topology& topo, FaultPlan& faults, const AtaOptions& base_options,
+    const DiagnosisConfig& config);
+
+}  // namespace ihc

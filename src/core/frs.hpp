@@ -1,0 +1,34 @@
+/// \file frs.hpp
+/// \brief FRS: Fraigniaud's store-and-forward all-to-all reliable
+/// broadcast for hypercubes [12] (Sections II and V).
+///
+/// Every node executes the RS reliable broadcast *in lock step*; at every
+/// step each node merges the messages received in the previous step and
+/// sends one (doubled) message per link.  The algorithm proceeds in
+/// gamma+1 globally synchronized steps with message lengths
+///   L, L, 2L, 4L, ..., 2^{gamma-2} L, (2^{gamma-1}-1) L
+/// giving the total time (gamma+1) tau_S + (N-1) L tau_L, the paper's
+/// Table II entry - and, with queueing delay D added per step, the Table
+/// IV worst case it wins.
+///
+/// Because messages are merged, the simulation is step-synchronous at
+/// message granularity rather than per-packet: delivery *contents* follow
+/// the per-source RS trees, delivery *times* are the step completion
+/// times.  Relay faults are applied per tree hop (a faulty node corrupts or
+/// drops the portion of the merged message it relays).
+#pragma once
+
+#include "core/ata.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+
+/// Completion time of step t (1-based) of FRS under the given parameters.
+[[nodiscard]] SimTime frs_step_finish(const NetworkParams& net, unsigned gamma,
+                                      unsigned step);
+
+/// Runs FRS all-to-all reliable broadcast.
+[[nodiscard]] AtaResult run_frs(const Hypercube& cube,
+                                const AtaOptions& options);
+
+}  // namespace ihc

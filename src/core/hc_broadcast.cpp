@@ -1,0 +1,55 @@
+#include "core/hc_broadcast.hpp"
+
+#include "core/runner.hpp"
+
+namespace ihc {
+namespace {
+
+void add_hc_broadcast(Network& net, const Topology& topo, NodeId source,
+                      SimTime start, const AtaOptions& options) {
+  const auto& cycles = topo.directed_cycles();
+  for (std::size_t j = 0; j < cycles.size(); ++j) {
+    FlowSpec flow =
+        make_flow(source, static_cast<std::uint16_t>(j), start, options);
+    flow.cycle_path =
+        CyclePathRoute{&cycles[j],
+                       static_cast<std::uint32_t>(cycles[j].id(source)),
+                       topo.node_count() - 1};
+    net.add_flow(std::move(flow));
+  }
+}
+
+AtaResult finish(std::string name, Network&& net) {
+  AtaResult result;
+  result.algorithm = std::move(name);
+  result.finish = net.stats().finish_time;
+  result.stats = net.stats();
+  result.mean_link_utilization = net.mean_link_utilization();
+  result.ledger = std::move(net.ledger());
+  return result;
+}
+
+}  // namespace
+
+AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
+                           const AtaOptions& options) {
+  Network net(topo.graph(), options.net, options.granularity);
+  net.set_fault_plan(options.faults);
+  add_hc_broadcast(net, topo, source, 0, options);
+  net.run();
+  return finish("HC", std::move(net));
+}
+
+AtaResult run_hc_ata(const Topology& topo, const AtaOptions& options) {
+  Network net(topo.graph(), options.net, options.granularity);
+  net.set_fault_plan(options.faults);
+  SimTime start = 0;
+  for (NodeId source = 0; source < topo.node_count(); ++source) {
+    add_hc_broadcast(net, topo, source, start, options);
+    net.run();
+    start = net.stats().finish_time;
+  }
+  return finish("HC-ATA", std::move(net));
+}
+
+}  // namespace ihc

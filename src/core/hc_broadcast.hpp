@@ -1,0 +1,31 @@
+/// \file hc_broadcast.hpp
+/// \brief Single-source reliable broadcast over the directed Hamiltonian
+/// cycles - the "HC algorithm" baseline of Section II.
+///
+/// The source injects one packet on each of the gamma directed Hamiltonian
+/// cycles; each packet pipelines N-1 hops, tee-delivering a copy at every
+/// node.  One startup and N-2 cut-throughs per cycle, all cycles in
+/// parallel: time tau_S + mu alpha + (N-2) alpha.  For a SINGLE broadcast
+/// this is what Kandlur and Shin's algorithm beats (its longest path is
+/// O(sqrt N) cut-throughs rather than O(N)); for ALL-TO-ALL broadcast the
+/// interleaving of the IHC algorithm amortizes the cycles across all
+/// sources and wins - the heart of the paper's contribution.  Having this
+/// baseline lets the benches reproduce both sides of that comparison.
+#pragma once
+
+#include "core/ata.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// One reliable broadcast from `source` along all gamma directed cycles.
+[[nodiscard]] AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
+                                         const AtaOptions& options);
+
+/// HC-ATA: each node broadcasts in turn (the naive sequential ATA built
+/// on the HC broadcast; N (tau_S + mu alpha + (N-2) alpha) in dedicated
+/// mode, i.e. exactly N/eta times slower than IHC).
+[[nodiscard]] AtaResult run_hc_ata(const Topology& topo,
+                                   const AtaOptions& options);
+
+}  // namespace ihc

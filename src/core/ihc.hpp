@@ -1,0 +1,95 @@
+/// \file ihc.hpp
+/// \brief The IHC algorithm - the paper's contribution (Section IV).
+///
+/// All-to-all reliable broadcast by interleaving: in stage i, every node v
+/// with ID_j(v) mod eta == i injects its packet on directed Hamiltonian
+/// cycle HC_j (for all gamma cycles in parallel); packets then flow N-1
+/// hops along their cycle, every intermediate node "tee"-ing a copy as the
+/// packet cuts through.  Initiators being eta apart, a link carries a new
+/// packet at most every eta*alpha - so with eta >= mu no packet ever finds
+/// a busy transmitter and every relay is a cut-through.
+///
+/// Options cover the paper's variants:
+///  * eta            - the interleaving distance (Section IV);
+///  * overlap_stages - the modified algorithm that starts each stage
+///    (mu-1) alpha early, saving (mu-1)^2 alpha overall when eta == mu;
+///    stages are then run in the reversed order the paper prescribes;
+///  * stop_policy    - how relays know when to stop forwarding a packet
+///    (hop counting vs. the last-node address carried in the routing tag;
+///    functionally identical, both implemented for completeness).
+#pragma once
+
+#include "core/ata.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+enum class IhcStopPolicy : std::uint8_t {
+  kHopCount,        ///< relay exactly N-1 hops
+  kLastNodeAddress, ///< stop when the packet reaches prev_j(origin)
+};
+
+/// How many of a node's links may be driven concurrently (Section IV).
+enum class LinkConcurrency : std::uint8_t {
+  /// The HARTS-style assumption: all receivers and transmitters at once.
+  kAllLinks,
+  /// One incoming + one outgoing link per node: the gamma directed cycles
+  /// are then run as sequential IHC invocations, one cycle at a time.
+  kSingleLinkPerNode,
+};
+
+/// How stage barriers are enforced (Section IV: "if normal network
+/// traffic or synchronization inaccuracies cause one HC_j^i-cycle to
+/// complete before the other HC_k^i-cycles, then the nodes on cycle HC_j
+/// can start on stage i+1 immediately").
+enum class StageBarrier : std::uint8_t {
+  kGlobal,    ///< stage i+1 starts when every cycle finished stage i
+  kPerCycle,  ///< each cycle advances as soon as ITS stage i drains
+};
+
+struct IhcOptions {
+  std::uint32_t eta = 2;
+  bool overlap_stages = false;
+  StageBarrier barrier = StageBarrier::kGlobal;
+  IhcStopPolicy stop_policy = IhcStopPolicy::kHopCount;
+  LinkConcurrency concurrency = LinkConcurrency::kAllLinks;
+  /// Use only the first k of the gamma directed Hamiltonian cycles
+  /// (0 = all).  Fewer cycles deliver fewer copies - lower reliability -
+  /// but finish k/gamma as fast in single-link mode (Section IV's noted
+  /// trade).
+  std::uint32_t cycles_to_use = 0;
+  /// Total message length per node in FIFO units.  0 (or <= mu) means one
+  /// packet; larger messages are split into ceil(units / mu) fixed-size
+  /// packets (Section IV) broadcast in consecutive IHC rounds.
+  std::uint32_t message_units = 0;
+};
+
+/// Number of packets a message of this length needs.
+[[nodiscard]] constexpr std::uint32_t ihc_packet_count(
+    std::uint32_t message_units, std::uint32_t mu) {
+  if (message_units <= mu) return 1;
+  return (message_units + mu - 1) / mu;
+}
+
+/// Runs the IHC all-to-all reliable broadcast on the simulator.
+[[nodiscard]] AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
+                                const AtaOptions& options);
+
+/// Whether an IHC run with this (N, mu, eta) is contention-free: the
+/// initiators on a cycle are eta apart except for one wrap-around gap of
+/// N mod eta, and every gap must fit a packet of mu FIFO units.  This is
+/// the paper's "assuming N modulo mu = 0" precondition, generalized.
+[[nodiscard]] constexpr bool eta_is_contention_free(NodeId n,
+                                                    std::uint32_t mu,
+                                                    std::uint32_t eta) {
+  if (eta < mu || eta > n) return false;
+  const std::uint32_t wrap_gap = n % eta;
+  return wrap_gap == 0 || wrap_gap >= mu;
+}
+
+/// Smallest contention-free eta >= max(mu, at_least) for this network
+/// size.  Always exists (eta = n trivially qualifies).
+[[nodiscard]] std::uint32_t smallest_contention_free_eta(
+    NodeId n, std::uint32_t mu, std::uint32_t at_least = 0);
+
+}  // namespace ihc

@@ -1,0 +1,179 @@
+#include "core/ks.hpp"
+
+#include "core/runner.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+/// The six oriented hex directions in 60-degree rotational order, as
+/// signed circulant jumps: e_{j+1} is e_j rotated by 60 degrees, so
+/// e_j + e_{j+2} = e_{j+1} (using the raw jumps 1, 3m-1, 3m-2).
+std::array<NodeId, 6> rotational_jumps(const HexMesh& hex) {
+  const NodeId n = hex.node_count();
+  const NodeId m = hex.size();
+  const NodeId d0 = 1;
+  const NodeId d1 = 3 * m - 2;
+  const NodeId d2 = 3 * m - 1;  // = d0 + d1
+  return {d0 % n, d2 % n, d1 % n, n - d0 % n, n - d2 % n, n - d1 % n};
+}
+
+/// Classic reconstruction: six spokes from the root, one 60-degree
+/// sector fill per spoke; <= 3 store-and-forwards per path.
+std::vector<FlowTreeNode> classic_tree(const HexMesh& hex, NodeId source,
+                                       unsigned i,
+                                       const std::array<NodeId, 6>& e) {
+  const NodeId n = hex.node_count();
+  const NodeId m = hex.size();
+  auto step = [n](NodeId v, NodeId jump) { return (v + jump) % n; };
+
+  std::vector<FlowTreeNode> tree;
+  tree.push_back(FlowTreeNode{source, -1, false});
+  const NodeId root = step(source, e[i]);
+  tree.push_back(FlowTreeNode{root, 0, false});
+  const std::int32_t root_idx = 1;
+  for (unsigned j = 0; j < 6; ++j) {
+    std::int32_t prev = root_idx;
+    for (NodeId a = 1; a <= m - 1; ++a) {
+      const NodeId spoke_node =
+          step(tree[static_cast<std::size_t>(prev)].node, e[j]);
+      const bool ct = (j == i) || a > 1;
+      tree.push_back(FlowTreeNode{spoke_node, prev, ct});
+      const auto spoke_idx = static_cast<std::int32_t>(tree.size() - 1);
+      std::int32_t fill_prev = spoke_idx;
+      for (NodeId b = 1; a + b <= m - 1; ++b) {
+        const NodeId fill_node =
+            step(tree[static_cast<std::size_t>(fill_prev)].node,
+                 e[(j + 1) % 6]);
+        tree.push_back(FlowTreeNode{fill_node, fill_prev, b > 1});
+        fill_prev = static_cast<std::int32_t>(tree.size() - 1);
+      }
+      prev = spoke_idx;
+    }
+  }
+  return tree;
+}
+
+/// Axis-avoiding reconstruction: the back spoke (direction i+3) would run
+/// along the same axis line as tree (i+3)'s continuing spoke, so it is
+/// dropped; its sector is covered by double fills from spoke i+4 and the
+/// axis nodes themselves hang off adjacent fills (one extra redirect).
+std::vector<FlowTreeNode> axis_avoiding_tree(
+    const HexMesh& hex, NodeId source, unsigned i,
+    const std::array<NodeId, 6>& e) {
+  const NodeId n = hex.node_count();
+  const NodeId m = hex.size();
+  auto step = [n](NodeId v, NodeId jump) { return (v + jump) % n; };
+
+  std::vector<FlowTreeNode> tree;
+  tree.push_back(FlowTreeNode{source, -1, false});
+  const NodeId root = step(source, e[i]);
+  tree.push_back(FlowTreeNode{root, 0, false});
+  const std::int32_t root_idx = 1;
+
+  // Parents for the axis nodes r + a e_{i+3}:
+  //  * a <= m-2: the double-fill node r + e_{i+4} + a e_{i+3}
+  //  * a  = m-1: the end of spoke (i+2)'s a=1 fill chain,
+  //              r + e_{i+2} + (m-2) e_{i+3}
+  std::vector<std::int32_t> inner_axis_parent(m, -1);
+  std::int32_t rim_axis_parent = -1;
+
+  for (const unsigned j :
+       {i % 6, (i + 1) % 6, (i + 2) % 6, (i + 4) % 6, (i + 5) % 6}) {
+    std::int32_t prev = root_idx;
+    for (NodeId a = 1; a <= m - 1; ++a) {
+      const NodeId spoke_node =
+          step(tree[static_cast<std::size_t>(prev)].node, e[j]);
+      const bool ct = (j == i % 6) || a > 1;
+      tree.push_back(FlowTreeNode{spoke_node, prev, ct});
+      const auto spoke_idx = static_cast<std::int32_t>(tree.size() - 1);
+      if (j == (i + 2) % 6 && a == 1 && m == 2)
+        rim_axis_parent = spoke_idx;  // fill chain is empty for m = 2
+
+      // Standard sector fill in direction e_{j+1}.
+      std::int32_t fill_prev = spoke_idx;
+      for (NodeId b = 1; a + b <= m - 1; ++b) {
+        const NodeId fill_node =
+            step(tree[static_cast<std::size_t>(fill_prev)].node,
+                 e[(j + 1) % 6]);
+        tree.push_back(FlowTreeNode{fill_node, fill_prev, b > 1});
+        fill_prev = static_cast<std::int32_t>(tree.size() - 1);
+        if (j == (i + 2) % 6 && a == 1 && b == m - 2)
+          rim_axis_parent = fill_prev;
+      }
+
+      // Double fill from spoke i+4 in direction e_{i+3}: covers the
+      // sector the dropped back spoke would have owned.
+      if (j == (i + 4) % 6) {
+        std::int32_t second_prev = spoke_idx;
+        for (NodeId b = 1; a + b <= m - 1; ++b) {
+          const NodeId fill_node =
+              step(tree[static_cast<std::size_t>(second_prev)].node,
+                   e[(i + 3) % 6]);
+          tree.push_back(FlowTreeNode{fill_node, second_prev, b > 1});
+          second_prev = static_cast<std::int32_t>(tree.size() - 1);
+          if (a == 1) inner_axis_parent[b] = second_prev;
+        }
+      }
+      prev = spoke_idx;
+    }
+  }
+
+  // Axis nodes r + a e_{i+3}.
+  NodeId axis = root;
+  for (NodeId a = 1; a <= m - 1; ++a) {
+    axis = step(axis, e[(i + 3) % 6]);
+    if (a <= m - 2) {
+      IHC_ENSURE(inner_axis_parent[a] >= 0, "axis parent missing");
+      // parent = r + e_{i+4} + a e_{i+3}; the hop to the axis is -e_{i+4}
+      // = e_{i+1}.
+      tree.push_back(FlowTreeNode{axis, inner_axis_parent[a], false});
+    } else {
+      IHC_ENSURE(rim_axis_parent >= 0, "rim axis parent missing");
+      // parent = r + e_{i+2} + (m-2) e_{i+3}; the hop is e_{i+4}.
+      tree.push_back(FlowTreeNode{axis, rim_axis_parent, false});
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+std::vector<std::vector<FlowTreeNode>> ks_trees(const HexMesh& hex,
+                                                NodeId source,
+                                                KsVariant variant) {
+  const NodeId n = hex.node_count();
+  const auto e = rotational_jumps(hex);
+  std::vector<std::vector<FlowTreeNode>> trees;
+  trees.reserve(6);
+  for (unsigned i = 0; i < 6; ++i) {
+    std::vector<FlowTreeNode> tree =
+        variant == KsVariant::kClassic
+            ? classic_tree(hex, source, i, e)
+            : axis_avoiding_tree(hex, source, i, e);
+    IHC_ENSURE(tree.size() == static_cast<std::size_t>(n) + 1,
+               "KS tree must reach every node exactly once (plus source)");
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+AtaResult run_ks_single(const HexMesh& hex, NodeId source,
+                        const AtaOptions& options, KsVariant variant) {
+  return run_single_tree_broadcast(
+      variant == KsVariant::kClassic ? "KS" : "KS(axis-avoiding)", hex,
+      source,
+      [&hex, variant](NodeId s) { return ks_trees(hex, s, variant); },
+      options);
+}
+
+AtaResult run_ks_ata(const HexMesh& hex, const AtaOptions& options,
+                     KsVariant variant) {
+  return run_sequential_tree_ata(
+      variant == KsVariant::kClassic ? "KS-ATA" : "KS-ATA(axis-avoiding)",
+      hex,
+      [&hex, variant](NodeId s) { return ks_trees(hex, s, variant); },
+      options);
+}
+
+}  // namespace ihc

@@ -1,0 +1,57 @@
+/// \file ks.hpp
+/// \brief KS: Kandlur-Shin reliable broadcast on C-wrapped hexagonal
+/// meshes, and KS-ATA (Section V-B, Fig. 8).
+///
+/// The source sends a copy in each of the six oriented directions; the
+/// copy entering through direction i disseminates to all nodes from the
+/// root r_i = s + e_i using the hexagonal sector structure: six spokes
+/// radiate from r_i (the spoke continuing direction i cuts through), and
+/// each spoke node fills its 60-degree sector by turning once.  Each path
+/// therefore pays at most 3 store-and-forward operations (injection and up
+/// to two turns) and otherwise cuts through - the cost structure of
+/// Fig. 8.  The exact fork placement of Kandlur and Shin's pattern [15] is
+/// not reproduced (that construction is the subject of its own paper);
+/// DESIGN.md documents this reconstruction and the benches report both the
+/// analytical KS cost and the measured cost of this pattern.
+#pragma once
+
+#include "core/ata.hpp"
+#include "sim/network.hpp"
+#include "topology/hex_mesh.hpp"
+
+namespace ihc {
+
+/// Fork-placement variant of the reconstructed pattern.
+enum class KsVariant : std::uint8_t {
+  /// Six spokes from the root, one 60-degree sector fill per spoke;
+  /// every path pays <= 3 store-and-forwards (the paper's cost
+  /// structure), but the "back" spoke of tree i runs along the same axis
+  /// line as tree (i+3)'s continuing spoke, so the six trees of one
+  /// broadcast contend there.
+  kClassic,
+  /// Five spokes (the back spoke is dropped); the missing sector is
+  /// covered by double fills from the neighboring spoke and the axis
+  /// nodes hang off adjacent sector fills.  Paths to the m-1 axis nodes
+  /// pay a 4th store-and-forward.  Removing the axis collision halves
+  /// the aggregate queueing of one broadcast, though the critical path
+  /// is still set by the remaining fill/spoke line coincidences (the
+  /// original pattern's per-direction asymmetry is what eliminates
+  /// those; see DESIGN.md).
+  kAxisAvoiding,
+};
+
+/// The six dissemination trees of a KS broadcast from `source`.
+[[nodiscard]] std::vector<std::vector<FlowTreeNode>> ks_trees(
+    const HexMesh& hex, NodeId source,
+    KsVariant variant = KsVariant::kClassic);
+
+[[nodiscard]] AtaResult run_ks_single(const HexMesh& hex, NodeId source,
+                                      const AtaOptions& options,
+                                      KsVariant variant = KsVariant::kClassic);
+
+/// KS-ATA: one KS broadcast per node, sequentially.
+[[nodiscard]] AtaResult run_ks_ata(const HexMesh& hex,
+                                   const AtaOptions& options,
+                                   KsVariant variant = KsVariant::kClassic);
+
+}  // namespace ihc

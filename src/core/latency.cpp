@@ -1,0 +1,39 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+LatencyReport delivery_latency(const DeliveryLedger& ledger) {
+  require(ledger.granularity() == DeliveryLedger::Granularity::kFull,
+          "latency analysis requires a kFull-granularity ledger");
+  LatencyReport report;
+  report.all_pairs_reached = true;
+  const NodeId n = ledger.node_count();
+  for (NodeId o = 0; o < n; ++o) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (o == d) continue;
+      const auto& copies = ledger.records(o, d);
+      if (copies.empty()) {
+        report.all_pairs_reached = false;
+        continue;
+      }
+      SimTime first = copies.front().time;
+      SimTime last = copies.front().time;
+      for (const CopyRecord& c : copies) {
+        first = std::min(first, c.time);
+        last = std::max(last, c.time);
+      }
+      report.first_copy_completion =
+          std::max(report.first_copy_completion, first);
+      report.full_completion = std::max(report.full_completion, last);
+      report.first_copy_times.add(static_cast<double>(first));
+      report.last_copy_times.add(static_cast<double>(last));
+    }
+  }
+  return report;
+}
+
+}  // namespace ihc

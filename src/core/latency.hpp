@@ -1,0 +1,38 @@
+/// \file latency.hpp
+/// \brief Delivery-latency analytics over the ledger.
+///
+/// The paper's tables report only the total ATA completion time.  Two
+/// finer metrics distinguish the algorithms sharply and matter to the
+/// applications (a clock-sync round can proceed once ONE intact copy per
+/// origin has arrived; full Byzantine tolerance needs all gamma):
+///
+///  * first-copy completion - the time by which every ordered pair has
+///    received at least one copy;
+///  * full completion       - the time by which every pair has all gamma
+///    (identical to the tables' finish time).
+///
+/// Per-pair first/last copy times are also summarized (mean/min/max/
+/// stddev) for distribution-shape comparisons.
+#pragma once
+
+#include "sim/delivery.hpp"
+#include "util/stats.hpp"
+
+namespace ihc {
+
+struct LatencyReport {
+  /// max over pairs of the earliest copy's arrival (0 if some pair got
+  /// nothing).
+  SimTime first_copy_completion = 0;
+  /// max over pairs of the latest copy's arrival.
+  SimTime full_completion = 0;
+  /// Whether every ordered pair received at least one copy.
+  bool all_pairs_reached = false;
+  Summary first_copy_times;  ///< distribution of per-pair earliest arrivals
+  Summary last_copy_times;   ///< distribution of per-pair latest arrivals
+};
+
+/// Computes latency statistics; requires a kFull-granularity ledger.
+[[nodiscard]] LatencyReport delivery_latency(const DeliveryLedger& ledger);
+
+}  // namespace ihc

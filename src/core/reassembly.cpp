@@ -1,0 +1,66 @@
+#include "core/reassembly.hpp"
+
+namespace ihc {
+
+bool MessageReassembler::feed(const PacketHeader& header,
+                              std::uint64_t payload_unit) {
+  Assembly& a = by_origin_[header.origin];
+  if (a.total == 0) a.total = header.total;
+  if (a.total != header.total) {
+    a.inconsistent = true;
+    return false;
+  }
+  const auto [it, inserted] = a.fragments.emplace(header.seq, payload_unit);
+  if (!inserted && it->second != payload_unit) {
+    a.inconsistent = true;  // duplicate fragments disagree
+    return false;
+  }
+  return true;
+}
+
+bool MessageReassembler::feed_wire(std::uint64_t header_word,
+                                   std::uint64_t payload_unit) {
+  const auto header = decode_header(header_word);
+  if (!header.has_value()) return false;  // damaged header: dropped
+  return feed(*header, payload_unit);
+}
+
+MessageState MessageReassembler::state(NodeId origin) const {
+  const auto it = by_origin_.find(origin);
+  if (it == by_origin_.end()) return MessageState::kIncomplete;
+  if (it->second.inconsistent) return MessageState::kInconsistent;
+  return it->second.fragments.size() == it->second.total
+             ? MessageState::kComplete
+             : MessageState::kIncomplete;
+}
+
+std::vector<std::uint64_t> MessageReassembler::message(NodeId origin) const {
+  std::vector<std::uint64_t> out;
+  const auto it = by_origin_.find(origin);
+  if (it == by_origin_.end() ||
+      state(origin) != MessageState::kComplete)
+    return out;
+  out.reserve(it->second.fragments.size());
+  for (const auto& [seq, payload] : it->second.fragments)
+    out.push_back(payload);
+  return out;
+}
+
+std::vector<std::uint16_t> MessageReassembler::missing(NodeId origin) const {
+  std::vector<std::uint16_t> out;
+  const auto it = by_origin_.find(origin);
+  if (it == by_origin_.end()) return out;
+  const Assembly& a = it->second;
+  for (std::uint16_t seq = 0; seq < a.total; ++seq)
+    if (!a.fragments.contains(seq)) out.push_back(seq);
+  return out;
+}
+
+std::vector<NodeId> MessageReassembler::origins() const {
+  std::vector<NodeId> out;
+  out.reserve(by_origin_.size());
+  for (const auto& [origin, assembly] : by_origin_) out.push_back(origin);
+  return out;
+}
+
+}  // namespace ihc

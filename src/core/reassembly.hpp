@@ -1,0 +1,61 @@
+/// \file reassembly.hpp
+/// \brief Message reconstruction from packetized broadcasts.
+///
+/// Long messages travel as ceil(L / mu) fixed-size packets (Section IV);
+/// the receiver must reassemble them - possibly out of order (packets of
+/// one origin arrive over gamma routes and several rounds), with
+/// duplicates (gamma copies of every fragment), losses (silent faults)
+/// and corruptions (tampered fragments disagree with their duplicates).
+/// MessageReassembler implements that receive-side control logic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/packet_format.hpp"
+
+namespace ihc {
+
+enum class MessageState : std::uint8_t {
+  kIncomplete,   ///< fragments missing
+  kComplete,     ///< every fragment present and consistent
+  kInconsistent, ///< duplicate fragments disagreed (tampering suspected)
+};
+
+class MessageReassembler {
+ public:
+  /// Feeds one received fragment.  Returns false when the header is
+  /// inconsistent with earlier fragments of the same origin (different
+  /// `total`), which also marks the message inconsistent.
+  bool feed(const PacketHeader& header, std::uint64_t payload_unit);
+
+  /// Convenience: decode the wire word, drop it silently if the CRC
+  /// fails, feed otherwise.  Returns true when the fragment was accepted.
+  bool feed_wire(std::uint64_t header_word, std::uint64_t payload_unit);
+
+  [[nodiscard]] MessageState state(NodeId origin) const;
+
+  /// The reassembled message (fragments in sequence order); only valid
+  /// when state(origin) == kComplete.
+  [[nodiscard]] std::vector<std::uint64_t> message(NodeId origin) const;
+
+  /// Fragments still missing for an origin (empty when complete or
+  /// unknown origin).
+  [[nodiscard]] std::vector<std::uint16_t> missing(NodeId origin) const;
+
+  /// Origins with at least one fragment received.
+  [[nodiscard]] std::vector<NodeId> origins() const;
+
+ private:
+  struct Assembly {
+    std::uint16_t total = 0;
+    bool inconsistent = false;
+    /// seq -> payload (first value wins; disagreement marks inconsistent).
+    std::map<std::uint16_t, std::uint64_t> fragments;
+  };
+  std::map<NodeId, Assembly> by_origin_;
+};
+
+}  // namespace ihc

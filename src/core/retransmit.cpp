@@ -1,0 +1,145 @@
+#include "core/retransmit.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/reassembly.hpp"
+#include "core/runner.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+/// Fragment payload packing: 12-bit sequence number in the top bits, the
+/// fragment content below (deterministic per (origin, seq)).
+std::uint64_t fragment_payload(NodeId origin, std::uint16_t seq) {
+  const std::uint64_t content =
+      (honest_payload(origin) ^ (0x9e3779b97f4a7c15ULL * (seq + 1))) &
+      ((1ull << 52) - 1);
+  return (static_cast<std::uint64_t>(seq) << 52) | content;
+}
+
+std::uint16_t payload_seq(std::uint64_t payload) {
+  return static_cast<std::uint16_t>(payload >> 52);
+}
+
+}  // namespace
+
+RetransmitReport run_with_retransmission(const Topology& topo,
+                                         const AtaOptions& base_options,
+                                         const RetransmitConfig& config) {
+  require(config.message_units >= 1 && config.message_units < 4096,
+          "message_units must fit the 12-bit sequence space");
+  require(config.max_rounds >= 1, "need at least one round");
+  require(base_options.keys != nullptr,
+          "retransmission uses signed fragments (set options.keys)");
+
+  const NodeId n = topo.node_count();
+  const auto total =
+      static_cast<std::uint16_t>(ihc_packet_count(
+          config.message_units, base_options.net.mu));
+  const auto& cycles = topo.directed_cycles();
+  const KeyRing& keys = *base_options.keys;
+
+  // Per-destination reassembly state, fed across rounds.
+  std::vector<MessageReassembler> at(n);
+
+  // pending[o] = fragments origin o still needs to (re)broadcast.
+  std::vector<std::vector<std::uint16_t>> pending(n);
+  for (NodeId o = 0; o < n; ++o)
+    for (std::uint16_t s = 0; s < total; ++s) pending[o].push_back(s);
+
+  RetransmitReport report;
+  Network net(topo.graph(), base_options.net, DeliveryLedger::Granularity::kFull);
+  net.set_fault_plan(base_options.faults);
+  SimTime start = 0;
+
+  for (std::uint32_t round = 0; round < config.max_rounds; ++round) {
+    std::size_t max_slots = 0;
+    for (NodeId o = 0; o < n; ++o)
+      max_slots = std::max(max_slots, pending[o].size());
+    if (max_slots == 0) break;
+    ++report.rounds_used;
+
+    for (NodeId o = 0; o < n; ++o) {
+      const auto pending_count =
+          static_cast<std::uint64_t>(pending[o].size());
+      report.fragments_sent += pending_count;
+      if (round > 0) report.fragments_retransmitted += pending_count;
+    }
+    for (std::size_t slot = 0; slot < max_slots; ++slot) {
+      for (std::uint32_t stage = 0; stage < config.ihc.eta; ++stage) {
+        for (std::size_t j = 0; j < cycles.size(); ++j) {
+          const DirectedCycle& hc = cycles[j];
+          for (std::size_t pos = stage; pos < hc.length();
+               pos += config.ihc.eta) {
+            const NodeId origin = hc.at(pos);
+            if (slot >= pending[origin].size()) continue;
+            const std::uint16_t seq = pending[origin][slot];
+            FlowSpec flow;
+            flow.origin = origin;
+            flow.route_tag = static_cast<std::uint16_t>(j);
+            flow.inject_time = start;
+            flow.payload = fragment_payload(origin, seq);
+            flow.mac = keys.sign(origin, flow.payload);
+            flow.cycle_path = CyclePathRoute{
+                &hc, static_cast<std::uint32_t>(pos), n - 1};
+            net.add_flow(std::move(flow));
+          }
+        }
+        net.run();
+        start = net.stats().finish_time;
+      }
+    }
+    report.network_time = net.stats().finish_time;
+
+    // Harvest this round's deliveries into the reassemblers (duplicates
+    // from earlier rounds are idempotent).
+    const DeliveryLedger& ledger = net.ledger();
+    for (NodeId o = 0; o < n; ++o) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (o == d) continue;
+        for (const CopyRecord& copy : ledger.records(o, d)) {
+          if (!keys.verify(o, copy.payload, copy.mac)) continue;  // tampered
+          const std::uint16_t seq = payload_seq(copy.payload);
+          if (seq >= total) continue;
+          at[d].feed(PacketHeader{o, static_cast<std::uint8_t>(
+                                         copy.route % 64),
+                                  seq, total, PacketKind::kData},
+                     copy.payload);
+        }
+      }
+    }
+
+    // Recompute pending sets: union over destinations of missing
+    // fragments per origin (the modeled control channel).
+    for (NodeId o = 0; o < n; ++o) {
+      std::set<std::uint16_t> missing_union;
+      for (NodeId d = 0; d < n; ++d) {
+        if (o == d) continue;
+        for (const std::uint16_t s : at[d].missing(o))
+          missing_union.insert(s);
+        if (at[d].state(o) == MessageState::kIncomplete &&
+            at[d].missing(o).empty()) {
+          // Nothing arrived at all yet: everything is missing.
+          for (std::uint16_t s = 0; s < total; ++s)
+            missing_union.insert(s);
+        }
+      }
+      pending[o].assign(missing_union.begin(), missing_union.end());
+    }
+  }
+
+  report.complete = true;
+  for (NodeId o = 0; o < n && report.complete; ++o)
+    for (NodeId d = 0; d < n; ++d) {
+      if (o == d) continue;
+      if (at[d].state(o) != MessageState::kComplete) {
+        report.complete = false;
+        break;
+      }
+    }
+  return report;
+}
+
+}  // namespace ihc

@@ -1,0 +1,86 @@
+#include "core/runner.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::uint64_t honest_payload(NodeId v) {
+  std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+FlowSpec make_flow(NodeId origin, std::uint16_t route_tag,
+                   SimTime inject_time, const AtaOptions& options) {
+  FlowSpec flow;
+  flow.origin = origin;
+  flow.route_tag = route_tag;
+  flow.inject_time = inject_time;
+  if (options.payload_override != nullptr) {
+    const PayloadOverride& o = options.payload_override->at(origin);
+    flow.payload = o.payload;
+    flow.mac = o.mac;
+    return flow;
+  }
+  std::uint64_t payload = honest_payload(origin);
+  if (options.faults != nullptr)
+    payload = options.faults->origin_payload(origin, payload, route_tag);
+  flow.payload = payload;
+  flow.mac =
+      options.keys != nullptr ? options.keys->sign(origin, payload) : 0;
+  return flow;
+}
+
+namespace {
+
+AtaResult finish_result(std::string algorithm, Network&& net) {
+  AtaResult result;
+  result.algorithm = std::move(algorithm);
+  result.finish = net.stats().finish_time;
+  result.stats = net.stats();
+  result.mean_link_utilization = net.mean_link_utilization();
+  result.ledger = std::move(net.ledger());
+  return result;
+}
+
+void add_broadcast(Network& net, NodeId source, SimTime start,
+                   const std::vector<std::vector<FlowTreeNode>>& trees,
+                   const AtaOptions& options) {
+  for (std::size_t copy = 0; copy < trees.size(); ++copy) {
+    FlowSpec flow =
+        make_flow(source, static_cast<std::uint16_t>(copy), start, options);
+    flow.tree = trees[copy];
+    net.add_flow(std::move(flow));
+  }
+}
+
+}  // namespace
+
+AtaResult run_sequential_tree_ata(std::string algorithm,
+                                  const Topology& topo,
+                                  const TreeBuilder& trees,
+                                  const AtaOptions& options) {
+  Network net(topo.graph(), options.net, options.granularity);
+  net.set_fault_plan(options.faults);
+  SimTime start = 0;
+  for (NodeId source = 0; source < topo.node_count(); ++source) {
+    add_broadcast(net, source, start, trees(source), options);
+    net.run();
+    start = net.stats().finish_time;
+  }
+  return finish_result(std::move(algorithm), std::move(net));
+}
+
+AtaResult run_single_tree_broadcast(std::string algorithm,
+                                    const Topology& topo, NodeId source,
+                                    const TreeBuilder& trees,
+                                    const AtaOptions& options) {
+  Network net(topo.graph(), options.net, options.granularity);
+  net.set_fault_plan(options.faults);
+  add_broadcast(net, source, 0, trees(source), options);
+  net.run();
+  return finish_result(std::move(algorithm), std::move(net));
+}
+
+}  // namespace ihc

@@ -1,0 +1,40 @@
+/// \file runner.hpp
+/// \brief Shared machinery for the ATA algorithm drivers.
+///
+/// VRS-ATA, KS-ATA and VSQ-ATA all follow the same scheme from Section V:
+/// each node executes a tree-shaped reliable broadcast *in turn*, the next
+/// broadcast starting when the previous one finishes.  run_sequential_
+/// tree_ata implements that scheme for any tree builder.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/ata.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// Builds the dissemination trees (one per copy/route) for a broadcast
+/// from `source`.
+using TreeBuilder =
+    std::function<std::vector<std::vector<FlowTreeNode>>(NodeId source)>;
+
+/// Runs one reliable broadcast per node, sequentially, over the simulator.
+[[nodiscard]] AtaResult run_sequential_tree_ata(std::string algorithm,
+                                                const Topology& topo,
+                                                const TreeBuilder& trees,
+                                                const AtaOptions& options);
+
+/// Runs a single tree broadcast (used by the pattern experiments E7).
+[[nodiscard]] AtaResult run_single_tree_broadcast(
+    std::string algorithm, const Topology& topo, NodeId source,
+    const TreeBuilder& trees, const AtaOptions& options);
+
+/// Creates a flow spec with payload/MAC/fault-equivocation handling shared
+/// by every driver.
+[[nodiscard]] FlowSpec make_flow(NodeId origin, std::uint16_t route_tag,
+                                 SimTime inject_time,
+                                 const AtaOptions& options);
+
+}  // namespace ihc

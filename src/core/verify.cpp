@@ -1,0 +1,88 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/runner.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+Verdict majority_vote(const DeliveryLedger& ledger, NodeId origin,
+                      NodeId dest, std::uint32_t gamma,
+                      std::uint64_t true_value, VoteRule rule) {
+  const auto& copies = ledger.records(origin, dest);
+  std::unordered_map<std::uint64_t, std::uint32_t> tally;
+  for (const CopyRecord& c : copies) ++tally[c.payload];
+  const std::uint32_t base = rule == VoteRule::kStrictMajority
+                                 ? gamma
+                                 : static_cast<std::uint32_t>(copies.size());
+  const std::uint32_t threshold = base / 2 + 1;
+  for (const auto& [value, count] : tally) {
+    if (count >= threshold)
+      return value == true_value ? Verdict::kCorrect : Verdict::kWrong;
+  }
+  return Verdict::kUndecided;
+}
+
+std::optional<std::uint64_t> majority_value(const DeliveryLedger& ledger,
+                                            NodeId origin, NodeId dest,
+                                            std::uint32_t gamma,
+                                            VoteRule rule) {
+  const auto& copies = ledger.records(origin, dest);
+  std::unordered_map<std::uint64_t, std::uint32_t> tally;
+  for (const CopyRecord& c : copies) ++tally[c.payload];
+  const std::uint32_t base = rule == VoteRule::kStrictMajority
+                                 ? gamma
+                                 : static_cast<std::uint32_t>(copies.size());
+  const std::uint32_t threshold = base / 2 + 1;
+  for (const auto& [value, count] : tally)
+    if (count >= threshold) return value;
+  return std::nullopt;
+}
+
+Verdict signed_accept(const DeliveryLedger& ledger, const KeyRing& keys,
+                      NodeId origin, NodeId dest, std::uint64_t true_value) {
+  const auto& copies = ledger.records(origin, dest);
+  bool have_valid = false;
+  std::uint64_t accepted = 0;
+  for (const CopyRecord& c : copies) {
+    if (!keys.verify(origin, c.payload, c.mac)) continue;  // tampered
+    if (have_valid && c.payload != accepted) return Verdict::kSourceDetected;
+    have_valid = true;
+    accepted = c.payload;
+  }
+  if (!have_valid) return Verdict::kUndecided;
+  return accepted == true_value ? Verdict::kCorrect : Verdict::kWrong;
+}
+
+ReliabilityReport assess_reliability(const DeliveryLedger& ledger,
+                                     const KeyRing* keys, std::uint32_t gamma,
+                                     const std::vector<NodeId>& faulty_nodes,
+                                     VoteRule rule) {
+  const NodeId n = ledger.node_count();
+  std::vector<bool> faulty(n, false);
+  for (const NodeId f : faulty_nodes) faulty[f] = true;
+
+  ReliabilityReport report;
+  for (NodeId o = 0; o < n; ++o) {
+    if (faulty[o]) continue;
+    const std::uint64_t truth = honest_payload(o);
+    for (NodeId d = 0; d < n; ++d) {
+      if (d == o || faulty[d]) continue;
+      ++report.pairs;
+      const Verdict v = keys != nullptr
+                            ? signed_accept(ledger, *keys, o, d, truth)
+                            : majority_vote(ledger, o, d, gamma, truth, rule);
+      switch (v) {
+        case Verdict::kCorrect: ++report.correct; break;
+        case Verdict::kWrong: ++report.wrong; break;
+        case Verdict::kUndecided: ++report.undecided; break;
+        case Verdict::kSourceDetected: ++report.source_detected; break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ihc

@@ -1,0 +1,81 @@
+/// \file verify.hpp
+/// \brief Reliability verdicts: majority voting and signed-message
+/// acceptance over the delivery ledger (Section I).
+///
+/// The paper's fault-tolerance claims, which these verdicts let the tests
+/// and benches measure:
+///  * without signatures, correct delivery is guaranteed for
+///    t <= ceil(gamma/2) - 1 Byzantine nodes (majority of the gamma
+///    copies);
+///  * with signed messages, the bound rises to t <= gamma - 1 (one intact
+///    copy suffices, because relays cannot forge the origin's signature).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/delivery.hpp"
+#include "sim/signature.hpp"
+
+namespace ihc {
+
+enum class Verdict : std::uint8_t {
+  kCorrect,         ///< decided on the origin's true value
+  kWrong,           ///< decided on a different value
+  kUndecided,       ///< no value reached the acceptance threshold
+  kSourceDetected,  ///< signed mode: conflicting validly-signed values
+};
+
+/// Voting rule for unsigned copies.
+enum class VoteRule : std::uint8_t {
+  /// A value needs a strict majority of the gamma *expected* copies
+  /// (> gamma/2).  Never wrong under <= ceil(gamma/2)-1 corruptions on
+  /// node-disjoint routes, but missing copies can force kUndecided.
+  kStrictMajority,
+  /// A value needs a strict majority of the *received* copies.  Decides
+  /// through silent faults, but a corrupting coalition that outnumbers the
+  /// surviving intact copies can turn the verdict kWrong.
+  kReceivedMajority,
+};
+
+/// Majority vote over the copies dest received of origin's message.
+[[nodiscard]] Verdict majority_vote(const DeliveryLedger& ledger,
+                                    NodeId origin, NodeId dest,
+                                    std::uint32_t gamma,
+                                    std::uint64_t true_value,
+                                    VoteRule rule = VoteRule::kStrictMajority);
+
+/// The value that wins the vote (when one does) - for protocols that use
+/// the broadcast to *transport* application values (clock readings,
+/// diagnoses) rather than to check a known truth.
+[[nodiscard]] std::optional<std::uint64_t> majority_value(
+    const DeliveryLedger& ledger, NodeId origin, NodeId dest,
+    std::uint32_t gamma, VoteRule rule = VoteRule::kStrictMajority);
+
+/// Signed-message acceptance: any copy with a valid MAC is trusted; if
+/// valid copies conflict, the origin itself must be faulty
+/// (kSourceDetected).
+[[nodiscard]] Verdict signed_accept(const DeliveryLedger& ledger,
+                                    const KeyRing& keys, NodeId origin,
+                                    NodeId dest, std::uint64_t true_value);
+
+/// Aggregate assessment across all ordered pairs with non-faulty origins.
+struct ReliabilityReport {
+  std::uint64_t pairs = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t wrong = 0;
+  std::uint64_t undecided = 0;
+  std::uint64_t source_detected = 0;
+
+  [[nodiscard]] bool all_correct() const { return correct == pairs; }
+};
+
+/// Runs the verdict for every ordered (origin, dest) pair whose origin and
+/// dest are non-faulty (faulty participants are outside the guarantee).
+/// `keys == nullptr` selects majority voting, otherwise signed acceptance.
+[[nodiscard]] ReliabilityReport assess_reliability(
+    const DeliveryLedger& ledger, const KeyRing* keys, std::uint32_t gamma,
+    const std::vector<NodeId>& faulty_nodes,
+    VoteRule rule = VoteRule::kStrictMajority);
+
+}  // namespace ihc

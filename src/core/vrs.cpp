@@ -1,0 +1,45 @@
+#include "core/vrs.hpp"
+
+#include <unordered_map>
+
+#include "core/runner.hpp"
+#include "sched/rs_schedule.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::vector<std::vector<FlowTreeNode>> vrs_trees(const Hypercube& cube,
+                                                 NodeId source) {
+  const unsigned m = cube.dimension();
+  std::vector<std::vector<FlowTreeNode>> trees(m);
+  // Per-copy map node -> index in that copy's tree.
+  std::vector<std::unordered_map<NodeId, std::int32_t>> where(m);
+  for (unsigned c = 0; c < m; ++c) {
+    trees[c].push_back(FlowTreeNode{source, -1, false});
+    where[c][source] = 0;
+  }
+  for (const RsSend& s : rs_broadcast_sends(cube, source)) {
+    if (s.returns_to_source) continue;  // optional sends omitted (Table I)
+    auto& tree = trees[s.copy];
+    auto& idx = where[s.copy];
+    const auto parent = idx.at(s.from);
+    idx.emplace(s.to, static_cast<std::int32_t>(tree.size()));
+    tree.push_back(FlowTreeNode{s.to, parent, s.forward});
+  }
+  return trees;
+}
+
+AtaResult run_vrs_single(const Hypercube& cube, NodeId source,
+                         const AtaOptions& options) {
+  return run_single_tree_broadcast(
+      "VRS", cube, source,
+      [&cube](NodeId s) { return vrs_trees(cube, s); }, options);
+}
+
+AtaResult run_vrs_ata(const Hypercube& cube, const AtaOptions& options) {
+  return run_sequential_tree_ata(
+      "VRS-ATA", cube,
+      [&cube](NodeId s) { return vrs_trees(cube, s); }, options);
+}
+
+}  // namespace ihc

@@ -1,0 +1,30 @@
+/// \file vrs.hpp
+/// \brief VRS: the Ramanathan-Shin reliable broadcast modified for virtual
+/// cut-through, and VRS-ATA (Section V-A).
+///
+/// Every *forwarded* send of the RS schedule (sender received the copy on
+/// the previous step) is implemented as a cut-through; every initiation or
+/// *redirect* is a store-and-forward operation.  VRS-ATA executes the VRS
+/// broadcast for each node in turn.
+#pragma once
+
+#include "core/ata.hpp"
+#include "sim/network.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+
+/// The gamma dissemination trees (one per copy) of a VRS broadcast from
+/// `source`, with cut-through marked on forwarded sends.
+[[nodiscard]] std::vector<std::vector<FlowTreeNode>> vrs_trees(
+    const Hypercube& cube, NodeId source);
+
+/// Single VRS reliable broadcast (pattern experiments).
+[[nodiscard]] AtaResult run_vrs_single(const Hypercube& cube, NodeId source,
+                                       const AtaOptions& options);
+
+/// VRS-ATA: one VRS broadcast per node, sequentially.
+[[nodiscard]] AtaResult run_vrs_ata(const Hypercube& cube,
+                                    const AtaOptions& options);
+
+}  // namespace ihc

@@ -1,0 +1,59 @@
+#include "core/vsq.hpp"
+
+#include "core/runner.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::vector<std::vector<FlowTreeNode>> vsq_trees(const SquareMesh& mesh,
+                                                 NodeId source) {
+  const NodeId m = mesh.side();
+  std::vector<std::vector<FlowTreeNode>> trees;
+  trees.reserve(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    std::vector<FlowTreeNode> tree;
+    tree.push_back(FlowTreeNode{source, -1, false});
+    const NodeId root = mesh.neighbor(source, i);
+    tree.push_back(FlowTreeNode{root, 0, false});
+    // Spoke: continue direction i around the full torus line (m-1 hops,
+    // all cut-through), visiting root = spoke(0), ..., spoke(m-1).
+    std::vector<std::int32_t> spoke_idx{1};
+    for (NodeId a = 1; a < m; ++a) {
+      const NodeId node = mesh.neighbor(
+          tree[static_cast<std::size_t>(spoke_idx.back())].node, i);
+      tree.push_back(FlowTreeNode{node, spoke_idx.back(), true});
+      spoke_idx.push_back(static_cast<std::int32_t>(tree.size() - 1));
+    }
+    // Fills: from every spoke node, the perpendicular line (direction
+    // i+1): first hop is a redirect, the rest cut through.
+    for (const std::int32_t s_idx : spoke_idx) {
+      std::int32_t prev = s_idx;
+      for (NodeId b = 1; b < m; ++b) {
+        const NodeId node = mesh.neighbor(
+            tree[static_cast<std::size_t>(prev)].node, (i + 1) % 4);
+        tree.push_back(FlowTreeNode{node, prev, b > 1});
+        prev = static_cast<std::int32_t>(tree.size() - 1);
+      }
+    }
+    IHC_ENSURE(tree.size() ==
+                   static_cast<std::size_t>(mesh.node_count()) + 1,
+               "VSQ tree must reach every node exactly once (plus source)");
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+AtaResult run_vsq_single(const SquareMesh& mesh, NodeId source,
+                         const AtaOptions& options) {
+  return run_single_tree_broadcast(
+      "VSQ", mesh, source, [&mesh](NodeId s) { return vsq_trees(mesh, s); },
+      options);
+}
+
+AtaResult run_vsq_ata(const SquareMesh& mesh, const AtaOptions& options) {
+  return run_sequential_tree_ata(
+      "VSQ-ATA", mesh,
+      [&mesh](NodeId s) { return vsq_trees(mesh, s); }, options);
+}
+
+}  // namespace ihc

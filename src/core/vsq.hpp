@@ -1,0 +1,31 @@
+/// \file vsq.hpp
+/// \brief VSQ: cut-through reliable broadcast on torus-wrapped square
+/// meshes, and VSQ-ATA (Section V-C, Fig. 9).
+///
+/// The source sends a copy in each of the four directions; the copy
+/// entering through direction i spreads from the root r_i = s + e_i by a
+/// spoke along direction i (cut-through) that wraps the full row/column,
+/// each spoke node then filling its perpendicular line (one turn, then
+/// cut-throughs).  Each path pays at most 3 store-and-forward operations,
+/// matching the cost structure the paper derives from Fig. 9 (the figure's
+/// exact fork placement is reconstructed, not copied; see DESIGN.md).
+#pragma once
+
+#include "core/ata.hpp"
+#include "sim/network.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+
+/// The four dissemination trees of a VSQ broadcast from `source`.
+[[nodiscard]] std::vector<std::vector<FlowTreeNode>> vsq_trees(
+    const SquareMesh& mesh, NodeId source);
+
+[[nodiscard]] AtaResult run_vsq_single(const SquareMesh& mesh, NodeId source,
+                                       const AtaOptions& options);
+
+/// VSQ-ATA: one VSQ broadcast per node, sequentially.
+[[nodiscard]] AtaResult run_vsq_ata(const SquareMesh& mesh,
+                                    const AtaOptions& options);
+
+}  // namespace ihc

@@ -1,0 +1,218 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+/// Minimal Dinic max-flow on unit-ish capacities.
+class Dinic {
+ public:
+  explicit Dinic(std::size_t node_count)
+      : head_(node_count, -1), level_(node_count), iter_(node_count) {}
+
+  void add_arc(std::uint32_t from, std::uint32_t to, std::uint32_t cap) {
+    arcs_.push_back({to, head_[from], cap});
+    head_[from] = static_cast<std::int32_t>(arcs_.size()) - 1;
+    arcs_.push_back({from, head_[to], 0});
+    head_[to] = static_cast<std::int32_t>(arcs_.size()) - 1;
+  }
+
+  std::uint32_t max_flow(std::uint32_t s, std::uint32_t t,
+                         std::uint32_t limit =
+                             std::numeric_limits<std::uint32_t>::max()) {
+    std::uint32_t flow = 0;
+    while (flow < limit && bfs(s, t)) {
+      std::fill(iter_.begin(), iter_.end(), -2);
+      for (std::size_t v = 0; v < head_.size(); ++v)
+        iter_[v] = head_[v];
+      std::uint32_t f;
+      while (flow < limit && (f = dfs(s, t, limit - flow)) > 0) flow += f;
+    }
+    return flow;
+  }
+
+  /// Residual flow on the i-th added arc (arcs are added in pairs; the
+  /// forward arc of call k has index 2k).
+  [[nodiscard]] std::uint32_t flow_on(std::size_t arc_pair) const {
+    return arcs_[2 * arc_pair + 1].cap;  // reverse capacity == pushed flow
+  }
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::int32_t next;
+    std::uint32_t cap;
+  };
+
+  bool bfs(std::uint32_t s, std::uint32_t t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<std::uint32_t> q;
+    level_[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const std::uint32_t v = q.front();
+      q.pop();
+      for (std::int32_t i = head_[v]; i >= 0;) {
+        const Arc& a = arcs_[static_cast<std::size_t>(i)];
+        if (a.cap > 0 && level_[a.to] < 0) {
+          level_[a.to] = level_[v] + 1;
+          q.push(a.to);
+        }
+        i = a.next;
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  std::uint32_t dfs(std::uint32_t v, std::uint32_t t, std::uint32_t f) {
+    if (v == t) return f;
+    for (std::int32_t& i = iter_[v]; i >= 0; i = arcs_[static_cast<std::size_t>(i)].next) {
+      Arc& a = arcs_[static_cast<std::size_t>(i)];
+      if (a.cap > 0 && level_[a.to] == level_[v] + 1) {
+        const std::uint32_t d = dfs(a.to, t, std::min(f, a.cap));
+        if (d > 0) {
+          a.cap -= d;
+          arcs_[static_cast<std::size_t>(i ^ 1)].cap += d;
+          return d;
+        }
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Arc> arcs_;
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::int32_t> iter_;
+};
+
+/// Builds the node-split flow network for internally node-disjoint paths.
+/// Node v -> v_in = 2v, v_out = 2v+1.  Returns the Dinic instance; the
+/// arc-pair index of the directed edge u->v in the original graph is
+/// recorded in `edge_arc` (indexed by LinkId) for path extraction.
+Dinic build_split_network(const Graph& g, NodeId s, NodeId t,
+                          std::vector<std::size_t>* edge_arc) {
+  constexpr std::uint32_t kInf = 1u << 30;
+  Dinic d(2 * g.node_count());
+  std::size_t pair_index = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint32_t cap = (v == s || v == t) ? kInf : 1;
+    d.add_arc(2 * v, 2 * v + 1, cap);
+    ++pair_index;
+  }
+  if (edge_arc) edge_arc->assign(g.link_count(), 0);
+  // Add directed arcs u_out -> v_in for every directed link.
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    const NodeId u = g.link_source(l);
+    const NodeId v = g.link_target(l);
+    d.add_arc(2 * u + 1, 2 * v, 1);
+    if (edge_arc) (*edge_arc)[l] = pair_index;
+    ++pair_index;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::uint32_t max_node_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
+  require(s < g.node_count() && t < g.node_count() && s != t,
+          "invalid s/t pair");
+  Dinic d = build_split_network(g, s, t, nullptr);
+  return d.max_flow(2 * s + 1, 2 * t);
+}
+
+std::vector<std::vector<NodeId>> node_disjoint_paths(const Graph& g, NodeId s,
+                                                     NodeId t) {
+  require(s < g.node_count() && t < g.node_count() && s != t,
+          "invalid s/t pair");
+  std::vector<std::size_t> edge_arc;
+  Dinic d = build_split_network(g, s, t, &edge_arc);
+  const std::uint32_t flow = d.max_flow(2 * s + 1, 2 * t);
+
+  // next_hop[u] candidates: links carrying flow out of u.
+  std::vector<std::vector<NodeId>> out_flow(g.node_count());
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    if (d.flow_on(edge_arc[l]) > 0) {
+      // Cancel opposing unit flows on the same undirected edge: they can
+      // arise from residual augmentation and would corrupt path walking.
+      const LinkId r = g.reverse_link(l);
+      if (r < l && d.flow_on(edge_arc[r]) > 0) continue;
+      out_flow[g.link_source(l)].push_back(g.link_target(l));
+    }
+  }
+  // Remove cancelled pairs: if both directions carry flow, drop both.
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    auto& outs = out_flow[u];
+    for (auto it = outs.begin(); it != outs.end();) {
+      const NodeId v = *it;
+      auto back = std::find(out_flow[v].begin(), out_flow[v].end(), u);
+      if (back != out_flow[v].end()) {
+        out_flow[v].erase(back);
+        it = outs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> paths;
+  paths.reserve(flow);
+  for (std::uint32_t p = 0; p < flow; ++p) {
+    std::vector<NodeId> path{s};
+    NodeId cur = s;
+    while (cur != t) {
+      IHC_ENSURE(!out_flow[cur].empty(), "flow decomposition stuck");
+      const NodeId nxt = out_flow[cur].back();
+      out_flow[cur].pop_back();
+      path.push_back(nxt);
+      cur = nxt;
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::uint32_t vertex_connectivity(const Graph& g) {
+  const NodeId n = g.node_count();
+  if (n <= 1) return 0;
+  if (!g.is_connected()) return 0;
+  bool complete = true;
+  for (NodeId v = 0; v < n && complete; ++v)
+    complete = g.degree(v) == n - 1;
+  if (complete) return n - 1;
+
+  std::uint32_t best = n;  // upper bound
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (g.has_edge(u, v)) continue;
+      best = std::min(best, max_node_disjoint_paths(g, u, v));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+bool connectivity_at_least_sampled(const Graph& g, std::uint32_t k,
+                                   std::size_t samples, SplitMix64& rng) {
+  const NodeId n = g.node_count();
+  if (n < 2) return false;
+  auto check = [&](NodeId a, NodeId b) {
+    return a == b || max_node_disjoint_paths(g, a, b) >= k;
+  };
+  // Deterministic anchors: node 0 against a spread of nodes.
+  for (NodeId v : {NodeId{1}, n / 2, n - 1})
+    if (!check(0, v)) return false;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto a = static_cast<NodeId>(rng.below(n));
+    const auto b = static_cast<NodeId>(rng.below(n));
+    if (!check(a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace ihc

@@ -1,0 +1,76 @@
+#include "graph/cycle.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+Cycle::Cycle(std::vector<NodeId> seq) : seq_(std::move(seq)) {
+  require(seq_.size() >= 3, "a cycle needs at least 3 vertices");
+  auto sorted = seq_;
+  std::sort(sorted.begin(), sorted.end());
+  require(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+          "cycle vertices must be distinct");
+}
+
+bool Cycle::lies_in(const Graph& g) const {
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    const NodeId u = seq_[i];
+    const NodeId v = seq_[(i + 1) % seq_.size()];
+    if (u >= g.node_count() || v >= g.node_count()) return false;
+    if (!g.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+bool Cycle::is_hamiltonian(const Graph& g) const {
+  return seq_.size() == g.node_count() && lies_in(g);
+}
+
+std::vector<EdgeId> Cycle::edge_ids(const Graph& g) const {
+  std::vector<EdgeId> out;
+  out.reserve(seq_.size());
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    const NodeId u = seq_[i];
+    const NodeId v = seq_[(i + 1) % seq_.size()];
+    const EdgeId e = g.find_edge(u, v);
+    IHC_ENSURE(e != kInvalidEdge, "cycle does not lie in the graph");
+    out.push_back(e);
+  }
+  return out;
+}
+
+DirectedCycle::DirectedCycle(const Cycle& cycle, bool reversed,
+                             NodeId node_count) {
+  order_ = cycle.nodes();
+  if (reversed) {
+    // Keep N_0 = order_[0] fixed and reverse the rest, so both traversals
+    // of one undirected cycle share the same reference node.
+    std::reverse(order_.begin() + 1, order_.end());
+  }
+  position_.assign(node_count, kInvalidNode);
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    IHC_ENSURE(order_[i] < node_count, "cycle vertex out of range");
+    position_[order_[i]] = static_cast<NodeId>(i);
+  }
+}
+
+NodeId DirectedCycle::next(NodeId v) const {
+  IHC_ENSURE(contains(v), "node not on cycle");
+  const std::size_t i = position_[v];
+  return order_[(i + 1) % order_.size()];
+}
+
+NodeId DirectedCycle::prev(NodeId v) const {
+  IHC_ENSURE(contains(v), "node not on cycle");
+  const std::size_t i = position_[v];
+  return order_[(i + order_.size() - 1) % order_.size()];
+}
+
+std::size_t DirectedCycle::id(NodeId v) const {
+  IHC_ENSURE(contains(v), "node not on cycle");
+  return position_[v];
+}
+
+}  // namespace ihc

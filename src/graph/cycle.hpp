@@ -1,0 +1,77 @@
+/// \file cycle.hpp
+/// \brief Simple cycles over graph nodes, and their directed traversals.
+///
+/// The IHC algorithm operates on directed Hamiltonian cycles HC_1..HC_gamma.
+/// An undirected cycle is stored as a vertex sequence; DirectedCycle fixes a
+/// traversal direction and provides the paper's next_j / prev_j / ID_j
+/// operations in O(1) via a position index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+/// A simple cycle given as a vertex sequence (v_0, v_1, ..., v_{k-1}) with
+/// the closing edge v_{k-1} -> v_0 implied.  Vertices must be distinct.
+class Cycle {
+ public:
+  Cycle() = default;
+  explicit Cycle(std::vector<NodeId> seq);
+
+  [[nodiscard]] std::size_t length() const { return seq_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return seq_; }
+  [[nodiscard]] NodeId at(std::size_t i) const { return seq_[i]; }
+
+  /// True when every consecutive pair (and the closing pair) is an edge of g.
+  [[nodiscard]] bool lies_in(const Graph& g) const;
+
+  /// True when the cycle visits every node of g exactly once.
+  [[nodiscard]] bool is_hamiltonian(const Graph& g) const;
+
+  /// The undirected edge ids used by this cycle, in traversal order.
+  /// All consecutive pairs must be edges of g.
+  [[nodiscard]] std::vector<EdgeId> edge_ids(const Graph& g) const;
+
+ private:
+  std::vector<NodeId> seq_;
+};
+
+/// A directed traversal of a cycle with O(1) next/prev/position queries.
+/// Implements the paper's notation for a directed Hamiltonian cycle HC_j:
+///   next(v)  — the node following v on HC_j,
+///   prev(v)  — the node preceding v,
+///   id(v)    — ID_j(v), the distance from the reference node N_0 to v
+///              along HC_j (N_0 is the cycle's first vertex by convention).
+class DirectedCycle {
+ public:
+  DirectedCycle() = default;
+
+  /// \param cycle    the underlying vertex sequence
+  /// \param reversed traverse the sequence backwards when true
+  /// \param node_count number of nodes in the host graph (for the index)
+  DirectedCycle(const Cycle& cycle, bool reversed, NodeId node_count);
+
+  [[nodiscard]] std::size_t length() const { return order_.size(); }
+  /// Vertex at distance i from N_0 along the traversal.
+  [[nodiscard]] NodeId at(std::size_t i) const { return order_[i]; }
+  [[nodiscard]] const std::vector<NodeId>& order() const { return order_; }
+
+  /// True when v lies on this cycle (always true for Hamiltonian cycles).
+  [[nodiscard]] bool contains(NodeId v) const {
+    return position_[v] != kInvalidNode;
+  }
+
+  [[nodiscard]] NodeId next(NodeId v) const;
+  [[nodiscard]] NodeId prev(NodeId v) const;
+  /// ID_j(v): distance from N_0 to v along the traversal.
+  [[nodiscard]] std::size_t id(NodeId v) const;
+
+ private:
+  std::vector<NodeId> order_;     // traversal order, order_[0] = N_0
+  std::vector<NodeId> position_;  // node -> index in order_, or kInvalidNode
+};
+
+}  // namespace ihc

@@ -1,0 +1,273 @@
+#include "graph/decomposer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+namespace {
+
+/// One alternating square u-v-x-w between factors a (edges uv, xw) and
+/// b (edges vx, wu).
+struct Square {
+  EdgeId e_uv, e_vx, e_xw, e_wu;
+  NodeId u, v, x, w;
+  std::size_t a, b;
+};
+
+/// The engine's working view of one factor: cycle-component labels plus the
+/// position of every node along its component, which makes the effect of a
+/// 2-opt computable in O(1):
+///  * removed edges in different components  -> the factor merges (delta -1)
+///  * removed edges in one component         -> the reconnection either
+///    splits it (delta +1) or re-closes it (delta 0), decided by whether the
+///    two removed edges are traversed in the same direction.
+struct FactorView {
+  std::vector<std::uint32_t> comp;  // node -> component id
+  std::vector<std::uint32_t> pos;   // node -> index along its component
+  std::vector<std::uint32_t> size;  // component id -> length
+  std::uint32_t count = 0;
+
+  /// +1 when `to` immediately follows `from` along the traversal, -1 when
+  /// it precedes it.  (from, to) must be a factor edge.
+  [[nodiscard]] int dir(NodeId from, NodeId to) const {
+    const std::uint32_t s = size[comp[from]];
+    return (pos[to] == (pos[from] + 1) % s) ? +1 : -1;
+  }
+};
+
+class Engine {
+ public:
+  Engine(FactorSet factors, const DecomposeOptions& options,
+         DecomposeStats* stats)
+      : f_(std::move(factors)),
+        k_(f_.factor_count()),
+        n_(f_.graph().node_count()),
+        options_(options),
+        stats_(stats) {}
+
+  std::vector<Cycle> run() {
+    views_.resize(k_);
+    for (std::size_t attempt = 0; attempt <= options_.max_retries;
+         ++attempt) {
+      rng_ = SplitMix64(options_.seed + 0x9e3779b9u * attempt);
+      if (attempt_merge()) {
+        if (stats_) stats_->retries = attempt;
+        std::vector<Cycle> out;
+        out.reserve(k_);
+        for (std::size_t f = 0; f < k_; ++f)
+          out.push_back(f_.extract_single_cycle(f));
+        return out;
+      }
+    }
+    IHC_ENSURE(false,
+               "Hamiltonian decomposition engine failed to converge; the "
+               "seed factorization is unsuitable for this graph");
+  }
+
+ private:
+  FactorSet f_;
+  std::size_t k_;
+  NodeId n_;
+  DecomposeOptions options_;
+  DecomposeStats* stats_;
+  SplitMix64 rng_{0};
+  std::vector<FactorView> views_;
+
+  void refresh(std::size_t f) {
+    FactorView& view = views_[f];
+    view.comp.assign(n_, static_cast<std::uint32_t>(-1));
+    view.pos.assign(n_, 0);
+    view.size.clear();
+    view.count = 0;
+    for (NodeId start = 0; start < n_; ++start) {
+      if (view.comp[start] != static_cast<std::uint32_t>(-1)) continue;
+      const std::uint32_t c = view.count++;
+      std::uint32_t len = 0;
+      NodeId prev = kInvalidNode;
+      NodeId cur = start;
+      do {
+        view.comp[cur] = c;
+        view.pos[cur] = len++;
+        const auto nb = f_.factor_neighbors(f, cur);
+        const NodeId nxt = (nb[0] != prev) ? nb[0] : nb[1];
+        prev = cur;
+        cur = nxt;
+      } while (cur != start);
+      view.size.push_back(len);
+    }
+  }
+
+  void refresh_all() {
+    for (std::size_t f = 0; f < k_; ++f) refresh(f);
+  }
+
+  [[nodiscard]] std::uint32_t total_components() const {
+    std::uint32_t t = 0;
+    for (const auto& view : views_) t += view.count;
+    return t;
+  }
+
+  /// Component-count change of factor a caused by the swap: -1, 0, or +1.
+  [[nodiscard]] int delta_a(const Square& s) const {
+    const FactorView& view = views_[s.a];
+    if (view.comp[s.u] != view.comp[s.x]) return -1;
+    return view.dir(s.u, s.v) == view.dir(s.x, s.w) ? +1 : 0;
+  }
+
+  /// Component-count change of factor b: the square shifted by one corner.
+  [[nodiscard]] int delta_b(const Square& s) const {
+    const FactorView& view = views_[s.b];
+    if (view.comp[s.v] != view.comp[s.w]) return -1;
+    return view.dir(s.v, s.x) == view.dir(s.w, s.u) ? +1 : 0;
+  }
+
+  void apply(const Square& s) {
+    f_.swap_alternating_square(s.e_uv, s.e_vx, s.e_xw, s.e_wu, s.u, s.v, s.x,
+                               s.w);
+    refresh(s.a);
+    refresh(s.b);
+    if (stats_) ++stats_->swaps;
+  }
+
+  /// Visits alternating squares between factors a and b rooted at node u.
+  /// fn returns true to stop the scan (a move was applied).
+  template <typename Fn>
+  bool for_squares_at(std::size_t a, std::size_t b, NodeId u, Fn&& fn) {
+    const auto ea = f_.incident(a, u);
+    for (const EdgeId e_uv : ea) {
+      const auto [p, q] = f_.graph().edge(e_uv);
+      const NodeId v = (p == u) ? q : p;
+      const auto eb = f_.incident(b, v);
+      for (const EdgeId e_vx : eb) {
+        const auto [r, t] = f_.graph().edge(e_vx);
+        const NodeId x = (r == v) ? t : r;
+        if (x == u) continue;
+        const auto ea2 = f_.incident(a, x);
+        for (const EdgeId e_xw : ea2) {
+          const auto [c, d] = f_.graph().edge(e_xw);
+          const NodeId w = (c == x) ? d : c;
+          if (w == v || w == u) continue;
+          EdgeId e_wu;
+          if (!f_.edge_in_factor(b, w, u, e_wu)) continue;
+          if (fn(Square{e_uv, e_vx, e_xw, e_wu, u, v, x, w, a, b}))
+            return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Scans squares rooted at `u` over all factor pairs; applies the first
+  /// one with total delta <= threshold.  Returns true if applied.
+  bool apply_improving_at(NodeId u, int threshold) {
+    for (std::size_t a = 0; a < k_; ++a) {
+      for (std::size_t b = 0; b < k_; ++b) {
+        if (b == a) continue;
+        const bool applied = for_squares_at(a, b, u, [&](const Square& s) {
+          if (delta_a(s) + delta_b(s) > threshold) return false;
+          remember_frontier(s);
+          apply(s);
+          return true;
+        });
+        if (applied) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Full-graph scan for a square with total delta <= threshold.
+  bool apply_first_improving(int threshold) {
+    for (NodeId u = 0; u < n_; ++u)
+      if (apply_improving_at(u, threshold)) return true;
+    return false;
+  }
+
+  /// Collects zero-delta squares rooted at `u`.
+  void collect_zero_at(NodeId u, std::vector<Square>& zeros) {
+    for (std::size_t a = 0; a < k_; ++a) {
+      for (std::size_t b = 0; b < k_; ++b) {
+        if (b == a) continue;
+        for_squares_at(a, b, u, [&](const Square& s) {
+          if (delta_a(s) + delta_b(s) == 0) zeros.push_back(s);
+          return false;
+        });
+      }
+    }
+  }
+
+  void remember_frontier(const Square& s) {
+    frontier_.assign({s.u, s.v, s.x, s.w});
+  }
+
+  /// A plateau move biased towards the previous move's corners, falling
+  /// back to random probes and finally a full scan.
+  bool apply_plateau_move() {
+    std::vector<Square> zeros;
+    for (const NodeId u : frontier_) collect_zero_at(u, zeros);
+    if (zeros.empty()) {
+      for (int probe = 0; probe < 64 && zeros.empty(); ++probe)
+        collect_zero_at(static_cast<NodeId>(rng_.below(n_)), zeros);
+    }
+    if (zeros.empty()) {
+      for (NodeId u = 0; u < n_ && zeros.empty(); ++u)
+        collect_zero_at(u, zeros);
+    }
+    if (zeros.empty()) return false;
+    const Square s = zeros[rng_.below(zeros.size())];
+    remember_frontier(s);
+    apply(s);
+    if (stats_) ++stats_->plateau_moves;
+    return true;
+  }
+
+  /// Looks for an improving move: first around the frontier, then with
+  /// random probes, then (periodically) with a full scan.
+  bool apply_some_improving(bool allow_full_scan) {
+    for (const NodeId u : frontier_)
+      if (apply_improving_at(u, -1)) return true;
+    for (int probe = 0; probe < 64; ++probe)
+      if (apply_improving_at(static_cast<NodeId>(rng_.below(n_)), -1))
+        return true;
+    if (allow_full_scan) return apply_first_improving(-1);
+    return false;
+  }
+
+  bool attempt_merge() {
+    refresh_all();
+    frontier_.clear();
+    std::size_t plateau_budget = options_.plateau_factor * n_;
+    std::size_t step = 0;
+    while (total_components() > k_) {
+      const bool full_scan = (step++ % 64 == 0);
+      if (apply_some_improving(full_scan)) continue;
+      if (plateau_budget == 0) {
+        // Last chance: a definitive full scan before giving up.
+        if (apply_first_improving(-1)) continue;
+        return false;
+      }
+      --plateau_budget;
+      if (!apply_plateau_move()) {
+        // No zero-delta move anywhere: only a full improving scan can help.
+        if (apply_first_improving(-1)) continue;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<NodeId> frontier_;
+};
+
+}  // namespace
+
+std::vector<Cycle> merge_to_hamiltonian(FactorSet factors,
+                                        const DecomposeOptions& options,
+                                        DecomposeStats* stats) {
+  Engine engine(std::move(factors), options, stats);
+  return engine.run();
+}
+
+}  // namespace ihc

@@ -1,0 +1,53 @@
+#include "graph/export_dot.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+constexpr std::array<const char*, 8> kPalette = {
+    "#D81B60", "#1E88E5", "#FFC107", "#004D40",
+    "#8E24AA", "#43A047", "#F4511E", "#3949AB"};
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n  node [shape=circle];\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string decomposition_to_dot(const Graph& g,
+                                 const std::vector<Cycle>& cycles,
+                                 const std::string& name) {
+  // Color per edge: index of the owning cycle, or -1.
+  std::vector<int> owner(g.edge_count(), -1);
+  for (std::size_t c = 0; c < cycles.size(); ++c)
+    for (const EdgeId e : cycles[c].edge_ids(g))
+      owner[e] = static_cast<int>(c);
+
+  std::ostringstream out;
+  out << "graph " << name << " {\n  node [shape=circle];\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    out << "  " << u << " -- " << v;
+    if (owner[e] >= 0) {
+      out << " [color=\""
+          << kPalette[static_cast<std::size_t>(owner[e]) % kPalette.size()]
+          << "\" penwidth=2]";
+    } else {
+      out << " [color=gray style=dashed]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ihc

@@ -1,0 +1,25 @@
+/// \file export_dot.hpp
+/// \brief Graphviz (DOT) export of graphs, Hamiltonian decompositions and
+/// channel dependency graphs - the repository's figures pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+/// Plain graph: `graph G { ... }` with one line per edge.
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const std::string& name = "G");
+
+/// Graph with its Hamiltonian decomposition: each cycle's edges share a
+/// color (Fig. 3 of the paper, for any topology).  Edges outside every
+/// cycle (the unused matching of odd hypercubes) are drawn dashed gray.
+[[nodiscard]] std::string decomposition_to_dot(
+    const Graph& g, const std::vector<Cycle>& cycles,
+    const std::string& name = "G");
+
+}  // namespace ihc

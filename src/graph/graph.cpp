@@ -1,0 +1,139 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+Graph::Graph(NodeId node_count, std::vector<std::pair<NodeId, NodeId>> edges)
+    : node_count_(node_count), edges_(std::move(edges)) {
+  // Validate the edge list.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size() * 2);
+  for (auto& [u, v] : edges_) {
+    require(u < node_count_ && v < node_count_, "edge endpoint out of range");
+    require(u != v, "self-loops are not allowed");
+    const std::uint64_t key = (static_cast<std::uint64_t>(std::min(u, v))
+                               << 32) |
+                              std::max(u, v);
+    require(seen.insert(key).second, "duplicate edge in edge list");
+  }
+
+  // CSR construction.
+  offsets_.assign(node_count_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  adj_.resize(2 * edges_.size());
+  link_src_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    adj_[cursor[u]] = Adjacency{v, e};
+    link_src_[cursor[u]++] = u;
+    adj_[cursor[v]] = Adjacency{u, e};
+    link_src_[cursor[v]++] = v;
+  }
+  // Sort each adjacency list by neighbor for deterministic iteration and
+  // binary-searchable link lookup.
+  for (NodeId v = 0; v < node_count_; ++v) {
+    std::sort(adj_.begin() + offsets_[v], adj_.begin() + offsets_[v + 1],
+              [](const Adjacency& a, const Adjacency& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+}
+
+bool Graph::is_regular() const {
+  if (node_count_ == 0) return true;
+  const auto d = degree(0);
+  for (NodeId v = 1; v < node_count_; ++v)
+    if (degree(v) != d) return false;
+  return true;
+}
+
+std::uint32_t Graph::regular_degree() const {
+  IHC_ENSURE(is_regular(), "graph is not regular");
+  return node_count_ == 0 ? 0u : degree(0);
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Adjacency& a, NodeId target) { return a.neighbor < target; });
+  if (it != nbrs.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+LinkId Graph::link(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Adjacency& a, NodeId target) { return a.neighbor < target; });
+  IHC_ENSURE(it != nbrs.end() && it->neighbor == v,
+             "link() requires adjacent nodes");
+  return static_cast<LinkId>(&*it - adj_.data());
+}
+
+bool Graph::is_connected() const {
+  if (node_count_ == 0) return true;
+  std::vector<bool> visited(node_count_, false);
+  std::vector<NodeId> stack{0};
+  visited[0] = true;
+  NodeId reached = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const auto& a : neighbors(v)) {
+      if (!visited[a.neighbor]) {
+        visited[a.neighbor] = true;
+        ++reached;
+        stack.push_back(a.neighbor);
+      }
+    }
+  }
+  return reached == node_count_;
+}
+
+Graph make_cycle_graph(NodeId n) {
+  require(n >= 3, "a cycle graph needs at least 3 nodes");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n);
+  for (NodeId i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_complete_graph(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph(n, std::move(edges));
+}
+
+Graph cartesian_product(const Graph& g, const Graph& h) {
+  const NodeId nh = h.node_count();
+  const NodeId n = g.node_count() * nh;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(g.edge_count()) * nh +
+                static_cast<std::size_t>(h.edge_count()) * g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [a, b] = g.edge(e);
+    for (NodeId y = 0; y < nh; ++y)
+      edges.emplace_back(a * nh + y, b * nh + y);
+  }
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    for (EdgeId e = 0; e < h.edge_count(); ++e) {
+      const auto [a, b] = h.edge(e);
+      edges.emplace_back(x * nh + a, x * nh + b);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+}  // namespace ihc

@@ -1,0 +1,118 @@
+/// \file graph.hpp
+/// \brief Compact undirected graph with stable edge identifiers.
+///
+/// All interconnection topologies in the library (hypercubes, tori, hex
+/// meshes, circulants) are instances of this structure.  The graph is built
+/// once from an edge list and is immutable afterwards; adjacency is stored
+/// in CSR form with each adjacency entry carrying the undirected edge id, so
+/// higher layers (Hamiltonian decomposition, schedules, the simulator) can
+/// key per-edge state off dense arrays.
+///
+/// Directed links: every undirected edge {u,v} corresponds to two directed
+/// links u->v and v->u.  A directed link is identified by the index of the
+/// (u, v) entry inside the CSR adjacency array, giving a dense id space of
+/// size 2 * edge_count() that the simulator uses for transmitter state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ihc {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+/// Dense id of a directed link (an orientation of an undirected edge).
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// One adjacency entry: the neighbor and the undirected edge id connecting
+/// to it.
+struct Adjacency {
+  NodeId neighbor;
+  EdgeId edge;
+};
+
+/// Immutable undirected simple graph.
+class Graph {
+ public:
+  /// Builds a graph from an explicit edge list.  Self-loops and duplicate
+  /// edges are rejected (ConfigError).  Edge ids are assigned in list order.
+  Graph(NodeId node_count, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  [[nodiscard]] NodeId node_count() const { return node_count_; }
+  [[nodiscard]] EdgeId edge_count() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+  /// Number of directed links (= 2 * edge_count()).
+  [[nodiscard]] LinkId link_count() const {
+    return static_cast<LinkId>(2 * edges_.size());
+  }
+
+  /// Endpoints of an undirected edge, as given at construction (u, v).
+  [[nodiscard]] std::pair<NodeId, NodeId> edge(EdgeId e) const {
+    return edges_[e];
+  }
+
+  /// Neighbors of v with their edge ids.
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// True when every node has the same degree; that degree is returned via
+  /// regular_degree() (0 for the empty graph).
+  [[nodiscard]] bool is_regular() const;
+  [[nodiscard]] std::uint32_t regular_degree() const;
+
+  /// Undirected edge id between u and v, or kInvalidEdge when absent.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  /// Dense id of the directed link u->v; u and v must be adjacent.
+  [[nodiscard]] LinkId link(NodeId u, NodeId v) const;
+
+  /// Source node of a directed link.
+  [[nodiscard]] NodeId link_source(LinkId l) const { return link_src_[l]; }
+  /// Destination node of a directed link.
+  [[nodiscard]] NodeId link_target(LinkId l) const {
+    return adj_[l].neighbor;
+  }
+  /// Undirected edge underlying a directed link.
+  [[nodiscard]] EdgeId link_edge(LinkId l) const { return adj_[l].edge; }
+  /// The oppositely-directed link over the same undirected edge.
+  [[nodiscard]] LinkId reverse_link(LinkId l) const {
+    return link(link_target(l), link_source(l));
+  }
+
+  /// True when the graph is connected (the empty graph is connected).
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  NodeId node_count_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::uint32_t> offsets_;  // size node_count_ + 1
+  std::vector<Adjacency> adj_;          // size 2 * edges_
+  std::vector<NodeId> link_src_;        // source node per adjacency slot
+};
+
+/// Convenience: builds the cycle graph C_n (n >= 3).
+[[nodiscard]] Graph make_cycle_graph(NodeId n);
+
+/// Convenience: builds the complete graph K_n.
+[[nodiscard]] Graph make_complete_graph(NodeId n);
+
+/// Cartesian product G x H: vertices (g, h) with id g * H.node_count() + h;
+/// (g,h)-(g',h) is an edge iff g-g' in G, and (g,h)-(g,h') iff h-h' in H.
+[[nodiscard]] Graph cartesian_product(const Graph& g, const Graph& h);
+
+}  // namespace ihc

@@ -1,0 +1,44 @@
+#include "graph/hamiltonian.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+HcSetVerdict verify_hc_set(const Graph& g, const std::vector<Cycle>& cycles,
+                           bool must_cover_all_edges) {
+  std::vector<bool> used(g.edge_count(), false);
+  std::size_t used_count = 0;
+  for (std::size_t c = 0; c < cycles.size(); ++c) {
+    const Cycle& cycle = cycles[c];
+    if (cycle.length() != g.node_count()) {
+      return {false, "cycle " + std::to_string(c) + " has length " +
+                         std::to_string(cycle.length()) + ", expected " +
+                         std::to_string(g.node_count())};
+    }
+    if (!cycle.lies_in(g)) {
+      return {false, "cycle " + std::to_string(c) +
+                         " uses a non-edge of the graph"};
+    }
+    for (EdgeId e : cycle.edge_ids(g)) {
+      if (used[e]) {
+        return {false, "edge " + std::to_string(e) +
+                           " reused by cycle " + std::to_string(c)};
+      }
+      used[e] = true;
+      ++used_count;
+    }
+  }
+  if (must_cover_all_edges && used_count != g.edge_count()) {
+    return {false, "cycles cover " + std::to_string(used_count) + " of " +
+                       std::to_string(g.edge_count()) + " edges"};
+  }
+  return {true, {}};
+}
+
+void ensure_hc_set(const Graph& g, const std::vector<Cycle>& cycles,
+                   bool must_cover_all_edges) {
+  const HcSetVerdict v = verify_hc_set(g, cycles, must_cover_all_edges);
+  IHC_ENSURE(v.ok, v.reason);
+}
+
+}  // namespace ihc

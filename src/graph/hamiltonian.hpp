@@ -1,0 +1,37 @@
+/// \file hamiltonian.hpp
+/// \brief Verification of Hamiltonian cycles and edge-disjoint decompositions.
+///
+/// Condition LC2 of the paper's class Lambda requires gamma/2 undirected
+/// edge-disjoint Hamiltonian cycles.  Every decomposition this library
+/// constructs - whatever the construction path - is passed through
+/// verify_hc_set() before use, so algorithmic correctness never depends on
+/// the construction heuristics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+/// Outcome of a decomposition check; `ok` with an empty reason on success.
+struct HcSetVerdict {
+  bool ok = false;
+  std::string reason;
+};
+
+/// Verifies that `cycles` are Hamiltonian cycles of g and pairwise
+/// edge-disjoint.  When `must_cover_all_edges` is set, additionally checks
+/// that the cycles partition E(g) exactly (true for even-degree members of
+/// class Lambda; odd-degree graphs keep a perfect matching unused).
+[[nodiscard]] HcSetVerdict verify_hc_set(const Graph& g,
+                                         const std::vector<Cycle>& cycles,
+                                         bool must_cover_all_edges);
+
+/// Convenience wrapper that throws InvariantError when verification fails.
+void ensure_hc_set(const Graph& g, const std::vector<Cycle>& cycles,
+                   bool must_cover_all_edges);
+
+}  // namespace ihc

@@ -1,0 +1,62 @@
+#include "graph/hc_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::string serialize_cycles(NodeId node_count,
+                             const std::vector<Cycle>& cycles) {
+  std::ostringstream out;
+  out << "ihc-hc-v1 " << node_count << ' ' << cycles.size() << '\n';
+  for (const Cycle& c : cycles) {
+    out << c.length();
+    for (const NodeId v : c.nodes()) out << ' ' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+ParsedCycles parse_cycles(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string magic;
+  in >> magic;
+  require(magic == "ihc-hc-v1", "not an ihc-hc-v1 document");
+  ParsedCycles result;
+  std::size_t cycle_count = 0;
+  in >> result.node_count >> cycle_count;
+  require(static_cast<bool>(in), "malformed header");
+  for (std::size_t c = 0; c < cycle_count; ++c) {
+    std::size_t len = 0;
+    in >> len;
+    require(static_cast<bool>(in) && len >= 3, "malformed cycle length");
+    std::vector<NodeId> seq(len);
+    for (auto& v : seq) {
+      in >> v;
+      require(static_cast<bool>(in), "truncated cycle");
+      require(v < result.node_count, "vertex id out of range");
+    }
+    result.cycles.emplace_back(std::move(seq));  // validates distinctness
+  }
+  return result;
+}
+
+void save_cycles_file(const std::string& path, NodeId node_count,
+                      const std::vector<Cycle>& cycles) {
+  std::ofstream out(path);
+  require(static_cast<bool>(out), "cannot open '" + path + "' for writing");
+  out << serialize_cycles(node_count, cycles);
+  require(static_cast<bool>(out), "write to '" + path + "' failed");
+}
+
+std::optional<ParsedCycles> load_cycles_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_cycles(buffer.str());
+}
+
+}  // namespace ihc

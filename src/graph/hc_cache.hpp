@@ -1,0 +1,45 @@
+/// \file hc_cache.hpp
+/// \brief Serialization of Hamiltonian-cycle sets.
+///
+/// The paper notes the hypercube decomposition "only needs to be done once
+/// for a given size hypercube"; this module lets users persist a computed
+/// decomposition and reload it on later runs (or ship it with a deployment
+/// where the construction engine is unwanted).  The format is a plain text
+/// document:
+///
+///   ihc-hc-v1 <node_count> <cycle_count>
+///   <cycle length> <v0> <v1> ... per cycle, one line each
+///
+/// Loading validates the structure; callers should additionally run
+/// verify_hc_set() against their graph, as everywhere else.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/cycle.hpp"
+
+namespace ihc {
+
+/// Serializes a cycle set (with the host node count for validation).
+[[nodiscard]] std::string serialize_cycles(NodeId node_count,
+                                           const std::vector<Cycle>& cycles);
+
+/// Parses a serialized cycle set; throws ConfigError on malformed input
+/// (wrong magic, counts, duplicate vertices, ...).
+struct ParsedCycles {
+  NodeId node_count = 0;
+  std::vector<Cycle> cycles;
+};
+[[nodiscard]] ParsedCycles parse_cycles(std::string_view text);
+
+/// Convenience file wrappers.  load returns nullopt when the file does
+/// not exist; parse failures still throw.
+void save_cycles_file(const std::string& path, NodeId node_count,
+                      const std::vector<Cycle>& cycles);
+[[nodiscard]] std::optional<ParsedCycles> load_cycles_file(
+    const std::string& path);
+
+}  // namespace ihc

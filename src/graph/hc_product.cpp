@@ -1,0 +1,71 @@
+#include "graph/hc_product.hpp"
+
+#include <algorithm>
+
+#include "graph/lemma2.hpp"
+#include "graph/torus_decomposition.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::vector<Cycle> product_hamiltonian_cycles(const std::vector<Cycle>& high,
+                                              const std::vector<Cycle>& low,
+                                              NodeId low_count) {
+  require(!high.empty() && !low.empty(),
+          "both factors need at least one Hamiltonian cycle");
+  const std::size_t p = std::min(high.size(), low.size());
+  const std::size_t q = std::max(high.size(), low.size());
+  require(q - p <= 1, "factor cycle counts may differ by at most 1");
+  const bool extra_on_high = high.size() > low.size();
+  const std::size_t pairs = (p == q) ? p : p - 1;
+
+  auto product_id = [low_count](NodeId g, NodeId h) {
+    return g * low_count + h;
+  };
+
+  std::vector<Cycle> out;
+  out.reserve(p + q);
+
+  // Lemma 1 pairs: cycles high[i] and low[i] span a torus
+  // C_|high| x C_|low| inside the product; decompose it into two
+  // Hamiltonian cycles of the product.
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const Cycle& cg = high[i];
+    const Cycle& ch = low[i];
+    const auto rows = static_cast<NodeId>(cg.length());
+    const auto cols = static_cast<NodeId>(ch.length());
+    for (const Cycle& torus_hc : torus_two_hamiltonian_cycles(rows, cols)) {
+      std::vector<NodeId> mapped;
+      mapped.reserve(torus_hc.length());
+      for (const NodeId t : torus_hc.nodes())
+        mapped.push_back(product_id(cg.at(t / cols), ch.at(t % cols)));
+      out.emplace_back(std::move(mapped));
+    }
+  }
+
+  if (p != q) {
+    // Lemma 2: the side with q cycles contributes its last two (H1, H2);
+    // the other side its last one as the cycle factor C_r.
+    const std::vector<Cycle>& two_side = extra_on_high ? high : low;
+    const std::vector<Cycle>& one_side = extra_on_high ? low : high;
+    const Cycle& h1 = two_side[q - 2];
+    const Cycle& h2 = two_side[q - 1];
+    const Cycle& cr = one_side[p - 1];
+    const auto r = static_cast<NodeId>(cr.length());
+    for (const Cycle& prod_hc : lemma2_three_hamiltonian_cycles(h1, h2, r)) {
+      std::vector<NodeId> mapped;
+      mapped.reserve(prod_hc.length());
+      for (const NodeId t : prod_hc.nodes()) {
+        const NodeId v = t / r;      // vertex on the (H1 u H2) side
+        const NodeId layer = t % r;  // position along cr
+        const NodeId other = cr.at(layer);
+        mapped.push_back(extra_on_high ? product_id(v, other)
+                                       : product_id(other, v));
+      }
+      out.emplace_back(std::move(mapped));
+    }
+  }
+  return out;
+}
+
+}  // namespace ihc

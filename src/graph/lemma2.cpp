@@ -1,0 +1,51 @@
+#include "graph/lemma2.hpp"
+
+#include "graph/decomposer.hpp"
+#include "graph/hamiltonian.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::vector<Cycle> lemma2_three_hamiltonian_cycles(const Cycle& h1,
+                                                   const Cycle& h2, NodeId r,
+                                                   std::uint64_t seed) {
+  const auto p = static_cast<NodeId>(h1.length());
+  require(h2.length() == p, "h1 and h2 must span the same vertex set");
+  require(p >= 3 && r >= 3, "lemma 2 requires p, r >= 3");
+
+  auto id = [r](NodeId v, NodeId layer) { return v * r + layer; };
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::uint8_t> assignment;
+  edges.reserve(static_cast<std::size_t>(3) * p * r);
+  assignment.reserve(edges.capacity());
+
+  for (int which = 0; which < 2; ++which) {
+    const Cycle& h = (which == 0) ? h1 : h2;
+    for (std::size_t i = 0; i < h.length(); ++i) {
+      const NodeId a = h.at(i);
+      const NodeId b = h.at((i + 1) % h.length());
+      require(a < p && b < p, "cycle vertices must be 0..p-1");
+      for (NodeId layer = 0; layer < r; ++layer) {
+        edges.emplace_back(id(a, layer), id(b, layer));
+        assignment.push_back(static_cast<std::uint8_t>(which));
+      }
+    }
+  }
+  for (NodeId v = 0; v < p; ++v) {
+    for (NodeId layer = 0; layer < r; ++layer) {
+      edges.emplace_back(id(v, layer), id(v, (layer + 1) % r));
+      assignment.push_back(2);
+    }
+  }
+
+  Graph g(p * r, std::move(edges));
+  DecomposeOptions options;
+  options.seed = seed;
+  std::vector<Cycle> cycles =
+      merge_to_hamiltonian(FactorSet(g, 3, std::move(assignment)), options);
+  ensure_hc_set(g, cycles, /*must_cover_all_edges=*/true);
+  return cycles;
+}
+
+}  // namespace ihc

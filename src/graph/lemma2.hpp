@@ -1,0 +1,32 @@
+/// \file lemma2.hpp
+/// \brief Lemma 2 (Aubert-Schneider [2]): if a graph G decomposes into two
+/// Hamiltonian cycles, then the Cartesian product G x C_r decomposes into
+/// three edge-disjoint Hamiltonian cycles.
+///
+/// Constructive realization: seed the merge engine with the natural
+/// 3-factorization of (H1 u H2) x C_r - H1's edges replicated in every
+/// layer (r components), H2's likewise (r components), and the vertical
+/// layer-to-layer cycles (one per G-vertex).  Squares formed by a G-edge in
+/// two adjacent layers plus the two verticals joining them alternate
+/// between {H1, vertical} or {H2, vertical}, giving the engine ample moves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+/// \param h1, h2  two edge-disjoint Hamiltonian cycles over vertices
+///                0..p-1 (p = h1.length() = h2.length())
+/// \param r       length of the cycle factor C_r (r >= 3)
+/// \returns three edge-disjoint Hamiltonian cycles of (h1 u h2) x C_r that
+///          together cover all of its edges.  Product vertex (v, layer) has
+///          id v * r + layer.
+[[nodiscard]] std::vector<Cycle> lemma2_three_hamiltonian_cycles(
+    const Cycle& h1, const Cycle& h2, NodeId r,
+    std::uint64_t seed = 0x1ece5ee1u);
+
+}  // namespace ihc

@@ -1,0 +1,40 @@
+#include "graph/torus_decomposition.hpp"
+
+#include "graph/decomposer.hpp"
+#include "graph/hamiltonian.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+Graph make_torus_graph(NodeId m, NodeId n) {
+  require(m >= 3 && n >= 3, "torus requires m, n >= 3");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(2) * m * n);
+  auto id = [n](NodeId i, NodeId j) { return i * n + j; };
+  // Row (horizontal) edges first: edge ids [0, m*n).
+  for (NodeId i = 0; i < m; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      edges.emplace_back(id(i, j), id(i, (j + 1) % n));
+  // Column (vertical) edges: edge ids [m*n, 2*m*n).
+  for (NodeId i = 0; i < m; ++i)
+    for (NodeId j = 0; j < n; ++j)
+      edges.emplace_back(id(i, j), id((i + 1) % m, j));
+  return Graph(m * n, std::move(edges));
+}
+
+std::vector<Cycle> torus_two_hamiltonian_cycles(NodeId m, NodeId n,
+                                                std::uint64_t seed) {
+  const Graph g = make_torus_graph(m, n);
+  const std::size_t row_edges = static_cast<std::size_t>(m) * n;
+  std::vector<std::uint8_t> assignment(g.edge_count(), 0);
+  for (std::size_t e = row_edges; e < g.edge_count(); ++e) assignment[e] = 1;
+
+  DecomposeOptions options;
+  options.seed = seed;
+  std::vector<Cycle> cycles =
+      merge_to_hamiltonian(FactorSet(g, 2, std::move(assignment)), options);
+  ensure_hc_set(g, cycles, /*must_cover_all_edges=*/true);
+  return cycles;
+}
+
+}  // namespace ihc

@@ -1,0 +1,30 @@
+/// \file torus_decomposition.hpp
+/// \brief Lemma 1 (Foregger [11]): C_m x C_n decomposes into two
+/// edge-disjoint Hamiltonian cycles.
+///
+/// Constructive realization: the torus C_m x C_n has the natural seed
+/// 2-factorization {all row edges} + {all column edges} (m + n cycle
+/// components in total); every unit square of the torus is an alternating
+/// square for that pair, so the merge engine converges quickly.  The result
+/// is verified before being returned.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+/// Builds the torus graph C_m x C_n with node (i, j) -> id i * n + j.
+/// Requires m, n >= 3.
+[[nodiscard]] Graph make_torus_graph(NodeId m, NodeId n);
+
+/// Returns two edge-disjoint Hamiltonian cycles that partition the edges of
+/// C_m x C_n (node ids as in make_torus_graph).  Deterministic for a given
+/// (m, n, seed).
+[[nodiscard]] std::vector<Cycle> torus_two_hamiltonian_cycles(
+    NodeId m, NodeId n, std::uint64_t seed = 0x1ece5ee1u);
+
+}  // namespace ihc

@@ -1,0 +1,169 @@
+#include "graph/two_factor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+FactorSet::FactorSet(const Graph& g, std::size_t factor_count,
+                     std::vector<std::uint8_t> factor_of_edge)
+    : g_(&g), k_(factor_count), factor_of_edge_(std::move(factor_of_edge)) {
+  require(factor_of_edge_.size() == g.edge_count(),
+          "factor assignment size must equal edge count");
+  require(k_ >= 1 && k_ <= 255, "factor count out of range");
+  slots_.assign(k_ * g.node_count(), {kInvalidEdge, kInvalidEdge});
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const std::uint8_t f = factor_of_edge_[e];
+    require(f < k_, "edge assigned to nonexistent factor");
+    const auto [u, v] = g.edge(e);
+    slot_add(f, u, e);
+    slot_add(f, v, e);
+  }
+  // 2-regularity: every slot pair must be filled.
+  for (std::size_t f = 0; f < k_; ++f) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto s = incident(f, v);
+      require(s[0] != kInvalidEdge && s[1] != kInvalidEdge,
+              "every node needs exactly two edges per factor");
+    }
+  }
+}
+
+std::array<NodeId, 2> FactorSet::factor_neighbors(std::size_t f,
+                                                  NodeId v) const {
+  const auto s = incident(f, v);
+  std::array<NodeId, 2> out{};
+  for (int i = 0; i < 2; ++i) {
+    const auto [a, b] = g_->edge(s[static_cast<std::size_t>(i)]);
+    out[static_cast<std::size_t>(i)] = (a == v) ? b : a;
+  }
+  return out;
+}
+
+bool FactorSet::edge_in_factor(std::size_t f, NodeId u, NodeId v,
+                               EdgeId& out) const {
+  const auto s = incident(f, u);
+  for (const EdgeId e : s) {
+    const auto [a, b] = g_->edge(e);
+    if ((a == u && b == v) || (a == v && b == u)) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FactorSet::reassign(EdgeId e, std::uint8_t f) {
+  const std::uint8_t old = factor_of_edge_[e];
+  if (old == f) return;
+  const auto [u, v] = g_->edge(e);
+  slot_remove(old, u, e);
+  slot_remove(old, v, e);
+  factor_of_edge_[e] = f;
+  slot_add(f, u, e);
+  slot_add(f, v, e);
+}
+
+void FactorSet::swap_alternating_square(EdgeId e_uv, EdgeId e_vx, EdgeId e_xw,
+                                        EdgeId e_wu, NodeId u, NodeId v,
+                                        NodeId x, NodeId w) {
+  const std::uint8_t a = factor_of_edge_[e_uv];
+  const std::uint8_t b = factor_of_edge_[e_vx];
+  IHC_ENSURE(factor_of_edge_[e_xw] == a && factor_of_edge_[e_wu] == b &&
+                 a != b,
+             "square is not alternating");
+  factor_of_edge_[e_uv] = b;
+  factor_of_edge_[e_xw] = b;
+  factor_of_edge_[e_vx] = a;
+  factor_of_edge_[e_wu] = a;
+  // Each corner exchanges one edge between its a-slots and b-slots.
+  slot_replace(a, u, e_uv, e_wu);
+  slot_replace(b, u, e_wu, e_uv);
+  slot_replace(a, v, e_uv, e_vx);
+  slot_replace(b, v, e_vx, e_uv);
+  slot_replace(a, x, e_xw, e_vx);
+  slot_replace(b, x, e_vx, e_xw);
+  slot_replace(a, w, e_xw, e_wu);
+  slot_replace(b, w, e_wu, e_xw);
+}
+
+std::uint32_t FactorSet::label_components(
+    std::size_t f, std::vector<std::uint32_t>& labels) const {
+  const NodeId n = g_->node_count();
+  labels.assign(n, static_cast<std::uint32_t>(-1));
+  std::uint32_t count = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (labels[start] != static_cast<std::uint32_t>(-1)) continue;
+    labels[start] = count;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : factor_neighbors(f, v)) {
+        if (labels[w] == static_cast<std::uint32_t>(-1)) {
+          labels[w] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+std::vector<Cycle> FactorSet::extract_cycles(std::size_t f) const {
+  const NodeId n = g_->node_count();
+  std::vector<bool> visited(n, false);
+  std::vector<Cycle> out;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    std::vector<NodeId> seq;
+    NodeId prev = kInvalidNode;
+    NodeId cur = start;
+    do {
+      visited[cur] = true;
+      seq.push_back(cur);
+      const auto nb = factor_neighbors(f, cur);
+      const NodeId nxt = (nb[0] != prev) ? nb[0] : nb[1];
+      prev = cur;
+      cur = nxt;
+    } while (cur != start);
+    out.emplace_back(std::move(seq));
+  }
+  return out;
+}
+
+Cycle FactorSet::extract_single_cycle(std::size_t f) const {
+  auto cycles = extract_cycles(f);
+  IHC_ENSURE(cycles.size() == 1, "factor is not a single cycle");
+  return std::move(cycles.front());
+}
+
+void FactorSet::slot_replace(std::size_t f, NodeId v, EdgeId from, EdgeId to) {
+  auto& s = slots_[f * g_->node_count() + v];
+  if (s[0] == from) {
+    s[0] = to;
+  } else {
+    IHC_ENSURE(s[1] == from, "slot bookkeeping corrupted");
+    s[1] = to;
+  }
+}
+
+void FactorSet::slot_remove(std::size_t f, NodeId v, EdgeId e) {
+  slot_replace(f, v, e, kInvalidEdge);
+}
+
+void FactorSet::slot_add(std::size_t f, NodeId v, EdgeId e) {
+  auto& s = slots_[f * g_->node_count() + v];
+  if (s[0] == kInvalidEdge) {
+    s[0] = e;
+  } else {
+    require(s[1] == kInvalidEdge,
+            "more than two edges of one factor at a node");
+    s[1] = e;
+  }
+}
+
+}  // namespace ihc

@@ -1,0 +1,86 @@
+/// \file two_factor.hpp
+/// \brief Partition of a graph's edges into spanning 2-regular factors.
+///
+/// A FactorSet assigns every edge of a 2k-regular graph to one of k factors
+/// such that each factor is a spanning 2-regular subgraph (a disjoint union
+/// of cycles).  This is the working state of the Hamiltonian-decomposition
+/// engine: seed constructions produce a FactorSet whose factors may have
+/// many cycle components, and the engine's alternating-square swaps merge
+/// them until every factor is a single Hamiltonian cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+class FactorSet {
+ public:
+  /// \param g              host graph (must outlive the FactorSet)
+  /// \param factor_count   number of factors k
+  /// \param factor_of_edge factor index per EdgeId; every node must have
+  ///                       exactly two incident edges in every factor
+  FactorSet(const Graph& g, std::size_t factor_count,
+            std::vector<std::uint8_t> factor_of_edge);
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] std::size_t factor_count() const { return k_; }
+  [[nodiscard]] std::uint8_t factor_of(EdgeId e) const {
+    return factor_of_edge_[e];
+  }
+
+  /// The two edges of factor f incident to node v.
+  [[nodiscard]] std::array<EdgeId, 2> incident(std::size_t f, NodeId v) const {
+    return slots_[f * g_->node_count() + v];
+  }
+
+  /// For node v's factor-f edges, the two neighbors across them.
+  [[nodiscard]] std::array<NodeId, 2> factor_neighbors(std::size_t f,
+                                                       NodeId v) const;
+
+  /// True when edge {u,v} exists and currently belongs to factor f.
+  /// Returns the edge id via out parameter on success.
+  [[nodiscard]] bool edge_in_factor(std::size_t f, NodeId u, NodeId v,
+                                    EdgeId& out) const;
+
+  /// Moves edge e from its current factor to factor f, updating slots.
+  /// Only valid when the move preserves 2-regularity of both factors on its
+  /// own; engine swaps should use swap_alternating_square() instead.
+  void reassign(EdgeId e, std::uint8_t f);
+
+  /// Applies the engine's move on the alternating square u-v-x-w-u:
+  /// edges e_uv and e_xw currently in factor a, e_vx and e_wu in factor b;
+  /// after the swap the memberships are exchanged.  Both factors remain
+  /// 2-regular (this is a 2-opt on each factor).
+  void swap_alternating_square(EdgeId e_uv, EdgeId e_vx, EdgeId e_xw,
+                               EdgeId e_wu, NodeId u, NodeId v, NodeId x,
+                               NodeId w);
+
+  /// Component labels of factor f (label per node) and the component count.
+  /// Recomputed on demand by the caller via label_components().
+  std::uint32_t label_components(std::size_t f,
+                                 std::vector<std::uint32_t>& labels) const;
+
+  /// Extracts factor f as a list of cycles (vertex sequences).
+  [[nodiscard]] std::vector<Cycle> extract_cycles(std::size_t f) const;
+
+  /// Extracts factor f assuming it is a single cycle.
+  [[nodiscard]] Cycle extract_single_cycle(std::size_t f) const;
+
+ private:
+  const Graph* g_;
+  std::size_t k_;
+  std::vector<std::uint8_t> factor_of_edge_;
+  /// slots_[f * n + v] = the two factor-f edges at node v.
+  std::vector<std::array<EdgeId, 2>> slots_;
+
+  void slot_replace(std::size_t f, NodeId v, EdgeId from, EdgeId to);
+  void slot_remove(std::size_t f, NodeId v, EdgeId e);
+  void slot_add(std::size_t f, NodeId v, EdgeId e);
+};
+
+}  // namespace ihc

@@ -1,0 +1,71 @@
+/// \file ihc.hpp
+/// \brief Umbrella header: the library's whole public API.
+///
+/// For quick starts and examples; larger builds should include the
+/// specific module headers to keep compile times down.
+#pragma once
+
+// Utilities
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+// Graph substrate
+#include "graph/connectivity.hpp"
+#include "graph/cycle.hpp"
+#include "graph/decomposer.hpp"
+#include "graph/graph.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/hc_cache.hpp"
+#include "graph/export_dot.hpp"
+#include "graph/hc_product.hpp"
+#include "graph/lemma2.hpp"
+#include "graph/torus_decomposition.hpp"
+
+// Topologies (class Lambda)
+#include "topology/circulant.hpp"
+#include "topology/custom.hpp"
+#include "topology/factory.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/lambda.hpp"
+#include "topology/product.hpp"
+#include "topology/square_mesh.hpp"
+#include "topology/topology.hpp"
+
+// Schedules
+#include "sched/analytics.hpp"
+#include "sched/ihc_schedule.hpp"
+#include "sched/rs_schedule.hpp"
+#include "sched/step_schedule.hpp"
+
+// Simulator
+#include "sim/deadlock.hpp"
+#include "sim/delivery.hpp"
+#include "sim/fault.hpp"
+#include "sim/flit_network.hpp"
+#include "sim/network.hpp"
+#include "sim/packet_format.hpp"
+#include "sim/params.hpp"
+#include "sim/routing.hpp"
+#include "sim/signature.hpp"
+
+// Algorithms and applications
+#include "core/agreement.hpp"
+#include "core/analysis.hpp"
+#include "core/ata.hpp"
+#include "core/clock_sync.hpp"
+#include "core/diagnosis.hpp"
+#include "core/frs.hpp"
+#include "core/hc_broadcast.hpp"
+#include "core/ihc.hpp"
+#include "core/ks.hpp"
+#include "core/latency.hpp"
+#include "core/reassembly.hpp"
+#include "core/retransmit.hpp"
+#include "core/runner.hpp"
+#include "core/service.hpp"
+#include "core/verify.hpp"
+#include "core/vrs.hpp"
+#include "core/vsq.hpp"

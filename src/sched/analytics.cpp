@@ -1,0 +1,40 @@
+#include "sched/analytics.hpp"
+
+#include <algorithm>
+
+namespace ihc {
+
+ScheduleLoadReport analyze_schedule_load(const Graph& g,
+                                         const StepScheduleSource& source) {
+  ScheduleLoadReport report;
+  report.per_link.assign(g.link_count(), 0);
+  std::vector<ScheduleSend> sends;
+  const std::uint64_t steps = source.step_count();
+  std::uint64_t total_busy = 0;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    sends.clear();
+    source.sends_at(step, sends);
+    for (const ScheduleSend& s : sends) ++report.per_link[s.link];
+    report.peak_busy_links =
+        std::max<std::uint64_t>(report.peak_busy_links, sends.size());
+    total_busy += sends.size();
+  }
+  if (!report.per_link.empty()) {
+    report.min_load =
+        *std::min_element(report.per_link.begin(), report.per_link.end());
+    report.max_load =
+        *std::max_element(report.per_link.begin(), report.per_link.end());
+    std::uint64_t sum = 0;
+    for (const auto v : report.per_link) sum += v;
+    report.mean_load =
+        static_cast<double>(sum) / static_cast<double>(report.per_link.size());
+  }
+  if (steps > 0 && g.link_count() > 0) {
+    report.mean_busy_fraction =
+        static_cast<double>(total_busy) /
+        (static_cast<double>(steps) * g.link_count());
+  }
+  return report;
+}
+
+}  // namespace ihc

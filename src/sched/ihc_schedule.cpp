@@ -1,0 +1,48 @@
+#include "sched/ihc_schedule.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+IhcSchedule::IhcSchedule(const Topology& topo, std::uint32_t eta)
+    : topo_(&topo), eta_(eta) {
+  require(eta >= 1 && eta <= topo.node_count(),
+          "eta must lie in [1, N]");
+}
+
+std::vector<NodeId> IhcSchedule::initiators(std::uint32_t stage,
+                                            std::size_t cycle) const {
+  require(stage < eta_, "stage out of range");
+  const DirectedCycle& hc = topo_->directed_cycles().at(cycle);
+  std::vector<NodeId> out;
+  for (std::size_t pos = stage; pos < hc.length(); pos += eta_)
+    out.push_back(hc.at(pos));
+  return out;
+}
+
+std::uint64_t IhcSchedule::step_count() const {
+  return static_cast<std::uint64_t>(eta_) * (topo_->node_count() - 1);
+}
+
+void IhcSchedule::sends_at(std::uint64_t step,
+                           std::vector<ScheduleSend>& out) const {
+  const NodeId n = topo_->node_count();
+  const auto stage = static_cast<std::uint32_t>(step / (n - 1));
+  // Hop index within the stage: hop h moves every stage packet from the
+  // node at distance h from its initiator to the node at distance h+1.
+  const auto hop = static_cast<std::size_t>(step % (n - 1));
+  const auto& cycles = topo_->directed_cycles();
+  const Graph& g = topo_->graph();
+  for (std::size_t j = 0; j < cycles.size(); ++j) {
+    const DirectedCycle& hc = cycles[j];
+    for (std::size_t pos = stage; pos < hc.length(); pos += eta_) {
+      const NodeId origin = hc.at(pos);
+      const NodeId from = hc.at((pos + hop) % n);
+      const NodeId to = hc.at((pos + hop + 1) % n);
+      out.push_back(ScheduleSend{g.link(from, to), origin,
+                                 static_cast<std::uint16_t>(j)});
+    }
+  }
+}
+
+}  // namespace ihc

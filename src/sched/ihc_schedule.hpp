@@ -1,0 +1,42 @@
+/// \file ihc_schedule.hpp
+/// \brief The IHC algorithm as an abstract step schedule (Section IV).
+///
+/// Stage i (0 <= i < eta): every node v with ID_j(v) mod eta == i initiates
+/// its packet on directed cycle HC_j; packets then flow N-1 hops along
+/// their cycle, one hop per step, all cycles in parallel.  A stage thus
+/// occupies N-1 steps and the whole schedule eta * (N-1) steps.  Because
+/// initiators on one cycle are spaced eta apart and all packets advance in
+/// lockstep, no two packets ever use the same directed link in the same
+/// step - the property check_schedule() verifies.
+#pragma once
+
+#include <memory>
+
+#include "sched/step_schedule.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class IhcSchedule final : public StepScheduleSource {
+ public:
+  /// \param topo  host topology (must outlive the schedule)
+  /// \param eta   interleaving distance, 1 <= eta <= N
+  IhcSchedule(const Topology& topo, std::uint32_t eta);
+
+  [[nodiscard]] std::uint32_t eta() const { return eta_; }
+
+  /// Initiators of stage `i` on directed cycle `j` (paper notation: nodes v
+  /// with [ID_j(v)]_eta = i).
+  [[nodiscard]] std::vector<NodeId> initiators(std::uint32_t stage,
+                                               std::size_t cycle) const;
+
+  [[nodiscard]] std::uint64_t step_count() const override;
+  void sends_at(std::uint64_t step,
+                std::vector<ScheduleSend>& out) const override;
+
+ private:
+  const Topology* topo_;
+  std::uint32_t eta_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,57 @@
+#include "sched/rs_schedule.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::vector<RsSend> rs_broadcast_sends(const Hypercube& cube, NodeId source) {
+  const unsigned m = cube.dimension();
+  std::vector<RsSend> out;
+  for (unsigned c = 0; c < m; ++c) {
+    // Holders of copy c with the step at which they acquired it.
+    std::vector<std::pair<NodeId, std::uint32_t>> holders;
+    const NodeId entry = cube.neighbor(source, c);
+    out.push_back(RsSend{source, entry, 1, static_cast<std::uint16_t>(c),
+                         /*forward=*/false, /*returns_to_source=*/false});
+    holders.emplace_back(entry, 1);
+    for (std::uint32_t t = 2; t <= m + 1; ++t) {
+      const unsigned d = (c + t - 1) % m;
+      const std::size_t count = holders.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto [v, acquired] = holders[i];
+        const NodeId w = cube.neighbor(v, d);
+        out.push_back(RsSend{v, w, t, static_cast<std::uint16_t>(c),
+                             /*forward=*/acquired == t - 1,
+                             /*returns_to_source=*/w == source});
+        if (w != source) holders.emplace_back(w, t);
+      }
+    }
+  }
+  return out;
+}
+
+RsSchedule::RsSchedule(const Hypercube& cube, NodeId source,
+                       bool include_returns)
+    : cube_(&cube), source_(source), include_returns_(include_returns) {
+  require(source < cube.node_count(), "source out of range");
+  sends_ = rs_broadcast_sends(cube, source);
+  if (!include_returns_) {
+    std::erase_if(sends_,
+                  [](const RsSend& s) { return s.returns_to_source; });
+  }
+}
+
+std::uint64_t RsSchedule::step_count() const {
+  return cube_->dimension() + 1;
+}
+
+void RsSchedule::sends_at(std::uint64_t step,
+                          std::vector<ScheduleSend>& out) const {
+  const Graph& g = cube_->graph();
+  for (const RsSend& s : sends_) {
+    if (s.step != step + 1) continue;
+    out.push_back(ScheduleSend{g.link(s.from, s.to), source_, s.copy});
+  }
+}
+
+}  // namespace ihc

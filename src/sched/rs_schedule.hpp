@@ -1,0 +1,59 @@
+/// \file rs_schedule.hpp
+/// \brief Ramanathan-Shin reliable broadcast schedule for hypercubes
+/// (Section V-A, Table I, Example 1).
+///
+/// A source s first sends its packet to all gamma neighbors (step 1); the
+/// copy entering through direction c then executes recursive doubling over
+/// directions c+1, c+2, ..., c+gamma (mod gamma), one direction per step.
+/// Each copy traces an edge-disjoint spanning tree, so every node receives
+/// gamma copies through node-disjoint paths.  The final step's sends that
+/// would return a copy to the source may be omitted (the bold entries of
+/// Table I).
+///
+/// The schedule also classifies each send as a *forward* (the sender
+/// received the copy on the previous step - implementable as cut-through)
+/// or a *redirect/initiation* (store-and-forward), which is exactly the
+/// column structure of Table I and the cost model of the VRS algorithm.
+#pragma once
+
+#include <vector>
+
+#include "sched/step_schedule.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+
+/// One send of the RS broadcast with its Table-I classification.
+struct RsSend {
+  NodeId from;
+  NodeId to;
+  std::uint32_t step;    ///< 1-based step number, as in Table I
+  std::uint16_t copy;    ///< which of the gamma copies (entry direction c)
+  bool forward;          ///< true: cut-through; false: initiate/redirect
+  bool returns_to_source;  ///< optional send (bold in Table I)
+};
+
+/// Generates the full RS schedule for a broadcast from `source`.
+[[nodiscard]] std::vector<RsSend> rs_broadcast_sends(const Hypercube& cube,
+                                                     NodeId source);
+
+/// The RS broadcast as a streamable step schedule (steps 1..gamma+1 mapped
+/// to 0-based); `include_returns` keeps or drops the optional final sends.
+class RsSchedule final : public StepScheduleSource {
+ public:
+  RsSchedule(const Hypercube& cube, NodeId source, bool include_returns);
+
+  [[nodiscard]] std::uint64_t step_count() const override;
+  void sends_at(std::uint64_t step,
+                std::vector<ScheduleSend>& out) const override;
+
+  [[nodiscard]] const std::vector<RsSend>& sends() const { return sends_; }
+
+ private:
+  const Hypercube* cube_;
+  NodeId source_;
+  bool include_returns_;
+  std::vector<RsSend> sends_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,53 @@
+#include "sched/step_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+bool ScheduleCheck::all_delivered(NodeId node_count,
+                                  std::uint8_t required) const {
+  IHC_ENSURE(copies.size() ==
+                 static_cast<std::size_t>(node_count) * node_count,
+             "copies matrix size mismatch");
+  for (NodeId o = 0; o < node_count; ++o) {
+    for (NodeId d = 0; d < node_count; ++d) {
+      if (o == d) continue;
+      if (copies[static_cast<std::size_t>(o) * node_count + d] < required)
+        return false;
+    }
+  }
+  return true;
+}
+
+ScheduleCheck check_schedule(const Graph& g,
+                             const StepScheduleSource& source) {
+  const NodeId n = g.node_count();
+  ScheduleCheck result;
+  result.copies.assign(static_cast<std::size_t>(n) * n, 0);
+
+  // Per-step link occupancy, with a generation stamp so the vector is not
+  // cleared between steps.
+  std::vector<std::uint64_t> last_used(g.link_count(), ~0ull);
+  // (origin, dest, route) dedup within a run: a route delivers to a node at
+  // most once in the schedules we emit, so counting sends suffices; but we
+  // saturate the uint8 to stay safe.
+  std::vector<ScheduleSend> sends;
+  const std::uint64_t steps = source.step_count();
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    sends.clear();
+    source.sends_at(step, sends);
+    for (const ScheduleSend& s : sends) {
+      ++result.total_sends;
+      if (last_used[s.link] == step) ++result.link_conflicts;
+      last_used[s.link] = step;
+      const NodeId dest = g.link_target(s.link);
+      auto& c = result.copies[static_cast<std::size_t>(s.origin) * n + dest];
+      if (c < 255) ++c;
+    }
+  }
+  return result;
+}
+
+}  // namespace ihc

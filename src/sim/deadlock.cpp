@@ -1,0 +1,121 @@
+#include "sim/deadlock.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+ChannelDependencyGraph::ChannelDependencyGraph(LinkId link_count,
+                                               std::uint8_t vc_count)
+    : link_count_(link_count), vc_count_(vc_count) {
+  require(vc_count >= 1, "need at least one virtual channel");
+  out_.resize(channel_count());
+}
+
+std::size_t ChannelDependencyGraph::channel_index(const Channel& c) const {
+  IHC_ENSURE(c.link < link_count_ && c.vc < vc_count_,
+             "channel out of range");
+  return static_cast<std::size_t>(c.vc) * link_count_ + c.link;
+}
+
+void ChannelDependencyGraph::add_dependency(const Channel& from,
+                                            const Channel& to) {
+  out_[channel_index(from)].push_back(
+      static_cast<std::uint32_t>(channel_index(to)));
+  ++arcs_;
+}
+
+bool ChannelDependencyGraph::is_acyclic() const { return find_cycle().empty(); }
+
+std::vector<std::size_t> ChannelDependencyGraph::find_cycle() const {
+  // Iterative DFS with tri-coloring; returns the nodes of the first cycle
+  // found (stack segment from the back edge's target).
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(channel_count(), kWhite);
+  std::vector<std::size_t> stack;        // DFS path
+  std::vector<std::size_t> iter;         // per-path-node out index
+  for (std::size_t root = 0; root < channel_count(); ++root) {
+    if (color[root] != kWhite) continue;
+    stack.assign(1, root);
+    iter.assign(1, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      if (iter.back() < out_[v].size()) {
+        const std::size_t w = out_[v][iter.back()++];
+        if (color[w] == kGray) {
+          // Back edge: the cycle is the stack from w onwards.
+          auto it = std::find(stack.begin(), stack.end(), w);
+          return {it, stack.end()};
+        }
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.push_back(w);
+          iter.push_back(0);
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+        iter.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Applies fn(from_channel, to_channel) for every consecutive link pair
+/// of every packet route of the IHC algorithm, with the given VC rule.
+template <typename VcRule, typename Fn>
+void for_ihc_dependencies(const Topology& topo, VcRule&& vc_of, Fn&& fn) {
+  const Graph& g = topo.graph();
+  const NodeId n = topo.node_count();
+  for (const DirectedCycle& hc : topo.directed_cycles()) {
+    // Link index i of a cycle: from the node at position i to position
+    // i+1.  A packet from origin position p uses links p .. p+N-2.
+    std::vector<LinkId> link_at(n);
+    for (NodeId i = 0; i < n; ++i)
+      link_at[i] = g.link(hc.at(i), hc.at((i + 1) % n));
+    for (NodeId p = 0; p < n; ++p) {
+      // The route's links are p, p+1, ..., p+N-2 (mod N); a packet holds
+      // link p+step while waiting for link p+step+1.
+      for (NodeId step = 0; step + 2 <= n - 1; ++step) {
+        const NodeId i = (p + step) % n;
+        const NodeId j = (p + step + 1) % n;
+        fn(Channel{link_at[i], vc_of(p, i)},
+           Channel{link_at[j], vc_of(p, j)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ChannelDependencyGraph ihc_cdg_single_channel(const Topology& topo) {
+  ChannelDependencyGraph cdg(topo.graph().link_count(), 1);
+  for_ihc_dependencies(
+      topo, [](NodeId, NodeId) -> std::uint8_t { return 0; },
+      [&cdg](const Channel& a, const Channel& b) {
+        cdg.add_dependency(a, b);
+      });
+  return cdg;
+}
+
+ChannelDependencyGraph ihc_cdg_dally_seitz(const Topology& topo) {
+  ChannelDependencyGraph cdg(topo.graph().link_count(), 2);
+  // A packet from origin position p travels on the high channel (VC 1)
+  // on links at-or-after its origin (i >= p, including the wrap link
+  // N-1 -> 0) and on the low channel (VC 0) once it has wrapped past the
+  // dateline at position 0.
+  for_ihc_dependencies(
+      topo,
+      [](NodeId p, NodeId i) -> std::uint8_t { return i >= p ? 1 : 0; },
+      [&cdg](const Channel& a, const Channel& b) {
+        cdg.add_dependency(a, b);
+      });
+  return cdg;
+}
+
+}  // namespace ihc

@@ -1,0 +1,85 @@
+/// \file deadlock.hpp
+/// \brief Dally-Seitz channel-dependency-graph deadlock analysis.
+///
+/// Section IV of the paper: "Note that deadlock does not occur if Dally
+/// and Seitz's method of virtual channels [7] is used for deadlock
+/// prevention."  This module makes that claim checkable:
+///
+///  * a *channel* is a (directed link, virtual-channel index) pair;
+///  * a routing function induces a *channel dependency graph* (CDG) with
+///    an arc from channel c1 to channel c2 whenever some packet may hold
+///    c1 while waiting for c2;
+///  * Dally & Seitz's theorem: a wormhole routing function is deadlock-
+///    free iff its CDG is acyclic.
+///
+/// For the IHC algorithm the routes are the directed Hamiltonian cycles.
+/// With a single channel per link, each cycle's links form a dependency
+/// ring - cyclic, hence deadlock-prone under wormhole blocking.  Dally &
+/// Seitz's classic fix splits each link into two virtual channels and
+/// switches from the "high" to the "low" channel when a packet crosses
+/// the cycle's reference node: the numbering then decreases strictly
+/// along every route and the CDG is acyclic.  Both constructions (and the
+/// acyclicity checker) live here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// A channel: virtual channel `vc` of directed link `link`.
+struct Channel {
+  LinkId link = kInvalidLink;
+  std::uint8_t vc = 0;
+
+  friend bool operator==(const Channel&, const Channel&) = default;
+};
+
+/// Channel dependency graph over (link, vc) pairs.
+class ChannelDependencyGraph {
+ public:
+  /// \param link_count number of directed links in the network
+  /// \param vc_count   virtual channels per link (>= 1)
+  ChannelDependencyGraph(LinkId link_count, std::uint8_t vc_count);
+
+  [[nodiscard]] std::size_t channel_count() const {
+    return static_cast<std::size_t>(link_count_) * vc_count_;
+  }
+  [[nodiscard]] std::size_t channel_index(const Channel& c) const;
+
+  /// Adds the dependency "a packet may hold `from` while waiting for
+  /// `to`".  Duplicates are fine.
+  void add_dependency(const Channel& from, const Channel& to);
+
+  [[nodiscard]] std::size_t dependency_count() const { return arcs_; }
+
+  /// Dally-Seitz: deadlock-free iff the CDG is acyclic.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Nodes of one cycle in the CDG (empty when acyclic) - for diagnostics.
+  [[nodiscard]] std::vector<std::size_t> find_cycle() const;
+
+ private:
+  LinkId link_count_;
+  std::uint8_t vc_count_;
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::size_t arcs_ = 0;
+};
+
+/// Builds the CDG of the IHC algorithm's routes over the topology's
+/// directed Hamiltonian cycles with a single channel per link: every
+/// consecutive link pair of every cycle is a dependency.  Cyclic.
+[[nodiscard]] ChannelDependencyGraph ihc_cdg_single_channel(
+    const Topology& topo);
+
+/// Builds the CDG with the Dally-Seitz two-virtual-channel scheme: a
+/// packet travels on VC 1 until its route crosses the cycle's reference
+/// node N_0, then on VC 0.  Acyclic (and verified so by tests).
+[[nodiscard]] ChannelDependencyGraph ihc_cdg_dally_seitz(
+    const Topology& topo);
+
+}  // namespace ihc

@@ -1,0 +1,51 @@
+#include "sim/delivery.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+DeliveryLedger::DeliveryLedger(NodeId node_count, Granularity granularity)
+    : n_(node_count), granularity_(granularity) {
+  const std::size_t pairs = static_cast<std::size_t>(n_) * n_;
+  counts_.assign(pairs, 0);
+  intact_counts_.assign(pairs, 0);
+  if (granularity_ == Granularity::kFull) full_.resize(pairs);
+}
+
+void DeliveryLedger::record(NodeId origin, NodeId dest,
+                            const CopyRecord& copy) {
+  IHC_ENSURE(origin < n_ && dest < n_, "delivery endpoint out of range");
+  const std::size_t i = index(origin, dest);
+  ++counts_[i];
+  if (copy.corrupted_by == kInvalidNode) ++intact_counts_[i];
+  if (granularity_ == Granularity::kFull) full_[i].push_back(copy);
+  finish_ = std::max(finish_, copy.time);
+  ++total_;
+}
+
+std::uint32_t DeliveryLedger::copies(NodeId origin, NodeId dest) const {
+  return counts_[index(origin, dest)];
+}
+
+std::uint32_t DeliveryLedger::intact_copies(NodeId origin,
+                                            NodeId dest) const {
+  return intact_counts_[index(origin, dest)];
+}
+
+const std::vector<CopyRecord>& DeliveryLedger::records(NodeId origin,
+                                                       NodeId dest) const {
+  IHC_ENSURE(granularity_ == Granularity::kFull,
+             "full records require kFull granularity");
+  return full_[index(origin, dest)];
+}
+
+bool DeliveryLedger::all_pairs_have(std::uint32_t required) const {
+  for (NodeId o = 0; o < n_; ++o)
+    for (NodeId d = 0; d < n_; ++d)
+      if (o != d && counts_[index(o, d)] < required) return false;
+  return true;
+}
+
+}  // namespace ihc

@@ -1,0 +1,77 @@
+/// \file delivery.hpp
+/// \brief Ledger of packet deliveries: who received which copy of whose
+/// message, when, and in what condition.
+///
+/// All reliability verdicts (majority voting, signed-message acceptance)
+/// are computed from this ledger, never from algorithm-internal state, so
+/// an algorithm cannot accidentally "self-certify" deliveries.
+///
+/// Two granularities:
+///  * kCounts - per (origin, dest) counters only; O(N^2) bytes, used for
+///    the large timing runs;
+///  * kFull   - every copy's payload/MAC/route/timestamp; used by the
+///    fault-injection and voting experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/params.hpp"
+
+namespace ihc {
+
+struct CopyRecord {
+  std::uint64_t payload = 0;
+  std::uint64_t mac = 0;
+  SimTime time = 0;
+  std::uint16_t route = 0;
+  NodeId corrupted_by = kInvalidNode;  ///< relay that tampered, if any
+};
+
+class DeliveryLedger {
+ public:
+  enum class Granularity { kCounts, kFull };
+
+  DeliveryLedger() = default;
+  DeliveryLedger(NodeId node_count, Granularity granularity);
+
+  void record(NodeId origin, NodeId dest, const CopyRecord& copy);
+
+  [[nodiscard]] NodeId node_count() const { return n_; }
+  [[nodiscard]] Granularity granularity() const { return granularity_; }
+
+  /// Number of copies dest received of origin's message.
+  [[nodiscard]] std::uint32_t copies(NodeId origin, NodeId dest) const;
+
+  /// Copies dest received whose relays did not tamper with them.
+  [[nodiscard]] std::uint32_t intact_copies(NodeId origin, NodeId dest) const;
+
+  /// Full records for a pair (kFull granularity only).
+  [[nodiscard]] const std::vector<CopyRecord>& records(NodeId origin,
+                                                       NodeId dest) const;
+
+  /// Latest delivery time across all recorded copies (0 when empty).
+  [[nodiscard]] SimTime finish_time() const { return finish_; }
+
+  /// True when every ordered pair (origin != dest) has at least `required`
+  /// copies recorded.
+  [[nodiscard]] bool all_pairs_have(std::uint32_t required) const;
+
+  [[nodiscard]] std::uint64_t total_copies() const { return total_; }
+
+ private:
+  NodeId n_ = 0;
+  Granularity granularity_ = Granularity::kCounts;
+  std::vector<std::uint16_t> counts_;         // per pair
+  std::vector<std::uint16_t> intact_counts_;  // per pair
+  std::vector<std::vector<CopyRecord>> full_;
+  SimTime finish_ = 0;
+  std::uint64_t total_ = 0;
+
+  [[nodiscard]] std::size_t index(NodeId o, NodeId d) const {
+    return static_cast<std::size_t>(o) * n_ + d;
+  }
+};
+
+}  // namespace ihc

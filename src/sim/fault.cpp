@@ -1,0 +1,43 @@
+#include "sim/fault.hpp"
+
+namespace ihc {
+
+std::vector<NodeId> FaultPlan::faulty_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(faults_.size());
+  for (const auto& [node, mode] : faults_) out.push_back(node);
+  return out;
+}
+
+RelayAction FaultPlan::on_relay(NodeId node) {
+  const auto it = faults_.find(node);
+  if (it == faults_.end()) return RelayAction::kFaithful;
+  switch (it->second) {
+    case FaultMode::kSilent:
+      return RelayAction::kDrop;
+    case FaultMode::kCorrupt:
+      return RelayAction::kCorrupt;
+    case FaultMode::kRandom: {
+      const std::uint64_t r = rng_.below(3);
+      if (r == 0) return RelayAction::kFaithful;
+      return r == 1 ? RelayAction::kDrop : RelayAction::kCorrupt;
+    }
+    case FaultMode::kEquivocate:
+      return RelayAction::kFaithful;
+    case FaultMode::kSlow:
+      return RelayAction::kDelay;
+  }
+  return RelayAction::kFaithful;
+}
+
+std::uint64_t FaultPlan::origin_payload(NodeId node,
+                                        std::uint64_t honest_value,
+                                        std::uint32_t route) const {
+  const auto it = faults_.find(node);
+  if (it == faults_.end() || it->second != FaultMode::kEquivocate)
+    return honest_value;
+  // Different deterministic lie per route.
+  return honest_value ^ (0xBAD0000000000001ULL + route);
+}
+
+}  // namespace ihc

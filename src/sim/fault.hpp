@@ -1,0 +1,84 @@
+/// \file fault.hpp
+/// \brief Byzantine fault injection for the reliability experiments.
+///
+/// The paper's setting (Section I): up to t nodes may behave "in any manner
+/// whatsoever".  The injector models the behaviours that matter for the
+/// delivery machinery:
+///   * Silent     - the node drops every packet it should relay;
+///   * Corrupt    - the node alters the payload of every packet it relays;
+///   * Random     - per-packet coin flip between dropping, corrupting and
+///                  relaying faithfully (an intermittent fault, the case
+///                  motivating distributed diagnosis [25]);
+///   * Equivocate - the node relays faithfully but, as an *origin*, signs
+///                  different values on different routes (a two-faced
+///                  Byzantine source; only meaningful with signatures).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+enum class FaultMode : std::uint8_t {
+  kSilent,
+  kCorrupt,
+  kRandom,
+  kEquivocate,
+  /// A slow (degraded) node: relays faithfully but every relay pays an
+  /// extra fixed delay - a timing fault that harms latency, not
+  /// correctness.
+  kSlow,
+};
+
+/// What the injector decides for one relay operation.
+enum class RelayAction : std::uint8_t { kFaithful, kDrop, kCorrupt, kDelay };
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  void add(NodeId node, FaultMode mode) { faults_[node] = mode; }
+  [[nodiscard]] bool is_faulty(NodeId node) const {
+    return faults_.contains(node);
+  }
+
+  /// Marks a directed link as failed: every packet that would cross it is
+  /// lost (with its downstream deliveries).  Use both directions for a
+  /// severed cable.
+  void fail_link(LinkId link) { dead_links_.insert(link); }
+  [[nodiscard]] bool link_failed(LinkId link) const {
+    return dead_links_.contains(link);
+  }
+  [[nodiscard]] std::size_t failed_link_count() const {
+    return dead_links_.size();
+  }
+
+  /// Extra relay delay applied by kSlow nodes (picoseconds).
+  void set_slow_delay(std::int64_t delay_ps) { slow_delay_ = delay_ps; }
+  [[nodiscard]] std::int64_t slow_delay() const { return slow_delay_; }
+  [[nodiscard]] std::size_t fault_count() const { return faults_.size(); }
+  [[nodiscard]] std::vector<NodeId> faulty_nodes() const;
+
+  /// Decides the fate of a packet relayed through `node`.
+  [[nodiscard]] RelayAction on_relay(NodeId node);
+
+  /// Payload that faulty origin `node` presents on route `route` (models
+  /// equivocation); honest value for non-equivocating nodes.
+  [[nodiscard]] std::uint64_t origin_payload(NodeId node,
+                                             std::uint64_t honest_value,
+                                             std::uint32_t route) const;
+
+ private:
+  std::unordered_map<NodeId, FaultMode> faults_;
+  std::unordered_set<LinkId> dead_links_;
+  std::int64_t slow_delay_ = 0;
+  SplitMix64 rng_{0xFA17ULL};
+};
+
+}  // namespace ihc

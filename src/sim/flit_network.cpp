@@ -1,0 +1,177 @@
+#include "sim/flit_network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+FlitNetwork::FlitNetwork(const Graph& g, const FlitParams& params)
+    : g_(&g), params_(params) {
+  require(params.vc_count >= 1, "need at least one virtual channel");
+  require(params.buffer_flits >= 1, "need at least one buffer slot");
+  const std::size_t channels =
+      static_cast<std::size_t>(params.vc_count) * g.link_count();
+  fifo_.resize(channels);
+  owner_.assign(channels, -1);
+  rr_.assign(g.link_count(), 0);
+}
+
+void FlitNetwork::add_packet(FlitPacketSpec spec) {
+  require(!spec.route.empty(), "packet needs at least one hop");
+  require(spec.vc.size() == spec.route.size(),
+          "need one VC assignment per hop");
+  require(spec.length_flits >= 1, "packet needs at least one flit");
+  for (std::size_t i = 0; i < spec.route.size(); ++i) {
+    require(spec.route[i] < g_->link_count(), "route link out of range");
+    require(spec.vc[i] < params_.vc_count, "VC out of range");
+    if (i > 0) {
+      require(g_->link_target(spec.route[i - 1]) ==
+                  g_->link_source(spec.route[i]),
+              "route links must chain head to tail");
+    }
+  }
+  packets_.push_back(Packet{std::move(spec), 0, 0, false});
+}
+
+bool FlitNetwork::inject(std::uint32_t p, std::uint64_t cycle) {
+  Packet& packet = packets_[p];
+  if (packet.flits_injected >= packet.spec.length_flits) return false;
+  if (cycle < packet.spec.inject_cycle) return false;
+  const std::size_t target =
+      channel_of(packet.spec.route[0], packet.spec.vc[0]);
+  if (fifo_[target].size() >= params_.buffer_flits) return false;
+  if (owner_[target] != -1 && owner_[target] != static_cast<std::int32_t>(p))
+    return false;
+  owner_[target] = static_cast<std::int32_t>(p);
+  const bool is_tail =
+      packet.flits_injected + 1 == packet.spec.length_flits;
+  fifo_[target].push_back(Flit{p, 0, is_tail, cycle});
+  ++packet.flits_injected;
+  return true;
+}
+
+std::uint64_t FlitNetwork::consume() {
+  std::uint64_t consumed = 0;
+  for (std::size_t c = 0; c < fifo_.size(); ++c) {
+    auto& fifo = fifo_[c];
+    if (fifo.empty()) continue;
+    const Flit f = fifo.front();
+    Packet& packet = packets_[f.packet];
+    if (f.hop + 1 != packet.spec.route.size()) continue;  // not at the end
+    fifo.pop_front();
+    ++packet.flits_consumed;
+    ++consumed;
+    // The tail flit releases the channel and completes the packet.
+    if (f.is_tail) {
+      owner_[c] = -1;
+      packet.done = true;
+    }
+  }
+  return consumed;
+}
+
+bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
+  // Candidates: head flits in channels whose next hop crosses link l.
+  // Round-robin over the VCs of the *current* channels for fairness.
+  const std::uint8_t vcs = params_.vc_count;
+  for (std::uint8_t spin = 0; spin < vcs; ++spin) {
+    const auto vc =
+        static_cast<std::uint8_t>((rr_[l] + spin) % vcs);
+    // A flit entering link l comes from a channel ending at l's source.
+    // Scan the incoming channels of that node on this VC.
+    const NodeId src = g_->link_source(l);
+    for (const auto& adj : g_->neighbors(src)) {
+      const LinkId in_link = g_->link(adj.neighbor, src);
+      const std::size_t from = channel_of(in_link, vc);
+      if (fifo_[from].empty()) continue;
+      const Flit f = fifo_[from].front();
+      if (f.arrived_cycle >= cycle) continue;  // one hop per cycle
+      Packet& packet = packets_[f.packet];
+      const std::size_t next_hop = f.hop + 1;
+      if (next_hop >= packet.spec.route.size()) continue;  // consumes here
+      if (packet.spec.route[next_hop] != l) continue;
+      const std::size_t to =
+          channel_of(l, packet.spec.vc[next_hop]);
+      if (fifo_[to].size() >= params_.buffer_flits) continue;
+      if (owner_[to] != -1 &&
+          owner_[to] != static_cast<std::int32_t>(f.packet))
+        continue;
+      // Move the flit.
+      fifo_[from].pop_front();
+      if (f.is_tail) owner_[from] = -1;  // the worm's tail releases it
+      owner_[to] = static_cast<std::int32_t>(f.packet);
+      fifo_[to].push_back(Flit{f.packet,
+                               static_cast<std::uint32_t>(next_hop),
+                               f.is_tail, cycle});
+      rr_[l] = static_cast<std::uint8_t>((vc + 1) % vcs);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlitRunResult FlitNetwork::run(std::uint64_t max_cycles) {
+  FlitRunResult result;
+  std::uint64_t idle_cycles = 0;
+  for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+    std::uint64_t moved = consume();
+    for (LinkId l = 0; l < g_->link_count(); ++l) {
+      if (advance_link(l, cycle)) {
+        ++moved;
+        ++result.flit_hops;
+      }
+    }
+    for (std::uint32_t p = 0; p < packets_.size(); ++p) {
+      if (inject(p, cycle)) ++moved;
+    }
+    result.cycles = cycle + 1;
+
+    bool anything_left = false;
+    for (const Packet& packet : packets_) {
+      if (!packet.done) {
+        anything_left = true;
+        break;
+      }
+    }
+    if (!anything_left) break;
+    idle_cycles = moved == 0 ? idle_cycles + 1 : 0;
+    if (idle_cycles >= params_.stall_threshold) {
+      result.deadlocked = true;
+      break;
+    }
+  }
+  for (const Packet& packet : packets_) {
+    if (packet.done)
+      ++result.delivered;
+    else
+      ++result.blocked_packets;
+  }
+  return result;
+}
+
+std::vector<FlitPacketSpec> ihc_flit_packets(const Topology& topo,
+                                             std::uint32_t eta,
+                                             std::uint32_t length_flits,
+                                             bool dally_seitz) {
+  require(eta >= 1, "eta must be positive");
+  const Graph& g = topo.graph();
+  const NodeId n = topo.node_count();
+  std::vector<FlitPacketSpec> out;
+  for (const DirectedCycle& hc : topo.directed_cycles()) {
+    for (NodeId p = 0; p < n; p += eta) {
+      FlitPacketSpec spec;
+      spec.length_flits = length_flits;
+      for (NodeId step = 0; step + 1 <= n - 1; ++step) {
+        const NodeId i = (p + step) % n;
+        spec.route.push_back(g.link(hc.at(i), hc.at((i + 1) % n)));
+        const bool high = !dally_seitz || i >= p;
+        spec.vc.push_back(high ? 0 : 1);
+      }
+      out.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+}  // namespace ihc

@@ -1,0 +1,355 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+Network::Network(const Graph& g, const NetworkParams& params,
+                 DeliveryLedger::Granularity granularity)
+    : g_(&g),
+      params_(params),
+      busy_until_(g.link_count(), 0),
+      ledger_(g.node_count(), granularity),
+      bg_rng_(params.seed),
+      node_buffer_(g.node_count()) {
+  params_.validate();
+}
+
+FlowId Network::add_flow(FlowSpec spec) {
+  require(spec.origin < g_->node_count(), "flow origin out of range");
+  const bool has_tree = !spec.tree.empty();
+  const bool has_cycle = spec.cycle_path.cycle != nullptr;
+  require(has_tree != has_cycle,
+          "a flow needs exactly one route (tree or cycle path)");
+  if (has_tree) {
+    require(spec.tree[0].parent == -1 && spec.tree[0].node == spec.origin,
+            "tree root must be the origin");
+    for (std::size_t i = 1; i < spec.tree.size(); ++i) {
+      require(spec.tree[i].parent >= 0 &&
+                  static_cast<std::size_t>(spec.tree[i].parent) < i,
+              "tree must be in parent-before-child order");
+    }
+  } else {
+    require(spec.cycle_path.hops < spec.cycle_path.cycle->length(),
+            "cycle path longer than the cycle");
+    require(spec.cycle_path.cycle->at(spec.cycle_path.start) == spec.origin,
+            "cycle path must start at the origin");
+  }
+  const auto id = static_cast<FlowId>(flows_.size());
+  flows_.push_back(std::move(spec));
+  flow_finish_.push_back(0);
+  push_header(flows_.back().inject_time, id, 0, kInvalidNode);
+  return id;
+}
+
+void Network::push_header(SimTime time, FlowId flow, std::uint32_t pos,
+                          NodeId corrupted_by) {
+  queue_.push(Event{time, seq_++, EventKind::kHeader, flow, pos,
+                    corrupted_by, kInvalidLink});
+  if (!flows_[flow].background) ++pending_foreground_events_;
+}
+
+void Network::reserve(LinkId l, SimTime from, SimTime until) {
+  IHC_ENSURE(from >= busy_until_[l], "link reservation overlaps");
+  busy_until_[l] = until;
+  stats_.link_busy_time += static_cast<double>(until - from);
+}
+
+SimTime Network::send_saf(LinkId l, SimTime ready_time, std::uint32_t len) {
+  const SimTime start =
+      std::max(ready_time, busy_until_[l]) + params_.queueing_delay;
+  stats_.total_queue_wait += start - params_.queueing_delay - ready_time;
+  const SimTime header_out = start + params_.tau_s;
+  reserve(l, start, header_out + static_cast<SimTime>(len) * params_.alpha);
+  return header_out;
+}
+
+void Network::occupy_buffer(NodeId node, SimTime from, SimTime until) {
+  auto& held = node_buffer_[node];
+  // Events are processed in time order, so residencies that ended before
+  // `from` can be purged now.
+  std::erase_if(held, [from](SimTime release) { return release <= from; });
+  held.push_back(until);
+  stats_.max_node_buffer_occupancy =
+      std::max(stats_.max_node_buffer_occupancy,
+               static_cast<std::uint32_t>(held.size()));
+}
+
+void Network::deliver(FlowId flow, NodeId dest, SimTime header_time,
+                      std::uint32_t len, NodeId corrupted_by) {
+  const FlowSpec& f = flows_[flow];
+  if (f.background) return;  // normal-task traffic is not broadcast state
+  CopyRecord copy;
+  copy.payload = corrupted_by == kInvalidNode
+                     ? f.payload
+                     : f.payload ^ 0xC0DEC0DEDEADBEEFULL;
+  copy.mac = f.mac;
+  copy.time = header_time + static_cast<SimTime>(len) * params_.alpha;
+  copy.route = f.route_tag;
+  copy.corrupted_by = corrupted_by;
+  ledger_.record(f.origin, dest, copy);
+  ++stats_.deliveries;
+  stats_.finish_time = std::max(stats_.finish_time, copy.time);
+  flow_finish_[flow] = std::max(flow_finish_[flow], copy.time);
+}
+
+void Network::process_header(const Event& ev) {
+  const FlowSpec& f = flows_[ev.flow];
+  const std::uint32_t len = flow_length(f);
+  const bool is_tree = !f.tree.empty();
+  NodeId here;
+  if (is_tree) {
+    here = f.tree[ev.pos].node;
+  } else {
+    const auto& cp = f.cycle_path;
+    here = cp.cycle->at((cp.start + ev.pos) % cp.cycle->length());
+  }
+
+  NodeId corrupted_by = ev.corrupted_by;
+  SimTime slow_penalty = 0;  // extra relay delay of a kSlow node
+
+  if (ev.pos > 0) {
+    // Tee: every visited node receives a copy.
+    deliver(ev.flow, here, ev.time, len, corrupted_by);
+
+    // Fault behaviour applies to the relay operation at this node.
+    if (faults_ != nullptr && faults_->is_faulty(here)) {
+      const RelayAction action = faults_->on_relay(here);
+      if (action == RelayAction::kDrop) {
+        ++stats_.fault_drops;
+        return;
+      }
+      if (action == RelayAction::kCorrupt && corrupted_by == kInvalidNode) {
+        ++stats_.fault_corruptions;
+        corrupted_by = here;
+      }
+      if (action == RelayAction::kDelay) slow_penalty = faults_->slow_delay();
+    }
+  }
+
+  // Onward sends.
+  const bool force_saf = params_.switching == Switching::kStoreAndForward;
+  auto relay = [&](NodeId next, std::uint32_t next_pos, bool ct_allowed,
+                   LinkId in_link) {
+    const LinkId l = g_->link(here, next);
+    // A failed link loses the packet (and its downstream deliveries).
+    if (faults_ != nullptr && faults_->link_failed(l)) {
+      ++stats_.link_drops;
+      return;
+    }
+    const bool injection = ev.pos == 0;
+    if (injection) {
+      ++stats_.injections;
+      push_header(send_saf(l, ev.time, len), ev.flow, next_pos,
+                  corrupted_by);
+      return;
+    }
+    if (ct_allowed && !force_saf && slow_penalty == 0) {
+      const SimTime header_ready = ev.time + params_.alpha;
+      if (busy_until_[l] <= header_ready) {
+        ++stats_.cut_throughs;
+        reserve(l, header_ready,
+                header_ready + static_cast<SimTime>(len) * params_.alpha);
+        push_header(header_ready, ev.flow, next_pos, corrupted_by);
+        return;
+      }
+      if (params_.switching == Switching::kWormhole) {
+        // Stall in the network: the header waits for the transmitter; the
+        // incoming link stays held until the tail can move on.
+        ++stats_.wormhole_stalls;
+        const SimTime start = busy_until_[l];
+        stats_.total_queue_wait += start - header_ready;
+        const SimTime out = start + params_.alpha;
+        reserve(l, start, out + static_cast<SimTime>(len) * params_.alpha);
+        if (in_link != kInvalidLink) {
+          busy_until_[in_link] = std::max(
+              busy_until_[in_link],
+              out + static_cast<SimTime>(len) * params_.alpha);
+        }
+        push_header(out, ev.flow, next_pos, corrupted_by);
+        return;
+      }
+    }
+    // Buffered relay (VCT blocking, forced SAF, or a tree redirect):
+    // the packet must be fully stored before retransmission.
+    ++stats_.buffered_relays;
+    const SimTime stored =
+        ev.time + static_cast<SimTime>(len) * params_.alpha + slow_penalty;
+    const SimTime out = send_saf(l, stored, len);
+    // The packet occupies this node's intermediate storage from the
+    // moment it is fully received until its retransmitted tail leaves.
+    occupy_buffer(here, stored,
+                  out + static_cast<SimTime>(len) * params_.alpha);
+    push_header(out, ev.flow, next_pos, corrupted_by);
+  };
+
+  if (is_tree) {
+    // Children of this tree position, in order.
+    for (std::uint32_t c = ev.pos + 1; c < f.tree.size(); ++c) {
+      if (f.tree[c].parent != static_cast<std::int32_t>(ev.pos)) continue;
+      const bool ct = f.tree[c].cut_through_preferred;
+      if (!ct && ev.pos != 0) ++stats_.redirects;
+      LinkId in_link = kInvalidLink;
+      if (ev.pos > 0) {
+        const NodeId parent_node =
+            f.tree[static_cast<std::size_t>(f.tree[ev.pos].parent)].node;
+        in_link = g_->link(parent_node, here);
+      }
+      relay(f.tree[c].node, c, ct, in_link);
+    }
+  } else {
+    const auto& cp = f.cycle_path;
+    if (ev.pos < cp.hops) {
+      const NodeId next =
+          cp.cycle->at((cp.start + ev.pos + 1) % cp.cycle->length());
+      LinkId in_link = kInvalidLink;
+      if (ev.pos > 0) {
+        const NodeId prev_node =
+            cp.cycle->at((cp.start + ev.pos - 1) % cp.cycle->length());
+        in_link = g_->link(prev_node, here);
+      }
+      relay(next, ev.pos + 1, /*ct_allowed=*/true, in_link);
+    } else if (completion_hook_ && !f.background) {
+      // Tail delivered at the route's end: the flow is complete.  NOTE:
+      // the hook may add_flow(), which can reallocate flows_ and
+      // invalidate `f`/`cp`; it must therefore remain the LAST statement
+      // that runs in this function.
+      completion_hook_(ev.flow,
+                       ev.time + static_cast<SimTime>(len) * params_.alpha);
+      return;
+    }
+  }
+}
+
+void Network::start_background_if_needed() {
+  if (bg_started_ || params_.rho <= 0.0) return;
+  bg_started_ = true;
+  if (params_.background_mode == BackgroundMode::kMultiHopFlows) {
+    routes_ = std::make_unique<RoutingTable>(*g_);
+    bg_mean_distance_ =
+        routes_->mean_distance_estimate(256, params_.seed ^ 0xD157ull);
+    if (bg_mean_distance_ <= 0.0) bg_mean_distance_ = 1.0;
+  }
+  restart_background_if_needed();
+}
+
+void Network::restart_background_if_needed() {
+  if (!bg_started_ || params_.rho <= 0.0) return;
+  if (bg_alive_ > 0 || pending_foreground_events_ == 0) return;
+  // Resume the arrival processes from the latest simulated time.
+  const SimTime from = stats_.finish_time;
+  if (params_.background_mode == BackgroundMode::kSingleLink) {
+    for (LinkId l = 0; l < g_->link_count(); ++l)
+      schedule_background_link(l, from);
+  } else {
+    for (NodeId v = 0; v < g_->node_count(); ++v)
+      schedule_background_flow(v, from);
+  }
+}
+
+void Network::schedule_background_link(LinkId link, SimTime after) {
+  const double occupancy =
+      static_cast<double>(params_.background_mu) *
+      static_cast<double>(params_.alpha);
+  const double mean_gap = occupancy / params_.rho;
+  const auto gap = static_cast<SimTime>(bg_rng_.exponential(mean_gap));
+  queue_.push(Event{after + gap, seq_++, EventKind::kBackgroundLink, 0, 0,
+                    kInvalidNode, link});
+  ++bg_alive_;
+}
+
+SimTime Network::background_flow_gap() {
+  // Calibration: a flow consumes link-time tau_S + mu_bg alpha on its
+  // first link (the injection reserves the transmitter through the
+  // startup, matching the paper's serial per-op accounting) and
+  // mu_bg alpha on each of the remaining dbar - 1 links it cuts through.
+  // N sources at rate lambda must fill a fraction rho of the 2E links:
+  //   rho = N * lambda * (tau_S + dbar * mu_bg alpha) / link_count.
+  const double transmission =
+      static_cast<double>(params_.background_mu) *
+      static_cast<double>(params_.alpha);
+  const double per_flow_link_time =
+      static_cast<double>(params_.tau_s) +
+      bg_mean_distance_ * transmission;
+  const double lambda = params_.rho *
+                        static_cast<double>(g_->link_count()) /
+                        (static_cast<double>(g_->node_count()) *
+                         per_flow_link_time);
+  return static_cast<SimTime>(bg_rng_.exponential(1.0 / lambda));
+}
+
+void Network::schedule_background_flow(NodeId source, SimTime after) {
+  queue_.push(Event{after + background_flow_gap(), seq_++,
+                    EventKind::kBackgroundFlow, 0, 0, kInvalidNode,
+                    source});
+  ++bg_alive_;
+}
+
+void Network::process_background_link(const Event& ev) {
+  // Background packets occupy just their link for one transmission.
+  const SimTime start = std::max(ev.time, busy_until_[ev.bg_link]);
+  reserve(ev.bg_link, start,
+          start + static_cast<SimTime>(params_.background_mu) *
+                      params_.alpha);
+  ++stats_.background_packets;
+  // Keep the process alive only while flow traffic remains.
+  if (pending_foreground_events_ > 0)
+    schedule_background_link(ev.bg_link, ev.time);
+}
+
+void Network::process_background_flow(const Event& ev) {
+  const auto source = static_cast<NodeId>(ev.bg_link);
+  NodeId dest = source;
+  while (dest == source)
+    dest = static_cast<NodeId>(bg_rng_.below(g_->node_count()));
+  const std::vector<NodeId> path = routes_->shortest_path(source, dest);
+
+  FlowSpec flow;
+  flow.origin = source;
+  flow.background = true;
+  flow.inject_time = ev.time;
+  flow.length_units = params_.background_mu;
+  flow.tree.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    flow.tree.push_back(FlowTreeNode{
+        path[i], static_cast<std::int32_t>(i) - 1, i > 1});
+  }
+  add_flow(std::move(flow));
+  ++stats_.background_packets;
+  if (pending_foreground_events_ > 0)
+    schedule_background_flow(source, ev.time);
+}
+
+void Network::run() {
+  start_background_if_needed();
+  restart_background_if_needed();
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    switch (ev.kind) {
+      case EventKind::kBackgroundLink:
+        --bg_alive_;
+        if (pending_foreground_events_ > 0) process_background_link(ev);
+        break;
+      case EventKind::kBackgroundFlow:
+        --bg_alive_;
+        if (pending_foreground_events_ > 0) process_background_flow(ev);
+        break;
+      case EventKind::kHeader:
+        if (!flows_[ev.flow].background) --pending_foreground_events_;
+        process_header(ev);
+        break;
+    }
+  }
+}
+
+double Network::mean_link_utilization() const {
+  if (stats_.finish_time <= 0) return 0.0;
+  const double horizon = static_cast<double>(stats_.finish_time) *
+                         static_cast<double>(g_->link_count());
+  return stats_.link_busy_time / horizon;
+}
+
+}  // namespace ihc

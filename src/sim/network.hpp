@@ -1,0 +1,222 @@
+/// \file network.hpp
+/// \brief Discrete-event simulator of a point-to-point network with
+/// store-and-forward, virtual cut-through, and wormhole switching.
+///
+/// The simulator executes *flows*: tree- or cycle-shaped disseminations of
+/// one packet from an origin node.  It implements the paper's timing model
+/// exactly (Section VI):
+///
+///  * source injection and every buffered relay cost
+///      tau_S + len*alpha (+ queueing: natural transmitter contention plus
+///      the fixed worst-case knob D);
+///  * a cut-through relay advances the header by alpha; the packet body
+///    pipelines behind it, so a chain of c cut-throughs after injection
+///    delivers its tail at  tau_S + len*alpha + c*alpha  - reproducing the
+///    IHC stage time tau_S + mu*alpha + (N-2)*alpha of Table II;
+///  * every node a packet passes through receives a copy ("tee" operation
+///    of the HARTS controller, Fig. 1) - recorded in the DeliveryLedger;
+///  * each directed link has one transmitter; reservations serialize on a
+///    busy-until time per link.  Virtual cut-through buffers a blocked
+///    packet at the node; wormhole stalls it in the network, holding its
+///    incoming link (packet-granularity approximation of flit stalling);
+///  * optional background traffic loads every link to utilization rho;
+///  * a FaultPlan may drop or corrupt packets at relay time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "sim/delivery.hpp"
+#include "sim/fault.hpp"
+#include "sim/params.hpp"
+#include "sim/routing.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+using FlowId = std::uint32_t;
+
+/// Path along a directed Hamiltonian cycle: `hops` hops starting at the
+/// cycle position `start` (the origin's position).
+struct CyclePathRoute {
+  const DirectedCycle* cycle = nullptr;
+  std::uint32_t start = 0;
+  std::uint32_t hops = 0;
+};
+
+/// Node of an explicit dissemination tree, parent-before-child order;
+/// tree[0] is the source (parent == -1).  At a fork, at most one child
+/// should be marked cut_through_preferred: it continues the incoming
+/// pipeline (a *forward*); the others are *redirects* and always pay the
+/// store-and-forward cost (Section V).
+struct FlowTreeNode {
+  NodeId node = kInvalidNode;
+  std::int32_t parent = -1;
+  bool cut_through_preferred = false;
+};
+
+struct FlowSpec {
+  NodeId origin = kInvalidNode;   ///< ledger key: whose message this is
+  std::uint16_t route_tag = 0;    ///< ledger key: which copy/route
+  SimTime inject_time = 0;
+  std::uint32_t length_units = 0; ///< packet length in FIFO units (0 -> mu)
+  std::uint64_t payload = 0;
+  std::uint64_t mac = 0;
+
+  /// Exactly one of the two routes must be set.
+  CyclePathRoute cycle_path;
+  std::vector<FlowTreeNode> tree;
+
+  /// Background ("normal task") traffic: reserves links and contends like
+  /// any packet, but its deliveries are not recorded in the ledger and do
+  /// not advance the finish time.
+  bool background = false;
+};
+
+struct NetStats {
+  std::uint64_t injections = 0;
+  std::uint64_t cut_throughs = 0;
+  std::uint64_t buffered_relays = 0;   ///< VCT buffering or forced SAF
+  std::uint64_t wormhole_stalls = 0;
+  std::uint64_t redirects = 0;         ///< tree-branch SAF sends
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_corruptions = 0;
+  std::uint64_t link_drops = 0;        ///< packets lost to failed links
+  std::uint64_t background_packets = 0;
+  std::uint64_t deliveries = 0;
+  SimTime total_queue_wait = 0;        ///< natural contention wait
+  SimTime finish_time = 0;             ///< latest delivery tail arrival
+  double link_busy_time = 0.0;         ///< sum of reserved link time (ps)
+  /// Largest number of packets simultaneously held in any single node's
+  /// intermediate storage buffer (Fig. 7).  Zero in a contention-free IHC
+  /// run - the paper's eta >= mu capacity argument, measured.
+  std::uint32_t max_node_buffer_occupancy = 0;
+};
+
+class Network {
+ public:
+  /// \param g       host graph (must outlive the network)
+  /// \param params  timing model; validated here
+  /// \param granularity ledger detail level
+  Network(const Graph& g, const NetworkParams& params,
+          DeliveryLedger::Granularity granularity =
+              DeliveryLedger::Granularity::kCounts);
+
+  /// Optional Byzantine fault plan (not owned; may be nullptr).
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+
+  /// Registers a flow; events fire when run() is called.  Flows may be
+  /// added between run() calls (stage barriers).
+  FlowId add_flow(FlowSpec spec);
+
+  /// Processes all pending events (plus background traffic while flow
+  /// events remain).
+  void run();
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] const DeliveryLedger& ledger() const { return ledger_; }
+  [[nodiscard]] DeliveryLedger& ledger() { return ledger_; }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+  /// Mean utilization of all directed links over [0, finish_time].
+  [[nodiscard]] double mean_link_utilization() const;
+
+  /// Latest delivery time of one flow's packet (0 when it delivered
+  /// nothing) - lets drivers implement per-cycle stage barriers.
+  [[nodiscard]] SimTime flow_finish(FlowId flow) const {
+    return flow_finish_.at(flow);
+  }
+
+  /// Completion hook: invoked (during run()) when a cycle-path flow's
+  /// tail is delivered at its final node, with the delivery time.  The
+  /// hook may add_flow() - this is how drivers implement asynchronous
+  /// per-cycle stage progression (Section IV) without draining the event
+  /// queue between stages.
+  using CompletionHook = std::function<void(FlowId, SimTime)>;
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kHeader,          // a flow packet's header reaches a route position
+    kBackgroundLink,  // single-link background occupancy
+    kBackgroundFlow,  // a node generates a multi-hop background packet
+  };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break for determinism
+    EventKind kind;
+    FlowId flow;
+    std::uint32_t pos;       // route position (hop index / tree index)
+    NodeId corrupted_by;     // packet state carried along the route
+    LinkId bg_link;          // background link / source-node id
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  const Graph* g_;
+  NetworkParams params_;
+  FaultPlan* faults_ = nullptr;
+  std::vector<FlowSpec> flows_;
+  std::vector<SimTime> flow_finish_;  // last delivery per flow
+  std::vector<SimTime> busy_until_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t pending_foreground_events_ = 0;
+  DeliveryLedger ledger_;
+  NetStats stats_;
+  SplitMix64 bg_rng_;
+  CompletionHook completion_hook_;
+  bool bg_started_ = false;
+  std::uint64_t bg_alive_ = 0;  // generator events currently in the queue
+  std::unique_ptr<RoutingTable> routes_;   // multi-hop background routing
+  double bg_mean_distance_ = 0.0;
+  /// Outstanding intermediate-buffer residencies per node: release times
+  /// of packets currently stored (purged lazily in event-time order).
+  std::vector<std::vector<SimTime>> node_buffer_;
+
+  void push_header(SimTime time, FlowId flow, std::uint32_t pos,
+                   NodeId corrupted_by);
+  void process_header(const Event& ev);
+  void process_background_link(const Event& ev);
+  void process_background_flow(const Event& ev);
+  void start_background_if_needed();
+  /// Background arrivals stop when the foreground drains; when new flows
+  /// arrive in a later run() the process must resume from the current
+  /// simulated time - otherwise only the first stage of a multi-stage
+  /// algorithm would see load.
+  void restart_background_if_needed();
+  void schedule_background_link(LinkId link, SimTime after);
+  void schedule_background_flow(NodeId source, SimTime after);
+  [[nodiscard]] SimTime background_flow_gap();
+
+  [[nodiscard]] std::uint32_t flow_length(const FlowSpec& f) const {
+    return f.length_units ? f.length_units : params_.mu;
+  }
+
+  /// Reserves link l and returns the header arrival time at the far node.
+  /// `header_time` is the header's arrival at the sending node, `stored`
+  /// is true when the packet is already fully resident (injection).
+  SimTime send_saf(LinkId l, SimTime ready_time, std::uint32_t len);
+  void reserve(LinkId l, SimTime from, SimTime until);
+
+  /// Records that `node` holds a stored packet during [from, until].
+  void occupy_buffer(NodeId node, SimTime from, SimTime until);
+
+  void deliver(FlowId flow, NodeId dest, SimTime header_time,
+               std::uint32_t len, NodeId corrupted_by);
+};
+
+}  // namespace ihc

@@ -1,0 +1,61 @@
+#include "sim/packet_format.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = static_cast<std::uint16_t>(crc ^ (data[i] << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint16_t>(
+          (crc & 0x8000) ? (crc << 1) ^ 0x1021 : crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+std::uint16_t header_crc(std::uint64_t upper48) {
+  std::uint8_t bytes[6];
+  for (int i = 0; i < 6; ++i)
+    bytes[i] = static_cast<std::uint8_t>((upper48 >> (8 * (5 - i))) & 0xFF);
+  return crc16_ccitt(bytes, sizeof bytes);
+}
+}  // namespace
+
+std::uint64_t encode_header(const PacketHeader& header) {
+  require(header.origin < (1u << 16), "origin needs 16 bits");
+  require(header.route < (1u << 6), "route needs 6 bits");
+  require(header.seq < (1u << 12), "seq needs 12 bits");
+  require(header.total >= 1 && header.total < (1u << 12),
+          "total needs 12 bits and must be positive");
+  require(header.seq < header.total, "seq must be below total");
+  const std::uint64_t upper48 =
+      (static_cast<std::uint64_t>(header.origin) << 32) |
+      (static_cast<std::uint64_t>(header.route) << 26) |
+      (static_cast<std::uint64_t>(header.seq) << 14) |
+      (static_cast<std::uint64_t>(header.total) << 2) |
+      static_cast<std::uint64_t>(header.kind);
+  return (upper48 << 16) | header_crc(upper48);
+}
+
+std::optional<PacketHeader> decode_header(std::uint64_t word) {
+  const std::uint64_t upper48 = word >> 16;
+  const auto crc = static_cast<std::uint16_t>(word & 0xFFFF);
+  if (header_crc(upper48) != crc) return std::nullopt;
+  PacketHeader header;
+  header.origin = static_cast<NodeId>((upper48 >> 32) & 0xFFFF);
+  header.route = static_cast<std::uint8_t>((upper48 >> 26) & 0x3F);
+  header.seq = static_cast<std::uint16_t>((upper48 >> 14) & 0xFFF);
+  header.total = static_cast<std::uint16_t>((upper48 >> 2) & 0xFFF);
+  header.kind = static_cast<PacketKind>(upper48 & 0x3);
+  if (header.total == 0 || header.seq >= header.total) return std::nullopt;
+  if (header.kind != PacketKind::kData &&
+      header.kind != PacketKind::kControl)
+    return std::nullopt;
+  return header;
+}
+
+}  // namespace ihc

@@ -1,0 +1,55 @@
+/// \file packet_format.hpp
+/// \brief Concrete broadcast packet header format.
+///
+/// The paper's conclusion defers "several practical issues such as the
+/// packet format, timing message reconstruction, and control" - this
+/// module and core/reassembly.hpp supply them.  A broadcast packet header
+/// is one 64-bit word:
+///
+///   bits 63..48  origin node id          (16 bits, networks up to 64K)
+///   bits 47..42  route / directed cycle  (6 bits, gamma <= 64)
+///   bits 41..30  sequence number         (12 bits: packet index within
+///                                         a long message)
+///   bits 29..18  total packet count      (12 bits)
+///   bits 17..16  kind                    (2 bits: data / control)
+///   bits 15..0   CRC-16/CCITT over bits 63..16
+///
+/// The CRC makes header corruption detectable independently of the
+/// payload MAC; decode_header rejects damaged words.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kControl = 1,  ///< e.g. the stop-relaying address tags of Section IV
+};
+
+struct PacketHeader {
+  NodeId origin = 0;          ///< < 65536
+  std::uint8_t route = 0;     ///< < 64
+  std::uint16_t seq = 0;      ///< < 4096
+  std::uint16_t total = 1;    ///< < 4096, >= 1, seq < total
+  PacketKind kind = PacketKind::kData;
+
+  friend bool operator==(const PacketHeader&, const PacketHeader&) = default;
+};
+
+/// CRC-16/CCITT-FALSE over a byte span (polynomial 0x1021, init 0xFFFF).
+[[nodiscard]] std::uint16_t crc16_ccitt(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// Packs the header into its 64-bit wire word (computes the CRC).
+/// Throws ConfigError when a field exceeds its width.
+[[nodiscard]] std::uint64_t encode_header(const PacketHeader& header);
+
+/// Unpacks a wire word; nullopt when the CRC does not match (corrupted
+/// in transit) or the fields are inconsistent.
+[[nodiscard]] std::optional<PacketHeader> decode_header(std::uint64_t word);
+
+}  // namespace ihc

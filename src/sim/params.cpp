@@ -1,0 +1,3 @@
+// params.hpp is header-only; this translation unit exists so the build
+// system has a stable anchor for the sim/ module.
+#include "sim/params.hpp"

@@ -1,0 +1,92 @@
+/// \file params.hpp
+/// \brief Simulation time base and the paper's network timing parameters.
+///
+/// Times are integer picoseconds (SimTime).  The paper's model (Section VI):
+///   alpha  - delay for a packet to cut through an intermediate node
+///            (20 ns for the TORUS routing chip, Dally [8]);
+///   tau_S  - message startup time for a store-and-forward transmission;
+///   mu     - packet length expressed in FIFO-buffer units, so a packet's
+///            transmission time onto a link is L*tau_L = mu*alpha;
+///   D      - additional queueing delay experienced by a buffered packet
+///            (a modeling constant for the worst-case analysis; the
+///            simulator also accrues *natural* queueing waits from
+///            transmitter contention);
+///   rho    - utilization of links by other (background) traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+/// Simulation time in integer picoseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime sim_ps(std::int64_t v) { return v; }
+constexpr SimTime sim_ns(std::int64_t v) { return v * 1'000; }
+constexpr SimTime sim_us(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime sim_ms(std::int64_t v) { return v * 1'000'000'000; }
+
+/// How the background ("normal task") traffic of rho is generated.
+enum class BackgroundMode {
+  /// Independent single-link occupancies: each link receives Poisson
+  /// transmissions that occupy just that link.  Cheap and controlled.
+  kSingleLink,
+  /// Point-to-point flows: each node Poisson-generates packets to random
+  /// destinations, routed along shortest paths with cut-through - the
+  /// background itself contends, cuts through, and buffers.
+  kMultiHopFlows,
+};
+
+/// How blocked packets are handled (Section II).
+enum class Switching {
+  kStoreAndForward,   ///< every hop stores the full packet, then forwards
+  kVirtualCutThrough, ///< cut through when the transmitter is free, else
+                      ///< buffer the whole packet at the node
+  kWormhole,          ///< cut through when free, else stall in the network
+                      ///< holding the links behind the header
+};
+
+struct NetworkParams {
+  Switching switching = Switching::kVirtualCutThrough;
+
+  /// Cut-through latency per intermediate node (default: Dally's 20 ns).
+  SimTime alpha = sim_ns(20);
+
+  /// Store-and-forward startup time.  The paper's headline numbers use a
+  /// "conservative" 0.5 ms; benches sweep this.
+  SimTime tau_s = sim_us(5);
+
+  /// Broadcast packet length in FIFO units (packet = mu * B_FIFO bytes);
+  /// transmission time of a length-mu packet is mu * alpha.
+  std::uint32_t mu = 2;
+
+  /// Fixed additional queueing delay D applied to every buffered relay
+  /// (worst-case analysis knob; 0 means only natural contention waits).
+  SimTime queueing_delay = 0;
+
+  /// Background traffic: target utilization of every directed link by
+  /// other tasks, in [0, 1).  0 = dedicated network.
+  double rho = 0.0;
+
+  /// Length of background packets in FIFO units.
+  std::uint32_t background_mu = 8;
+
+  /// Shape of the background traffic (see BackgroundMode).
+  BackgroundMode background_mode = BackgroundMode::kSingleLink;
+
+  /// RNG seed for background traffic arrivals.
+  std::uint64_t seed = 0x5eedULL;
+
+  void validate() const {
+    require(alpha > 0, "alpha must be positive");
+    require(tau_s >= 0, "tau_s must be non-negative");
+    require(mu >= 1, "mu must be at least 1");
+    require(queueing_delay >= 0, "queueing delay must be non-negative");
+    require(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
+    require(background_mu >= 1, "background packet length must be >= 1");
+  }
+};
+
+}  // namespace ihc

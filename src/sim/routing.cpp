@@ -1,0 +1,79 @@
+#include "sim/routing.hpp"
+
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+RoutingTable::RoutingTable(const Graph& g)
+    : g_(&g),
+      towards_(g.node_count()),
+      dist_(g.node_count()) {}
+
+void RoutingTable::build_for(NodeId dst) {
+  auto& next = towards_[dst];
+  if (!next.empty()) return;
+  const NodeId n = g_->node_count();
+  next.assign(n, kInvalidNode);
+  auto& dist = dist_[dst];
+  dist.assign(n, static_cast<std::uint32_t>(-1));
+  // BFS from dst; next[v] = the neighbor of v that is closer to dst
+  // (lowest id among equals, fixed by sorted adjacency + FIFO order).
+  std::queue<NodeId> queue;
+  dist[dst] = 0;
+  queue.push(dst);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (const auto& a : g_->neighbors(v)) {
+      if (dist[a.neighbor] != static_cast<std::uint32_t>(-1)) continue;
+      dist[a.neighbor] = dist[v] + 1;
+      next[a.neighbor] = v;
+      queue.push(a.neighbor);
+    }
+  }
+}
+
+std::vector<NodeId> RoutingTable::shortest_path(NodeId src, NodeId dst) {
+  require(src < g_->node_count() && dst < g_->node_count(),
+          "endpoint out of range");
+  build_for(dst);
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    cur = towards_[dst][cur];
+    IHC_ENSURE(cur != kInvalidNode, "graph is disconnected");
+    path.push_back(cur);
+  }
+  return path;
+}
+
+NodeId RoutingTable::next_hop(NodeId at, NodeId dst) {
+  build_for(dst);
+  return towards_[dst][at];
+}
+
+std::uint32_t RoutingTable::distance(NodeId src, NodeId dst) {
+  build_for(dst);
+  return dist_[dst][src];
+}
+
+double RoutingTable::mean_distance_estimate(std::size_t samples,
+                                            std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const NodeId n = g_->node_count();
+  double total = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto a = static_cast<NodeId>(rng.below(n));
+    const auto b = static_cast<NodeId>(rng.below(n));
+    if (a == b) continue;
+    total += distance(a, b);
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace ihc

@@ -1,0 +1,46 @@
+/// \file routing.hpp
+/// \brief Deterministic shortest-path routing for background traffic.
+///
+/// The paper's rho measures link utilization by "normal system tasks" -
+/// point-to-point traffic that itself uses cut-through switching.  To
+/// model it faithfully the simulator routes background packets along
+/// shortest paths (BFS with lowest-neighbor-id tie-breaking, which on a
+/// hypercube reproduces dimension-ordered / e-cube routes).  Per-
+/// destination next-hop tables are computed lazily and cached.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+class RoutingTable {
+ public:
+  /// \param g host graph (must outlive the table)
+  explicit RoutingTable(const Graph& g);
+
+  /// Shortest path from src to dst (inclusive of both endpoints).
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId src, NodeId dst);
+
+  /// The neighbor of `at` on the canonical shortest path towards `dst`.
+  [[nodiscard]] NodeId next_hop(NodeId at, NodeId dst);
+
+  /// Hop distance between two nodes.
+  [[nodiscard]] std::uint32_t distance(NodeId src, NodeId dst);
+
+  /// Mean shortest-path length over sampled pairs (used to calibrate
+  /// background-traffic injection rates).
+  [[nodiscard]] double mean_distance_estimate(std::size_t samples,
+                                              std::uint64_t seed);
+
+ private:
+  const Graph* g_;
+  /// towards_[dst][v] = next hop from v towards dst (kInvalidNode at dst).
+  std::vector<std::vector<NodeId>> towards_;
+  std::vector<std::vector<std::uint32_t>> dist_;
+
+  void build_for(NodeId dst);
+};
+
+}  // namespace ihc

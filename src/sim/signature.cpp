@@ -1,0 +1,25 @@
+#include "sim/signature.hpp"
+
+namespace ihc {
+namespace {
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t KeyRing::key_of(NodeId node) const {
+  return mix(seed_ + 0x9e3779b97f4a7c15ULL * (node + 1));
+}
+
+std::uint64_t KeyRing::sign(NodeId origin, std::uint64_t payload) const {
+  return mix(key_of(origin) ^ mix(payload + 0x2545F4914F6CDD1DULL));
+}
+
+bool KeyRing::verify(NodeId origin, std::uint64_t payload,
+                     std::uint64_t mac) const {
+  return mac == sign(origin, payload);
+}
+
+}  // namespace ihc

@@ -1,0 +1,39 @@
+/// \file signature.hpp
+/// \brief Keyed message authentication, standing in for the signed-message
+/// scheme of Rivest et al. [22].
+///
+/// The paper uses signatures purely as an oracle: "any disruption of the
+/// contents of the message will be detected upon receipt".  We provide that
+/// oracle with a keyed 64-bit MAC built from SplitMix64 mixing.  It is
+/// deliberately NOT cryptographically secure - it is a simulation artifact
+/// whose role is to let the fault-injection machinery distinguish
+/// relay-corrupted packets (invalid MAC: the relay does not know the
+/// origin's key) from origin-equivocation (valid MAC on a wrong value).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+/// Per-node signing keys derived from a network-wide seed.
+class KeyRing {
+ public:
+  explicit KeyRing(std::uint64_t network_seed = 0xC0FFEEULL)
+      : seed_(network_seed) {}
+
+  [[nodiscard]] std::uint64_t key_of(NodeId node) const;
+
+  /// MAC over (origin, payload) with origin's key.
+  [[nodiscard]] std::uint64_t sign(NodeId origin, std::uint64_t payload) const;
+
+  /// True when `mac` matches sign(origin, payload).
+  [[nodiscard]] bool verify(NodeId origin, std::uint64_t payload,
+                            std::uint64_t mac) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace ihc

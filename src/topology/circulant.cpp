@@ -1,0 +1,70 @@
+#include "topology/circulant.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+Graph make_circulant_graph(NodeId node_count,
+                           const std::vector<NodeId>& jumps) {
+  require(node_count >= 3, "circulant requires N >= 3");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(jumps.size()) * node_count);
+  for (const NodeId d : jumps) {
+    require(d >= 1 && 2 * d < node_count,
+            "jumps must lie in [1, N/2) so every class has N edges");
+    for (NodeId v = 0; v < node_count; ++v)
+      edges.emplace_back(v, (v + d) % node_count);
+  }
+  return Graph(node_count, std::move(edges));
+}
+
+Cycle circulant_jump_cycle(NodeId node_count, NodeId jump) {
+  require(std::gcd(node_count, jump) == 1,
+          "jump class is a Hamiltonian cycle only when gcd(jump, N) = 1");
+  std::vector<NodeId> seq;
+  seq.reserve(node_count);
+  NodeId v = 0;
+  do {
+    seq.push_back(v);
+    v = (v + jump) % node_count;
+  } while (v != 0);
+  return Cycle(std::move(seq));
+}
+
+namespace {
+std::string circulant_name(NodeId n, const std::vector<NodeId>& jumps) {
+  std::string s = "C(" + std::to_string(n) + ";";
+  for (std::size_t i = 0; i < jumps.size(); ++i)
+    s += (i ? "," : " ") + std::to_string(jumps[i]);
+  return s + ")";
+}
+}  // namespace
+
+Circulant::Circulant(NodeId node_count, std::vector<NodeId> jumps)
+    : Topology(circulant_name(node_count, jumps),
+               make_circulant_graph(node_count, jumps),
+               static_cast<std::uint32_t>(2 * jumps.size())),
+      jumps_(std::move(jumps)) {
+  for (const NodeId d : jumps_)
+    require(std::gcd(node_count, d) == 1, "all jumps must be coprime to N");
+}
+
+NodeId Circulant::neighbor(NodeId v, unsigned d) const {
+  const auto k = static_cast<unsigned>(jumps_.size());
+  require(d < 2 * k, "direction out of range");
+  const NodeId n = node_count();
+  if (d < k) return (v + jumps_[d]) % n;
+  return (v + n - jumps_[d - k]) % n;
+}
+
+std::vector<Cycle> Circulant::build_hamiltonian_cycles() const {
+  std::vector<Cycle> out;
+  out.reserve(jumps_.size());
+  for (const NodeId d : jumps_)
+    out.push_back(circulant_jump_cycle(node_count(), d));
+  return out;
+}
+
+}  // namespace ihc

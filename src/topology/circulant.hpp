@@ -1,0 +1,46 @@
+/// \file circulant.hpp
+/// \brief General circulant graphs - a broad family inside class Lambda.
+///
+/// The circulant C(N; d_1..d_k) connects every node s to s +- d_i (mod N).
+/// When every jump d_i satisfies gcd(d_i, N) = 1, each jump class is a
+/// Hamiltonian cycle, so the graph carries k edge-disjoint undirected
+/// Hamiltonian cycles and belongs to class Lambda with gamma = 2k.  This
+/// generalizes the C-wrapped hexagonal mesh (jumps {1, 3m-2, 3m-1}) and
+/// gives the test suite an endless supply of Lambda members beyond the
+/// three topologies the paper discusses.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class Circulant final : public Topology {
+ public:
+  /// \param node_count N >= 3
+  /// \param jumps distinct values in [1, N/2) with gcd(jump, N) = 1
+  Circulant(NodeId node_count, std::vector<NodeId> jumps);
+
+  [[nodiscard]] const std::vector<NodeId>& jumps() const { return jumps_; }
+
+  /// Neighbor in oriented direction d in [0, 2k): d < k are positive jumps,
+  /// d >= k the corresponding negative jumps.
+  [[nodiscard]] NodeId neighbor(NodeId v, unsigned d) const;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+
+ private:
+  std::vector<NodeId> jumps_;
+};
+
+/// Builds the circulant graph C(N; jumps).
+[[nodiscard]] Graph make_circulant_graph(NodeId node_count,
+                                         const std::vector<NodeId>& jumps);
+
+/// The Hamiltonian cycle traced by repeatedly adding `jump` (mod N);
+/// requires gcd(jump, N) = 1.
+[[nodiscard]] Cycle circulant_jump_cycle(NodeId node_count, NodeId jump);
+
+}  // namespace ihc

@@ -1,0 +1,21 @@
+#include "topology/custom.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+CustomTopology::CustomTopology(std::string name, Graph graph,
+                               std::vector<Cycle> cycles,
+                               bool cover_all_edges)
+    : Topology(std::move(name), std::move(graph),
+               static_cast<std::uint32_t>(2 * cycles.size())),
+      cycles_(std::move(cycles)),
+      cover_all_edges_(cover_all_edges) {
+  require(!cycles_.empty(), "need at least one Hamiltonian cycle");
+}
+
+std::vector<Cycle> CustomTopology::build_hamiltonian_cycles() const {
+  return cycles_;
+}
+
+}  // namespace ihc

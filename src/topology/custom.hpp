@@ -1,0 +1,36 @@
+/// \file custom.hpp
+/// \brief User-supplied members of class Lambda.
+///
+/// Any gamma-regular graph with gamma/2 edge-disjoint Hamiltonian cycles
+/// can host the IHC algorithm; CustomTopology wraps a user's graph and
+/// cycle set (e.g. reloaded from an hc_cache file, or produced by the
+/// decomposition engine on a graph the library does not know) behind the
+/// standard Topology interface.  The cycles are verified on first use
+/// like everywhere else.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class CustomTopology final : public Topology {
+ public:
+  /// \param name    display name
+  /// \param graph   host graph
+  /// \param cycles  the edge-disjoint Hamiltonian cycles (gamma = 2x count)
+  /// \param cover_all_edges whether the cycles must partition E(graph)
+  CustomTopology(std::string name, Graph graph, std::vector<Cycle> cycles,
+                 bool cover_all_edges = true);
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+  [[nodiscard]] bool cycles_cover_all_edges() const override {
+    return cover_all_edges_;
+  }
+
+ private:
+  std::vector<Cycle> cycles_;
+  bool cover_all_edges_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,26 @@
+/// \file factory.hpp
+/// \brief Textual topology specifications, for the CLI and configuration.
+///
+/// Grammar (case-insensitive prefix, sizes decimal):
+///   Q<m>            hypercube of dimension m          (e.g. "Q8")
+///   SQ<m>           torus-wrapped square mesh SQ_m    (e.g. "SQ5")
+///   H<m>            C-wrapped hexagonal mesh H_m      (e.g. "H3")
+///   C<n>:j1,j2,...  circulant on n nodes with jumps   (e.g. "C15:1,2,4")
+///   T<m>x<k>        3-D torus SQ_m x C_k              (e.g. "T4x6")
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// Parses a topology specification; throws ConfigError with a helpful
+/// message on malformed input.
+[[nodiscard]] std::shared_ptr<Topology> make_topology(std::string_view spec);
+
+/// One-line description of the accepted grammar (for usage messages).
+[[nodiscard]] std::string_view topology_spec_help();
+
+}  // namespace ihc

@@ -1,0 +1,130 @@
+#include "topology/hex_mesh.hpp"
+
+#include <algorithm>
+
+#include "topology/circulant.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+std::array<NodeId, 3> jumps_for(NodeId size) {
+  const NodeId n = HexMesh::node_count_for(size);
+  // Normalize each jump d to min(d, N-d): d and N-d describe the same edge
+  // class.  Only H_2 (N = 7) is affected: {1, 4, 5} -> {1, 3, 2}.
+  auto norm = [n](NodeId d) { return std::min(d, n - d); };
+  return {norm(1), norm(3 * size - 2), norm(3 * size - 1)};
+}
+
+Graph make_hex_graph(NodeId size) {
+  require(size >= 2, "hex mesh requires size >= 2");
+  const auto j = jumps_for(size);
+  return make_circulant_graph(HexMesh::node_count_for(size),
+                              {j[0], j[1], j[2]});
+}
+}  // namespace
+
+HexMesh::HexMesh(NodeId size)
+    : Topology("H_" + std::to_string(size), make_hex_graph(size), 6),
+      size_(size),
+      jumps_(jumps_for(size)) {}
+
+NodeId HexMesh::neighbor(NodeId v, unsigned d) const {
+  require(d < 6, "direction out of range");
+  const NodeId n = node_count();
+  if (d < 3) return (v + jumps_[d]) % n;
+  return (v + n - jumps_[d - 3]) % n;
+}
+
+HexMesh::Axial HexMesh::coordinates(NodeId center, NodeId v) const {
+  require(center < node_count() && v < node_count(),
+          "node out of range");
+  const NodeId n = node_count();
+  const NodeId d2 = 3 * size_ - 1;  // the raw +e_1 jump (pre-normalization)
+  const auto diff = static_cast<std::int64_t>((v + n - center) % n);
+  const int reach = static_cast<int>(size_);  // coordinates stay < m
+  Axial best{0, 0};
+  std::uint32_t best_norm = static_cast<std::uint32_t>(-1);
+  for (int b = -reach; b <= reach; ++b) {
+    // a * 1 == diff - b * d2 (mod N); the two signed candidates nearest 0.
+    std::int64_t a_mod =
+        (diff - static_cast<std::int64_t>(b) * d2) % static_cast<std::int64_t>(n);
+    if (a_mod < 0) a_mod += n;
+    for (const std::int64_t a :
+         {a_mod, a_mod - static_cast<std::int64_t>(n)}) {
+      if (a < -reach || a > reach) continue;
+      const Axial candidate{static_cast<int>(a), b};
+      const std::uint32_t norm = axial_norm(candidate);
+      if (norm < best_norm) {
+        best_norm = norm;
+        best = candidate;
+      }
+    }
+  }
+  IHC_ENSURE(best_norm <= static_cast<std::uint32_t>(size_) - 1,
+             "every node lies within the hex radius m-1");
+  return best;
+}
+
+std::uint32_t HexMesh::axial_norm(Axial d) {
+  const auto a = static_cast<std::uint32_t>(d.a < 0 ? -d.a : d.a);
+  const auto b = static_cast<std::uint32_t>(d.b < 0 ? -d.b : d.b);
+  // Axes e_0 and e_1 are 60 degrees apart and the third unit move is
+  // e_1 - e_0: opposite-sign components combine into single moves.
+  if ((d.a >= 0) == (d.b >= 0)) return a + b;
+  return std::max(a, b);
+}
+
+std::uint32_t HexMesh::hex_distance(NodeId u, NodeId v) const {
+  return axial_norm(coordinates(u, v));
+}
+
+std::vector<NodeId> HexMesh::route(NodeId u, NodeId v) const {
+  const NodeId n = node_count();
+  const NodeId d0 = 1;
+  const NodeId d2 = 3 * size_ - 1;
+  Axial rest = coordinates(u, v);
+  std::vector<NodeId> path{u};
+  NodeId cur = u;
+  auto step = [&](NodeId jump, bool forward) {
+    cur = forward ? (cur + jump) % n : (cur + n - jump) % n;
+    path.push_back(cur);
+  };
+  // Opposite-sign components pair into moves along the third axis
+  // e_1 - e_0 = +(3m - 2).
+  while (rest.a != 0 || rest.b != 0) {
+    if (rest.a > 0 && rest.b < 0) {
+      // -(e_1 - e_0) = e_0 - e_1: jump -(3m - 2).
+      step(d2 - d0, false);
+      --rest.a;
+      ++rest.b;
+    } else if (rest.a < 0 && rest.b > 0) {
+      step(d2 - d0, true);
+      ++rest.a;
+      --rest.b;
+    } else if (rest.a > 0) {
+      step(d0, true);
+      --rest.a;
+    } else if (rest.a < 0) {
+      step(d0, false);
+      ++rest.a;
+    } else if (rest.b > 0) {
+      step(d2, true);
+      --rest.b;
+    } else {
+      step(d2, false);
+      ++rest.b;
+    }
+  }
+  IHC_ENSURE(cur == v, "hex route must terminate at the destination");
+  return path;
+}
+
+std::vector<Cycle> HexMesh::build_hamiltonian_cycles() const {
+  std::vector<Cycle> out;
+  out.reserve(3);
+  for (const NodeId d : jumps_)
+    out.push_back(circulant_jump_cycle(node_count(), d));
+  return out;
+}
+
+}  // namespace ihc

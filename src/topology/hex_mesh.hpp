@@ -1,0 +1,68 @@
+/// \file hex_mesh.hpp
+/// \brief C-wrapped hexagonal mesh H_m (Section III-C).
+///
+/// Following Chen, Shin and Kandlur's addressing scheme [5], the C-wrapped
+/// hexagonal mesh of size m is the circulant graph on
+/// N = 3m(m-1) + 1 nodes with jumps {1, 3m-2, 3m-1}: the neighbors of node
+/// s are s +- 1, s +- (3m-2) and s +- (3m-1) (mod N).  Each jump class is a
+/// Hamiltonian cycle (gcd(jump, N) = 1 for every m), which gives the three
+/// undirected edge-disjoint Hamiltonian cycles of condition LC2 directly -
+/// they are exactly the paper's "set of edges in any direction".
+#pragma once
+
+#include <array>
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class HexMesh final : public Topology {
+ public:
+  /// \param size m >= 2 (m = 1 is a single node).
+  explicit HexMesh(NodeId size);
+
+  [[nodiscard]] NodeId size() const { return size_; }
+
+  /// Number of nodes: 3m(m-1) + 1.
+  [[nodiscard]] static NodeId node_count_for(NodeId size) {
+    return 3 * size * (size - 1) + 1;
+  }
+
+  /// The three positive jumps {1, 3m-2, 3m-1}.
+  [[nodiscard]] const std::array<NodeId, 3>& jumps() const { return jumps_; }
+
+  /// Neighbor of v in oriented direction d in [0, 6): directions 0..2 are
+  /// the positive jumps, 3..5 the corresponding negative jumps.
+  [[nodiscard]] NodeId neighbor(NodeId v, unsigned d) const;
+
+  /// Axial coordinates of `v` relative to `center`, following Chen-Shin-
+  /// Kandlur's addressing [5]: the minimal-norm (a, b) with
+  ///   v - center == a * 1 + b * (3m - 1)   (mod N),
+  /// where +1 and +(3m-1) are two hex axes 60 degrees apart (the third
+  /// axis +(3m-2) equals their difference).  |a| + |b| <= m - 1 when a, b
+  /// share a sign; max(|a|, |b|) <= m - 1 otherwise.
+  struct Axial {
+    int a = 0;
+    int b = 0;
+  };
+  [[nodiscard]] Axial coordinates(NodeId center, NodeId v) const;
+
+  /// Hex-grid norm of an axial displacement: the number of unit moves.
+  [[nodiscard]] static std::uint32_t axial_norm(Axial d);
+
+  /// Closed-form hop distance between two nodes (== BFS distance; the
+  /// tests cross-validate).
+  [[nodiscard]] std::uint32_t hex_distance(NodeId u, NodeId v) const;
+
+  /// A shortest path from u to v by greedy direction decomposition.
+  [[nodiscard]] std::vector<NodeId> route(NodeId u, NodeId v) const;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+
+ private:
+  NodeId size_;
+  std::array<NodeId, 3> jumps_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,98 @@
+#include "topology/hypercube.hpp"
+
+#include <map>
+
+#include "graph/hc_product.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+/// Gray-code Hamiltonian cycle of Q_m (used for the Q_3 base case).
+Cycle gray_code_cycle(unsigned m) {
+  const NodeId n = NodeId{1} << m;
+  std::vector<NodeId> seq(n);
+  for (NodeId i = 0; i < n; ++i) seq[i] = i ^ (i >> 1);
+  return Cycle(std::move(seq));
+}
+
+std::vector<Cycle> decompose(unsigned m) {
+  static std::map<unsigned, std::vector<Cycle>> memo;
+  if (auto it = memo.find(m); it != memo.end()) return it->second;
+
+  std::vector<Cycle> result;
+  if (m == 2) {
+    result.push_back(gray_code_cycle(2));
+  } else if (m == 3) {
+    result.push_back(gray_code_cycle(3));
+  } else if (m % 2 == 0) {
+    // Theorem 1: split into even halves whose cycle counts differ by <= 1.
+    const unsigned k = m / 2;
+    const unsigned a = (k % 2 == 0) ? k : k - 1;
+    const unsigned b = m - a;
+    result = product_hamiltonian_cycles(decompose(a), decompose(b),
+                                        NodeId{1} << b);
+  } else {
+    // Theorem 2: split into an even part and an odd part.
+    const unsigned k = (m - 1) / 2;
+    const unsigned a = (k % 2 == 0) ? k : k + 1;  // even factor (high bits)
+    const unsigned b = m - a;                     // odd factor
+    result = product_hamiltonian_cycles(decompose(a), decompose(b),
+                                        NodeId{1} << b);
+  }
+
+  const Graph g = make_hypercube_graph(m);
+  ensure_hc_set(g, result, /*must_cover_all_edges=*/m % 2 == 0);
+  memo.emplace(m, result);
+  return result;
+}
+
+}  // namespace
+
+Graph make_hypercube_graph(unsigned dimension) {
+  require(dimension >= 1 && dimension <= 24, "dimension must be in [1, 24]");
+  const NodeId n = NodeId{1} << dimension;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(dimension) << (dimension - 1));
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned d = 0; d < dimension; ++d) {
+      const NodeId w = v ^ (NodeId{1} << d);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+std::vector<Cycle> hypercube_hamiltonian_cycles(unsigned dimension) {
+  require(dimension >= 2, "Q_0 and Q_1 have no Hamiltonian cycles");
+  return decompose(dimension);
+}
+
+Hypercube::Hypercube(unsigned dimension)
+    : Topology("Q_" + std::to_string(dimension),
+               make_hypercube_graph(dimension),
+               (dimension / 2) * 2),
+      dimension_(dimension) {
+  require(dimension >= 2, "hypercube topology requires dimension >= 2");
+}
+
+unsigned Hypercube::direction(NodeId u, NodeId v) const {
+  const NodeId diff = u ^ v;
+  require(diff != 0 && (diff & (diff - 1)) == 0, "nodes are not adjacent");
+  unsigned d = 0;
+  while ((diff >> d) != 1) ++d;
+  return d;
+}
+
+std::string Hypercube::node_label(NodeId v) const {
+  std::string s(dimension_, '0');
+  for (unsigned d = 0; d < dimension_; ++d)
+    if (v & (NodeId{1} << d)) s[dimension_ - 1 - d] = '1';
+  return s;
+}
+
+std::vector<Cycle> Hypercube::build_hamiltonian_cycles() const {
+  return hypercube_hamiltonian_cycles(dimension_);
+}
+
+}  // namespace ihc

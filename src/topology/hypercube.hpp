@@ -1,0 +1,52 @@
+/// \file hypercube.hpp
+/// \brief Binary hypercube Q_m and its Hamiltonian decomposition
+/// (Theorems 1 and 2 of the paper).
+///
+/// A Q_2k decomposes into k undirected edge-disjoint Hamiltonian cycles
+/// (Theorem 1); a Q_{2k+1} contains k such cycles, leaving one perfect
+/// matching unused (Theorem 2).  The construction follows the paper's
+/// inductive strategy: split Q_m = Q_a x Q_b, decompose the factors
+/// recursively, pair up their cycles with Lemma 1 (C_p x C_q -> 2 HCs) and
+/// absorb an odd leftover with Lemma 2 ((HC u HC) x C_r -> 3 HCs).
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class Hypercube final : public Topology {
+ public:
+  /// \param dimension m >= 2 (Q_0 and Q_1 have no Hamiltonian cycles).
+  explicit Hypercube(unsigned dimension);
+
+  [[nodiscard]] unsigned dimension() const { return dimension_; }
+
+  /// Neighbor of v across dimension d.
+  [[nodiscard]] NodeId neighbor(NodeId v, unsigned d) const {
+    return v ^ (NodeId{1} << d);
+  }
+
+  /// The dimension in which u and v differ; they must be adjacent.
+  [[nodiscard]] unsigned direction(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::string node_label(NodeId v) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+  [[nodiscard]] bool cycles_cover_all_edges() const override {
+    return dimension_ % 2 == 0;
+  }
+
+ private:
+  unsigned dimension_;
+};
+
+/// Builds the Q_m graph (node ids = m-bit addresses).
+[[nodiscard]] Graph make_hypercube_graph(unsigned dimension);
+
+/// Standalone decomposition: floor(m/2) edge-disjoint Hamiltonian cycles of
+/// Q_m, for m >= 2.  Deterministic; results verified internally.
+[[nodiscard]] std::vector<Cycle> hypercube_hamiltonian_cycles(
+    unsigned dimension);
+
+}  // namespace ihc

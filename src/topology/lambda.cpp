@@ -1,0 +1,60 @@
+#include "topology/lambda.hpp"
+
+#include "graph/connectivity.hpp"
+#include "graph/hamiltonian.hpp"
+
+namespace ihc {
+
+LambdaReport check_lambda(const Topology& topo,
+                          NodeId exact_connectivity_limit,
+                          std::size_t samples, std::uint64_t seed) {
+  LambdaReport report;
+  const std::uint32_t gamma = topo.gamma();
+
+  // Effective graph: the union of the Hamiltonian cycles' edges.  For
+  // even-degree topologies this is the full graph; odd-dimensional
+  // hypercubes leave one perfect matching unused (Section III-A).
+  std::vector<std::pair<NodeId, NodeId>> effective_edges;
+  for (const Cycle& c : topo.hamiltonian_cycles()) {
+    const auto& nodes = c.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId u = nodes[i];
+      const NodeId v = nodes[(i + 1) % nodes.size()];
+      effective_edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  const Graph effective(topo.node_count(), std::move(effective_edges));
+
+  // LC1 on the effective graph.
+  report.lc1 = effective.is_regular() && gamma % 2 == 0 &&
+               effective.regular_degree() == gamma;
+  if (!report.lc1) {
+    report.detail = "LC1 violated: effective graph is not gamma-regular "
+                    "with even gamma";
+  }
+
+  // LC2: the cycles must be Hamiltonian and edge-disjoint; by construction
+  // of `effective` they cover all of its edges.
+  const HcSetVerdict verdict =
+      verify_hc_set(effective, topo.hamiltonian_cycles(),
+                    /*must_cover_all_edges=*/true);
+  report.lc2 =
+      verdict.ok && topo.hamiltonian_cycles().size() == gamma / 2;
+  if (!verdict.ok) report.detail = "LC2 violated: " + verdict.reason;
+
+  // Connectivity claim: kappa(effective) == gamma.
+  if (topo.node_count() <= exact_connectivity_limit) {
+    report.connectivity = vertex_connectivity(effective) == gamma;
+    report.connectivity_exact = true;
+  } else {
+    SplitMix64 rng(seed);
+    report.connectivity =
+        connectivity_at_least_sampled(effective, gamma, samples, rng);
+    report.connectivity_exact = false;
+  }
+  if (!report.connectivity && report.detail.empty())
+    report.detail = "connectivity does not match gamma";
+  return report;
+}
+
+}  // namespace ihc

@@ -1,0 +1,42 @@
+/// \file lambda.hpp
+/// \brief Membership checks for the paper's class Lambda (Section III).
+///
+/// A graph G belongs to class Lambda when:
+///   LC1: G is gamma-regular for an even integer gamma, and
+///   LC2: G contains gamma/2 undirected edge-disjoint Hamiltonian cycles.
+/// The paper further notes that membership implies gamma is the (vertex)
+/// connectivity of G.  This module checks all three statements for a
+/// Topology: LC1 structurally, LC2 by verifying the constructed cycles, and
+/// the connectivity claim via max-flow (exactly for small graphs, sampled
+/// for large ones).
+#pragma once
+
+#include <string>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+struct LambdaReport {
+  bool lc1 = false;           ///< gamma-regular, gamma even
+  bool lc2 = false;           ///< gamma/2 edge-disjoint HCs verified
+  bool connectivity = false;  ///< vertex connectivity matches gamma
+  bool connectivity_exact = false;  ///< whether the check was exhaustive
+  std::string detail;               ///< failure description, if any
+
+  [[nodiscard]] bool in_lambda() const { return lc1 && lc2; }
+};
+
+/// Checks the topology's *effective* graph (the union of its Hamiltonian
+/// cycles, which for odd-degree graphs excludes the unused matching)
+/// against LC1/LC2 and the connectivity claim.
+/// \param exact_connectivity_limit graphs with at most this many nodes get
+///        the exhaustive O(n^2)-flows connectivity check; larger ones get a
+///        sampled check with `samples` random pairs.
+[[nodiscard]] LambdaReport check_lambda(const Topology& topo,
+                                        NodeId exact_connectivity_limit = 128,
+                                        std::size_t samples = 32,
+                                        std::uint64_t seed = 42);
+
+}  // namespace ihc

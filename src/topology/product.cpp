@@ -1,0 +1,67 @@
+#include "topology/product.hpp"
+
+#include "graph/hc_product.hpp"
+#include "topology/square_mesh.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+std::vector<NodeId> identity_sequence(NodeId n) {
+  std::vector<NodeId> seq(n);
+  for (NodeId i = 0; i < n; ++i) seq[i] = i;
+  return seq;
+}
+
+}  // namespace
+
+Ring::Ring(NodeId n)
+    : Topology("C_" + std::to_string(n), make_cycle_graph(n), 2) {}
+
+std::vector<Cycle> Ring::build_hamiltonian_cycles() const {
+  return {Cycle(identity_sequence(node_count()))};
+}
+
+ProductTopology::ProductTopology(std::shared_ptr<const Topology> first,
+                                 std::shared_ptr<const Topology> second)
+    : Topology(first->name() + "x" + second->name(),
+               cartesian_product(first->graph(), second->graph()),
+               first->gamma() + second->gamma()),
+      first_(std::move(first)),
+      second_(std::move(second)) {
+  const std::size_t p = first_->gamma() / 2;
+  const std::size_t q = second_->gamma() / 2;
+  require((p > q ? p - q : q - p) <= 1,
+          "factor Hamiltonian-cycle counts may differ by at most 1 "
+          "(generalized Theorem 1)");
+}
+
+std::string ProductTopology::node_label(NodeId v) const {
+  const NodeId b = v % second_->node_count();
+  const NodeId a = v / second_->node_count();
+  return "(" + first_->node_label(a) + "," + second_->node_label(b) + ")";
+}
+
+std::vector<Cycle> ProductTopology::build_hamiltonian_cycles() const {
+  return product_hamiltonian_cycles(first_->hamiltonian_cycles(),
+                                    second_->hamiltonian_cycles(),
+                                    second_->node_count());
+}
+
+bool ProductTopology::cycles_cover_all_edges() const {
+  // The product cycles consume exactly the factor cycles' edges, so the
+  // product covers everything iff both factors do (an odd-dimensional
+  // hypercube factor leaves its perfect matching unused in every layer).
+  const bool first_covers =
+      first_->graph().regular_degree() == first_->gamma();
+  const bool second_covers =
+      second_->graph().regular_degree() == second_->gamma();
+  return first_covers && second_covers;
+}
+
+std::shared_ptr<ProductTopology> make_torus3d(NodeId side, NodeId depth) {
+  return std::make_shared<ProductTopology>(
+      std::make_shared<SquareMesh>(side), std::make_shared<Ring>(depth));
+}
+
+}  // namespace ihc

@@ -1,0 +1,65 @@
+/// \file product.hpp
+/// \brief Class Lambda is closed under Cartesian products - a
+/// generalization of the paper's Theorems 1 and 2 beyond hypercubes.
+///
+/// If G carries p edge-disjoint Hamiltonian cycles and H carries q with
+/// |p - q| <= 1, then G x H carries p + q (see hc_product.hpp).  This
+/// module packages that as composable Topology types:
+///
+///   * Ring       - the cycle C_n as a degree-2 member of Lambda (1 HC);
+///   * ProductTopology - the Cartesian product of two members;
+///   * Torus3D    - SQ_m x C_k, the m x m x k wrap-around 3-D torus with
+///                  gamma = 6, as a worked example.
+///
+/// Products compose: ProductTopology(SquareMesh, SquareMesh) is a 4-D
+/// torus with gamma = 8, ProductTopology(HexMesh, HexMesh) a 12-regular
+/// network with gamma = 12, and so on - an endless supply of networks the
+/// IHC algorithm runs on unchanged.
+#pragma once
+
+#include <memory>
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// The cycle C_n as a Topology: gamma = 2, one Hamiltonian cycle (itself).
+class Ring final : public Topology {
+ public:
+  explicit Ring(NodeId n);
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+};
+
+/// Cartesian product of two class-Lambda members whose Hamiltonian-cycle
+/// counts differ by at most one.  Node (a, b) has id
+/// a * second->node_count() + b.
+class ProductTopology final : public Topology {
+ public:
+  ProductTopology(std::shared_ptr<const Topology> first,
+                  std::shared_ptr<const Topology> second);
+
+  [[nodiscard]] const Topology& first() const { return *first_; }
+  [[nodiscard]] const Topology& second() const { return *second_; }
+
+  [[nodiscard]] NodeId node_at(NodeId a, NodeId b) const {
+    return a * second_->node_count() + b;
+  }
+  [[nodiscard]] std::string node_label(NodeId v) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+  [[nodiscard]] bool cycles_cover_all_edges() const override;
+
+ private:
+  std::shared_ptr<const Topology> first_;
+  std::shared_ptr<const Topology> second_;
+};
+
+/// The m x m x k torus (SQ_m x C_k): gamma = 6, three edge-disjoint
+/// Hamiltonian cycles via the generalized Theorem 1.
+[[nodiscard]] std::shared_ptr<ProductTopology> make_torus3d(NodeId side,
+                                                            NodeId depth);
+
+}  // namespace ihc

@@ -1,0 +1,34 @@
+#include "topology/square_mesh.hpp"
+
+#include "graph/torus_decomposition.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+SquareMesh::SquareMesh(NodeId side)
+    : Topology("SQ_" + std::to_string(side), make_torus_graph(side, side),
+               4),
+      side_(side) {}
+
+NodeId SquareMesh::neighbor(NodeId v, unsigned d) const {
+  const NodeId r = row_of(v);
+  const NodeId c = col_of(v);
+  switch (d) {
+    case 0: return node_at(r, (c + 1) % side_);
+    case 1: return node_at((r + 1) % side_, c);
+    case 2: return node_at(r, (c + side_ - 1) % side_);
+    case 3: return node_at((r + side_ - 1) % side_, c);
+    default: detail::throw_config("direction must be in [0, 4)");
+  }
+}
+
+std::string SquareMesh::node_label(NodeId v) const {
+  return "(" + std::to_string(row_of(v)) + "," + std::to_string(col_of(v)) +
+         ")";
+}
+
+std::vector<Cycle> SquareMesh::build_hamiltonian_cycles() const {
+  return torus_two_hamiltonian_cycles(side_, side_);
+}
+
+}  // namespace ihc

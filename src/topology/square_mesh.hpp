@@ -1,0 +1,38 @@
+/// \file square_mesh.hpp
+/// \brief Torus-wrapped square mesh SQ_m (Section III-B, Fig. 3).
+///
+/// An m x m torus: gamma = 4, and two edge-disjoint Hamiltonian cycles
+/// exist for every m >= 3 (the paper exhibits the m = 4 pattern and notes a
+/// similar pattern works for any m; we construct the cycles with the
+/// Lemma-1 engine and verify them).
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class SquareMesh final : public Topology {
+ public:
+  /// \param side m >= 3, the number of nodes per row/column.
+  explicit SquareMesh(NodeId side);
+
+  [[nodiscard]] NodeId side() const { return side_; }
+  [[nodiscard]] NodeId node_at(NodeId row, NodeId col) const {
+    return row * side_ + col;
+  }
+  [[nodiscard]] NodeId row_of(NodeId v) const { return v / side_; }
+  [[nodiscard]] NodeId col_of(NodeId v) const { return v % side_; }
+
+  /// Neighbor in direction d: 0=+col(east), 1=+row(south), 2=-col, 3=-row.
+  [[nodiscard]] NodeId neighbor(NodeId v, unsigned d) const;
+
+  [[nodiscard]] std::string node_label(NodeId v) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+
+ private:
+  NodeId side_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,40 @@
+#include "topology/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+Topology::Topology(std::string name, Graph graph, std::uint32_t gamma)
+    : name_(std::move(name)), graph_(std::move(graph)), gamma_(gamma) {
+  require(gamma_ >= 2 && gamma_ % 2 == 0,
+          "gamma must be a positive even integer (condition LC1)");
+}
+
+void Topology::build_if_needed() const {
+  if (built_) return;
+  cycles_ = build_hamiltonian_cycles();
+  IHC_ENSURE(cycles_.size() == gamma_ / 2,
+             "topology must provide gamma/2 Hamiltonian cycles (LC2)");
+  ensure_hc_set(graph_, cycles_, cycles_cover_all_edges());
+  directed_.clear();
+  directed_.reserve(gamma_);
+  for (const Cycle& c : cycles_) {
+    directed_.emplace_back(c, /*reversed=*/false, graph_.node_count());
+    directed_.emplace_back(c, /*reversed=*/true, graph_.node_count());
+  }
+  built_ = true;
+}
+
+const std::vector<Cycle>& Topology::hamiltonian_cycles() const {
+  build_if_needed();
+  return cycles_;
+}
+
+const std::vector<DirectedCycle>& Topology::directed_cycles() const {
+  build_if_needed();
+  return directed_;
+}
+
+std::string Topology::node_label(NodeId v) const { return std::to_string(v); }
+
+}  // namespace ihc

@@ -1,0 +1,81 @@
+/// \file topology.hpp
+/// \brief Base interface for interconnection networks in the paper's class
+/// Lambda.
+///
+/// A Topology bundles the undirected graph, the broadcast connectivity
+/// gamma, and the gamma/2 undirected edge-disjoint Hamiltonian cycles
+/// required by condition LC2.  From those it derives the gamma *directed*
+/// Hamiltonian cycles HC_1..HC_gamma the IHC algorithm runs on (the two
+/// traversal directions of each undirected cycle), each with the paper's
+/// next/prev/ID operations.
+///
+/// Hamiltonian cycles are constructed lazily on first use, machine-verified
+/// (verify_hc_set), and cached.  Topology instances are not thread-safe
+/// during that first construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "graph/hamiltonian.hpp"
+
+namespace ihc {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] NodeId node_count() const { return graph_.node_count(); }
+
+  /// Broadcast connectivity: the gamma of the paper.  Equals the node
+  /// degree for even-degree topologies; for odd-dimensional hypercubes it
+  /// is degree-1 (one link per node is left out of the HC decomposition,
+  /// exactly as Section III-A prescribes).
+  [[nodiscard]] std::uint32_t gamma() const { return gamma_; }
+
+  /// The gamma/2 undirected edge-disjoint Hamiltonian cycles (LC2).
+  /// Built lazily; always verified before being returned.
+  [[nodiscard]] const std::vector<Cycle>& hamiltonian_cycles() const;
+
+  /// The gamma directed Hamiltonian cycles HC_1..HC_gamma (0-indexed here):
+  /// directed cycle 2h is undirected cycle h traversed forward, 2h+1 the
+  /// same cycle traversed backward.  Both share the reference node N_0.
+  [[nodiscard]] const std::vector<DirectedCycle>& directed_cycles() const;
+
+  /// Human-readable node label (coordinates) for tables and examples.
+  [[nodiscard]] virtual std::string node_label(NodeId v) const;
+
+ protected:
+  Topology(std::string name, Graph graph, std::uint32_t gamma);
+
+  /// Subclass hook: construct the gamma/2 undirected Hamiltonian cycles.
+  [[nodiscard]] virtual std::vector<Cycle> build_hamiltonian_cycles()
+      const = 0;
+
+  /// Whether the HC set must cover every edge of the graph (true for
+  /// even-degree members of class Lambda).
+  [[nodiscard]] virtual bool cycles_cover_all_edges() const {
+    return graph_.regular_degree() == gamma_;
+  }
+
+ private:
+  std::string name_;
+  Graph graph_;
+  std::uint32_t gamma_;
+  mutable std::vector<Cycle> cycles_;
+  mutable std::vector<DirectedCycle> directed_;
+  mutable bool built_ = false;
+
+  void build_if_needed() const;
+};
+
+}  // namespace ihc

@@ -1,0 +1,22 @@
+#include "util/error.hpp"
+
+namespace ihc::detail {
+
+void throw_invariant(std::string_view expr, std::string_view file, int line,
+                     std::string_view msg) {
+  std::string what = "invariant violated: ";
+  what.append(expr);
+  what.append(" at ");
+  what.append(file);
+  what.push_back(':');
+  what.append(std::to_string(line));
+  if (!msg.empty()) {
+    what.append(" — ");
+    what.append(msg);
+  }
+  throw InvariantError(what);
+}
+
+void throw_config(std::string_view msg) { throw ConfigError(std::string(msg)); }
+
+}  // namespace ihc::detail

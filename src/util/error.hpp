@@ -1,0 +1,48 @@
+/// \file error.hpp
+/// \brief Error handling primitives shared by the whole library.
+///
+/// The library is a research artifact: internal invariant violations are
+/// programming errors, so they throw ihc::InvariantError carrying the
+/// offending expression and location.  Callers that feed user-controlled
+/// parameters (topology sizes, algorithm options) receive ihc::ConfigError
+/// instead, so tests can distinguish "bad input" from "broken library".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ihc {
+
+/// Thrown when a library-internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when caller-supplied configuration is invalid.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] void throw_invariant(std::string_view expr, std::string_view file,
+                                  int line, std::string_view msg);
+[[noreturn]] void throw_config(std::string_view msg);
+}  // namespace detail
+
+/// Validates a caller-supplied condition; throws ConfigError on failure.
+inline void require(bool cond, std::string_view msg) {
+  if (!cond) detail::throw_config(msg);
+}
+
+}  // namespace ihc
+
+/// Checks an internal invariant; throws ihc::InvariantError on failure.
+/// Always enabled (the cost is negligible next to the simulation work).
+#define IHC_ENSURE(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) ::ihc::detail::throw_invariant(#cond, __FILE__, __LINE__, \
+                                                (msg));                   \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  IHC_ENSURE(header_.empty() || row.size() == header_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string AsciiTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  auto rule = [&] {
+    out.push_back('+');
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.append(width[c] + 2, '-');
+      out.push_back('+');
+    }
+    out.push_back('\n');
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    out.push_back('|');
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      out.push_back(' ');
+      out.append(cell);
+      out.append(width[c] - cell.size() + 1, ' ');
+      out.push_back('|');
+    }
+    out.push_back('\n');
+  };
+
+  if (!title_.empty()) {
+    out.append(title_);
+    out.push_back('\n');
+  }
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) !=
+        separators_.end())
+      rule();
+    emit(rows_[i]);
+  }
+  rule();
+  return out;
+}
+
+void AsciiTable::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_time_ps(std::int64_t ps) {
+  char buf[64];
+  const double v = static_cast<double>(ps);
+  if (ps < 10'000) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 " ps", ps);
+  } else if (ps < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", v / 1e3);
+  } else if (ps < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3f us", v / 1e6);
+  } else if (ps < 10'000'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", v / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", v / 1e12);
+  }
+  return buf;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx", v);
+  return buf;
+}
+
+}  // namespace ihc

@@ -1,0 +1,50 @@
+/// \file table.hpp
+/// \brief ASCII table rendering for the benchmark harness.
+///
+/// Every bench binary prints the rows of the paper table it regenerates.
+/// This helper keeps the formatting identical across binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ihc {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  /// \param title printed above the table (empty to omit).
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Column count is fixed by the first row added.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count if one is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  /// Renders the full table.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+/// Formats a double with the given precision (fixed notation).
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+/// Formats a time in picoseconds with an auto-selected unit (ns/us/ms/s).
+[[nodiscard]] std::string fmt_time_ps(std::int64_t ps);
+
+/// Formats a ratio like "4.96x".
+[[nodiscard]] std::string fmt_ratio(double v);
+
+}  // namespace ihc

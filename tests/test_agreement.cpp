@@ -1,0 +1,125 @@
+// Tests for the signed Byzantine agreement protocol (SM(t)) and the HC
+// single-source broadcast it rides on.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/agreement.hpp"
+#include "core/analysis.hpp"
+#include "core/hc_broadcast.hpp"
+#include "core/runner.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+TEST(HcBroadcast, DeliversGammaCopiesInOptimalSingleBroadcastTime) {
+  const Hypercube q(5);
+  const AtaOptions opt = base_options();
+  const auto result = run_hc_broadcast(q, 7, opt);
+  for (NodeId d = 0; d < q.node_count(); ++d) {
+    if (d == 7) continue;
+    EXPECT_EQ(result.ledger.copies(7, d), q.gamma());
+  }
+  // One startup + N-2 cut-throughs, cycles in parallel.
+  const double expected =
+      model::ihc_dedicated(q.node_count(), 1, opt.net);
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.finish), expected);
+  EXPECT_EQ(result.stats.buffered_relays, 0u);
+}
+
+TEST(HcBroadcast, AtaVersionIsNTimesTheSingleBroadcast) {
+  const SquareMesh sq(4);
+  const AtaOptions opt = base_options();
+  const auto one = run_hc_broadcast(sq, 0, opt);
+  const auto all = run_hc_ata(sq, opt);
+  EXPECT_EQ(all.finish, static_cast<SimTime>(sq.node_count()) * one.finish);
+  EXPECT_TRUE(all.ledger.all_pairs_have(sq.gamma()));
+}
+
+TEST(Agreement, LoyalEveryoneTrivially) {
+  const Hypercube q(4);
+  const KeyRing keys(17);
+  FaultPlan faults(1);
+  const auto result = run_signed_agreement(q, keys, faults, base_options(),
+                                           AgreementConfig{.commander = 0});
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+  for (NodeId v = 1; v < q.node_count(); ++v)
+    EXPECT_EQ(result.decision[v], honest_payload(0));
+}
+
+TEST(Agreement, SurvivesTraitorousLieutenants) {
+  const Hypercube q(4);  // gamma = 4
+  const KeyRing keys(17);
+  FaultPlan faults(2);
+  faults.add(5, FaultMode::kCorrupt);
+  faults.add(11, FaultMode::kSilent);
+  const auto result = run_signed_agreement(q, keys, faults, base_options(),
+                                           AgreementConfig{.commander = 0});
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.validity);
+}
+
+TEST(Agreement, ConvictsAnEquivocatingCommander) {
+  const Hypercube q(4);
+  const KeyRing keys(17);
+  FaultPlan faults(3);
+  faults.add(0, FaultMode::kEquivocate);
+  AgreementConfig config;
+  config.commander = 0;
+  const auto result =
+      run_signed_agreement(q, keys, faults, base_options(), config);
+  EXPECT_TRUE(result.agreement);  // loyal nodes agree (on the default)
+  for (NodeId v = 1; v < q.node_count(); ++v) {
+    EXPECT_GE(result.values_seen[v], 2u) << v;
+    EXPECT_EQ(result.decision[v], config.default_order) << v;
+  }
+}
+
+TEST(Agreement, EquivocatingCommanderPlusColludingRelay) {
+  // The hard case SM(t) is built for: the commander equivocates and a
+  // colluding traitor re-broadcasts selectively.  With t = 2 traitors and
+  // t + 1 = 3 relay rounds, the loyal lieutenants still agree.
+  const Hypercube q(4);
+  const KeyRing keys(17);
+  FaultPlan faults(5);
+  faults.add(0, FaultMode::kEquivocate);
+  faults.add(9, FaultMode::kCorrupt);
+  const auto result = run_signed_agreement(q, keys, faults, base_options(),
+                                           AgreementConfig{.commander = 0});
+  EXPECT_EQ(result.rounds_used, 3u);  // t + 1
+  EXPECT_TRUE(result.agreement);
+}
+
+TEST(Agreement, ReportsNetworkTime) {
+  const Hypercube q(4);
+  const KeyRing keys(17);
+  FaultPlan faults(1);
+  const auto result = run_signed_agreement(q, keys, faults, base_options(),
+                                           AgreementConfig{.commander = 3});
+  EXPECT_GT(result.network_time, 0);
+  EXPECT_EQ(result.rounds_used, 1u);  // t = 0 -> 1 relay round
+}
+
+TEST(Agreement, RejectsBadCommander) {
+  const Hypercube q(3);
+  const KeyRing keys(17);
+  FaultPlan faults(1);
+  EXPECT_THROW((void)run_signed_agreement(
+                   q, keys, faults, base_options(),
+                   AgreementConfig{.commander = 99}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ihc

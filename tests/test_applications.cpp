@@ -1,0 +1,136 @@
+// Tests for the application modules built on the ATA broadcast: clock
+// synchronization and distributed diagnosis (the paper's motivating
+// applications, Section I).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/clock_sync.hpp"
+#include "core/diagnosis.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+TEST(ClockEncoding, RoundTripsAtPicosecondResolution) {
+  for (const double us : {0.0, 1.0, 123.456789, 999999.0}) {
+    EXPECT_NEAR(decode_clock(encode_clock(us)), us, 1e-6);
+  }
+  EXPECT_THROW((void)encode_clock(-1.0), ConfigError);
+}
+
+TEST(ClockSync, OneRoundCollapsesSkewWithNoFaults) {
+  const Hypercube q(4);
+  SplitMix64 rng(7);
+  std::vector<double> clocks(q.node_count());
+  for (auto& c : clocks) c = 100.0 + 30.0 * rng.uniform();
+  ClockSynchronizer sync(q, clocks, ClockSyncConfig{.fault_tolerance = 1});
+  const auto round = sync.run_round(base_options());
+  // The ATA broadcast gives all nodes identical reading sets, so one
+  // round collapses the skew entirely (transport is exact here).
+  EXPECT_GT(round.spread_before_us, 1.0);
+  EXPECT_NEAR(round.spread_after_us, 0.0, 1e-9);
+  EXPECT_GT(round.network_time, 0);
+}
+
+TEST(ClockSync, ToleratesAByzantineClock) {
+  const Hypercube q(4);  // N = 16 > 3t with t = 1
+  SplitMix64 rng(9);
+  std::vector<double> clocks(q.node_count());
+  for (auto& c : clocks) c = 100.0 + 30.0 * rng.uniform();
+  clocks[11] = 5000.0;  // wildly wrong clock
+  ClockSynchronizer sync(q, clocks, ClockSyncConfig{.fault_tolerance = 1});
+  AtaOptions opt = base_options();
+  FaultPlan faults(3);
+  faults.add(11, FaultMode::kEquivocate);
+  opt.faults = &faults;
+  const auto round = sync.run_round(opt);
+  // Healthy spread collapses; the liar cannot drag the midpoint because
+  // the rule trims t extremes.
+  EXPECT_NEAR(round.spread_after_us, 0.0, 1e-9);
+  const double healthy_mean = sync.clocks()[0];
+  EXPECT_LT(healthy_mean, 200.0);  // not pulled toward 5000
+}
+
+TEST(ClockSync, SawtoothUnderDriftStaysBounded) {
+  const Hypercube q(4);
+  SplitMix64 rng(11);
+  std::vector<double> clocks(q.node_count(), 100.0);
+  std::vector<double> drift(q.node_count());
+  for (auto& d : drift) d = 200.0 * (rng.uniform() - 0.5);  // +-100 ppm
+  ClockSynchronizer sync(q, clocks, ClockSyncConfig{.fault_tolerance = 1});
+  double max_spread = 0;
+  for (int round = 0; round < 5; ++round) {
+    sync.advance(10'000.0, drift);  // 10 ms between rounds
+    max_spread = std::max(max_spread, sync.spread_us());
+    (void)sync.run_round(base_options());
+    EXPECT_NEAR(sync.spread_us(), 0.0, 1e-6);
+  }
+  // Drift regrows about 2 us per interval (200 ppm x 10 ms) and each
+  // round resets it: bounded sawtooth.
+  EXPECT_LT(max_spread, 3.0);
+  EXPECT_GT(max_spread, 0.5);
+}
+
+TEST(ClockSync, ValidatesConfiguration) {
+  const Hypercube q(2);  // N = 4: too small for t = 2
+  EXPECT_THROW(ClockSynchronizer(q, std::vector<double>(4, 0.0),
+                                 ClockSyncConfig{.fault_tolerance = 2}),
+               ConfigError);
+  EXPECT_THROW(ClockSynchronizer(q, std::vector<double>(3, 0.0),
+                                 ClockSyncConfig{.fault_tolerance = 1}),
+               ConfigError);
+}
+
+TEST(Diagnosis, ConvictsASingleIntermittentNode) {
+  const HexMesh hex(3);
+  FaultPlan faults(0x5EED);
+  faults.add(7, FaultMode::kRandom);
+  DiagnosisConfig config;
+  config.rounds = 8;
+  const auto result =
+      run_distributed_diagnosis(hex, faults, base_options(), config);
+  EXPECT_EQ(result.convicted, 7u);
+  // Unanimous or near-unanimous conviction.
+  EXPECT_GE(result.votes[7], hex.node_count() - 2);
+  EXPECT_EQ(result.rounds_run, 8u);
+}
+
+TEST(Diagnosis, ConvictsOnHypercubesToo) {
+  const Hypercube q(4);
+  FaultPlan faults(0xFEED);
+  faults.add(13, FaultMode::kRandom);
+  DiagnosisConfig config;
+  config.rounds = 8;
+  const auto result =
+      run_distributed_diagnosis(q, faults, base_options(), config);
+  EXPECT_EQ(result.convicted, 13u);
+}
+
+TEST(Diagnosis, SuspicionSeparatesCulpritFromInnocents) {
+  const HexMesh hex(3);
+  FaultPlan faults(0xABC);
+  faults.add(4, FaultMode::kRandom);
+  DiagnosisConfig config;
+  config.rounds = 10;
+  const auto result =
+      run_distributed_diagnosis(hex, faults, base_options(), config);
+  // The culprit's aggregate suspicion dominates every innocent's.
+  for (NodeId w = 0; w < hex.node_count(); ++w) {
+    if (w == 4) continue;
+    EXPECT_GT(result.suspicion[4], result.suspicion[w]) << "node " << w;
+  }
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,57 @@
+// Tests for general circulant graphs (the class-Lambda generalization).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "graph/hamiltonian.hpp"
+#include "topology/circulant.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(Circulant, Structure) {
+  const Circulant c(15, {1, 2, 4});
+  EXPECT_EQ(c.node_count(), 15u);
+  EXPECT_EQ(c.gamma(), 6u);
+  EXPECT_EQ(c.graph().edge_count(), 45u);
+  EXPECT_EQ(c.name(), "C(15; 1,2,4)");
+}
+
+TEST(Circulant, RejectsBadJumps) {
+  // jump not coprime with N: class is not a single cycle.
+  EXPECT_THROW(Circulant(8, {1, 2}), ConfigError);
+  // jump too large: the class would have fewer than N edges.
+  EXPECT_THROW((void)make_circulant_graph(8, {4}), ConfigError);
+  EXPECT_THROW((void)make_circulant_graph(8, {0}), ConfigError);
+  // duplicate jumps produce duplicate edges.
+  EXPECT_THROW((void)make_circulant_graph(9, {2, 2}), ConfigError);
+}
+
+TEST(Circulant, JumpCycleIsHamiltonian) {
+  const Cycle c = circulant_jump_cycle(7, 3);
+  EXPECT_EQ(c.length(), 7u);
+  EXPECT_EQ(c.at(0), 0u);
+  EXPECT_EQ(c.at(1), 3u);
+  EXPECT_EQ(c.at(2), 6u);
+  EXPECT_THROW((void)circulant_jump_cycle(8, 2), ConfigError);
+}
+
+TEST(Circulant, DecompositionVerifies) {
+  const Circulant c(21, {1, 2, 4, 5});
+  const auto& cycles = c.hamiltonian_cycles();
+  ASSERT_EQ(cycles.size(), 4u);
+  const auto verdict = verify_hc_set(c.graph(), cycles, true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+TEST(Circulant, NeighborDirections) {
+  const Circulant c(11, {1, 3});
+  EXPECT_EQ(c.neighbor(0, 0), 1u);
+  EXPECT_EQ(c.neighbor(0, 1), 3u);
+  EXPECT_EQ(c.neighbor(0, 2), 10u);  // -1
+  EXPECT_EQ(c.neighbor(0, 3), 8u);   // -3
+  EXPECT_THROW((void)c.neighbor(0, 4), ConfigError);
+}
+
+}  // namespace
+}  // namespace ihc

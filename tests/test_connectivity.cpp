@@ -1,0 +1,77 @@
+// Tests for max-flow based connectivity and Menger path extraction.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(DisjointPaths, CycleHasTwo) {
+  const Graph c6 = make_cycle_graph(6);
+  EXPECT_EQ(max_node_disjoint_paths(c6, 0, 3), 2u);
+}
+
+TEST(DisjointPaths, CompleteGraphHasNMinusOne) {
+  const Graph k5 = make_complete_graph(5);
+  EXPECT_EQ(max_node_disjoint_paths(k5, 0, 4), 4u);
+}
+
+TEST(DisjointPaths, HypercubeMatchesDimension) {
+  const Graph q4 = make_hypercube_graph(4);
+  EXPECT_EQ(max_node_disjoint_paths(q4, 0, 15), 4u);
+  EXPECT_EQ(max_node_disjoint_paths(q4, 0, 1), 4u);  // adjacent pair
+}
+
+TEST(DisjointPaths, ExtractedPathsAreValidAndInternallyDisjoint) {
+  const Graph q3 = make_hypercube_graph(3);
+  const auto paths = node_disjoint_paths(q3, 0, 7);
+  ASSERT_EQ(paths.size(), 3u);
+  std::set<NodeId> interior;
+  for (const auto& p : paths) {
+    ASSERT_GE(p.size(), 2u);
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 7u);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+      EXPECT_TRUE(q3.has_edge(p[i], p[i + 1]));
+    for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(interior.insert(p[i]).second)
+          << "interior node " << p[i] << " reused";
+    }
+  }
+}
+
+TEST(DisjointPaths, RejectsInvalidPairs) {
+  const Graph c4 = make_cycle_graph(4);
+  EXPECT_THROW((void)max_node_disjoint_paths(c4, 0, 0), ConfigError);
+  EXPECT_THROW((void)max_node_disjoint_paths(c4, 0, 9), ConfigError);
+}
+
+TEST(VertexConnectivity, KnownSmallGraphs) {
+  EXPECT_EQ(vertex_connectivity(make_cycle_graph(7)), 2u);
+  EXPECT_EQ(vertex_connectivity(make_complete_graph(5)), 4u);
+  EXPECT_EQ(vertex_connectivity(make_hypercube_graph(3)), 3u);
+  // A path graph has a cut vertex.
+  EXPECT_EQ(vertex_connectivity(Graph(3, {{0, 1}, {1, 2}})), 1u);
+  EXPECT_EQ(vertex_connectivity(Graph(4, {{0, 1}, {2, 3}})), 0u);
+}
+
+TEST(VertexConnectivity, DisconnectedAndTrivialGraphs) {
+  EXPECT_EQ(vertex_connectivity(Graph(1, {})), 0u);
+  EXPECT_EQ(vertex_connectivity(Graph(2, {{0, 1}})), 1u);  // complete K_2
+}
+
+TEST(SampledConnectivity, AcceptsAndRejectsCorrectly) {
+  SplitMix64 rng(1);
+  const Graph q4 = make_hypercube_graph(4);
+  EXPECT_TRUE(connectivity_at_least_sampled(q4, 4, 16, rng));
+  EXPECT_FALSE(connectivity_at_least_sampled(q4, 5, 16, rng));
+}
+
+}  // namespace
+}  // namespace ihc

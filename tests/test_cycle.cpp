@@ -1,0 +1,84 @@
+// Tests for Cycle and DirectedCycle (the paper's next/prev/ID operations).
+#include <gtest/gtest.h>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(Cycle, RejectsDegenerateInput) {
+  EXPECT_THROW(Cycle({0, 1}), ConfigError);
+  EXPECT_THROW(Cycle({0, 1, 1}), ConfigError);
+}
+
+TEST(Cycle, ValidatesAgainstGraph) {
+  const Graph c4 = make_cycle_graph(4);
+  EXPECT_TRUE(Cycle({0, 1, 2, 3}).lies_in(c4));
+  EXPECT_TRUE(Cycle({0, 1, 2, 3}).is_hamiltonian(c4));
+  EXPECT_FALSE(Cycle({0, 2, 1, 3}).lies_in(c4));  // 0-2 is a chord
+  EXPECT_FALSE(Cycle({0, 1, 2}).is_hamiltonian(c4));
+}
+
+TEST(Cycle, EdgeIdsFollowTraversalOrder) {
+  const Graph c4 = make_cycle_graph(4);
+  const auto ids = Cycle({0, 1, 2, 3}).edge_ids(c4);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], c4.find_edge(0, 1));
+  EXPECT_EQ(ids[3], c4.find_edge(3, 0));
+}
+
+TEST(Cycle, EdgeIdsRejectNonCycleOfGraph) {
+  const Graph c4 = make_cycle_graph(4);
+  EXPECT_THROW((void)Cycle({0, 2, 1, 3}).edge_ids(c4), InvariantError);
+}
+
+TEST(DirectedCycle, ForwardTraversal) {
+  const Cycle c({2, 0, 3, 1});
+  const DirectedCycle d(c, /*reversed=*/false, 4);
+  EXPECT_EQ(d.length(), 4u);
+  EXPECT_EQ(d.at(0), 2u);  // N_0 = first vertex
+  EXPECT_EQ(d.next(2), 0u);
+  EXPECT_EQ(d.next(1), 2u);  // wraps
+  EXPECT_EQ(d.prev(2), 1u);
+  EXPECT_EQ(d.id(2), 0u);
+  EXPECT_EQ(d.id(3), 2u);
+}
+
+TEST(DirectedCycle, ReversedTraversalKeepsTheReferenceNode) {
+  const Cycle c({2, 0, 3, 1});
+  const DirectedCycle f(c, false, 4);
+  const DirectedCycle r(c, true, 4);
+  // Same N_0 in both directions.
+  EXPECT_EQ(f.at(0), r.at(0));
+  // next in one direction is prev in the other.
+  for (NodeId v : c.nodes()) {
+    EXPECT_EQ(f.next(v), r.prev(v));
+    EXPECT_EQ(f.prev(v), r.next(v));
+  }
+}
+
+TEST(DirectedCycle, ContainsAndOutOfCycleQueries) {
+  const Cycle c({0, 1, 2});
+  const DirectedCycle d(c, false, 5);
+  EXPECT_TRUE(d.contains(1));
+  EXPECT_FALSE(d.contains(4));
+  EXPECT_THROW((void)d.next(4), InvariantError);
+}
+
+TEST(DirectedCycle, IdIsDistanceFromReference) {
+  // The ID_j values drive the IHC stage assignment; verify that walking
+  // next() from N_0 visits nodes in increasing ID order.
+  const Cycle c({5, 3, 1, 4, 0, 2});
+  const DirectedCycle d(c, false, 6);
+  NodeId v = d.at(0);
+  for (std::size_t i = 0; i < d.length(); ++i) {
+    EXPECT_EQ(d.id(v), i);
+    v = d.next(v);
+  }
+  EXPECT_EQ(v, d.at(0));
+}
+
+}  // namespace
+}  // namespace ihc

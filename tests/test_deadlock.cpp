@@ -1,0 +1,95 @@
+// Tests for the Dally-Seitz channel-dependency-graph deadlock analysis.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "sim/deadlock.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(Cdg, BasicsAndValidation) {
+  ChannelDependencyGraph cdg(4, 2);
+  EXPECT_EQ(cdg.channel_count(), 8u);
+  cdg.add_dependency({0, 0}, {1, 0});
+  cdg.add_dependency({1, 0}, {2, 1});
+  EXPECT_EQ(cdg.dependency_count(), 2u);
+  EXPECT_TRUE(cdg.is_acyclic());
+  EXPECT_THROW((void)cdg.channel_index(Channel{9, 0}), InvariantError);
+  EXPECT_THROW((void)cdg.channel_index(Channel{0, 2}), InvariantError);
+  EXPECT_THROW(ChannelDependencyGraph(4, 0), ConfigError);
+}
+
+TEST(Cdg, DetectsASimpleCycle) {
+  ChannelDependencyGraph cdg(3, 1);
+  cdg.add_dependency({0, 0}, {1, 0});
+  cdg.add_dependency({1, 0}, {2, 0});
+  cdg.add_dependency({2, 0}, {0, 0});
+  EXPECT_FALSE(cdg.is_acyclic());
+  EXPECT_EQ(cdg.find_cycle().size(), 3u);
+}
+
+TEST(Cdg, SelfLoopIsACycle) {
+  ChannelDependencyGraph cdg(2, 1);
+  cdg.add_dependency({0, 0}, {0, 0});
+  EXPECT_FALSE(cdg.is_acyclic());
+  EXPECT_EQ(cdg.find_cycle().size(), 1u);
+}
+
+/// With one channel per link, every Hamiltonian cycle's links form a
+/// dependency ring: wormhole IHC could deadlock.
+TEST(IhcDeadlock, SingleChannelIsCyclic) {
+  for (const auto make :
+       {+[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<Hypercube>(4);
+        },
+        +[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<SquareMesh>(4);
+        },
+        +[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<HexMesh>(3);
+        }}) {
+    const auto topo = make();
+    const auto cdg = ihc_cdg_single_channel(*topo);
+    EXPECT_FALSE(cdg.is_acyclic()) << topo->name();
+    EXPECT_FALSE(cdg.find_cycle().empty()) << topo->name();
+  }
+}
+
+/// The paper's remedy (Section IV): Dally-Seitz virtual channels make the
+/// wormhole implementation deadlock-free - the CDG becomes acyclic.
+TEST(IhcDeadlock, DallySeitzVirtualChannelsAreAcyclic) {
+  for (const auto make :
+       {+[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<Hypercube>(4);
+        },
+        +[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<Hypercube>(6);
+        },
+        +[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<SquareMesh>(5);
+        },
+        +[]() -> std::unique_ptr<Topology> {
+          return std::make_unique<HexMesh>(3);
+        }}) {
+    const auto topo = make();
+    const auto cdg = ihc_cdg_dally_seitz(*topo);
+    EXPECT_TRUE(cdg.is_acyclic()) << topo->name();
+    EXPECT_GT(cdg.dependency_count(), 0u);
+  }
+}
+
+/// The dependency sets are the expected sizes: per directed cycle, N
+/// packets each with N-3+1 consecutive-link pairs.
+TEST(IhcDeadlock, DependencyCountMatchesTheRouteStructure) {
+  const SquareMesh sq(4);  // N = 16, gamma = 4
+  const auto cdg = ihc_cdg_single_channel(sq);
+  const std::uint64_t per_cycle = 16ull * (16 - 2);
+  EXPECT_EQ(cdg.dependency_count(), 4 * per_cycle);
+}
+
+}  // namespace
+}  // namespace ihc

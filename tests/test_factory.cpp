@@ -1,0 +1,78 @@
+// Tests for the topology spec parser and the Hamiltonian-cycle cache.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <cstdio>
+
+#include "graph/hamiltonian.hpp"
+#include "graph/hc_cache.hpp"
+#include "topology/factory.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(TopologyFactory, ParsesEveryFamily) {
+  EXPECT_EQ(make_topology("Q6")->name(), "Q_6");
+  EXPECT_EQ(make_topology("q6")->name(), "Q_6");  // case-insensitive
+  EXPECT_EQ(make_topology("SQ5")->name(), "SQ_5");
+  EXPECT_EQ(make_topology("sq5")->name(), "SQ_5");
+  EXPECT_EQ(make_topology("H3")->name(), "H_3");
+  EXPECT_EQ(make_topology("C15:1,2,4")->name(), "C(15; 1,2,4)");
+  EXPECT_EQ(make_topology("T4x6")->name(), "SQ_4xC_6");
+  EXPECT_EQ(make_topology("T4x6")->node_count(), 96u);
+}
+
+TEST(TopologyFactory, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)make_topology(""), ConfigError);
+  EXPECT_THROW((void)make_topology("X7"), ConfigError);
+  EXPECT_THROW((void)make_topology("Q"), ConfigError);
+  EXPECT_THROW((void)make_topology("Q6junk"), ConfigError);
+  EXPECT_THROW((void)make_topology("C15"), ConfigError);
+  EXPECT_THROW((void)make_topology("C15:1,"), ConfigError);
+  EXPECT_THROW((void)make_topology("T4"), ConfigError);
+  // Structurally valid but semantically bad values also throw.
+  EXPECT_THROW((void)make_topology("SQ2"), ConfigError);
+  EXPECT_THROW((void)make_topology("C8:2"), ConfigError);
+}
+
+TEST(HcCache, RoundTripsThroughText) {
+  const auto topo = make_topology("SQ4");
+  const auto& cycles = topo->hamiltonian_cycles();
+  const std::string text = serialize_cycles(topo->node_count(), cycles);
+  const ParsedCycles parsed = parse_cycles(text);
+  EXPECT_EQ(parsed.node_count, topo->node_count());
+  ASSERT_EQ(parsed.cycles.size(), cycles.size());
+  for (std::size_t i = 0; i < cycles.size(); ++i)
+    EXPECT_EQ(parsed.cycles[i].nodes(), cycles[i].nodes());
+  // And the reloaded set still verifies against the graph.
+  const auto verdict = verify_hc_set(topo->graph(), parsed.cycles, true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+TEST(HcCache, RejectsCorruptDocuments) {
+  EXPECT_THROW((void)parse_cycles("garbage"), ConfigError);
+  EXPECT_THROW((void)parse_cycles("ihc-hc-v1 4"), ConfigError);
+  // Vertex out of range.
+  EXPECT_THROW((void)parse_cycles("ihc-hc-v1 4 1\n4 0 1 2 9\n"),
+               ConfigError);
+  // Truncated cycle.
+  EXPECT_THROW((void)parse_cycles("ihc-hc-v1 4 1\n4 0 1 2\n"), ConfigError);
+  // Duplicate vertex inside a cycle.
+  EXPECT_THROW((void)parse_cycles("ihc-hc-v1 4 1\n4 0 1 2 2\n"),
+               ConfigError);
+}
+
+TEST(HcCache, FileRoundTrip) {
+  const auto topo = make_topology("H2");
+  const std::string path = ::testing::TempDir() + "ihc_cache_test.hc";
+  save_cycles_file(path, topo->node_count(), topo->hamiltonian_cycles());
+  const auto loaded = load_cycles_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cycles.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_cycles_file(path).has_value());
+}
+
+}  // namespace
+}  // namespace ihc

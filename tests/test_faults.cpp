@@ -1,0 +1,76 @@
+// Tests for the Byzantine fault injector.
+#include <gtest/gtest.h>
+
+#include "sim/fault.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(FaultPlan, HealthyNodesRelayFaithfully) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.is_faulty(3));
+  EXPECT_EQ(plan.on_relay(3), RelayAction::kFaithful);
+  EXPECT_EQ(plan.fault_count(), 0u);
+}
+
+TEST(FaultPlan, SilentNodesDropEverything) {
+  FaultPlan plan;
+  plan.add(3, FaultMode::kSilent);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(plan.on_relay(3), RelayAction::kDrop);
+}
+
+TEST(FaultPlan, CorruptNodesAlterEverything) {
+  FaultPlan plan;
+  plan.add(3, FaultMode::kCorrupt);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(plan.on_relay(3), RelayAction::kCorrupt);
+}
+
+TEST(FaultPlan, RandomNodesAreIntermittent) {
+  FaultPlan plan(99);
+  plan.add(3, FaultMode::kRandom);
+  int faithful = 0, dropped = 0, corrupted = 0;
+  for (int i = 0; i < 300; ++i) {
+    switch (plan.on_relay(3)) {
+      case RelayAction::kFaithful: ++faithful; break;
+      case RelayAction::kDrop: ++dropped; break;
+      case RelayAction::kCorrupt: ++corrupted; break;
+      case RelayAction::kDelay: FAIL() << "kRandom never delays"; break;
+    }
+  }
+  EXPECT_GT(faithful, 0);
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(corrupted, 0);
+}
+
+TEST(FaultPlan, EquivocatorsRelayButLieAsOrigins) {
+  FaultPlan plan;
+  plan.add(3, FaultMode::kEquivocate);
+  EXPECT_EQ(plan.on_relay(3), RelayAction::kFaithful);
+  const std::uint64_t honest = 42;
+  const std::uint64_t lie0 = plan.origin_payload(3, honest, 0);
+  const std::uint64_t lie1 = plan.origin_payload(3, honest, 1);
+  EXPECT_NE(lie0, honest);
+  EXPECT_NE(lie1, honest);
+  EXPECT_NE(lie0, lie1);  // different lies on different routes
+}
+
+TEST(FaultPlan, HonestOriginsAreUnaffected) {
+  FaultPlan plan;
+  plan.add(3, FaultMode::kCorrupt);  // corrupts relays, not its own origin
+  EXPECT_EQ(plan.origin_payload(3, 42, 0), 42u);
+  EXPECT_EQ(plan.origin_payload(5, 42, 0), 42u);
+}
+
+TEST(FaultPlan, FaultyNodeListing) {
+  FaultPlan plan;
+  plan.add(1, FaultMode::kSilent);
+  plan.add(7, FaultMode::kCorrupt);
+  auto nodes = plan.faulty_nodes();
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 7}));
+}
+
+}  // namespace
+}  // namespace ihc

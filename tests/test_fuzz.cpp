@@ -1,0 +1,127 @@
+// Randomized property tests: random circulant members of class Lambda
+// are generated, decomposed, checked for Lambda membership, and run
+// through the IHC schedule machinery - end-to-end invariants under
+// topology fuzzing.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <numeric>
+#include <set>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "graph/hamiltonian.hpp"
+#include "sched/ihc_schedule.hpp"
+#include "topology/circulant.hpp"
+#include "topology/product.hpp"
+#include "topology/lambda.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+namespace {
+
+/// Draws a random valid circulant: N in [8, 60], 2-4 distinct jumps in
+/// [1, N/2) coprime to N.
+std::shared_ptr<Circulant> random_circulant(SplitMix64& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const auto n = static_cast<NodeId>(8 + rng.below(53));
+    const auto jump_count = static_cast<std::size_t>(2 + rng.below(3));
+    std::set<NodeId> jumps;
+    for (int tries = 0; tries < 40 && jumps.size() < jump_count; ++tries) {
+      const auto d = static_cast<NodeId>(1 + rng.below((n - 1) / 2));
+      if (2 * d < n && std::gcd(d, n) == 1) jumps.insert(d);
+    }
+    if (jumps.size() != jump_count) continue;
+    return std::make_shared<Circulant>(
+        n, std::vector<NodeId>(jumps.begin(), jumps.end()));
+  }
+  throw std::logic_error("could not draw a random circulant");
+}
+
+class CirculantFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CirculantFuzz, DecompositionAndLambdaMembership) {
+  SplitMix64 rng(GetParam());
+  const auto topo = random_circulant(rng);
+  const auto verdict =
+      verify_hc_set(topo->graph(), topo->hamiltonian_cycles(), true);
+  EXPECT_TRUE(verdict.ok) << topo->name() << ": " << verdict.reason;
+  const auto report = check_lambda(*topo, /*exact_limit=*/40, 16,
+                                   GetParam());
+  EXPECT_TRUE(report.in_lambda()) << topo->name() << ": " << report.detail;
+  EXPECT_TRUE(report.connectivity) << topo->name() << ": " << report.detail;
+}
+
+TEST_P(CirculantFuzz, IhcScheduleInvariants) {
+  SplitMix64 rng(GetParam() ^ 0xABCDEF);
+  const auto topo = random_circulant(rng);
+  const auto eta =
+      static_cast<std::uint32_t>(1 + rng.below(topo->node_count() / 2));
+  const IhcSchedule schedule(*topo, eta);
+  const auto check = check_schedule(topo->graph(), schedule);
+  EXPECT_EQ(check.link_conflicts, 0u) << topo->name() << " eta " << eta;
+  const NodeId n = topo->node_count();
+  EXPECT_EQ(check.total_sends,
+            static_cast<std::uint64_t>(topo->gamma()) * n * (n - 1));
+  EXPECT_TRUE(check.all_delivered(n, static_cast<std::uint8_t>(
+                                         topo->gamma())));
+}
+
+TEST_P(CirculantFuzz, TimedRunWithValidEtaIsExact) {
+  SplitMix64 rng(GetParam() ^ 0x5a5a5a);
+  const auto topo = random_circulant(rng);
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(1);
+  opt.net.mu = 2;
+  const std::uint32_t eta =
+      smallest_contention_free_eta(topo->node_count(), opt.net.mu);
+  const auto result = run_ihc(*topo, IhcOptions{.eta = eta}, opt);
+  EXPECT_EQ(result.stats.buffered_relays, 0u)
+      << topo->name() << " eta " << eta;
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(result.finish),
+      model::ihc_dedicated(topo->node_count(), eta, opt.net))
+      << topo->name();
+}
+
+TEST_P(CirculantFuzz, ProductsOfRandomRingsStayInLambda) {
+  // Random Cartesian products of rings (the generalized Theorem 1): the
+  // product must carry the combined cycle count, verify, and run IHC
+  // contention-free.
+  SplitMix64 rng(GetParam() ^ 0x9137);
+  auto ring = [&rng] {
+    return std::make_shared<Ring>(static_cast<NodeId>(3 + rng.below(6)));
+  };
+  // (C_a x C_b) or (C_a x C_b) x C_c, randomly.
+  std::shared_ptr<Topology> topo =
+      std::make_shared<ProductTopology>(ring(), ring());
+  if (rng.below(2) == 1)
+    topo = std::make_shared<ProductTopology>(
+        std::static_pointer_cast<const Topology>(topo), ring());
+  const auto verdict =
+      verify_hc_set(topo->graph(), topo->hamiltonian_cycles(),
+                    /*must_cover_all=*/true);
+  ASSERT_TRUE(verdict.ok) << topo->name() << ": " << verdict.reason;
+
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(1);
+  opt.net.mu = 2;
+  const std::uint32_t eta =
+      smallest_contention_free_eta(topo->node_count(), opt.net.mu);
+  const auto result = run_ihc(*topo, IhcOptions{.eta = eta}, opt);
+  EXPECT_EQ(result.stats.buffered_relays, 0u) << topo->name();
+  EXPECT_TRUE(result.ledger.all_pairs_have(topo->gamma()))
+      << topo->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CirculantFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17),
+                         [](const auto& param) {
+                           return "seed" + std::to_string(param.param);
+                         });
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,127 @@
+// Unit tests for the CSR graph structure and its directed-link id space.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+Graph triangle() { return Graph(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.link_count(), 6u);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  EXPECT_THROW(Graph(3, {{0, 0}}), ConfigError);
+}
+
+TEST(Graph, RejectsDuplicateEdgesInEitherOrientation) {
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), ConfigError);
+  EXPECT_THROW(Graph(3, {{0, 1}, {0, 1}}), ConfigError);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), ConfigError);
+}
+
+TEST(Graph, NeighborsAreSortedAndCarryEdgeIds) {
+  const Graph g = triangle();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].neighbor, 1u);
+  EXPECT_EQ(nbrs[1].neighbor, 2u);
+  EXPECT_EQ(nbrs[0].edge, g.find_edge(0, 1));
+  EXPECT_EQ(nbrs[1].edge, g.find_edge(0, 2));
+}
+
+TEST(Graph, FindEdgeIsSymmetric) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.find_edge(1, 2), g.find_edge(2, 1));
+  EXPECT_EQ(g.find_edge(0, 1), 0u);
+  EXPECT_EQ(g.find_edge(1, 2), 1u);
+}
+
+TEST(Graph, FindEdgeReturnsInvalidForNonEdges) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, LinkIdsAreDenseAndInvertible) {
+  const Graph g = triangle();
+  std::vector<bool> seen(g.link_count(), false);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      const LinkId l = g.link(u, a.neighbor);
+      ASSERT_LT(l, g.link_count());
+      EXPECT_FALSE(seen[l]);
+      seen[l] = true;
+      EXPECT_EQ(g.link_source(l), u);
+      EXPECT_EQ(g.link_target(l), a.neighbor);
+      EXPECT_EQ(g.link_edge(l), a.edge);
+    }
+  }
+}
+
+TEST(Graph, ReverseLinkSwapsEndpoints) {
+  const Graph g = triangle();
+  const LinkId l = g.link(0, 2);
+  const LinkId r = g.reverse_link(l);
+  EXPECT_EQ(g.link_source(r), 2u);
+  EXPECT_EQ(g.link_target(r), 0u);
+  EXPECT_EQ(g.reverse_link(r), l);
+}
+
+TEST(Graph, LinkRequiresAdjacency) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)g.link(0, 2), InvariantError);
+}
+
+TEST(Graph, RegularityDetection) {
+  EXPECT_TRUE(triangle().is_regular());
+  EXPECT_EQ(triangle().regular_degree(), 2u);
+  const Graph path(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(path.is_regular());
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(triangle().is_connected());
+  EXPECT_FALSE(Graph(4, {{0, 1}, {2, 3}}).is_connected());
+  EXPECT_TRUE(Graph(1, {}).is_connected());
+}
+
+TEST(GraphFactories, CycleGraph) {
+  const Graph c5 = make_cycle_graph(5);
+  EXPECT_EQ(c5.node_count(), 5u);
+  EXPECT_EQ(c5.edge_count(), 5u);
+  EXPECT_TRUE(c5.is_regular());
+  EXPECT_EQ(c5.regular_degree(), 2u);
+  EXPECT_TRUE(c5.has_edge(4, 0));
+  EXPECT_THROW(make_cycle_graph(2), ConfigError);
+}
+
+TEST(GraphFactories, CompleteGraph) {
+  const Graph k4 = make_complete_graph(4);
+  EXPECT_EQ(k4.edge_count(), 6u);
+  EXPECT_EQ(k4.regular_degree(), 3u);
+}
+
+TEST(GraphFactories, CartesianProductIsTheTorusForTwoCycles) {
+  const Graph t = cartesian_product(make_cycle_graph(3), make_cycle_graph(4));
+  EXPECT_EQ(t.node_count(), 12u);
+  EXPECT_EQ(t.edge_count(), 24u);  // 3*4 row + 3*4 column edges
+  EXPECT_TRUE(t.is_regular());
+  EXPECT_EQ(t.regular_degree(), 4u);
+  // (g, h) id = g * 4 + h; (0,0)-(0,1) and (0,0)-(1,0) must be edges.
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(0, 4));
+  EXPECT_FALSE(t.has_edge(0, 5));
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,94 @@
+// Tests for the hex-mesh coordinate geometry (Chen-Shin-Kandlur
+// addressing [5]): axial coordinates, closed-form distance, and greedy
+// routing, all cross-validated against BFS on the circulant graph.  This
+// doubles as a proof that the circulant construction with jumps
+// {1, 3m-2, 3m-1} really is the C-wrapped hexagonal mesh.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "sim/routing.hpp"
+#include "topology/hex_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(HexGeometry, AxialNormCases) {
+  EXPECT_EQ(HexMesh::axial_norm({0, 0}), 0u);
+  EXPECT_EQ(HexMesh::axial_norm({3, 0}), 3u);
+  EXPECT_EQ(HexMesh::axial_norm({0, -2}), 2u);
+  // Same sign: components add (axes are 60 degrees apart).
+  EXPECT_EQ(HexMesh::axial_norm({2, 3}), 5u);
+  EXPECT_EQ(HexMesh::axial_norm({-1, -1}), 2u);
+  // Opposite sign: pairs combine into third-axis moves.
+  EXPECT_EQ(HexMesh::axial_norm({2, -3}), 3u);
+  EXPECT_EQ(HexMesh::axial_norm({-4, 1}), 4u);
+}
+
+TEST(HexGeometry, CoordinatesInvertNeighborSteps) {
+  const HexMesh hex(4);
+  const NodeId c = 10;
+  // +1 jump = axial (1, 0); +(3m-1) = (0, 1); +(3m-2) = (-1, 1).
+  const auto a1 = hex.coordinates(c, (c + 1) % hex.node_count());
+  EXPECT_EQ(a1.a, 1);
+  EXPECT_EQ(a1.b, 0);
+  const auto a2 =
+      hex.coordinates(c, (c + 3 * hex.size() - 1) % hex.node_count());
+  EXPECT_EQ(a2.a, 0);
+  EXPECT_EQ(a2.b, 1);
+  const auto a3 =
+      hex.coordinates(c, (c + 3 * hex.size() - 2) % hex.node_count());
+  EXPECT_EQ(HexMesh::axial_norm(a3), 1u);
+}
+
+class HexGeometrySweep : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(HexGeometrySweep, ClosedFormDistanceEqualsBfs) {
+  const HexMesh hex(GetParam());
+  RoutingTable bfs(hex.graph());
+  for (NodeId u = 0; u < hex.node_count(); ++u)
+    for (NodeId v = 0; v < hex.node_count(); ++v)
+      ASSERT_EQ(hex.hex_distance(u, v), bfs.distance(u, v))
+          << "pair (" << u << "," << v << ") on " << hex.name();
+}
+
+TEST_P(HexGeometrySweep, EveryNodeLiesWithinRadiusMMinus1) {
+  const HexMesh hex(GetParam());
+  for (NodeId v = 0; v < hex.node_count(); ++v)
+    EXPECT_LE(hex.hex_distance(0, v), hex.size() - 1);
+}
+
+TEST_P(HexGeometrySweep, GreedyRoutesAreShortestAndValid) {
+  const HexMesh hex(GetParam());
+  for (NodeId u = 0; u < hex.node_count(); u += 3) {
+    for (NodeId v = 0; v < hex.node_count(); ++v) {
+      const auto path = hex.route(u, v);
+      ASSERT_EQ(path.size(), hex.hex_distance(u, v) + 1);
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        ASSERT_TRUE(hex.graph().has_edge(path[i], path[i + 1]))
+            << path[i] << "->" << path[i + 1];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HexGeometrySweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u),
+                         [](const auto& param) {
+                           return "H" + std::to_string(param.param);
+                         });
+
+TEST(HexGeometry, DiameterIsSizeMinusOne) {
+  // The C-wrapped hex mesh of size m has diameter m - 1 [5].
+  for (NodeId m : {2u, 3u, 4u, 5u}) {
+    const HexMesh hex(m);
+    std::uint32_t diameter = 0;
+    for (NodeId v = 0; v < hex.node_count(); ++v)
+      diameter = std::max(diameter, hex.hex_distance(0, v));
+    EXPECT_EQ(diameter, m - 1) << hex.name();
+  }
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,93 @@
+// Tests for the C-wrapped hexagonal mesh H_m (Section III-C).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <numeric>
+
+#include "graph/hamiltonian.hpp"
+#include "topology/hex_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(HexMesh, NodeCountFormula) {
+  EXPECT_EQ(HexMesh::node_count_for(2), 7u);
+  EXPECT_EQ(HexMesh::node_count_for(3), 19u);
+  EXPECT_EQ(HexMesh::node_count_for(4), 37u);
+  EXPECT_EQ(HexMesh::node_count_for(5), 61u);
+}
+
+TEST(HexMesh, Structure) {
+  const HexMesh h(3);
+  EXPECT_EQ(h.node_count(), 19u);
+  EXPECT_EQ(h.gamma(), 6u);
+  EXPECT_EQ(h.graph().regular_degree(), 6u);
+  EXPECT_EQ(h.graph().edge_count(), 3u * 19u);
+  EXPECT_EQ(h.name(), "H_3");
+}
+
+TEST(HexMesh, RejectsSizeOne) { EXPECT_THROW(HexMesh(1), ConfigError); }
+
+TEST(HexMesh, JumpsAreCoprimeToN) {
+  for (NodeId m : {2u, 3u, 4u, 5u, 6u, 8u}) {
+    const HexMesh h(m);
+    for (const NodeId j : h.jumps())
+      EXPECT_EQ(std::gcd(j, h.node_count()), 1u)
+          << "H_" << m << " jump " << j;
+  }
+}
+
+TEST(HexMesh, SizeTwoJumpsAreNormalized) {
+  // H_2 has N = 7; raw jumps {1, 4, 5} normalize to {1, 3, 2}.
+  const HexMesh h(2);
+  EXPECT_EQ(h.jumps()[0], 1u);
+  EXPECT_EQ(h.jumps()[1], 3u);
+  EXPECT_EQ(h.jumps()[2], 2u);
+}
+
+TEST(HexMesh, NeighborsFollowTheSixDirections) {
+  const HexMesh h(3);
+  const NodeId n = h.node_count();
+  for (unsigned d = 0; d < 3; ++d) {
+    EXPECT_EQ(h.neighbor(5, d), (5 + h.jumps()[d]) % n);
+    EXPECT_EQ(h.neighbor(5, d + 3), (5 + n - h.jumps()[d]) % n);
+    EXPECT_TRUE(h.graph().has_edge(5, h.neighbor(5, d)));
+  }
+  EXPECT_THROW((void)h.neighbor(5, 6), ConfigError);
+  // Opposite directions invert each other.
+  for (unsigned d = 0; d < 6; ++d)
+    EXPECT_EQ(h.neighbor(h.neighbor(5, d), (d + 3) % 6), 5u);
+}
+
+/// Section III-C: the edges of each direction describe a Hamiltonian
+/// cycle, giving three edge-disjoint HCs.
+class HexMeshDecomposition : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(HexMeshDecomposition, ThreeDirectionalHamiltonianCycles) {
+  const HexMesh h(GetParam());
+  const auto& cycles = h.hamiltonian_cycles();
+  ASSERT_EQ(cycles.size(), 3u);
+  const auto verdict = verify_hc_set(h.graph(), cycles, true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+  // Each cycle uses only edges of one jump class.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const NodeId jump = h.jumps()[i];
+    const auto& nodes = cycles[i].nodes();
+    for (std::size_t k = 0; k < nodes.size(); ++k) {
+      const NodeId a = nodes[k];
+      const NodeId b = nodes[(k + 1) % nodes.size()];
+      const NodeId diff = (b + h.node_count() - a) % h.node_count();
+      EXPECT_TRUE(diff == jump || diff == h.node_count() - jump);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HexMeshDecomposition,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u, 10u),
+                         [](const auto& param) {
+                           return "H" + std::to_string(param.param);
+                         });
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,103 @@
+// Tests for the hypercube topology and its Hamiltonian decomposition
+// (Theorems 1 and 2 of the paper).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "graph/hamiltonian.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(HypercubeGraph, StructureMatchesDefinition) {
+  const Graph q4 = make_hypercube_graph(4);
+  EXPECT_EQ(q4.node_count(), 16u);
+  EXPECT_EQ(q4.edge_count(), 32u);  // m * 2^(m-1)
+  EXPECT_EQ(q4.regular_degree(), 4u);
+  EXPECT_TRUE(q4.has_edge(0b0000, 0b0100));
+  EXPECT_FALSE(q4.has_edge(0b0000, 0b0110));
+}
+
+TEST(Hypercube, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Hypercube(1), ConfigError);
+  EXPECT_THROW((void)hypercube_hamiltonian_cycles(1), ConfigError);
+}
+
+TEST(Hypercube, NeighborAndDirection) {
+  const Hypercube q(4);
+  EXPECT_EQ(q.neighbor(0b0101, 1), 0b0111u);
+  EXPECT_EQ(q.direction(0b0101, 0b0111), 1u);
+  EXPECT_EQ(q.direction(0, 8), 3u);
+  EXPECT_THROW((void)q.direction(0, 3), ConfigError);  // not adjacent
+}
+
+TEST(Hypercube, NodeLabelIsBinaryMsbFirst) {
+  const Hypercube q(4);
+  EXPECT_EQ(q.node_label(0b1010), "1010");
+  EXPECT_EQ(q.node_label(1), "0001");
+}
+
+TEST(Hypercube, GammaFollowsTheorem1And2) {
+  EXPECT_EQ(Hypercube(2).gamma(), 2u);
+  EXPECT_EQ(Hypercube(3).gamma(), 2u);   // odd: one matching unused
+  EXPECT_EQ(Hypercube(4).gamma(), 4u);
+  EXPECT_EQ(Hypercube(7).gamma(), 6u);
+  EXPECT_EQ(Hypercube(10).gamma(), 10u);
+}
+
+/// Theorem 1 (even m) and Theorem 2 (odd m): floor(m/2) edge-disjoint
+/// Hamiltonian cycles, covering all edges iff m is even.
+class HypercubeDecomposition : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HypercubeDecomposition, TheoremHolds) {
+  const unsigned m = GetParam();
+  const Graph g = make_hypercube_graph(m);
+  const auto cycles = hypercube_hamiltonian_cycles(m);
+  EXPECT_EQ(cycles.size(), m / 2);
+  const auto verdict = verify_hc_set(g, cycles, /*cover_all=*/m % 2 == 0);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+TEST_P(HypercubeDecomposition, OddDimensionLeavesAPerfectMatching) {
+  const unsigned m = GetParam();
+  if (m % 2 == 0) GTEST_SKIP() << "even dimension covers all edges";
+  const Graph g = make_hypercube_graph(m);
+  std::vector<std::uint32_t> uses(g.node_count(), 0);
+  std::vector<bool> used_edge(g.edge_count(), false);
+  for (const Cycle& c : hypercube_hamiltonian_cycles(m))
+    for (EdgeId e : c.edge_ids(g)) used_edge[e] = true;
+  // Unused edges must form a perfect matching: every node exactly once.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (used_edge[e]) continue;
+    const auto [u, v] = g.edge(e);
+    ++uses[u];
+    ++uses[v];
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) EXPECT_EQ(uses[v], 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, HypercubeDecomposition,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u),
+                         [](const auto& param) {
+                           return "Q" + std::to_string(param.param);
+                         });
+
+TEST(Hypercube, TopologyCachesCyclesAcrossCalls) {
+  const Hypercube q(6);
+  const auto* first = &q.hamiltonian_cycles();
+  const auto* second = &q.hamiltonian_cycles();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(q.directed_cycles().size(), q.gamma());
+}
+
+TEST(Hypercube, DirectedCyclePairsShareReferenceNode) {
+  const Hypercube q(4);
+  const auto& dirs = q.directed_cycles();
+  for (std::size_t h = 0; h < dirs.size(); h += 2)
+    EXPECT_EQ(dirs[h].at(0), dirs[h + 1].at(0));
+}
+
+}  // namespace
+}  // namespace ihc

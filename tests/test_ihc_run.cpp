@@ -1,0 +1,246 @@
+// Timed-simulation tests of the IHC algorithm: the paper's central claims.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <cctype>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "topology/circulant.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+struct Case {
+  std::string name;
+  std::shared_ptr<Topology> topo;
+  std::uint32_t eta;
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  const auto add = [&out](std::shared_ptr<Topology> t,
+                          std::initializer_list<std::uint32_t> etas) {
+    for (std::uint32_t eta : etas)
+      out.push_back({t->name() + "_eta" + std::to_string(eta), t, eta});
+  };
+  // Every (topology, eta) pair honors the paper's precondition for a
+  // contention-free run at mu = 2: the initiator spacing on a cycle is
+  // eta except for one wrap-around gap of N mod eta, so we need
+  // N mod eta == 0 or N mod eta >= mu (Section IV assumes N mod mu = 0).
+  add(std::make_shared<Hypercube>(4), {2, 4});
+  add(std::make_shared<Hypercube>(5), {2, 4});
+  add(std::make_shared<Hypercube>(6), {2, 4});
+  add(std::make_shared<SquareMesh>(4), {2});
+  add(std::make_shared<SquareMesh>(5), {5, 25});
+  add(std::make_shared<HexMesh>(3), {19});   // N = 19 is prime: only
+                                             // eta = 1 or N divide it
+  add(std::make_shared<Circulant>(15, std::vector<NodeId>{1, 2, 4}), {3, 5});
+  return out;
+}
+
+class IhcTimed : public ::testing::TestWithParam<Case> {};
+
+/// Table II, row "IHC": with eta >= mu and a dedicated network the
+/// simulated finish time equals eta (tau_S + mu alpha + (N-2) alpha)
+/// *exactly*, and no relay is ever buffered.
+TEST_P(IhcTimed, DedicatedRunMatchesTableTwoExactly) {
+  const auto& [name, topo, eta] = GetParam();
+  const AtaOptions opt = base_options();
+  const auto result = run_ihc(*topo, IhcOptions{.eta = eta}, opt);
+
+  EXPECT_EQ(result.stats.buffered_relays, 0u)
+      << "a contending packet was buffered";
+  EXPECT_EQ(result.stats.wormhole_stalls, 0u);
+  const double expected =
+      model::ihc_dedicated(topo->node_count(), eta, opt.net);
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.finish), expected);
+}
+
+/// Every node receives exactly gamma copies of every other node's message.
+TEST_P(IhcTimed, DeliversGammaCopiesToEveryPair) {
+  const auto& [name, topo, eta] = GetParam();
+  const auto result = run_ihc(*topo, IhcOptions{.eta = eta}, base_options());
+  const NodeId n = topo->node_count();
+  for (NodeId o = 0; o < n; ++o) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (o != d) {
+        ASSERT_EQ(result.ledger.copies(o, d), topo->gamma())
+            << "(" << o << " -> " << d << ")";
+      }
+    }
+  }
+  EXPECT_EQ(result.stats.deliveries,
+            static_cast<std::uint64_t>(topo->gamma()) * n * (n - 1));
+}
+
+/// Per-copy timing: in a dedicated run, the copy of origin o arriving at
+/// destination d over directed cycle j lands at exactly
+///   stage(o) start + tau_S + (dist_j(o, d) - 1) alpha + mu alpha
+/// (injection, dist-1 cut-throughs, tail).  Checked for every copy of a
+/// full run - the strongest form of the timing-model validation.
+TEST(IhcTiming, EveryCopyArrivesAtItsExactPredictedInstant) {
+  const SquareMesh sq(4);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  const std::uint32_t eta = 2;
+  const auto result = run_ihc(sq, IhcOptions{.eta = eta}, opt);
+  const auto& cycles = sq.directed_cycles();
+  const NodeId n = sq.node_count();
+  const SimTime stage_span =
+      opt.net.tau_s + static_cast<SimTime>(opt.net.mu) * opt.net.alpha +
+      static_cast<SimTime>(n - 2) * opt.net.alpha;
+  for (NodeId o = 0; o < n; ++o) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (o == d) continue;
+      for (const CopyRecord& copy : result.ledger.records(o, d)) {
+        const DirectedCycle& hc = cycles[copy.route];
+        const std::size_t dist = (hc.id(d) + n - hc.id(o)) % n;
+        const SimTime stage_start =
+            static_cast<SimTime>(hc.id(o) % eta) * stage_span;
+        const SimTime expected =
+            stage_start + opt.net.tau_s +
+            static_cast<SimTime>(dist - 1) * opt.net.alpha +
+            static_cast<SimTime>(opt.net.mu) * opt.net.alpha;
+        ASSERT_EQ(copy.time, expected)
+            << "(" << o << "->" << d << " via cycle " << copy.route << ")";
+      }
+    }
+  }
+}
+
+/// Wormhole and virtual cut-through coincide in dedicated mode: nothing
+/// ever blocks, so nothing is ever stalled or buffered.
+TEST_P(IhcTimed, WormholeEqualsVctInDedicatedMode) {
+  const auto& [name, topo, eta] = GetParam();
+  AtaOptions opt = base_options();
+  const auto vct = run_ihc(*topo, IhcOptions{.eta = eta}, opt);
+  opt.net.switching = Switching::kWormhole;
+  const auto worm = run_ihc(*topo, IhcOptions{.eta = eta}, opt);
+  EXPECT_EQ(vct.finish, worm.finish);
+  EXPECT_EQ(worm.stats.wormhole_stalls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, IhcTimed, ::testing::ValuesIn(cases()),
+                         [](const auto& param) {
+                           std::string s = param.param.name;
+                           for (char& c : s)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return s;
+                         });
+
+/// Section IV: "eta < mu cannot be used ... the network cannot hold all of
+/// the messages" - with eta < mu the run still delivers, but packets get
+/// buffered (cut-throughs are lost).
+TEST(IhcEta, EtaBelowMuForcesBuffering) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.net.mu = 4;
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  EXPECT_GT(result.stats.buffered_relays, 0u);
+  EXPECT_TRUE(result.ledger.all_pairs_have(q.gamma()));  // still correct
+}
+
+TEST(IhcEta, EtaEqualMuIsTheSmallestContentionFreeChoice) {
+  const SquareMesh sq(6);  // N = 36, divisible by mu = 3
+  AtaOptions opt = base_options();
+  opt.net.mu = 3;
+  const auto at_mu = run_ihc(sq, IhcOptions{.eta = 3}, opt);
+  EXPECT_EQ(at_mu.stats.buffered_relays, 0u);
+}
+
+/// The paper's capacity argument (Section IV): with eta >= mu the FIFO
+/// pipeline holds every packet in flight and NO node ever stores one -
+/// the intermediate buffers of Fig. 7 stay empty; with eta < mu "the
+/// network cannot hold all of the messages" and node storage fills up.
+TEST(IhcEta, NodeBuffersStayEmptyIffEtaIsAtLeastMu) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.net.mu = 4;
+  const auto good = run_ihc(q, IhcOptions{.eta = 4}, opt);
+  EXPECT_EQ(good.stats.max_node_buffer_occupancy, 0u);
+  const auto bad = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  EXPECT_GT(bad.stats.max_node_buffer_occupancy, 0u);
+}
+
+/// The paper's divisibility caveat (Section IV, "assuming N modulo mu =
+/// 0"): when N mod eta is nonzero but smaller than mu, the wrap-around
+/// gap between a cycle's first and last initiators is too short for the
+/// FIFO pipeline, and a few relays get buffered.  Delivery stays correct.
+TEST(IhcEta, WrapAroundGapBelowMuCausesResidualBuffering) {
+  const Hypercube q(6);  // N = 64, 64 mod 3 = 1 < mu = 2
+  const auto result = run_ihc(q, IhcOptions{.eta = 3}, base_options());
+  EXPECT_GT(result.stats.buffered_relays, 0u);
+  EXPECT_TRUE(result.ledger.all_pairs_have(q.gamma()));
+}
+
+/// The modified (overlapped) IHC: finish time drops by (mu-1)^2 alpha when
+/// eta == mu, with stages run in reverse order (Section VI-A).
+TEST(IhcOverlap, SavesThePaperPredictedTime) {
+  const Hypercube q(5);
+  AtaOptions opt = base_options();
+  opt.net.mu = 2;
+  const auto plain = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  const auto overlapped =
+      run_ihc(q, IhcOptions{.eta = 2, .overlap_stages = true}, opt);
+  const SimTime saving = plain.finish - overlapped.finish;
+  const SimTime predicted = (opt.net.mu - 1) * (opt.net.mu - 1) *
+                            opt.net.alpha;
+  EXPECT_EQ(saving, predicted);
+  EXPECT_TRUE(overlapped.ledger.all_pairs_have(q.gamma()));
+}
+
+/// Both stop policies produce identical runs (they differ only in how a
+/// relay recognizes the end of a packet's journey).
+TEST(IhcStopPolicy, HopCountAndAddressAreEquivalent)
+{
+  const SquareMesh sq(4);
+  const AtaOptions opt = base_options();
+  const auto by_count = run_ihc(
+      sq, IhcOptions{.eta = 2, .stop_policy = IhcStopPolicy::kHopCount},
+      opt);
+  const auto by_addr = run_ihc(
+      sq,
+      IhcOptions{.eta = 2, .stop_policy = IhcStopPolicy::kLastNodeAddress},
+      opt);
+  EXPECT_EQ(by_count.finish, by_addr.finish);
+  EXPECT_EQ(by_count.stats.deliveries, by_addr.stats.deliveries);
+  EXPECT_EQ(by_count.stats.cut_throughs, by_addr.stats.cut_throughs);
+}
+
+/// Table IV, row "IHC": forcing store-and-forward everywhere with queueing
+/// delay D reproduces eta (N-1)(tau_S + mu alpha + D).
+TEST(IhcWorstCase, MatchesTableFour) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.net.switching = Switching::kStoreAndForward;
+  opt.net.queueing_delay = sim_ns(700);
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  const double expected = model::ihc_worst(q.node_count(), 2, opt.net);
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.finish), expected);
+}
+
+TEST(IhcOptions, RejectsBadEta) {
+  const Hypercube q(3);
+  EXPECT_THROW((void)run_ihc(q, IhcOptions{.eta = 0}, base_options()),
+               ConfigError);
+  EXPECT_THROW((void)run_ihc(q, IhcOptions{.eta = 100}, base_options()),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,169 @@
+// Tests for the Section-IV operational variants of the IHC algorithm:
+// single-link-per-node operation (gamma sequential invocations) and the
+// reduced-reliability k < gamma cycle subset.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "core/verify.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+TEST(IhcSingleLink, TakesGammaTimesTheAllLinksTime) {
+  const Hypercube q(4);
+  const AtaOptions opt = base_options();
+  IhcOptions seq{.eta = 2, .concurrency = LinkConcurrency::kSingleLinkPerNode};
+  const auto result = run_ihc(q, seq, opt);
+  EXPECT_EQ(result.stats.buffered_relays, 0u);
+  const double expected =
+      model::ihc_single_link(q.node_count(), 2, q.gamma(), opt.net);
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.finish), expected);
+  // Delivery is unchanged: gamma copies everywhere.
+  EXPECT_TRUE(result.ledger.all_pairs_have(q.gamma()));
+}
+
+TEST(IhcSingleLink, NodesNeverDriveTwoTransmittersAtOnce) {
+  // In single-link mode, at most one flow per node is in flight per
+  // invocation, so the finish time of gamma sequential invocations equals
+  // gamma times one invocation's span - verified above - and each
+  // invocation uses exactly one outgoing link per node.
+  const SquareMesh sq(4);
+  const auto& cycles = sq.directed_cycles();
+  for (const auto& hc : cycles) {
+    std::set<std::pair<NodeId, NodeId>> links;
+    for (NodeId v = 0; v < sq.node_count(); ++v)
+      links.insert({v, hc.next(v)});
+    // One outgoing link per node.
+    std::set<NodeId> sources;
+    for (const auto& [from, to] : links) sources.insert(from);
+    EXPECT_EQ(sources.size(), sq.node_count());
+    EXPECT_EQ(links.size(), sq.node_count());
+  }
+}
+
+TEST(IhcCycleSubset, FewerCyclesDeliverFewerCopies) {
+  const Hypercube q(4);  // gamma = 4
+  const AtaOptions opt = base_options();
+  for (std::uint32_t k : {1u, 2u, 3u}) {
+    const auto result =
+        run_ihc(q, IhcOptions{.eta = 2, .cycles_to_use = k}, opt);
+    const NodeId n = q.node_count();
+    for (NodeId o = 0; o < n; ++o) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (o != d) {
+          ASSERT_EQ(result.ledger.copies(o, d), k);
+        }
+      }
+    }
+    // All-links mode: the subset finishes in the same wall time as the
+    // full run (cycles are link-disjoint and run in parallel).
+    EXPECT_DOUBLE_EQ(static_cast<double>(result.finish),
+                     model::ihc_dedicated(n, 2, opt.net));
+  }
+}
+
+TEST(IhcCycleSubset, SingleLinkModeTradesReliabilityForTime) {
+  // Section IV: "it is a simple matter to reduce the execution time (and
+  // reliability) ... by using k < gamma sequential invocations."
+  const Hypercube q(4);
+  const AtaOptions opt = base_options();
+  IhcOptions two{.eta = 2,
+                 .concurrency = LinkConcurrency::kSingleLinkPerNode,
+                 .cycles_to_use = 2};
+  IhcOptions four{.eta = 2,
+                  .concurrency = LinkConcurrency::kSingleLinkPerNode,
+                  .cycles_to_use = 4};
+  const auto r2 = run_ihc(q, two, opt);
+  const auto r4 = run_ihc(q, four, opt);
+  EXPECT_EQ(2 * r2.finish, r4.finish);
+  EXPECT_TRUE(r2.ledger.all_pairs_have(2));
+  EXPECT_FALSE(r2.ledger.all_pairs_have(3));
+  EXPECT_TRUE(r4.ledger.all_pairs_have(4));
+}
+
+TEST(IhcCycleSubset, SubsetStillUsesOppositeDirectionPairs) {
+  // cycles_to_use = 2 selects both directions of the first undirected HC:
+  // the two copies arrive over internally node-disjoint routes, so one
+  // silent fault cannot starve a pair completely.
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  FaultPlan plan(3);
+  plan.add(6, FaultMode::kSilent);
+  opt.faults = &plan;
+  const auto result =
+      run_ihc(q, IhcOptions{.eta = 2, .cycles_to_use = 2}, opt);
+  for (NodeId o = 0; o < q.node_count(); ++o) {
+    for (NodeId d = 0; d < q.node_count(); ++d) {
+      if (o == d || o == 6 || d == 6) continue;
+      EXPECT_GE(result.ledger.copies(o, d), 1u)
+          << "(" << o << "," << d << ")";
+    }
+  }
+}
+
+TEST(IhcCycleSubset, RejectsOutOfRangeK) {
+  const Hypercube q(4);
+  EXPECT_THROW((void)run_ihc(q, IhcOptions{.eta = 2, .cycles_to_use = 5},
+                             base_options()),
+               ConfigError);
+}
+
+TEST(IhcPacketization, PacketCountIsCeilOfUnitsOverMu) {
+  EXPECT_EQ(ihc_packet_count(0, 2), 1u);
+  EXPECT_EQ(ihc_packet_count(2, 2), 1u);
+  EXPECT_EQ(ihc_packet_count(3, 2), 2u);
+  EXPECT_EQ(ihc_packet_count(7, 2), 4u);
+  EXPECT_EQ(ihc_packet_count(8, 4), 2u);
+}
+
+TEST(IhcPacketization, LongMessagesRunMultipleRoundsExactly) {
+  const Hypercube q(4);
+  const AtaOptions opt = base_options();
+  IhcOptions long_msg{.eta = 2, .message_units = 7};  // 4 packets at mu=2
+  const auto result = run_ihc(q, long_msg, opt);
+  EXPECT_EQ(result.stats.buffered_relays, 0u);
+  const double expected =
+      model::ihc_message_dedicated(q.node_count(), 2, 7, opt.net);
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.finish), expected);
+  // Each round delivers gamma copies, so a pair sees 4 * gamma in all.
+  EXPECT_TRUE(result.ledger.all_pairs_have(4 * q.gamma()));
+}
+
+TEST(IhcPacketization, MessageTimeScalesLinearlyInLength) {
+  const Hypercube q(4);
+  const AtaOptions opt = base_options();
+  const auto one = run_ihc(q, IhcOptions{.eta = 2, .message_units = 2}, opt);
+  const auto five =
+      run_ihc(q, IhcOptions{.eta = 2, .message_units = 10}, opt);
+  EXPECT_EQ(5 * one.finish, five.finish);
+}
+
+TEST(IhcVariants, AlgorithmNameEncodesTheConfiguration) {
+  const Hypercube q(4);
+  const auto r = run_ihc(
+      q,
+      IhcOptions{.eta = 2,
+                 .concurrency = LinkConcurrency::kSingleLinkPerNode,
+                 .cycles_to_use = 3},
+      base_options());
+  EXPECT_NE(r.algorithm.find("single-link"), std::string::npos);
+  EXPECT_NE(r.algorithm.find("k=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ihc

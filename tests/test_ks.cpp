@@ -1,0 +1,141 @@
+// Tests for the KS hex-mesh reliable broadcast reconstruction and KS-ATA.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/ks.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+class KsTrees : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(KsTrees, SixTreesEachCoveringEveryNodeExactlyOnce) {
+  const HexMesh hex(GetParam());
+  const NodeId n = hex.node_count();
+  for (const auto variant :
+       {KsVariant::kClassic, KsVariant::kAxisAvoiding}) {
+    for (NodeId source : {NodeId{0}, n / 2}) {
+      const auto trees = ks_trees(hex, source, variant);
+      ASSERT_EQ(trees.size(), 6u);
+      for (const auto& tree : trees) {
+        std::vector<int> seen(n, 0);
+        for (const auto& t : tree) ++seen[t.node];
+        // The source appears twice (as root and inside a sector); every
+        // other node exactly once.
+        EXPECT_EQ(seen[source], 2);
+        for (NodeId v = 0; v < n; ++v) {
+          if (v != source) {
+            EXPECT_EQ(seen[v], 1) << "node " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KsTrees, TreeEdgesAreRealLinks) {
+  const HexMesh hex(GetParam());
+  for (const auto variant :
+       {KsVariant::kClassic, KsVariant::kAxisAvoiding}) {
+    const auto trees = ks_trees(hex, 0, variant);
+    for (const auto& tree : trees) {
+      for (std::size_t i = 1; i < tree.size(); ++i) {
+        const NodeId parent =
+            tree[static_cast<std::size_t>(tree[i].parent)].node;
+        EXPECT_TRUE(hex.graph().has_edge(parent, tree[i].node));
+      }
+    }
+  }
+}
+
+TEST_P(KsTrees, PathStoreAndForwardBoundsPerVariant) {
+  // The paper's Fig. 8 cost structure: the longest KS path has 3 SAF
+  // operations (injection + at most two turns); the axis-avoiding
+  // variant spends a 4th on the m-1 back-axis nodes.
+  const HexMesh hex(GetParam());
+  for (const auto& [variant, bound] :
+       {std::pair{KsVariant::kClassic, std::size_t{3}},
+        std::pair{KsVariant::kAxisAvoiding, std::size_t{4}}}) {
+    for (const auto& tree : ks_trees(hex, 0, variant)) {
+      for (std::size_t i = 1; i < tree.size(); ++i) {
+        std::size_t saf = 0;
+        for (std::size_t cur = i; cur != 0;
+             cur = static_cast<std::size_t>(tree[cur].parent)) {
+          if (!tree[cur].cut_through_preferred) ++saf;
+        }
+        EXPECT_LE(saf, bound);
+      }
+    }
+  }
+}
+
+TEST(KsVariants, AxisAvoidingHalvesAggregateQueueing) {
+  const HexMesh hex(5);
+  AtaOptions opt = base_options();
+  const auto classic = run_ks_single(hex, 0, opt, KsVariant::kClassic);
+  const auto avoiding =
+      run_ks_single(hex, 0, opt, KsVariant::kAxisAvoiding);
+  EXPECT_LT(avoiding.stats.total_queue_wait,
+            0.7 * static_cast<double>(classic.stats.total_queue_wait));
+  for (NodeId d = 1; d < hex.node_count(); ++d)
+    EXPECT_EQ(avoiding.ledger.copies(0, d), 6u);
+}
+
+TEST(KsVariants, ASingleTreeAloneMatchesTheCostModel) {
+  // The reconstruction's intra-tree schedule is contention-free: one
+  // tree simulated alone meets the per-broadcast closed form; the
+  // measured slowdown of a full broadcast is purely cross-tree.
+  const HexMesh hex(5);
+  AtaOptions opt = base_options();
+  const auto trees = ks_trees(hex, 0, KsVariant::kClassic);
+  Network net(hex.graph(), opt.net);
+  FlowSpec f;
+  f.origin = 0;
+  f.tree = trees[0];
+  net.add_flow(std::move(f));
+  net.run();
+  const double model =
+      model::ks_ata_dedicated(hex.node_count(), opt.net) /
+      static_cast<double>(hex.node_count());
+  EXPECT_NEAR(static_cast<double>(net.stats().finish_time), model,
+              0.05 * model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KsTrees, ::testing::Values(2u, 3u, 4u, 5u),
+                         [](const auto& param) {
+                           return "H" + std::to_string(param.param);
+                         });
+
+TEST(KsAta, DeliversSixCopiesToEveryPair) {
+  const HexMesh hex(3);
+  const auto result = run_ks_ata(hex, base_options());
+  const NodeId n = hex.node_count();
+  for (NodeId o = 0; o < n; ++o) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (o != d) {
+        ASSERT_EQ(result.ledger.copies(o, d), 6u)
+            << "(" << o << "," << d << ")";
+      }
+    }
+  }
+}
+
+TEST(KsSingle, FinishScalesWithMeshSize) {
+  const AtaOptions opt = base_options();
+  const auto small = run_ks_single(HexMesh(3), 0, opt);
+  const auto large = run_ks_single(HexMesh(6), 0, opt);
+  EXPECT_GT(large.finish, small.finish);
+  // Still a constant number of tau_s deep (not O(N)): generous bound.
+  EXPECT_LT(large.finish, 12 * opt.net.tau_s);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,69 @@
+// Tests for class-Lambda membership checking (Section III).
+#include <gtest/gtest.h>
+
+#include "topology/circulant.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/lambda.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(Lambda, EvenHypercubesAreMembers) {
+  for (unsigned m : {2u, 4u, 6u}) {
+    const Hypercube q(m);
+    const auto r = check_lambda(q);
+    EXPECT_TRUE(r.in_lambda()) << "Q_" << m << ": " << r.detail;
+    EXPECT_TRUE(r.connectivity) << r.detail;
+  }
+}
+
+TEST(Lambda, OddHypercubesJoinViaLinkDeletion) {
+  // Section III-A: deleting one link per node of Q_{2k+1} yields a member
+  // with gamma = 2k.  Our effective graph is exactly that deletion.
+  const Hypercube q(5);
+  const auto r = check_lambda(q);
+  EXPECT_TRUE(r.in_lambda()) << r.detail;
+  EXPECT_EQ(q.gamma(), 4u);
+  EXPECT_TRUE(r.connectivity) << r.detail;
+}
+
+TEST(Lambda, SquareAndHexMeshesAreMembers) {
+  const SquareMesh sq(5);
+  const auto rs = check_lambda(sq);
+  EXPECT_TRUE(rs.in_lambda()) << rs.detail;
+  EXPECT_TRUE(rs.connectivity_exact);
+
+  const HexMesh h(3);
+  const auto rh = check_lambda(h);
+  EXPECT_TRUE(rh.in_lambda()) << rh.detail;
+  EXPECT_TRUE(rh.connectivity) << rh.detail;
+}
+
+TEST(Lambda, CirculantsAreMembers) {
+  const Circulant c(13, {1, 2, 3});
+  const auto r = check_lambda(c);
+  EXPECT_TRUE(r.in_lambda()) << r.detail;
+  EXPECT_TRUE(r.connectivity) << r.detail;
+}
+
+TEST(Lambda, LargeGraphsUseSampledConnectivity) {
+  const Hypercube q(8);
+  const auto r = check_lambda(q, /*exact_limit=*/64, /*samples=*/4);
+  EXPECT_TRUE(r.in_lambda()) << r.detail;
+  EXPECT_FALSE(r.connectivity_exact);
+  EXPECT_TRUE(r.connectivity);
+}
+
+TEST(Lambda, GammaMatchesVertexConnectivityExactlyOnSmallMembers) {
+  // The paper: "if G belongs to the class Lambda, then gamma is the
+  // connectivity of G."
+  const SquareMesh sq(4);
+  const auto r = check_lambda(sq, /*exact_limit=*/32);
+  EXPECT_TRUE(r.connectivity_exact);
+  EXPECT_TRUE(r.connectivity);
+}
+
+}  // namespace
+}  // namespace ihc

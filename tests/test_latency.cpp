@@ -1,0 +1,82 @@
+// Tests for the delivery-latency analytics.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/frs.hpp"
+#include "core/ihc.hpp"
+#include "core/latency.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions full_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  return opt;
+}
+
+TEST(Latency, RequiresFullGranularity) {
+  DeliveryLedger counts_only(4, DeliveryLedger::Granularity::kCounts);
+  EXPECT_THROW((void)delivery_latency(counts_only), ConfigError);
+}
+
+TEST(Latency, MilestonesAreOrderedAndMatchFinish) {
+  const Hypercube q(4);
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, full_options());
+  const LatencyReport lat = delivery_latency(result.ledger);
+  EXPECT_TRUE(lat.all_pairs_reached);
+  EXPECT_LE(lat.first_copy_completion, lat.full_completion);
+  EXPECT_EQ(lat.full_completion, result.finish);
+  EXPECT_GT(lat.first_copy_completion, 0);
+  // Distributions cover all ordered pairs.
+  EXPECT_EQ(lat.first_copy_times.count(), 16u * 15u);
+  EXPECT_LE(lat.first_copy_times.max(), lat.last_copy_times.max());
+}
+
+TEST(Latency, CraftedLedgerComputesExactMilestones) {
+  DeliveryLedger ledger(2, DeliveryLedger::Granularity::kFull);
+  CopyRecord a;
+  a.time = 100;
+  ledger.record(0, 1, a);
+  a.time = 300;
+  ledger.record(0, 1, a);
+  a.time = 250;
+  ledger.record(1, 0, a);
+  const LatencyReport lat = delivery_latency(ledger);
+  EXPECT_TRUE(lat.all_pairs_reached);
+  EXPECT_EQ(lat.first_copy_completion, 250);  // max(min(100,300), 250)
+  EXPECT_EQ(lat.full_completion, 300);
+  EXPECT_DOUBLE_EQ(lat.first_copy_times.mean(), (100 + 250) / 2.0);
+}
+
+TEST(Latency, MissingPairIsReported) {
+  DeliveryLedger ledger(3, DeliveryLedger::Granularity::kFull);
+  CopyRecord a;
+  a.time = 10;
+  ledger.record(0, 1, a);
+  const LatencyReport lat = delivery_latency(ledger);
+  EXPECT_FALSE(lat.all_pairs_reached);
+}
+
+TEST(Latency, IhcFirstAndLastMilestonesAreCloserThanFrs) {
+  // Structural contrast: IHC pipelines every copy through a full cycle,
+  // so its first-copy and all-copies milestones are within one stage of
+  // each other; FRS delivers the bulk in its final doubling steps.
+  const Hypercube q(4);
+  const auto ihc_run = run_ihc(q, IhcOptions{.eta = 2}, full_options());
+  const auto frs_run = run_frs(q, full_options());
+  const auto li = delivery_latency(ihc_run.ledger);
+  const auto lf = delivery_latency(frs_run.ledger);
+  const double ihc_gap = static_cast<double>(li.full_completion) /
+                         static_cast<double>(li.first_copy_completion);
+  EXPECT_LT(ihc_gap, 2.1);  // within ~one stage
+  EXPECT_LT(li.full_completion, lf.first_copy_completion);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,123 @@
+// Tests for the extended fault model: link failures and slow (timing-
+// faulty) nodes.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "core/verify.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+TEST(LinkFaults, OneDeadDirectedLinkCostsPredictableDeliveries) {
+  // A directed link sits on exactly one directed Hamiltonian cycle, and
+  // N-1 of that cycle's packets would cross it (all but the one whose
+  // route ends just before it).  The origin AT the link loses everything
+  // (its injection is blocked): N-1 deliveries; origin p (counting along
+  // the cycle) loses p-1; total N(N-1)/2.
+  const Hypercube q(4);
+  const NodeId n = q.node_count();
+  AtaOptions opt = base_options();
+  FaultPlan plan;
+  const auto& hc = q.directed_cycles()[0];
+  plan.fail_link(q.graph().link(hc.at(0), hc.at(1)));
+  opt.faults = &plan;
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+
+  const std::uint64_t full =
+      static_cast<std::uint64_t>(q.gamma()) * n * (n - 1);
+  const std::uint64_t lost =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  EXPECT_EQ(result.stats.deliveries, full - lost);
+  EXPECT_GT(result.stats.link_drops, 0u);
+  EXPECT_EQ(result.stats.fault_drops, 0u);  // distinct counters
+}
+
+TEST(LinkFaults, SeveredCableStillLeavesGammaMinus2Copies) {
+  // Killing both directions of one undirected edge removes at most one
+  // copy per direction per pair: every pair still receives >= gamma - 2
+  // copies, and with received-majority voting every verdict stays
+  // correct (the surviving copies are intact).
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  FaultPlan plan;
+  const LinkId l = q.graph().link(3, 7);
+  plan.fail_link(l);
+  plan.fail_link(q.graph().reverse_link(l));
+  opt.faults = &plan;
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  for (NodeId o = 0; o < q.node_count(); ++o) {
+    for (NodeId d = 0; d < q.node_count(); ++d) {
+      if (o != d) {
+        ASSERT_GE(result.ledger.copies(o, d), q.gamma() - 2)
+            << o << "->" << d;
+      }
+    }
+  }
+  const auto report =
+      assess_reliability(result.ledger, nullptr, q.gamma(), {},
+                         VoteRule::kReceivedMajority);
+  EXPECT_TRUE(report.all_correct());
+}
+
+TEST(SlowNodes, DelayRelaysWithoutCorruptingAnything) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  const auto clean = run_ihc(q, IhcOptions{.eta = 2}, opt);
+
+  FaultPlan plan;
+  plan.add(5, FaultMode::kSlow);
+  plan.set_slow_delay(sim_us(3));
+  opt.faults = &plan;
+  const auto slowed = run_ihc(q, IhcOptions{.eta = 2}, opt);
+
+  // Everything still arrives, intact...
+  EXPECT_TRUE(slowed.ledger.all_pairs_have(q.gamma()));
+  EXPECT_EQ(slowed.stats.fault_corruptions, 0u);
+  EXPECT_EQ(slowed.stats.fault_drops, 0u);
+  // ...but node 5's relays were buffered (slow path) and the run is
+  // late.
+  EXPECT_GT(slowed.stats.buffered_relays, 0u);
+  EXPECT_GT(slowed.finish, clean.finish);
+}
+
+TEST(SlowNodes, SlowDelayIsVisibleInTheFinishTime) {
+  // One slow node on a cycle adds at least its penalty to the stage's
+  // critical path.
+  const Hypercube q(3);
+  AtaOptions opt = base_options();
+  const auto clean = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  FaultPlan plan;
+  plan.add(2, FaultMode::kSlow);
+  plan.set_slow_delay(sim_us(10));
+  opt.faults = &plan;
+  const auto slowed = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  EXPECT_GE(slowed.finish - clean.finish, sim_us(10));
+}
+
+TEST(LinkFaults, PlanBookkeeping) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.link_failed(3));
+  plan.fail_link(3);
+  EXPECT_TRUE(plan.link_failed(3));
+  EXPECT_EQ(plan.failed_link_count(), 1u);
+  plan.fail_link(3);  // idempotent
+  EXPECT_EQ(plan.failed_link_count(), 1u);
+  plan.add(1, FaultMode::kSlow);
+  EXPECT_EQ(plan.on_relay(1), RelayAction::kDelay);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,120 @@
+// Tests for the generalized Theorem 1: class Lambda is closed under
+// Cartesian products (Ring, ProductTopology, Torus3D).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "graph/hamiltonian.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/lambda.hpp"
+#include "topology/product.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(Ring, IsTheDegenerateLambdaMember) {
+  const Ring ring(7);
+  EXPECT_EQ(ring.gamma(), 2u);
+  EXPECT_EQ(ring.hamiltonian_cycles().size(), 1u);
+  const auto r = check_lambda(ring);
+  EXPECT_TRUE(r.in_lambda()) << r.detail;
+}
+
+TEST(Torus3D, IsASixRegularLambdaMember) {
+  const auto torus = make_torus3d(4, 5);  // 4 x 4 x 5 = 80 nodes
+  EXPECT_EQ(torus->node_count(), 80u);
+  EXPECT_EQ(torus->gamma(), 6u);
+  EXPECT_EQ(torus->graph().regular_degree(), 6u);
+  ASSERT_EQ(torus->hamiltonian_cycles().size(), 3u);
+  const auto verdict =
+      verify_hc_set(torus->graph(), torus->hamiltonian_cycles(), true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+  const auto r = check_lambda(*torus, /*exact_limit=*/90);
+  EXPECT_TRUE(r.in_lambda()) << r.detail;
+  EXPECT_TRUE(r.connectivity) << r.detail;
+}
+
+TEST(Torus3D, CoordinateLabels) {
+  const auto torus = make_torus3d(3, 4);
+  EXPECT_EQ(torus->node_at(2, 3), 11u);
+  EXPECT_EQ(torus->node_label(torus->node_at(2, 3)), "((0,2),3)");
+}
+
+TEST(ProductTopology, SquareTimesSquareIsAFourDTorus) {
+  const ProductTopology prod(std::make_shared<SquareMesh>(3),
+                             std::make_shared<SquareMesh>(4));
+  EXPECT_EQ(prod.node_count(), 9u * 16u);
+  EXPECT_EQ(prod.gamma(), 8u);
+  const auto verdict =
+      verify_hc_set(prod.graph(), prod.hamiltonian_cycles(), true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+TEST(ProductTopology, HexTimesHexIsTwelveRegular) {
+  const ProductTopology prod(std::make_shared<HexMesh>(2),
+                             std::make_shared<HexMesh>(2));
+  EXPECT_EQ(prod.node_count(), 49u);
+  EXPECT_EQ(prod.gamma(), 12u);
+  EXPECT_EQ(prod.hamiltonian_cycles().size(), 6u);
+  const auto verdict =
+      verify_hc_set(prod.graph(), prod.hamiltonian_cycles(), true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+TEST(ProductTopology, OddHypercubeFactorLeavesMatchingUncovered) {
+  // Q_3 contributes one HC and keeps a perfect matching unused; the
+  // product inherits that: gamma = 2 + 2 = 4 < degree 5.
+  const ProductTopology prod(std::make_shared<Hypercube>(3),
+                             std::make_shared<Ring>(5));
+  EXPECT_EQ(prod.gamma(), 4u);
+  EXPECT_EQ(prod.graph().regular_degree(), 5u);
+  const auto verdict = verify_hc_set(
+      prod.graph(), prod.hamiltonian_cycles(), /*must_cover_all=*/false);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+  const auto r = check_lambda(prod, /*exact_limit=*/50);
+  EXPECT_TRUE(r.in_lambda()) << r.detail;
+}
+
+TEST(ProductTopology, RejectsUnbalancedFactors) {
+  // Hex (3 cycles) x Ring (1 cycle): counts differ by 2.
+  EXPECT_THROW(ProductTopology(std::make_shared<HexMesh>(3),
+                               std::make_shared<Ring>(5)),
+               ConfigError);
+}
+
+TEST(ProductTopology, IhcRunsContentionFreeOnProducts) {
+  const auto torus = make_torus3d(4, 4);  // N = 64
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  const auto result = run_ihc(*torus, IhcOptions{.eta = 2}, opt);
+  EXPECT_EQ(result.stats.buffered_relays, 0u);
+  EXPECT_TRUE(result.ledger.all_pairs_have(torus->gamma()));
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(result.finish),
+      model::ihc_dedicated(torus->node_count(), 2, opt.net));
+}
+
+TEST(ProductTopology, ProductsCompose) {
+  // ((C_4 x C_4) x C_4): three nested factors, 2+1 -> wait: Ring x Ring
+  // is 2-cycle; times Ring again = 3 cycles: a Q_6-like 6-regular torus.
+  auto base = std::make_shared<ProductTopology>(std::make_shared<Ring>(4),
+                                                std::make_shared<Ring>(4));
+  EXPECT_EQ(base->gamma(), 4u);
+  const ProductTopology cube(base, std::make_shared<Ring>(4));
+  EXPECT_EQ(cube.node_count(), 64u);
+  EXPECT_EQ(cube.gamma(), 6u);
+  const auto verdict =
+      verify_hc_set(cube.graph(), cube.hamiltonian_cycles(), true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+}  // namespace
+}  // namespace ihc

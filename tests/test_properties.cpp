@@ -1,0 +1,231 @@
+// Cross-cutting integration and property tests: every algorithm against
+// every applicable topology, fault-tolerance sweeps, and the reliability
+// structure of the IHC routes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ihc.hpp"
+#include "core/ks.hpp"
+#include "core/verify.hpp"
+#include "core/vrs.hpp"
+#include "core/vsq.hpp"
+#include "sim/signature.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+/// The IHC fault-tolerance structure: for every ordered pair (u, v) the
+/// gamma directed-cycle routes are pairwise *edge*-disjoint, and the two
+/// routes from one undirected HC are internally *node*-disjoint.
+TEST(IhcRouteStructure, EdgeDisjointAcrossCyclesNodeDisjointPerPair) {
+  const Hypercube q(4);
+  const auto& dirs = q.directed_cycles();
+  const Graph& g = q.graph();
+  const NodeId n = q.node_count();
+  for (NodeId u = 0; u < n; u += 5) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      std::set<EdgeId> used_edges;
+      for (std::size_t j = 0; j < dirs.size(); ++j) {
+        // Walk the route u -> v along cycle j, collecting edges.
+        NodeId cur = u;
+        std::set<NodeId> interior;
+        while (cur != v) {
+          const NodeId nxt = dirs[j].next(cur);
+          EXPECT_TRUE(used_edges.insert(g.find_edge(cur, nxt)).second)
+              << "edge reuse on pair (" << u << "," << v << ") cycle " << j;
+          if (nxt != v) interior.insert(nxt);
+          cur = nxt;
+        }
+        // The sibling (reversed) cycle shares no interior node.
+        if (j % 2 == 1) continue;
+        NodeId cur2 = u;
+        while (cur2 != v) {
+          const NodeId nxt = dirs[j + 1].next(cur2);
+          if (nxt != v) {
+            EXPECT_FALSE(interior.contains(nxt))
+                << "directions of HC " << j / 2 << " share node " << nxt;
+          }
+          cur2 = nxt;
+        }
+      }
+    }
+  }
+}
+
+/// Silent faults: a dropped relay removes downstream copies but the
+/// received-majority vote still decides correctly when the faulty set is
+/// small relative to gamma.
+TEST(FaultSweep, IhcToleratesOneSilentFaultWithReceivedMajority) {
+  const Hypercube q(4);  // gamma = 4
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  FaultPlan plan(1);
+  plan.add(5, FaultMode::kSilent);
+  opt.faults = &plan;
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  const auto report = assess_reliability(result.ledger, nullptr, 4,
+                                         plan.faulty_nodes(),
+                                         VoteRule::kReceivedMajority);
+  EXPECT_EQ(report.wrong, 0u);
+  EXPECT_TRUE(report.all_correct())
+      << report.correct << "/" << report.pairs << " undecided "
+      << report.undecided;
+}
+
+/// Corrupting faults: all surviving copies are intact or tampered; the
+/// tampered ones never masquerade as a majority under the strict rule.
+TEST(FaultSweep, StrictMajorityNeverDecidesWrongUnderOneCorruptFault) {
+  const Hypercube q(4);
+  for (NodeId faulty : {NodeId{1}, NodeId{6}, NodeId{15}}) {
+    AtaOptions opt = base_options();
+    opt.granularity = DeliveryLedger::Granularity::kFull;
+    FaultPlan plan(7);
+    plan.add(faulty, FaultMode::kCorrupt);
+    opt.faults = &plan;
+    const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+    const auto report = assess_reliability(result.ledger, nullptr, 4,
+                                           plan.faulty_nodes());
+    EXPECT_EQ(report.wrong, 0u) << "faulty node " << faulty;
+  }
+}
+
+/// Signed messages on IHC: one corrupting fault can tamper at most one
+/// direction per undirected HC, so at least gamma/2 validly-signed copies
+/// survive per pair - the verdict is always correct.
+TEST(FaultSweep, SignaturesMakeIhcImmuneToASingleCorruptingRelay) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  const KeyRing keys(11);
+  opt.keys = &keys;
+  FaultPlan plan(3);
+  plan.add(9, FaultMode::kCorrupt);
+  opt.faults = &plan;
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  const auto report =
+      assess_reliability(result.ledger, &keys, 4, plan.faulty_nodes());
+  EXPECT_EQ(report.wrong, 0u);
+  EXPECT_EQ(report.source_detected, 0u);
+  EXPECT_TRUE(report.all_correct())
+      << report.correct << "/" << report.pairs;
+}
+
+/// Signed messages on VRS reach the paper's full t <= gamma - 1 bound: the
+/// routes are node-disjoint, so gamma - 1 corrupting faults still leave at
+/// least one validly-signed copy per pair.
+TEST(FaultSweep, SignaturesTolerateGammaMinusOneFaultsOnVrs) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  const KeyRing keys(11);
+  opt.keys = &keys;
+  FaultPlan plan(3);
+  plan.add(3, FaultMode::kCorrupt);
+  plan.add(9, FaultMode::kCorrupt);
+  plan.add(12, FaultMode::kCorrupt);
+  opt.faults = &plan;
+  const auto result = run_vrs_ata(q, opt);
+  const auto report =
+      assess_reliability(result.ledger, &keys, 4, plan.faulty_nodes());
+  EXPECT_EQ(report.wrong, 0u);
+  EXPECT_EQ(report.source_detected, 0u);
+  EXPECT_TRUE(report.all_correct())
+      << report.correct << "/" << report.pairs;
+}
+
+/// A two-faced (equivocating) source is detected by every destination in
+/// signed mode.
+TEST(FaultSweep, EquivocatingSourceIsDetectedEverywhere) {
+  const Hypercube q(3);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  const KeyRing keys(11);
+  opt.keys = &keys;
+  FaultPlan plan(3);
+  plan.add(2, FaultMode::kEquivocate);
+  opt.faults = &plan;
+  const auto result = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  for (NodeId d = 0; d < 8; ++d) {
+    if (d == 2) continue;
+    EXPECT_EQ(signed_accept(result.ledger, keys, 2, d, honest_payload(2)),
+              Verdict::kSourceDetected)
+        << "destination " << d;
+  }
+}
+
+/// VRS's node-disjoint routes meet the Dolev bound: with
+/// t = ceil(gamma/2) - 1 corrupting faults, strict majority voting is
+/// correct for every pair of healthy nodes.
+TEST(FaultSweep, VrsMeetsTheDolevBound) {
+  const Hypercube q(4);  // gamma = 4, t = 1
+  for (NodeId faulty : {NodeId{2}, NodeId{7}, NodeId{11}}) {
+    AtaOptions opt = base_options();
+    opt.granularity = DeliveryLedger::Granularity::kFull;
+    FaultPlan plan(13);
+    plan.add(faulty, FaultMode::kCorrupt);
+    opt.faults = &plan;
+    const auto result = run_vrs_ata(q, opt);
+    const auto report = assess_reliability(result.ledger, nullptr, 4,
+                                           plan.faulty_nodes());
+    EXPECT_TRUE(report.all_correct())
+        << "faulty " << faulty << ": " << report.correct << "/"
+        << report.pairs << " wrong " << report.wrong << " undecided "
+        << report.undecided;
+  }
+}
+
+/// Background traffic slows IHC down but never breaks delivery.
+TEST(BackgroundTraffic, IhcDegradesGracefully) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  const auto clean = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  opt.net.rho = 0.5;
+  opt.net.seed = 99;
+  const auto loaded = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  EXPECT_GE(loaded.finish, clean.finish);
+  EXPECT_TRUE(loaded.ledger.all_pairs_have(q.gamma()));
+  EXPECT_GT(loaded.stats.background_packets, 0u);
+}
+
+/// Higher eta lowers the broadcast's own link utilization - the paper's
+/// trade-off knob (Section IV).
+TEST(EtaTradeoff, UtilizationFallsAsEtaGrows) {
+  const Hypercube q(5);
+  const AtaOptions opt = base_options();
+  const auto eta2 = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  const auto eta8 = run_ihc(q, IhcOptions{.eta = 8}, opt);
+  EXPECT_LT(eta8.mean_link_utilization, eta2.mean_link_utilization);
+  EXPECT_GT(eta8.finish, eta2.finish);
+}
+
+/// KS and VSQ remain functional under a silent fault (copies drop but
+/// nothing is misdelivered).
+TEST(FaultSweep, TreeAlgorithmsDropButNeverMisdeliver) {
+  const SquareMesh mesh(4);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  FaultPlan plan(17);
+  plan.add(5, FaultMode::kSilent);
+  opt.faults = &plan;
+  const auto result = run_vsq_ata(mesh, opt);
+  const auto report = assess_reliability(result.ledger, nullptr, 4,
+                                         plan.faulty_nodes(),
+                                         VoteRule::kReceivedMajority);
+  EXPECT_EQ(report.wrong, 0u);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,112 @@
+// Tests for the shortest-path routing substrate and multi-hop background
+// traffic.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/ihc.hpp"
+#include "sim/routing.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(RoutingTable, ShortestPathsOnTheHypercubeMatchHammingDistance) {
+  const Graph q4 = make_hypercube_graph(4);
+  RoutingTable routes(q4);
+  for (NodeId s : {0u, 5u, 15u}) {
+    for (NodeId d = 0; d < 16; ++d) {
+      const auto expected =
+          static_cast<std::uint32_t>(__builtin_popcount(s ^ d));
+      EXPECT_EQ(routes.distance(s, d), expected);
+      const auto path = routes.shortest_path(s, d);
+      EXPECT_EQ(path.size(), expected + 1);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), d);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(q4.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(RoutingTable, NextHopIsConsistentWithPaths) {
+  const Graph c8 = make_cycle_graph(8);
+  RoutingTable routes(c8);
+  EXPECT_EQ(routes.distance(0, 4), 4u);  // either way around
+  const auto path = routes.shortest_path(0, 3);
+  EXPECT_EQ(path.size(), 4u);
+  EXPECT_EQ(routes.next_hop(0, 3), path[1]);
+}
+
+TEST(RoutingTable, MeanDistanceEstimateIsPlausible) {
+  const Graph q6 = make_hypercube_graph(6);
+  RoutingTable routes(q6);
+  // Mean Hamming distance between random 6-bit strings is 3.
+  EXPECT_NEAR(routes.mean_distance_estimate(2000, 7), 3.0, 0.2);
+}
+
+TEST(RoutingTable, RejectsBadEndpoints) {
+  const Graph c4 = make_cycle_graph(4);
+  RoutingTable routes(c4);
+  EXPECT_THROW((void)routes.shortest_path(0, 9), ConfigError);
+}
+
+TEST(MultiHopBackground, LoadsTheNetworkAndDelaysIhc) {
+  const Hypercube q(5);
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_ns(200);
+  opt.net.mu = 2;
+  const auto clean = run_ihc(q, IhcOptions{.eta = 2}, opt);
+
+  opt.net.rho = 0.4;
+  opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+  opt.net.seed = 1234;
+  const auto loaded = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  EXPECT_GT(loaded.stats.background_packets, 0u);
+  EXPECT_GT(loaded.finish, clean.finish);
+  // Broadcast correctness is untouched by background load.
+  EXPECT_TRUE(loaded.ledger.all_pairs_have(q.gamma()));
+  // Background deliveries do not leak into the ledger.
+  EXPECT_EQ(loaded.ledger.total_copies(), clean.ledger.total_copies());
+}
+
+TEST(MultiHopBackground, ProducesRoughlyTheRequestedUtilization) {
+  // Run a long foreground span (big tau_s) and compare the achieved mean
+  // link utilization with rho.  Generous tolerance: this is a stochastic
+  // open-loop calibration.
+  const SquareMesh sq(5);
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(200);  // long horizon
+  opt.net.mu = 2;
+  opt.net.rho = 0.3;
+  opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+  const auto run = run_ihc(sq, IhcOptions{.eta = 5}, opt);
+  EXPECT_GT(run.mean_link_utilization, 0.15);
+  EXPECT_LT(run.mean_link_utilization, 0.6);
+}
+
+TEST(MultiHopBackground, BackgroundItselfRelaysThroughTheNetwork) {
+  const Hypercube q(4);
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(20);
+  opt.net.mu = 2;
+  opt.net.rho = 0.6;
+  opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+  const auto clean = run_ihc(q, IhcOptions{.eta = 2}, AtaOptions{
+      .net = {.alpha = sim_ns(20), .tau_s = sim_us(20), .mu = 2}});
+  const auto run = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  // Background flows of >= 2 hops relay (cut through or buffer) at
+  // intermediate nodes, adding relay operations beyond the broadcast's
+  // own fixed gamma N (N-1) - injections.
+  EXPECT_GT(run.stats.background_packets, 0u);
+  EXPECT_GT(run.stats.cut_throughs + run.stats.buffered_relays +
+                run.stats.wormhole_stalls,
+            clean.stats.cut_throughs + clean.stats.buffered_relays);
+}
+
+}  // namespace
+}  // namespace ihc

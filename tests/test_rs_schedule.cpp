@@ -1,0 +1,139 @@
+// Tests reproducing Table I / Example 1: the RS reliable broadcast on Q_4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sched/rs_schedule.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(RsSchedule, Step1SendsToAllNeighbors) {
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  std::set<NodeId> firsts;
+  for (const RsSend& s : sends)
+    if (s.step == 1) {
+      EXPECT_EQ(s.from, 0u);
+      EXPECT_FALSE(s.forward);
+      firsts.insert(s.to);
+    }
+  // Table I step 1: 0->1, 0->2, 0->4, 0->8.
+  EXPECT_EQ(firsts, (std::set<NodeId>{1, 2, 4, 8}));
+}
+
+TEST(RsSchedule, Step2MatchesTableI) {
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  std::set<std::pair<NodeId, NodeId>> step2;
+  for (const RsSend& s : sends)
+    if (s.step == 2) step2.emplace(s.from, s.to);
+  // Table I step 2, column 1: 1->3, 2->6, 4->12, 8->9.
+  const std::set<std::pair<NodeId, NodeId>> expected{
+      {1, 3}, {2, 6}, {4, 12}, {8, 9}};
+  EXPECT_EQ(step2, expected);
+}
+
+TEST(RsSchedule, HasGammaPlusOneSteps) {
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  std::uint32_t max_step = 0;
+  for (const RsSend& s : sends) max_step = std::max(max_step, s.step);
+  EXPECT_EQ(max_step, 5u);  // gamma + 1 = 5 for Q_4
+}
+
+TEST(RsSchedule, ReturnSendsTargetTheSourceAtTheLastStep) {
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  std::size_t returns = 0;
+  for (const RsSend& s : sends) {
+    if (s.returns_to_source) {
+      ++returns;
+      EXPECT_EQ(s.to, 0u);
+      EXPECT_EQ(s.step, 5u);  // bold entries appear only in the last step
+    }
+  }
+  EXPECT_EQ(returns, 4u);  // one per copy: 1->0, 2->0, 4->0, 8->0
+}
+
+TEST(RsSchedule, EveryNodeReceivesEveryCopyExactlyOnce) {
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  // receipt[copy][node]
+  std::vector<std::vector<int>> receipt(4, std::vector<int>(16, 0));
+  for (const RsSend& s : sends)
+    if (!s.returns_to_source) ++receipt[s.copy][s.to];
+  for (unsigned c = 0; c < 4; ++c)
+    for (NodeId v = 1; v < 16; ++v)
+      EXPECT_EQ(receipt[c][v], 1) << "copy " << c << " node " << v;
+}
+
+TEST(RsSchedule, CopiesTravelNodeDisjointPaths) {
+  // The RS theorem [20]: each node receives gamma copies through
+  // node-disjoint paths.  Reconstruct each copy's path and verify.
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  // parent[copy][node] = sender who delivered the copy.
+  std::vector<std::vector<NodeId>> parent(4,
+                                          std::vector<NodeId>(16, kInvalidNode));
+  for (const RsSend& s : sends)
+    if (!s.returns_to_source) parent[s.copy][s.to] = s.from;
+  for (NodeId v = 1; v < 16; ++v) {
+    std::set<NodeId> interior;
+    for (unsigned c = 0; c < 4; ++c) {
+      // Walk back from v to the source.
+      NodeId cur = parent[c][v];
+      while (cur != 0u) {
+        ASSERT_NE(cur, kInvalidNode);
+        EXPECT_TRUE(interior.insert(cur).second)
+            << "node " << cur << " shared by two copy paths to " << v;
+        cur = parent[c][cur];
+      }
+    }
+  }
+}
+
+TEST(RsSchedule, ForwardedSendsFormCutThroughChains) {
+  // A send is a forward iff the sender acquired the copy on the previous
+  // step; Table I columns are maximal forward chains.
+  const Hypercube q(4);
+  const auto sends = rs_broadcast_sends(q, 0);
+  std::size_t forwards = 0, redirects = 0;
+  for (const RsSend& s : sends) {
+    if (s.step == 1) continue;
+    (s.forward ? forwards : redirects)++;
+  }
+  EXPECT_GT(forwards, 0u);
+  EXPECT_GT(redirects, 0u);
+  // Total non-step-1 sends: every node except source receives each of the
+  // 4 copies (60 sends) plus the 4 returns, minus the 4 step-1 sends.
+  EXPECT_EQ(forwards + redirects, 60u + 4u - 4u);
+}
+
+TEST(RsSchedule, StreamedScheduleHasNoLinkConflicts) {
+  // Within one RS broadcast, the gamma copies use edge-disjoint spanning
+  // trees, so the step schedule is conflict-free.
+  const Hypercube q(4);
+  for (const bool include_returns : {false, true}) {
+    const RsSchedule sched(q, 0, include_returns);
+    const auto check = check_schedule(q.graph(), sched);
+    EXPECT_EQ(check.link_conflicts, 0u) << "returns=" << include_returns;
+  }
+}
+
+TEST(RsSchedule, WorksFromAnySource) {
+  const Hypercube q(3);
+  for (NodeId src = 0; src < 8; ++src) {
+    const RsSchedule sched(q, src, false);
+    const auto check = check_schedule(q.graph(), sched);
+    EXPECT_EQ(check.link_conflicts, 0u);
+    for (NodeId d = 0; d < 8; ++d) {
+      if (d == src) continue;
+      EXPECT_EQ(check.copies[static_cast<std::size_t>(src) * 8 + d], 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ihc

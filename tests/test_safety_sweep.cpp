@@ -1,0 +1,94 @@
+// Safety sweep: every ATA algorithm on every applicable topology under
+// randomized Byzantine faults, asserting the universal safety invariant
+// of signed messages - no healthy node is EVER misled (wrong verdicts are
+// impossible; the worst outcome is an undecided pair).
+#include <gtest/gtest.h>
+
+#include "ihc.hpp"
+
+namespace ihc {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  std::uint64_t seed;
+};
+
+class SignedSafety : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static AtaOptions options(const KeyRing* keys, FaultPlan* plan) {
+    AtaOptions opt;
+    opt.net.alpha = sim_ns(20);
+    opt.net.tau_s = sim_us(5);
+    opt.net.mu = 2;
+    opt.granularity = DeliveryLedger::Granularity::kFull;
+    opt.keys = keys;
+    opt.faults = plan;
+    return opt;
+  }
+
+  /// Random fault plan: 1-3 faulty nodes with random modes.
+  static FaultPlan random_plan(SplitMix64& rng, NodeId n) {
+    FaultPlan plan(rng());
+    const auto count = 1 + rng.below(3);
+    while (plan.fault_count() < count) {
+      const auto mode = static_cast<FaultMode>(rng.below(3));  // no equiv.
+      plan.add(static_cast<NodeId>(rng.below(n)), mode);
+    }
+    return plan;
+  }
+
+  static void expect_never_wrong(const AtaResult& result,
+                                 const KeyRing& keys, std::uint32_t gamma,
+                                 const std::vector<NodeId>& faulty) {
+    const auto report =
+        assess_reliability(result.ledger, &keys, gamma, faulty);
+    EXPECT_EQ(report.wrong, 0u) << result.algorithm;
+    EXPECT_EQ(report.source_detected, 0u) << result.algorithm;
+  }
+};
+
+TEST_P(SignedSafety, NoAlgorithmEverMisleadsAHealthyNode) {
+  SplitMix64 rng(GetParam().seed);
+  const KeyRing keys(GetParam().seed ^ 0xFEED);
+
+  {
+    const Hypercube q(4);
+    FaultPlan plan = random_plan(rng, q.node_count());
+    const auto opt = options(&keys, &plan);
+    expect_never_wrong(run_ihc(q, IhcOptions{.eta = 2}, opt), keys, 4,
+                       plan.faulty_nodes());
+    expect_never_wrong(run_vrs_ata(q, opt), keys, 4, plan.faulty_nodes());
+    expect_never_wrong(run_frs(q, opt), keys, 4, plan.faulty_nodes());
+    expect_never_wrong(run_hc_broadcast(q, 0, opt), keys, 4,
+                       plan.faulty_nodes());
+  }
+  {
+    const HexMesh hex(3);
+    FaultPlan plan = random_plan(rng, hex.node_count());
+    const auto opt = options(&keys, &plan);
+    expect_never_wrong(run_ihc(hex, IhcOptions{.eta = 4}, opt), keys, 6,
+                       plan.faulty_nodes());
+    expect_never_wrong(run_ks_ata(hex, opt), keys, 6,
+                       plan.faulty_nodes());
+  }
+  {
+    const SquareMesh sq(4);
+    FaultPlan plan = random_plan(rng, sq.node_count());
+    const auto opt = options(&keys, &plan);
+    expect_never_wrong(run_ihc(sq, IhcOptions{.eta = 2}, opt), keys, 4,
+                       plan.faulty_nodes());
+    expect_never_wrong(run_vsq_ata(sq, opt), keys, 4,
+                       plan.faulty_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SignedSafety,
+    ::testing::Values(SweepCase{"s1", 101}, SweepCase{"s2", 202},
+                      SweepCase{"s3", 303}, SweepCase{"s4", 404},
+                      SweepCase{"s5", 505}, SweepCase{"s6", 606}),
+    [](const auto& param) { return param.param.name; });
+
+}  // namespace
+}  // namespace ihc

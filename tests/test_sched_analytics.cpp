@@ -1,0 +1,72 @@
+// Tests for the schedule load analytics: the IHC schedule's perfectly
+// uniform link load (the structural reason Theorem 4's bound is attained)
+// and the contrast with the RS broadcast's skewed load.
+#include <gtest/gtest.h>
+
+#include "sched/analytics.hpp"
+#include "sched/ihc_schedule.hpp"
+#include "sched/rs_schedule.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+class IhcLoadUniformity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IhcLoadUniformity, EveryDirectedLinkCarriesExactlyNMinus1Packets) {
+  const Hypercube q(4);
+  const IhcSchedule schedule(q, GetParam());
+  const auto report = analyze_schedule_load(q.graph(), schedule);
+  EXPECT_TRUE(report.perfectly_uniform());
+  EXPECT_EQ(report.min_load, q.node_count() - 1);
+  EXPECT_DOUBLE_EQ(report.mean_load,
+                   static_cast<double>(q.node_count() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, IhcLoadUniformity,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& param) {
+                           return "eta" + std::to_string(param.param);
+                         });
+
+TEST(IhcLoad, UniformAcrossTopologyFamilies) {
+  const SquareMesh sq(5);
+  const auto sq_report =
+      analyze_schedule_load(sq.graph(), IhcSchedule(sq, 5));
+  EXPECT_TRUE(sq_report.perfectly_uniform());
+  EXPECT_EQ(sq_report.min_load, sq.node_count() - 1);
+
+  const HexMesh hex(3);
+  const auto hex_report =
+      analyze_schedule_load(hex.graph(), IhcSchedule(hex, 19));
+  EXPECT_TRUE(hex_report.perfectly_uniform());
+  EXPECT_EQ(hex_report.min_load, hex.node_count() - 1);
+}
+
+TEST(IhcLoad, BusyFractionScalesInverselyWithEta) {
+  const Hypercube q(6);
+  const auto eta2 = analyze_schedule_load(q.graph(), IhcSchedule(q, 2));
+  const auto eta8 = analyze_schedule_load(q.graph(), IhcSchedule(q, 8));
+  EXPECT_NEAR(eta2.mean_busy_fraction / eta8.mean_busy_fraction, 4.0,
+              0.01);
+  // With eta = 1 every link is busy every step: utilization 1.
+  const auto eta1 = analyze_schedule_load(q.graph(), IhcSchedule(q, 1));
+  EXPECT_DOUBLE_EQ(eta1.mean_busy_fraction, 1.0);
+  EXPECT_EQ(eta1.peak_busy_links, q.graph().link_count());
+}
+
+TEST(RsLoad, SingleBroadcastLoadIsSkewed) {
+  // The RS broadcast loads the source's links heavily and distant links
+  // once or not at all - the opposite of IHC's uniformity.
+  const Hypercube q(4);
+  const RsSchedule schedule(q, 0, /*include_returns=*/false);
+  const auto report = analyze_schedule_load(q.graph(), schedule);
+  EXPECT_FALSE(report.perfectly_uniform());
+  EXPECT_EQ(report.min_load, 0u);  // some links unused by one broadcast
+  EXPECT_GE(report.max_load, 1u);
+}
+
+}  // namespace
+}  // namespace ihc

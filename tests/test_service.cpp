@@ -1,0 +1,80 @@
+// Tests for the periodic broadcast service.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/analysis.hpp"
+#include "core/service.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+TEST(Service, RoundsMatchTheDedicatedModelAndMeetDeadlines) {
+  const Hypercube q(4);
+  const AtaOptions opt = base_options();
+  ServiceConfig config;
+  config.period = sim_us(100);
+  config.rounds = 4;
+  const ServiceReport r = run_periodic_service(q, config, opt);
+  EXPECT_EQ(r.missed_deadlines, 0u);
+  EXPECT_TRUE(r.all_rounds_complete);
+  EXPECT_EQ(r.round_times.count(), 4u);
+  // In a dedicated network every round is identical and equals the
+  // Table II time.
+  const double expected = model::ihc_dedicated(q.node_count(), 2, opt.net);
+  EXPECT_DOUBLE_EQ(r.round_times.min(), expected);
+  EXPECT_DOUBLE_EQ(r.round_times.max(), expected);
+  EXPECT_NEAR(r.duty_cycle, expected / 100e6, 1e-12);
+  EXPECT_EQ(r.total_deliveries, 4ull * q.gamma() * 16 * 15);
+}
+
+TEST(Service, TightPeriodReportsMissedDeadlines) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.net.tau_s = sim_us(50);  // round ~100 us
+  ServiceConfig config;
+  config.period = sim_us(80);
+  config.rounds = 3;
+  const ServiceReport r = run_periodic_service(q, config, opt);
+  EXPECT_GT(r.missed_deadlines, 0u);
+  EXPECT_GT(r.duty_cycle, 1.0);
+}
+
+TEST(Service, BackgroundLoadShowsUpInRoundJitter) {
+  const Hypercube q(4);
+  AtaOptions opt = base_options();
+  opt.net.tau_s = sim_ns(200);
+  opt.net.rho = 0.4;
+  opt.net.seed = 77;
+  ServiceConfig config;
+  config.period = sim_us(200);
+  config.rounds = 6;
+  const ServiceReport r = run_periodic_service(q, config, opt);
+  EXPECT_TRUE(r.all_rounds_complete);
+  EXPECT_GT(r.round_times.stddev(), 0.0);  // rounds differ under load
+  EXPECT_GT(r.round_times.min(),
+            model::ihc_dedicated(q.node_count(), 2, opt.net) - 1);
+}
+
+TEST(Service, ValidatesConfiguration) {
+  const Hypercube q(3);
+  EXPECT_THROW((void)run_periodic_service(
+                   q, ServiceConfig{.period = 0}, base_options()),
+               ConfigError);
+  EXPECT_THROW((void)run_periodic_service(
+                   q, ServiceConfig{.period = 100, .rounds = 0},
+                   base_options()),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,41 @@
+// Tests for the keyed-MAC signature oracle.
+#include <gtest/gtest.h>
+
+#include "sim/signature.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(KeyRing, SignVerifyRoundTrip) {
+  const KeyRing keys(123);
+  const std::uint64_t mac = keys.sign(5, 0xABCDEF);
+  EXPECT_TRUE(keys.verify(5, 0xABCDEF, mac));
+}
+
+TEST(KeyRing, TamperedPayloadIsDetected) {
+  const KeyRing keys(123);
+  const std::uint64_t mac = keys.sign(5, 0xABCDEF);
+  EXPECT_FALSE(keys.verify(5, 0xABCDEE, mac));
+  EXPECT_FALSE(keys.verify(5, 0xABCDEF, mac ^ 1));
+}
+
+TEST(KeyRing, SignatureIsBoundToTheOrigin) {
+  const KeyRing keys(123);
+  const std::uint64_t mac = keys.sign(5, 0xABCDEF);
+  EXPECT_FALSE(keys.verify(6, 0xABCDEF, mac));
+}
+
+TEST(KeyRing, DistinctNodesHaveDistinctKeys) {
+  const KeyRing keys(123);
+  EXPECT_NE(keys.key_of(0), keys.key_of(1));
+  EXPECT_NE(keys.key_of(1), keys.key_of(2));
+}
+
+TEST(KeyRing, DifferentNetworkSeedsProduceDifferentKeys) {
+  const KeyRing a(1), b(2);
+  EXPECT_NE(a.key_of(0), b.key_of(0));
+  EXPECT_NE(a.sign(0, 7), b.sign(0, 7));
+}
+
+}  // namespace
+}  // namespace ihc

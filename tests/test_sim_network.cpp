@@ -1,0 +1,240 @@
+// Unit tests for the discrete-event simulator's timing model.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "graph/cycle.hpp"
+#include "sim/network.hpp"
+
+namespace ihc {
+namespace {
+
+/// A path-shaped "cycle" helper: C_n graph with its trivial cycle.
+struct Ring {
+  Graph g;
+  Cycle cycle;
+  DirectedCycle dir;
+  explicit Ring(NodeId n)
+      : g(make_cycle_graph(n)),
+        cycle([n] {
+          std::vector<NodeId> seq(n);
+          for (NodeId i = 0; i < n; ++i) seq[i] = i;
+          return Cycle(seq);
+        }()),
+        dir(cycle, false, n) {}
+};
+
+NetworkParams base_params() {
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_ns(1000);
+  p.mu = 2;
+  return p;
+}
+
+FlowSpec ring_flow(const Ring& r, NodeId origin, std::uint32_t hops,
+                   SimTime inject = 0) {
+  FlowSpec f;
+  f.origin = origin;
+  f.inject_time = inject;
+  f.cycle_path = CyclePathRoute{&r.dir, origin, hops};
+  return f;
+}
+
+TEST(Network, SingleCutThroughChainMatchesTheClosedForm) {
+  // tau_S + mu*alpha + (hops-1)*alpha: injection plus cut-throughs.
+  const Ring r(8);
+  const NetworkParams p = base_params();
+  Network net(r.g, p);
+  net.add_flow(ring_flow(r, 0, 7));
+  net.run();
+  const SimTime expected =
+      p.tau_s + 2 * p.alpha + 6 * p.alpha;  // tail at the 7th node
+  EXPECT_EQ(net.stats().finish_time, expected);
+  EXPECT_EQ(net.stats().injections, 1u);
+  EXPECT_EQ(net.stats().cut_throughs, 6u);
+  EXPECT_EQ(net.stats().buffered_relays, 0u);
+  EXPECT_EQ(net.stats().deliveries, 7u);  // tee at every visited node
+}
+
+TEST(Network, EveryVisitedNodeGetsACopyWithTailTiming) {
+  const Ring r(6);
+  const NetworkParams p = base_params();
+  Network net(r.g, p, DeliveryLedger::Granularity::kFull);
+  net.add_flow(ring_flow(r, 0, 5));
+  net.run();
+  for (NodeId v = 1; v <= 5; ++v) {
+    const auto& recs = net.ledger().records(0, v);
+    ASSERT_EQ(recs.size(), 1u);
+    // Header reaches node v at tau_s + (v-1) alpha; tail mu*alpha later.
+    EXPECT_EQ(recs[0].time, p.tau_s + (v - 1) * p.alpha + 2 * p.alpha);
+  }
+}
+
+TEST(Network, StoreAndForwardCostsTauSPerHop) {
+  const Ring r(5);
+  NetworkParams p = base_params();
+  p.switching = Switching::kStoreAndForward;
+  Network net(r.g, p);
+  net.add_flow(ring_flow(r, 0, 4));
+  net.run();
+  // Each hop: store (mu alpha) + tau_s, final tail: + mu alpha.
+  // hop k header-out time: k*(tau_s + mu alpha) ... finish:
+  // 4 hops: tau_s + (3 further hops each tau_s + mu a) + tail.
+  const SimTime hop = p.tau_s + 2 * p.alpha;
+  EXPECT_EQ(net.stats().finish_time, 4 * hop);
+  EXPECT_EQ(net.stats().buffered_relays, 3u);
+  EXPECT_EQ(net.stats().cut_throughs, 0u);
+}
+
+TEST(Network, QueueingDelayKnobAddsDPerBufferedHop) {
+  const Ring r(5);
+  NetworkParams p = base_params();
+  p.switching = Switching::kStoreAndForward;
+  p.queueing_delay = sim_ns(500);
+  Network net(r.g, p);
+  net.add_flow(ring_flow(r, 0, 4));
+  net.run();
+  const SimTime hop = p.tau_s + 2 * p.alpha + p.queueing_delay;
+  EXPECT_EQ(net.stats().finish_time, 4 * hop);
+}
+
+TEST(Network, ContendingPacketsSerializeOnTheLink) {
+  // Two flows injected at the same time over the same first link: the
+  // second must wait for the transmitter.
+  const Ring r(8);
+  const NetworkParams p = base_params();
+  Network net(r.g, p, DeliveryLedger::Granularity::kFull);
+  net.add_flow(ring_flow(r, 0, 2));
+  FlowSpec second = ring_flow(r, 0, 2);
+  second.route_tag = 1;
+  net.add_flow(std::move(second));
+  net.run();
+  EXPECT_GT(net.stats().total_queue_wait, 0);
+  const auto& recs = net.ledger().records(0, 1);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_NE(recs[0].time, recs[1].time);
+}
+
+TEST(Network, VctBuffersWhenTransmitterBusy) {
+  // Flow A occupies link 1->2 while flow B arrives at node 1 wanting to
+  // cut through: B must be buffered (VCT), costing tau_s + store time.
+  const Ring r(8);
+  const NetworkParams p = base_params();
+  Network net(r.g, p);
+  net.add_flow(ring_flow(r, 1, 3));           // A: 1 -> 2 -> 3 -> 4
+  net.add_flow(ring_flow(r, 0, 3));           // B: 0 -> 1 -> 2 -> 3
+  net.run();
+  EXPECT_GE(net.stats().buffered_relays, 1u);
+}
+
+TEST(Network, WormholeMatchesVctWhenNothingBlocks) {
+  const Ring r(8);
+  for (auto mode :
+       {Switching::kVirtualCutThrough, Switching::kWormhole}) {
+    NetworkParams p = base_params();
+    p.switching = mode;
+    Network net(r.g, p);
+    net.add_flow(ring_flow(r, 0, 7));
+    net.run();
+    EXPECT_EQ(net.stats().finish_time, p.tau_s + 2 * p.alpha + 6 * p.alpha);
+    EXPECT_EQ(net.stats().wormhole_stalls, 0u);
+  }
+}
+
+TEST(Network, WormholeStallHoldsTheIncomingLink) {
+  const Ring r(8);
+  NetworkParams p = base_params();
+  p.switching = Switching::kWormhole;
+  Network net(r.g, p);
+  net.add_flow(ring_flow(r, 1, 3));
+  net.add_flow(ring_flow(r, 0, 3));
+  net.run();
+  EXPECT_GE(net.stats().wormhole_stalls, 1u);
+  EXPECT_EQ(net.stats().buffered_relays, 0u);  // nothing buffered at nodes
+}
+
+TEST(Network, TreeFlowRedirectsPayStoreAndForward) {
+  // Star tree: root 0 sends to 1 (CT-preferred chain) and 2 (redirect).
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const NetworkParams p = base_params();
+  Network net(g, p, DeliveryLedger::Granularity::kFull);
+  FlowSpec f;
+  f.origin = 1;
+  f.tree = {
+      {1, -1, false},  // root
+      {2, 0, false},   // injection to 2
+      {3, 1, true},    // forward 2 -> 3: cut-through
+      {0, 2, false},   // redirect at 3 towards 0
+  };
+  net.add_flow(std::move(f));
+  net.run();
+  // 1->2: tau_s (+ tail 2a); 2->3 CT: +a; 3->0 redirect: wait tail
+  // (2a after header) then tau_s, header at 0, tail +2a.
+  const SimTime header_at_3 = p.tau_s + p.alpha;
+  const SimTime redirect_out = header_at_3 + 2 * p.alpha + p.tau_s;
+  EXPECT_EQ(net.ledger().records(1, 0)[0].time, redirect_out + 2 * p.alpha);
+  EXPECT_EQ(net.stats().redirects, 1u);
+}
+
+TEST(Network, VariableLengthMessagesScaleTransmissionTime) {
+  const Ring r(4);
+  const NetworkParams p = base_params();
+  Network net(r.g, p);
+  FlowSpec f = ring_flow(r, 0, 1);
+  f.length_units = 10;
+  net.add_flow(std::move(f));
+  net.run();
+  EXPECT_EQ(net.stats().finish_time, p.tau_s + 10 * p.alpha);
+}
+
+TEST(Network, BackgroundTrafficLoadsLinks) {
+  const Ring r(8);
+  NetworkParams p = base_params();
+  p.rho = 0.4;
+  p.tau_s = sim_us(50);  // long run so background has time to appear
+  Network net(r.g, p);
+  net.add_flow(ring_flow(r, 0, 7));
+  net.run();
+  EXPECT_GT(net.stats().background_packets, 0u);
+}
+
+TEST(Network, RejectsMalformedFlows) {
+  const Ring r(4);
+  Network net(r.g, base_params());
+  FlowSpec none;
+  none.origin = 0;
+  EXPECT_THROW(net.add_flow(std::move(none)), ConfigError);
+
+  FlowSpec wrong_start = ring_flow(r, 0, 2);
+  wrong_start.cycle_path.start = 1;  // cycle[1] != origin 0
+  EXPECT_THROW(net.add_flow(std::move(wrong_start)), ConfigError);
+
+  FlowSpec bad_tree;
+  bad_tree.origin = 0;
+  bad_tree.tree = {{1, -1, false}};  // root is not the origin
+  EXPECT_THROW(net.add_flow(std::move(bad_tree)), ConfigError);
+}
+
+TEST(Network, ParamsAreValidated) {
+  const Ring r(4);
+  NetworkParams p = base_params();
+  p.rho = 1.5;
+  EXPECT_THROW(Network(r.g, p), ConfigError);
+  p = base_params();
+  p.mu = 0;
+  EXPECT_THROW(Network(r.g, p), ConfigError);
+}
+
+TEST(Network, UtilizationAccountingIsPositiveAndBounded) {
+  const Ring r(8);
+  Network net(r.g, base_params());
+  net.add_flow(ring_flow(r, 0, 7));
+  net.run();
+  const double u = net.mean_link_utilization();
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,71 @@
+// Tests for the torus-wrapped square mesh SQ_m (Section III-B).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "graph/hamiltonian.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(SquareMesh, Structure) {
+  const SquareMesh sq(5);
+  EXPECT_EQ(sq.node_count(), 25u);
+  EXPECT_EQ(sq.gamma(), 4u);
+  EXPECT_EQ(sq.graph().regular_degree(), 4u);
+  EXPECT_EQ(sq.name(), "SQ_5");
+}
+
+TEST(SquareMesh, RejectsTooSmall) { EXPECT_THROW(SquareMesh(2), ConfigError); }
+
+TEST(SquareMesh, CoordinateMapping) {
+  const SquareMesh sq(4);
+  EXPECT_EQ(sq.node_at(2, 3), 11u);
+  EXPECT_EQ(sq.row_of(11), 2u);
+  EXPECT_EQ(sq.col_of(11), 3u);
+  EXPECT_EQ(sq.node_label(11), "(2,3)");
+}
+
+TEST(SquareMesh, NeighborsWrapAround) {
+  const SquareMesh sq(4);
+  const NodeId corner = sq.node_at(0, 0);
+  EXPECT_EQ(sq.neighbor(corner, 0), sq.node_at(0, 1));  // east
+  EXPECT_EQ(sq.neighbor(corner, 1), sq.node_at(1, 0));  // south
+  EXPECT_EQ(sq.neighbor(corner, 2), sq.node_at(0, 3));  // west wraps
+  EXPECT_EQ(sq.neighbor(corner, 3), sq.node_at(3, 0));  // north wraps
+  EXPECT_THROW((void)sq.neighbor(corner, 4), ConfigError);
+  // Every neighbor relation is an edge.
+  for (unsigned d = 0; d < 4; ++d)
+    EXPECT_TRUE(sq.graph().has_edge(corner, sq.neighbor(corner, d)));
+}
+
+/// Fig. 3 of the paper: two edge-disjoint Hamiltonian cycles exist in any
+/// SQ_m; condition LC2.
+class SquareMeshDecomposition : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(SquareMeshDecomposition, TwoEdgeDisjointHamiltonianCycles) {
+  const SquareMesh sq(GetParam());
+  const auto& cycles = sq.hamiltonian_cycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  const auto verdict = verify_hc_set(sq.graph(), cycles, true);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, SquareMeshDecomposition,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 12u, 16u),
+                         [](const auto& param) {
+                           return "SQ" + std::to_string(param.param);
+                         });
+
+TEST(SquareMesh, Sq4IsIsomorphicToQ4InSize) {
+  // The paper notes SQ_4 is a redrawing of Q_4: same node count, degree,
+  // and edge count.
+  const SquareMesh sq(4);
+  EXPECT_EQ(sq.node_count(), 16u);
+  EXPECT_EQ(sq.graph().edge_count(), 32u);
+  EXPECT_EQ(sq.gamma(), 4u);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,106 @@
+// Tests for the 2-factorization working state of the decomposition engine.
+#include <gtest/gtest.h>
+
+#include "graph/torus_decomposition.hpp"
+#include "graph/two_factor.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+namespace {
+
+/// Rows/columns seed of the 3x3 torus.
+FactorSet torus_seed(const Graph& g, NodeId m, NodeId n) {
+  std::vector<std::uint8_t> assign(g.edge_count(), 0);
+  for (std::size_t e = static_cast<std::size_t>(m) * n; e < g.edge_count();
+       ++e)
+    assign[e] = 1;
+  return FactorSet(g, 2, std::move(assign));
+}
+
+TEST(FactorSet, ValidSeedConstructs) {
+  const Graph g = make_torus_graph(3, 3);
+  const FactorSet f = torus_seed(g, 3, 3);
+  EXPECT_EQ(f.factor_count(), 2u);
+  // Every node has exactly two incident edges in each factor.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::size_t fac = 0; fac < 2; ++fac) {
+      const auto inc = f.incident(fac, v);
+      EXPECT_NE(inc[0], kInvalidEdge);
+      EXPECT_NE(inc[1], kInvalidEdge);
+      EXPECT_NE(inc[0], inc[1]);
+    }
+  }
+}
+
+TEST(FactorSet, RejectsNonTwoRegularAssignment) {
+  const Graph g = make_torus_graph(3, 3);
+  // All edges in factor 0: every node would have degree 4 in factor 0.
+  std::vector<std::uint8_t> bad(g.edge_count(), 0);
+  EXPECT_THROW(FactorSet(g, 2, std::move(bad)), ConfigError);
+}
+
+TEST(FactorSet, RejectsSizeMismatch) {
+  const Graph g = make_torus_graph(3, 3);
+  EXPECT_THROW(FactorSet(g, 2, std::vector<std::uint8_t>(3, 0)),
+               ConfigError);
+}
+
+TEST(FactorSet, FactorNeighborsMatchIncidentEdges) {
+  const Graph g = make_torus_graph(3, 3);
+  const FactorSet f = torus_seed(g, 3, 3);
+  // Factor 0 = row edges: neighbors of node (0,0)=0 are (0,1)=1, (0,2)=2.
+  const auto nb = f.factor_neighbors(0, 0);
+  EXPECT_TRUE((nb[0] == 1 && nb[1] == 2) || (nb[0] == 2 && nb[1] == 1));
+}
+
+TEST(FactorSet, ComponentLabeling) {
+  const Graph g = make_torus_graph(3, 4);
+  FactorSet f = torus_seed(g, 3, 4);
+  std::vector<std::uint32_t> labels;
+  EXPECT_EQ(f.label_components(0, labels), 3u);  // 3 row cycles
+  EXPECT_EQ(f.label_components(1, labels), 4u);  // 4 column cycles
+  // All nodes of row 0 share a label in factor 0.
+  std::vector<std::uint32_t> l0;
+  f.label_components(0, l0);
+  EXPECT_EQ(l0[0], l0[1]);
+  EXPECT_EQ(l0[0], l0[3]);
+  EXPECT_NE(l0[0], l0[4]);
+}
+
+TEST(FactorSet, ExtractCyclesRecoversRows) {
+  const Graph g = make_torus_graph(3, 5);
+  const FactorSet f = torus_seed(g, 3, 5);
+  const auto rows = f.extract_cycles(0);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const Cycle& c : rows) EXPECT_EQ(c.length(), 5u);
+  EXPECT_THROW((void)f.extract_single_cycle(0), InvariantError);
+}
+
+TEST(FactorSet, AlternatingSquareSwapPreservesTwoRegularity) {
+  const Graph g = make_torus_graph(4, 4);
+  FactorSet f = torus_seed(g, 4, 4);
+  // Unit square (0,0)-(0,1)-(1,1)-(1,0): u=0, v=1, x=5, w=4.
+  EdgeId e_uv, e_vx, e_xw, e_wu;
+  ASSERT_TRUE(f.edge_in_factor(0, 0, 1, e_uv));   // row edge
+  ASSERT_TRUE(f.edge_in_factor(1, 1, 5, e_vx));   // column edge
+  ASSERT_TRUE(f.edge_in_factor(0, 5, 4, e_xw));   // row edge
+  ASSERT_TRUE(f.edge_in_factor(1, 4, 0, e_wu));   // column edge
+  f.swap_alternating_square(e_uv, e_vx, e_xw, e_wu, 0, 1, 5, 4);
+  // Memberships exchanged.
+  EXPECT_EQ(f.factor_of(e_uv), 1);
+  EXPECT_EQ(f.factor_of(e_xw), 1);
+  EXPECT_EQ(f.factor_of(e_vx), 0);
+  EXPECT_EQ(f.factor_of(e_wu), 0);
+  // Still 2-regular: recompute components without crashing, and the swap
+  // merged row 0 with row 1 in factor 0.
+  std::vector<std::uint32_t> labels;
+  const auto comp0 = f.label_components(0, labels);
+  EXPECT_EQ(comp0, 3u);  // 4 rows -> rows 0,1 merged
+  // Swapping back restores the seed.
+  f.swap_alternating_square(e_uv, e_vx, e_xw, e_wu, 0, 1, 5, 4);
+  EXPECT_EQ(f.factor_of(e_uv), 0);
+  EXPECT_EQ(f.label_components(0, labels), 4u);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,129 @@
+// Unit tests for the util substrate: RNG, tables, statistics, errors.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ihc {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForAGivenSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(SplitMix64, BelowCoversTheWholeRange) {
+  SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SplitMix64, BelowRejectsZeroBound) {
+  SplitMix64 rng(7);
+  EXPECT_THROW(rng.below(0), InvariantError);
+}
+
+TEST(SplitMix64, UniformIsInUnitInterval) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, ExponentialHasRoughlyTheRequestedMean) {
+  SplitMix64 rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(SplitMix64, ForkProducesAnIndependentStream) {
+  SplitMix64 a(42);
+  SplitMix64 child = a.fork(1);
+  SplitMix64 b(42);
+  (void)b();  // consume what fork consumed
+  EXPECT_NE(child(), b());
+}
+
+TEST(Summary, TracksMomentsAndExtremes) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.total(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(AsciiTable, RendersAlignedCells) {
+  AsciiTable t("title");
+  t.set_header({"a", "long-header"});
+  t.add_row({"xxx", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| a   |"), std::string::npos);
+  EXPECT_NE(out.find("| xxx | 1           |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsMismatchedRowWidth) {
+  AsciiTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Formatting, TimeUnitsAutoSelect) {
+  EXPECT_EQ(fmt_time_ps(500), "500 ps");
+  EXPECT_EQ(fmt_time_ps(20'000), "20.000 ns");
+  EXPECT_EQ(fmt_time_ps(1'500'000'000), "1500.000 us");
+  EXPECT_EQ(fmt_time_ps(1'500'000'000'000), "1500.000 ms");
+  EXPECT_EQ(fmt_time_ps(15'000'000'000'000), "15.000 s");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(4.958), "4.96x");
+}
+
+TEST(Errors, RequireThrowsConfigError) {
+  EXPECT_THROW(require(false, "bad"), ConfigError);
+  EXPECT_NO_THROW(require(true, "ok"));
+}
+
+TEST(Errors, EnsureCarriesLocation) {
+  try {
+    IHC_ENSURE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,119 @@
+// Tests for the voting / signed-acceptance verdicts on crafted ledgers.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "core/verify.hpp"
+
+namespace ihc {
+namespace {
+
+constexpr std::uint64_t kTruth = 0x1234;
+constexpr std::uint64_t kLie = 0x9999;
+
+DeliveryLedger ledger_with(NodeId n, NodeId o, NodeId d,
+                           std::vector<std::uint64_t> payloads,
+                           const KeyRing* keys = nullptr,
+                           std::vector<bool> tampered = {}) {
+  DeliveryLedger ledger(n, DeliveryLedger::Granularity::kFull);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    CopyRecord c;
+    c.payload = payloads[i];
+    c.route = static_cast<std::uint16_t>(i);
+    const bool bad = i < tampered.size() && tampered[i];
+    // A tampered copy keeps the original MAC (relays cannot re-sign).
+    if (keys != nullptr)
+      c.mac = keys->sign(o, bad ? kTruth : payloads[i]);
+    c.corrupted_by = bad ? NodeId{1} : kInvalidNode;
+    ledger.record(o, d, c);
+  }
+  return ledger;
+}
+
+TEST(MajorityVote, UnanimousCopiesAreCorrect) {
+  const auto ledger = ledger_with(4, 0, 1, {kTruth, kTruth, kTruth, kTruth});
+  EXPECT_EQ(majority_vote(ledger, 0, 1, 4, kTruth), Verdict::kCorrect);
+}
+
+TEST(MajorityVote, StrictMajorityNeedsMoreThanHalfOfExpected) {
+  // 2 of gamma=4 expected copies: not a strict majority.
+  const auto ledger = ledger_with(4, 0, 1, {kTruth, kTruth});
+  EXPECT_EQ(majority_vote(ledger, 0, 1, 4, kTruth), Verdict::kUndecided);
+  // ... but it is a majority of the received copies.
+  EXPECT_EQ(majority_vote(ledger, 0, 1, 4, kTruth,
+                          VoteRule::kReceivedMajority),
+            Verdict::kCorrect);
+}
+
+TEST(MajorityVote, AgreeingWrongCopiesYieldWrongVerdict) {
+  const auto ledger = ledger_with(4, 0, 1, {kLie, kLie, kLie, kTruth});
+  EXPECT_EQ(majority_vote(ledger, 0, 1, 4, kTruth), Verdict::kWrong);
+}
+
+TEST(MajorityVote, TieIsUndecided) {
+  const auto ledger = ledger_with(4, 0, 1, {kTruth, kTruth, kLie, kLie});
+  EXPECT_EQ(majority_vote(ledger, 0, 1, 4, kTruth), Verdict::kUndecided);
+  EXPECT_EQ(majority_vote(ledger, 0, 1, 4, kTruth,
+                          VoteRule::kReceivedMajority),
+            Verdict::kUndecided);
+}
+
+TEST(SignedAccept, OneIntactSignedCopySuffices) {
+  const KeyRing keys(7);
+  // Three tampered copies (invalid MACs) and one intact one.
+  const auto ledger = ledger_with(4, 0, 1, {kLie, kLie, kLie, kTruth}, &keys,
+                                  {true, true, true, false});
+  EXPECT_EQ(signed_accept(ledger, keys, 0, 1, kTruth), Verdict::kCorrect);
+}
+
+TEST(SignedAccept, AllTamperedIsUndecided) {
+  const KeyRing keys(7);
+  const auto ledger =
+      ledger_with(4, 0, 1, {kLie, kLie}, &keys, {true, true});
+  EXPECT_EQ(signed_accept(ledger, keys, 0, 1, kTruth), Verdict::kUndecided);
+}
+
+TEST(SignedAccept, EquivocatingSourceIsDetected) {
+  const KeyRing keys(7);
+  // Two different values, both validly signed by the origin.
+  DeliveryLedger ledger(4, DeliveryLedger::Granularity::kFull);
+  for (std::uint64_t v : {kTruth, kLie}) {
+    CopyRecord c;
+    c.payload = v;
+    c.mac = keys.sign(0, v);
+    ledger.record(0, 1, c);
+  }
+  EXPECT_EQ(signed_accept(ledger, keys, 0, 1, kTruth),
+            Verdict::kSourceDetected);
+}
+
+TEST(SignedAccept, ConsistentLieIsWrong) {
+  const KeyRing keys(7);
+  DeliveryLedger ledger(4, DeliveryLedger::Granularity::kFull);
+  CopyRecord c;
+  c.payload = kLie;
+  c.mac = keys.sign(0, kLie);
+  ledger.record(0, 1, c);
+  EXPECT_EQ(signed_accept(ledger, keys, 0, 1, kTruth), Verdict::kWrong);
+}
+
+TEST(AssessReliability, SkipsFaultyParticipantsAndAggregates) {
+  DeliveryLedger ledger(3, DeliveryLedger::Granularity::kFull);
+  // Node 2 is faulty; pairs among {0, 1} get correct unanimous copies.
+  for (NodeId o : {0u, 1u}) {
+    for (NodeId d : {0u, 1u}) {
+      if (o == d) continue;
+      for (int i = 0; i < 2; ++i) {
+        CopyRecord c;
+        c.payload = honest_payload(o);
+        ledger.record(o, d, c);
+      }
+    }
+  }
+  const auto report = assess_reliability(ledger, nullptr, 2, {2});
+  EXPECT_EQ(report.pairs, 2u);
+  EXPECT_EQ(report.correct, 2u);
+  EXPECT_TRUE(report.all_correct());
+}
+
+}  // namespace
+}  // namespace ihc

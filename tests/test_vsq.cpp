@@ -1,0 +1,97 @@
+// Tests for the VSQ square-mesh reliable broadcast and VSQ-ATA.
+#include <gtest/gtest.h>
+
+#include "core/vsq.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions base_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+class VsqTrees : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(VsqTrees, FourTreesEachCoveringEveryNodeExactlyOnce) {
+  const SquareMesh mesh(GetParam());
+  const NodeId n = mesh.node_count();
+  for (NodeId source : {NodeId{0}, n - 1}) {
+    const auto trees = vsq_trees(mesh, source);
+    ASSERT_EQ(trees.size(), 4u);
+    for (const auto& tree : trees) {
+      std::vector<int> seen(n, 0);
+      for (const auto& t : tree) ++seen[t.node];
+      EXPECT_EQ(seen[source], 2);  // root + spoke position
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != source) {
+          EXPECT_EQ(seen[v], 1);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(VsqTrees, TreeEdgesAreRealLinks) {
+  const SquareMesh mesh(GetParam());
+  const auto trees = vsq_trees(mesh, 0);
+  for (const auto& tree : trees) {
+    for (std::size_t i = 1; i < tree.size(); ++i) {
+      const NodeId parent =
+          tree[static_cast<std::size_t>(tree[i].parent)].node;
+      EXPECT_TRUE(mesh.graph().has_edge(parent, tree[i].node));
+    }
+  }
+}
+
+TEST_P(VsqTrees, EveryPathPaysAtMostThreeStoreAndForwards) {
+  // Fig. 9 cost structure: injection + at most the turn into the fill.
+  const SquareMesh mesh(GetParam());
+  for (const auto& tree : vsq_trees(mesh, 0)) {
+    for (std::size_t i = 1; i < tree.size(); ++i) {
+      std::size_t saf = 0;
+      for (std::size_t cur = i; cur != 0;
+           cur = static_cast<std::size_t>(tree[cur].parent)) {
+        if (!tree[cur].cut_through_preferred) ++saf;
+      }
+      EXPECT_LE(saf, 3u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, VsqTrees, ::testing::Values(3u, 4u, 5u, 8u),
+                         [](const auto& param) {
+                           return "SQ" + std::to_string(param.param);
+                         });
+
+TEST(VsqAta, DeliversFourCopiesToEveryPair) {
+  const SquareMesh mesh(4);
+  const auto result = run_vsq_ata(mesh, base_options());
+  const NodeId n = mesh.node_count();
+  for (NodeId o = 0; o < n; ++o) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (o != d) {
+        ASSERT_EQ(result.ledger.copies(o, d), 4u);
+      }
+    }
+  }
+}
+
+TEST(VsqSingle, CopiesArriveOverTheFourDistinctFirstLinks) {
+  const SquareMesh mesh(5);
+  AtaOptions opt = base_options();
+  opt.granularity = DeliveryLedger::Granularity::kFull;
+  const auto result = run_vsq_single(mesh, 12, opt);
+  // Each copy travels a different route tag 0..3.
+  const auto& recs = result.ledger.records(12, 0);
+  ASSERT_EQ(recs.size(), 4u);
+  std::set<std::uint16_t> routes;
+  for (const auto& r : recs) routes.insert(r.route);
+  EXPECT_EQ(routes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,269 @@
+// ihc_cli - command-line explorer for the library.
+//
+//   ihc_cli info <topology>
+//       Topology summary: size, gamma, Hamiltonian cycles, class-Lambda
+//       membership and connectivity check.
+//
+//   ihc_cli run <topology> [options]
+//       Run an ATA reliable broadcast and print the results.
+//       --algo ihc|hc|vrs|ks|vsq|frs  algorithm (default ihc)
+//       --eta <k>                   interleaving distance (default:
+//                                   smallest contention-free value)
+//       --alpha-ns / --tau-s-ns     timing parameters
+//       --mu <m>                    packet length in FIFO units
+//       --rho <r>                   background load in [0,1)
+//       --multihop                  background as routed flows
+//       --switching vct|saf|wormhole
+//       --single-link               one transmitter per node (IHC)
+//       --cycles <k>                use only k directed cycles (IHC)
+//       --message-units <u>         message length per node (IHC)
+//       --seed <s>                  RNG seed
+//
+//   ihc_cli decompose <topology> [--out <file>]
+//       Construct (and verify) the Hamiltonian decomposition; print it or
+//       save it in the ihc-hc-v1 text format.
+//
+//   ihc_cli verify <file> <topology>
+//       Load a saved decomposition and verify it against the topology.
+//
+// Topology grammar: Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/frs.hpp"
+#include "core/hc_broadcast.hpp"
+#include "core/ihc.hpp"
+#include "core/ks.hpp"
+#include "core/vrs.hpp"
+#include "core/vsq.hpp"
+#include "graph/hc_cache.hpp"
+#include "topology/factory.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/lambda.hpp"
+#include "topology/square_mesh.hpp"
+#include "util/table.hpp"
+
+using namespace ihc;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string algo = "ihc";
+  std::string out;
+  std::string switching = "vct";
+  std::uint32_t eta = 0;  // 0 = auto
+  std::uint32_t mu = 2;
+  std::uint32_t cycles = 0;
+  std::uint32_t message_units = 0;
+  std::int64_t alpha_ns = 20;
+  std::int64_t tau_s_ns = 5000;
+  double rho = 0.0;
+  bool multihop = false;
+  bool single_link = false;
+  std::uint64_t seed = 0x5eed;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ihc_cli info|run|decompose|verify ... "
+               "(see the header of tools/ihc_cli.cpp)\n"
+               "topology grammar: %s\n",
+               std::string(topology_spec_help()).c_str());
+  return 2;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      require(i + 1 < argc, "missing value after " + a);
+      return argv[++i];
+    };
+    if (a == "--algo") args.algo = next();
+    else if (a == "--out") args.out = next();
+    else if (a == "--switching") args.switching = next();
+    else if (a == "--eta") args.eta = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--mu") args.mu = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--cycles") args.cycles = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--message-units") args.message_units = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--alpha-ns") args.alpha_ns = std::stoll(next());
+    else if (a == "--tau-s-ns") args.tau_s_ns = std::stoll(next());
+    else if (a == "--rho") args.rho = std::stod(next());
+    else if (a == "--seed") args.seed = std::stoull(next());
+    else if (a == "--multihop") args.multihop = true;
+    else if (a == "--single-link") args.single_link = true;
+    else if (!a.empty() && a[0] == '-')
+      detail::throw_config("unknown option " + a);
+    else args.positional.push_back(a);
+  }
+  return args;
+}
+
+int cmd_info(const Args& args) {
+  require(args.positional.size() == 2, "info needs a topology spec");
+  const auto topo = make_topology(args.positional[1]);
+  std::printf("name      : %s\n", topo->name().c_str());
+  std::printf("nodes     : %u\n", topo->node_count());
+  std::printf("edges     : %u (degree %u)\n", topo->graph().edge_count(),
+              topo->graph().regular_degree());
+  std::printf("gamma     : %u\n", topo->gamma());
+  std::printf("HC set    : %zu undirected edge-disjoint Hamiltonian "
+              "cycles\n",
+              topo->hamiltonian_cycles().size());
+  const auto lambda = check_lambda(*topo);
+  std::printf("class     : %s (connectivity == gamma: %s, %s check)\n",
+              lambda.in_lambda() ? "in Lambda" : "NOT in Lambda",
+              lambda.connectivity ? "yes" : "no",
+              lambda.connectivity_exact ? "exact" : "sampled");
+  if (!lambda.detail.empty())
+    std::printf("detail    : %s\n", lambda.detail.c_str());
+  return lambda.in_lambda() ? 0 : 1;
+}
+
+int cmd_run(const Args& args) {
+  require(args.positional.size() == 2, "run needs a topology spec");
+  const auto topo = make_topology(args.positional[1]);
+
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(args.alpha_ns);
+  opt.net.tau_s = sim_ns(args.tau_s_ns);
+  opt.net.mu = args.mu;
+  opt.net.rho = args.rho;
+  opt.net.seed = args.seed;
+  opt.net.background_mode = args.multihop ? BackgroundMode::kMultiHopFlows
+                                          : BackgroundMode::kSingleLink;
+  if (args.switching == "saf")
+    opt.net.switching = Switching::kStoreAndForward;
+  else if (args.switching == "wormhole")
+    opt.net.switching = Switching::kWormhole;
+  else
+    require(args.switching == "vct", "switching must be vct|saf|wormhole");
+
+  AtaResult result;
+  double model = 0;
+  if (args.algo == "ihc") {
+    IhcOptions io;
+    io.eta = args.eta != 0
+                 ? args.eta
+                 : smallest_contention_free_eta(topo->node_count(), args.mu);
+    io.cycles_to_use = args.cycles;
+    io.message_units = args.message_units;
+    io.concurrency = args.single_link
+                         ? LinkConcurrency::kSingleLinkPerNode
+                         : LinkConcurrency::kAllLinks;
+    result = run_ihc(*topo, io, opt);
+    model = model::ihc_message_dedicated(
+        topo->node_count(), io.eta,
+        args.message_units ? args.message_units : args.mu, opt.net);
+    if (args.single_link)
+      model = model::ihc_single_link(
+          topo->node_count(), io.eta,
+          args.cycles ? args.cycles : topo->gamma(), opt.net);
+  } else if (args.algo == "vrs") {
+    const auto* cube = dynamic_cast<const Hypercube*>(topo.get());
+    require(cube != nullptr, "vrs requires a hypercube topology");
+    result = run_vrs_ata(*cube, opt);
+    model = model::vrs_ata_dedicated(cube->node_count(), opt.net);
+  } else if (args.algo == "ks") {
+    const auto* hex = dynamic_cast<const HexMesh*>(topo.get());
+    require(hex != nullptr, "ks requires a hex mesh topology");
+    result = run_ks_ata(*hex, opt);
+    model = model::ks_ata_dedicated(hex->node_count(), opt.net);
+  } else if (args.algo == "vsq") {
+    const auto* mesh = dynamic_cast<const SquareMesh*>(topo.get());
+    require(mesh != nullptr, "vsq requires a square mesh topology");
+    result = run_vsq_ata(*mesh, opt);
+    model = model::vsq_ata_dedicated(mesh->node_count(), opt.net);
+  } else if (args.algo == "hc") {
+    result = run_hc_ata(*topo, opt);
+    model = static_cast<double>(topo->node_count()) *
+            model::ihc_dedicated(topo->node_count(), 1, opt.net);
+  } else if (args.algo == "frs") {
+    const auto* cube = dynamic_cast<const Hypercube*>(topo.get());
+    require(cube != nullptr, "frs requires a hypercube topology");
+    result = run_frs(*cube, opt);
+    model = model::frs_dedicated(cube->node_count(), opt.net);
+  } else {
+    detail::throw_config("unknown algorithm " + args.algo);
+  }
+
+  std::printf("algorithm : %s on %s\n", result.algorithm.c_str(),
+              topo->name().c_str());
+  std::printf("finish    : %s (dedicated-mode model: %s)\n",
+              fmt_time_ps(result.finish).c_str(),
+              fmt_time_ps(static_cast<SimTime>(model)).c_str());
+  std::printf("relays    : %llu cut-through, %llu buffered, %llu stalls\n",
+              static_cast<unsigned long long>(result.stats.cut_throughs),
+              static_cast<unsigned long long>(result.stats.buffered_relays),
+              static_cast<unsigned long long>(result.stats.wormhole_stalls));
+  std::printf("background: %llu packets\n",
+              static_cast<unsigned long long>(
+                  result.stats.background_packets));
+  const std::uint32_t expected =
+      args.algo == "ihc" && args.cycles ? args.cycles : topo->gamma();
+  std::printf("deliveries: %llu copies; every pair has %u: %s\n",
+              static_cast<unsigned long long>(result.stats.deliveries),
+              expected,
+              result.ledger.all_pairs_have(expected) ? "yes" : "NO");
+  std::printf("link util : %.4f mean over the run\n",
+              result.mean_link_utilization);
+  return 0;
+}
+
+int cmd_decompose(const Args& args) {
+  require(args.positional.size() == 2, "decompose needs a topology spec");
+  const auto topo = make_topology(args.positional[1]);
+  const auto& cycles = topo->hamiltonian_cycles();  // built + verified
+  if (!args.out.empty()) {
+    save_cycles_file(args.out, topo->node_count(), cycles);
+    std::printf("wrote %zu cycles for %s to %s\n", cycles.size(),
+                topo->name().c_str(), args.out.c_str());
+  } else {
+    std::fputs(serialize_cycles(topo->node_count(), cycles).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  require(args.positional.size() == 3,
+          "verify needs a cycles file and a topology spec");
+  const auto loaded = load_cycles_file(args.positional[1]);
+  require(loaded.has_value(), "cannot read " + args.positional[1]);
+  const auto topo = make_topology(args.positional[2]);
+  require(loaded->node_count == topo->node_count(),
+          "node count mismatch between file and topology");
+  const auto verdict =
+      verify_hc_set(topo->graph(), loaded->cycles,
+                    topo->graph().regular_degree() == topo->gamma());
+  if (verdict.ok) {
+    std::printf("OK: %zu verified edge-disjoint Hamiltonian cycles on %s\n",
+                loaded->cycles.size(), topo->name().c_str());
+    return 0;
+  }
+  std::printf("INVALID: %s\n", verdict.reason.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.positional.empty()) return usage();
+    const std::string& cmd = args.positional[0];
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "decompose") return cmd_decompose(args);
+    if (cmd == "verify") return cmd_verify(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
