@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hc_decomposition.dir/bench_fig3_hc_decomposition.cpp.o"
+  "CMakeFiles/bench_fig3_hc_decomposition.dir/bench_fig3_hc_decomposition.cpp.o.d"
+  "bench_fig3_hc_decomposition"
+  "bench_fig3_hc_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hc_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rho_sweep.dir/bench_rho_sweep.cpp.o"
+  "CMakeFiles/bench_rho_sweep.dir/bench_rho_sweep.cpp.o.d"
+  "bench_rho_sweep"
+  "bench_rho_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rho_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rs_pattern.dir/bench_table1_rs_pattern.cpp.o"
+  "CMakeFiles/bench_table1_rs_pattern.dir/bench_table1_rs_pattern.cpp.o.d"
+  "bench_table1_rs_pattern"
+  "bench_table1_rs_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rs_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dedicated.dir/bench_table2_dedicated.cpp.o"
+  "CMakeFiles/bench_table2_dedicated.dir/bench_table2_dedicated.cpp.o.d"
+  "bench_table2_dedicated"
+  "bench_table2_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

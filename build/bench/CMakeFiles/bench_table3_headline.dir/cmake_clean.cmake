@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_headline.dir/bench_table3_headline.cpp.o"
+  "CMakeFiles/bench_table3_headline.dir/bench_table3_headline.cpp.o.d"
+  "bench_table3_headline"
+  "bench_table3_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

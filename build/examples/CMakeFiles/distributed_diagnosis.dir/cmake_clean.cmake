@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_diagnosis.dir/distributed_diagnosis.cpp.o"
+  "CMakeFiles/distributed_diagnosis.dir/distributed_diagnosis.cpp.o.d"
+  "distributed_diagnosis"
+  "distributed_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agreement.cpp" "src/CMakeFiles/ihc.dir/core/agreement.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/agreement.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/ihc.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/clock_sync.cpp" "src/CMakeFiles/ihc.dir/core/clock_sync.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/clock_sync.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/ihc.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/frs.cpp" "src/CMakeFiles/ihc.dir/core/frs.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/frs.cpp.o.d"
+  "/root/repo/src/core/hc_broadcast.cpp" "src/CMakeFiles/ihc.dir/core/hc_broadcast.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/hc_broadcast.cpp.o.d"
+  "/root/repo/src/core/ihc.cpp" "src/CMakeFiles/ihc.dir/core/ihc.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/ihc.cpp.o.d"
+  "/root/repo/src/core/ks.cpp" "src/CMakeFiles/ihc.dir/core/ks.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/ks.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/CMakeFiles/ihc.dir/core/latency.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/latency.cpp.o.d"
+  "/root/repo/src/core/reassembly.cpp" "src/CMakeFiles/ihc.dir/core/reassembly.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/reassembly.cpp.o.d"
+  "/root/repo/src/core/retransmit.cpp" "src/CMakeFiles/ihc.dir/core/retransmit.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/retransmit.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/ihc.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/CMakeFiles/ihc.dir/core/service.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/service.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/CMakeFiles/ihc.dir/core/verify.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/verify.cpp.o.d"
+  "/root/repo/src/core/vrs.cpp" "src/CMakeFiles/ihc.dir/core/vrs.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/vrs.cpp.o.d"
+  "/root/repo/src/core/vsq.cpp" "src/CMakeFiles/ihc.dir/core/vsq.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/core/vsq.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/ihc.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/cycle.cpp" "src/CMakeFiles/ihc.dir/graph/cycle.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/cycle.cpp.o.d"
+  "/root/repo/src/graph/decomposer.cpp" "src/CMakeFiles/ihc.dir/graph/decomposer.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/decomposer.cpp.o.d"
+  "/root/repo/src/graph/export_dot.cpp" "src/CMakeFiles/ihc.dir/graph/export_dot.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/export_dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ihc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/hamiltonian.cpp" "src/CMakeFiles/ihc.dir/graph/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/hamiltonian.cpp.o.d"
+  "/root/repo/src/graph/hc_cache.cpp" "src/CMakeFiles/ihc.dir/graph/hc_cache.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/hc_cache.cpp.o.d"
+  "/root/repo/src/graph/hc_product.cpp" "src/CMakeFiles/ihc.dir/graph/hc_product.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/hc_product.cpp.o.d"
+  "/root/repo/src/graph/lemma2.cpp" "src/CMakeFiles/ihc.dir/graph/lemma2.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/lemma2.cpp.o.d"
+  "/root/repo/src/graph/torus_decomposition.cpp" "src/CMakeFiles/ihc.dir/graph/torus_decomposition.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/torus_decomposition.cpp.o.d"
+  "/root/repo/src/graph/two_factor.cpp" "src/CMakeFiles/ihc.dir/graph/two_factor.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/graph/two_factor.cpp.o.d"
+  "/root/repo/src/sched/analytics.cpp" "src/CMakeFiles/ihc.dir/sched/analytics.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sched/analytics.cpp.o.d"
+  "/root/repo/src/sched/ihc_schedule.cpp" "src/CMakeFiles/ihc.dir/sched/ihc_schedule.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sched/ihc_schedule.cpp.o.d"
+  "/root/repo/src/sched/rs_schedule.cpp" "src/CMakeFiles/ihc.dir/sched/rs_schedule.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sched/rs_schedule.cpp.o.d"
+  "/root/repo/src/sched/step_schedule.cpp" "src/CMakeFiles/ihc.dir/sched/step_schedule.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sched/step_schedule.cpp.o.d"
+  "/root/repo/src/sim/deadlock.cpp" "src/CMakeFiles/ihc.dir/sim/deadlock.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/deadlock.cpp.o.d"
+  "/root/repo/src/sim/delivery.cpp" "src/CMakeFiles/ihc.dir/sim/delivery.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/delivery.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/CMakeFiles/ihc.dir/sim/fault.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/fault.cpp.o.d"
+  "/root/repo/src/sim/flit_network.cpp" "src/CMakeFiles/ihc.dir/sim/flit_network.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/flit_network.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/ihc.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/packet_format.cpp" "src/CMakeFiles/ihc.dir/sim/packet_format.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/packet_format.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/CMakeFiles/ihc.dir/sim/params.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/params.cpp.o.d"
+  "/root/repo/src/sim/routing.cpp" "src/CMakeFiles/ihc.dir/sim/routing.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/routing.cpp.o.d"
+  "/root/repo/src/sim/signature.cpp" "src/CMakeFiles/ihc.dir/sim/signature.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/sim/signature.cpp.o.d"
+  "/root/repo/src/topology/circulant.cpp" "src/CMakeFiles/ihc.dir/topology/circulant.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/circulant.cpp.o.d"
+  "/root/repo/src/topology/custom.cpp" "src/CMakeFiles/ihc.dir/topology/custom.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/custom.cpp.o.d"
+  "/root/repo/src/topology/factory.cpp" "src/CMakeFiles/ihc.dir/topology/factory.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/factory.cpp.o.d"
+  "/root/repo/src/topology/hex_mesh.cpp" "src/CMakeFiles/ihc.dir/topology/hex_mesh.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/hex_mesh.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/ihc.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/lambda.cpp" "src/CMakeFiles/ihc.dir/topology/lambda.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/lambda.cpp.o.d"
+  "/root/repo/src/topology/product.cpp" "src/CMakeFiles/ihc.dir/topology/product.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/product.cpp.o.d"
+  "/root/repo/src/topology/square_mesh.cpp" "src/CMakeFiles/ihc.dir/topology/square_mesh.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/square_mesh.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/ihc.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/ihc.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ihc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ihc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ihc.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agreement.cpp" "tests/CMakeFiles/ihc_tests.dir/test_agreement.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_agreement.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/ihc_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_applications.cpp" "tests/CMakeFiles/ihc_tests.dir/test_applications.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_applications.cpp.o.d"
+  "/root/repo/tests/test_circulant.cpp" "tests/CMakeFiles/ihc_tests.dir/test_circulant.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_circulant.cpp.o.d"
+  "/root/repo/tests/test_connectivity.cpp" "tests/CMakeFiles/ihc_tests.dir/test_connectivity.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_connectivity.cpp.o.d"
+  "/root/repo/tests/test_custom_export.cpp" "tests/CMakeFiles/ihc_tests.dir/test_custom_export.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_custom_export.cpp.o.d"
+  "/root/repo/tests/test_cycle.cpp" "tests/CMakeFiles/ihc_tests.dir/test_cycle.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_cycle.cpp.o.d"
+  "/root/repo/tests/test_deadlock.cpp" "tests/CMakeFiles/ihc_tests.dir/test_deadlock.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_deadlock.cpp.o.d"
+  "/root/repo/tests/test_decomposer.cpp" "tests/CMakeFiles/ihc_tests.dir/test_decomposer.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_decomposer.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/ihc_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_factory.cpp" "tests/CMakeFiles/ihc_tests.dir/test_factory.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_factory.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/ihc_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_flit_network.cpp" "tests/CMakeFiles/ihc_tests.dir/test_flit_network.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_flit_network.cpp.o.d"
+  "/root/repo/tests/test_frs.cpp" "tests/CMakeFiles/ihc_tests.dir/test_frs.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_frs.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/ihc_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/ihc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hex_geometry.cpp" "tests/CMakeFiles/ihc_tests.dir/test_hex_geometry.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_hex_geometry.cpp.o.d"
+  "/root/repo/tests/test_hex_mesh.cpp" "tests/CMakeFiles/ihc_tests.dir/test_hex_mesh.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_hex_mesh.cpp.o.d"
+  "/root/repo/tests/test_hypercube.cpp" "tests/CMakeFiles/ihc_tests.dir/test_hypercube.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_hypercube.cpp.o.d"
+  "/root/repo/tests/test_ihc_run.cpp" "tests/CMakeFiles/ihc_tests.dir/test_ihc_run.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_ihc_run.cpp.o.d"
+  "/root/repo/tests/test_ihc_schedule.cpp" "tests/CMakeFiles/ihc_tests.dir/test_ihc_schedule.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_ihc_schedule.cpp.o.d"
+  "/root/repo/tests/test_ihc_variants.cpp" "tests/CMakeFiles/ihc_tests.dir/test_ihc_variants.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_ihc_variants.cpp.o.d"
+  "/root/repo/tests/test_ks.cpp" "tests/CMakeFiles/ihc_tests.dir/test_ks.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_ks.cpp.o.d"
+  "/root/repo/tests/test_lambda.cpp" "tests/CMakeFiles/ihc_tests.dir/test_lambda.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_lambda.cpp.o.d"
+  "/root/repo/tests/test_latency.cpp" "tests/CMakeFiles/ihc_tests.dir/test_latency.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_latency.cpp.o.d"
+  "/root/repo/tests/test_link_faults.cpp" "tests/CMakeFiles/ihc_tests.dir/test_link_faults.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_link_faults.cpp.o.d"
+  "/root/repo/tests/test_packet_format.cpp" "tests/CMakeFiles/ihc_tests.dir/test_packet_format.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_packet_format.cpp.o.d"
+  "/root/repo/tests/test_product.cpp" "tests/CMakeFiles/ihc_tests.dir/test_product.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_product.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ihc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_retransmit.cpp" "tests/CMakeFiles/ihc_tests.dir/test_retransmit.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_retransmit.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/ihc_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_rs_schedule.cpp" "tests/CMakeFiles/ihc_tests.dir/test_rs_schedule.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_rs_schedule.cpp.o.d"
+  "/root/repo/tests/test_safety_sweep.cpp" "tests/CMakeFiles/ihc_tests.dir/test_safety_sweep.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_safety_sweep.cpp.o.d"
+  "/root/repo/tests/test_sched_analytics.cpp" "tests/CMakeFiles/ihc_tests.dir/test_sched_analytics.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_sched_analytics.cpp.o.d"
+  "/root/repo/tests/test_service.cpp" "tests/CMakeFiles/ihc_tests.dir/test_service.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_service.cpp.o.d"
+  "/root/repo/tests/test_signature.cpp" "tests/CMakeFiles/ihc_tests.dir/test_signature.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_signature.cpp.o.d"
+  "/root/repo/tests/test_sim_network.cpp" "tests/CMakeFiles/ihc_tests.dir/test_sim_network.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_sim_network.cpp.o.d"
+  "/root/repo/tests/test_square_mesh.cpp" "tests/CMakeFiles/ihc_tests.dir/test_square_mesh.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_square_mesh.cpp.o.d"
+  "/root/repo/tests/test_stage_barrier.cpp" "tests/CMakeFiles/ihc_tests.dir/test_stage_barrier.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_stage_barrier.cpp.o.d"
+  "/root/repo/tests/test_step_schedule.cpp" "tests/CMakeFiles/ihc_tests.dir/test_step_schedule.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_step_schedule.cpp.o.d"
+  "/root/repo/tests/test_two_factor.cpp" "tests/CMakeFiles/ihc_tests.dir/test_two_factor.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_two_factor.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ihc_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/ihc_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_verify.cpp.o.d"
+  "/root/repo/tests/test_vrs.cpp" "tests/CMakeFiles/ihc_tests.dir/test_vrs.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_vrs.cpp.o.d"
+  "/root/repo/tests/test_vsq.cpp" "tests/CMakeFiles/ihc_tests.dir/test_vsq.cpp.o" "gcc" "tests/CMakeFiles/ihc_tests.dir/test_vsq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ihc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

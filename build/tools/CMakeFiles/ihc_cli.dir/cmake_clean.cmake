@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ihc_cli.dir/ihc_cli.cpp.o"
+  "CMakeFiles/ihc_cli.dir/ihc_cli.cpp.o.d"
+  "ihc_cli"
+  "ihc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ihc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/ihc_cli" "info" "SQ5")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_ihc "/root/repo/build/tools/ihc_cli" "run" "Q4" "--eta" "2")
+set_tests_properties(cli_run_ihc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_hex_auto_eta "/root/repo/build/tools/ihc_cli" "run" "H3")
+set_tests_properties(cli_run_hex_auto_eta PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_frs "/root/repo/build/tools/ihc_cli" "run" "Q4" "--algo" "frs")
+set_tests_properties(cli_run_frs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_saf "/root/repo/build/tools/ihc_cli" "run" "Q4" "--switching" "saf")
+set_tests_properties(cli_run_saf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_decompose_verify "sh" "-c" "/root/repo/build/tools/ihc_cli decompose T4x5 --out cli_t.hc                         && /root/repo/build/tools/ihc_cli verify cli_t.hc T4x5                         && rm cli_t.hc")
+set_tests_properties(cli_decompose_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_spec "/root/repo/build/tools/ihc_cli" "info" "NOPE7")
+set_tests_properties(cli_bad_spec PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
