@@ -4,50 +4,65 @@
 //
 // A clock-sync or diagnosis service runs ATA broadcast periodically; what
 // matters is the *duty cycle* - the fraction of each period the network
-// is dedicated.  We run a periodic IHC service on simulated networks
-// (and evaluate the Q_16 case analytically with the paper's parameters)
-// across sync periods.
+// is dedicated.  We run a periodic IHC service on simulated networks via
+// the exp:: campaign engine ("duty_cycle" built-in, one trial per sync
+// period, fanned out across IHC_BENCH_JOBS worker threads) and evaluate
+// the Q_16 case analytically with the paper's parameters.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/analysis.hpp"
-#include "core/service.hpp"
-#include "topology/hypercube.hpp"
+#include "exp/exp.hpp"
 #include "util/table.hpp"
 
 using namespace ihc;
 
-int main() {
-  NetworkParams p;
-  p.alpha = sim_ns(20);
-  p.tau_s = sim_us(500);  // the paper's conservative 0.5 ms
-  p.mu = 2;
+namespace {
 
+unsigned jobs_from_env() {
+  const char* env = std::getenv("IHC_BENCH_JOBS");
+  if (env == nullptr) return 0;  // 0 = hardware concurrency
+  return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
+}  // namespace
+
+int main() {
   {
+    const exp::Campaign campaign = exp::make_builtin_campaign("duty_cycle");
+    exp::RunOptions run_options;
+    run_options.jobs = jobs_from_env();
+    const exp::CampaignResult result =
+        exp::run_campaign(campaign, run_options);
+
     AsciiTable table(
         "Measured duty cycle of a periodic IHC service on Q_8\n"
         "(alpha = 20 ns, tau_S = 0.5 ms, eta = mu = 2, 5 rounds each)");
     table.set_header({"sync period", "round time (mean)", "duty cycle",
                       "missed deadlines", "complete"});
-    const Hypercube q(8);
-    for (const SimTime period :
-         {sim_ms(2), sim_ms(10), sim_ms(100), sim_ms(1000)}) {
-      AtaOptions opt;
-      opt.net = p;
-      ServiceConfig config;
-      config.period = period;
-      config.rounds = 5;
-      const ServiceReport r = run_periodic_service(q, config, opt);
+    for (const exp::TrialResult& r : result.trials) {
+      if (!r.ok) {
+        std::fprintf(stderr, "trial %s failed: %s\n", r.trial.id.c_str(),
+                     r.error.c_str());
+        return 1;
+      }
       table.add_row(
-          {fmt_time_ps(period),
-           fmt_time_ps(static_cast<SimTime>(r.round_times.mean())),
-           fmt_double(100.0 * r.duty_cycle, 3) + "%",
-           std::to_string(r.missed_deadlines),
-           r.all_rounds_complete ? "yes" : "NO"});
+          {fmt_time_ps(sim_ms(r.trial.get_int("period_ms"))),
+           fmt_time_ps(static_cast<SimTime>(r.metric("round_mean_ps"))),
+           fmt_double(r.metric("duty_cycle_pct"), 3) + "%",
+           fmt_double(r.metric("missed_deadlines"), 0),
+           r.metric("all_rounds_complete") == 1.0 ? "yes" : "NO"});
     }
     table.print();
+    std::printf("[%zu trials on %u worker thread(s), %.1f ms wall]\n",
+                result.trials.size(), result.jobs, result.wall_ms);
   }
 
   {
+    NetworkParams p;
+    p.alpha = sim_ns(20);
+    p.tau_s = sim_us(500);  // the paper's conservative 0.5 ms
+    p.mu = 2;
     AsciiTable table(
         "\nAnalytical duty cycle at the paper's scales (eta = mu = 2)");
     table.set_header({"network", "round time", "1 ms period", "10 ms",

@@ -8,45 +8,40 @@
 //    bench quantifies (a finding the paper's analysis glosses over);
 //  * with signatures, tampering is detected: any surviving intact copy
 //    decides, raising the tolerance toward t = gamma - 1.
+//
+// The 120 (t, algo, replica) trials run on the exp:: campaign engine
+// ("fault_tolerance" built-in) across IHC_BENCH_JOBS worker threads; the
+// fault-placement seed of each (t, replica) pair is shared between the
+// two algorithms so they face the same adversary.
 #include <cstdio>
+#include <cstdlib>
 
-#include "core/ihc.hpp"
-#include "core/verify.hpp"
-#include "core/vrs.hpp"
-#include "topology/hypercube.hpp"
-#include "util/rng.hpp"
+#include "exp/exp.hpp"
 #include "util/table.hpp"
 
 using namespace ihc;
 
 namespace {
 
-AtaOptions base_options() {
-  AtaOptions opt;
-  opt.net.alpha = sim_ns(20);
-  opt.net.tau_s = sim_us(5);
-  opt.net.mu = 2;
-  opt.granularity = DeliveryLedger::Granularity::kFull;
-  return opt;
+unsigned jobs_from_env() {
+  const char* env = std::getenv("IHC_BENCH_JOBS");
+  if (env == nullptr) return 0;  // 0 = hardware concurrency
+  return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
 }
 
 struct Rates {
   double correct = 0, wrong = 0, undecided = 0;
+  int trials = 0;
 };
-
-Rates operator+(Rates a, const ReliabilityReport& r) {
-  const double pairs = static_cast<double>(r.pairs);
-  a.correct += static_cast<double>(r.correct) / pairs;
-  a.wrong += static_cast<double>(r.wrong) / pairs;
-  a.undecided += static_cast<double>(r.undecided) / pairs;
-  return a;
-}
 
 }  // namespace
 
 int main() {
-  const Hypercube q(6);  // gamma = 6: Dolev bound t <= 2, signed t <= 5
-  constexpr int kTrials = 5;
+  const exp::Campaign campaign =
+      exp::make_builtin_campaign("fault_tolerance");
+  exp::RunOptions run_options;
+  run_options.jobs = jobs_from_env();
+  const exp::CampaignResult result = exp::run_campaign(campaign, run_options);
 
   AsciiTable table(
       "Fault-injection sweep on Q_6 (gamma = 6), corrupting Byzantine\n"
@@ -54,40 +49,37 @@ int main() {
       "the fraction of healthy ordered pairs");
   table.set_header({"t", "algo", "rule", "correct", "wrong", "undecided"});
 
-  for (std::uint32_t t : {0u, 1u, 2u, 3u, 4u, 5u}) {
-    for (const bool use_vrs : {false, true}) {
+  for (std::int64_t t = 0; t <= 5; ++t) {
+    for (const char* algo : {"ihc", "vrs"}) {
+      // Average this (t, algo) group's replicas per voting rule.
       Rates strict, received, signed_rate;
-      for (int trial = 0; trial < kTrials; ++trial) {
-        SplitMix64 rng(1000 * t + static_cast<std::uint64_t>(trial));
-        FaultPlan plan(rng());
-        while (plan.fault_count() < t)
-          plan.add(static_cast<NodeId>(rng.below(q.node_count())),
-                   FaultMode::kCorrupt);
-
-        AtaOptions opt = base_options();
-        opt.faults = &plan;
-        const KeyRing keys(7);
-        opt.keys = &keys;
-        const AtaResult result =
-            use_vrs ? run_vrs_ata(q, opt)
-                    : run_ihc(q, IhcOptions{.eta = 2}, opt);
-        strict = strict + assess_reliability(result.ledger, nullptr, 6,
-                                             plan.faulty_nodes(),
-                                             VoteRule::kStrictMajority);
-        received = received + assess_reliability(
-                                  result.ledger, nullptr, 6,
-                                  plan.faulty_nodes(),
-                                  VoteRule::kReceivedMajority);
-        signed_rate = signed_rate + assess_reliability(
-                                        result.ledger, &keys, 6,
-                                        plan.faulty_nodes());
+      for (const exp::TrialResult& r : result.trials) {
+        if (!r.ok) {
+          std::fprintf(stderr, "trial %s failed: %s\n", r.trial.id.c_str(),
+                       r.error.c_str());
+          return 1;
+        }
+        if (r.trial.get_int("t") != t || r.trial.get_str("algo") != algo)
+          continue;
+        auto fold = [&](const char* prefix, Rates& rates) {
+          const std::string base(prefix);
+          rates.correct += r.metric(base + "_correct");
+          rates.wrong += r.metric(base + "_wrong");
+          rates.undecided += r.metric(base + "_undecided");
+          ++rates.trials;
+        };
+        fold("strict", strict);
+        fold("received", received);
+        fold("signed", signed_rate);
       }
-      const std::string algo = use_vrs ? "VRS-ATA" : "IHC";
+      const std::string algo_label =
+          std::string(algo) == "vrs" ? "VRS-ATA" : "IHC";
       auto emit = [&](const char* rule, const Rates& r) {
-        table.add_row({std::to_string(t), algo, rule,
-                       fmt_double(r.correct / kTrials, 4),
-                       fmt_double(r.wrong / kTrials, 4),
-                       fmt_double(r.undecided / kTrials, 4)});
+        const double n = r.trials ? r.trials : 1;
+        table.add_row({std::to_string(t), algo_label, rule,
+                       fmt_double(r.correct / n, 4),
+                       fmt_double(r.wrong / n, 4),
+                       fmt_double(r.undecided / n, 4)});
       };
       emit("strict", strict);
       emit("received", received);
@@ -105,6 +97,8 @@ int main() {
       "   nodes across cycles) but never decides WRONG - failures are\n"
       "   undecided pairs.\n"
       " * signed mode stays near-perfect until a pair loses all six\n"
-      "   routes, approaching the t <= gamma - 1 signed bound.\n");
+      "   routes, approaching the t <= gamma - 1 signed bound.\n"
+      "\n[%zu trials on %u worker thread(s), %.1f ms wall]\n",
+      result.trials.size(), result.jobs, result.wall_ms);
   return 0;
 }

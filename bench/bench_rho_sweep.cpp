@@ -3,23 +3,45 @@
 // and IV."  We load every link with Poisson background traffic at
 // utilization rho and measure the IHC algorithm between its two bounds,
 // reporting how many potential cut-throughs survive.
+//
+// The trials run on the exp:: campaign engine (the "rho_sweep" built-in):
+// every (rho, barrier) grid point is an independent simulation with a
+// coordinate-derived seed, fanned out across IHC_BENCH_JOBS worker
+// threads (default: all cores) - the per-trial numbers are identical to a
+// serial run.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/analysis.hpp"
-#include "core/ihc.hpp"
+#include "exp/exp.hpp"
 #include "topology/hypercube.hpp"
 #include "util/table.hpp"
 
 using namespace ihc;
 
+namespace {
+
+unsigned jobs_from_env() {
+  const char* env = std::getenv("IHC_BENCH_JOBS");
+  if (env == nullptr) return 0;  // 0 = hardware concurrency
+  return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
+}  // namespace
+
 int main() {
-  const Hypercube q(6);
+  const exp::Campaign campaign = exp::make_builtin_campaign("rho_sweep");
+  exp::RunOptions run_options;
+  run_options.jobs = jobs_from_env();
+  const exp::CampaignResult result = exp::run_campaign(campaign, run_options);
+
+  // The same bounds the campaign's metrics are normalized against.
   NetworkParams p;
   p.alpha = sim_ns(20);
-  p.tau_s = sim_ns(200);  // small startup so contention effects dominate
+  p.tau_s = sim_ns(200);
   p.mu = 2;
   p.background_mu = 8;
-
+  const Hypercube q(6);
   const double best = model::ihc_dedicated(q.node_count(), 2, p);
   const double worst = model::ihc_worst(q.node_count(), 2, p);
 
@@ -30,30 +52,35 @@ int main() {
   table.set_header({"rho", "finish", "per-cycle", "1st-order", "vs best",
                     "vs worst", "CT kept", "buffered", "bg packets"});
 
-  for (const double rho :
-       {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
-    AtaOptions opt;
-    opt.net = p;
-    opt.net.rho = rho;
-    opt.net.seed = 0xFEEDu + static_cast<std::uint64_t>(rho * 100);
-    const auto run = run_ihc(q, IhcOptions{.eta = 2}, opt);
-    const auto async_run = run_ihc(
-        q, IhcOptions{.eta = 2, .barrier = StageBarrier::kPerCycle}, opt);
-    const double total_relays = static_cast<double>(
-        run.stats.cut_throughs + run.stats.buffered_relays);
+  // One table row per rho, combining that rho's two barrier-variant trials.
+  for (const exp::TrialResult& r : result.trials) {
+    if (!r.ok) {
+      std::fprintf(stderr, "trial %s failed: %s\n", r.trial.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+    if (r.trial.get_str("barrier") != "global") continue;
+    const std::string per_cycle_id =
+        "rho=" + exp::format_param(exp::ParamValue(r.trial.get_double("rho"))) +
+        ",barrier=per-cycle,rep=0";
+    const exp::TrialResult* per_cycle = nullptr;
+    for (const exp::TrialResult& other : result.trials)
+      if (other.trial.id == per_cycle_id) per_cycle = &other;
+    if (per_cycle == nullptr || !per_cycle->ok) {
+      std::fprintf(stderr, "missing per-cycle trial %s\n",
+                   per_cycle_id.c_str());
+      return 1;
+    }
     table.add_row(
-        {fmt_double(rho, 2), fmt_time_ps(run.finish),
-         fmt_time_ps(async_run.finish),
-         fmt_time_ps(static_cast<SimTime>(
-             model::ihc_first_order_load(q.node_count(), 2, opt.net))),
-         fmt_ratio(static_cast<double>(run.finish) / best),
-         fmt_double(static_cast<double>(run.finish) / worst, 3),
-         fmt_double(100.0 * static_cast<double>(run.stats.cut_throughs) /
-                        total_relays,
-                    1) +
-             "%",
-         std::to_string(run.stats.buffered_relays),
-         std::to_string(run.stats.background_packets)});
+        {fmt_double(r.trial.get_double("rho"), 2),
+         fmt_time_ps(static_cast<SimTime>(r.metric("finish_ps"))),
+         fmt_time_ps(static_cast<SimTime>(per_cycle->metric("finish_ps"))),
+         fmt_time_ps(static_cast<SimTime>(r.metric("first_order_ps"))),
+         fmt_ratio(r.metric("vs_best")),
+         fmt_double(r.metric("vs_worst"), 3),
+         fmt_double(r.metric("ct_kept_pct"), 1) + "%",
+         fmt_double(r.metric("buffered_relays"), 0),
+         fmt_double(r.metric("background_packets"), 0)});
   }
   table.print();
 
@@ -69,8 +96,10 @@ int main() {
       "early advances immediately), which recovers part of the convoy\n"
       "loss.  (The worst-case bound assumes EVERY relay buffers and\n"
       "pays D; the measured ratio can pass 1 at high rho because natural\n"
-      "queueing behind long background packets exceeds D = 0.)\n",
+      "queueing behind long background packets exceeds D = 0.)\n"
+      "\n[%zu trials on %u worker thread(s), %.1f ms wall]\n",
       fmt_time_ps(static_cast<SimTime>(best)).c_str(),
-      fmt_time_ps(static_cast<SimTime>(worst)).c_str());
+      fmt_time_ps(static_cast<SimTime>(worst)).c_str(),
+      result.trials.size(), result.jobs, result.wall_ms);
   return 0;
 }

@@ -1,0 +1,120 @@
+#include "exp/campaign.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace ihc::exp {
+
+std::string format_param(const ParamValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value))
+    return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&value)) return json_number(*d);
+  return std::get<std::string>(value);
+}
+
+const ParamValue& Trial::find(std::string_view name) const {
+  for (const Param& p : params)
+    if (p.name == name) return p.value;
+  detail::throw_config("trial has no parameter named '" + std::string(name) +
+                       "'");
+}
+
+std::int64_t Trial::get_int(std::string_view name) const {
+  const ParamValue& v = find(name);
+  const auto* i = std::get_if<std::int64_t>(&v);
+  require(i != nullptr,
+          "parameter '" + std::string(name) + "' is not an integer");
+  return *i;
+}
+
+double Trial::get_double(std::string_view name) const {
+  const ParamValue& v = find(name);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  const auto* i = std::get_if<std::int64_t>(&v);
+  require(i != nullptr,
+          "parameter '" + std::string(name) + "' is not numeric");
+  return static_cast<double>(*i);
+}
+
+const std::string& Trial::get_str(std::string_view name) const {
+  const ParamValue& v = find(name);
+  const auto* s = std::get_if<std::string>(&v);
+  require(s != nullptr,
+          "parameter '" + std::string(name) + "' is not a string");
+  return *s;
+}
+
+const Metric* TrialResult::find_metric(std::string_view name) const {
+  for (const Metric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+double TrialResult::metric(std::string_view name) const {
+  const Metric* m = find_metric(name);
+  require(m != nullptr,
+          "trial '" + trial.id + "' has no metric '" + std::string(name) +
+              "'");
+  return m->value;
+}
+
+void CampaignSpec::validate() const {
+  require(!name.empty(), "campaign needs a name");
+  require(replicas >= 1, "campaign needs at least one replica");
+  std::unordered_set<std::string> seen;
+  for (const Axis& axis : axes) {
+    require(!axis.name.empty(), "axis needs a name");
+    require(axis.name != "rep", "'rep' is the reserved replica axis");
+    require(!axis.values.empty(),
+            "axis '" + axis.name + "' needs at least one value");
+    require(seen.insert(axis.name).second,
+            "duplicate axis '" + axis.name + "'");
+  }
+}
+
+std::size_t CampaignSpec::trial_count() const {
+  std::size_t n = replicas;
+  for (const Axis& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<Trial> expand_trials(const CampaignSpec& spec) {
+  spec.validate();
+  std::vector<Trial> trials;
+  trials.reserve(spec.trial_count());
+
+  // Odometer over the axes; first axis is the slowest digit, the replica
+  // counter the fastest.
+  std::vector<std::size_t> digit(spec.axes.size(), 0);
+  while (trials.size() < spec.trial_count()) {
+    for (std::uint32_t rep = 0; rep < spec.replicas; ++rep) {
+      Trial t;
+      t.index = trials.size();
+      t.replica = rep;
+      for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+        t.params.push_back(
+            {spec.axes[a].name, spec.axes[a].values[digit[a]]});
+        t.id += spec.axes[a].name + '=' +
+                format_param(spec.axes[a].values[digit[a]]) + ',';
+      }
+      t.id += "rep=" + std::to_string(rep);
+      t.seed = derive_seed(spec.name, t.id);
+      trials.push_back(std::move(t));
+    }
+    // Advance the odometer (an axis-free spec is just its replicas).
+    if (spec.axes.empty()) break;
+    std::size_t a = spec.axes.size();
+    while (a > 0) {
+      --a;
+      if (++digit[a] < spec.axes[a].values.size()) break;
+      digit[a] = 0;
+      if (a == 0) return trials;  // wrapped the slowest digit: done
+    }
+  }
+  return trials;
+}
+
+}  // namespace ihc::exp

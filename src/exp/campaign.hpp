@@ -1,0 +1,56 @@
+/// \file campaign.hpp
+/// \brief Declarative experiment campaigns: a parameter grid plus the
+/// trial function that evaluates one grid point.
+///
+/// A CampaignSpec is the cross product of its axes (topology family x
+/// size x switching x eta x rho x fault plan x ...) times a number of
+/// seed replicas.  expand_trials() flattens it into independent Trials in
+/// a deterministic row-major order - the order reports use, regardless of
+/// which worker thread finishes first.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/trial.hpp"
+
+namespace ihc::exp {
+
+/// One dimension of the parameter grid.
+struct Axis {
+  std::string name;
+  std::vector<ParamValue> values;
+};
+
+struct CampaignSpec {
+  std::string name;
+  std::string description;
+  std::vector<Axis> axes;
+  /// Independent seed replicas per grid point (the innermost "rep" axis).
+  std::uint32_t replicas = 1;
+
+  /// Throws ConfigError on empty/duplicate axes or zero replicas.
+  void validate() const;
+
+  /// Product of axis sizes times replicas.
+  [[nodiscard]] std::size_t trial_count() const;
+};
+
+/// Evaluates one grid point and returns its metrics.  Runs on a worker
+/// thread: it must not touch shared mutable state, and all randomness must
+/// come from trial.seed (or derive_seed on a subset of the coordinates,
+/// when variants must share a traffic realization - see the rho sweep).
+using TrialFn = std::function<std::vector<Metric>(const Trial&)>;
+
+struct Campaign {
+  CampaignSpec spec;
+  TrialFn run;
+};
+
+/// Expands the grid row-major (first axis slowest, replicas innermost).
+/// Each trial gets a canonical id "axis1=v1,axis2=v2,...,rep=r" and the
+/// seed derive_seed(spec.name, id).
+[[nodiscard]] std::vector<Trial> expand_trials(const CampaignSpec& spec);
+
+}  // namespace ihc::exp

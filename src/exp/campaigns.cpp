@@ -1,0 +1,236 @@
+#include "exp/campaigns.hpp"
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/ihc.hpp"
+#include "core/service.hpp"
+#include "core/verify.hpp"
+#include "core/vrs.hpp"
+#include "topology/hypercube.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ihc::exp {
+
+namespace {
+
+/// Builds a hypercube and forces its (lazily constructed, per-instance
+/// cached) directed cycles now, on the caller's thread - afterwards the
+/// topology is immutable and safe to share across trial workers.
+std::shared_ptr<const Hypercube> prebuilt_hypercube(unsigned dimension) {
+  auto cube = std::make_shared<Hypercube>(dimension);
+  (void)cube->directed_cycles();
+  return cube;
+}
+
+// --- rho_sweep -----------------------------------------------------------
+// Section VI-B: IHC on Q_6 under Poisson background load, measured between
+// the Table II (best) and Table IV (worst) bounds, for both stage-barrier
+// policies.  Both barrier variants of one rho share a background-traffic
+// seed so their finish times compare the same traffic realization.
+
+CampaignSpec rho_sweep_spec() {
+  CampaignSpec spec;
+  spec.name = "rho_sweep";
+  spec.description =
+      "IHC on Q_6 under background load rho (Section VI-B); eta = 2, "
+      "alpha = 20 ns, tau_S = 200 ns, background packets of 8 FIFO units";
+  spec.axes = {
+      {"rho", {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}},
+      {"barrier", {std::string("global"), std::string("per-cycle")}},
+  };
+  return spec;
+}
+
+Campaign make_rho_sweep() {
+  auto cube = prebuilt_hypercube(6);
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_ns(200);  // small startup so contention effects dominate
+  p.mu = 2;
+  p.background_mu = 8;
+  const double best = model::ihc_dedicated(cube->node_count(), 2, p);
+  const double worst = model::ihc_worst(cube->node_count(), 2, p);
+
+  Campaign campaign;
+  campaign.spec = rho_sweep_spec();
+  campaign.run = [cube, p, best, worst](const Trial& trial) {
+    AtaOptions opt;
+    opt.net = p;
+    opt.net.rho = trial.get_double("rho");
+    // Deliberately independent of the barrier axis and replica: both
+    // variants of one rho must see the same background traffic.
+    opt.net.seed = derive_seed(
+        "rho_sweep", "rho=" + format_param(ParamValue(opt.net.rho)));
+
+    IhcOptions io{.eta = 2};
+    if (trial.get_str("barrier") == "per-cycle")
+      io.barrier = StageBarrier::kPerCycle;
+    const AtaResult run = run_ihc(*cube, io, opt);
+
+    const double total_relays = static_cast<double>(
+        run.stats.cut_throughs + run.stats.buffered_relays);
+    return std::vector<Metric>{
+        {"finish_ps", static_cast<double>(run.finish)},
+        {"first_order_ps",
+         model::ihc_first_order_load(cube->node_count(), 2, opt.net)},
+        {"vs_best", static_cast<double>(run.finish) / best},
+        {"vs_worst", static_cast<double>(run.finish) / worst},
+        {"ct_kept_pct",
+         100.0 * static_cast<double>(run.stats.cut_throughs) / total_relays},
+        {"buffered_relays",
+         static_cast<double>(run.stats.buffered_relays)},
+        {"background_packets",
+         static_cast<double>(run.stats.background_packets)},
+    };
+  };
+  return campaign;
+}
+
+// --- fault_tolerance -----------------------------------------------------
+// Section I's reliability bounds, measured: Byzantine corrupters at random
+// placements on Q_6, IHC (edge-disjoint routes) vs. VRS (node-disjoint),
+// under strict-majority, received-majority and signed acceptance.  The
+// fault placement seed is shared across the algo axis so both algorithms
+// face the same adversary.
+
+CampaignSpec fault_tolerance_spec() {
+  CampaignSpec spec;
+  spec.name = "fault_tolerance";
+  spec.description =
+      "Byzantine corrupter sweep on Q_6 (gamma = 6): fraction of healthy "
+      "ordered pairs deciding correct/wrong/undecided per voting rule";
+  spec.axes = {
+      {"t", {std::int64_t{0}, std::int64_t{1}, std::int64_t{2},
+             std::int64_t{3}, std::int64_t{4}, std::int64_t{5}}},
+      {"algo", {std::string("ihc"), std::string("vrs")}},
+  };
+  spec.replicas = 5;
+  return spec;
+}
+
+Campaign make_fault_tolerance() {
+  auto cube = prebuilt_hypercube(6);
+
+  Campaign campaign;
+  campaign.spec = fault_tolerance_spec();
+  campaign.run = [cube](const Trial& trial) {
+    const auto t = static_cast<std::uint32_t>(trial.get_int("t"));
+    SplitMix64 rng(derive_seed(
+        "fault_tolerance", "t=" + std::to_string(t) + ",rep=" +
+                               std::to_string(trial.replica)));
+    FaultPlan plan(rng());
+    while (plan.fault_count() < t)
+      plan.add(static_cast<NodeId>(rng.below(cube->node_count())),
+               FaultMode::kCorrupt);
+
+    AtaOptions opt;
+    opt.net.alpha = sim_ns(20);
+    opt.net.tau_s = sim_us(5);
+    opt.net.mu = 2;
+    opt.granularity = DeliveryLedger::Granularity::kFull;
+    opt.faults = &plan;
+    const KeyRing keys(7);
+    opt.keys = &keys;
+
+    const AtaResult result = trial.get_str("algo") == "vrs"
+                                 ? run_vrs_ata(*cube, opt)
+                                 : run_ihc(*cube, IhcOptions{.eta = 2}, opt);
+
+    const std::uint32_t gamma = cube->gamma();
+    const auto faulty = plan.faulty_nodes();
+    auto rates = [&](const char* prefix, const KeyRing* k, VoteRule rule,
+                     std::vector<Metric>& out) {
+      const ReliabilityReport r =
+          assess_reliability(result.ledger, k, gamma, faulty, rule);
+      const auto pairs = static_cast<double>(r.pairs);
+      const std::string base(prefix);
+      out.push_back(
+          {base + "_correct", static_cast<double>(r.correct) / pairs});
+      out.push_back({base + "_wrong", static_cast<double>(r.wrong) / pairs});
+      out.push_back(
+          {base + "_undecided", static_cast<double>(r.undecided) / pairs});
+    };
+    std::vector<Metric> metrics;
+    rates("strict", nullptr, VoteRule::kStrictMajority, metrics);
+    rates("received", nullptr, VoteRule::kReceivedMajority, metrics);
+    rates("signed", &keys, VoteRule::kStrictMajority, metrics);
+    return metrics;
+  };
+  return campaign;
+}
+
+// --- duty_cycle ----------------------------------------------------------
+// Section VI-A's feasibility claim in duty-cycle form: a periodic IHC
+// service on Q_8, swept over sync periods.
+
+CampaignSpec duty_cycle_spec() {
+  CampaignSpec spec;
+  spec.name = "duty_cycle";
+  spec.description =
+      "Periodic IHC service on Q_8 (alpha = 20 ns, tau_S = 0.5 ms, "
+      "eta = mu = 2, 5 rounds): measured duty cycle per sync period";
+  spec.axes = {
+      {"period_ms", {std::int64_t{2}, std::int64_t{10}, std::int64_t{100},
+                     std::int64_t{1000}}},
+  };
+  return spec;
+}
+
+Campaign make_duty_cycle() {
+  auto cube = prebuilt_hypercube(8);
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_us(500);  // the paper's conservative 0.5 ms
+  p.mu = 2;
+
+  Campaign campaign;
+  campaign.spec = duty_cycle_spec();
+  campaign.run = [cube, p](const Trial& trial) {
+    AtaOptions opt;
+    opt.net = p;
+    opt.net.seed = trial.seed;
+    ServiceConfig config;
+    config.period = sim_ms(trial.get_int("period_ms"));
+    config.rounds = 5;
+    const ServiceReport r = run_periodic_service(*cube, config, opt);
+    return std::vector<Metric>{
+        {"round_mean_ps", r.round_times.mean()},
+        {"duty_cycle_pct", 100.0 * r.duty_cycle},
+        {"missed_deadlines", static_cast<double>(r.missed_deadlines)},
+        {"all_rounds_complete", r.all_rounds_complete ? 1.0 : 0.0},
+    };
+  };
+  return campaign;
+}
+
+}  // namespace
+
+const std::vector<CampaignInfo>& builtin_campaigns() {
+  static const std::vector<CampaignInfo> infos = [] {
+    std::vector<CampaignInfo> v;
+    for (const auto& [spec_of, make] :
+         {std::pair{&rho_sweep_spec, &make_rho_sweep},
+          std::pair{&fault_tolerance_spec, &make_fault_tolerance},
+          std::pair{&duty_cycle_spec, &make_duty_cycle}}) {
+      const CampaignSpec spec = spec_of();
+      v.push_back({spec.name, spec.description, spec.trial_count(), make});
+    }
+    return v;
+  }();
+  return infos;
+}
+
+Campaign make_builtin_campaign(std::string_view name) {
+  std::string known;
+  for (const CampaignInfo& info : builtin_campaigns()) {
+    if (info.name == name) return info.make();
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  detail::throw_config("unknown campaign '" + std::string(name) +
+                       "' (known: " + known + ")");
+}
+
+}  // namespace ihc::exp

@@ -1,0 +1,33 @@
+/// \file campaigns.hpp
+/// \brief Registry of the repo's built-in experiment campaigns.
+///
+/// Each entry packages one of the paper's trial-heavy evaluations (the
+/// rho sweep of Section VI-B, the Byzantine fault campaigns of Section I,
+/// the duty-cycle feasibility scan of Section VI-A) as a declarative
+/// parameter grid the engine can fan out across cores.  The bench
+/// binaries and the `ihc_cli campaign` subcommand both run these.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/campaign.hpp"
+
+namespace ihc::exp {
+
+struct CampaignInfo {
+  std::string name;
+  std::string description;
+  std::size_t trial_count = 0;
+  Campaign (*make)();
+};
+
+/// All built-in campaigns (cheap: construction is deferred to make()).
+[[nodiscard]] const std::vector<CampaignInfo>& builtin_campaigns();
+
+/// Instantiates a built-in campaign by name; throws ConfigError listing
+/// the known names when it does not exist.
+[[nodiscard]] Campaign make_builtin_campaign(std::string_view name);
+
+}  // namespace ihc::exp

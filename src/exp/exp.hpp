@@ -1,0 +1,15 @@
+/// \file exp.hpp
+/// \brief Umbrella header for the experiment-campaign engine.
+///
+/// Declarative parameter grids (campaign.hpp) expand into independent
+/// trials with coordinate-derived seeds (trial.hpp, util/rng.hpp), a
+/// thread pool fans them out across cores deterministically (runner.hpp),
+/// and reporters emit ASCII tables or ihc-campaign-v1 JSON (report.hpp).
+/// The repo's trial-heavy evaluations are registered in campaigns.hpp.
+#pragma once
+
+#include "exp/campaign.hpp"
+#include "exp/campaigns.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/trial.hpp"

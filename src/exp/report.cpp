@@ -1,0 +1,181 @@
+#include "exp/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace ihc::exp {
+
+std::vector<MetricAggregate> aggregate_metrics(const CampaignResult& result) {
+  std::vector<MetricAggregate> aggregates;
+  std::vector<std::vector<double>> values;  // parallel to aggregates
+  auto slot = [&](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < aggregates.size(); ++i)
+      if (aggregates[i].name == name) return i;
+    aggregates.push_back({name, {}, 0, 0, 0, 0, 0});
+    values.emplace_back();
+    return aggregates.size() - 1;
+  };
+  for (const TrialResult& r : result.trials) {
+    if (!r.ok) continue;
+    for (const Metric& m : r.metrics) {
+      const std::size_t i = slot(m.name);
+      aggregates[i].summary.add(m.value);
+      values[i].push_back(m.value);
+    }
+  }
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    aggregates[i].p25 = quantile(values[i], 0.25);
+    aggregates[i].p50 = quantile(values[i], 0.50);
+    aggregates[i].p75 = quantile(values[i], 0.75);
+    aggregates[i].p90 = quantile(values[i], 0.90);
+    aggregates[i].p99 = quantile(values[i], 0.99);
+  }
+  return aggregates;
+}
+
+std::string json_report(const CampaignResult& result,
+                        const JsonReportOptions& options) {
+  Json doc = Json::object();
+  doc.set("schema", "ihc-campaign-v1");
+  doc.set("campaign", result.spec.name);
+  doc.set("description", result.spec.description);
+
+  Json params = Json::object();
+  Json axes = Json::array();
+  for (const Axis& axis : result.spec.axes) {
+    Json a = Json::object();
+    a.set("name", axis.name);
+    Json vals = Json::array();
+    for (const ParamValue& v : axis.values) {
+      if (const auto* i = std::get_if<std::int64_t>(&v))
+        vals.push(*i);
+      else if (const auto* d = std::get_if<double>(&v))
+        vals.push(*d);
+      else
+        vals.push(std::get<std::string>(v));
+    }
+    a.set("values", std::move(vals));
+    axes.push(std::move(a));
+  }
+  params.set("axes", std::move(axes));
+  params.set("replicas", static_cast<std::uint64_t>(result.spec.replicas));
+  doc.set("params", std::move(params));
+
+  if (options.include_timing)
+    doc.set("jobs", static_cast<std::uint64_t>(result.jobs));
+  doc.set("filtered_out", result.filtered_out);
+
+  Json trials = Json::array();
+  for (const TrialResult& r : result.trials) {
+    Json t = Json::object();
+    t.set("id", r.trial.id);
+    t.set("seed", r.trial.seed);
+    Json p = Json::object();
+    for (const Param& param : r.trial.params) {
+      if (const auto* i = std::get_if<std::int64_t>(&param.value))
+        p.set(param.name, *i);
+      else if (const auto* d = std::get_if<double>(&param.value))
+        p.set(param.name, *d);
+      else
+        p.set(param.name, std::get<std::string>(param.value));
+    }
+    p.set("rep", static_cast<std::uint64_t>(r.trial.replica));
+    t.set("params", std::move(p));
+    t.set("ok", r.ok);
+    if (!r.ok) t.set("error", r.error);
+    Json metrics = Json::object();
+    for (const Metric& m : r.metrics) metrics.set(m.name, m.value);
+    t.set("metrics", std::move(metrics));
+    if (options.include_timing) t.set("wall_ms", r.wall_ms);
+    trials.push(std::move(t));
+  }
+  doc.set("trials", std::move(trials));
+
+  Json aggregates = Json::object();
+  for (const MetricAggregate& a : aggregate_metrics(result)) {
+    Json s = Json::object();
+    s.set("count", a.summary.count());
+    s.set("mean", a.summary.mean());
+    s.set("stddev", a.summary.stddev());
+    s.set("min", a.summary.min());
+    s.set("max", a.summary.max());
+    s.set("p25", a.p25);
+    s.set("p50", a.p50);
+    s.set("p75", a.p75);
+    s.set("p90", a.p90);
+    s.set("p99", a.p99);
+    aggregates.set(a.name, std::move(s));
+  }
+  doc.set("aggregates", std::move(aggregates));
+
+  doc.set("failed", result.failed_count());
+  if (options.include_timing) doc.set("wall_clock_ms", result.wall_ms);
+  return doc.dump(options.indent);
+}
+
+void write_json_report(const CampaignResult& result, const std::string& path,
+                       const JsonReportOptions& options) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::trunc);
+  require(out.good(), "cannot open " + path + " for writing");
+  out << json_report(result, options);
+  out.close();
+  require(out.good(), "failed writing " + path);
+}
+
+std::string ascii_report(const CampaignResult& result) {
+  // Column set: union of metric names in first-appearance order.
+  std::vector<std::string> names;
+  for (const TrialResult& r : result.trials)
+    for (const Metric& m : r.metrics) {
+      bool known = false;
+      for (const std::string& n : names) known = known || n == m.name;
+      if (!known) names.push_back(m.name);
+    }
+
+  AsciiTable per_trial(
+      "campaign '" + result.spec.name + "' (" +
+      std::to_string(result.trials.size()) + " trials, " +
+      std::to_string(result.jobs) + " jobs, " +
+      fmt_double(result.wall_ms, 1) + " ms wall)\n" +
+      result.spec.description);
+  std::vector<std::string> header{"trial"};
+  header.insert(header.end(), names.begin(), names.end());
+  per_trial.set_header(header);
+  for (const TrialResult& r : result.trials) {
+    std::vector<std::string> row{r.trial.id};
+    if (!r.ok) {
+      row.resize(header.size(), "");
+      if (header.size() > 1)
+        row[1] = "FAILED: " + r.error;
+      else
+        row[0] += "  FAILED: " + r.error;
+      per_trial.add_row(std::move(row));
+      continue;
+    }
+    for (const std::string& n : names) {
+      const Metric* m = r.find_metric(n);
+      row.push_back(m != nullptr ? fmt_double(m->value, 4) : "");
+    }
+    per_trial.add_row(std::move(row));
+  }
+
+  AsciiTable agg("aggregates over successful trials");
+  agg.set_header({"metric", "count", "mean", "stddev", "min", "p50", "p90",
+                  "max"});
+  for (const MetricAggregate& a : aggregate_metrics(result))
+    agg.add_row({a.name, std::to_string(a.summary.count()),
+                 fmt_double(a.summary.mean(), 4),
+                 fmt_double(a.summary.stddev(), 4),
+                 fmt_double(a.summary.min(), 4), fmt_double(a.p50, 4),
+                 fmt_double(a.p90, 4), fmt_double(a.summary.max(), 4)});
+
+  return per_trial.render() + "\n" + agg.render();
+}
+
+}  // namespace ihc::exp

@@ -1,0 +1,53 @@
+/// \file report.hpp
+/// \brief Campaign reporters: ASCII tables for humans, JSON for tooling.
+///
+/// The JSON document (schema "ihc-campaign-v1") records the campaign
+/// name, the full parameter grid, every trial's coordinates + seed +
+/// metrics + status, and per-metric aggregates (Welford summary plus
+/// nearest-rank quantiles), so perf trajectories can be tracked by
+/// machines instead of scraped from stdout.  Wall-clock fields are the
+/// only scheduling-dependent content; disable them (include_timing =
+/// false) to compare runs byte-for-byte - the engine's determinism tests
+/// assert jobs=1 and jobs=8 produce identical timing-free documents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/stats.hpp"
+
+namespace ihc::exp {
+
+/// Distribution of one metric across the campaign's successful trials.
+struct MetricAggregate {
+  std::string name;
+  Summary summary;
+  double p25 = 0, p50 = 0, p75 = 0, p90 = 0, p99 = 0;
+};
+
+/// Aggregates every metric that appears in at least one successful trial,
+/// in first-appearance order (expansion order, so deterministic).
+[[nodiscard]] std::vector<MetricAggregate> aggregate_metrics(
+    const CampaignResult& result);
+
+struct JsonReportOptions {
+  /// Scheduling-dependent metadata: wall_ms / wall_clock_ms / jobs.
+  /// Everything else in the document is a pure function of the campaign.
+  bool include_timing = true;
+  int indent = 2;
+};
+
+/// Serializes the campaign result as an ihc-campaign-v1 JSON document.
+[[nodiscard]] std::string json_report(const CampaignResult& result,
+                                      const JsonReportOptions& options = {});
+
+/// Writes json_report() to `path`, creating parent directories.
+void write_json_report(const CampaignResult& result, const std::string& path,
+                       const JsonReportOptions& options = {});
+
+/// Renders the result as the repo's usual ASCII tables: one per-trial
+/// table plus one aggregate table.
+[[nodiscard]] std::string ascii_report(const CampaignResult& result);
+
+}  // namespace ihc::exp

@@ -1,0 +1,91 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace ihc::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+std::size_t CampaignResult::failed_count() const {
+  std::size_t n = 0;
+  for (const TrialResult& r : trials)
+    if (!r.ok) ++n;
+  return n;
+}
+
+CampaignResult run_campaign(const Campaign& campaign,
+                            const RunOptions& options) {
+  require(static_cast<bool>(campaign.run), "campaign needs a trial function");
+  const auto campaign_start = Clock::now();
+
+  CampaignResult result;
+  result.spec = campaign.spec;
+
+  std::vector<Trial> trials = expand_trials(campaign.spec);
+  if (!options.filter.empty()) {
+    std::vector<Trial> kept;
+    for (Trial& t : trials)
+      if (t.id.find(options.filter) != std::string::npos)
+        kept.push_back(std::move(t));
+    result.filtered_out = trials.size() - kept.size();
+    trials = std::move(kept);
+  }
+
+  result.trials.resize(trials.size());
+
+  unsigned jobs = options.jobs != 0 ? options.jobs
+                                    : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (trials.size() < jobs) jobs = static_cast<unsigned>(trials.size());
+  if (jobs == 0) jobs = 1;
+  result.jobs = jobs;
+
+  // Workers claim trial indices from a shared counter; each result is
+  // written to its own pre-sized slot, so completion order never leaks
+  // into the report.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      TrialResult& out = result.trials[i];
+      out.trial = trials[i];
+      const auto start = Clock::now();
+      try {
+        out.metrics = campaign.run(trials[i]);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+      out.wall_ms = ms_between(start, Clock::now());
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_ms = ms_between(campaign_start, Clock::now());
+  return result;
+}
+
+}  // namespace ihc::exp

@@ -1,0 +1,42 @@
+/// \file runner.hpp
+/// \brief Thread-pool execution of a campaign's independent trials.
+///
+/// Parallelism lives entirely above the simulator: each trial runs the
+/// ordinary single-threaded simulation, workers just pull trial indices
+/// from a shared counter.  Because every trial's seed is derived from its
+/// grid coordinates and results are stored by expansion index, a run with
+/// --jobs 8 produces byte-identical per-trial metrics and aggregates to a
+/// run with --jobs 1; only the wall-clock fields differ.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+
+namespace ihc::exp {
+
+struct RunOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned jobs = 1;
+  /// Substring filter on trial IDs; empty runs the full grid.
+  std::string filter;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  unsigned jobs = 1;               ///< workers actually used
+  std::vector<TrialResult> trials; ///< in expansion order
+  std::size_t filtered_out = 0;    ///< grid points skipped by the filter
+  double wall_ms = 0.0;            ///< whole-campaign wall clock
+
+  [[nodiscard]] std::size_t failed_count() const;
+};
+
+/// Runs (the filtered subset of) the campaign's grid on `jobs` workers.
+/// A trial that throws is recorded failed; siblings are unaffected.
+[[nodiscard]] CampaignResult run_campaign(const Campaign& campaign,
+                                          const RunOptions& options = {});
+
+}  // namespace ihc::exp

@@ -1,6 +1,7 @@
 #include "topology/hypercube.hpp"
 
 #include <map>
+#include <mutex>
 
 #include "graph/hc_product.hpp"
 #include "util/error.hpp"
@@ -16,8 +17,9 @@ Cycle gray_code_cycle(unsigned m) {
   return Cycle(std::move(seq));
 }
 
-std::vector<Cycle> decompose(unsigned m) {
-  static std::map<unsigned, std::vector<Cycle>> memo;
+using Memo = std::map<unsigned, std::vector<Cycle>>;
+
+std::vector<Cycle> decompose(unsigned m, Memo& memo) {
   if (auto it = memo.find(m); it != memo.end()) return it->second;
 
   std::vector<Cycle> result;
@@ -30,21 +32,31 @@ std::vector<Cycle> decompose(unsigned m) {
     const unsigned k = m / 2;
     const unsigned a = (k % 2 == 0) ? k : k - 1;
     const unsigned b = m - a;
-    result = product_hamiltonian_cycles(decompose(a), decompose(b),
-                                        NodeId{1} << b);
+    result = product_hamiltonian_cycles(decompose(a, memo),
+                                        decompose(b, memo), NodeId{1} << b);
   } else {
     // Theorem 2: split into an even part and an odd part.
     const unsigned k = (m - 1) / 2;
     const unsigned a = (k % 2 == 0) ? k : k + 1;  // even factor (high bits)
     const unsigned b = m - a;                     // odd factor
-    result = product_hamiltonian_cycles(decompose(a), decompose(b),
-                                        NodeId{1} << b);
+    result = product_hamiltonian_cycles(decompose(a, memo),
+                                        decompose(b, memo), NodeId{1} << b);
   }
 
   const Graph g = make_hypercube_graph(m);
   ensure_hc_set(g, result, /*must_cover_all_edges=*/m % 2 == 0);
   memo.emplace(m, result);
   return result;
+}
+
+/// The memo is process-wide shared state; concurrent experiment trials may
+/// construct Hypercubes from multiple threads, so serialize the whole
+/// (recursive) construction under one lock.
+std::vector<Cycle> decompose(unsigned m) {
+  static std::mutex mu;
+  static Memo memo;
+  const std::lock_guard<std::mutex> lock(mu);
+  return decompose(m, memo);
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace ihc {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  IHC_ENSURE(kind_ == Kind::kObject, "set() requires a JSON object");
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  IHC_ENSURE(kind_ == Kind::kArray, "push() requires a JSON array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  IHC_ENSURE(ec == std::errc(), "double formatting cannot fail");
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+void write_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: out += json_number(double_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        write_indent(out, indent, depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      write_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        write_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += "\": ";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      write_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+}  // namespace ihc

@@ -1,0 +1,72 @@
+/// \file json.hpp
+/// \brief Minimal JSON document builder for machine-readable reports.
+///
+/// The experiment engine emits campaign results as JSON so the perf
+/// trajectory can be tracked by tooling instead of scraped from ASCII
+/// tables.  The builder is a small ordered tree (object keys keep
+/// insertion order) with a deterministic serializer: doubles print via
+/// std::to_chars shortest round-trip, so two runs that produce the same
+/// values produce byte-identical documents - the property the engine's
+/// determinism tests compare.  No parser is provided; this is write-only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ihc {
+
+/// One JSON value: null, bool, number, string, array or object.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : kind_(Kind::kString), string_(s) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  /// Appends a key/value pair (object only).  Returns *this for chaining.
+  Json& set(std::string key, Json value);
+
+  /// Appends an element (array only).  Returns *this for chaining.
+  Json& push(Json value);
+
+  /// Serializes the document.  indent <= 0 yields a single line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                              // array
+  std::vector<std::pair<std::string, Json>> members_;    // object
+};
+
+/// Escapes a string for inclusion in a JSON document (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal form of a double (to_chars); "null" for
+/// non-finite values, which JSON cannot represent.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace ihc

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace ihc {
 
@@ -12,6 +13,12 @@ namespace ihc {
 class Summary {
  public:
   void add(double x);
+
+  /// Folds another accumulator into this one (Chan et al. pairwise
+  /// combination), as if every sample of `other` had been add()ed here.
+  /// Lets per-shard statistics from parallel trial runs merge into one
+  /// campaign-level Summary without a second pass over the data.
+  void merge(const Summary& other);
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
@@ -30,5 +37,9 @@ class Summary {
   double max_ = 0.0;
   double sum_ = 0.0;
 };
+
+/// Nearest-rank quantile of a sample, q in [0, 1].  Sorts a copy; returns
+/// 0 for an empty sample (matching Summary's empty-state convention).
+[[nodiscard]] double quantile(std::vector<double> values, double q);
 
 }  // namespace ihc

@@ -1,0 +1,299 @@
+// The experiment-campaign engine: grid expansion, coordinate-derived
+// seeds, thread-pool determinism (jobs=1 == jobs=8, byte-for-byte modulo
+// wall-clock), failure isolation, and the report plumbing it relies on
+// (Summary::merge, quantile, JSON serialization).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ihc.hpp"
+#include "exp/exp.hpp"
+#include "topology/hypercube.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ihc::exp {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.name = "unit";
+  spec.description = "unit-test grid";
+  spec.axes = {
+      {"rho", {0.0, 0.3, 0.6}},
+      {"switching", {std::string("vct"), std::string("saf")}},
+  };
+  spec.replicas = 2;
+  return spec;
+}
+
+TEST(ExpCampaign, GridExpansionCounts) {
+  const CampaignSpec spec = small_spec();
+  EXPECT_EQ(spec.trial_count(), 3u * 2u * 2u);
+  const auto trials = expand_trials(spec);
+  ASSERT_EQ(trials.size(), 12u);
+
+  // Row-major: first axis slowest, replicas innermost.
+  EXPECT_EQ(trials[0].id, "rho=0,switching=vct,rep=0");
+  EXPECT_EQ(trials[1].id, "rho=0,switching=vct,rep=1");
+  EXPECT_EQ(trials[2].id, "rho=0,switching=saf,rep=0");
+  EXPECT_EQ(trials[4].id, "rho=0.3,switching=vct,rep=0");
+  EXPECT_EQ(trials[11].id, "rho=0.6,switching=saf,rep=1");
+
+  // IDs and indices are unique and sequential.
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, i);
+    ids.insert(trials[i].id);
+  }
+  EXPECT_EQ(ids.size(), trials.size());
+
+  // Typed parameter access.
+  EXPECT_DOUBLE_EQ(trials[4].get_double("rho"), 0.3);
+  EXPECT_EQ(trials[2].get_str("switching"), "saf");
+  EXPECT_THROW((void)trials[0].get_int("rho"), ConfigError);
+  EXPECT_THROW((void)trials[0].get_double("nope"), ConfigError);
+}
+
+TEST(ExpCampaign, SeedsAreCoordinateDerivedAndStable) {
+  const auto a = expand_trials(small_spec());
+  const auto b = expand_trials(small_spec());
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed) << a[i].id;
+    EXPECT_EQ(a[i].seed, derive_seed("unit", a[i].id));
+    seeds.insert(a[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), a.size());  // no collisions on this grid
+
+  // A different campaign name yields a different seed for equal ids.
+  EXPECT_NE(derive_seed("unit", a[0].id), derive_seed("other", a[0].id));
+  // Streams decorrelate within one trial.
+  EXPECT_NE(derive_seed("unit", a[0].id, 0), derive_seed("unit", a[0].id, 1));
+}
+
+TEST(ExpCampaign, ValidationRejectsBadSpecs) {
+  CampaignSpec spec = small_spec();
+  spec.axes.push_back({"rho", {1.0}});
+  EXPECT_THROW(expand_trials(spec), ConfigError);
+
+  spec = small_spec();
+  spec.axes.push_back({"rep", {1.0}});
+  EXPECT_THROW(expand_trials(spec), ConfigError);
+
+  spec = small_spec();
+  spec.axes[0].values.clear();
+  EXPECT_THROW(expand_trials(spec), ConfigError);
+
+  spec = small_spec();
+  spec.replicas = 0;
+  EXPECT_THROW(expand_trials(spec), ConfigError);
+}
+
+/// A real (but small) simulation campaign on Q_4: the determinism fixture.
+Campaign q4_campaign() {
+  auto cube = std::make_shared<Hypercube>(4);
+  (void)cube->directed_cycles();
+
+  Campaign campaign;
+  campaign.spec.name = "q4_unit";
+  campaign.spec.description = "small Q_4 IHC grid for the engine tests";
+  campaign.spec.axes = {{"rho", {0.0, 0.2, 0.4}}, {"eta", {std::int64_t{2},
+                                                           std::int64_t{4}}}};
+  campaign.spec.replicas = 2;
+  campaign.run = [cube](const Trial& trial) {
+    AtaOptions opt;
+    opt.net.tau_s = sim_ns(200);
+    opt.net.rho = trial.get_double("rho");
+    opt.net.seed = trial.seed;
+    const AtaResult r = run_ihc(
+        *cube,
+        IhcOptions{.eta = static_cast<std::uint32_t>(trial.get_int("eta"))},
+        opt);
+    return std::vector<Metric>{
+        {"finish_ps", static_cast<double>(r.finish)},
+        {"buffered_relays", static_cast<double>(r.stats.buffered_relays)},
+        {"deliveries", static_cast<double>(r.stats.deliveries)},
+    };
+  };
+  return campaign;
+}
+
+TEST(ExpRunner, ParallelRunMatchesSerialRunByteForByte) {
+  const Campaign campaign = q4_campaign();
+
+  RunOptions serial;
+  serial.jobs = 1;
+  RunOptions parallel;
+  parallel.jobs = 8;
+
+  const CampaignResult a = run_campaign(campaign, serial);
+  const CampaignResult b = run_campaign(campaign, parallel);
+  EXPECT_EQ(a.jobs, 1u);
+  EXPECT_EQ(b.jobs, 8u);
+  EXPECT_EQ(a.failed_count(), 0u);
+
+  // The timing-free JSON documents - per-trial params, seeds, metrics and
+  // the aggregates - must be byte-identical.
+  const JsonReportOptions no_timing{.include_timing = false};
+  EXPECT_EQ(json_report(a, no_timing), json_report(b, no_timing));
+  EXPECT_NE(json_report(a, no_timing), "");
+}
+
+TEST(ExpRunner, FilterSelectsSubgrid) {
+  const Campaign campaign = q4_campaign();
+  RunOptions options;
+  options.jobs = 2;
+  options.filter = "rho=0.2,";
+  const CampaignResult result = run_campaign(campaign, options);
+  EXPECT_EQ(result.trials.size(), 4u);  // 2 etas x 2 reps
+  EXPECT_EQ(result.filtered_out, 8u);
+  for (const TrialResult& r : result.trials)
+    EXPECT_DOUBLE_EQ(r.trial.get_double("rho"), 0.2);
+}
+
+TEST(ExpRunner, ThrowingTrialIsIsolated) {
+  Campaign campaign;
+  campaign.spec.name = "faulty";
+  campaign.spec.axes = {{"k", {std::int64_t{0}, std::int64_t{1},
+                               std::int64_t{2}, std::int64_t{3}}}};
+  campaign.run = [](const Trial& trial) {
+    require(trial.get_int("k") != 2, "k = 2 is broken by design");
+    return std::vector<Metric>{
+        {"k2", static_cast<double>(trial.get_int("k") * 2)}};
+  };
+
+  RunOptions options;
+  options.jobs = 4;
+  const CampaignResult result = run_campaign(campaign, options);
+  ASSERT_EQ(result.trials.size(), 4u);
+  EXPECT_EQ(result.failed_count(), 1u);
+  for (const TrialResult& r : result.trials) {
+    if (r.trial.get_int("k") == 2) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_NE(r.error.find("broken by design"), std::string::npos);
+      EXPECT_TRUE(r.metrics.empty());
+    } else {
+      EXPECT_TRUE(r.ok) << r.error;
+      EXPECT_DOUBLE_EQ(r.metric("k2"),
+                       static_cast<double>(r.trial.get_int("k") * 2));
+    }
+  }
+
+  // Failed trials stay out of the aggregates but in the report.
+  const auto aggregates = aggregate_metrics(result);
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_EQ(aggregates[0].summary.count(), 3u);
+  const std::string json = json_report(result);
+  EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("broken by design"), std::string::npos);
+}
+
+TEST(ExpReport, AggregatesAndQuantiles) {
+  Campaign campaign;
+  campaign.spec.name = "agg";
+  campaign.spec.axes = {{"v", {1.0, 2.0, 3.0, 4.0}}};
+  campaign.run = [](const Trial& trial) {
+    return std::vector<Metric>{{"v", trial.get_double("v")}};
+  };
+  const CampaignResult result = run_campaign(campaign);
+  const auto aggregates = aggregate_metrics(result);
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_EQ(aggregates[0].name, "v");
+  EXPECT_EQ(aggregates[0].summary.count(), 4u);
+  EXPECT_DOUBLE_EQ(aggregates[0].summary.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(aggregates[0].p25, 1.0);
+  EXPECT_DOUBLE_EQ(aggregates[0].p50, 2.0);
+  EXPECT_DOUBLE_EQ(aggregates[0].p99, 4.0);
+
+  const std::string ascii = ascii_report(result);
+  EXPECT_NE(ascii.find("campaign 'agg'"), std::string::npos);
+  EXPECT_NE(ascii.find("aggregates"), std::string::npos);
+}
+
+TEST(ExpBuiltins, RegistryListsAndInstantiates) {
+  const auto& infos = builtin_campaigns();
+  ASSERT_GE(infos.size(), 3u);
+  std::set<std::string> names;
+  for (const CampaignInfo& info : infos) {
+    names.insert(info.name);
+    EXPECT_GT(info.trial_count, 0u);
+    EXPECT_FALSE(info.description.empty());
+  }
+  EXPECT_TRUE(names.contains("rho_sweep"));
+  EXPECT_TRUE(names.contains("fault_tolerance"));
+  EXPECT_TRUE(names.contains("duty_cycle"));
+  EXPECT_THROW((void)make_builtin_campaign("nope"), ConfigError);
+
+  // The built-in specs expand deterministically.
+  const Campaign c = make_builtin_campaign("rho_sweep");
+  EXPECT_EQ(expand_trials(c.spec).size(), c.spec.trial_count());
+}
+
+}  // namespace
+}  // namespace ihc::exp
+
+namespace ihc {
+namespace {
+
+TEST(SummaryMerge, MatchesSinglePass) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.5, 9.2, 2.6, 5.3, 5.0};
+  Summary whole;
+  for (const double x : xs) whole.add(x);
+
+  Summary left, right, merged;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i < 3 ? left : right).add(xs[i]);
+  merged.merge(left);
+  merged.merge(right);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.total(), whole.total());
+
+  Summary empty;
+  merged.merge(empty);  // no-op
+  EXPECT_EQ(merged.count(), whole.count());
+}
+
+TEST(Quantile, NearestRank) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.5), 7.0);
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(JsonWriter, DeterministicSerialization) {
+  Json doc = Json::object();
+  doc.set("s", "a\"b\\c\n\x01");
+  doc.set("i", std::int64_t{-3});
+  doc.set("u", std::uint64_t{18446744073709551615ULL});
+  doc.set("d", 0.3);
+  doc.set("b", true);
+  doc.set("n", nullptr);
+  doc.set("arr", Json::array().push(1.5).push("x"));
+  doc.set("empty", Json::object());
+
+  const std::string flat = doc.dump(0);
+  EXPECT_EQ(flat,
+            "{\"s\": \"a\\\"b\\\\c\\n\\u0001\",\"i\": -3,"
+            "\"u\": 18446744073709551615,\"d\": 0.3,\"b\": true,"
+            "\"n\": null,\"arr\": [1.5,\"x\"],\"empty\": {}}");
+  EXPECT_EQ(doc.dump(0), flat);  // stable across serializations
+
+  // Shortest round-trip double formatting.
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(1e300), "1e+300");
+}
+
+}  // namespace
+}  // namespace ihc

@@ -26,12 +26,24 @@
 //   ihc_cli verify <file> <topology>
 //       Load a saved decomposition and verify it against the topology.
 //
+//   ihc_cli campaign [<name>...] [options]
+//       Run experiment campaigns on the parallel trial engine (all
+//       built-ins when no name is given; see `campaign --list`).
+//       --jobs <n>      worker threads (0 = hardware concurrency;
+//                       default 0)
+//       --filter <s>    run only trials whose id contains <s>
+//       --json-out <p>  write ihc-campaign-v1 JSON: a .json file path
+//                       (single campaign only) or a directory receiving
+//                       <p>/<campaign>.json (e.g. bench/results)
+//       --list          list the built-in campaigns and exit
+//
 // Topology grammar: Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/analysis.hpp"
+#include "exp/exp.hpp"
 #include "core/frs.hpp"
 #include "core/hc_broadcast.hpp"
 #include "core/ihc.hpp"
@@ -44,6 +56,7 @@
 #include "topology/hypercube.hpp"
 #include "topology/lambda.hpp"
 #include "topology/square_mesh.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace ihc;
@@ -55,6 +68,8 @@ struct Args {
   std::string algo = "ihc";
   std::string out;
   std::string switching = "vct";
+  std::string filter;
+  std::string json_out;
   std::uint32_t eta = 0;  // 0 = auto
   std::uint32_t mu = 2;
   std::uint32_t cycles = 0;
@@ -62,14 +77,17 @@ struct Args {
   std::int64_t alpha_ns = 20;
   std::int64_t tau_s_ns = 5000;
   double rho = 0.0;
+  unsigned jobs = 0;  // 0 = hardware concurrency
   bool multihop = false;
   bool single_link = false;
-  std::uint64_t seed = 0x5eed;
+  bool list = false;
+  bool seed_given = false;
+  std::uint64_t seed = 0;  // default derived from the run coordinates
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ihc_cli info|run|decompose|verify ... "
+               "usage: ihc_cli info|run|decompose|verify|campaign ... "
                "(see the header of tools/ihc_cli.cpp)\n"
                "topology grammar: %s\n",
                std::string(topology_spec_help()).c_str());
@@ -94,7 +112,11 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--alpha-ns") args.alpha_ns = std::stoll(next());
     else if (a == "--tau-s-ns") args.tau_s_ns = std::stoll(next());
     else if (a == "--rho") args.rho = std::stod(next());
-    else if (a == "--seed") args.seed = std::stoull(next());
+    else if (a == "--seed") { args.seed = std::stoull(next()); args.seed_given = true; }
+    else if (a == "--jobs") args.jobs = static_cast<unsigned>(std::stoul(next()));
+    else if (a == "--filter") args.filter = next();
+    else if (a == "--json-out") args.json_out = next();
+    else if (a == "--list") args.list = true;
     else if (a == "--multihop") args.multihop = true;
     else if (a == "--single-link") args.single_link = true;
     else if (!a.empty() && a[0] == '-')
@@ -134,7 +156,13 @@ int cmd_run(const Args& args) {
   opt.net.tau_s = sim_ns(args.tau_s_ns);
   opt.net.mu = args.mu;
   opt.net.rho = args.rho;
-  opt.net.seed = args.seed;
+  // Unless the user pins one, the seed is derived from the run's own
+  // coordinates - the same deterministic scheme the experiment engine
+  // uses, so repeated invocations reproduce and distinct runs decorrelate.
+  opt.net.seed = args.seed_given
+                     ? args.seed
+                     : derive_seed("ihc_cli.run", args.positional[1] +
+                                                      ",algo=" + args.algo);
   opt.net.background_mode = args.multihop ? BackgroundMode::kMultiHopFlows
                                           : BackgroundMode::kSingleLink;
   if (args.switching == "saf")
@@ -250,6 +278,52 @@ int cmd_verify(const Args& args) {
   return 1;
 }
 
+int cmd_campaign(const Args& args) {
+  if (args.list) {
+    AsciiTable table("built-in experiment campaigns");
+    table.set_header({"name", "trials", "description"});
+    for (const exp::CampaignInfo& info : exp::builtin_campaigns())
+      table.add_row({info.name, std::to_string(info.trial_count),
+                     info.description});
+    table.print();
+    return 0;
+  }
+
+  std::vector<std::string> names(args.positional.begin() + 1,
+                                 args.positional.end());
+  if (names.empty())
+    for (const exp::CampaignInfo& info : exp::builtin_campaigns())
+      names.push_back(info.name);
+
+  const bool json_is_file =
+      names.size() == 1 && args.json_out.size() > 5 &&
+      args.json_out.substr(args.json_out.size() - 5) == ".json";
+
+  exp::RunOptions run_options;
+  run_options.jobs = args.jobs;
+  run_options.filter = args.filter;
+
+  std::size_t failed = 0;
+  for (const std::string& name : names) {
+    const exp::Campaign campaign = exp::make_builtin_campaign(name);
+    const exp::CampaignResult result =
+        exp::run_campaign(campaign, run_options);
+    std::fputs(exp::ascii_report(result).c_str(), stdout);
+    std::fputs("\n", stdout);
+    failed += result.failed_count();
+    if (!args.json_out.empty()) {
+      const std::string path =
+          json_is_file ? args.json_out
+                       : args.json_out + "/" + name + ".json";
+      exp::write_json_report(result, path);
+      std::printf("wrote %s\n\n", path.c_str());
+    }
+  }
+  if (failed != 0)
+    std::fprintf(stderr, "campaign: %zu trial(s) failed\n", failed);
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +335,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "decompose") return cmd_decompose(args);
     if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
