@@ -32,6 +32,9 @@ int main() {
     const exp::Campaign campaign = exp::make_builtin_campaign("duty_cycle");
     exp::RunOptions run_options;
     run_options.jobs = jobs_from_env();
+    // IHC_BENCH_METRICS=1 appends the merged simulator-metrics registry
+    // (docs/TRACING.md); off by default to keep output stable.
+    run_options.collect_metrics = std::getenv("IHC_BENCH_METRICS") != nullptr;
     const exp::CampaignResult result =
         exp::run_campaign(campaign, run_options);
 
@@ -56,6 +59,9 @@ int main() {
     table.print();
     std::printf("[%zu trials on %u worker thread(s), %.1f ms wall]\n",
                 result.trials.size(), result.jobs, result.wall_ms);
+    if (!result.metrics.empty())
+      std::printf("\nsimulator metrics (IHC_BENCH_METRICS):\n%s\n",
+                  result.metrics.to_json().dump(2).c_str());
   }
 
   {

@@ -41,6 +41,9 @@ int main() {
       exp::make_builtin_campaign("fault_tolerance");
   exp::RunOptions run_options;
   run_options.jobs = jobs_from_env();
+  // IHC_BENCH_METRICS=1 appends the merged simulator-metrics registry
+  // (docs/TRACING.md) after the table; off by default to keep output stable.
+  run_options.collect_metrics = std::getenv("IHC_BENCH_METRICS") != nullptr;
   const exp::CampaignResult result = exp::run_campaign(campaign, run_options);
 
   AsciiTable table(
@@ -100,5 +103,8 @@ int main() {
       "   routes, approaching the t <= gamma - 1 signed bound.\n"
       "\n[%zu trials on %u worker thread(s), %.1f ms wall]\n",
       result.trials.size(), result.jobs, result.wall_ms);
+  if (!result.metrics.empty())
+    std::printf("\nsimulator metrics (IHC_BENCH_METRICS):\n%s\n",
+                result.metrics.to_json().dump(2).c_str());
   return 0;
 }

@@ -33,6 +33,9 @@ int main() {
   const exp::Campaign campaign = exp::make_builtin_campaign("rho_sweep");
   exp::RunOptions run_options;
   run_options.jobs = jobs_from_env();
+  // IHC_BENCH_METRICS=1 appends the merged simulator-metrics registry
+  // (docs/TRACING.md) after the table; off by default to keep output stable.
+  run_options.collect_metrics = std::getenv("IHC_BENCH_METRICS") != nullptr;
   const exp::CampaignResult result = exp::run_campaign(campaign, run_options);
 
   // The same bounds the campaign's metrics are normalized against.
@@ -101,5 +104,8 @@ int main() {
       fmt_time_ps(static_cast<SimTime>(best)).c_str(),
       fmt_time_ps(static_cast<SimTime>(worst)).c_str(),
       result.trials.size(), result.jobs, result.wall_ms);
+  if (!result.metrics.empty())
+    std::printf("\nsimulator metrics (IHC_BENCH_METRICS):\n%s\n",
+                result.metrics.to_json().dump(2).c_str());
   return 0;
 }

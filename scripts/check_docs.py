@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Documentation-drift checks, runnable without a build.
+
+Two families of checks, mirroring tests/test_cli_help.cpp (which runs
+them as part of tier-1 when a build is available):
+
+1. Intra-repo Markdown links: every relative `[text](target)` link in a
+   tracked/untracked-but-not-ignored .md file must resolve to a file in
+   the repository (URL fragments are stripped first).
+2. CLI surface drift: the subcommand table in src/util/cli_spec.hpp is
+   the single source of truth for `ihc_cli --help`; every subcommand in
+   it must be dispatched by tools/ihc_cli.cpp and mentioned in
+   README.md, the campaign/trace workflow must be documented where the
+   docs promise it, and docs/TRACING.md must cover every event of the
+   ihc-trace-v1 schema.
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Event names of the ihc-trace-v1 schema (obs/trace.cpp validate_event).
+TRACE_EVENTS = [
+    "packet_injected", "header_advanced", "delivered", "xmit", "buffered",
+    "stalled", "fault_fired", "link_dropped", "stage", "fifo_enqueue",
+    "fifo_dequeue", "flit_blocked",
+]
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md"],
+        cwd=REPO, capture_output=True, text=True, check=True).stdout
+    return [Path(line) for line in out.splitlines() if line]
+
+
+def check_links(problems):
+    for rel in markdown_files():
+        text = (REPO / rel).read_text(encoding="utf-8")
+        for target in MD_LINK.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # same-document anchor
+                continue
+            resolved = (REPO / rel).parent / path
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+
+
+def spec_subcommands():
+    spec = (REPO / "src/util/cli_spec.hpp").read_text(encoding="utf-8")
+    table = spec.split("kCliSubcommands[]", 1)[1]
+    names = re.findall(r'\{"(\w+)",', table)
+    if len(names) < 6:
+        raise SystemExit(f"cli_spec.hpp: parsed only {names}; parser broken?")
+    return names
+
+
+def check_cli_surface(problems):
+    names = spec_subcommands()
+    cli = (REPO / "tools/ihc_cli.cpp").read_text(encoding="utf-8")
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    tracing = (REPO / "docs/TRACING.md").read_text(encoding="utf-8")
+
+    for name in names:
+        if f'cmd == "{name}"' not in cli:
+            problems.append(f"tools/ihc_cli.cpp: subcommand '{name}' in "
+                            "cli_spec.hpp is never dispatched")
+        if name not in readme:
+            problems.append(f"README.md: subcommand '{name}' undocumented")
+
+    for doc, text in (("README.md", readme), ("EXPERIMENTS.md", experiments)):
+        if "campaign --list" not in text:
+            problems.append(f"{doc}: missing `campaign --list` walkthrough")
+    for needle in ("--metrics", '"metrics"'):
+        if needle not in experiments:
+            problems.append(f"EXPERIMENTS.md: metrics block not documented "
+                            f"(missing {needle})")
+
+    if "ihc-trace-v1" not in tracing:
+        problems.append("docs/TRACING.md: schema name ihc-trace-v1 missing")
+    for event in TRACE_EVENTS:
+        if event not in tracing:
+            problems.append(f"docs/TRACING.md: event '{event}' undocumented")
+
+
+def main():
+    problems = []
+    check_links(problems)
+    check_cli_surface(problems)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(markdown_files())} Markdown files, "
+          f"{len(spec_subcommands())} subcommands)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

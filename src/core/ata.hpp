@@ -38,6 +38,11 @@ struct AtaOptions {
   /// default honest_payload/keys signing entirely - including for
   /// equivocating origins.
   const std::vector<PayloadOverride>* payload_override = nullptr;
+  /// Optional observability (not owned; may be nullptr): structured event
+  /// tracing and metrics export (see obs/obs.hpp, docs/TRACING.md).  When
+  /// unset every instrumentation site is a branch-on-null no-op.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct AtaResult {

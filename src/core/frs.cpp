@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "core/runner.hpp"
+#include "obs/obs.hpp"
 #include "sched/rs_schedule.hpp"
 #include "util/error.hpp"
 
@@ -100,6 +101,22 @@ AtaResult run_frs(const Hypercube& cube, const AtaOptions& options) {
   result.stats.deliveries = result.ledger.total_copies();
   // FRS keeps every link fully busy for the whole operation (Section II).
   result.mean_link_utilization = 1.0;
+
+  // FRS is analytic (no Network behind it): the observability view is the
+  // closed-form step timeline plus the derived NetStats.
+  if (options.tracer != nullptr) {
+    options.tracer->announce_topology(cube.graph());
+    for (unsigned t = 1; t <= gamma + 1; ++t)
+      options.tracer->stage_span(step_finish[t - 1], step_finish[t],
+                                 "frs_step", t);
+  }
+  if (options.metrics != nullptr) {
+    export_net_stats(result.stats, *options.metrics);
+    for (unsigned t = 1; t <= gamma + 1; ++t)
+      options.metrics->observe(
+          "frs.step_latency_ps",
+          static_cast<double>(step_finish[t] - step_finish[t - 1]));
+  }
   return result;
 }
 

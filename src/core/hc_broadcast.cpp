@@ -1,6 +1,7 @@
 #include "core/hc_broadcast.hpp"
 
 #include "core/runner.hpp"
+#include "obs/obs.hpp"
 
 namespace ihc {
 namespace {
@@ -20,6 +21,7 @@ void add_hc_broadcast(Network& net, const Topology& topo, NodeId source,
 }
 
 AtaResult finish(std::string name, Network&& net) {
+  net.flush_metrics();
   AtaResult result;
   result.algorithm = std::move(name);
   result.finish = net.stats().finish_time;
@@ -35,6 +37,7 @@ AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
                            const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  attach_observability(net, options);
   add_hc_broadcast(net, topo, source, 0, options);
   net.run();
   return finish("HC", std::move(net));
@@ -43,11 +46,16 @@ AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
 AtaResult run_hc_ata(const Topology& topo, const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  attach_observability(net, options);
   SimTime start = 0;
   for (NodeId source = 0; source < topo.node_count(); ++source) {
     add_hc_broadcast(net, topo, source, start, options);
     net.run();
-    start = net.stats().finish_time;
+    const SimTime finish_time = net.stats().finish_time;
+    if (options.tracer != nullptr)
+      options.tracer->stage_span(start, finish_time, "broadcast", source,
+                                 source);
+    start = finish_time;
   }
   return finish("HC-ATA", std::move(net));
 }

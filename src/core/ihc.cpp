@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/runner.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
@@ -45,6 +46,7 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
 
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  attach_observability(net, options);
   const auto overlap =
       static_cast<SimTime>(options.net.mu - 1) * options.net.alpha;
 
@@ -86,9 +88,11 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
     };
     std::vector<CycleProgress> progress(used_cycles);
     std::vector<std::size_t> cycle_of_flow;
+    std::vector<SimTime> stage_started(used_cycles, 0);
 
     auto inject_stage = [&](std::size_t j, std::uint32_t stage_index,
                             SimTime at) {
+      stage_started[j] = at;
       const DirectedCycle& hc = cycles[j];
       const std::uint32_t stage = stage_index % ihc.eta;
       for (std::size_t pos = stage; pos < hc.length(); pos += ihc.eta) {
@@ -108,14 +112,23 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
     net.set_completion_hook([&](FlowId flow, SimTime at) {
       const std::size_t j = cycle_of_flow[flow];
       IHC_ENSURE(progress[j].pending > 0, "completion accounting broke");
-      if (--progress[j].pending == 0 &&
-          ++progress[j].stage < total_stages) {
-        inject_stage(j, progress[j].stage, at);
+      if (--progress[j].pending == 0) {
+        if (options.tracer != nullptr)
+          options.tracer->stage_span(stage_started[j], at, "stage",
+                                     progress[j].stage,
+                                     static_cast<std::int64_t>(j));
+        if (options.metrics != nullptr)
+          options.metrics->observe(
+              "ihc.stage_latency_ps",
+              static_cast<double>(at - stage_started[j]));
+        if (++progress[j].stage < total_stages)
+          inject_stage(j, progress[j].stage, at);
       }
     });
     for (std::size_t j = 0; j < used_cycles; ++j) inject_stage(j, 0, 0);
     net.run();
     net.set_completion_hook(nullptr);
+    net.flush_metrics();
 
     AtaResult result;
     result.algorithm =
@@ -131,10 +144,12 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
   // early advance immediately; kGlobal keeps every cycle's start equal).
   std::vector<SimTime> cycle_start(cycles.size(), 0);
   SimTime start = 0;
+  std::int64_t stage_counter = 0;
   for (std::uint32_t round = 0; round < rounds; ++round)
   for (const auto& cycle_set : invocations) {
     for (std::size_t s = 0; s < stage_order.size(); ++s) {
       const std::uint32_t stage = stage_order[s];
+      const SimTime stage_begin = start;
       std::vector<std::vector<FlowId>> stage_flows(cycles.size());
       for (const std::size_t j : cycle_set) {
         const DirectedCycle& hc = cycles[j];
@@ -153,6 +168,13 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
       }
       net.run();
       start = net.stats().finish_time;
+      if (options.tracer != nullptr)
+        options.tracer->stage_span(stage_begin, start, "stage",
+                                   stage_counter);
+      if (options.metrics != nullptr)
+        options.metrics->observe("ihc.stage_latency_ps",
+                                 static_cast<double>(start - stage_begin));
+      ++stage_counter;
       for (const std::size_t j : cycle_set) {
         SimTime finish = cycle_start[j];
         for (const FlowId f : stage_flows[j])
@@ -167,6 +189,7 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
     }
   }
 
+  net.flush_metrics();
   AtaResult result;
   result.algorithm = "IHC(eta=" + std::to_string(ihc.eta) +
                      (ihc.overlap_stages ? ",overlap" : "") +

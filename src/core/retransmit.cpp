@@ -52,6 +52,7 @@ RetransmitReport run_with_retransmission(const Topology& topo,
   RetransmitReport report;
   Network net(topo.graph(), base_options.net, DeliveryLedger::Granularity::kFull);
   net.set_fault_plan(base_options.faults);
+  attach_observability(net, base_options);
   SimTime start = 0;
 
   for (std::uint32_t round = 0; round < config.max_rounds; ++round) {

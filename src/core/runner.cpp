@@ -1,8 +1,14 @@
 #include "core/runner.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
+
+void attach_observability(Network& net, const AtaOptions& options) {
+  if (options.tracer != nullptr) net.set_tracer(options.tracer);
+  if (options.metrics != nullptr) net.set_metrics(options.metrics);
+}
 
 std::uint64_t honest_payload(NodeId v) {
   std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
@@ -35,6 +41,7 @@ FlowSpec make_flow(NodeId origin, std::uint16_t route_tag,
 namespace {
 
 AtaResult finish_result(std::string algorithm, Network&& net) {
+  net.flush_metrics();
   AtaResult result;
   result.algorithm = std::move(algorithm);
   result.finish = net.stats().finish_time;
@@ -63,11 +70,18 @@ AtaResult run_sequential_tree_ata(std::string algorithm,
                                   const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  attach_observability(net, options);
   SimTime start = 0;
   for (NodeId source = 0; source < topo.node_count(); ++source) {
     add_broadcast(net, source, start, trees(source), options);
     net.run();
-    start = net.stats().finish_time;
+    const SimTime finish = net.stats().finish_time;
+    if (options.tracer != nullptr)
+      options.tracer->stage_span(start, finish, "broadcast", source, source);
+    if (options.metrics != nullptr)
+      options.metrics->observe("ata.broadcast_latency_ps",
+                               static_cast<double>(finish - start));
+    start = finish;
   }
   return finish_result(std::move(algorithm), std::move(net));
 }
@@ -78,6 +92,7 @@ AtaResult run_single_tree_broadcast(std::string algorithm,
                                     const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  attach_observability(net, options);
   add_broadcast(net, source, 0, trees(source), options);
   net.run();
   return finish_result(std::move(algorithm), std::move(net));

@@ -37,4 +37,9 @@ using TreeBuilder =
                                  SimTime inject_time,
                                  const AtaOptions& options);
 
+/// Attaches the options' tracer / metrics registry (if any) to the
+/// network - every driver calls this right after constructing its
+/// Network.
+void attach_observability(Network& net, const AtaOptions& options);
+
 }  // namespace ihc

@@ -1,6 +1,7 @@
 #include "core/service.hpp"
 
 #include "core/runner.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
@@ -15,6 +16,7 @@ ServiceReport run_periodic_service(const Topology& topo,
 
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  attach_observability(net, options);
   const auto& cycles = topo.directed_cycles();
   const NodeId n = topo.node_count();
 
@@ -42,7 +44,14 @@ ServiceReport run_periodic_service(const Topology& topo,
         }
       }
       net.run();
-      stage_start = net.stats().finish_time;
+      const SimTime stage_end = net.stats().finish_time;
+      if (options.tracer != nullptr)
+        options.tracer->stage_span(stage_start, stage_end, "stage",
+                                   round * config.ihc.eta + stage);
+      if (options.metrics != nullptr)
+        options.metrics->observe("ihc.stage_latency_ps",
+                                 static_cast<double>(stage_end - stage_start));
+      stage_start = stage_end;
     }
     const SimTime round_time = net.stats().finish_time - round_start;
     report.round_times.add(static_cast<double>(round_time));
@@ -54,6 +63,7 @@ ServiceReport run_periodic_service(const Topology& topo,
       report.all_rounds_complete = false;
   }
 
+  net.flush_metrics();
   report.total_deliveries = deliveries_before;
   report.duty_cycle = report.round_times.mean() /
                       static_cast<double>(config.period);

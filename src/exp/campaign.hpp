@@ -15,6 +15,11 @@
 
 #include "exp/trial.hpp"
 
+namespace ihc::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace ihc::obs
+
 namespace ihc::exp {
 
 /// One dimension of the parameter grid.
@@ -37,11 +42,23 @@ struct CampaignSpec {
   [[nodiscard]] std::size_t trial_count() const;
 };
 
+/// Per-trial observability handles, provided by the engine.  `metrics` is
+/// a registry private to this trial (the runner merges the per-trial
+/// registries in expansion order, so reports stay deterministic across
+/// --jobs); `tracer` is non-null only when the harness wants a structured
+/// event trace of this trial (the `ihc_cli trace` subcommand) - trial
+/// functions should pass both into AtaOptions and otherwise ignore them.
+struct TrialContext {
+  obs::MetricsRegistry& metrics;
+  obs::Tracer* tracer = nullptr;
+};
+
 /// Evaluates one grid point and returns its metrics.  Runs on a worker
 /// thread: it must not touch shared mutable state, and all randomness must
 /// come from trial.seed (or derive_seed on a subset of the coordinates,
 /// when variants must share a traffic realization - see the rho sweep).
-using TrialFn = std::function<std::vector<Metric>(const Trial&)>;
+using TrialFn =
+    std::function<std::vector<Metric>(const Trial&, TrialContext&)>;
 
 struct Campaign {
   CampaignSpec spec;

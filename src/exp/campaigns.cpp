@@ -55,9 +55,12 @@ Campaign make_rho_sweep() {
 
   Campaign campaign;
   campaign.spec = rho_sweep_spec();
-  campaign.run = [cube, p, best, worst](const Trial& trial) {
+  campaign.run = [cube, p, best, worst](const Trial& trial,
+                                        TrialContext& ctx) {
     AtaOptions opt;
     opt.net = p;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
     opt.net.rho = trial.get_double("rho");
     // Deliberately independent of the barrier axis and replica: both
     // variants of one rho must see the same background traffic.
@@ -115,7 +118,7 @@ Campaign make_fault_tolerance() {
 
   Campaign campaign;
   campaign.spec = fault_tolerance_spec();
-  campaign.run = [cube](const Trial& trial) {
+  campaign.run = [cube](const Trial& trial, TrialContext& ctx) {
     const auto t = static_cast<std::uint32_t>(trial.get_int("t"));
     SplitMix64 rng(derive_seed(
         "fault_tolerance", "t=" + std::to_string(t) + ",rep=" +
@@ -129,6 +132,8 @@ Campaign make_fault_tolerance() {
     opt.net.alpha = sim_ns(20);
     opt.net.tau_s = sim_us(5);
     opt.net.mu = 2;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
     opt.granularity = DeliveryLedger::Granularity::kFull;
     opt.faults = &plan;
     const KeyRing keys(7);
@@ -187,9 +192,11 @@ Campaign make_duty_cycle() {
 
   Campaign campaign;
   campaign.spec = duty_cycle_spec();
-  campaign.run = [cube, p](const Trial& trial) {
+  campaign.run = [cube, p](const Trial& trial, TrialContext& ctx) {
     AtaOptions opt;
     opt.net = p;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
     opt.net.seed = trial.seed;
     ServiceConfig config;
     config.period = sim_ms(trial.get_int("period_ms"));

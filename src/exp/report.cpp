@@ -112,6 +112,11 @@ std::string json_report(const CampaignResult& result,
   }
   doc.set("aggregates", std::move(aggregates));
 
+  // Optional simulator-metrics block (RunOptions::collect_metrics): absent
+  // when empty, so default reports are byte-identical to pre-observability
+  // output.
+  if (!result.metrics.empty()) doc.set("metrics", result.metrics.to_json());
+
   doc.set("failed", result.failed_count());
   if (options.include_timing) doc.set("wall_clock_ms", result.wall_ms);
   return doc.dump(options.indent);

@@ -54,7 +54,10 @@ CampaignResult run_campaign(const Campaign& campaign,
 
   // Workers claim trial indices from a shared counter; each result is
   // written to its own pre-sized slot, so completion order never leaks
-  // into the report.
+  // into the report.  Each trial also gets a private metrics registry;
+  // they merge below in expansion order, so the merged registry (like
+  // everything else) is independent of thread scheduling.
+  std::vector<obs::MetricsRegistry> registries(trials.size());
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
@@ -64,7 +67,8 @@ CampaignResult run_campaign(const Campaign& campaign,
       out.trial = trials[i];
       const auto start = Clock::now();
       try {
-        out.metrics = campaign.run(trials[i]);
+        TrialContext ctx{registries[i], nullptr};
+        out.metrics = campaign.run(trials[i], ctx);
         out.ok = true;
       } catch (const std::exception& e) {
         out.error = e.what();
@@ -82,6 +86,11 @@ CampaignResult run_campaign(const Campaign& campaign,
     pool.reserve(jobs);
     for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+
+  if (options.collect_metrics) {
+    for (std::size_t i = 0; i < registries.size(); ++i)
+      if (result.trials[i].ok) result.metrics.merge(registries[i]);
   }
 
   result.wall_ms = ms_between(campaign_start, Clock::now());

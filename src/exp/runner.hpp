@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "exp/campaign.hpp"
+#include "obs/metrics.hpp"
 
 namespace ihc::exp {
 
@@ -22,6 +23,10 @@ struct RunOptions {
   unsigned jobs = 1;
   /// Substring filter on trial IDs; empty runs the full grid.
   std::string filter;
+  /// Merge the per-trial metrics registries into CampaignResult::metrics
+  /// (and thence the report's optional `metrics` block).  Off by default:
+  /// reports stay byte-identical to engines without observability.
+  bool collect_metrics = false;
 };
 
 struct CampaignResult {
@@ -30,6 +35,9 @@ struct CampaignResult {
   std::vector<TrialResult> trials; ///< in expansion order
   std::size_t filtered_out = 0;    ///< grid points skipped by the filter
   double wall_ms = 0.0;            ///< whole-campaign wall clock
+  /// Simulator metrics merged over successful trials in expansion order
+  /// (empty unless RunOptions::collect_metrics).
+  obs::MetricsRegistry metrics;
 
   [[nodiscard]] std::size_t failed_count() const;
 };

@@ -1,0 +1,116 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ihc::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kMax: return "max";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::touch(std::string_view name,
+                                               MetricKind kind) {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    it = entries_.emplace(std::string(name), Entry{kind, 0, {}}).first;
+  require(it->second.kind == kind,
+          "metric '" + std::string(name) + "' is a " +
+              kind_name(it->second.kind) + ", not a " + kind_name(kind));
+  return it->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(std::string_view name,
+                                                    MetricKind kind) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  require(it->second.kind == kind,
+          "metric '" + std::string(name) + "' is a " +
+              kind_name(it->second.kind) + ", not a " + kind_name(kind));
+  return &it->second;
+}
+
+void MetricsRegistry::count(std::string_view name, std::int64_t delta) {
+  touch(name, MetricKind::kCounter).value += delta;
+}
+
+void MetricsRegistry::maximum(std::string_view name, std::int64_t value) {
+  Entry& e = touch(name, MetricKind::kMax);
+  e.value = std::max(e.value, value);
+}
+
+void MetricsRegistry::observe(std::string_view name, double sample) {
+  touch(name, MetricKind::kHistogram).samples.push_back(sample);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, theirs] : other.entries_) {
+    Entry& ours = touch(name, theirs.kind);
+    switch (theirs.kind) {
+      case MetricKind::kCounter:
+        ours.value += theirs.value;
+        break;
+      case MetricKind::kMax:
+        ours.value = std::max(ours.value, theirs.value);
+        break;
+      case MetricKind::kHistogram:
+        ours.samples.insert(ours.samples.end(), theirs.samples.begin(),
+                            theirs.samples.end());
+        break;
+    }
+  }
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const Entry* e = find(name, MetricKind::kCounter);
+  return e ? e->value : 0;
+}
+
+std::int64_t MetricsRegistry::max_value(std::string_view name) const {
+  const Entry* e = find(name, MetricKind::kMax);
+  return e ? e->value : 0;
+}
+
+std::vector<double> MetricsRegistry::samples(std::string_view name) const {
+  const Entry* e = find(name, MetricKind::kHistogram);
+  return e ? e->samples : std::vector<double>{};
+}
+
+Json MetricsRegistry::to_json() const {
+  Json doc = Json::object();
+  for (const auto& [name, e] : entries_) {  // std::map: name-sorted
+    Json entry = Json::object();
+    entry.set("kind", kind_name(e.kind));
+    if (e.kind == MetricKind::kHistogram) {
+      Summary summary;
+      for (const double x : e.samples) summary.add(x);
+      entry.set("count", static_cast<std::uint64_t>(summary.count()));
+      entry.set("mean", summary.mean());
+      entry.set("min", summary.min());
+      entry.set("max", summary.max());
+      entry.set("p50", quantile(e.samples, 0.50));
+      entry.set("p90", quantile(e.samples, 0.90));
+      entry.set("p99", quantile(e.samples, 0.99));
+      Json samples = Json::array();
+      for (const double x : e.samples) samples.push(x);
+      entry.set("samples", std::move(samples));
+    } else {
+      entry.set("value", e.value);
+    }
+    doc.set(name, std::move(entry));
+  }
+  return doc;
+}
+
+}  // namespace ihc::obs

@@ -1,0 +1,76 @@
+/// \file metrics.hpp
+/// \brief Named counters / maxima / histograms for simulator runs.
+///
+/// Where the Tracer (trace.hpp) answers "what happened when", the
+/// MetricsRegistry answers "how much": blocked-cycle counts, per-link
+/// utilization, max FIFO depth, per-stage latency distributions.  It is
+/// the bridge from simulator internals to the campaign reports: each
+/// trial fills a registry, the runner merges them in expansion order
+/// (deterministic across --jobs), and the merged registry serializes as
+/// the optional `metrics` block of an `ihc-campaign-v1` document (see
+/// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ihc::obs {
+
+/// What a metric entry accumulates; fixed on first touch of the name.
+enum class MetricKind : std::uint8_t { kCounter, kMax, kHistogram };
+
+/// A registry of named metrics.  Names are dotted paths
+/// (`net.deliveries`, `flit.max_fifo_depth`, `ihc.stage_latency_ps`);
+/// serialization is name-sorted, so documents are deterministic.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a counter (created at 0).
+  void count(std::string_view name, std::int64_t delta = 1);
+
+  /// Raises a high-watermark metric to at least `value`.
+  void maximum(std::string_view name, std::int64_t value);
+
+  /// Appends one sample to a histogram.
+  void observe(std::string_view name, double sample);
+
+  /// Folds `other` into this registry: counters add, maxima take the
+  /// larger value, histogram samples append in `other`'s order.  A name
+  /// registered with different kinds on the two sides throws ConfigError.
+  void merge(const MetricsRegistry& other);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Counter value; 0 when the name is absent (kind mismatch throws).
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+  /// High-watermark value; 0 when the name is absent.
+  [[nodiscard]] std::int64_t max_value(std::string_view name) const;
+  /// Histogram samples in observation order; empty when absent.
+  [[nodiscard]] std::vector<double> samples(std::string_view name) const;
+
+  /// Name-sorted JSON object, one member per metric:
+  ///   counter / max -> {"kind": ..., "value": N}
+  ///   histogram     -> {"kind": "histogram", "count", "mean", "min",
+  ///                     "max", "p50", "p90", "p99", "samples": [...]}
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::int64_t value = 0;             // counter / max
+    std::vector<double> samples;        // histogram
+  };
+
+  Entry& touch(std::string_view name, MetricKind kind);
+  [[nodiscard]] const Entry* find(std::string_view name,
+                                  MetricKind kind) const;
+
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace ihc::obs

@@ -1,0 +1,7 @@
+/// \file obs.hpp
+/// \brief Umbrella header for the observability layer (see
+/// docs/TRACING.md and docs/ARCHITECTURE.md).
+#pragma once
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

@@ -1,0 +1,391 @@
+#include "obs/trace.hpp"
+
+#include <initializer_list>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ihc::obs {
+
+namespace {
+
+using Phase = TraceEvent::Phase;
+
+template <typename Range>
+bool is_one_of(std::string_view s, const Range& v) {
+  for (const std::string_view x : v)
+    if (s == x) return true;
+  return false;
+}
+
+bool is_one_of(std::string_view s, std::initializer_list<std::string_view> v) {
+  return is_one_of<std::initializer_list<std::string_view>>(s, v);
+}
+
+bool set(std::int64_t field) { return field != TraceEvent::kUnset; }
+
+/// Chrome args key for the event's `detail` string.
+const char* detail_key(std::string_view name) {
+  if (name == "xmit") return "kind";
+  if (name == "fault_fired") return "action";
+  if (name == "flit_blocked") return "reason";
+  if (name == "stage") return "label";
+  return "detail";
+}
+
+}  // namespace
+
+std::string validate_event(const TraceEvent& e) {
+  const std::string_view name = e.name;
+  if (e.ts < 0) return "negative timestamp";
+  if (e.dur < 0) return "negative duration";
+
+  if (e.phase == Phase::kMetadata) {
+    if (!is_one_of(name, {"process_name", "thread_name"}))
+      return "unknown metadata event '" + std::string(name) + "'";
+    if (e.detail.empty()) return "metadata event needs a name in detail";
+    return {};
+  }
+  if (name.empty()) return "event needs a name";
+
+  struct Rule {
+    std::string_view name;
+    std::string_view cat;  ///< the name determines the category
+    Phase phase;
+    // Required integer fields (pointers-to-member keep the table terse).
+    std::vector<std::int64_t TraceEvent::*> required;
+    std::vector<std::string_view> details;  // empty = free-form
+  };
+  static const std::vector<Rule> rules = {
+      {"packet_injected", "packet", Phase::kInstant,
+       {&TraceEvent::flow, &TraceEvent::origin, &TraceEvent::route,
+        &TraceEvent::len}, {}},
+      {"header_advanced", "packet", Phase::kInstant,
+       {&TraceEvent::flow, &TraceEvent::node, &TraceEvent::pos}, {}},
+      {"delivered", "packet", Phase::kInstant,
+       {&TraceEvent::flow, &TraceEvent::node, &TraceEvent::origin,
+        &TraceEvent::route}, {}},
+      {"xmit", "link", Phase::kSpan, {&TraceEvent::link},
+       {"inject", "cut_through", "stall", "saf", "background"}},
+      {"buffered", "fifo", Phase::kSpan,
+       {&TraceEvent::node, &TraceEvent::flow, &TraceEvent::depth}, {}},
+      {"stalled", "packet", Phase::kSpan,
+       {&TraceEvent::node, &TraceEvent::flow}, {}},
+      {"fault_fired", "fault", Phase::kInstant,
+       {&TraceEvent::node, &TraceEvent::flow}, {"drop", "corrupt", "delay"}},
+      {"link_dropped", "fault", Phase::kInstant,
+       {&TraceEvent::node, &TraceEvent::flow, &TraceEvent::link}, {}},
+      {"stage", "stage", Phase::kSpan, {}, {}},
+      {"fifo_enqueue", "fifo", Phase::kInstant,
+       {&TraceEvent::link, &TraceEvent::vc, &TraceEvent::flow,
+        &TraceEvent::pos, &TraceEvent::depth}, {}},
+      {"fifo_dequeue", "fifo", Phase::kInstant,
+       {&TraceEvent::link, &TraceEvent::vc, &TraceEvent::flow,
+        &TraceEvent::pos, &TraceEvent::depth}, {}},
+      {"flit_blocked", "flit", Phase::kInstant,
+       {&TraceEvent::link, &TraceEvent::vc, &TraceEvent::flow,
+        &TraceEvent::pos}, {"fifo_full", "channel_owned"}},
+  };
+  for (const Rule& rule : rules) {
+    if (rule.name != name) continue;
+    if (e.phase != rule.phase)
+      return std::string(name) + ": wrong phase";
+    // The category is a function of the name, so leaving it unset is
+    // fine for validation purposes; a mismatch is not.
+    if (const std::string_view cat = e.cat; !cat.empty() && cat != rule.cat)
+      return std::string(name) + ": category must be '" +
+             std::string(rule.cat) + "'";
+    for (const auto field : rule.required)
+      if (!set(e.*field))
+        return std::string(name) + ": missing required field";
+    if (rule.details.size() != 0 && !is_one_of(e.detail, rule.details))
+      return std::string(name) + ": invalid detail '" + e.detail + "'";
+    if (name == "stage" && e.detail.empty())
+      return "stage: needs a label in detail";
+    return {};
+  }
+  return "unknown event '" + std::string(name) + "'";
+}
+
+// --- ChromeTraceSink -------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) {
+  *out_ << "{\"displayTimeUnit\": \"ns\",\n"
+           "\"otherData\": {\"schema\": \"ihc-trace-v1\"},\n"
+           "\"traceEvents\": [";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+void ChromeTraceSink::event(const TraceEvent& e) {
+  IHC_ENSURE(!closed_, "trace sink already closed");
+  Json doc = Json::object();
+  if (e.phase == Phase::kMetadata) {
+    doc.set("name", e.name);
+    doc.set("ph", "M");
+    doc.set("pid", 0);
+    doc.set("tid", static_cast<std::int64_t>(e.track));
+    doc.set("args", Json::object().set("name", e.detail));
+  } else {
+    doc.set("name", e.name);
+    doc.set("cat", e.cat);
+    if (e.phase == Phase::kSpan) {
+      doc.set("ph", "X");
+    } else {
+      doc.set("ph", "i");
+      doc.set("s", "t");
+    }
+    // Chrome timestamps are microseconds.  Picosecond stamps are scaled;
+    // flit-cycle stamps are emitted as-is (1 cycle renders as 1 us).
+    auto chrome_ts = [&](SimTime t) -> Json {
+      if (e.timebase == TimeBase::kCycles)
+        return Json(static_cast<std::int64_t>(t));
+      return Json(static_cast<double>(t) / 1e6);
+    };
+    doc.set("ts", chrome_ts(e.ts));
+    if (e.phase == Phase::kSpan) doc.set("dur", chrome_ts(e.dur));
+    doc.set("pid", 0);
+    doc.set("tid", static_cast<std::int64_t>(e.track));
+
+    Json args = Json::object();
+    const std::pair<const char*, std::int64_t> ints[] = {
+        {"flow", e.flow},     {"node", e.node},   {"link", e.link},
+        {"origin", e.origin}, {"route", e.route}, {"pos", e.pos},
+        {"len", e.len},       {"depth", e.depth}, {"stage", e.stage},
+        {"vc", e.vc},
+    };
+    for (const auto& [key, value] : ints)
+      if (value != TraceEvent::kUnset) args.set(key, value);
+    if (!e.detail.empty()) args.set(detail_key(e.name), e.detail);
+    doc.set("args", std::move(args));
+  }
+  *out_ << (count_ == 0 ? "\n" : ",\n") << doc.dump(0);
+  ++count_;
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+void Tracer::emit(TraceEvent&& e) {
+  if (sink_ == nullptr) return;
+  e.timebase = timebase_;
+  const std::string reason = validate_event(e);
+  IHC_ENSURE(reason.empty(), "invalid trace event: " + reason);
+  ++emitted_;
+  sink_->event(e);
+}
+
+void Tracer::announce_topology(const Graph& g) {
+  if (announced_) {
+    IHC_ENSURE(nodes_ == g.node_count() && links_ == g.link_count(),
+               "tracer already announced a different topology");
+    return;
+  }
+  announced_ = true;
+  nodes_ = g.node_count();
+  links_ = g.link_count();
+  if (sink_ == nullptr) return;
+
+  auto meta = [&](const char* name, std::uint32_t track, std::string label) {
+    TraceEvent e;
+    e.name = name;
+    e.phase = Phase::kMetadata;
+    e.track = track;
+    e.detail = std::move(label);
+    emit(std::move(e));
+  };
+  meta("process_name", 0, "ihc-sim");
+  for (NodeId v = 0; v < nodes_; ++v)
+    meta("thread_name", node_track(v), "node " + std::to_string(v));
+  for (LinkId l = 0; l < links_; ++l)
+    meta("thread_name", link_track(l),
+         "link " + std::to_string(l) + ": " +
+             std::to_string(g.link_source(l)) + "->" +
+             std::to_string(g.link_target(l)));
+  meta("thread_name", control_track(), "stages");
+}
+
+void Tracer::packet_injected(SimTime ts, std::uint32_t flow, NodeId origin,
+                             std::uint16_t route, std::uint32_t len) {
+  TraceEvent e;
+  e.name = "packet_injected";
+  e.cat = "packet";
+  e.ts = ts;
+  e.track = node_track(origin);
+  e.flow = flow;
+  e.origin = origin;
+  e.route = route;
+  e.len = len;
+  emit(std::move(e));
+}
+
+void Tracer::header_advanced(SimTime ts, std::uint32_t flow, NodeId node,
+                             std::uint32_t pos) {
+  TraceEvent e;
+  e.name = "header_advanced";
+  e.cat = "packet";
+  e.ts = ts;
+  e.track = node_track(node);
+  e.flow = flow;
+  e.node = node;
+  e.pos = pos;
+  emit(std::move(e));
+}
+
+void Tracer::delivered(SimTime ts, std::uint32_t flow, NodeId node,
+                       NodeId origin, std::uint16_t route) {
+  TraceEvent e;
+  e.name = "delivered";
+  e.cat = "packet";
+  e.ts = ts;
+  e.track = node_track(node);
+  e.flow = flow;
+  e.node = node;
+  e.origin = origin;
+  e.route = route;
+  emit(std::move(e));
+}
+
+void Tracer::xmit(SimTime from, SimTime until, LinkId link, const char* kind,
+                  std::int64_t flow) {
+  TraceEvent e;
+  e.name = "xmit";
+  e.cat = "link";
+  e.phase = Phase::kSpan;
+  e.ts = from;
+  e.dur = until - from;
+  e.track = link_track(link);
+  e.link = link;
+  e.flow = flow;
+  e.detail = kind;
+  emit(std::move(e));
+}
+
+void Tracer::buffered(SimTime from, SimTime until, NodeId node,
+                      std::uint32_t flow, std::uint32_t depth) {
+  TraceEvent e;
+  e.name = "buffered";
+  e.cat = "fifo";
+  e.phase = Phase::kSpan;
+  e.ts = from;
+  e.dur = until - from;
+  e.track = node_track(node);
+  e.node = node;
+  e.flow = flow;
+  e.depth = depth;
+  emit(std::move(e));
+}
+
+void Tracer::stalled(SimTime from, SimTime until, NodeId node,
+                     std::uint32_t flow) {
+  TraceEvent e;
+  e.name = "stalled";
+  e.cat = "packet";
+  e.phase = Phase::kSpan;
+  e.ts = from;
+  e.dur = until - from;
+  e.track = node_track(node);
+  e.node = node;
+  e.flow = flow;
+  emit(std::move(e));
+}
+
+void Tracer::fault_fired(SimTime ts, NodeId node, std::uint32_t flow,
+                         const char* action) {
+  TraceEvent e;
+  e.name = "fault_fired";
+  e.cat = "fault";
+  e.ts = ts;
+  e.track = node_track(node);
+  e.node = node;
+  e.flow = flow;
+  e.detail = action;
+  emit(std::move(e));
+}
+
+void Tracer::link_dropped(SimTime ts, NodeId node, std::uint32_t flow,
+                          LinkId link) {
+  TraceEvent e;
+  e.name = "link_dropped";
+  e.cat = "fault";
+  e.ts = ts;
+  e.track = node_track(node);
+  e.node = node;
+  e.flow = flow;
+  e.link = link;
+  emit(std::move(e));
+}
+
+void Tracer::stage_span(SimTime from, SimTime until, const char* label,
+                        std::int64_t stage, std::int64_t origin) {
+  TraceEvent e;
+  e.name = "stage";
+  e.cat = "stage";
+  e.phase = Phase::kSpan;
+  e.ts = from;
+  e.dur = until - from;
+  e.track = control_track();
+  e.stage = stage;
+  e.origin = origin;
+  e.detail = label;
+  emit(std::move(e));
+}
+
+void Tracer::fifo_enqueue(SimTime cycle, LinkId link, std::uint8_t vc,
+                          std::uint32_t packet, std::uint32_t hop,
+                          std::uint32_t depth) {
+  TraceEvent e;
+  e.name = "fifo_enqueue";
+  e.cat = "fifo";
+  e.ts = cycle;
+  e.track = link_track(link);
+  e.link = link;
+  e.vc = vc;
+  e.flow = packet;
+  e.pos = hop;
+  e.depth = depth;
+  emit(std::move(e));
+}
+
+void Tracer::fifo_dequeue(SimTime cycle, LinkId link, std::uint8_t vc,
+                          std::uint32_t packet, std::uint32_t hop,
+                          std::uint32_t depth) {
+  TraceEvent e;
+  e.name = "fifo_dequeue";
+  e.cat = "fifo";
+  e.ts = cycle;
+  e.track = link_track(link);
+  e.link = link;
+  e.vc = vc;
+  e.flow = packet;
+  e.pos = hop;
+  e.depth = depth;
+  emit(std::move(e));
+}
+
+void Tracer::flit_blocked(SimTime cycle, LinkId link, std::uint8_t vc,
+                          std::uint32_t packet, std::uint32_t hop,
+                          const char* reason) {
+  TraceEvent e;
+  e.name = "flit_blocked";
+  e.cat = "flit";
+  e.ts = cycle;
+  e.track = link_track(link);
+  e.link = link;
+  e.vc = vc;
+  e.flow = packet;
+  e.pos = hop;
+  e.detail = reason;
+  emit(std::move(e));
+}
+
+}  // namespace ihc::obs

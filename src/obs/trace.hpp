@@ -1,0 +1,192 @@
+/// \file trace.hpp
+/// \brief Structured event tracing for the simulators and ATA runners.
+///
+/// The paper's evaluation reasons about *where time goes* inside a
+/// broadcast - header latency alpha per hop, FIFO occupancy, link
+/// contention between interleaved Hamiltonian cycles - but finish times
+/// alone cannot show any of that.  This module records the simulator's
+/// micro-operations as structured events (schema `ihc-trace-v1`, see
+/// docs/TRACING.md):
+///
+///  * a Tracer is the frontend the simulators call.  With no TraceSink
+///    attached every hook is a branch-on-null no-op and no event
+///    arguments are even evaluated, so untraced runs (tier-1 tests, the
+///    campaign engine by default) stay byte-identical;
+///  * a TraceSink is the backend.  ChromeTraceSink streams Chrome/
+///    Perfetto `trace_event` JSON (open in https://ui.perfetto.dev or
+///    chrome://tracing); CollectingSink retains events for tests;
+///  * every event is validated against the schema at emit time
+///    (validate_event), so an emitted trace is schema-valid by
+///    construction.
+///
+/// Track layout: one pseudo-thread per node ([0, N)), one per directed
+/// link ([N, N+L)), and one control track (N+L) for stage spans, all
+/// named via metadata events by announce_topology().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/params.hpp"
+
+namespace ihc::obs {
+
+/// Unit of TraceEvent::ts.  The packet-level simulator stamps integer
+/// picoseconds; the flit-level simulator stamps flit-cycle numbers.
+enum class TimeBase : std::uint8_t { kPicoseconds, kCycles };
+
+/// One structured trace event.  Integer fields use kUnset when absent;
+/// which fields are required for which event name is defined by
+/// validate_event() and documented in docs/TRACING.md.
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kInstant, kSpan, kMetadata };
+  static constexpr std::int64_t kUnset = -1;
+
+  const char* name = "";
+  const char* cat = "";
+  Phase phase = Phase::kInstant;
+  TimeBase timebase = TimeBase::kPicoseconds;
+  SimTime ts = 0;    ///< picoseconds (or flit cycles, see timebase)
+  SimTime dur = 0;   ///< spans only
+  std::uint32_t track = 0;
+
+  std::int64_t flow = kUnset;    ///< flow id (packet-sim) / packet (flit)
+  std::int64_t node = kUnset;
+  std::int64_t link = kUnset;
+  std::int64_t origin = kUnset;
+  std::int64_t route = kUnset;   ///< route tag (copy number)
+  std::int64_t pos = kUnset;     ///< route position / flit hop
+  std::int64_t len = kUnset;     ///< packet length in FIFO units
+  std::int64_t depth = kUnset;   ///< buffer / FIFO occupancy after the op
+  std::int64_t stage = kUnset;
+  std::int64_t vc = kUnset;      ///< virtual channel (flit-sim)
+  std::string detail;            ///< kind / action / reason / label
+};
+
+/// Schema check for one event: returns an empty string when the event is
+/// a valid `ihc-trace-v1` event, else a human-readable reason.
+[[nodiscard]] std::string validate_event(const TraceEvent& e);
+
+/// Backend interface: receives every emitted event, in emission order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(const TraceEvent& e) = 0;
+};
+
+/// Retains events in memory (tests and programmatic analysis).
+class CollectingSink : public TraceSink {
+ public:
+  void event(const TraceEvent& e) override { events_.push_back(e); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams Chrome `trace_event` JSON (JSON Object Format: a
+/// `traceEvents` array plus `otherData.schema = "ihc-trace-v1"`).
+/// Serialization is deterministic: fixed key order, std::to_chars
+/// doubles - two identical runs produce byte-identical files.
+class ChromeTraceSink : public TraceSink {
+ public:
+  /// Writes the document preamble immediately; `out` must outlive the
+  /// sink or close() must be called first.
+  explicit ChromeTraceSink(std::ostream& out);
+  ~ChromeTraceSink() override;
+
+  void event(const TraceEvent& e) override;
+
+  /// Writes the document tail; idempotent, also run by the destructor.
+  void close();
+
+  [[nodiscard]] std::size_t event_count() const { return count_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// Frontend the simulators and runners call.  Emission validates against
+/// the schema (IHC_ENSURE) and forwards to the sink; when no sink is
+/// attached, active() is false and instrumentation sites skip all work.
+class Tracer {
+ public:
+  /// Attaches the backend (not owned; nullptr detaches).
+  void attach(TraceSink* sink) { sink_ = sink; }
+  [[nodiscard]] bool active() const { return sink_ != nullptr; }
+
+  /// Timestamp unit stamped on subsequent events (default picoseconds).
+  void set_timebase(TimeBase tb) { timebase_ = tb; }
+
+  /// Emits process/thread metadata naming one track per node, per
+  /// directed link, and the control track; records the track layout.
+  /// Safe to call repeatedly - only the first call emits.
+  void announce_topology(const Graph& g);
+
+  [[nodiscard]] std::uint32_t node_track(NodeId v) const { return v; }
+  [[nodiscard]] std::uint32_t link_track(LinkId l) const {
+    return nodes_ + l;
+  }
+  [[nodiscard]] std::uint32_t control_track() const {
+    return nodes_ + links_;
+  }
+
+  // -- packet-level simulator events --------------------------------------
+  void packet_injected(SimTime ts, std::uint32_t flow, NodeId origin,
+                       std::uint16_t route, std::uint32_t len);
+  void header_advanced(SimTime ts, std::uint32_t flow, NodeId node,
+                       std::uint32_t pos);
+  void delivered(SimTime ts, std::uint32_t flow, NodeId node, NodeId origin,
+                 std::uint16_t route);
+  /// Link transmission span [from, until]; kind is one of inject /
+  /// cut_through / stall / saf / background; flow may be kUnset
+  /// (single-link background occupancies have no flow).
+  void xmit(SimTime from, SimTime until, LinkId link, const char* kind,
+            std::int64_t flow);
+  /// Intermediate-storage residency span (the packet-level FIFO
+  /// enqueue..dequeue pair); depth is the occupancy after the enqueue.
+  void buffered(SimTime from, SimTime until, NodeId node, std::uint32_t flow,
+                std::uint32_t depth);
+  /// Wormhole header stall span (waiting for the transmitter).
+  void stalled(SimTime from, SimTime until, NodeId node, std::uint32_t flow);
+  void fault_fired(SimTime ts, NodeId node, std::uint32_t flow,
+                   const char* action);
+  void link_dropped(SimTime ts, NodeId node, std::uint32_t flow, LinkId link);
+
+  // -- runner events -------------------------------------------------------
+  /// Control-track span: an IHC stage, a sequential-ATA broadcast, an FRS
+  /// step.  `label` names it; stage / origin are optional coordinates.
+  void stage_span(SimTime from, SimTime until, const char* label,
+                  std::int64_t stage, std::int64_t origin = TraceEvent::kUnset);
+
+  // -- flit-level simulator events -----------------------------------------
+  void fifo_enqueue(SimTime cycle, LinkId link, std::uint8_t vc,
+                    std::uint32_t packet, std::uint32_t hop,
+                    std::uint32_t depth);
+  void fifo_dequeue(SimTime cycle, LinkId link, std::uint8_t vc,
+                    std::uint32_t packet, std::uint32_t hop,
+                    std::uint32_t depth);
+  void flit_blocked(SimTime cycle, LinkId link, std::uint8_t vc,
+                    std::uint32_t packet, std::uint32_t hop,
+                    const char* reason);
+
+  [[nodiscard]] std::size_t emitted() const { return emitted_; }
+
+ private:
+  void emit(TraceEvent&& e);
+
+  TraceSink* sink_ = nullptr;
+  TimeBase timebase_ = TimeBase::kPicoseconds;
+  std::uint32_t nodes_ = 0;
+  std::uint32_t links_ = 0;
+  bool announced_ = false;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace ihc::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
@@ -34,24 +36,62 @@ void FlitNetwork::add_packet(FlitPacketSpec spec) {
   packets_.push_back(Packet{std::move(spec), 0, 0, false});
 }
 
+void FlitNetwork::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->set_timebase(obs::TimeBase::kCycles);
+    tracer_->announce_topology(*g_);
+  }
+}
+
 bool FlitNetwork::inject(std::uint32_t p, std::uint64_t cycle) {
   Packet& packet = packets_[p];
   if (packet.flits_injected >= packet.spec.length_flits) return false;
   if (cycle < packet.spec.inject_cycle) return false;
   const std::size_t target =
       channel_of(packet.spec.route[0], packet.spec.vc[0]);
-  if (fifo_[target].size() >= params_.buffer_flits) return false;
-  if (owner_[target] != -1 && owner_[target] != static_cast<std::int32_t>(p))
+  if (fifo_[target].size() >= params_.buffer_flits) {
+    note_blocked(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
+                 "fifo_full");
     return false;
+  }
+  if (owner_[target] != -1 &&
+      owner_[target] != static_cast<std::int32_t>(p)) {
+    note_blocked(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
+                 "channel_owned");
+    return false;
+  }
   owner_[target] = static_cast<std::int32_t>(p);
   const bool is_tail =
       packet.flits_injected + 1 == packet.spec.length_flits;
   fifo_[target].push_back(Flit{p, 0, is_tail, cycle});
+  note_enqueue(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
+               fifo_[target].size());
   ++packet.flits_injected;
   return true;
 }
 
-std::uint64_t FlitNetwork::consume() {
+void FlitNetwork::note_blocked(std::uint64_t cycle, LinkId link,
+                               std::uint8_t vc, std::uint32_t packet,
+                               std::uint32_t hop, const char* reason) {
+  if (metrics_ != nullptr) metrics_->count("flit.blocked");
+  if (tracer_ != nullptr)
+    tracer_->flit_blocked(static_cast<SimTime>(cycle), link, vc, packet, hop,
+                          reason);
+}
+
+void FlitNetwork::note_enqueue(std::uint64_t cycle, LinkId link,
+                               std::uint8_t vc, std::uint32_t packet,
+                               std::uint32_t hop, std::size_t depth) {
+  if (metrics_ != nullptr)
+    metrics_->maximum("flit.max_fifo_depth",
+                      static_cast<std::int64_t>(depth));
+  if (tracer_ != nullptr)
+    tracer_->fifo_enqueue(static_cast<SimTime>(cycle), link, vc, packet, hop,
+                          static_cast<std::uint32_t>(depth));
+}
+
+std::uint64_t FlitNetwork::consume(std::uint64_t cycle) {
   std::uint64_t consumed = 0;
   for (std::size_t c = 0; c < fifo_.size(); ++c) {
     auto& fifo = fifo_[c];
@@ -60,6 +100,12 @@ std::uint64_t FlitNetwork::consume() {
     Packet& packet = packets_[f.packet];
     if (f.hop + 1 != packet.spec.route.size()) continue;  // not at the end
     fifo.pop_front();
+    if (tracer_ != nullptr)
+      tracer_->fifo_dequeue(static_cast<SimTime>(cycle),
+                            static_cast<LinkId>(c % g_->link_count()),
+                            static_cast<std::uint8_t>(c / g_->link_count()),
+                            f.packet, f.hop,
+                            static_cast<std::uint32_t>(fifo.size()));
     ++packet.flits_consumed;
     ++consumed;
     // The tail flit releases the channel and completes the packet.
@@ -93,17 +139,30 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
       if (packet.spec.route[next_hop] != l) continue;
       const std::size_t to =
           channel_of(l, packet.spec.vc[next_hop]);
-      if (fifo_[to].size() >= params_.buffer_flits) continue;
-      if (owner_[to] != -1 &&
-          owner_[to] != static_cast<std::int32_t>(f.packet))
+      if (fifo_[to].size() >= params_.buffer_flits) {
+        note_blocked(cycle, l, packet.spec.vc[next_hop], f.packet,
+                     static_cast<std::uint32_t>(next_hop), "fifo_full");
         continue;
+      }
+      if (owner_[to] != -1 &&
+          owner_[to] != static_cast<std::int32_t>(f.packet)) {
+        note_blocked(cycle, l, packet.spec.vc[next_hop], f.packet,
+                     static_cast<std::uint32_t>(next_hop), "channel_owned");
+        continue;
+      }
       // Move the flit.
       fifo_[from].pop_front();
+      if (tracer_ != nullptr)
+        tracer_->fifo_dequeue(static_cast<SimTime>(cycle), in_link, vc,
+                              f.packet, f.hop,
+                              static_cast<std::uint32_t>(fifo_[from].size()));
       if (f.is_tail) owner_[from] = -1;  // the worm's tail releases it
       owner_[to] = static_cast<std::int32_t>(f.packet);
       fifo_[to].push_back(Flit{f.packet,
                                static_cast<std::uint32_t>(next_hop),
                                f.is_tail, cycle});
+      note_enqueue(cycle, l, packet.spec.vc[next_hop], f.packet,
+                   static_cast<std::uint32_t>(next_hop), fifo_[to].size());
       rr_[l] = static_cast<std::uint8_t>((vc + 1) % vcs);
       return true;
     }
@@ -115,7 +174,7 @@ FlitRunResult FlitNetwork::run(std::uint64_t max_cycles) {
   FlitRunResult result;
   std::uint64_t idle_cycles = 0;
   for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
-    std::uint64_t moved = consume();
+    std::uint64_t moved = consume(cycle);
     for (LinkId l = 0; l < g_->link_count(); ++l) {
       if (advance_link(l, cycle)) {
         ++moved;

@@ -36,6 +36,11 @@
 
 namespace ihc {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 struct FlitParams {
   std::uint8_t vc_count = 1;        ///< virtual channels per link
   std::uint32_t buffer_flits = 2;   ///< FIFO depth per (link, vc)
@@ -74,6 +79,17 @@ class FlitNetwork {
   /// packets outstanding - treat as "did not finish").
   [[nodiscard]] FlitRunResult run(std::uint64_t max_cycles = 1'000'000);
 
+  /// Attaches a structured-event tracer (not owned; nullptr detaches).
+  /// Switches the tracer to the flit-cycle timebase and announces the
+  /// topology - do not share one tracer between a FlitNetwork and a
+  /// packet-level Network.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Attaches a metrics registry (not owned): `flit.blocked`
+  /// blocked-candidate cycles and the `flit.max_fifo_depth` watermark
+  /// accumulate live.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct Packet {
     FlitPacketSpec spec;
@@ -104,6 +120,8 @@ class FlitNetwork {
   std::vector<std::int32_t> owner_;
   /// Round-robin arbitration pointer per physical link.
   std::vector<std::uint8_t> rr_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   [[nodiscard]] std::size_t channel_of(LinkId link, std::uint8_t vc) const {
     return static_cast<std::size_t>(vc) * g_->link_count() + link;
@@ -116,7 +134,15 @@ class FlitNetwork {
   /// movement.
   bool inject(std::uint32_t p, std::uint64_t cycle);
   /// Consumes deliverable flits at route ends; returns number consumed.
-  std::uint64_t consume();
+  std::uint64_t consume(std::uint64_t cycle);
+
+  // Observability hooks; no-ops while nothing is attached.
+  void note_blocked(std::uint64_t cycle, LinkId link, std::uint8_t vc,
+                    std::uint32_t packet, std::uint32_t hop,
+                    const char* reason);
+  void note_enqueue(std::uint64_t cycle, LinkId link, std::uint8_t vc,
+                    std::uint32_t packet, std::uint32_t hop,
+                    std::size_t depth);
 };
 
 /// Builds the IHC packet set over a topology's directed Hamiltonian

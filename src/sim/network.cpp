@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
@@ -51,30 +53,82 @@ void Network::push_header(SimTime time, FlowId flow, std::uint32_t pos,
   if (!flows_[flow].background) ++pending_foreground_events_;
 }
 
+void Network::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->announce_topology(*g_);
+}
+
+void Network::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr && link_busy_.empty())
+    link_busy_.assign(g_->link_count(), 0.0);
+}
+
+void Network::flush_metrics() {
+  if (metrics_ == nullptr) return;
+  export_net_stats(stats_, *metrics_);
+  if (stats_.finish_time > 0) {
+    const auto horizon = static_cast<double>(stats_.finish_time);
+    for (LinkId l = 0; l < g_->link_count(); ++l)
+      metrics_->observe("net.link_utilization", link_busy_[l] / horizon);
+  }
+}
+
+void export_net_stats(const NetStats& stats, obs::MetricsRegistry& metrics) {
+  metrics.count("net.injections",
+                static_cast<std::int64_t>(stats.injections));
+  metrics.count("net.cut_throughs",
+                static_cast<std::int64_t>(stats.cut_throughs));
+  metrics.count("net.buffered_relays",
+                static_cast<std::int64_t>(stats.buffered_relays));
+  metrics.count("net.wormhole_stalls",
+                static_cast<std::int64_t>(stats.wormhole_stalls));
+  metrics.count("net.redirects", static_cast<std::int64_t>(stats.redirects));
+  metrics.count("net.fault_drops",
+                static_cast<std::int64_t>(stats.fault_drops));
+  metrics.count("net.fault_corruptions",
+                static_cast<std::int64_t>(stats.fault_corruptions));
+  metrics.count("net.link_drops",
+                static_cast<std::int64_t>(stats.link_drops));
+  metrics.count("net.background_packets",
+                static_cast<std::int64_t>(stats.background_packets));
+  metrics.count("net.deliveries",
+                static_cast<std::int64_t>(stats.deliveries));
+  metrics.count("net.queue_wait_ps",
+                static_cast<std::int64_t>(stats.total_queue_wait));
+  metrics.maximum("net.max_node_buffer_occupancy",
+                  static_cast<std::int64_t>(stats.max_node_buffer_occupancy));
+}
+
 void Network::reserve(LinkId l, SimTime from, SimTime until) {
   IHC_ENSURE(from >= busy_until_[l], "link reservation overlaps");
   busy_until_[l] = until;
   stats_.link_busy_time += static_cast<double>(until - from);
+  if (!link_busy_.empty()) link_busy_[l] += static_cast<double>(until - from);
 }
 
-SimTime Network::send_saf(LinkId l, SimTime ready_time, std::uint32_t len) {
+Network::SafTiming Network::send_saf(LinkId l, SimTime ready_time,
+                                     std::uint32_t len) {
   const SimTime start =
       std::max(ready_time, busy_until_[l]) + params_.queueing_delay;
   stats_.total_queue_wait += start - params_.queueing_delay - ready_time;
   const SimTime header_out = start + params_.tau_s;
-  reserve(l, start, header_out + static_cast<SimTime>(len) * params_.alpha);
-  return header_out;
+  const SimTime tail = header_out + static_cast<SimTime>(len) * params_.alpha;
+  reserve(l, start, tail);
+  return SafTiming{start, header_out, tail};
 }
 
-void Network::occupy_buffer(NodeId node, SimTime from, SimTime until) {
+std::uint32_t Network::occupy_buffer(NodeId node, SimTime from,
+                                     SimTime until) {
   auto& held = node_buffer_[node];
   // Events are processed in time order, so residencies that ended before
   // `from` can be purged now.
   std::erase_if(held, [from](SimTime release) { return release <= from; });
   held.push_back(until);
+  const auto depth = static_cast<std::uint32_t>(held.size());
   stats_.max_node_buffer_occupancy =
-      std::max(stats_.max_node_buffer_occupancy,
-               static_cast<std::uint32_t>(held.size()));
+      std::max(stats_.max_node_buffer_occupancy, depth);
+  return depth;
 }
 
 void Network::deliver(FlowId flow, NodeId dest, SimTime header_time,
@@ -90,6 +144,8 @@ void Network::deliver(FlowId flow, NodeId dest, SimTime header_time,
   copy.route = f.route_tag;
   copy.corrupted_by = corrupted_by;
   ledger_.record(f.origin, dest, copy);
+  if (tracer_ != nullptr)
+    tracer_->delivered(copy.time, flow, dest, f.origin, f.route_tag);
   ++stats_.deliveries;
   stats_.finish_time = std::max(stats_.finish_time, copy.time);
   flow_finish_[flow] = std::max(flow_finish_[flow], copy.time);
@@ -111,6 +167,9 @@ void Network::process_header(const Event& ev) {
   SimTime slow_penalty = 0;  // extra relay delay of a kSlow node
 
   if (ev.pos > 0) {
+    if (tracer_ != nullptr && !f.background)
+      tracer_->header_advanced(ev.time, ev.flow, here, ev.pos);
+
     // Tee: every visited node receives a copy.
     deliver(ev.flow, here, ev.time, len, corrupted_by);
 
@@ -118,14 +177,22 @@ void Network::process_header(const Event& ev) {
     if (faults_ != nullptr && faults_->is_faulty(here)) {
       const RelayAction action = faults_->on_relay(here);
       if (action == RelayAction::kDrop) {
+        if (tracer_ != nullptr)
+          tracer_->fault_fired(ev.time, here, ev.flow, "drop");
         ++stats_.fault_drops;
         return;
       }
       if (action == RelayAction::kCorrupt && corrupted_by == kInvalidNode) {
+        if (tracer_ != nullptr)
+          tracer_->fault_fired(ev.time, here, ev.flow, "corrupt");
         ++stats_.fault_corruptions;
         corrupted_by = here;
       }
-      if (action == RelayAction::kDelay) slow_penalty = faults_->slow_delay();
+      if (action == RelayAction::kDelay) {
+        if (tracer_ != nullptr)
+          tracer_->fault_fired(ev.time, here, ev.flow, "delay");
+        slow_penalty = faults_->slow_delay();
+      }
     }
   }
 
@@ -136,22 +203,35 @@ void Network::process_header(const Event& ev) {
     const LinkId l = g_->link(here, next);
     // A failed link loses the packet (and its downstream deliveries).
     if (faults_ != nullptr && faults_->link_failed(l)) {
+      if (tracer_ != nullptr)
+        tracer_->link_dropped(ev.time, here, ev.flow, l);
       ++stats_.link_drops;
       return;
     }
     const bool injection = ev.pos == 0;
     if (injection) {
       ++stats_.injections;
-      push_header(send_saf(l, ev.time, len), ev.flow, next_pos,
-                  corrupted_by);
+      const SafTiming t = send_saf(l, ev.time, len);
+      if (tracer_ != nullptr) {
+        if (!f.background)
+          tracer_->packet_injected(ev.time, ev.flow, f.origin, f.route_tag,
+                                   len);
+        tracer_->xmit(t.start, t.tail, l,
+                      f.background ? "background" : "inject", ev.flow);
+      }
+      push_header(t.header_out, ev.flow, next_pos, corrupted_by);
       return;
     }
     if (ct_allowed && !force_saf && slow_penalty == 0) {
       const SimTime header_ready = ev.time + params_.alpha;
       if (busy_until_[l] <= header_ready) {
         ++stats_.cut_throughs;
-        reserve(l, header_ready,
-                header_ready + static_cast<SimTime>(len) * params_.alpha);
+        const SimTime tail =
+            header_ready + static_cast<SimTime>(len) * params_.alpha;
+        reserve(l, header_ready, tail);
+        if (tracer_ != nullptr)
+          tracer_->xmit(header_ready, tail, l,
+                        f.background ? "background" : "cut_through", ev.flow);
         push_header(header_ready, ev.flow, next_pos, corrupted_by);
         return;
       }
@@ -162,12 +242,16 @@ void Network::process_header(const Event& ev) {
         const SimTime start = busy_until_[l];
         stats_.total_queue_wait += start - header_ready;
         const SimTime out = start + params_.alpha;
-        reserve(l, start, out + static_cast<SimTime>(len) * params_.alpha);
-        if (in_link != kInvalidLink) {
-          busy_until_[in_link] = std::max(
-              busy_until_[in_link],
-              out + static_cast<SimTime>(len) * params_.alpha);
+        const SimTime tail = out + static_cast<SimTime>(len) * params_.alpha;
+        reserve(l, start, tail);
+        if (tracer_ != nullptr) {
+          if (!f.background)
+            tracer_->stalled(header_ready, start, here, ev.flow);
+          tracer_->xmit(start, tail, l,
+                        f.background ? "background" : "stall", ev.flow);
         }
+        if (in_link != kInvalidLink)
+          busy_until_[in_link] = std::max(busy_until_[in_link], tail);
         push_header(out, ev.flow, next_pos, corrupted_by);
         return;
       }
@@ -177,12 +261,16 @@ void Network::process_header(const Event& ev) {
     ++stats_.buffered_relays;
     const SimTime stored =
         ev.time + static_cast<SimTime>(len) * params_.alpha + slow_penalty;
-    const SimTime out = send_saf(l, stored, len);
+    const SafTiming t = send_saf(l, stored, len);
     // The packet occupies this node's intermediate storage from the
     // moment it is fully received until its retransmitted tail leaves.
-    occupy_buffer(here, stored,
-                  out + static_cast<SimTime>(len) * params_.alpha);
-    push_header(out, ev.flow, next_pos, corrupted_by);
+    const std::uint32_t depth = occupy_buffer(here, stored, t.tail);
+    if (tracer_ != nullptr) {
+      if (!f.background) tracer_->buffered(stored, t.tail, here, ev.flow, depth);
+      tracer_->xmit(t.start, t.tail, l, f.background ? "background" : "saf",
+                    ev.flow);
+    }
+    push_header(t.header_out, ev.flow, next_pos, corrupted_by);
   };
 
   if (is_tree) {
@@ -290,9 +378,12 @@ void Network::schedule_background_flow(NodeId source, SimTime after) {
 void Network::process_background_link(const Event& ev) {
   // Background packets occupy just their link for one transmission.
   const SimTime start = std::max(ev.time, busy_until_[ev.bg_link]);
-  reserve(ev.bg_link, start,
-          start + static_cast<SimTime>(params_.background_mu) *
-                      params_.alpha);
+  const SimTime until =
+      start + static_cast<SimTime>(params_.background_mu) * params_.alpha;
+  reserve(ev.bg_link, start, until);
+  if (tracer_ != nullptr)
+    tracer_->xmit(start, until, ev.bg_link, "background",
+                  obs::TraceEvent::kUnset);
   ++stats_.background_packets;
   // Keep the process alive only while flow traffic remains.
   if (pending_foreground_events_ > 0)

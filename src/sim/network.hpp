@@ -39,6 +39,11 @@
 
 namespace ihc {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 using FlowId = std::uint32_t;
 
 /// Path along a directed Hamiltonian cycle: `hops` hops starting at the
@@ -109,6 +114,21 @@ class Network {
 
   /// Optional Byzantine fault plan (not owned; may be nullptr).
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+
+  /// Attaches a structured-event tracer (not owned; nullptr detaches) and
+  /// announces the topology's track layout.  With no tracer attached
+  /// every instrumentation site is a branch-on-null no-op, so timing
+  /// results are bit-identical to an uninstrumented build.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Attaches a metrics registry (not owned; nullptr detaches) and
+  /// enables per-link busy-time accounting for flush_metrics().
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Exports the accumulated NetStats counters plus the per-link
+  /// utilization histogram into the attached registry (no-op when none
+  /// is attached).  Drivers call this once, after the last run().
+  void flush_metrics();
 
   /// Registers a flow; events fire when run() is called.  Flows may be
   /// added between run() calls (stage barriers).
@@ -186,6 +206,10 @@ class Network {
   /// Outstanding intermediate-buffer residencies per node: release times
   /// of packets currently stored (purged lazily in event-time order).
   std::vector<std::vector<SimTime>> node_buffer_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<double> link_busy_;  ///< per-link reserved time (ps); only
+                                   ///< accounted while a registry is attached
 
   void push_header(SimTime time, FlowId flow, std::uint32_t pos,
                    NodeId corrupted_by);
@@ -206,17 +230,29 @@ class Network {
     return f.length_units ? f.length_units : params_.mu;
   }
 
-  /// Reserves link l and returns the header arrival time at the far node.
-  /// `header_time` is the header's arrival at the sending node, `stored`
-  /// is true when the packet is already fully resident (injection).
-  SimTime send_saf(LinkId l, SimTime ready_time, std::uint32_t len);
+  /// Store-and-forward transmission timing on one link.
+  struct SafTiming {
+    SimTime start;       ///< transmitter acquired (after queueing)
+    SimTime header_out;  ///< header arrival at the far node
+    SimTime tail;        ///< tail leaves the link (reservation end)
+  };
+
+  /// Reserves link l for a store-and-forward send of a packet that is
+  /// ready at the sending node at `ready_time`.
+  SafTiming send_saf(LinkId l, SimTime ready_time, std::uint32_t len);
   void reserve(LinkId l, SimTime from, SimTime until);
 
-  /// Records that `node` holds a stored packet during [from, until].
-  void occupy_buffer(NodeId node, SimTime from, SimTime until);
+  /// Records that `node` holds a stored packet during [from, until];
+  /// returns the node's buffer occupancy including this packet.
+  std::uint32_t occupy_buffer(NodeId node, SimTime from, SimTime until);
 
   void deliver(FlowId flow, NodeId dest, SimTime header_time,
                std::uint32_t len, NodeId corrupted_by);
 };
+
+/// Exports one run's NetStats as `net.*` metrics (counters plus the
+/// node-buffer high-watermark).  Shared by Network::flush_metrics() and
+/// the analytic FRS runner, which fills a NetStats without a Network.
+void export_net_stats(const NetStats& stats, obs::MetricsRegistry& metrics);
 
 }  // namespace ihc

@@ -1,0 +1,43 @@
+/// \file cli_spec.hpp
+/// \brief Single source of truth for the ihc_cli subcommand surface.
+///
+/// The CLI's usage() text, the documentation-drift checks
+/// (tests/test_cli_help.cpp and scripts/check_docs.py), and the docs
+/// themselves all describe the same subcommand list; keeping it in one
+/// constexpr table means adding a subcommand without updating the help
+/// or the docs fails CI instead of silently drifting.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ihc {
+
+struct CliSubcommand {
+  std::string_view name;      ///< dispatch token (argv[1])
+  std::string_view synopsis;  ///< one-line invocation form
+  std::string_view summary;   ///< one-line description
+};
+
+inline constexpr CliSubcommand kCliSubcommands[] = {
+    {"info", "info <topology>",
+     "topology summary: size, gamma, Hamiltonian cycles, class Lambda"},
+    {"run", "run <topology> [--algo ihc|hc|vrs|ks|vsq|frs] [options]",
+     "run one ATA reliable broadcast and print the results"},
+    {"decompose", "decompose <topology> [--out <file>]",
+     "construct + verify the Hamiltonian decomposition (ihc-hc-v1)"},
+    {"verify", "verify <file> <topology>",
+     "check a saved decomposition against a topology"},
+    {"campaign",
+     "campaign [<name>...] [--list] [--jobs <n>] [--filter <s>] "
+     "[--metrics] [--json-out <p>]",
+     "run experiment campaigns on the parallel trial engine"},
+    {"trace",
+     "trace --campaign <name> [--filter <s>] [--out <file>]",
+     "re-run one campaign trial with event tracing (ihc-trace-v1)"},
+};
+
+inline constexpr std::size_t kCliSubcommandCount =
+    sizeof(kCliSubcommands) / sizeof(kCliSubcommands[0]);
+
+}  // namespace ihc

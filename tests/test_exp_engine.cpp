@@ -103,8 +103,10 @@ Campaign q4_campaign() {
   campaign.spec.axes = {{"rho", {0.0, 0.2, 0.4}}, {"eta", {std::int64_t{2},
                                                            std::int64_t{4}}}};
   campaign.spec.replicas = 2;
-  campaign.run = [cube](const Trial& trial) {
+  campaign.run = [cube](const Trial& trial, TrialContext& ctx) {
     AtaOptions opt;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
     opt.net.tau_s = sim_ns(200);
     opt.net.rho = trial.get_double("rho");
     opt.net.seed = trial.seed;
@@ -126,8 +128,10 @@ TEST(ExpRunner, ParallelRunMatchesSerialRunByteForByte) {
 
   RunOptions serial;
   serial.jobs = 1;
+  serial.collect_metrics = true;
   RunOptions parallel;
   parallel.jobs = 8;
+  parallel.collect_metrics = true;
 
   const CampaignResult a = run_campaign(campaign, serial);
   const CampaignResult b = run_campaign(campaign, parallel);
@@ -135,11 +139,23 @@ TEST(ExpRunner, ParallelRunMatchesSerialRunByteForByte) {
   EXPECT_EQ(b.jobs, 8u);
   EXPECT_EQ(a.failed_count(), 0u);
 
-  // The timing-free JSON documents - per-trial params, seeds, metrics and
-  // the aggregates - must be byte-identical.
+  // The timing-free JSON documents - per-trial params, seeds, metrics, the
+  // aggregates and the merged simulator-metrics registry (merged in
+  // expansion order, not completion order) - must be byte-identical.
   const JsonReportOptions no_timing{.include_timing = false};
   EXPECT_EQ(json_report(a, no_timing), json_report(b, no_timing));
   EXPECT_NE(json_report(a, no_timing), "");
+  EXPECT_FALSE(a.metrics.empty());
+  EXPECT_EQ(a.metrics.to_json().dump(0), b.metrics.to_json().dump(0));
+
+  // Without collect_metrics (the default), the report carries no
+  // simulator-metrics block at all.
+  RunOptions plain;
+  plain.jobs = 2;
+  const CampaignResult c = run_campaign(campaign, plain);
+  EXPECT_TRUE(c.metrics.empty());
+  EXPECT_EQ(json_report(c, no_timing).find("net.injections"),
+            std::string::npos);
 }
 
 TEST(ExpRunner, FilterSelectsSubgrid) {
@@ -159,7 +175,8 @@ TEST(ExpRunner, ThrowingTrialIsIsolated) {
   campaign.spec.name = "faulty";
   campaign.spec.axes = {{"k", {std::int64_t{0}, std::int64_t{1},
                                std::int64_t{2}, std::int64_t{3}}}};
-  campaign.run = [](const Trial& trial) {
+  campaign.run = [](const Trial& trial, TrialContext& ctx) {
+    ctx.metrics.count("trials_started");
     require(trial.get_int("k") != 2, "k = 2 is broken by design");
     return std::vector<Metric>{
         {"k2", static_cast<double>(trial.get_int("k") * 2)}};
@@ -167,9 +184,14 @@ TEST(ExpRunner, ThrowingTrialIsIsolated) {
 
   RunOptions options;
   options.jobs = 4;
+  options.collect_metrics = true;
   const CampaignResult result = run_campaign(campaign, options);
   ASSERT_EQ(result.trials.size(), 4u);
   EXPECT_EQ(result.failed_count(), 1u);
+
+  // The failed trial bumped its private registry before throwing, but only
+  // successful trials merge into the campaign-level registry.
+  EXPECT_EQ(result.metrics.counter("trials_started"), 3);
   for (const TrialResult& r : result.trials) {
     if (r.trial.get_int("k") == 2) {
       EXPECT_FALSE(r.ok);
@@ -195,7 +217,7 @@ TEST(ExpReport, AggregatesAndQuantiles) {
   Campaign campaign;
   campaign.spec.name = "agg";
   campaign.spec.axes = {{"v", {1.0, 2.0, 3.0, 4.0}}};
-  campaign.run = [](const Trial& trial) {
+  campaign.run = [](const Trial& trial, TrialContext&) {
     return std::vector<Metric>{{"v", trial.get_double("v")}};
   };
   const CampaignResult result = run_campaign(campaign);

@@ -1,0 +1,95 @@
+// MetricsRegistry semantics: kind discipline, merge (counters add, maxima
+// max, histogram samples concatenate in order), and the deterministic
+// name-sorted JSON serialization the campaign reports depend on.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ihc::obs {
+namespace {
+
+TEST(ObsMetrics, CountersMaximaHistograms) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("absent"), 0);
+  EXPECT_EQ(reg.max_value("absent"), 0);
+  EXPECT_TRUE(reg.samples("absent").empty());
+
+  reg.count("net.deliveries");
+  reg.count("net.deliveries", 4);
+  reg.maximum("flit.max_fifo_depth", 3);
+  reg.maximum("flit.max_fifo_depth", 1);  // below the watermark: no-op
+  reg.observe("ihc.stage_latency_ps", 10.0);
+  reg.observe("ihc.stage_latency_ps", 30.0);
+
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.counter("net.deliveries"), 5);
+  EXPECT_EQ(reg.max_value("flit.max_fifo_depth"), 3);
+  EXPECT_EQ(reg.samples("ihc.stage_latency_ps"),
+            (std::vector<double>{10.0, 30.0}));
+}
+
+TEST(ObsMetrics, KindIsFixedOnFirstTouch) {
+  MetricsRegistry reg;
+  reg.count("x");
+  EXPECT_THROW(reg.maximum("x", 1), ConfigError);
+  EXPECT_THROW(reg.observe("x", 1.0), ConfigError);
+  EXPECT_THROW((void)reg.max_value("x"), ConfigError);
+  EXPECT_THROW((void)reg.samples("x"), ConfigError);
+  EXPECT_EQ(reg.counter("x"), 1);  // untouched by the failed accesses
+
+  MetricsRegistry other;
+  other.observe("x", 2.0);
+  EXPECT_THROW(reg.merge(other), ConfigError);
+}
+
+TEST(ObsMetrics, MergeAddsMaxesAndConcatenates) {
+  MetricsRegistry a;
+  a.count("c", 2);
+  a.maximum("m", 7);
+  a.observe("h", 1.0);
+  a.count("only_a", 1);
+
+  MetricsRegistry b;
+  b.count("c", 3);
+  b.maximum("m", 5);
+  b.observe("h", 2.0);
+  b.observe("h", 0.5);
+  b.maximum("only_b", 9);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5);
+  EXPECT_EQ(a.max_value("m"), 7);
+  EXPECT_EQ(a.samples("h"), (std::vector<double>{1.0, 2.0, 0.5}));
+  EXPECT_EQ(a.counter("only_a"), 1);
+  EXPECT_EQ(a.max_value("only_b"), 9);
+  EXPECT_EQ(a.size(), 5u);
+
+  // Merging an empty registry is a no-op; merge order matters only for
+  // histogram sample order, which is why the runner merges in expansion
+  // order.
+  const std::string before = a.to_json().dump(0);
+  a.merge(MetricsRegistry{});
+  EXPECT_EQ(a.to_json().dump(0), before);
+}
+
+TEST(ObsMetrics, JsonIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.observe("b.hist", 4.0);
+  reg.observe("b.hist", 2.0);
+  reg.count("z.counter", 6);
+  reg.maximum("a.max", 11);
+
+  const std::string json = reg.to_json().dump(0);
+  EXPECT_EQ(json,
+            "{\"a.max\": {\"kind\": \"max\",\"value\": 11},"
+            "\"b.hist\": {\"kind\": \"histogram\",\"count\": 2,"
+            "\"mean\": 3,\"min\": 2,\"max\": 4,\"p50\": 2,\"p90\": 4,"
+            "\"p99\": 4,\"samples\": [4,2]},"
+            "\"z.counter\": {\"kind\": \"counter\",\"value\": 6}}");
+}
+
+}  // namespace
+}  // namespace ihc::obs

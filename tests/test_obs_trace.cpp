@@ -1,0 +1,174 @@
+// The observability layer end-to-end: schema validation, the golden
+// fixed-seed SQ_4 trace (byte-identical across runs, schema-valid by
+// construction), zero perturbation of untraced results, and the
+// flit-level simulator's cycle-timebase events.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/ihc.hpp"
+#include "obs/obs.hpp"
+#include "sim/flit_network.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+AtaOptions sq4_options() {
+  AtaOptions opt;
+  opt.net.tau_s = sim_ns(200);
+  opt.net.rho = 0.2;  // background traffic, so xmit/background events fire
+  opt.net.seed = 42;  // the golden seed
+  return opt;
+}
+
+/// Runs the golden trial: IHC (eta = 2) on SQ_4 with background load.
+AtaResult run_sq4(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  const SquareMesh sq(4);
+  AtaOptions opt = sq4_options();
+  opt.tracer = tracer;
+  opt.metrics = metrics;
+  return run_ihc(sq, IhcOptions{.eta = 2}, opt);
+}
+
+TEST(ObsTrace, ValidateEventChecksTheSchema) {
+  obs::TraceEvent e;
+  e.name = "no_such_event";
+  EXPECT_NE(obs::validate_event(e), "");
+
+  e = {};
+  e.name = "packet_injected";
+  EXPECT_NE(obs::validate_event(e), "");  // required fields unset
+  e.flow = 1;
+  e.node = 0;
+  e.origin = 0;
+  e.route = 0;
+  e.len = 2;
+  EXPECT_EQ(obs::validate_event(e), "");
+
+  obs::TraceEvent x;
+  x.name = "xmit";
+  x.phase = obs::TraceEvent::Phase::kSpan;
+  x.link = 3;
+  x.detail = "teleport";  // not an allowed kind
+  EXPECT_NE(obs::validate_event(x), "");
+  x.detail = "cut_through";
+  EXPECT_EQ(obs::validate_event(x), "");
+}
+
+TEST(ObsTrace, GoldenSq4TraceIsByteIdentical) {
+  auto render = [] {
+    std::ostringstream out;
+    {
+      obs::ChromeTraceSink sink(out);
+      obs::Tracer tracer;
+      tracer.attach(&sink);
+      run_sq4(&tracer, nullptr);
+      EXPECT_GT(sink.event_count(), 0u);
+      EXPECT_EQ(sink.event_count(), tracer.emitted());
+    }  // destructor closes the document
+    return out.str();
+  };
+
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+
+  // Structural spot checks on the Chrome JSON Object Format document.
+  EXPECT_EQ(first.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(first.find("\"schema\": \"ihc-trace-v1\""), std::string::npos);
+  EXPECT_NE(first.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(first.find("\"name\": \"packet_injected\""), std::string::npos);
+  EXPECT_NE(first.find("\"name\": \"delivered\""), std::string::npos);
+  EXPECT_NE(first.find("\"name\": \"stage\""), std::string::npos);
+  EXPECT_EQ(first.substr(first.size() - 3), "]}\n");
+}
+
+TEST(ObsTrace, CollectedEventsMatchTheRunAndValidate) {
+  obs::CollectingSink sink;
+  obs::Tracer tracer;
+  tracer.attach(&sink);
+  obs::MetricsRegistry metrics;
+  const AtaResult result = run_sq4(&tracer, &metrics);
+
+  std::size_t injected = 0, delivered = 0, spans = 0;
+  for (const obs::TraceEvent& e : sink.events()) {
+    EXPECT_EQ(obs::validate_event(e), "")
+        << e.name << ": " << obs::validate_event(e);
+    const std::string name(e.name);
+    if (name == "packet_injected") ++injected;
+    if (name == "delivered") ++delivered;
+    if (name == "stage") ++spans;
+  }
+  EXPECT_EQ(injected, result.stats.injections);
+  EXPECT_EQ(delivered, result.stats.deliveries);
+  EXPECT_GT(spans, 0u);
+
+  // The registry saw the same run the ledger did.
+  EXPECT_EQ(metrics.counter("net.deliveries"),
+            static_cast<std::int64_t>(result.stats.deliveries));
+  EXPECT_EQ(metrics.counter("net.injections"),
+            static_cast<std::int64_t>(result.stats.injections));
+  EXPECT_FALSE(metrics.samples("ihc.stage_latency_ps").empty());
+  EXPECT_FALSE(metrics.samples("net.link_utilization").empty());
+}
+
+TEST(ObsTrace, UntracedRunsAreUnperturbed) {
+  const AtaResult plain = run_sq4(nullptr, nullptr);
+
+  obs::CollectingSink sink;
+  obs::Tracer tracer;
+  tracer.attach(&sink);
+  obs::MetricsRegistry metrics;
+  const AtaResult traced = run_sq4(&tracer, &metrics);
+
+  EXPECT_EQ(plain.finish, traced.finish);
+  EXPECT_EQ(plain.stats.deliveries, traced.stats.deliveries);
+  EXPECT_EQ(plain.stats.cut_throughs, traced.stats.cut_throughs);
+  EXPECT_EQ(plain.stats.buffered_relays, traced.stats.buffered_relays);
+  EXPECT_EQ(plain.stats.background_packets, traced.stats.background_packets);
+}
+
+TEST(ObsTrace, FlitSimulatorEmitsCycleTimebaseEvents) {
+  const Graph ring = make_cycle_graph(6);
+  auto run = [&](obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    FlitNetwork net(ring, FlitParams{.vc_count = 1, .buffer_flits = 2});
+    if (tracer != nullptr) net.set_tracer(tracer);
+    if (metrics != nullptr) net.set_metrics(metrics);
+    FlitPacketSpec spec;
+    spec.length_flits = 3;
+    for (NodeId i = 0; i < 4; ++i) spec.route.push_back(ring.link(i, i + 1));
+    spec.vc.assign(4, 0);
+    net.add_packet(std::move(spec));
+    return net.run();
+  };
+
+  obs::CollectingSink sink;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  tracer.attach(&sink);
+  const auto traced = run(&tracer, &metrics);
+  const auto plain = run(nullptr, nullptr);
+  EXPECT_EQ(traced.cycles, plain.cycles);
+  EXPECT_EQ(traced.flit_hops, plain.flit_hops);
+
+  std::size_t enqueues = 0, dequeues = 0;
+  for (const obs::TraceEvent& e : sink.events()) {
+    EXPECT_EQ(obs::validate_event(e), "") << e.name;
+    if (e.phase != obs::TraceEvent::Phase::kMetadata) {
+      EXPECT_EQ(e.timebase, obs::TimeBase::kCycles);
+    }
+    const std::string name(e.name);
+    if (name == "fifo_enqueue") ++enqueues;
+    if (name == "fifo_dequeue") ++dequeues;
+  }
+  // Every flit that entered a FIFO left it (the packet was delivered).
+  EXPECT_GT(enqueues, 0u);
+  EXPECT_EQ(enqueues, dequeues);
+  EXPECT_GE(metrics.max_value("flit.max_fifo_depth"), 1);
+}
+
+}  // namespace
+}  // namespace ihc

@@ -32,30 +32,47 @@
 //       --jobs <n>      worker threads (0 = hardware concurrency;
 //                       default 0)
 //       --filter <s>    run only trials whose id contains <s>
+//       --metrics       collect simulator metrics into the report's
+//                       `metrics` block (see EXPERIMENTS.md)
 //       --json-out <p>  write ihc-campaign-v1 JSON: a .json file path
 //                       (single campaign only) or a directory receiving
 //                       <p>/<campaign>.json (e.g. bench/results)
 //       --list          list the built-in campaigns and exit
 //
+//   ihc_cli trace --campaign <name> [options]
+//       Re-run one trial of a builtin campaign with structured event
+//       tracing attached; writes Chrome/Perfetto trace_event JSON
+//       (schema ihc-trace-v1, see docs/TRACING.md).
+//       --filter <s>    trace the first trial whose id contains <s>
+//                       (default: the campaign's first trial)
+//       --out <file>    output path (default <campaign>.trace.json)
+//
+// The subcommand table lives in src/util/cli_spec.hpp; usage() renders
+// it, and tests/test_cli_help.cpp + scripts/check_docs.py keep this
+// header, the help text and the Markdown docs in sync.
+//
 // Topology grammar: Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/analysis.hpp"
-#include "exp/exp.hpp"
 #include "core/frs.hpp"
 #include "core/hc_broadcast.hpp"
 #include "core/ihc.hpp"
 #include "core/ks.hpp"
 #include "core/vrs.hpp"
 #include "core/vsq.hpp"
+#include "exp/exp.hpp"
 #include "graph/hc_cache.hpp"
+#include "obs/obs.hpp"
 #include "topology/factory.hpp"
 #include "topology/hex_mesh.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/lambda.hpp"
 #include "topology/square_mesh.hpp"
+#include "util/cli_spec.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -70,6 +87,7 @@ struct Args {
   std::string switching = "vct";
   std::string filter;
   std::string json_out;
+  std::string campaign;
   std::uint32_t eta = 0;  // 0 = auto
   std::uint32_t mu = 2;
   std::uint32_t cycles = 0;
@@ -81,15 +99,22 @@ struct Args {
   bool multihop = false;
   bool single_link = false;
   bool list = false;
+  bool metrics = false;
   bool seed_given = false;
   std::uint64_t seed = 0;  // default derived from the run coordinates
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ihc_cli info|run|decompose|verify|campaign ... "
-               "(see the header of tools/ihc_cli.cpp)\n"
-               "topology grammar: %s\n",
+  // Rendered from the cli_spec.hpp table, the same one the docs-drift
+  // checks validate against the Markdown docs.
+  std::fputs("usage: ihc_cli <subcommand> ... "
+             "(see the header of tools/ihc_cli.cpp)\n",
+             stderr);
+  for (const CliSubcommand& sub : kCliSubcommands)
+    std::fprintf(stderr, "  ihc_cli %-12s %s\n",
+                 std::string(sub.name).c_str(),
+                 std::string(sub.summary).c_str());
+  std::fprintf(stderr, "topology grammar: %s\n",
                std::string(topology_spec_help()).c_str());
   return 2;
 }
@@ -116,7 +141,9 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--jobs") args.jobs = static_cast<unsigned>(std::stoul(next()));
     else if (a == "--filter") args.filter = next();
     else if (a == "--json-out") args.json_out = next();
+    else if (a == "--campaign") args.campaign = next();
     else if (a == "--list") args.list = true;
+    else if (a == "--metrics") args.metrics = true;
     else if (a == "--multihop") args.multihop = true;
     else if (a == "--single-link") args.single_link = true;
     else if (!a.empty() && a[0] == '-')
@@ -302,6 +329,7 @@ int cmd_campaign(const Args& args) {
   exp::RunOptions run_options;
   run_options.jobs = args.jobs;
   run_options.filter = args.filter;
+  run_options.collect_metrics = args.metrics;
 
   std::size_t failed = 0;
   for (const std::string& name : names) {
@@ -324,6 +352,56 @@ int cmd_campaign(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
+int cmd_trace(const Args& args) {
+  require(!args.campaign.empty(),
+          "trace needs --campaign <name> (see `campaign --list`)");
+  const exp::Campaign campaign = exp::make_builtin_campaign(args.campaign);
+
+  // Pick the trial: the first one matching --filter (default: the first).
+  const std::vector<exp::Trial> trials = exp::expand_trials(campaign.spec);
+  const exp::Trial* chosen = nullptr;
+  for (const exp::Trial& t : trials) {
+    if (args.filter.empty() || t.id.find(args.filter) != std::string::npos) {
+      chosen = &t;
+      break;
+    }
+  }
+  require(chosen != nullptr,
+          "no trial of '" + args.campaign + "' matches filter '" +
+              args.filter + "'");
+
+  const std::string path =
+      args.out.empty() ? args.campaign + ".trace.json" : args.out;
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "cannot open " + path + " for writing");
+
+  // One trial, inline on this thread, with the full observability stack:
+  // a streaming Chrome sink plus a metrics registry.
+  obs::ChromeTraceSink sink(out);
+  obs::Tracer tracer;
+  tracer.attach(&sink);
+  obs::MetricsRegistry registry;
+  exp::TrialContext ctx{registry, &tracer};
+  const std::vector<exp::Metric> metrics = campaign.run(*chosen, ctx);
+  sink.close();
+  out.close();
+  require(out.good(), "failed writing " + path);
+
+  std::printf("campaign  : %s\n", args.campaign.c_str());
+  std::printf("trial     : %s (seed %llu)\n", chosen->id.c_str(),
+              static_cast<unsigned long long>(chosen->seed));
+  for (const exp::Metric& m : metrics)
+    std::printf("metric    : %s = %s\n", m.name.c_str(),
+                fmt_double(m.value, 4).c_str());
+  std::printf("metrics   : %zu simulator metrics collected "
+              "(re-run `campaign %s --metrics --json-out ...` for JSON)\n",
+              registry.size(), args.campaign.c_str());
+  std::printf("trace     : %zu events -> %s (ihc-trace-v1; open in "
+              "https://ui.perfetto.dev or chrome://tracing)\n",
+              sink.event_count(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -336,6 +414,7 @@ int main(int argc, char** argv) {
     if (cmd == "decompose") return cmd_decompose(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "trace") return cmd_trace(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
