@@ -14,9 +14,15 @@ them as part of tier-1 when a build is available):
    docs promise it, and docs/TRACING.md must cover every event of the
    ihc-trace-v1 schema.
 
+Plus one data check: every BENCH_*.json at the repo root (the tracked
+performance baselines written by `ihc_cli bench-perf`, see
+docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document — correct
+schema tag and every job carrying the full field set the docs promise.
+
 Exit status 0 when clean, 1 with one line per problem otherwise.
 """
 
+import json
 import re
 import subprocess
 import sys
@@ -59,7 +65,7 @@ def check_links(problems):
 def spec_subcommands():
     spec = (REPO / "src/util/cli_spec.hpp").read_text(encoding="utf-8")
     table = spec.split("kCliSubcommands[]", 1)[1]
-    names = re.findall(r'\{"(\w+)",', table)
+    names = re.findall(r'\{"([\w-]+)",', table)
     if len(names) < 6:
         raise SystemExit(f"cli_spec.hpp: parsed only {names}; parser broken?")
     return names
@@ -94,10 +100,58 @@ def check_cli_surface(problems):
             problems.append(f"docs/TRACING.md: event '{event}' undocumented")
 
 
+# Field sets of the ihc-bench-v1 schema (exp/perf.cpp to_json; the tables
+# in docs/PERFORMANCE.md document exactly these).
+BENCH_TOP_FIELDS = ["schema", "tool", "quick", "repeats", "jobs", "speedups"]
+BENCH_JOB_FIELDS = [
+    "name", "workload", "wall_ms", "legacy_wall_ms", "speedup_vs_legacy",
+    "events", "events_per_sec", "trials", "trials_per_sec",
+]
+
+
+def check_bench_reports(problems):
+    performance = (REPO / "docs/PERFORMANCE.md").read_text(encoding="utf-8")
+    for field in BENCH_TOP_FIELDS + BENCH_JOB_FIELDS:
+        if f"`{field}`" not in performance:
+            problems.append(
+                f"docs/PERFORMANCE.md: ihc-bench-v1 field '{field}' "
+                "undocumented")
+
+    for path in sorted(REPO.glob("BENCH_*.json")):
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{rel}: not valid JSON ({err})")
+            continue
+        if doc.get("schema") != "ihc-bench-v1":
+            problems.append(f"{rel}: schema is {doc.get('schema')!r}, "
+                            "expected 'ihc-bench-v1'")
+            continue
+        for field in BENCH_TOP_FIELDS:
+            if field not in doc:
+                problems.append(f"{rel}: missing top-level field '{field}'")
+        jobs = doc.get("jobs", [])
+        if not isinstance(jobs, list) or not jobs:
+            problems.append(f"{rel}: 'jobs' must be a non-empty array")
+            continue
+        for job in jobs:
+            for field in BENCH_JOB_FIELDS:
+                if field not in job:
+                    problems.append(
+                        f"{rel}: job {job.get('name', '?')!r} missing "
+                        f"field '{field}'")
+        for name in doc.get("speedups", {}):
+            if not any(job.get("name") == name for job in jobs):
+                problems.append(f"{rel}: speedups entry '{name}' has no "
+                                "matching job")
+
+
 def main():
     problems = []
     check_links(problems)
     check_cli_surface(problems)
+    check_bench_reports(problems)
     for p in problems:
         print(p, file=sys.stderr)
     if problems:

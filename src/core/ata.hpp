@@ -43,6 +43,11 @@ struct AtaOptions {
   /// unset every instrumentation site is a branch-on-null no-op.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional prebuilt routing table over the run's topology (not owned;
+  /// may be nullptr).  Immutable after construction, so one table can be
+  /// shared by concurrent campaign trials on the same graph instead of
+  /// each Network building its own (see docs/PERFORMANCE.md).
+  const RoutingTable* routes = nullptr;
 };
 
 struct AtaResult {

@@ -8,6 +8,7 @@ namespace ihc {
 void attach_observability(Network& net, const AtaOptions& options) {
   if (options.tracer != nullptr) net.set_tracer(options.tracer);
   if (options.metrics != nullptr) net.set_metrics(options.metrics);
+  if (options.routes != nullptr) net.set_routes(options.routes);
 }
 
 std::uint64_t honest_payload(NodeId v) {

@@ -24,6 +24,13 @@ std::shared_ptr<const Hypercube> prebuilt_hypercube(unsigned dimension) {
   return cube;
 }
 
+/// Routing table over the campaign topology, built once on the caller's
+/// thread.  Immutable after construction, so all trial workers share it
+/// (AtaOptions::routes) instead of each Network deriving its own tables.
+std::shared_ptr<const RoutingTable> prebuilt_routes(const Hypercube& cube) {
+  return std::make_shared<const RoutingTable>(cube.graph());
+}
+
 // --- rho_sweep -----------------------------------------------------------
 // Section VI-B: IHC on Q_6 under Poisson background load, measured between
 // the Table II (best) and Table IV (worst) bounds, for both stage-barrier
@@ -45,6 +52,7 @@ CampaignSpec rho_sweep_spec() {
 
 Campaign make_rho_sweep() {
   auto cube = prebuilt_hypercube(6);
+  auto routes = prebuilt_routes(*cube);
   NetworkParams p;
   p.alpha = sim_ns(20);
   p.tau_s = sim_ns(200);  // small startup so contention effects dominate
@@ -55,12 +63,13 @@ Campaign make_rho_sweep() {
 
   Campaign campaign;
   campaign.spec = rho_sweep_spec();
-  campaign.run = [cube, p, best, worst](const Trial& trial,
-                                        TrialContext& ctx) {
+  campaign.run = [cube, routes, p, best, worst](const Trial& trial,
+                                                TrialContext& ctx) {
     AtaOptions opt;
     opt.net = p;
     opt.tracer = ctx.tracer;
     opt.metrics = &ctx.metrics;
+    opt.routes = routes.get();
     opt.net.rho = trial.get_double("rho");
     // Deliberately independent of the barrier axis and replica: both
     // variants of one rho must see the same background traffic.
@@ -115,10 +124,11 @@ CampaignSpec fault_tolerance_spec() {
 
 Campaign make_fault_tolerance() {
   auto cube = prebuilt_hypercube(6);
+  auto routes = prebuilt_routes(*cube);
 
   Campaign campaign;
   campaign.spec = fault_tolerance_spec();
-  campaign.run = [cube](const Trial& trial, TrialContext& ctx) {
+  campaign.run = [cube, routes](const Trial& trial, TrialContext& ctx) {
     const auto t = static_cast<std::uint32_t>(trial.get_int("t"));
     SplitMix64 rng(derive_seed(
         "fault_tolerance", "t=" + std::to_string(t) + ",rep=" +
@@ -134,6 +144,7 @@ Campaign make_fault_tolerance() {
     opt.net.mu = 2;
     opt.tracer = ctx.tracer;
     opt.metrics = &ctx.metrics;
+    opt.routes = routes.get();
     opt.granularity = DeliveryLedger::Granularity::kFull;
     opt.faults = &plan;
     const KeyRing keys(7);
@@ -185,6 +196,7 @@ CampaignSpec duty_cycle_spec() {
 
 Campaign make_duty_cycle() {
   auto cube = prebuilt_hypercube(8);
+  auto routes = prebuilt_routes(*cube);
   NetworkParams p;
   p.alpha = sim_ns(20);
   p.tau_s = sim_us(500);  // the paper's conservative 0.5 ms
@@ -192,11 +204,12 @@ Campaign make_duty_cycle() {
 
   Campaign campaign;
   campaign.spec = duty_cycle_spec();
-  campaign.run = [cube, p](const Trial& trial, TrialContext& ctx) {
+  campaign.run = [cube, routes, p](const Trial& trial, TrialContext& ctx) {
     AtaOptions opt;
     opt.net = p;
     opt.tracer = ctx.tracer;
     opt.metrics = &ctx.metrics;
+    opt.routes = routes.get();
     opt.net.seed = trial.seed;
     ServiceConfig config;
     config.period = sim_ms(trial.get_int("period_ms"));

@@ -5,11 +5,13 @@
 /// trials with coordinate-derived seeds (trial.hpp, util/rng.hpp), a
 /// thread pool fans them out across cores deterministically (runner.hpp),
 /// and reporters emit ASCII tables or ihc-campaign-v1 JSON (report.hpp).
-/// The repo's trial-heavy evaluations are registered in campaigns.hpp.
+/// The repo's trial-heavy evaluations are registered in campaigns.hpp;
+/// pinned performance workloads (ihc-bench-v1) live in perf.hpp.
 #pragma once
 
 #include "exp/campaign.hpp"
 #include "exp/campaigns.hpp"
+#include "exp/perf.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "exp/trial.hpp"

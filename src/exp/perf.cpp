@@ -1,0 +1,213 @@
+#include "exp/perf.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/ihc.hpp"
+#include "exp/campaigns.hpp"
+#include "exp/runner.hpp"
+#include "sim/flit_network.hpp"
+#include "sim/params.hpp"
+#include "sim/routing.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Body>
+double wall_ms_once(Body&& body) {
+  const auto t0 = Clock::now();
+  body();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+template <typename Body>
+double min_wall_ms(int repeats, Body&& body) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double ms = wall_ms_once(body);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void keep_min(double& slot, double ms) {
+  if (slot == 0.0 || ms < slot) slot = ms;
+}
+
+double per_sec(std::uint64_t n, double ms) {
+  return ms > 0.0 ? static_cast<double>(n) * 1000.0 / ms : 0.0;
+}
+
+void finish_ab(BenchJob& job) {
+  job.speedup_vs_legacy =
+      job.wall_ms > 0.0 ? job.legacy_wall_ms / job.wall_ms : 0.0;
+  job.events_per_sec = per_sec(job.events, job.wall_ms);
+  job.trials_per_sec = per_sec(job.trials, job.wall_ms);
+}
+
+/// Times one builtin campaign on both engines.  Repeats interleave the
+/// engines (optimized, legacy, optimized, ...) so both sample the same
+/// machine-noise window; the per-engine minimum is kept.  Campaign
+/// factories capture NetworkParams (and thus the engine choice) at
+/// construction, so the campaign is rebuilt - outside the timed region -
+/// after every flip of the process-global default.
+BenchJob campaign_ab(std::string name, std::string workload,
+                     const char* campaign, std::string filter, int repeats) {
+  BenchJob job;
+  job.name = std::move(name);
+  job.workload = std::move(workload);
+  RunOptions ro;
+  ro.jobs = 1;
+  ro.filter = std::move(filter);
+  ro.collect_metrics = true;  // events = merged net.events_processed
+  for (int r = 0; r < repeats; ++r) {
+    for (const bool legacy : {false, true}) {
+      set_default_engine_legacy(legacy);
+      const Campaign c = make_builtin_campaign(campaign);
+      CampaignResult last;
+      const double ms = wall_ms_once([&] { last = run_campaign(c, ro); });
+      if (legacy) {
+        keep_min(job.legacy_wall_ms, ms);
+      } else {
+        keep_min(job.wall_ms, ms);
+        job.trials = last.trials.size();
+        job.events = static_cast<std::uint64_t>(
+            last.metrics.counter("net.events_processed"));
+      }
+    }
+  }
+  set_default_engine_legacy(false);
+  finish_ab(job);
+  return job;
+}
+
+/// Multi-hop background traffic drives the routing-table hot path
+/// (path_into + flat link lookups) instead of the single-link process.
+BenchJob multihop_ab(int repeats) {
+  BenchJob job;
+  job.name = "events_q6_multihop";
+  job.workload =
+      "one IHC run on Q_6, eta = 2, rho = 0.3 multi-hop background "
+      "flows over a shared routing table";
+  const Hypercube cube(6);
+  (void)cube.directed_cycles();
+  const RoutingTable routes(cube.graph());
+  for (int r = 0; r < repeats; ++r) {
+    for (const bool legacy : {false, true}) {
+      AtaOptions opt;
+      opt.net.alpha = sim_ns(20);
+      opt.net.tau_s = sim_ns(200);
+      opt.net.mu = 2;
+      opt.net.background_mu = 8;
+      opt.net.rho = 0.3;
+      opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+      opt.net.seed = 0x9E3779B9ull;
+      opt.net.legacy_engine = legacy;
+      opt.routes = &routes;
+      AtaResult last;
+      const double ms = wall_ms_once(
+          [&] { last = run_ihc(cube, IhcOptions{.eta = 2}, opt); });
+      if (legacy) {
+        keep_min(job.legacy_wall_ms, ms);
+      } else {
+        keep_min(job.wall_ms, ms);
+        job.events = last.stats.events_processed;
+      }
+    }
+  }
+  finish_ab(job);
+  return job;
+}
+
+/// Flit-level wormhole simulation; no legacy engine exists here, so the
+/// job reports throughput only.  reset() between iterations exercises
+/// the pooled-arena reuse path.
+BenchJob flit_wormhole(int repeats) {
+  BenchJob job;
+  job.name = "flit_wormhole_h5";
+  job.workload =
+      "IHC stage-0 worms on Q_5 (eta = 2, 4 flits, Dally-Seitz VCs), "
+      "one pooled FlitNetwork reset between iterations";
+  const Hypercube cube(5);
+  const std::vector<FlitPacketSpec> packets =
+      ihc_flit_packets(cube, 2, 4, /*dally_seitz=*/true);
+  FlitParams fp;
+  fp.vc_count = 2;
+  fp.buffer_flits = 2;
+  FlitNetwork net(cube.graph(), fp);
+  FlitRunResult last;
+  job.wall_ms = min_wall_ms(repeats, [&] {
+    net.reset();
+    for (const FlitPacketSpec& p : packets) net.add_packet(p);
+    last = net.run(200'000);
+  });
+  job.events = last.flit_hops;
+  job.events_per_sec = per_sec(job.events, job.wall_ms);
+  return job;
+}
+
+}  // namespace
+
+const BenchJob* BenchReport::find(std::string_view name) const {
+  for (const BenchJob& job : jobs)
+    if (job.name == name) return &job;
+  return nullptr;
+}
+
+Json BenchReport::to_json() const {
+  Json job_array = Json::array();
+  for (const BenchJob& job : jobs) {
+    Json j = Json::object();
+    j.set("name", job.name)
+        .set("workload", job.workload)
+        .set("wall_ms", job.wall_ms)
+        .set("legacy_wall_ms", job.legacy_wall_ms)
+        .set("speedup_vs_legacy", job.speedup_vs_legacy)
+        .set("events", job.events)
+        .set("events_per_sec", job.events_per_sec)
+        .set("trials", job.trials)
+        .set("trials_per_sec", job.trials_per_sec);
+    job_array.push(std::move(j));
+  }
+  Json speedups = Json::object();
+  for (const BenchJob& job : jobs)
+    if (job.legacy_wall_ms > 0.0)
+      speedups.set(job.name, job.speedup_vs_legacy);
+  Json doc = Json::object();
+  doc.set("schema", "ihc-bench-v1")
+      .set("tool", "ihc_cli bench-perf")
+      .set("quick", quick)
+      .set("repeats", repeats)
+      .set("jobs", std::move(job_array))
+      .set("speedups", std::move(speedups));
+  return doc;
+}
+
+BenchReport run_bench(const BenchOptions& options) {
+  BenchReport report;
+  report.quick = options.quick;
+  report.repeats =
+      options.repeats > 0 ? options.repeats : (options.quick ? 2 : 5);
+  set_default_engine_legacy(false);
+  report.jobs.push_back(campaign_ab(
+      "rho_sweep_q6",
+      "builtin rho_sweep campaign (IHC on Q_6 under background load), "
+      "jobs = 1",
+      "rho_sweep", "", report.repeats));
+  report.jobs.push_back(multihop_ab(report.repeats));
+  report.jobs.push_back(flit_wormhole(report.repeats));
+  report.jobs.push_back(campaign_ab(
+      "campaign_throughput",
+      "builtin fault_tolerance campaign (Byzantine sweep, full-granularity "
+      "ledgers), jobs = 1",
+      "fault_tolerance", options.quick ? "t=0," : "", report.repeats));
+  set_default_engine_legacy(false);
+  return report;
+}
+
+}  // namespace ihc::exp

@@ -1,0 +1,71 @@
+/// \file perf.hpp
+/// \brief Pinned performance workloads behind `ihc_cli bench-perf`.
+///
+/// The simulator's hot paths (calendar event queue, flat route tables,
+/// arena reuse) are only worth their complexity if the gain is tracked;
+/// this module measures it.  Each benchmark job runs a fixed workload a
+/// few times and keeps the *minimum* wall time per engine - on a shared
+/// or single-core machine the minimum is the run least disturbed by
+/// scheduling noise, so it is the statistic docs/PERFORMANCE.md defines
+/// for comparisons.  Jobs that exercise the packet-level simulator run
+/// A/B against the legacy binary-heap baseline
+/// (NetworkParams::legacy_engine) in the same process, with the two
+/// engines interleaved repeat-by-repeat so both sample the same
+/// machine-noise window - the reported speedup never compares across
+/// builds or load phases.
+///
+/// Results serialize as an `ihc-bench-v1` JSON document (see
+/// docs/PERFORMANCE.md for the schema) written to BENCH_PR3.json at the
+/// repo root by scripts/run_bench.sh and validated by
+/// scripts/check_docs.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ihc::exp {
+
+struct BenchOptions {
+  /// Fewer repeats and filtered campaign grids - for CI smoke runs.
+  bool quick = false;
+  /// Timed repetitions per engine; 0 picks the default (5, or 2 when
+  /// quick).  The minimum over repeats is reported.
+  int repeats = 0;
+};
+
+/// One benchmark job's measurement.  A/B jobs fill the legacy_* fields;
+/// for flit-level jobs (no legacy engine exists) they stay 0.
+struct BenchJob {
+  std::string name;          ///< stable id, e.g. "rho_sweep_q6"
+  std::string workload;      ///< human description of what was timed
+  double wall_ms = 0.0;      ///< optimized engine, min over repeats
+  double legacy_wall_ms = 0.0;
+  double speedup_vs_legacy = 0.0;  ///< legacy_wall_ms / wall_ms
+  std::uint64_t events = 0;  ///< simulator events per iteration
+  double events_per_sec = 0.0;
+  std::uint64_t trials = 0;  ///< campaign trials per iteration
+  double trials_per_sec = 0.0;
+};
+
+struct BenchReport {
+  bool quick = false;
+  int repeats = 0;
+  std::vector<BenchJob> jobs;
+
+  /// nullptr when no job has that name.
+  [[nodiscard]] const BenchJob* find(std::string_view name) const;
+
+  /// The `ihc-bench-v1` document: schema/tool/quick/repeats, the job
+  /// array, and a `speedups` object of the A/B jobs.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Runs every pinned workload.  Restores the process-global default
+/// engine (sim/params.hpp) to the calendar queue before returning.
+[[nodiscard]] BenchReport run_bench(const BenchOptions& options = {});
+
+}  // namespace ihc::exp

@@ -14,6 +14,26 @@ DeliveryLedger::DeliveryLedger(NodeId node_count, Granularity granularity)
   if (granularity_ == Granularity::kFull) full_.resize(pairs);
 }
 
+void DeliveryLedger::reset(Granularity granularity) {
+  granularity_ = granularity;
+  // Drivers move the ledger into their AtaResult, so a pooled Network may
+  // reset a moved-from ledger: restore the arrays when they are gone.
+  const std::size_t pairs = static_cast<std::size_t>(n_) * n_;
+  if (counts_.size() != pairs) {
+    counts_.assign(pairs, 0);
+    intact_counts_.assign(pairs, 0);
+  } else {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    std::fill(intact_counts_.begin(), intact_counts_.end(), 0);
+  }
+  if (granularity_ == Granularity::kFull) {
+    full_.resize(counts_.size());
+    for (auto& records : full_) records.clear();
+  }
+  finish_ = 0;
+  total_ = 0;
+}
+
 void DeliveryLedger::record(NodeId origin, NodeId dest,
                             const CopyRecord& copy) {
   IHC_ENSURE(origin < n_ && dest < n_, "delivery endpoint out of range");

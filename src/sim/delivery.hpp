@@ -36,6 +36,11 @@ class DeliveryLedger {
   DeliveryLedger() = default;
   DeliveryLedger(NodeId node_count, Granularity granularity);
 
+  /// Forgets every recorded copy (and switches granularity) while keeping
+  /// the flat counter arrays' storage - the arena-reuse path behind
+  /// Network::reset().
+  void reset(Granularity granularity);
+
   void record(NodeId origin, NodeId dest, const CopyRecord& copy);
 
   [[nodiscard]] NodeId node_count() const { return n_; }

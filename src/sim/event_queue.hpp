@@ -1,0 +1,290 @@
+/// \file event_queue.hpp
+/// \brief Indexed calendar queue for discrete-event simulation over the
+/// integer SimTime domain.
+///
+/// The packet-level simulator pops events in (time, seq) order.  A binary
+/// heap pays O(log n) scattered comparisons per operation on an ordering
+/// that is almost sorted already: event times are the current time plus a
+/// small set of increments (alpha, tau_S, a transmission tail), so
+/// consecutive pops cluster tightly.  The calendar queue exploits that
+/// structure:
+///
+///  * the timeline is divided into fixed-width buckets (width a power of
+///    two, tuned from alpha - see Network's width policy), arranged in a
+///    ring of kBuckets slots;
+///  * every queued event lives in one contiguous node pool; each bucket
+///    is an intrusive singly-linked list threaded through that pool, so
+///    the whole queue costs one allocation that reset() retains - no
+///    per-bucket vectors, no churn when a pooled Network is reused;
+///  * push links the event into its bucket's list - O(1);
+///  * pop scans an occupancy bitmap for the first non-empty bucket (a
+///    few word operations via std::countr_zero) and unlinks the
+///    (time, seq) minimum from its short list;
+///  * events beyond the ring's horizon wait in a spill heap and migrate
+///    into the ring as the current tick advances past their eligibility
+///    point, preserving the global pop order.
+///
+/// Pop order is *exactly* the order a binary heap over (time, seq) would
+/// produce - the golden simulation tests assert identical results
+/// against the legacy heap engine (kept selectable for A/B benchmarking,
+/// see docs/PERFORMANCE.md).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+/// Min-queue over events carrying `.time` (SimTime) and `.seq`
+/// (monotonic std::uint64_t tie-break).  Engine selectable at
+/// construction: the calendar ring (default) or the legacy binary heap.
+template <typename Event>
+class CalendarQueue {
+ public:
+  /// Ring size; power of two.  Chosen so the ring spans well past tau_S
+  /// at the default bucket width while the bucket-head array (4 KiB)
+  /// stays cache-resident.
+  static constexpr std::size_t kBuckets = 1024;
+
+  /// \param width_hint  target bucket width in SimTime units; rounded up
+  ///                    to a power of two.  Aim for about one event per
+  ///                    bucket: the sweet spot is a fraction of alpha
+  ///                    (see docs/PERFORMANCE.md for the measurement).
+  /// \param legacy      use the binary-heap engine (A/B baseline).
+  explicit CalendarQueue(SimTime width_hint, bool legacy = false) {
+    reset(width_hint, legacy);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push(const Event& ev) {
+    if (legacy_) {
+      heap_.push(ev);
+      ++size_;
+      return;
+    }
+    if (size_ == 0) cur_tick_ = tick_of(ev.time);
+    const std::uint64_t t = tick_of(ev.time);
+    if (t >= cur_tick_ + kBuckets) {
+      spill_.push(ev);
+    } else {
+      link_into_ring(ev, t);
+    }
+    ++size_;
+  }
+
+  Event pop_min() {
+    IHC_ENSURE(size_ > 0, "pop from empty event queue");
+    if (legacy_) {
+      Event out = heap_.top();
+      heap_.pop();
+      --size_;
+      return out;
+    }
+    std::size_t b = static_cast<std::size_t>(cur_tick_) & kMask;
+    if (heads_[b] == kNil) {  // fast path: current bucket still draining
+      if (ring_count_ == 0) {
+        // Everything spilled: jump the ring to the spill minimum.
+        cur_tick_ = tick_of(spill_.top().time);
+        sorted_bucket_ = kNoBucket;
+        migrate_spill();
+      } else {
+        advance_to_occupied();
+      }
+      b = static_cast<std::size_t>(cur_tick_) & kMask;
+    }
+    // The head of the current bucket is the global minimum once the
+    // bucket is sorted.  Simulated workloads cluster many events on one
+    // time (symmetric flows, stage barriers), so sorting the bucket once
+    // and popping heads beats re-scanning an unordered list every pop.
+    std::uint32_t head = heads_[b];
+    if (pool_[head].next != kNil &&
+        sorted_bucket_ != static_cast<std::uint32_t>(b)) {
+      sort_bucket(b);
+      head = heads_[b];
+    }
+    heads_[b] = pool_[head].next;
+    if (heads_[b] == kNil) {
+      unmark(b);
+      sorted_bucket_ = kNoBucket;
+    }
+    Event out = pool_[head].ev;
+    pool_[head].next = free_head_;
+    free_head_ = head;
+    --ring_count_;
+    --size_;
+    return out;
+  }
+
+  /// Empties and re-parameterizes the queue, retaining the node pool and
+  /// heap capacity - the arena-reuse path behind Network::reset().
+  void reset(SimTime width_hint, bool legacy) {
+    clear();
+    legacy_ = legacy;
+    if (width_hint < 1) width_hint = 1;
+    shift_ = static_cast<unsigned>(
+        std::bit_width(static_cast<std::uint64_t>(width_hint) - 1));
+  }
+
+  /// Empties the queue, retaining the node pool's capacity for reuse.
+  void clear() {
+    heads_.assign(kBuckets, kNil);
+    occupied_.assign(kWords, 0);
+    pool_.clear();
+    free_head_ = kNil;
+    while (!spill_.empty()) spill_.pop();
+    while (!heap_.empty()) heap_.pop();
+    size_ = ring_count_ = 0;
+    cur_tick_ = 0;
+    sorted_bucket_ = kNoBucket;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kBuckets - 1;
+  static constexpr std::size_t kWords = kBuckets / 64;
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+  static constexpr std::uint32_t kNoBucket = static_cast<std::uint32_t>(-1);
+
+  struct Node {
+    Event ev;
+    std::uint32_t next;
+  };
+
+  struct MinOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(SimTime t) const {
+    return static_cast<std::uint64_t>(t) >> shift_;
+  }
+
+  void mark(std::size_t idx) { occupied_[idx >> 6] |= 1ull << (idx & 63); }
+  void unmark(std::size_t idx) {
+    occupied_[idx >> 6] &= ~(1ull << (idx & 63));
+  }
+
+  static bool precedes(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void link_into_ring(const Event& ev, std::uint64_t tick) {
+    // Ticks at or before the current one share the current bucket; the
+    // bucket's (time, seq) ordering keeps them correct.
+    const std::uint64_t clamped = tick < cur_tick_ ? cur_tick_ : tick;
+    const std::size_t b = static_cast<std::size_t>(clamped) & kMask;
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = pool_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    pool_[idx].ev = ev;
+    if (sorted_bucket_ == static_cast<std::uint32_t>(b)) {
+      // The bucket being drained stays sorted: insert in order (new seqs
+      // are the largest, so equal-time inserts land at the run's end).
+      std::uint32_t prev = kNil;
+      std::uint32_t cur = heads_[b];
+      while (cur != kNil && precedes(pool_[cur].ev, ev)) {
+        prev = cur;
+        cur = pool_[cur].next;
+      }
+      pool_[idx].next = cur;
+      if (prev == kNil)
+        heads_[b] = idx;
+      else
+        pool_[prev].next = idx;
+    } else {
+      pool_[idx].next = heads_[b];
+      heads_[b] = idx;
+    }
+    mark(b);
+    ++ring_count_;
+  }
+
+  /// Sorts bucket b's list ascending by (time, seq) and remembers it, so
+  /// draining the bucket pops heads in O(1).  List insertion sort: LIFO
+  /// pushes arrive in ascending seq, so the list is near-descending and
+  /// almost every element front-inserts in O(1).
+  void sort_bucket(std::size_t b) {
+    std::uint32_t sorted = kNil;
+    std::uint32_t i = heads_[b];
+    while (i != kNil) {
+      const std::uint32_t nxt = pool_[i].next;
+      if (sorted == kNil || precedes(pool_[i].ev, pool_[sorted].ev)) {
+        pool_[i].next = sorted;
+        sorted = i;
+      } else {
+        std::uint32_t p = sorted;
+        while (pool_[p].next != kNil &&
+               precedes(pool_[pool_[p].next].ev, pool_[i].ev))
+          p = pool_[p].next;
+        pool_[i].next = pool_[p].next;
+        pool_[p].next = i;
+      }
+      i = nxt;
+    }
+    heads_[b] = sorted;
+    sorted_bucket_ = static_cast<std::uint32_t>(b);
+  }
+
+  /// Advances cur_tick_ to the first occupied bucket (ring_count_ > 0
+  /// guarantees one within kBuckets slots), then migrates newly eligible
+  /// spilled events.  All ring ticks lie in [cur_tick_, cur_tick_ +
+  /// kBuckets), so ring order from cur_tick_ is global tick order.
+  void advance_to_occupied() {
+    const std::size_t start = static_cast<std::size_t>(cur_tick_) & kMask;
+    std::size_t w = start >> 6;
+    std::uint64_t word = occupied_[w] & (~0ull << (start & 63));
+    std::size_t hops = 0;
+    while (word == 0) {
+      w = (w + 1) & (kWords - 1);
+      word = occupied_[w];
+      IHC_ENSURE(++hops <= kWords, "occupancy bitmap disagrees with count");
+    }
+    const std::size_t idx =
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    const std::size_t delta = (idx - start) & kMask;
+    cur_tick_ += delta;
+    if (delta != 0 && !spill_.empty()) migrate_spill();
+  }
+
+  /// Moves every spilled event inside the new horizon into the ring -
+  /// restores the invariant that all spilled ticks are >= cur_tick_ +
+  /// kBuckets, i.e. strictly after every ring event.
+  void migrate_spill() {
+    while (!spill_.empty() &&
+           tick_of(spill_.top().time) < cur_tick_ + kBuckets) {
+      const Event ev = spill_.top();
+      spill_.pop();
+      link_into_ring(ev, tick_of(ev.time));
+    }
+  }
+
+  bool legacy_ = false;
+  unsigned shift_ = 0;
+  std::uint64_t cur_tick_ = 0;
+  std::size_t size_ = 0;
+  std::size_t ring_count_ = 0;
+  std::vector<Node> pool_;              ///< one arena for all ring events
+  std::uint32_t free_head_ = kNil;      ///< freelist threaded through pool_
+  std::vector<std::uint32_t> heads_;    ///< per-bucket list heads
+  std::vector<std::uint64_t> occupied_; ///< bucket-occupancy bitmap
+  std::uint32_t sorted_bucket_ = kNoBucket;  ///< bucket kept in sorted order
+  std::priority_queue<Event, std::vector<Event>, MinOrder> spill_;
+  std::priority_queue<Event, std::vector<Event>, MinOrder> heap_;  // legacy
+};
+
+}  // namespace ihc

@@ -10,13 +10,26 @@ namespace ihc {
 
 FlitNetwork::FlitNetwork(const Graph& g, const FlitParams& params)
     : g_(&g), params_(params) {
+  reset(params);
+}
+
+void FlitNetwork::reset() { reset(params_); }
+
+void FlitNetwork::reset(const FlitParams& params) {
   require(params.vc_count >= 1, "need at least one virtual channel");
   require(params.buffer_flits >= 1, "need at least one buffer slot");
-  const std::size_t channels =
-      static_cast<std::size_t>(params.vc_count) * g.link_count();
-  fifo_.resize(channels);
+  params_ = params;
+  packets_.clear();
+  const std::size_t channels = channel_count();
+  // resize + fill rather than assign: an unchanged geometry reuses the
+  // slab without touching its (stale, unread) flit contents.
+  fifo_slots_.resize(channels * params_.buffer_flits);
+  fifo_head_.assign(channels, 0);
+  fifo_count_.assign(channels, 0);
   owner_.assign(channels, -1);
-  rr_.assign(g.link_count(), 0);
+  rr_.assign(g_->link_count(), 0);
+  tracer_ = nullptr;
+  metrics_ = nullptr;
 }
 
 void FlitNetwork::add_packet(FlitPacketSpec spec) {
@@ -50,7 +63,7 @@ bool FlitNetwork::inject(std::uint32_t p, std::uint64_t cycle) {
   if (cycle < packet.spec.inject_cycle) return false;
   const std::size_t target =
       channel_of(packet.spec.route[0], packet.spec.vc[0]);
-  if (fifo_[target].size() >= params_.buffer_flits) {
+  if (fifo_size(target) >= params_.buffer_flits) {
     note_blocked(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
                  "fifo_full");
     return false;
@@ -64,9 +77,9 @@ bool FlitNetwork::inject(std::uint32_t p, std::uint64_t cycle) {
   owner_[target] = static_cast<std::int32_t>(p);
   const bool is_tail =
       packet.flits_injected + 1 == packet.spec.length_flits;
-  fifo_[target].push_back(Flit{p, 0, is_tail, cycle});
+  fifo_push_back(target, Flit{p, 0, is_tail, cycle});
   note_enqueue(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
-               fifo_[target].size());
+               fifo_size(target));
   ++packet.flits_injected;
   return true;
 }
@@ -93,19 +106,17 @@ void FlitNetwork::note_enqueue(std::uint64_t cycle, LinkId link,
 
 std::uint64_t FlitNetwork::consume(std::uint64_t cycle) {
   std::uint64_t consumed = 0;
-  for (std::size_t c = 0; c < fifo_.size(); ++c) {
-    auto& fifo = fifo_[c];
-    if (fifo.empty()) continue;
-    const Flit f = fifo.front();
+  for (std::size_t c = 0; c < channel_count(); ++c) {
+    if (fifo_size(c) == 0) continue;
+    const Flit f = fifo_front(c);
     Packet& packet = packets_[f.packet];
     if (f.hop + 1 != packet.spec.route.size()) continue;  // not at the end
-    fifo.pop_front();
+    fifo_pop_front(c);
     if (tracer_ != nullptr)
       tracer_->fifo_dequeue(static_cast<SimTime>(cycle),
                             static_cast<LinkId>(c % g_->link_count()),
                             static_cast<std::uint8_t>(c / g_->link_count()),
-                            f.packet, f.hop,
-                            static_cast<std::uint32_t>(fifo.size()));
+                            f.packet, f.hop, fifo_size(c));
     ++packet.flits_consumed;
     ++consumed;
     // The tail flit releases the channel and completes the packet.
@@ -130,8 +141,8 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
     for (const auto& adj : g_->neighbors(src)) {
       const LinkId in_link = g_->link(adj.neighbor, src);
       const std::size_t from = channel_of(in_link, vc);
-      if (fifo_[from].empty()) continue;
-      const Flit f = fifo_[from].front();
+      if (fifo_size(from) == 0) continue;
+      const Flit f = fifo_front(from);
       if (f.arrived_cycle >= cycle) continue;  // one hop per cycle
       Packet& packet = packets_[f.packet];
       const std::size_t next_hop = f.hop + 1;
@@ -139,7 +150,7 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
       if (packet.spec.route[next_hop] != l) continue;
       const std::size_t to =
           channel_of(l, packet.spec.vc[next_hop]);
-      if (fifo_[to].size() >= params_.buffer_flits) {
+      if (fifo_size(to) >= params_.buffer_flits) {
         note_blocked(cycle, l, packet.spec.vc[next_hop], f.packet,
                      static_cast<std::uint32_t>(next_hop), "fifo_full");
         continue;
@@ -151,18 +162,17 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
         continue;
       }
       // Move the flit.
-      fifo_[from].pop_front();
+      fifo_pop_front(from);
       if (tracer_ != nullptr)
         tracer_->fifo_dequeue(static_cast<SimTime>(cycle), in_link, vc,
-                              f.packet, f.hop,
-                              static_cast<std::uint32_t>(fifo_[from].size()));
+                              f.packet, f.hop, fifo_size(from));
       if (f.is_tail) owner_[from] = -1;  // the worm's tail releases it
       owner_[to] = static_cast<std::int32_t>(f.packet);
-      fifo_[to].push_back(Flit{f.packet,
-                               static_cast<std::uint32_t>(next_hop),
-                               f.is_tail, cycle});
+      fifo_push_back(to, Flit{f.packet,
+                              static_cast<std::uint32_t>(next_hop),
+                              f.is_tail, cycle});
       note_enqueue(cycle, l, packet.spec.vc[next_hop], f.packet,
-                   static_cast<std::uint32_t>(next_hop), fifo_[to].size());
+                   static_cast<std::uint32_t>(next_hop), fifo_size(to));
       rr_[l] = static_cast<std::uint8_t>((vc + 1) % vcs);
       return true;
     }

@@ -28,7 +28,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -70,6 +69,14 @@ class FlitNetwork {
  public:
   FlitNetwork(const Graph& g, const FlitParams& params);
 
+  /// Returns the network to its freshly-constructed state - packets,
+  /// channel state, and attached hooks cleared - while keeping the flit
+  /// slab and per-channel arrays allocated, so a pooled instance can run
+  /// successive trials without reallocating.  The overload takes new
+  /// parameters (validated; the slab regrows only if capacity increases).
+  void reset();
+  void reset(const FlitParams& params);
+
   /// Registers a packet; validated against the graph (consecutive links
   /// must chain head-to-tail).
   void add_packet(FlitPacketSpec spec);
@@ -101,19 +108,26 @@ class FlitNetwork {
   /// A flit in a channel FIFO: which packet, which hop it sits at, and
   /// whether it is the worm's tail (which releases channels as it goes).
   struct Flit {
-    std::uint32_t packet;
-    std::uint32_t hop;  ///< index of the channel it currently sits in
-    bool is_tail;
+    std::uint32_t packet = 0;
+    std::uint32_t hop = 0;  ///< index of the channel it currently sits in
+    bool is_tail = false;
     /// Cycle the flit entered its current channel: a flit moves at most
     /// one hop per cycle (synchronous semantics).
-    std::uint64_t arrived_cycle;
+    std::uint64_t arrived_cycle = 0;
   };
 
   const Graph* g_;
   FlitParams params_;
   std::vector<Packet> packets_;
-  /// FIFO per channel (vc-major, like ChannelDependencyGraph).
-  std::vector<std::deque<Flit>> fifo_;
+  /// Channel FIFOs (vc-major, like ChannelDependencyGraph) as fixed-size
+  /// ring buffers in one contiguous slab: channel c owns slots
+  /// [c * buffer_flits, (c + 1) * buffer_flits), indexed circularly from
+  /// fifo_head_[c] over fifo_count_[c] occupied slots.  FIFO depth is
+  /// bounded by buffer_flits, so this replaces a deque per channel (and
+  /// its allocation churn) with flat arrays a reset() can reuse.
+  std::vector<Flit> fifo_slots_;
+  std::vector<std::uint32_t> fifo_head_;
+  std::vector<std::uint32_t> fifo_count_;
   /// Head-of-line channel ownership: a channel accepts flits of only one
   /// packet at a time (wormhole: the worm occupies the channel from its
   /// head's allocation until its tail passes).
@@ -125,6 +139,26 @@ class FlitNetwork {
 
   [[nodiscard]] std::size_t channel_of(LinkId link, std::uint8_t vc) const {
     return static_cast<std::size_t>(vc) * g_->link_count() + link;
+  }
+
+  [[nodiscard]] std::size_t channel_count() const {
+    return static_cast<std::size_t>(params_.vc_count) * g_->link_count();
+  }
+  [[nodiscard]] std::uint32_t fifo_size(std::size_t c) const {
+    return fifo_count_[c];
+  }
+  [[nodiscard]] const Flit& fifo_front(std::size_t c) const {
+    return fifo_slots_[c * params_.buffer_flits + fifo_head_[c]];
+  }
+  void fifo_pop_front(std::size_t c) {
+    fifo_head_[c] = (fifo_head_[c] + 1) % params_.buffer_flits;
+    --fifo_count_[c];
+  }
+  void fifo_push_back(std::size_t c, const Flit& f) {
+    const std::uint32_t slot =
+        (fifo_head_[c] + fifo_count_[c]) % params_.buffer_flits;
+    fifo_slots_[c * params_.buffer_flits + slot] = f;
+    ++fifo_count_[c];
   }
 
   /// Attempts to move one flit across physical link `l`; returns true on

@@ -8,15 +8,78 @@
 
 namespace ihc {
 
+namespace {
+
+/// Calendar-queue bucket width: alpha/8, rounded up to a power of two by
+/// the queue (4096 ps at the default alpha = 20 ns).  Measured optimum
+/// for the event mix of the builtin campaigns - narrow enough that a
+/// bucket rarely holds more than a handful of events, wide enough that
+/// pops rarely cross empty buckets (see docs/PERFORMANCE.md).
+constexpr SimTime bucket_width_hint(const NetworkParams& p) {
+  return p.alpha / 8;
+}
+
+}  // namespace
+
 Network::Network(const Graph& g, const NetworkParams& params,
                  DeliveryLedger::Granularity granularity)
     : g_(&g),
       params_(params),
       busy_until_(g.link_count(), 0),
+      queue_(bucket_width_hint(params), params.legacy_engine),
       ledger_(g.node_count(), granularity),
       bg_rng_(params.seed),
       node_buffer_(g.node_count()) {
   params_.validate();
+}
+
+void Network::ensure_link_table() {
+  // The legacy baseline keeps the seed's adjacency scan; the table is
+  // bounded at 4 MiB so huge graphs fall back to the scan too.
+  if (link_flat_ != nullptr || params_.legacy_engine) return;
+  if (shared_routes_ != nullptr) {
+    link_flat_ = shared_routes_->link_table();
+    return;
+  }
+  constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+  const std::size_t n = g_->node_count();
+  if (n * n > kMaxEntries) return;
+  if (link_map_.empty()) {
+    link_map_.assign(n * n, kInvalidLink);
+    for (LinkId l = 0; l < g_->link_count(); ++l)
+      link_map_[static_cast<std::size_t>(g_->link_source(l)) * n +
+                g_->link_target(l)] = l;
+  }
+  link_flat_ = link_map_.data();
+}
+
+void Network::reset() { reset(params_, ledger_.granularity()); }
+
+void Network::reset(const NetworkParams& params,
+                    DeliveryLedger::Granularity granularity) {
+  params_ = params;
+  params_.validate();
+  faults_ = nullptr;
+  flows_.clear();
+  flow_finish_.clear();
+  std::fill(busy_until_.begin(), busy_until_.end(), 0);
+  queue_.reset(bucket_width_hint(params_), params_.legacy_engine);
+  link_flat_ = nullptr;  // re-resolved on the next run() (engine may change)
+  seq_ = 0;
+  pending_foreground_events_ = 0;
+  ledger_.reset(granularity);
+  stats_ = NetStats{};
+  bg_rng_ = SplitMix64(params_.seed);
+  completion_hook_ = nullptr;
+  bg_started_ = false;
+  bg_alive_ = 0;
+  active_routes_ = nullptr;  // routes_/shared_routes_ are graph-derived: kept
+  bg_mean_distance_ = 0.0;
+  bg_link_mean_gap_ = 0.0;
+  for (auto& held : node_buffer_) held.clear();
+  tracer_ = nullptr;
+  metrics_ = nullptr;
+  link_busy_.clear();
 }
 
 FlowId Network::add_flow(FlowSpec spec) {
@@ -48,8 +111,8 @@ FlowId Network::add_flow(FlowSpec spec) {
 
 void Network::push_header(SimTime time, FlowId flow, std::uint32_t pos,
                           NodeId corrupted_by) {
-  queue_.push(Event{time, seq_++, EventKind::kHeader, flow, pos,
-                    corrupted_by, kInvalidLink});
+  queue_.push(Event{time, seq_++, flow, pos, corrupted_by,
+                    EventKind::kHeader});
   if (!flows_[flow].background) ++pending_foreground_events_;
 }
 
@@ -94,6 +157,8 @@ void export_net_stats(const NetStats& stats, obs::MetricsRegistry& metrics) {
                 static_cast<std::int64_t>(stats.background_packets));
   metrics.count("net.deliveries",
                 static_cast<std::int64_t>(stats.deliveries));
+  metrics.count("net.events_processed",
+                static_cast<std::int64_t>(stats.events_processed));
   metrics.count("net.queue_wait_ps",
                 static_cast<std::int64_t>(stats.total_queue_wait));
   metrics.maximum("net.max_node_buffer_occupancy",
@@ -163,7 +228,7 @@ void Network::process_header(const Event& ev) {
     here = cp.cycle->at((cp.start + ev.pos) % cp.cycle->length());
   }
 
-  NodeId corrupted_by = ev.corrupted_by;
+  NodeId corrupted_by = ev.aux;
   SimTime slow_penalty = 0;  // extra relay delay of a kSlow node
 
   if (ev.pos > 0) {
@@ -200,7 +265,7 @@ void Network::process_header(const Event& ev) {
   const bool force_saf = params_.switching == Switching::kStoreAndForward;
   auto relay = [&](NodeId next, std::uint32_t next_pos, bool ct_allowed,
                    LinkId in_link) {
-    const LinkId l = g_->link(here, next);
+    const LinkId l = link_between(here, next);
     // A failed link loses the packet (and its downstream deliveries).
     if (faults_ != nullptr && faults_->link_failed(l)) {
       if (tracer_ != nullptr)
@@ -283,7 +348,7 @@ void Network::process_header(const Event& ev) {
       if (ev.pos > 0) {
         const NodeId parent_node =
             f.tree[static_cast<std::size_t>(f.tree[ev.pos].parent)].node;
-        in_link = g_->link(parent_node, here);
+        in_link = link_between(parent_node, here);
       }
       relay(f.tree[c].node, c, ct, in_link);
     }
@@ -296,7 +361,7 @@ void Network::process_header(const Event& ev) {
       if (ev.pos > 0) {
         const NodeId prev_node =
             cp.cycle->at((cp.start + ev.pos - 1) % cp.cycle->length());
-        in_link = g_->link(prev_node, here);
+        in_link = link_between(prev_node, here);
       }
       relay(next, ev.pos + 1, /*ct_allowed=*/true, in_link);
     } else if (completion_hook_ && !f.background) {
@@ -314,10 +379,16 @@ void Network::process_header(const Event& ev) {
 void Network::start_background_if_needed() {
   if (bg_started_ || params_.rho <= 0.0) return;
   bg_started_ = true;
+  bg_link_mean_gap_ = static_cast<double>(params_.background_mu) *
+                      static_cast<double>(params_.alpha) / params_.rho;
   if (params_.background_mode == BackgroundMode::kMultiHopFlows) {
-    routes_ = std::make_unique<RoutingTable>(*g_);
+    active_routes_ = shared_routes_;
+    if (active_routes_ == nullptr) {
+      if (!routes_) routes_ = std::make_unique<RoutingTable>(*g_);
+      active_routes_ = routes_.get();
+    }
     bg_mean_distance_ =
-        routes_->mean_distance_estimate(256, params_.seed ^ 0xD157ull);
+        active_routes_->mean_distance_estimate(256, params_.seed ^ 0xD157ull);
     if (bg_mean_distance_ <= 0.0) bg_mean_distance_ = 1.0;
   }
   restart_background_if_needed();
@@ -338,13 +409,12 @@ void Network::restart_background_if_needed() {
 }
 
 void Network::schedule_background_link(LinkId link, SimTime after) {
-  const double occupancy =
-      static_cast<double>(params_.background_mu) *
-      static_cast<double>(params_.alpha);
-  const double mean_gap = occupancy / params_.rho;
-  const auto gap = static_cast<SimTime>(bg_rng_.exponential(mean_gap));
-  queue_.push(Event{after + gap, seq_++, EventKind::kBackgroundLink, 0, 0,
-                    kInvalidNode, link});
+  // bg_link_mean_gap_ = background_mu * alpha / rho, hoisted out of the
+  // per-arrival path (bitwise the same value every call).
+  const auto gap =
+      static_cast<SimTime>(bg_rng_.exponential(bg_link_mean_gap_));
+  queue_.push(Event{after + gap, seq_++, 0, 0, link,
+                    EventKind::kBackgroundLink});
   ++bg_alive_;
 }
 
@@ -369,43 +439,44 @@ SimTime Network::background_flow_gap() {
 }
 
 void Network::schedule_background_flow(NodeId source, SimTime after) {
-  queue_.push(Event{after + background_flow_gap(), seq_++,
-                    EventKind::kBackgroundFlow, 0, 0, kInvalidNode,
-                    source});
+  queue_.push(Event{after + background_flow_gap(), seq_++, 0, 0, source,
+                    EventKind::kBackgroundFlow});
   ++bg_alive_;
 }
 
 void Network::process_background_link(const Event& ev) {
   // Background packets occupy just their link for one transmission.
-  const SimTime start = std::max(ev.time, busy_until_[ev.bg_link]);
+  const LinkId link = ev.aux;
+  const SimTime start = std::max(ev.time, busy_until_[link]);
   const SimTime until =
       start + static_cast<SimTime>(params_.background_mu) * params_.alpha;
-  reserve(ev.bg_link, start, until);
+  reserve(link, start, until);
   if (tracer_ != nullptr)
-    tracer_->xmit(start, until, ev.bg_link, "background",
+    tracer_->xmit(start, until, link, "background",
                   obs::TraceEvent::kUnset);
   ++stats_.background_packets;
   // Keep the process alive only while flow traffic remains.
   if (pending_foreground_events_ > 0)
-    schedule_background_link(ev.bg_link, ev.time);
+    schedule_background_link(link, ev.time);
 }
 
 void Network::process_background_flow(const Event& ev) {
-  const auto source = static_cast<NodeId>(ev.bg_link);
+  const auto source = static_cast<NodeId>(ev.aux);
   NodeId dest = source;
   while (dest == source)
     dest = static_cast<NodeId>(bg_rng_.below(g_->node_count()));
-  const std::vector<NodeId> path = routes_->shortest_path(source, dest);
+  bg_path_.clear();
+  active_routes_->path_into(source, dest, bg_path_);
 
   FlowSpec flow;
   flow.origin = source;
   flow.background = true;
   flow.inject_time = ev.time;
   flow.length_units = params_.background_mu;
-  flow.tree.reserve(path.size());
-  for (std::size_t i = 0; i < path.size(); ++i) {
+  flow.tree.reserve(bg_path_.size());
+  for (std::size_t i = 0; i < bg_path_.size(); ++i) {
     flow.tree.push_back(FlowTreeNode{
-        path[i], static_cast<std::int32_t>(i) - 1, i > 1});
+        bg_path_[i], static_cast<std::int32_t>(i) - 1, i > 1});
   }
   add_flow(std::move(flow));
   ++stats_.background_packets;
@@ -414,11 +485,12 @@ void Network::process_background_flow(const Event& ev) {
 }
 
 void Network::run() {
+  ensure_link_table();
   start_background_if_needed();
   restart_background_if_needed();
   while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+    const Event ev = queue_.pop_min();
+    ++stats_.events_processed;
     switch (ev.kind) {
       case EventKind::kBackgroundLink:
         --bg_alive_;

@@ -26,12 +26,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "graph/cycle.hpp"
 #include "graph/graph.hpp"
 #include "sim/delivery.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
 #include "sim/params.hpp"
 #include "sim/routing.hpp"
@@ -94,6 +94,7 @@ struct NetStats {
   std::uint64_t link_drops = 0;        ///< packets lost to failed links
   std::uint64_t background_packets = 0;
   std::uint64_t deliveries = 0;
+  std::uint64_t events_processed = 0;  ///< event-queue pops in run()
   SimTime total_queue_wait = 0;        ///< natural contention wait
   SimTime finish_time = 0;             ///< latest delivery tail arrival
   double link_busy_time = 0.0;         ///< sum of reserved link time (ps)
@@ -111,6 +112,25 @@ class Network {
   Network(const Graph& g, const NetworkParams& params,
           DeliveryLedger::Granularity granularity =
               DeliveryLedger::Granularity::kCounts);
+
+  /// Returns the network to its freshly-constructed state - flows,
+  /// events, statistics, ledger, background state, and attached hooks all
+  /// cleared; RNG reseeded - while keeping every arena's storage (event
+  /// buckets, per-link busy times, node buffers, ledger counters).  The
+  /// overload takes new timing parameters (and ledger granularity) so a
+  /// pooled network can serve successive campaign trials on the same
+  /// graph without reallocating.
+  void reset();
+  void reset(const NetworkParams& params,
+             DeliveryLedger::Granularity granularity =
+                 DeliveryLedger::Granularity::kCounts);
+
+  /// Shares a prebuilt routing table for multi-hop background traffic
+  /// (not owned; may be nullptr; must be built over the same graph).
+  /// RoutingTable is immutable after construction, so one instance may
+  /// back any number of concurrent trials; without this the network
+  /// builds a private table per instance.  Survives reset().
+  void set_routes(const RoutingTable* routes) { shared_routes_ = routes; }
 
   /// Optional Byzantine fault plan (not owned; may be nullptr).
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
@@ -170,20 +190,18 @@ class Network {
     kBackgroundFlow,  // a node generates a multi-hop background packet
   };
 
+  /// 24 bytes; `aux` is the corrupting relay for header events and the
+  /// background link / source-node id for background events (a header
+  /// never needs the latter, so the fields share a slot).  seq is a
+  /// per-run counter; 32 bits cover > 4e9 events per trial, far beyond
+  /// any simulated workload.
   struct Event {
     SimTime time;
-    std::uint64_t seq;  // tie-break for determinism
-    EventKind kind;
+    std::uint32_t seq;  // tie-break for determinism
     FlowId flow;
-    std::uint32_t pos;       // route position (hop index / tree index)
-    NodeId corrupted_by;     // packet state carried along the route
-    LinkId bg_link;          // background link / source-node id
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t pos;  // route position (hop index / tree index)
+    std::uint32_t aux;  // corrupted_by (header) / bg link or source (bg)
+    EventKind kind;
   };
 
   const Graph* g_;
@@ -192,8 +210,8 @@ class Network {
   std::vector<FlowSpec> flows_;
   std::vector<SimTime> flow_finish_;  // last delivery per flow
   std::vector<SimTime> busy_until_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::uint64_t seq_ = 0;
+  CalendarQueue<Event> queue_;
+  std::uint32_t seq_ = 0;
   std::uint64_t pending_foreground_events_ = 0;
   DeliveryLedger ledger_;
   NetStats stats_;
@@ -201,8 +219,22 @@ class Network {
   CompletionHook completion_hook_;
   bool bg_started_ = false;
   std::uint64_t bg_alive_ = 0;  // generator events currently in the queue
-  std::unique_ptr<RoutingTable> routes_;   // multi-hop background routing
+  /// Multi-hop background routing: the shared table when one is attached,
+  /// else a privately built one (kept across reset() - it depends only on
+  /// the graph).  active_routes_ caches whichever is in use.
+  const RoutingTable* shared_routes_ = nullptr;
+  std::unique_ptr<RoutingTable> routes_;
+  const RoutingTable* active_routes_ = nullptr;
+  /// Flat (u, v) -> LinkId table replacing Graph::link's adjacency scan on
+  /// the relay hot path: the shared routing table's when one is attached,
+  /// else a privately built copy (graph-derived, so it survives reset()).
+  /// Null for the legacy baseline engine (which keeps the seed's scan) and
+  /// for graphs too large to tabulate.
+  std::vector<LinkId> link_map_;
+  const LinkId* link_flat_ = nullptr;
   double bg_mean_distance_ = 0.0;
+  double bg_link_mean_gap_ = 0.0;     // hoisted single-link arrival mean
+  std::vector<NodeId> bg_path_;       // scratch for path_into()
   /// Outstanding intermediate-buffer residencies per node: release times
   /// of packets currently stored (purged lazily in event-time order).
   std::vector<std::vector<SimTime>> node_buffer_;
@@ -228,6 +260,12 @@ class Network {
 
   [[nodiscard]] std::uint32_t flow_length(const FlowSpec& f) const {
     return f.length_units ? f.length_units : params_.mu;
+  }
+
+  void ensure_link_table();
+  [[nodiscard]] LinkId link_between(NodeId u, NodeId v) const {
+    if (link_flat_ == nullptr) return g_->link(u, v);
+    return link_flat_[static_cast<std::size_t>(u) * g_->node_count() + v];
   }
 
   /// Store-and-forward transmission timing on one link.

@@ -1,3 +1,15 @@
-// params.hpp is header-only; this translation unit exists so the build
-// system has a stable anchor for the sim/ module.
 #include "sim/params.hpp"
+
+namespace ihc {
+
+namespace {
+bool g_engine_legacy = false;
+}  // namespace
+
+void set_default_engine_legacy(bool legacy) noexcept {
+  g_engine_legacy = legacy;
+}
+
+bool default_engine_legacy() noexcept { return g_engine_legacy; }
+
+}  // namespace ihc

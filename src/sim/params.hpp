@@ -28,6 +28,14 @@ constexpr SimTime sim_ns(std::int64_t v) { return v * 1'000; }
 constexpr SimTime sim_us(std::int64_t v) { return v * 1'000'000; }
 constexpr SimTime sim_ms(std::int64_t v) { return v * 1'000'000'000; }
 
+/// Process-wide default for NetworkParams::legacy_engine.  Lets the perf
+/// harness flip every Network constructed inside campaign trial lambdas
+/// (which build their own NetworkParams) onto the baseline engine without
+/// threading a flag through every campaign definition.  Not thread-safe;
+/// set it before launching workers and restore it after.
+void set_default_engine_legacy(bool legacy) noexcept;
+[[nodiscard]] bool default_engine_legacy() noexcept;
+
 /// How the background ("normal task") traffic of rho is generated.
 enum class BackgroundMode {
   /// Independent single-link occupancies: each link receives Poisson
@@ -78,6 +86,14 @@ struct NetworkParams {
 
   /// RNG seed for background traffic arrivals.
   std::uint64_t seed = 0x5eedULL;
+
+  /// Run the event loop on the legacy binary-heap engine with the seed's
+  /// per-call route/gap computations, instead of the calendar queue and
+  /// precomputed caches.  Simulated results are identical either way
+  /// (asserted in tests/test_sim_golden.cpp); the flag exists so
+  /// `ihc_cli bench-perf` can measure both engines in one run.  Defaults
+  /// to the process-wide value (see set_default_engine_legacy).
+  bool legacy_engine = default_engine_legacy();
 
   void validate() const {
     require(alpha > 0, "alpha must be positive");

@@ -9,66 +9,64 @@ namespace ihc {
 
 RoutingTable::RoutingTable(const Graph& g)
     : g_(&g),
-      towards_(g.node_count()),
-      dist_(g.node_count()) {}
-
-void RoutingTable::build_for(NodeId dst) {
-  auto& next = towards_[dst];
-  if (!next.empty()) return;
-  const NodeId n = g_->node_count();
-  next.assign(n, kInvalidNode);
-  auto& dist = dist_[dst];
-  dist.assign(n, static_cast<std::uint32_t>(-1));
-  // BFS from dst; next[v] = the neighbor of v that is closer to dst
-  // (lowest id among equals, fixed by sorted adjacency + FIFO order).
+      n_(g.node_count()),
+      towards_(static_cast<std::size_t>(n_) * n_, kInvalidNode),
+      dist_(static_cast<std::size_t>(n_) * n_,
+            static_cast<std::uint16_t>(-1)),
+      links_(static_cast<std::size_t>(n_) * n_, kInvalidLink) {
+  // BFS from each destination; towards[(v, dst)] = the neighbor of v that
+  // is closer to dst (lowest id among equals, fixed by sorted adjacency +
+  // FIFO order).  Unreachable pairs keep kInvalidNode / distance 0xFFFF.
   std::queue<NodeId> queue;
-  dist[dst] = 0;
-  queue.push(dst);
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop();
-    for (const auto& a : g_->neighbors(v)) {
-      if (dist[a.neighbor] != static_cast<std::uint32_t>(-1)) continue;
-      dist[a.neighbor] = dist[v] + 1;
-      next[a.neighbor] = v;
-      queue.push(a.neighbor);
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    dist_[index(dst, dst)] = 0;
+    queue.push(dst);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (const auto& a : g_->neighbors(v)) {
+        if (dist_[index(a.neighbor, dst)] !=
+            static_cast<std::uint16_t>(-1))
+          continue;
+        dist_[index(a.neighbor, dst)] =
+            static_cast<std::uint16_t>(dist_[index(v, dst)] + 1);
+        towards_[index(a.neighbor, dst)] = v;
+        queue.push(a.neighbor);
+      }
     }
   }
+  // Directed link-id cache: one load replaces Graph::link()'s scan.
+  for (LinkId l = 0; l < g_->link_count(); ++l)
+    links_[index(g_->link_source(l), g_->link_target(l))] = l;
 }
 
-std::vector<NodeId> RoutingTable::shortest_path(NodeId src, NodeId dst) {
-  require(src < g_->node_count() && dst < g_->node_count(),
-          "endpoint out of range");
-  build_for(dst);
-  std::vector<NodeId> path{src};
-  NodeId cur = src;
-  while (cur != dst) {
-    cur = towards_[dst][cur];
-    IHC_ENSURE(cur != kInvalidNode, "graph is disconnected");
-    path.push_back(cur);
-  }
+std::vector<NodeId> RoutingTable::shortest_path(NodeId src,
+                                                NodeId dst) const {
+  std::vector<NodeId> path;
+  path_into(src, dst, path);
   return path;
 }
 
-NodeId RoutingTable::next_hop(NodeId at, NodeId dst) {
-  build_for(dst);
-  return towards_[dst][at];
-}
-
-std::uint32_t RoutingTable::distance(NodeId src, NodeId dst) {
-  build_for(dst);
-  return dist_[dst][src];
+void RoutingTable::path_into(NodeId src, NodeId dst,
+                             std::vector<NodeId>& out) const {
+  require(src < n_ && dst < n_, "endpoint out of range");
+  out.push_back(src);
+  NodeId cur = src;
+  while (cur != dst) {
+    cur = towards_[index(cur, dst)];
+    IHC_ENSURE(cur != kInvalidNode, "graph is disconnected");
+    out.push_back(cur);
+  }
 }
 
 double RoutingTable::mean_distance_estimate(std::size_t samples,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed) const {
   SplitMix64 rng(seed);
-  const NodeId n = g_->node_count();
   double total = 0;
   std::size_t counted = 0;
   for (std::size_t i = 0; i < samples; ++i) {
-    const auto a = static_cast<NodeId>(rng.below(n));
-    const auto b = static_cast<NodeId>(rng.below(n));
+    const auto a = static_cast<NodeId>(rng.below(n_));
+    const auto b = static_cast<NodeId>(rng.below(n_));
     if (a == b) continue;
     total += distance(a, b);
     ++counted;

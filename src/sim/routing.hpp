@@ -5,10 +5,21 @@
 /// point-to-point traffic that itself uses cut-through switching.  To
 /// model it faithfully the simulator routes background packets along
 /// shortest paths (BFS with lowest-neighbor-id tie-breaking, which on a
-/// hypercube reproduces dimension-ordered / e-cube routes).  Per-
-/// destination next-hop tables are computed lazily and cached.
+/// hypercube reproduces dimension-ordered / e-cube routes).
+///
+/// The table is built eagerly: one BFS per destination fills flat
+/// (src, dst)-indexed next-hop, distance, and link-id arrays - a plain
+/// dense cache with no eviction, so every lookup is one array load.
+/// After construction the table is immutable and every accessor is
+/// const, which makes a single instance safely shareable across
+/// concurrent campaign trials (see AtaOptions::routes); the shared-table
+/// path is exercised under TSan in tests/test_route_share.cpp.
+///
+/// Memory is Theta(node_count^2): ~10 bytes per ordered pair, i.e. ~10 MB
+/// for the 1024-node Q_10 - paid once per topology instead of per trial.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -17,30 +28,55 @@ namespace ihc {
 
 class RoutingTable {
  public:
+  /// Builds the all-pairs tables; O(node_count * (nodes + links)).
   /// \param g host graph (must outlive the table)
   explicit RoutingTable(const Graph& g);
 
   /// Shortest path from src to dst (inclusive of both endpoints).
-  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId src, NodeId dst);
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId src,
+                                                  NodeId dst) const;
+
+  /// Appends the shortest path from src to dst (inclusive) to `out`
+  /// without clearing it - the allocation-free form of shortest_path()
+  /// for hot paths that reuse a scratch vector.
+  void path_into(NodeId src, NodeId dst, std::vector<NodeId>& out) const;
 
   /// The neighbor of `at` on the canonical shortest path towards `dst`.
-  [[nodiscard]] NodeId next_hop(NodeId at, NodeId dst);
+  [[nodiscard]] NodeId next_hop(NodeId at, NodeId dst) const {
+    return towards_[index(at, dst)];
+  }
 
   /// Hop distance between two nodes.
-  [[nodiscard]] std::uint32_t distance(NodeId src, NodeId dst);
+  [[nodiscard]] std::uint32_t distance(NodeId src, NodeId dst) const {
+    return dist_[index(src, dst)];
+  }
+
+  /// The directed link u -> v, or kInvalidLink when not adjacent -
+  /// replaces Graph::link()'s adjacency scan with one array load.
+  [[nodiscard]] LinkId link(NodeId u, NodeId v) const {
+    return links_[index(u, v)];
+  }
+
+  /// Raw row-major (src, dst) -> LinkId table (n*n entries) - lets the
+  /// simulator's relay hot path index links with a single load.
+  [[nodiscard]] const LinkId* link_table() const { return links_.data(); }
 
   /// Mean shortest-path length over sampled pairs (used to calibrate
   /// background-traffic injection rates).
   [[nodiscard]] double mean_distance_estimate(std::size_t samples,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed) const;
 
  private:
   const Graph* g_;
-  /// towards_[dst][v] = next hop from v towards dst (kInvalidNode at dst).
-  std::vector<std::vector<NodeId>> towards_;
-  std::vector<std::vector<std::uint32_t>> dist_;
+  NodeId n_;
+  /// Flat (src, dst) tables: row = first index, column = second.
+  std::vector<NodeId> towards_;        ///< next hop from src towards dst
+  std::vector<std::uint16_t> dist_;    ///< hop distance
+  std::vector<LinkId> links_;          ///< directed link id u -> v
 
-  void build_for(NodeId dst);
+  [[nodiscard]] std::size_t index(NodeId a, NodeId b) const {
+    return static_cast<std::size_t>(a) * n_ + b;
+  }
 };
 
 }  // namespace ihc

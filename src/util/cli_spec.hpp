@@ -35,6 +35,9 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
     {"trace",
      "trace --campaign <name> [--filter <s>] [--out <file>]",
      "re-run one campaign trial with event tracing (ihc-trace-v1)"},
+    {"bench-perf",
+     "bench-perf [--quick] [--repeats <n>] [--out <file>]",
+     "measure simulator throughput vs the legacy engine (ihc-bench-v1)"},
 };
 
 inline constexpr std::size_t kCliSubcommandCount =

@@ -1,0 +1,136 @@
+// The calendar queue must pop in exactly the (time, seq) order the
+// legacy binary heap produces - that equivalence is what makes the
+// optimized engine "observably invisible" (docs/PERFORMANCE.md).  These
+// tests cross-check the two engines on randomized schedules that hit
+// every structural path: dense same-time buckets, the spill heap beyond
+// the ring horizon, interleaved push/pop (inserts into the sorted
+// current bucket), and arena reuse via reset().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+namespace {
+
+struct TestEvent {
+  SimTime time = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t payload = 0;
+};
+
+using Queue = CalendarQueue<TestEvent>;
+
+std::vector<TestEvent> drain(Queue& q) {
+  std::vector<TestEvent> out;
+  while (!q.empty()) out.push_back(q.pop_min());
+  return out;
+}
+
+void expect_same_order(const std::vector<TestEvent>& a,
+                       const std::vector<TestEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << "at pop " << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << "at pop " << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << "at pop " << i;
+  }
+}
+
+TEST(EventQueue, MatchesHeapOnRandomPushThenDrain) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SplitMix64 rng(seed);
+    Queue cal(/*width_hint=*/4096, /*legacy=*/false);
+    Queue heap(/*width_hint=*/4096, /*legacy=*/true);
+    std::uint32_t seq = 0;
+    for (int i = 0; i < 5000; ++i) {
+      // Cluster times tightly (same-bucket collisions) but include
+      // far-future outliers that must take the spill-heap path.
+      const SimTime t = rng.below(100) == 0
+                            ? static_cast<SimTime>(rng.below(1u << 26))
+                            : static_cast<SimTime>(rng.below(1u << 14));
+      const TestEvent ev{t, seq++, static_cast<std::uint32_t>(i)};
+      cal.push(ev);
+      heap.push(ev);
+    }
+    expect_same_order(drain(cal), drain(heap));
+  }
+}
+
+TEST(EventQueue, MatchesHeapOnInterleavedPushPop) {
+  SplitMix64 rng(42);
+  Queue cal(/*width_hint=*/1024, /*legacy=*/false);
+  Queue heap(/*width_hint=*/1024, /*legacy=*/true);
+  std::uint32_t seq = 0;
+  SimTime now = 0;
+  std::vector<TestEvent> cal_pops;
+  std::vector<TestEvent> heap_pops;
+  for (int round = 0; round < 2000; ++round) {
+    // A simulation step: pop one event, schedule a few successors at
+    // now + small increments (the pattern the simulator produces).
+    if (!cal.empty()) {
+      const TestEvent ev = cal.pop_min();
+      cal_pops.push_back(ev);
+      heap_pops.push_back(heap.pop_min());
+      now = ev.time;
+    }
+    const int births = static_cast<int>(rng.below(4));
+    for (int k = 0; k < births; ++k) {
+      const SimTime t = now + static_cast<SimTime>(rng.below(40'000));
+      const TestEvent ev{t, seq++, static_cast<std::uint32_t>(round)};
+      cal.push(ev);
+      heap.push(ev);
+    }
+  }
+  const std::vector<TestEvent> cal_rest = drain(cal);
+  const std::vector<TestEvent> heap_rest = drain(heap);
+  cal_pops.insert(cal_pops.end(), cal_rest.begin(), cal_rest.end());
+  heap_pops.insert(heap_pops.end(), heap_rest.begin(), heap_rest.end());
+  expect_same_order(cal_pops, heap_pops);
+}
+
+TEST(EventQueue, SameTimeEventsPopInSeqOrder) {
+  Queue q(/*width_hint=*/4096, /*legacy=*/false);
+  // Push same-time events out of seq order via two batches.
+  for (std::uint32_t s : {3u, 1u, 4u, 0u, 2u}) q.push({1000, s, s});
+  std::uint32_t expected = 0;
+  while (!q.empty()) EXPECT_EQ(q.pop_min().seq, expected++);
+}
+
+TEST(EventQueue, ResetRetainsNothingAndReusesCleanly) {
+  SplitMix64 rng(7);
+  Queue q(/*width_hint=*/2048, /*legacy=*/false);
+  Queue ref(/*width_hint=*/2048, /*legacy=*/true);
+  for (int run = 0; run < 3; ++run) {
+    q.reset(/*width_hint=*/2048, /*legacy=*/false);
+    ref.reset(/*width_hint=*/2048, /*legacy=*/true);
+    EXPECT_TRUE(q.empty());
+    std::uint32_t seq = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const TestEvent ev{static_cast<SimTime>(rng.below(1u << 22)), seq++,
+                         static_cast<std::uint32_t>(run)};
+      q.push(ev);
+      ref.push(ev);
+    }
+    expect_same_order(drain(q), drain(ref));
+  }
+}
+
+TEST(EventQueue, WidthHintOfOneStillOrdersCorrectly) {
+  Queue q(/*width_hint=*/1, /*legacy=*/false);
+  Queue ref(/*width_hint=*/1, /*legacy=*/true);
+  SplitMix64 rng(9);
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const TestEvent ev{static_cast<SimTime>(rng.below(5000)), seq++, 0};
+    q.push(ev);
+    ref.push(ev);
+  }
+  expect_same_order(drain(q), drain(ref));
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,142 @@
+// Campaigns build one RoutingTable per topology and every trial worker
+// reads it concurrently (AtaOptions::routes) - immutable sharing that
+// must be (a) semantically invisible: identical results with a private
+// table, at any --jobs; and (b) data-race free: this suite drives the
+// shared table from 8 worker threads, so a
+// `cmake -DIHC_SANITIZE=thread` build turns it into a TSan check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ihc.hpp"
+#include "exp/campaign.hpp"
+#include "exp/runner.hpp"
+#include "sim/routing.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+namespace {
+
+/// A small multi-hop-background campaign on Q_4: every trial routes
+/// background flows through the routing table, the hot path the sharing
+/// optimizes.  `routes == nullptr` makes each Network derive its own
+/// private tables (the unshared baseline).
+exp::Campaign make_share_campaign(const Hypercube& cube,
+                                  const RoutingTable* routes) {
+  exp::Campaign campaign;
+  campaign.spec.name = "route_share_probe";
+  campaign.spec.description = "Q_4 multi-hop background, shared routes";
+  campaign.spec.axes = {
+      {"rho", {0.1, 0.2, 0.3, 0.4}},
+      {"eta", {std::int64_t(2), std::int64_t(4)}},
+  };
+  campaign.spec.replicas = 2;
+  campaign.run = [&cube, routes](const exp::Trial& trial,
+                                 exp::TrialContext& ctx) {
+    AtaOptions opt;
+    opt.net.alpha = sim_ns(20);
+    opt.net.tau_s = sim_ns(200);
+    opt.net.mu = 2;
+    opt.net.background_mu = 4;
+    opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+    opt.net.rho = trial.get_double("rho");
+    opt.net.seed = trial.seed;
+    opt.metrics = &ctx.metrics;
+    opt.routes = routes;
+    const IhcOptions io{.eta = static_cast<std::uint32_t>(
+        trial.get_int("eta"))};
+    const AtaResult run = run_ihc(cube, io, opt);
+    return std::vector<exp::Metric>{
+        {"finish_ps", static_cast<double>(run.finish)},
+        {"buffered", static_cast<double>(run.stats.buffered_relays)},
+        {"bg_packets", static_cast<double>(run.stats.background_packets)},
+    };
+  };
+  return campaign;
+}
+
+std::vector<double> finish_times(const exp::CampaignResult& result) {
+  std::vector<double> out;
+  for (const exp::TrialResult& t : result.trials) {
+    EXPECT_TRUE(t.ok) << t.trial.id << ": " << t.error;
+    for (const exp::Metric& m : t.metrics)
+      if (m.name == "finish_ps") out.push_back(m.value);
+  }
+  return out;
+}
+
+TEST(RouteShare, SharedTableUnderEightJobsMatchesSerialAndPrivate) {
+  const Hypercube cube(4);
+  (void)cube.directed_cycles();
+  const auto routes = std::make_shared<const RoutingTable>(cube.graph());
+
+  exp::RunOptions serial;
+  serial.jobs = 1;
+  exp::RunOptions parallel;
+  parallel.jobs = 8;
+
+  // Shared table, 8 worker threads - the TSan target.
+  const std::vector<double> shared_parallel =
+      finish_times(exp::run_campaign(make_share_campaign(cube, routes.get()),
+                                     parallel));
+  // Shared table, serial.
+  const std::vector<double> shared_serial =
+      finish_times(exp::run_campaign(make_share_campaign(cube, routes.get()),
+                                     serial));
+  // Private per-network tables, serial: the semantics baseline.
+  const std::vector<double> private_serial = finish_times(
+      exp::run_campaign(make_share_campaign(cube, nullptr), serial));
+
+  ASSERT_EQ(shared_parallel.size(), 16u);
+  EXPECT_EQ(shared_parallel, shared_serial);
+  EXPECT_EQ(shared_serial, private_serial);
+}
+
+TEST(RouteShare, TableReuseAcrossRepeatedCampaignRuns) {
+  // One table serves many campaign executions (the bench-perf repeat
+  // loop does exactly this); results must not drift run to run.
+  const Hypercube cube(4);
+  (void)cube.directed_cycles();
+  const auto routes = std::make_shared<const RoutingTable>(cube.graph());
+  exp::RunOptions ro;
+  ro.jobs = 8;
+  const std::vector<double> first =
+      finish_times(exp::run_campaign(make_share_campaign(cube, routes.get()),
+                                     ro));
+  for (int run = 0; run < 2; ++run) {
+    const std::vector<double> again = finish_times(
+        exp::run_campaign(make_share_campaign(cube, routes.get()), ro));
+    EXPECT_EQ(first, again) << "run " << run;
+  }
+}
+
+TEST(RouteShare, LinkTableAgreesWithGraphAdjacency) {
+  // The flat (src,dst) -> LinkId table the simulator reads must agree
+  // with the graph's own adjacency resolution on every edge, and hold
+  // the invalid sentinel everywhere else.
+  const Hypercube cube(4);
+  const Graph& g = cube.graph();
+  const RoutingTable routes(g);
+  const LinkId* flat = routes.link_table();
+  const std::size_t n = g.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<bool> adjacent(n, false);
+    for (const auto& adj : g.neighbors(u)) {
+      adjacent[adj.neighbor] = true;
+      EXPECT_EQ(flat[std::size_t(u) * n + adj.neighbor],
+                g.link(u, adj.neighbor))
+          << "(" << u << "," << adj.neighbor << ")";
+    }
+    for (NodeId v = 0; v < n; ++v)
+      if (!adjacent[v])
+        EXPECT_EQ(flat[std::size_t(u) * n + v], kInvalidLink)
+            << "(" << u << "," << v << ")";
+  }
+}
+
+}  // namespace
+}  // namespace ihc

@@ -1,0 +1,186 @@
+// Golden simulation vectors, captured from the seed simulator BEFORE
+// the calendar-queue / flat-route-table / pooled-arena optimizations
+// landed.  Every optimization must be observably invisible: both
+// engines (calendar and legacy binary heap) must reproduce these exact
+// finish times and statistics, and a pooled, reset() network must match
+// a freshly constructed one bit for bit.  If an "optimization" moves
+// any number here, it changed simulation semantics - fix the code, do
+// not re-capture the goldens.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ihc.hpp"
+#include "core/vsq.hpp"
+#include "sim/flit_network.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+
+namespace ihc {
+namespace {
+
+struct PacketGolden {
+  const char* name;
+  SimTime finish;
+  std::uint64_t cut_throughs;
+  std::uint64_t buffered_relays;
+  std::uint64_t deliveries;
+  std::uint64_t background_packets;
+  SimTime total_queue_wait;
+};
+
+// Captured from commit e2cae7d (pre-optimization seed), alpha = 20ns,
+// tau_S = 200ns, mu = 2.
+constexpr PacketGolden kPacketGoldens[] = {
+    {"q4_ihc_vct_dedicated", 1040000, 896, 0, 960, 0, 0},
+    {"q4_ihc_saf", 7200000, 0, 896, 960, 0, 0},
+    {"q4_ihc_wormhole_rho03", 5767029, 338, 0, 960, 680, 105023317},
+    {"q4_ihc_multihop_rho035", 20989906, 964, 833, 960, 833, 1671197828},
+    {"q4_ihc_percycle_rho02", 6370344, 565, 331, 960, 531, 63849234},
+    {"sq4_ihc_vct_dedicated", 1040000, 896, 0, 960, 0, 0},
+    {"sq4_ihc_multihop_wormhole_rho04", 177160133, 2923, 0, 960, 8381,
+     182858807295},
+    {"sq4_vsq_dedicated", 9280000, 704, 256, 1024, 0, 0},
+};
+
+AtaOptions base_opt(bool legacy) {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_ns(200);
+  opt.net.mu = 2;
+  opt.net.legacy_engine = legacy;
+  return opt;
+}
+
+AtaResult run_golden_workload(const char* name, bool legacy) {
+  const std::string id(name);
+  if (id.rfind("q4_", 0) == 0) {
+    const Hypercube q4(4);
+    AtaOptions opt = base_opt(legacy);
+    if (id == "q4_ihc_vct_dedicated")
+      return run_ihc(q4, IhcOptions{.eta = 2}, opt);
+    if (id == "q4_ihc_saf") {
+      opt.net.switching = Switching::kStoreAndForward;
+      return run_ihc(q4, IhcOptions{.eta = 2}, opt);
+    }
+    if (id == "q4_ihc_wormhole_rho03") {
+      opt.net.switching = Switching::kWormhole;
+      opt.net.rho = 0.3;
+      opt.net.seed = 7;
+      return run_ihc(q4, IhcOptions{.eta = 2}, opt);
+    }
+    if (id == "q4_ihc_multihop_rho035") {
+      opt.net.rho = 0.35;
+      opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+      opt.net.seed = 99;
+      return run_ihc(q4, IhcOptions{.eta = 2}, opt);
+    }
+    if (id == "q4_ihc_percycle_rho02") {
+      opt.net.rho = 0.2;
+      opt.net.seed = 11;
+      return run_ihc(
+          q4, IhcOptions{.eta = 2, .barrier = StageBarrier::kPerCycle}, opt);
+    }
+  }
+  const SquareMesh sq4(4);
+  AtaOptions opt = base_opt(legacy);
+  if (id == "sq4_ihc_vct_dedicated")
+    return run_ihc(sq4, IhcOptions{.eta = 2}, opt);
+  if (id == "sq4_ihc_multihop_wormhole_rho04") {
+    opt.net.switching = Switching::kWormhole;
+    opt.net.rho = 0.4;
+    opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+    opt.net.seed = 5;
+    return run_ihc(sq4, IhcOptions{.eta = 2}, opt);
+  }
+  EXPECT_EQ(id, "sq4_vsq_dedicated") << "unknown golden workload";
+  return run_vsq_ata(sq4, opt);
+}
+
+void expect_matches(const PacketGolden& g, const AtaResult& r,
+                    const char* engine) {
+  EXPECT_EQ(r.finish, g.finish) << g.name << " on " << engine;
+  EXPECT_EQ(r.stats.cut_throughs, g.cut_throughs) << g.name << " " << engine;
+  EXPECT_EQ(r.stats.buffered_relays, g.buffered_relays)
+      << g.name << " " << engine;
+  EXPECT_EQ(r.stats.deliveries, g.deliveries) << g.name << " " << engine;
+  EXPECT_EQ(r.stats.background_packets, g.background_packets)
+      << g.name << " " << engine;
+  EXPECT_EQ(r.stats.total_queue_wait, g.total_queue_wait)
+      << g.name << " " << engine;
+}
+
+TEST(SimGolden, CalendarEngineMatchesSeedGoldens) {
+  for (const PacketGolden& g : kPacketGoldens)
+    expect_matches(g, run_golden_workload(g.name, /*legacy=*/false),
+                   "calendar");
+}
+
+TEST(SimGolden, LegacyHeapEngineMatchesSeedGoldens) {
+  for (const PacketGolden& g : kPacketGoldens)
+    expect_matches(g, run_golden_workload(g.name, /*legacy=*/true),
+                   "legacy-heap");
+}
+
+struct FlitGolden {
+  const char* name;
+  bool deadlocked;
+  std::uint64_t cycles;
+  std::uint64_t delivered;
+  std::uint64_t flit_hops;
+  std::uint64_t blocked_packets;
+  std::uint8_t vc_count;
+  bool dally_seitz;
+  std::uint32_t eta;
+};
+
+// Flit-level H_3 goldens (4 flits per worm, 2-deep FIFOs), captured
+// from the same seed commit.
+constexpr FlitGolden kFlitGoldens[] = {
+    {"h3_flit_ds_vc2_eta2", false, 65, 60, 4080, 0, 2, true, 2},
+    {"h3_flit_naive_vc1_eta1", true, 1002, 0, 0, 114, 1, false, 1},
+    {"h3_flit_naive_vc2_eta2", true, 1004, 0, 108, 60, 2, false, 2},
+};
+
+void expect_matches(const FlitGolden& g, const FlitRunResult& r,
+                    const char* how) {
+  EXPECT_EQ(r.deadlocked, g.deadlocked) << g.name << " " << how;
+  EXPECT_EQ(r.cycles, g.cycles) << g.name << " " << how;
+  EXPECT_EQ(r.delivered, g.delivered) << g.name << " " << how;
+  EXPECT_EQ(r.flit_hops, g.flit_hops) << g.name << " " << how;
+  EXPECT_EQ(r.blocked_packets, g.blocked_packets) << g.name << " " << how;
+}
+
+TEST(SimGolden, FlitNetworkMatchesSeedGoldens) {
+  const HexMesh h3(3);
+  for (const FlitGolden& g : kFlitGoldens) {
+    FlitNetwork net(h3.graph(),
+                    FlitParams{.vc_count = g.vc_count, .buffer_flits = 2});
+    for (const FlitPacketSpec& p : ihc_flit_packets(h3, g.eta, 4,
+                                                    g.dally_seitz))
+      net.add_packet(FlitPacketSpec(p));
+    expect_matches(g, net.run(200'000), "fresh");
+  }
+}
+
+TEST(SimGolden, PooledFlitNetworkResetMatchesFreshConstruction) {
+  // One network object replays all three goldens via reset(params) -
+  // the arena-reuse path campaigns take - and must match the
+  // fresh-construction numbers exactly, in any order.
+  const HexMesh h3(3);
+  FlitNetwork net(h3.graph(), FlitParams{.vc_count = 1, .buffer_flits = 2});
+  for (int round = 0; round < 2; ++round) {
+    for (const FlitGolden& g : kFlitGoldens) {
+      net.reset(FlitParams{.vc_count = g.vc_count, .buffer_flits = 2});
+      for (const FlitPacketSpec& p : ihc_flit_packets(h3, g.eta, 4,
+                                                      g.dally_seitz))
+        net.add_packet(FlitPacketSpec(p));
+      expect_matches(g, net.run(200'000), "pooled-reset");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ihc

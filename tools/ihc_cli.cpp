@@ -47,6 +47,14 @@
 //                       (default: the campaign's first trial)
 //       --out <file>    output path (default <campaign>.trace.json)
 //
+//   ihc_cli bench-perf [options]
+//       Time the pinned performance workloads on the optimized calendar
+//       engine and the legacy binary-heap baseline in the same process;
+//       writes an ihc-bench-v1 JSON report (see docs/PERFORMANCE.md).
+//       --quick         fewer repeats + filtered grids (CI smoke)
+//       --repeats <n>   timed repetitions per engine (min is reported)
+//       --out <file>    output path (default BENCH_PR3.json)
+//
 // The subcommand table lives in src/util/cli_spec.hpp; usage() renders
 // it, and tests/test_cli_help.cpp + scripts/check_docs.py keep this
 // header, the help text and the Markdown docs in sync.
@@ -54,6 +62,7 @@
 // Topology grammar: Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -96,10 +105,12 @@ struct Args {
   std::int64_t tau_s_ns = 5000;
   double rho = 0.0;
   unsigned jobs = 0;  // 0 = hardware concurrency
+  int repeats = 0;  // 0 = bench default
   bool multihop = false;
   bool single_link = false;
   bool list = false;
   bool metrics = false;
+  bool quick = false;
   bool seed_given = false;
   std::uint64_t seed = 0;  // default derived from the run coordinates
 };
@@ -142,8 +153,10 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--filter") args.filter = next();
     else if (a == "--json-out") args.json_out = next();
     else if (a == "--campaign") args.campaign = next();
+    else if (a == "--repeats") args.repeats = static_cast<int>(std::stol(next()));
     else if (a == "--list") args.list = true;
     else if (a == "--metrics") args.metrics = true;
+    else if (a == "--quick") args.quick = true;
     else if (a == "--multihop") args.multihop = true;
     else if (a == "--single-link") args.single_link = true;
     else if (!a.empty() && a[0] == '-')
@@ -402,6 +415,42 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_bench_perf(const Args& args) {
+  exp::BenchOptions options;
+  options.quick = args.quick;
+  options.repeats = args.repeats;
+  const exp::BenchReport report = exp::run_bench(options);
+
+  AsciiTable table("ihc-bench-v1 performance report");
+  table.set_header({"job", "wall_ms", "legacy_ms", "speedup", "events/s",
+                    "trials/s"});
+  for (const exp::BenchJob& job : report.jobs) {
+    const bool ab = job.legacy_wall_ms > 0.0;
+    table.add_row(
+        {job.name, fmt_double(job.wall_ms, 1),
+         ab ? fmt_double(job.legacy_wall_ms, 1) : "-",
+         ab ? fmt_double(job.speedup_vs_legacy, 2) + "x" : "-",
+         job.events > 0 ? fmt_double(job.events_per_sec, 0) : "-",
+         job.trials > 0 ? fmt_double(job.trials_per_sec, 1) : "-"});
+  }
+  table.print();
+
+  const std::string path = args.out.empty() ? "BENCH_PR3.json" : args.out;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "cannot open " + path + " for writing");
+  out << report.to_json().dump(2) << "\n";
+  out.close();
+  require(out.good(), "failed writing " + path);
+  std::printf("\nwrote %s (schema ihc-bench-v1, %d repeat(s), min "
+              "reported%s)\n",
+              path.c_str(), report.repeats,
+              report.quick ? ", --quick" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -415,6 +464,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "bench-perf") return cmd_bench_perf(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
