@@ -14,10 +14,20 @@ them as part of tier-1 when a build is available):
    docs promise it, and docs/TRACING.md must cover every event of the
    ihc-trace-v1 schema.
 
-Plus one data check: every BENCH_*.json at the repo root (the tracked
+3. Metric naming drift: every metric key the simulators emit into an
+   obs::MetricsRegistry (count/observe/maximum call sites under src/)
+   must appear in docs/TRACING.md's metrics table, and vice versa — a
+   documented key nothing emits is equally a bug.
+4. Analysis schema drift: every field of the ihc-analysis-v1 schema
+   (obs/analyze/analysis.cpp to_json) must be documented in
+   docs/ANALYSIS.md.
+
+Plus two data checks: every BENCH_*.json at the repo root (the tracked
 performance baselines written by `ihc_cli bench-perf`, see
-docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document — correct
-schema tag and every job carrying the full field set the docs promise.
+docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document, and every
+ANALYSIS_*.json anywhere under the repo (e.g. the analyze-smoke CI
+artifact) must be a valid ihc-analysis-v1 document — correct schema
+tag and the full top-level structure the docs promise.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.
 """
@@ -92,6 +102,10 @@ def check_cli_surface(problems):
         if needle not in experiments:
             problems.append(f"EXPERIMENTS.md: metrics block not documented "
                             f"(missing {needle})")
+    for needle in ("--analyze", '"analysis"'):
+        if needle not in experiments:
+            problems.append(f"EXPERIMENTS.md: analysis block not documented "
+                            f"(missing {needle})")
 
     if "ihc-trace-v1" not in tracing:
         problems.append("docs/TRACING.md: schema name ihc-trace-v1 missing")
@@ -147,11 +161,116 @@ def check_bench_reports(problems):
                                 "matching job")
 
 
+# Metric keys are namespaced by engine (sim/network -> net.*, runners ->
+# ihc./ata./frs.*, sim/flit_network -> flit.*).  The emit regex tolerates
+# a line break between the call and the key (clang-format wraps long
+# observe() calls); the doc regex only accepts backticked keys in
+# docs/TRACING.md so prose mentions cannot mask a missing table row.
+METRIC_EMIT = re.compile(
+    r'(?:count|observe|maximum)\(\s*"((?:net|ihc|ata|frs|flit)\.[a-z0-9_.]+)"')
+METRIC_DOC = re.compile(r"`((?:net|ihc|ata|frs|flit)\.[a-z0-9_.]+)`")
+
+
+def check_metric_names(problems):
+    emitted = set()
+    for path in sorted((REPO / "src").rglob("*.cpp")):
+        emitted |= set(METRIC_EMIT.findall(path.read_text(encoding="utf-8")))
+    if len(emitted) < 15:
+        raise SystemExit(f"check_docs: only {len(emitted)} emitted metrics "
+                         "found; emit-site parser broken?")
+    tracing = (REPO / "docs/TRACING.md").read_text(encoding="utf-8")
+    documented = set(METRIC_DOC.findall(tracing))
+    for name in sorted(emitted - documented):
+        problems.append(f"docs/TRACING.md: metric '{name}' is emitted but "
+                        "undocumented")
+    for name in sorted(documented - emitted):
+        problems.append(f"docs/TRACING.md: metric '{name}' is documented "
+                        "but never emitted")
+
+
+# Structure of the ihc-analysis-v1 schema (obs/analyze/analysis.cpp
+# to_json; docs/ANALYSIS.md documents exactly these).
+ANALYSIS_TOP_FIELDS = [
+    "schema", "trace", "critical_path", "stages", "utilization", "lint",
+]
+ANALYSIS_TRACE_FIELDS = [
+    "events", "dropped", "timebase", "nodes", "links", "flows", "alpha_ps",
+    "tau_s_ps",
+]
+ANALYSIS_CRITICAL_FIELDS = [
+    "flow", "origin", "route", "inject_ts", "finish_ts", "total", "wire",
+    "queue", "switch", "store", "tail", "hops",
+]
+ANALYSIS_HOP_FIELDS = ["pos", "node", "link", "kind", "arrival"]
+ANALYSIS_STAGE_FIELDS = [
+    "stage", "label", "begin", "end", "duration", "critical_flow",
+    "critical_finish", "model", "model_delta",
+]
+ANALYSIS_UTIL_FIELDS = [
+    "horizon", "window", "windows", "mean_busy_fraction",
+    "max_busy_fraction", "links", "timeline", "queue_depth",
+]
+ANALYSIS_TIMELINE_FIELDS = ["start", "mean_busy", "max_busy", "active_stages"]
+ANALYSIS_QUEUE_FIELDS = ["samples", "p50", "p90", "p99", "max"]
+ANALYSIS_LINT_FIELDS = ["ok", "checks_run", "skipped", "violations"]
+ANALYSIS_ALL_FIELDS = (
+    ANALYSIS_TOP_FIELDS + ["source", "busy_fraction", "xmits", "check",
+                           "reason", "message"] +
+    ANALYSIS_TRACE_FIELDS + ANALYSIS_CRITICAL_FIELDS + ANALYSIS_HOP_FIELDS +
+    ANALYSIS_STAGE_FIELDS + ANALYSIS_UTIL_FIELDS + ANALYSIS_TIMELINE_FIELDS +
+    ANALYSIS_QUEUE_FIELDS + ANALYSIS_LINT_FIELDS)
+
+
+def check_analysis_reports(problems):
+    analysis_md = REPO / "docs/ANALYSIS.md"
+    if not analysis_md.exists():
+        problems.append("docs/ANALYSIS.md: missing")
+        return
+    text = analysis_md.read_text(encoding="utf-8")
+    if "ihc-analysis-v1" not in text:
+        problems.append("docs/ANALYSIS.md: schema name ihc-analysis-v1 "
+                        "missing")
+    for field in ANALYSIS_ALL_FIELDS:
+        if f"`{field}`" not in text:
+            problems.append(f"docs/ANALYSIS.md: ihc-analysis-v1 field "
+                            f"'{field}' undocumented")
+
+    for path in sorted(REPO.rglob("ANALYSIS_*.json")):
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{rel}: not valid JSON ({err})")
+            continue
+        if doc.get("schema") != "ihc-analysis-v1":
+            problems.append(f"{rel}: schema is {doc.get('schema')!r}, "
+                            "expected 'ihc-analysis-v1'")
+            continue
+        for field in ANALYSIS_TOP_FIELDS:
+            if field not in doc:
+                problems.append(f"{rel}: missing top-level field '{field}'")
+        for block, fields in (("trace", ANALYSIS_TRACE_FIELDS),
+                              ("critical_path", ANALYSIS_CRITICAL_FIELDS),
+                              ("utilization", ANALYSIS_UTIL_FIELDS),
+                              ("lint", ANALYSIS_LINT_FIELDS)):
+            sub = doc.get(block, {})
+            for field in fields:
+                if field not in sub:
+                    problems.append(
+                        f"{rel}: '{block}' missing field '{field}'")
+        lint = doc.get("lint", {})
+        if lint.get("ok") is not True:
+            problems.append(f"{rel}: TraceLint not clean "
+                            f"(violations: {lint.get('violations')})")
+
+
 def main():
     problems = []
     check_links(problems)
     check_cli_surface(problems)
+    check_metric_names(problems)
     check_bench_reports(problems)
+    check_analysis_reports(problems)
     for p in problems:
         print(p, file=sys.stderr)
     if problems:

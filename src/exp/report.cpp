@@ -117,6 +117,20 @@ std::string json_report(const CampaignResult& result,
   // output.
   if (!result.metrics.empty()) doc.set("metrics", result.metrics.to_json());
 
+  // Optional trace-analysis block (RunOptions::analyze): per-trial
+  // critical-path / lint summaries, absent by default for the same
+  // byte-identical reason (docs/ANALYSIS.md).
+  if (!result.analyses.empty()) {
+    Json analyses = Json::array();
+    for (std::size_t i = 0; i < result.analyses.size(); ++i) {
+      Json entry = Json::object();
+      entry.set("id", result.trials[i].trial.id);
+      entry.set("summary", result.analyses[i]);
+      analyses.push(std::move(entry));
+    }
+    doc.set("analysis", std::move(analyses));
+  }
+
   doc.set("failed", result.failed_count());
   if (options.include_timing) doc.set("wall_clock_ms", result.wall_ms);
   return doc.dump(options.indent);

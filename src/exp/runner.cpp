@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/analyze/analysis.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace ihc::exp {
@@ -58,6 +60,7 @@ CampaignResult run_campaign(const Campaign& campaign,
   // they merge below in expansion order, so the merged registry (like
   // everything else) is independent of thread scheduling.
   std::vector<obs::MetricsRegistry> registries(trials.size());
+  if (options.analyze) result.analyses.resize(trials.size());
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
@@ -68,8 +71,22 @@ CampaignResult run_campaign(const Campaign& campaign,
       const auto start = Clock::now();
       try {
         TrialContext ctx{registries[i], nullptr};
+        obs::Tracer tracer;
+        obs::CollectingSink sink(options.analyze ? options.analyze_max_events
+                                                 : 0);
+        if (options.analyze) {
+          tracer.attach(&sink);
+          ctx.tracer = &tracer;
+        }
         out.metrics = campaign.run(trials[i], ctx);
         out.ok = true;
+        if (options.analyze) {
+          const obs::analyze::Analysis analysis = obs::analyze::analyze_trace(
+              sink.events(), {}, sink.dropped());
+          // Pre-sized slot indexed by expansion order: deterministic
+          // across --jobs like everything else in the report.
+          result.analyses[i] = obs::analyze::trial_summary_json(analysis);
+        }
       } catch (const std::exception& e) {
         out.error = e.what();
       } catch (...) {

@@ -15,6 +15,7 @@
 
 #include "exp/campaign.hpp"
 #include "obs/metrics.hpp"
+#include "util/json.hpp"
 
 namespace ihc::exp {
 
@@ -27,6 +28,14 @@ struct RunOptions {
   /// (and thence the report's optional `metrics` block).  Off by default:
   /// reports stay byte-identical to engines without observability.
   bool collect_metrics = false;
+  /// Trace every trial through a bounded CollectingSink and attach a
+  /// per-trial ihc-analysis-v1 summary (the report's optional `analysis`
+  /// block, `campaign --analyze`).  Off by default for the same
+  /// byte-identical-reports reason as collect_metrics.
+  bool analyze = false;
+  /// Bounded CollectingSink capacity per trial when `analyze` is on;
+  /// evictions surface as `dropped` in the analysis summaries.
+  std::size_t analyze_max_events = std::size_t{1} << 20;
 };
 
 struct CampaignResult {
@@ -38,6 +47,9 @@ struct CampaignResult {
   /// Simulator metrics merged over successful trials in expansion order
   /// (empty unless RunOptions::collect_metrics).
   obs::MetricsRegistry metrics;
+  /// Per-trial analysis summaries, index-aligned with `trials` (empty
+  /// unless RunOptions::analyze; null entries for failed trials).
+  std::vector<Json> analyses;
 
   [[nodiscard]] std::size_t failed_count() const;
 };

@@ -1,0 +1,500 @@
+/// \file analysis.cpp
+/// \brief Critical path, utilization timelines and ihc-analysis-v1
+/// serialization (TraceLint lives in lint.cpp, the reader in
+/// trace_reader.cpp).
+#include "obs/analyze/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+#include "obs/analyze/trace_index.hpp"
+#include "util/stats.hpp"
+
+namespace ihc::obs::analyze {
+
+namespace {
+
+/// Header arrival time/node at route position `pos` of one flow
+/// (pos 0 is the injection at the origin).
+struct PathPoint {
+  SimTime ts = 0;
+  std::int64_t node = kNone;
+};
+
+bool point_at(const FlowInfo& f, std::int64_t pos, PathPoint& out) {
+  if (pos == 0) {
+    out = {f.inject_ts, f.origin};
+    return true;
+  }
+  for (const ArrivalRec& a : f.arrivals) {
+    if (a.pos == pos) {
+      out = {a.ts, a.node};
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t pos_of_node(const FlowInfo& f, std::int64_t node) {
+  if (node == f.origin) return 0;
+  for (const ArrivalRec& a : f.arrivals)
+    if (a.node == node) return a.pos;
+  return kNone;
+}
+
+const XmitRec* xmit_to(const FlowInfo& f, std::int64_t pos) {
+  for (const XmitRec& x : f.xmits)
+    if (x.pos == pos) return &x;
+  return nullptr;
+}
+
+/// Decomposes one hop: header left `a` (arrival at the previous node)
+/// and arrived at `b` via the transmission span `x`.  The identity
+/// total == wire + queue + swtch + store holds for every kind (see
+/// docs/ANALYSIS.md for the derivation from the simulator's timing).
+void decompose_hop(const TraceIndex& ix, const FlowInfo& f, const XmitRec* x,
+                   SimTime a, SimTime b, Hop& hop) {
+  hop.total = b - a;
+  if (x == nullptr) {  // no causality id: attribute everything to queueing
+    hop.queue = hop.total;
+    return;
+  }
+  const SimTime alpha = ix.alpha;
+  const std::string_view kind = x->kind;
+  if (kind == "inject") {
+    hop.queue = x->start - a;   // transmitter busy (plus constant D)
+    hop.swtch = b - x->start;   // tau_s startup until the header is out
+  } else if (kind == "cut_through") {
+    hop.wire = b - a;           // pure propagation: b == x->start + 0
+  } else if (kind == "stall" && alpha != kNone) {
+    hop.wire = alpha;               // header reached the switch
+    hop.queue = x->start - a - alpha;  // stalled waiting for the link
+    hop.swtch = b - x->start;          // retransmit restart (one alpha)
+  } else if (kind == "saf" && alpha != kNone && f.len != kNone) {
+    hop.store = f.len * alpha;  // full-packet store before relay
+    hop.queue = x->start - a - hop.store;
+    hop.swtch = b - x->start;   // tau_s restart
+  } else {
+    hop.queue = x->start - a;
+    hop.swtch = b - x->start;
+  }
+}
+
+CriticalPath critical_path(const TraceIndex& ix) {
+  CriticalPath cp;
+  // The critical flow: latest final tail arrival (ties: lowest id, so
+  // the report is deterministic).
+  std::int64_t flow_id = kNone;
+  for (std::size_t id = 0; id < ix.flows.size(); ++id) {
+    const FlowInfo& f = ix.flows[id];
+    if (!f.injected || f.deliveries.empty()) continue;
+    if (flow_id == kNone ||
+        f.completion > ix.flows[static_cast<std::size_t>(flow_id)].completion)
+      flow_id = static_cast<std::int64_t>(id);
+  }
+  if (flow_id == kNone) return cp;
+  const FlowInfo& f = ix.flows[static_cast<std::size_t>(flow_id)];
+  cp.flow = flow_id;
+  cp.origin = f.origin;
+  cp.route = f.route;
+  cp.inject_ts = f.inject_ts;
+  cp.finish_ts = f.completion;
+  cp.total = cp.finish_ts - cp.inject_ts;
+
+  // Terminal position: the delivery that finished last.
+  const DeliveryRec* last = nullptr;
+  for (const DeliveryRec& d : f.deliveries)
+    if (last == nullptr || d.ts > last->ts) last = &d;
+  std::int64_t pos = last->pos;
+  if (pos == kNone) pos = pos_of_node(f, last->node);
+
+  PathPoint terminal;
+  if (pos != kNone && point_at(f, pos, terminal))
+    cp.tail = cp.finish_ts - terminal.ts;  // len * alpha after the header
+
+  // Walk the causality chain backwards: the header reached `pos` over
+  // xmit_to(pos) from the node at the transmitting end of that link.
+  while (pos != kNone && pos > 0) {
+    PathPoint here;
+    if (!point_at(f, pos, here)) break;
+    const XmitRec* x = xmit_to(f, pos);
+    Hop hop;
+    hop.pos = pos;
+    hop.node = here.node;
+    hop.arrival = here.ts;
+    std::int64_t prev = pos - 1;  // chain fallback (cycles are chains)
+    if (x != nullptr) {
+      hop.link = x->link;
+      hop.kind = x->kind;
+      if (x->link >= 0 &&
+          x->link < static_cast<std::int64_t>(ix.link_src.size()) &&
+          ix.link_src[static_cast<std::size_t>(x->link)] != kNone) {
+        // Trees are not chains: recover the parent position from the
+        // link's transmitting node.
+        const std::int64_t p = pos_of_node(
+            f, ix.link_src[static_cast<std::size_t>(x->link)]);
+        if (p != kNone) prev = p;
+      }
+    }
+    PathPoint from;
+    if (!point_at(f, prev, from)) break;
+    decompose_hop(ix, f, x, from.ts, here.ts, hop);
+    cp.hops.push_back(std::move(hop));
+    pos = prev;
+  }
+  std::reverse(cp.hops.begin(), cp.hops.end());
+  for (const Hop& h : cp.hops) {
+    cp.wire += h.wire;
+    cp.queue += h.queue;
+    cp.swtch += h.swtch;
+    cp.store += h.store;
+  }
+  return cp;
+}
+
+std::vector<StageSummary> stage_summaries(const TraceIndex& ix) {
+  std::vector<StageSummary> out;
+  out.reserve(ix.stages.size());
+  for (const StageRec& rec : ix.stages) {
+    StageSummary s;
+    s.stage = rec.stage;
+    s.origin = rec.origin;
+    s.label = rec.label;
+    s.begin = rec.begin;
+    s.end = rec.end;
+    for (const std::int64_t id : stage_flows(ix, rec)) {
+      const FlowInfo& f = ix.flows[static_cast<std::size_t>(id)];
+      if (f.completion == kNone) continue;
+      if (s.critical_flow == kNone || f.completion > s.critical_finish) {
+        s.critical_flow = id;
+        s.critical_finish = f.completion;
+      }
+    }
+    s.model = stage_model(ix, rec);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Utilization utilization(const TraceIndex& ix, const Options& options) {
+  Utilization u;
+  u.horizon = std::max<SimTime>(ix.horizon, 1);
+  const std::size_t windows = std::max<std::size_t>(options.windows, 1);
+  // Ceiling division keeps window * windows >= horizon.
+  u.window = (u.horizon + static_cast<SimTime>(windows) - 1) /
+             static_cast<SimTime>(windows);
+  if (u.window <= 0) u.window = 1;
+
+  const std::size_t link_count =
+      std::max<std::size_t>(ix.link_xmits.size(), ix.links);
+  u.links.reserve(link_count);
+  u.heat.assign(link_count, std::vector<double>(windows, 0.0));
+  for (std::size_t l = 0; l < link_count; ++l) {
+    LinkUtilization lu;
+    lu.link = static_cast<std::int64_t>(l);
+    if (l < ix.link_src.size()) {
+      lu.src = ix.link_src[l];
+      lu.dst = ix.link_dst[l];
+    }
+    SimTime busy = 0;
+    if (l < ix.link_xmits.size()) {
+      for (const XmitRec& x : ix.link_xmits[l]) {
+        busy += x.end - x.start;
+        ++lu.xmits;
+        // Distribute the span over the windows it overlaps.
+        const auto first = static_cast<std::size_t>(x.start / u.window);
+        for (std::size_t w = first; w < windows; ++w) {
+          const SimTime w0 = static_cast<SimTime>(w) * u.window;
+          const SimTime w1 = w0 + u.window;
+          if (x.start >= w1) continue;
+          if (x.end <= w0) break;
+          const SimTime overlap =
+              std::min(x.end, w1) - std::max(x.start, w0);
+          u.heat[l][w] += static_cast<double>(overlap) /
+                          static_cast<double>(u.window);
+        }
+      }
+    }
+    lu.busy_fraction =
+        static_cast<double>(busy) / static_cast<double>(u.horizon);
+    u.mean_busy += lu.busy_fraction;
+    u.max_busy = std::max(u.max_busy, lu.busy_fraction);
+    u.links.push_back(lu);
+  }
+  if (!u.links.empty()) u.mean_busy /= static_cast<double>(u.links.size());
+
+  u.timeline.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    UtilizationWindow win;
+    win.start = static_cast<SimTime>(w) * u.window;
+    for (std::size_t l = 0; l < link_count; ++l) {
+      win.mean_busy += u.heat[l][w];
+      win.max_busy = std::max(win.max_busy, u.heat[l][w]);
+    }
+    if (link_count > 0) win.mean_busy /= static_cast<double>(link_count);
+    const SimTime w1 = win.start + u.window;
+    for (const StageRec& rec : ix.stages)
+      if (rec.begin < w1 && rec.end > win.start) ++win.active_stages;
+    u.timeline.push_back(win);
+  }
+
+  std::vector<double> depths;
+  std::int64_t max_depth = 0;
+  for (const BufferRec& b : ix.buffered) {
+    depths.push_back(static_cast<double>(b.depth));
+    max_depth = std::max(max_depth, b.depth);
+  }
+  for (const FifoOp& op : ix.fifo_ops) {
+    if (!op.enqueue) continue;
+    depths.push_back(static_cast<double>(op.depth));
+    max_depth = std::max(max_depth, op.depth);
+  }
+  u.queue_depth.samples = depths.size();
+  u.queue_depth.max = max_depth;
+  if (!depths.empty()) {
+    u.queue_depth.p50 = quantile(depths, 0.50);
+    u.queue_depth.p90 = quantile(depths, 0.90);
+    u.queue_depth.p99 = quantile(depths, 0.99);
+  }
+  return u;
+}
+
+Json opt_int(std::int64_t v) {
+  return v == kNone ? Json(nullptr) : Json(v);
+}
+
+}  // namespace
+
+Analysis analyze_trace(const std::vector<TraceEvent>& events,
+                       const Options& options, std::size_t dropped) {
+  const TraceIndex ix = build_index(events);
+  Analysis a;
+  a.timebase = ix.timebase;
+  a.events = events.size();
+  a.dropped = dropped;
+  a.nodes = ix.nodes;
+  a.links = ix.links;
+  a.flows = ix.foreground_flows;
+  a.alpha = ix.alpha;
+  a.tau_s = ix.tau_s;
+  a.critical = critical_path(ix);
+  a.stages = stage_summaries(ix);
+  a.util = utilization(ix, options);
+  a.lint = run_lint(events, ix, options, dropped);
+  return a;
+}
+
+Json to_json(const Analysis& a, const Json* source) {
+  Json doc = Json::object();
+  doc.set("schema", "ihc-analysis-v1");
+  if (source != nullptr) doc.set("source", *source);
+
+  Json trace = Json::object();
+  trace.set("events", static_cast<std::uint64_t>(a.events));
+  trace.set("dropped", static_cast<std::uint64_t>(a.dropped));
+  trace.set("timebase", a.timebase == TimeBase::kCycles ? "cycles" : "ps");
+  trace.set("nodes", static_cast<std::int64_t>(a.nodes));
+  trace.set("links", static_cast<std::int64_t>(a.links));
+  trace.set("flows", static_cast<std::uint64_t>(a.flows));
+  trace.set("alpha_ps", opt_int(a.alpha));
+  trace.set("tau_s_ps", opt_int(a.tau_s));
+  doc.set("trace", std::move(trace));
+
+  Json critical = Json::object();
+  critical.set("flow", opt_int(a.critical.flow));
+  critical.set("origin", opt_int(a.critical.origin));
+  critical.set("route", opt_int(a.critical.route));
+  critical.set("inject_ts", a.critical.inject_ts);
+  critical.set("finish_ts", a.critical.finish_ts);
+  critical.set("total", a.critical.total);
+  critical.set("wire", a.critical.wire);
+  critical.set("queue", a.critical.queue);
+  critical.set("switch", a.critical.swtch);
+  critical.set("store", a.critical.store);
+  critical.set("tail", a.critical.tail);
+  Json hops = Json::array();
+  for (const Hop& h : a.critical.hops) {
+    Json hop = Json::object();
+    hop.set("pos", opt_int(h.pos));
+    hop.set("node", opt_int(h.node));
+    hop.set("link", opt_int(h.link));
+    hop.set("kind", h.kind);
+    hop.set("arrival", h.arrival);
+    hop.set("total", h.total);
+    hop.set("wire", h.wire);
+    hop.set("queue", h.queue);
+    hop.set("switch", h.swtch);
+    hop.set("store", h.store);
+    hops.push(std::move(hop));
+  }
+  critical.set("hops", std::move(hops));
+  doc.set("critical_path", std::move(critical));
+
+  Json stages = Json::array();
+  for (const StageSummary& s : a.stages) {
+    Json stage = Json::object();
+    stage.set("stage", opt_int(s.stage));
+    stage.set("origin", opt_int(s.origin));
+    stage.set("label", s.label);
+    stage.set("begin", s.begin);
+    stage.set("end", s.end);
+    stage.set("duration", s.end - s.begin);
+    stage.set("critical_flow", opt_int(s.critical_flow));
+    stage.set("critical_finish", s.critical_finish);
+    stage.set("model", opt_int(s.model));
+    stage.set("model_delta",
+              s.model == kNone ? Json(nullptr)
+                               : Json((s.end - s.begin) - s.model));
+    stages.push(std::move(stage));
+  }
+  doc.set("stages", std::move(stages));
+
+  Json util = Json::object();
+  util.set("horizon", a.util.horizon);
+  util.set("window", a.util.window);
+  util.set("windows", static_cast<std::uint64_t>(a.util.timeline.size()));
+  util.set("mean_busy_fraction", a.util.mean_busy);
+  util.set("max_busy_fraction", a.util.max_busy);
+  Json links = Json::array();
+  for (const LinkUtilization& lu : a.util.links) {
+    Json link = Json::object();
+    link.set("link", lu.link);
+    link.set("src", opt_int(lu.src));
+    link.set("dst", opt_int(lu.dst));
+    link.set("busy_fraction", lu.busy_fraction);
+    link.set("xmits", lu.xmits);
+    links.push(std::move(link));
+  }
+  util.set("links", std::move(links));
+  Json timeline = Json::array();
+  for (const UtilizationWindow& w : a.util.timeline) {
+    Json win = Json::object();
+    win.set("start", w.start);
+    win.set("mean_busy", w.mean_busy);
+    win.set("max_busy", w.max_busy);
+    win.set("active_stages", static_cast<std::int64_t>(w.active_stages));
+    timeline.push(std::move(win));
+  }
+  util.set("timeline", std::move(timeline));
+  Json depth = Json::object();
+  depth.set("samples", static_cast<std::uint64_t>(a.util.queue_depth.samples));
+  depth.set("p50", a.util.queue_depth.p50);
+  depth.set("p90", a.util.queue_depth.p90);
+  depth.set("p99", a.util.queue_depth.p99);
+  depth.set("max", a.util.queue_depth.max);
+  util.set("queue_depth", std::move(depth));
+  doc.set("utilization", std::move(util));
+
+  Json lint = Json::object();
+  lint.set("ok", a.lint.ok());
+  Json run = Json::array();
+  for (const std::string& check : a.lint.checks_run) run.push(check);
+  lint.set("checks_run", std::move(run));
+  Json skipped = Json::array();
+  for (const LintSkipped& s : a.lint.skipped) {
+    skipped.push(Json::object().set("check", s.check)
+                     .set("reason", s.reason));
+  }
+  lint.set("skipped", std::move(skipped));
+  Json violations = Json::array();
+  for (const LintViolation& v : a.lint.violations) {
+    violations.push(Json::object().set("check", v.check)
+                        .set("message", v.message));
+  }
+  lint.set("violations", std::move(violations));
+  doc.set("lint", std::move(lint));
+  return doc;
+}
+
+Json trial_summary_json(const Analysis& a) {
+  Json doc = Json::object();
+  doc.set("events", static_cast<std::uint64_t>(a.events));
+  doc.set("dropped", static_cast<std::uint64_t>(a.dropped));
+  doc.set("critical_flow", opt_int(a.critical.flow));
+  doc.set("critical_total", a.critical.total);
+  doc.set("wire", a.critical.wire);
+  doc.set("queue", a.critical.queue);
+  doc.set("switch", a.critical.swtch);
+  doc.set("store", a.critical.store);
+  doc.set("hops", static_cast<std::uint64_t>(a.critical.hops.size()));
+  doc.set("mean_busy_fraction", a.util.mean_busy);
+  doc.set("max_busy_fraction", a.util.max_busy);
+  doc.set("lint_ok", a.lint.ok());
+  doc.set("lint_violations",
+          static_cast<std::uint64_t>(a.lint.violations.size()));
+  doc.set("lint_skipped", static_cast<std::uint64_t>(a.lint.skipped.size()));
+  return doc;
+}
+
+std::string ascii_heatmap(const Analysis& a, const Options& options) {
+  const Utilization& u = a.util;
+  if (u.heat.empty() || u.timeline.empty())
+    return "no link activity in the trace\n";
+  const std::size_t windows = u.timeline.size();
+  // Shade buckets: ' ' is idle, '@' is a saturated window.
+  static constexpr char kShades[] = " .:-=+*#%@";
+  auto shade = [](double fraction) {
+    int level = static_cast<int>(fraction * 10.0);
+    level = std::clamp(level, 0, 9);
+    return kShades[level];
+  };
+
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "link-utilization heatmap: %zu windows x %lld %s "
+                "(horizon %lld)\n",
+                windows, static_cast<long long>(u.window),
+                a.timebase == TimeBase::kCycles ? "cycles" : "ps",
+                static_cast<long long>(u.horizon));
+  out += line;
+
+  // Busiest links first; ties break on link id for determinism.
+  std::vector<std::size_t> order(u.links.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (u.links[x].busy_fraction != u.links[y].busy_fraction)
+      return u.links[x].busy_fraction > u.links[y].busy_fraction;
+    return x < y;
+  });
+  const std::size_t rows =
+      std::min<std::size_t>(options.heatmap_rows, order.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t l = order[r];
+    const LinkUtilization& lu = u.links[l];
+    std::string label;
+    if (lu.src != kNone && lu.dst != kNone)
+      label = std::to_string(lu.src) + "->" + std::to_string(lu.dst);
+    std::snprintf(line, sizeof line, "link %4lld %9s %5.3f |",
+                  static_cast<long long>(lu.link), label.c_str(),
+                  lu.busy_fraction);
+    out += line;
+    for (std::size_t w = 0; w < windows; ++w)
+      out += shade(l < u.heat.size() ? u.heat[l][w] : 0.0);
+    out += "|\n";
+  }
+  if (order.size() > rows) {
+    std::snprintf(line, sizeof line, "  (%zu more links not shown)\n",
+                  order.size() - rows);
+    out += line;
+  }
+
+  std::snprintf(line, sizeof line, "mean over links %9s %5.3f |", "",
+                u.mean_busy);
+  out += line;
+  for (const UtilizationWindow& w : u.timeline) out += shade(w.mean_busy);
+  out += "|\n";
+
+  out += "active stages              |";
+  for (const UtilizationWindow& w : u.timeline) {
+    const std::uint32_t n = w.active_stages;
+    out += n == 0 ? ' ' : static_cast<char>('0' + std::min(n, 9u));
+  }
+  out += "|\nscale: ' ' idle, '.' <20%, '-' <40%, '+' <60%, '#' <80%, "
+         "'@' >=90% busy\n";
+  return out;
+}
+
+}  // namespace ihc::obs::analyze

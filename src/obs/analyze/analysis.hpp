@@ -1,0 +1,171 @@
+/// \file analysis.hpp
+/// \brief Trace-analysis engine: turns ihc-trace-v1 event streams into
+/// ihc-analysis-v1 reports (docs/ANALYSIS.md).
+///
+/// Three pillars, mirroring what the paper's evaluation reasons about:
+///
+///  * critical-path extraction - the causality chain inject -> xmit ->
+///    header_advanced -> delivered is walked backwards from the last
+///    delivery, producing the hop sequence that determines T_IHC with a
+///    per-hop wire / queue / switch / store breakdown;
+///  * utilization & contention timelines - per-link busy fractions,
+///    FIFO queue-depth percentiles and stage overlap over fixed-width
+///    sim-time windows, as JSON and as an ASCII heatmap;
+///  * TraceLint - machine checks of the paper's correctness properties
+///    (delivery completeness, per-link FIFO ordering, buffer bounds,
+///    fault silence, closed-form stage time) from the trace alone.
+///
+/// Input is either an in-process CollectingSink event vector or a
+/// ChromeTraceSink JSON document loaded back via read_trace_file().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace ihc::obs::analyze {
+
+/// One hop of the critical path.  The decomposition satisfies
+///   total == wire + queue + swtch + store
+/// where `total` is the header-arrival delta across the hop (see
+/// docs/ANALYSIS.md for the per-kind accounting).
+struct Hop {
+  std::int64_t pos = TraceEvent::kUnset;   ///< route position reached
+  std::int64_t node = TraceEvent::kUnset;  ///< node reached
+  std::int64_t link = TraceEvent::kUnset;  ///< directed link crossed
+  std::string kind;          ///< inject / cut_through / stall / saf
+  SimTime arrival = 0;       ///< header arrival at `node`
+  SimTime total = 0;         ///< arrival minus the previous hop's arrival
+  SimTime wire = 0;          ///< header propagation (alpha)
+  SimTime queue = 0;         ///< waiting for a busy transmitter
+  SimTime swtch = 0;         ///< switch/startup overhead (tau_s, restart)
+  SimTime store = 0;         ///< store-and-forward full-packet residency
+};
+
+/// The longest dependency chain of the run: the flow whose final tail
+/// arrival is latest, expanded hop by hop.
+struct CriticalPath {
+  std::int64_t flow = TraceEvent::kUnset;
+  std::int64_t origin = TraceEvent::kUnset;
+  std::int64_t route = TraceEvent::kUnset;
+  SimTime inject_ts = 0;
+  SimTime finish_ts = 0;  ///< tail arrival of the latest delivery
+  SimTime total = 0;      ///< finish_ts - inject_ts
+  SimTime tail = 0;       ///< finish_ts minus the last header arrival
+  SimTime wire = 0, queue = 0, swtch = 0, store = 0;  ///< sums over hops
+  std::vector<Hop> hops;
+};
+
+/// Per stage-span summary with the closed-form model delta when the run
+/// is fault-free cut-through (model == kUnset otherwise).
+struct StageSummary {
+  std::int64_t stage = TraceEvent::kUnset;
+  std::int64_t origin = TraceEvent::kUnset;
+  std::string label;
+  SimTime begin = 0, end = 0;
+  std::int64_t critical_flow = TraceEvent::kUnset;
+  SimTime critical_finish = 0;
+  SimTime model = TraceEvent::kUnset;  ///< closed-form stage duration
+};
+
+struct LinkUtilization {
+  std::int64_t link = TraceEvent::kUnset;
+  std::int64_t src = TraceEvent::kUnset, dst = TraceEvent::kUnset;
+  double busy_fraction = 0.0;
+  std::uint64_t xmits = 0;
+};
+
+struct UtilizationWindow {
+  SimTime start = 0;
+  double mean_busy = 0.0;  ///< mean busy fraction across links
+  double max_busy = 0.0;   ///< busiest link's fraction in the window
+  std::uint32_t active_stages = 0;  ///< stage spans overlapping the window
+};
+
+struct QueueDepthStats {
+  std::size_t samples = 0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  std::int64_t max = 0;
+};
+
+struct Utilization {
+  SimTime horizon = 0;       ///< latest event end seen in the trace
+  SimTime window = 0;        ///< timeline window width
+  std::vector<LinkUtilization> links;
+  double mean_busy = 0.0, max_busy = 0.0;
+  std::vector<UtilizationWindow> timeline;
+  QueueDepthStats queue_depth;
+  /// Per-link busy fraction per window ([link][window], heatmap rows).
+  std::vector<std::vector<double>> heat;
+};
+
+struct LintViolation {
+  std::string check;
+  std::string message;
+};
+
+struct LintSkipped {
+  std::string check;
+  std::string reason;
+};
+
+/// Outcome of the TraceLint pass.  A check lands in exactly one of
+/// checks_run or skipped; violations reference checks_run entries.
+struct LintResult {
+  std::vector<std::string> checks_run;
+  std::vector<LintSkipped> skipped;
+  std::vector<LintViolation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+struct Options {
+  std::size_t windows = 64;        ///< timeline / heatmap resolution
+  std::int64_t buffer_bound = -1;  ///< -1: derive from node in-degree
+  std::size_t heatmap_rows = 16;   ///< busiest links shown in the heatmap
+};
+
+/// One analyzed trace (serialized as ihc-analysis-v1 by to_json()).
+struct Analysis {
+  TimeBase timebase = TimeBase::kPicoseconds;
+  std::size_t events = 0;
+  std::size_t dropped = 0;  ///< events evicted by a bounded CollectingSink
+  std::uint32_t nodes = 0, links = 0;
+  std::size_t flows = 0;    ///< foreground (broadcast) flows
+  SimTime alpha = TraceEvent::kUnset;  ///< derived per-hop latency
+  SimTime tau_s = TraceEvent::kUnset;  ///< derived startup time
+  CriticalPath critical;
+  std::vector<StageSummary> stages;
+  Utilization util;
+  LintResult lint;
+};
+
+/// Analyzes one ihc-trace-v1 event stream.  `dropped` is the bounded
+/// CollectingSink's eviction count; when nonzero, TraceLint skips the
+/// whole-run invariants (the stream is only a suffix of the run).
+[[nodiscard]] Analysis analyze_trace(const std::vector<TraceEvent>& events,
+                                     const Options& options = {},
+                                     std::size_t dropped = 0);
+
+/// Full ihc-analysis-v1 document.  `source` (optional) is inserted
+/// verbatim after the schema tag, recording where the trace came from.
+[[nodiscard]] Json to_json(const Analysis& a, const Json* source = nullptr);
+
+/// Compact per-trial summary for the `analysis` block of ihc-campaign-v1
+/// reports (`campaign --analyze`).
+[[nodiscard]] Json trial_summary_json(const Analysis& a);
+
+/// ASCII link-utilization heatmap (busiest links first) plus the
+/// all-link mean and stage-occupancy rows.
+[[nodiscard]] std::string ascii_heatmap(const Analysis& a,
+                                        const Options& options = {});
+
+/// Reads events back from a ChromeTraceSink JSON document.  Throws
+/// ConfigError on malformed input or a missing ihc-trace-v1 schema tag.
+[[nodiscard]] std::vector<TraceEvent> parse_trace_json(std::string_view text);
+[[nodiscard]] std::vector<TraceEvent> read_trace_file(const std::string& path);
+
+}  // namespace ihc::obs::analyze

@@ -1,0 +1,259 @@
+/// \file lint.cpp
+/// \brief TraceLint: machine checks of the paper's correctness
+/// properties against an ihc-trace-v1 stream (docs/ANALYSIS.md).
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/analyze/trace_index.hpp"
+
+namespace ihc::obs::analyze {
+
+namespace {
+
+constexpr std::size_t kMaxViolationsPerCheck = 16;
+
+std::string flow_tag(std::size_t id, const FlowInfo& f) {
+  return "flow " + std::to_string(id) + " (origin " +
+         std::to_string(f.origin) + ", route " + std::to_string(f.route) +
+         ")";
+}
+
+class Lint {
+ public:
+  Lint(const std::vector<TraceEvent>& events, const TraceIndex& ix,
+       const Options& options, std::size_t dropped)
+      : events_(events), ix_(ix), options_(options), dropped_(dropped) {}
+
+  LintResult run() {
+    schema_valid();
+    delivery_completeness();
+    fifo_ordering();
+    buffer_bound();
+    fault_silence();
+    stage_closed_form();
+    return std::move(result_);
+  }
+
+ private:
+  void mark_run(const char* check) { result_.checks_run.emplace_back(check); }
+  void skip(const char* check, std::string reason) {
+    result_.skipped.push_back({check, std::move(reason)});
+  }
+  void violation(const char* check, std::string message) {
+    std::size_t count = 0;
+    for (const LintViolation& v : result_.violations)
+      if (v.check == check) ++count;
+    if (count >= kMaxViolationsPerCheck) return;  // keep reports readable
+    result_.violations.push_back({check, std::move(message)});
+  }
+  [[nodiscard]] bool truncated() const { return dropped_ > 0; }
+  static constexpr const char* kTruncated =
+      "trace truncated by the bounded CollectingSink";
+
+  /// Every event must satisfy the ihc-trace-v1 schema (file-loaded
+  /// traces were not validated at emit time).
+  void schema_valid() {
+    mark_run("schema_valid");
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const std::string reason = validate_event(events_[i]);
+      if (!reason.empty())
+        violation("schema_valid",
+                  "event #" + std::to_string(i) + ": " + reason);
+    }
+  }
+
+  /// Paper property: every node receives every other node's message -
+  /// each uncompromised foreground flow tees a copy to all N-1 non-origin
+  /// nodes of its Hamiltonian cycle, exactly once each.
+  void delivery_completeness() {
+    const char* check = "delivery_completeness";
+    if (truncated()) return skip(check, kTruncated);
+    if (ix_.foreground_flows == 0)
+      return skip(check, "no foreground flows in the trace");
+    if (ix_.nodes == 0) return skip(check, "no topology metadata");
+    mark_run(check);
+    std::vector<std::uint8_t> copies(ix_.nodes, 0);
+    for (std::size_t id = 0; id < ix_.flows.size(); ++id) {
+      const FlowInfo& f = ix_.flows[id];
+      if (!f.injected) continue;
+      std::fill(copies.begin(), copies.end(), std::uint8_t{0});
+      std::size_t distinct = 0;
+      for (const DeliveryRec& d : f.deliveries) {
+        if (d.node < 0 || d.node >= static_cast<std::int64_t>(ix_.nodes)) {
+          violation(check, flow_tag(id, f) + " delivered to node " +
+                               std::to_string(d.node) +
+                               " outside the topology");
+          continue;
+        }
+        if (d.node == f.origin)
+          violation(check, flow_tag(id, f) + " delivered to its own origin");
+        auto& c = copies[static_cast<std::size_t>(d.node)];
+        if (c++ != 0) {
+          violation(check, flow_tag(id, f) + " delivered to node " +
+                               std::to_string(d.node) + " more than once");
+        } else {
+          ++distinct;
+        }
+      }
+      const bool compromised = f.kill_pos != kNone ||
+                               std::any_of(f.faults.begin(), f.faults.end(),
+                                           [](const FaultRec& r) {
+                                             return r.kills;
+                                           });
+      if (!compromised && distinct != ix_.nodes - 1)
+        violation(check, flow_tag(id, f) + " delivered to " +
+                             std::to_string(distinct) + " of " +
+                             std::to_string(ix_.nodes - 1) + " nodes");
+    }
+  }
+
+  /// Per-link FIFO ordering: a directed link transmits one packet at a
+  /// time (packet level: xmit spans never overlap; flit level: each
+  /// (link, vc) FIFO dequeues in enqueue order).
+  void fifo_ordering() {
+    const char* check = "fifo_ordering";
+    if (truncated()) return skip(check, kTruncated);
+    mark_run(check);
+    std::vector<std::pair<SimTime, SimTime>> spans;
+    for (std::size_t l = 0; l < ix_.link_xmits.size(); ++l) {
+      spans.clear();
+      for (const XmitRec& x : ix_.link_xmits[l])
+        spans.emplace_back(x.start, x.end);
+      std::sort(spans.begin(), spans.end());
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].first < spans[i - 1].second)
+          violation(check,
+                    "link " + std::to_string(l) + ": xmit [" +
+                        std::to_string(spans[i].first) + ", " +
+                        std::to_string(spans[i].second) + "] overlaps [" +
+                        std::to_string(spans[i - 1].first) + ", " +
+                        std::to_string(spans[i - 1].second) + "]");
+      }
+    }
+    // Flit-level replay: FIFO per (link, vc).
+    std::map<std::pair<std::int64_t, std::int64_t>, std::deque<std::int64_t>>
+        fifos;
+    for (const FifoOp& op : ix_.fifo_ops) {
+      auto& q = fifos[{op.link, op.vc}];
+      if (op.enqueue) {
+        q.push_back(op.packet);
+      } else if (q.empty() || q.front() != op.packet) {
+        violation(check, "link " + std::to_string(op.link) + " vc " +
+                             std::to_string(op.vc) + ": packet " +
+                             std::to_string(op.packet) +
+                             " dequeued out of FIFO order");
+        if (!q.empty()) q.pop_front();
+      } else {
+        q.pop_front();
+      }
+    }
+  }
+
+  /// Paper property: intermediate storage stays within the derived bound
+  /// (a node can hold at most one stored packet per incoming link).
+  /// Depth stamps are valid per event, so this runs even on truncated
+  /// traces.  The derived bound is a dedicated-mode property: background
+  /// traffic forms convoys (EXPERIMENTS.md E8) that legitimately exceed
+  /// it, so it only applies to an explicitly configured bound then.
+  void buffer_bound() {
+    const char* check = "buffer_bound";
+    const bool derived = options_.buffer_bound < 0;
+    if (derived && ix_.nodes == 0)
+      return skip(check, "no topology metadata to derive the bound");
+    if (derived && ix_.has_background)
+      return skip(check, "background traffic lifts the dedicated-mode bound");
+    mark_run(check);
+    for (const BufferRec& b : ix_.buffered) {
+      const std::int64_t bound =
+          derived ? ix_.in_degree(b.node) : options_.buffer_bound;
+      if (bound == kNone) continue;
+      if (b.depth > bound)
+        violation(check, "node " + std::to_string(b.node) +
+                             ": buffer depth " + std::to_string(b.depth) +
+                             " exceeds bound " + std::to_string(bound) +
+                             " (flow " + std::to_string(b.flow) + ")");
+    }
+    if (!derived) {
+      for (const FifoOp& op : ix_.fifo_ops)
+        if (op.enqueue && op.depth > options_.buffer_bound)
+          violation(check, "link " + std::to_string(op.link) + " vc " +
+                               std::to_string(op.vc) + ": FIFO depth " +
+                               std::to_string(op.depth) + " exceeds bound " +
+                               std::to_string(options_.buffer_bound));
+    }
+  }
+
+  /// Faulty drops are terminal: once a copy is dropped at route position
+  /// p, no event of that flow may occur at a later position.
+  void fault_silence() {
+    const char* check = "fault_silence";
+    if (truncated()) return skip(check, kTruncated);
+    mark_run(check);
+    for (std::size_t id = 0; id < ix_.flows.size(); ++id) {
+      const FlowInfo& f = ix_.flows[id];
+      if (f.kill_pos == kNone) continue;
+      auto offend = [&](const char* what, std::int64_t pos) {
+        if (pos != kNone && pos > f.kill_pos)
+          violation(check, flow_tag(id, f) + " " + what + " at pos " +
+                               std::to_string(pos) +
+                               " after its drop at pos " +
+                               std::to_string(f.kill_pos));
+      };
+      for (const ArrivalRec& a : f.arrivals) offend("advanced", a.pos);
+      for (const DeliveryRec& d : f.deliveries) offend("delivered", d.pos);
+      for (const XmitRec& x : f.xmits) offend("transmitted", x.pos);
+    }
+  }
+
+  /// Paper property: fault-free cut-through stage time matches the
+  /// closed form T_stage = tau_s + mu alpha + (P - 1) alpha within one
+  /// header cycle alpha.
+  void stage_closed_form() {
+    const char* check = "stage_closed_form";
+    if (truncated()) return skip(check, kTruncated);
+    if (ix_.stages.empty())
+      return skip(check, "no stage spans in the trace");
+    if (ix_.timebase != TimeBase::kPicoseconds)
+      return skip(check, "cycle-timebase trace has no closed-form model");
+    if (ix_.has_fault) return skip(check, "fault events present");
+    if (ix_.has_background)
+      return skip(check, "background traffic perturbs the closed form");
+    if (ix_.has_foreground_saf || !ix_.buffered.empty())
+      return skip(check, "buffered or stalled relays present");
+    if (ix_.alpha == kNone || ix_.tau_s == kNone)
+      return skip(check, "alpha / tau_s not derivable from the trace");
+    mark_run(check);
+    for (const StageRec& rec : ix_.stages) {
+      const SimTime model = stage_model(ix_, rec);
+      if (model == kNone) continue;
+      const SimTime measured = rec.end - rec.begin;
+      if (std::llabs(measured - model) > ix_.alpha)
+        violation(check,
+                  "stage " + std::to_string(rec.stage) + ": measured " +
+                      std::to_string(measured) + " ps vs closed-form " +
+                      std::to_string(model) + " ps (tolerance alpha = " +
+                      std::to_string(ix_.alpha) + " ps)");
+    }
+  }
+
+  const std::vector<TraceEvent>& events_;
+  const TraceIndex& ix_;
+  const Options& options_;
+  std::size_t dropped_;
+  LintResult result_;
+};
+
+}  // namespace
+
+LintResult run_lint(const std::vector<TraceEvent>& events,
+                    const TraceIndex& ix, const Options& options,
+                    std::size_t dropped) {
+  return Lint(events, ix, options, dropped).run();
+}
+
+}  // namespace ihc::obs::analyze

@@ -1,0 +1,208 @@
+#include "obs/analyze/trace_index.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <string_view>
+
+namespace ihc::obs::analyze {
+
+namespace {
+
+/// Parses the leading integer of `s` (after `prefix`), kNone on failure.
+std::int64_t parse_int_after(std::string_view s, std::string_view prefix) {
+  if (s.substr(0, prefix.size()) != prefix) return kNone;
+  s.remove_prefix(prefix.size());
+  std::int64_t value = kNone;
+  std::from_chars(s.data(), s.data() + s.size(), value);
+  return value;
+}
+
+template <typename Vec>
+void ensure_size(Vec& v, std::size_t index) {
+  if (v.size() <= index) v.resize(index + 1);
+}
+
+FlowInfo& flow_of(TraceIndex& ix, std::int64_t id) {
+  ensure_size(ix.flows, static_cast<std::size_t>(id));
+  return ix.flows[static_cast<std::size_t>(id)];
+}
+
+/// "link 12: 3->7" from announce_topology(); kNone fields when the label
+/// has another shape.
+void parse_link_label(TraceIndex& ix, std::string_view label) {
+  const std::int64_t l = parse_int_after(label, "link ");
+  if (l < 0) return;
+  const auto colon = label.find(": ");
+  const auto arrow = label.find("->");
+  if (colon == std::string_view::npos || arrow == std::string_view::npos)
+    return;
+  std::int64_t src = kNone, dst = kNone;
+  {
+    const std::string_view s = label.substr(colon + 2, arrow - colon - 2);
+    std::from_chars(s.data(), s.data() + s.size(), src);
+  }
+  {
+    const std::string_view s = label.substr(arrow + 2);
+    std::from_chars(s.data(), s.data() + s.size(), dst);
+  }
+  if (ix.link_src.size() <= static_cast<std::size_t>(l)) {
+    ix.link_src.resize(static_cast<std::size_t>(l) + 1, kNone);
+    ix.link_dst.resize(static_cast<std::size_t>(l) + 1, kNone);
+  }
+  ix.link_src[static_cast<std::size_t>(l)] = src;
+  ix.link_dst[static_cast<std::size_t>(l)] = dst;
+  ix.links = std::max(ix.links, static_cast<std::uint32_t>(l + 1));
+}
+
+}  // namespace
+
+std::int64_t TraceIndex::in_degree(std::int64_t node) const {
+  if (link_dst.empty()) return kNone;
+  std::int64_t degree = 0;
+  for (const std::int64_t dst : link_dst)
+    if (dst == node) ++degree;
+  return degree;
+}
+
+bool TraceIndex::cut_through_clean() const {
+  // Background traffic can delay injections without leaving a saf/stall
+  // marker, so the closed form only applies to dedicated-network runs.
+  return !has_fault && !has_foreground_saf && !has_background &&
+         buffered.empty() && alpha != kNone && tau_s != kNone &&
+         timebase == TimeBase::kPicoseconds;
+}
+
+TraceIndex build_index(const std::vector<TraceEvent>& events) {
+  TraceIndex ix;
+  bool timebase_seen = false;
+  for (const TraceEvent& e : events) {
+    if (e.phase != TraceEvent::Phase::kMetadata && !timebase_seen) {
+      ix.timebase = e.timebase;
+      timebase_seen = true;
+    }
+    ix.horizon = std::max(ix.horizon, e.ts + e.dur);
+    const std::string_view name = e.name;
+    if (e.phase == TraceEvent::Phase::kMetadata) {
+      if (name == "thread_name") {
+        const std::int64_t v = parse_int_after(e.detail, "node ");
+        if (v >= 0)
+          ix.nodes = std::max(ix.nodes, static_cast<std::uint32_t>(v + 1));
+        parse_link_label(ix, e.detail);
+      }
+      continue;
+    }
+    if (name == "packet_injected") {
+      FlowInfo& f = flow_of(ix, e.flow);
+      f.injected = true;
+      f.inject_ts = e.ts;
+      f.origin = e.origin;
+      f.route = e.route;
+      f.len = e.len;
+    } else if (name == "header_advanced") {
+      flow_of(ix, e.flow).arrivals.push_back({e.ts, e.node, e.pos});
+    } else if (name == "delivered") {
+      FlowInfo& f = flow_of(ix, e.flow);
+      f.deliveries.push_back({e.ts, e.node, e.pos});
+      f.completion = std::max(f.completion, e.ts);
+    } else if (name == "xmit") {
+      XmitRec x{e.ts, e.ts + e.dur, e.link, e.flow, e.pos, e.detail};
+      ensure_size(ix.link_xmits, static_cast<std::size_t>(e.link));
+      ix.link_xmits[static_cast<std::size_t>(e.link)].push_back(x);
+      ix.links =
+          std::max(ix.links, static_cast<std::uint32_t>(e.link + 1));
+      if (e.detail == "background") {
+        ix.has_background = true;
+      } else if (e.flow != kNone) {
+        flow_of(ix, e.flow).xmits.push_back(std::move(x));
+      }
+    } else if (name == "buffered") {
+      ix.buffered.push_back({e.ts, e.ts + e.dur, e.node, e.flow, e.depth});
+    } else if (name == "fault_fired" || name == "link_dropped") {
+      ix.has_fault = true;
+      FlowInfo& f = flow_of(ix, e.flow);
+      const bool kills = name == "link_dropped" || e.detail == "drop";
+      f.faults.push_back(
+          {e.ts, e.node, e.pos,
+           name == "link_dropped" ? "link_dropped" : e.detail, kills});
+      if (kills && e.pos != kNone &&
+          (f.kill_pos == kNone || e.pos < f.kill_pos))
+        f.kill_pos = e.pos;
+    } else if (name == "stage") {
+      ix.stages.push_back({e.ts, e.ts + e.dur, e.stage, e.origin, e.detail});
+    } else if (name == "fifo_enqueue" || name == "fifo_dequeue") {
+      ix.fifo_ops.push_back(
+          {e.ts, e.link, e.vc, e.flow, e.depth, name == "fifo_enqueue"});
+      ix.links =
+          std::max(ix.links, static_cast<std::uint32_t>(e.link + 1));
+    }
+    // stalled / flit_blocked spans add no index state beyond the horizon.
+  }
+
+  for (const FlowInfo& f : ix.flows) {
+    if (!f.injected) continue;
+    ++ix.foreground_flows;
+    for (const XmitRec& x : f.xmits)
+      if (x.kind == "saf" || x.kind == "stall") ix.has_foreground_saf = true;
+  }
+
+  // Derive alpha from any foreground cut-through span (dur == len alpha),
+  // then tau_s from an injection span (dur == tau_s + len alpha).
+  for (const FlowInfo& f : ix.flows) {
+    if (!f.injected || f.len == kNone || f.len <= 0) continue;
+    for (const XmitRec& x : f.xmits) {
+      if (ix.alpha == kNone && x.kind == "cut_through")
+        ix.alpha = (x.end - x.start) / f.len;
+    }
+  }
+  if (ix.alpha != kNone) {
+    for (const FlowInfo& f : ix.flows) {
+      if (!f.injected || f.len == kNone || f.len <= 0) continue;
+      for (const XmitRec& x : f.xmits) {
+        if (x.kind == "inject") {
+          ix.tau_s = (x.end - x.start) - f.len * ix.alpha;
+          break;
+        }
+      }
+      if (ix.tau_s != kNone) break;
+    }
+  }
+  if (ix.link_src.size() < ix.links) {
+    ix.link_src.resize(ix.links, kNone);
+    ix.link_dst.resize(ix.links, kNone);
+  }
+  return ix;
+}
+
+std::vector<std::int64_t> stage_flows(const TraceIndex& ix,
+                                      const StageRec& rec) {
+  std::vector<std::int64_t> out;
+  for (std::size_t id = 0; id < ix.flows.size(); ++id) {
+    const FlowInfo& f = ix.flows[id];
+    if (!f.injected) continue;
+    if (f.inject_ts < rec.begin || f.inject_ts >= rec.end) continue;
+    if (rec.origin != kNone) {
+      if (rec.label == "stage" && f.route != rec.origin) continue;
+      if (rec.label == "broadcast" && f.origin != rec.origin) continue;
+    }
+    out.push_back(static_cast<std::int64_t>(id));
+  }
+  return out;
+}
+
+SimTime stage_model(const TraceIndex& ix, const StageRec& rec) {
+  if (rec.label != "stage" || !ix.cut_through_clean()) return kNone;
+  std::int64_t len = kNone;
+  std::int64_t hops = 0;
+  for (const std::int64_t id : stage_flows(ix, rec)) {
+    const FlowInfo& f = ix.flows[static_cast<std::size_t>(id)];
+    len = f.len;
+    for (const ArrivalRec& a : f.arrivals) hops = std::max(hops, a.pos);
+  }
+  if (len == kNone || hops <= 0) return kNone;
+  // T_stage = tau_s + mu alpha + (P - 1) alpha: startup, the packet
+  // crossing its first link, then one alpha per additional relay hop
+  // (the paper's T_IHC per-stage term for fault-free cut-through).
+  return ix.tau_s + len * ix.alpha + (hops - 1) * ix.alpha;
+}
+
+}  // namespace ihc::obs::analyze

@@ -1,0 +1,122 @@
+/// \file trace_index.hpp
+/// \brief Internal index over one ihc-trace-v1 event stream.
+///
+/// One O(events) pass groups the stream by flow, link and stage and
+/// derives the run's parameters (topology from the metadata track
+/// labels, alpha from a cut-through span, tau_s from an injection span)
+/// so the analyses and TraceLint never re-scan the raw vector.  Not part
+/// of the public analyze API - analysis.cpp and lint.cpp share it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/analysis.hpp"
+#include "obs/trace.hpp"
+
+namespace ihc::obs::analyze {
+
+inline constexpr std::int64_t kNone = TraceEvent::kUnset;
+
+struct XmitRec {
+  SimTime start = 0, end = 0;
+  std::int64_t link = kNone;
+  std::int64_t flow = kNone;
+  std::int64_t pos = kNone;  ///< route position the header advances to
+  std::string kind;          ///< inject / cut_through / stall / saf / background
+};
+
+struct ArrivalRec {
+  SimTime ts = 0;
+  std::int64_t node = kNone, pos = kNone;
+};
+
+struct DeliveryRec {
+  SimTime ts = 0;
+  std::int64_t node = kNone, pos = kNone;
+};
+
+struct FaultRec {
+  SimTime ts = 0;
+  std::int64_t node = kNone, pos = kNone;
+  std::string action;  ///< drop / corrupt / delay / link_dropped
+  bool kills = false;  ///< the copy dies at this position (drop variants)
+};
+
+struct FlowInfo {
+  bool injected = false;  ///< saw packet_injected => foreground flow
+  SimTime inject_ts = 0;
+  std::int64_t origin = kNone, route = kNone, len = kNone;
+  std::vector<ArrivalRec> arrivals;    ///< header_advanced, emission order
+  std::vector<DeliveryRec> deliveries;
+  std::vector<XmitRec> xmits;
+  std::vector<FaultRec> faults;
+  SimTime completion = kNone;   ///< latest delivery (tail arrival)
+  std::int64_t kill_pos = kNone;  ///< smallest pos where a drop killed it
+};
+
+struct StageRec {
+  SimTime begin = 0, end = 0;
+  std::int64_t stage = kNone, origin = kNone;
+  std::string label;  ///< stage / broadcast / frs_step / ...
+};
+
+struct BufferRec {
+  SimTime begin = 0, end = 0;
+  std::int64_t node = kNone, flow = kNone, depth = kNone;
+};
+
+struct FifoOp {
+  SimTime ts = 0;
+  std::int64_t link = kNone, vc = kNone, packet = kNone, depth = kNone;
+  bool enqueue = false;
+};
+
+struct TraceIndex {
+  TimeBase timebase = TimeBase::kPicoseconds;
+  std::uint32_t nodes = 0;  ///< from topology metadata (0 when absent)
+  std::uint32_t links = 0;
+  std::vector<std::int64_t> link_src, link_dst;  ///< per link, kNone unknown
+  std::vector<FlowInfo> flows;                   ///< dense by flow id
+  std::vector<std::vector<XmitRec>> link_xmits;  ///< per link, emission order
+  std::vector<StageRec> stages;
+  std::vector<BufferRec> buffered;
+  std::vector<FifoOp> fifo_ops;  ///< flit-level ops, emission order
+  SimTime horizon = 0;           ///< max(ts + dur) over all events
+  SimTime alpha = kNone;         ///< derived per-hop header latency
+  SimTime tau_s = kNone;         ///< derived startup time
+  std::size_t foreground_flows = 0;
+  bool has_fault = false;           ///< any fault_fired / link_dropped
+  bool has_foreground_saf = false;  ///< saf or stall xmit on a foreground flow
+  bool has_background = false;      ///< any background traffic
+
+  /// Links terminating at `node`; kNone when the topology is unknown.
+  [[nodiscard]] std::int64_t in_degree(std::int64_t node) const;
+
+  /// True when every stage can be compared against the closed-form
+  /// cut-through model (fault-free, no buffering, parameters derived).
+  [[nodiscard]] bool cut_through_clean() const;
+};
+
+[[nodiscard]] TraceIndex build_index(const std::vector<TraceEvent>& events);
+
+/// Foreground flows belonging to one stage span: injected inside
+/// [begin, end) and, when the span carries a coordinate, matching it
+/// (route tag for "stage" spans, origin node for "broadcast" spans).
+[[nodiscard]] std::vector<std::int64_t> stage_flows(const TraceIndex& ix,
+                                                    const StageRec& rec);
+
+/// Closed-form duration tau_s + mu alpha + (P - 1) alpha of one stage
+/// span, where P is the critical candidate's final route position;
+/// kNone when the trace is not cut_through_clean() or the span has no
+/// candidate flows.
+[[nodiscard]] SimTime stage_model(const TraceIndex& ix, const StageRec& rec);
+
+/// TraceLint entry point (implemented in lint.cpp).
+[[nodiscard]] LintResult run_lint(const std::vector<TraceEvent>& events,
+                                  const TraceIndex& ix,
+                                  const Options& options,
+                                  std::size_t dropped);
+
+}  // namespace ihc::obs::analyze

@@ -1,0 +1,166 @@
+/// \file trace_reader.cpp
+/// \brief Loads ChromeTraceSink JSON documents back into TraceEvent
+/// vectors so saved traces can be analyzed offline (`ihc_cli analyze
+/// --trace file`).
+///
+/// Event names are interned against the fixed ihc-trace-v1 vocabulary
+/// (TraceEvent carries const char* names); an unknown name is a schema
+/// error.  Picosecond stamps round-trip exactly: the sink writes
+/// ts / 1e6 as a shortest-round-trip double, and llround(ts * 1e6)
+/// recovers the integer for any horizon below ~2^53 / 1e6 seconds.
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "obs/analyze/analysis.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ihc::obs::analyze {
+
+namespace {
+
+struct NameInfo {
+  const char* name;
+  const char* cat;
+  const char* detail_key;  ///< Chrome args key holding `detail`
+};
+
+const NameInfo* lookup(std::string_view name) {
+  static constexpr NameInfo kNames[] = {
+      {"packet_injected", "packet", "detail"},
+      {"header_advanced", "packet", "detail"},
+      {"delivered", "packet", "detail"},
+      {"xmit", "link", "kind"},
+      {"buffered", "fifo", "detail"},
+      {"stalled", "packet", "detail"},
+      {"fault_fired", "fault", "action"},
+      {"link_dropped", "fault", "detail"},
+      {"stage", "stage", "label"},
+      {"fifo_enqueue", "fifo", "detail"},
+      {"fifo_dequeue", "fifo", "detail"},
+      {"flit_blocked", "flit", "reason"},
+      {"process_name", "", "name"},
+      {"thread_name", "", "name"},
+  };
+  for (const NameInfo& info : kNames)
+    if (name == info.name) return &info;
+  return nullptr;
+}
+
+bool is_flit_event(std::string_view name) {
+  return name == "fifo_enqueue" || name == "fifo_dequeue" ||
+         name == "flit_blocked";
+}
+
+std::int64_t int_arg(const Json& args, const char* key) {
+  const Json* v = args.find(key);
+  if (v == nullptr || !v->is_number()) return TraceEvent::kUnset;
+  return v->as_int();
+}
+
+}  // namespace
+
+std::vector<TraceEvent> parse_trace_json(std::string_view text) {
+  std::string error;
+  const auto doc = Json::parse(text, &error);
+  require(doc.has_value(), "trace is not valid JSON: " + error);
+  const Json* other = doc->find("otherData");
+  const Json* schema = other != nullptr ? other->find("schema") : nullptr;
+  require(schema != nullptr && schema->is_string() &&
+              schema->as_string() == "ihc-trace-v1",
+          "trace document is not tagged ihc-trace-v1");
+  const Json* events = doc->find("traceEvents");
+  require(events != nullptr && events->is_array(),
+          "trace document has no traceEvents array");
+
+  // The sink emits flit-cycle stamps as integers and picosecond stamps
+  // as microsecond doubles; the vocabulary decides which run this was.
+  bool cycles = false;
+  for (const Json& e : events->items()) {
+    const Json* name = e.find("name");
+    if (name != nullptr && name->is_string() &&
+        is_flit_event(name->as_string())) {
+      cycles = true;
+      break;
+    }
+  }
+  auto to_sim = [cycles](const Json& v) -> SimTime {
+    if (cycles) return v.as_int();
+    return std::llround(v.as_double() * 1e6);
+  };
+
+  std::vector<TraceEvent> out;
+  out.reserve(events->items().size());
+  for (const Json& e : events->items()) {
+    require(e.is_object(), "traceEvents entry is not an object");
+    const Json* name = e.find("name");
+    require(name != nullptr && name->is_string(),
+            "traceEvents entry has no name");
+    const NameInfo* info = lookup(name->as_string());
+    require(info != nullptr, "unknown trace event '" +
+                                 std::string(name->as_string()) + "'");
+    const Json* ph = e.find("ph");
+    require(ph != nullptr && ph->is_string(),
+            "traceEvents entry has no phase");
+
+    TraceEvent ev;
+    ev.name = info->name;
+    ev.timebase = cycles ? TimeBase::kCycles : TimeBase::kPicoseconds;
+    if (const Json* tid = e.find("tid"); tid != nullptr && tid->is_number())
+      ev.track = static_cast<std::uint32_t>(tid->as_int());
+    const Json* args = e.find("args");
+
+    if (ph->as_string() == "M") {
+      ev.phase = TraceEvent::Phase::kMetadata;
+      if (args != nullptr) {
+        if (const Json* label = args->find("name");
+            label != nullptr && label->is_string())
+          ev.detail = std::string(label->as_string());
+      }
+      out.push_back(std::move(ev));
+      continue;
+    }
+
+    ev.cat = info->cat;
+    ev.phase = ph->as_string() == "X" ? TraceEvent::Phase::kSpan
+                                      : TraceEvent::Phase::kInstant;
+    const Json* ts = e.find("ts");
+    require(ts != nullptr && ts->is_number(),
+            "traceEvents entry has no timestamp");
+    ev.ts = to_sim(*ts);
+    if (ev.phase == TraceEvent::Phase::kSpan) {
+      const Json* dur = e.find("dur");
+      require(dur != nullptr && dur->is_number(), "span event has no dur");
+      ev.dur = to_sim(*dur);
+    }
+    if (args != nullptr && args->is_object()) {
+      ev.flow = int_arg(*args, "flow");
+      ev.node = int_arg(*args, "node");
+      ev.link = int_arg(*args, "link");
+      ev.origin = int_arg(*args, "origin");
+      ev.route = int_arg(*args, "route");
+      ev.pos = int_arg(*args, "pos");
+      ev.len = int_arg(*args, "len");
+      ev.depth = int_arg(*args, "depth");
+      ev.stage = int_arg(*args, "stage");
+      ev.vc = int_arg(*args, "vc");
+      if (const Json* detail = args->find(info->detail_key);
+          detail != nullptr && detail->is_string())
+        ev.detail = std::string(detail->as_string());
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open trace file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_trace_json(buffer.str());
+}
+
+}  // namespace ihc::obs::analyze

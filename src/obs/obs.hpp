@@ -3,5 +3,6 @@
 /// docs/TRACING.md and docs/ARCHITECTURE.md).
 #pragma once
 
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/analyze/analysis.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"           // IWYU pragma: export
+#include "obs/trace.hpp"             // IWYU pragma: export

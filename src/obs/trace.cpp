@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <initializer_list>
 #include <ostream>
 #include <string_view>
@@ -108,6 +109,28 @@ std::string validate_event(const TraceEvent& e) {
     return {};
   }
   return "unknown event '" + std::string(name) + "'";
+}
+
+// --- CollectingSink --------------------------------------------------------
+
+void CollectingSink::event(const TraceEvent& e) {
+  if (max_events_ == 0 || events_.size() < max_events_) {
+    events_.push_back(e);
+    return;
+  }
+  events_[head_] = e;
+  head_ = (head_ + 1) % max_events_;
+  ++dropped_;
+}
+
+const std::vector<TraceEvent>& CollectingSink::events() const {
+  if (head_ != 0) {
+    std::rotate(events_.begin(),
+                events_.begin() + static_cast<std::ptrdiff_t>(head_),
+                events_.end());
+    head_ = 0;  // subsequent writes keep overwriting oldest-first
+  }
+  return events_;
 }
 
 // --- ChromeTraceSink -------------------------------------------------------
@@ -242,7 +265,7 @@ void Tracer::header_advanced(SimTime ts, std::uint32_t flow, NodeId node,
 }
 
 void Tracer::delivered(SimTime ts, std::uint32_t flow, NodeId node,
-                       NodeId origin, std::uint16_t route) {
+                       NodeId origin, std::uint16_t route, std::int64_t pos) {
   TraceEvent e;
   e.name = "delivered";
   e.cat = "packet";
@@ -252,11 +275,12 @@ void Tracer::delivered(SimTime ts, std::uint32_t flow, NodeId node,
   e.node = node;
   e.origin = origin;
   e.route = route;
+  e.pos = pos;
   emit(std::move(e));
 }
 
 void Tracer::xmit(SimTime from, SimTime until, LinkId link, const char* kind,
-                  std::int64_t flow) {
+                  std::int64_t flow, std::int64_t pos) {
   TraceEvent e;
   e.name = "xmit";
   e.cat = "link";
@@ -266,6 +290,7 @@ void Tracer::xmit(SimTime from, SimTime until, LinkId link, const char* kind,
   e.track = link_track(link);
   e.link = link;
   e.flow = flow;
+  e.pos = pos;
   e.detail = kind;
   emit(std::move(e));
 }
@@ -300,7 +325,7 @@ void Tracer::stalled(SimTime from, SimTime until, NodeId node,
 }
 
 void Tracer::fault_fired(SimTime ts, NodeId node, std::uint32_t flow,
-                         const char* action) {
+                         const char* action, std::int64_t pos) {
   TraceEvent e;
   e.name = "fault_fired";
   e.cat = "fault";
@@ -308,12 +333,13 @@ void Tracer::fault_fired(SimTime ts, NodeId node, std::uint32_t flow,
   e.track = node_track(node);
   e.node = node;
   e.flow = flow;
+  e.pos = pos;
   e.detail = action;
   emit(std::move(e));
 }
 
 void Tracer::link_dropped(SimTime ts, NodeId node, std::uint32_t flow,
-                          LinkId link) {
+                          LinkId link, std::int64_t pos) {
   TraceEvent e;
   e.name = "link_dropped";
   e.cat = "fault";
@@ -322,6 +348,7 @@ void Tracer::link_dropped(SimTime ts, NodeId node, std::uint32_t flow,
   e.node = node;
   e.flow = flow;
   e.link = link;
+  e.pos = pos;
   emit(std::move(e));
 }
 

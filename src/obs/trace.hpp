@@ -78,14 +78,36 @@ class TraceSink {
 };
 
 /// Retains events in memory (tests and programmatic analysis).
+///
+/// By default the sink is unbounded.  Constructed with a positive
+/// `max_events` it becomes a ring buffer holding the *most recent*
+/// max_events events: once full, each new event overwrites the oldest
+/// retained one and dropped() counts the evictions.  Analyses consuming
+/// a truncated stream must treat it as a suffix of the run (TraceLint
+/// skips whole-run invariants when dropped() > 0, see docs/ANALYSIS.md).
 class CollectingSink : public TraceSink {
  public:
-  void event(const TraceEvent& e) override { events_.push_back(e); }
-  [[nodiscard]] const std::vector<TraceEvent>& events() const {
-    return events_;
-  }
+  CollectingSink() = default;
+  /// Bounded mode; max_events == 0 means unbounded.
+  explicit CollectingSink(std::size_t max_events)
+      : max_events_(max_events) {}
+
+  void event(const TraceEvent& e) override;
+
+  /// Retained events in emission order (oldest retained event first).
+  /// In bounded mode the ring is rotated into place lazily here, which
+  /// is why the buffer is mutable.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const;
+
+  /// Events evicted by the bound (0 in unbounded mode).
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t max_events() const { return max_events_; }
+
  private:
-  std::vector<TraceEvent> events_;
+  std::size_t max_events_ = 0;  ///< 0 = unbounded
+  std::size_t dropped_ = 0;
+  mutable std::size_t head_ = 0;  ///< index of the oldest retained event
+  mutable std::vector<TraceEvent> events_;
 };
 
 /// Streams Chrome `trace_event` JSON (JSON Object Format: a
@@ -143,12 +165,15 @@ class Tracer {
   void header_advanced(SimTime ts, std::uint32_t flow, NodeId node,
                        std::uint32_t pos);
   void delivered(SimTime ts, std::uint32_t flow, NodeId node, NodeId origin,
-                 std::uint16_t route);
+                 std::uint16_t route, std::int64_t pos = TraceEvent::kUnset);
   /// Link transmission span [from, until]; kind is one of inject /
   /// cut_through / stall / saf / background; flow may be kUnset
-  /// (single-link background occupancies have no flow).
+  /// (single-link background occupancies have no flow).  `pos` is the
+  /// route position the transmission advances the header *to* - the
+  /// causality id linking an xmit to the downstream header_advanced /
+  /// delivered events of the same flow.
   void xmit(SimTime from, SimTime until, LinkId link, const char* kind,
-            std::int64_t flow);
+            std::int64_t flow, std::int64_t pos = TraceEvent::kUnset);
   /// Intermediate-storage residency span (the packet-level FIFO
   /// enqueue..dequeue pair); depth is the occupancy after the enqueue.
   void buffered(SimTime from, SimTime until, NodeId node, std::uint32_t flow,
@@ -156,8 +181,10 @@ class Tracer {
   /// Wormhole header stall span (waiting for the transmitter).
   void stalled(SimTime from, SimTime until, NodeId node, std::uint32_t flow);
   void fault_fired(SimTime ts, NodeId node, std::uint32_t flow,
-                   const char* action);
-  void link_dropped(SimTime ts, NodeId node, std::uint32_t flow, LinkId link);
+                   const char* action,
+                   std::int64_t pos = TraceEvent::kUnset);
+  void link_dropped(SimTime ts, NodeId node, std::uint32_t flow, LinkId link,
+                    std::int64_t pos = TraceEvent::kUnset);
 
   // -- runner events -------------------------------------------------------
   /// Control-track span: an IHC stage, a sequential-ATA broadcast, an FRS

@@ -183,6 +183,7 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
 FlitRunResult FlitNetwork::run(std::uint64_t max_cycles) {
   FlitRunResult result;
   std::uint64_t idle_cycles = 0;
+  std::uint64_t events = 0;  // flit micro-ops: consumes, hops, injections
   for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
     std::uint64_t moved = consume(cycle);
     for (LinkId l = 0; l < g_->link_count(); ++l) {
@@ -203,6 +204,7 @@ FlitRunResult FlitNetwork::run(std::uint64_t max_cycles) {
         break;
       }
     }
+    events += moved;
     if (!anything_left) break;
     idle_cycles = moved == 0 ? idle_cycles + 1 : 0;
     if (idle_cycles >= params_.stall_threshold) {
@@ -215,6 +217,19 @@ FlitRunResult FlitNetwork::run(std::uint64_t max_cycles) {
       ++result.delivered;
     else
       ++result.blocked_packets;
+  }
+  // Per-engine parity with the packet simulator's net.* counters
+  // (docs/TRACING.md metrics table).
+  if (metrics_ != nullptr) {
+    metrics_->count("flit.cycles", static_cast<std::int64_t>(result.cycles));
+    metrics_->count("flit.flit_hops",
+                    static_cast<std::int64_t>(result.flit_hops));
+    metrics_->count("flit.delivered",
+                    static_cast<std::int64_t>(result.delivered));
+    metrics_->count("flit.blocked_packets",
+                    static_cast<std::int64_t>(result.blocked_packets));
+    metrics_->count("flit.events_processed",
+                    static_cast<std::int64_t>(events));
   }
   return result;
 }

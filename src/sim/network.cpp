@@ -197,7 +197,8 @@ std::uint32_t Network::occupy_buffer(NodeId node, SimTime from,
 }
 
 void Network::deliver(FlowId flow, NodeId dest, SimTime header_time,
-                      std::uint32_t len, NodeId corrupted_by) {
+                      std::uint32_t len, NodeId corrupted_by,
+                      std::uint32_t pos) {
   const FlowSpec& f = flows_[flow];
   if (f.background) return;  // normal-task traffic is not broadcast state
   CopyRecord copy;
@@ -210,7 +211,7 @@ void Network::deliver(FlowId flow, NodeId dest, SimTime header_time,
   copy.corrupted_by = corrupted_by;
   ledger_.record(f.origin, dest, copy);
   if (tracer_ != nullptr)
-    tracer_->delivered(copy.time, flow, dest, f.origin, f.route_tag);
+    tracer_->delivered(copy.time, flow, dest, f.origin, f.route_tag, pos);
   ++stats_.deliveries;
   stats_.finish_time = std::max(stats_.finish_time, copy.time);
   flow_finish_[flow] = std::max(flow_finish_[flow], copy.time);
@@ -236,26 +237,26 @@ void Network::process_header(const Event& ev) {
       tracer_->header_advanced(ev.time, ev.flow, here, ev.pos);
 
     // Tee: every visited node receives a copy.
-    deliver(ev.flow, here, ev.time, len, corrupted_by);
+    deliver(ev.flow, here, ev.time, len, corrupted_by, ev.pos);
 
     // Fault behaviour applies to the relay operation at this node.
     if (faults_ != nullptr && faults_->is_faulty(here)) {
       const RelayAction action = faults_->on_relay(here);
       if (action == RelayAction::kDrop) {
         if (tracer_ != nullptr)
-          tracer_->fault_fired(ev.time, here, ev.flow, "drop");
+          tracer_->fault_fired(ev.time, here, ev.flow, "drop", ev.pos);
         ++stats_.fault_drops;
         return;
       }
       if (action == RelayAction::kCorrupt && corrupted_by == kInvalidNode) {
         if (tracer_ != nullptr)
-          tracer_->fault_fired(ev.time, here, ev.flow, "corrupt");
+          tracer_->fault_fired(ev.time, here, ev.flow, "corrupt", ev.pos);
         ++stats_.fault_corruptions;
         corrupted_by = here;
       }
       if (action == RelayAction::kDelay) {
         if (tracer_ != nullptr)
-          tracer_->fault_fired(ev.time, here, ev.flow, "delay");
+          tracer_->fault_fired(ev.time, here, ev.flow, "delay", ev.pos);
         slow_penalty = faults_->slow_delay();
       }
     }
@@ -269,7 +270,7 @@ void Network::process_header(const Event& ev) {
     // A failed link loses the packet (and its downstream deliveries).
     if (faults_ != nullptr && faults_->link_failed(l)) {
       if (tracer_ != nullptr)
-        tracer_->link_dropped(ev.time, here, ev.flow, l);
+        tracer_->link_dropped(ev.time, here, ev.flow, l, ev.pos);
       ++stats_.link_drops;
       return;
     }
@@ -282,7 +283,8 @@ void Network::process_header(const Event& ev) {
           tracer_->packet_injected(ev.time, ev.flow, f.origin, f.route_tag,
                                    len);
         tracer_->xmit(t.start, t.tail, l,
-                      f.background ? "background" : "inject", ev.flow);
+                      f.background ? "background" : "inject", ev.flow,
+                      next_pos);
       }
       push_header(t.header_out, ev.flow, next_pos, corrupted_by);
       return;
@@ -296,7 +298,8 @@ void Network::process_header(const Event& ev) {
         reserve(l, header_ready, tail);
         if (tracer_ != nullptr)
           tracer_->xmit(header_ready, tail, l,
-                        f.background ? "background" : "cut_through", ev.flow);
+                        f.background ? "background" : "cut_through", ev.flow,
+                        next_pos);
         push_header(header_ready, ev.flow, next_pos, corrupted_by);
         return;
       }
@@ -313,7 +316,8 @@ void Network::process_header(const Event& ev) {
           if (!f.background)
             tracer_->stalled(header_ready, start, here, ev.flow);
           tracer_->xmit(start, tail, l,
-                        f.background ? "background" : "stall", ev.flow);
+                        f.background ? "background" : "stall", ev.flow,
+                        next_pos);
         }
         if (in_link != kInvalidLink)
           busy_until_[in_link] = std::max(busy_until_[in_link], tail);
@@ -333,7 +337,7 @@ void Network::process_header(const Event& ev) {
     if (tracer_ != nullptr) {
       if (!f.background) tracer_->buffered(stored, t.tail, here, ev.flow, depth);
       tracer_->xmit(t.start, t.tail, l, f.background ? "background" : "saf",
-                    ev.flow);
+                    ev.flow, next_pos);
     }
     push_header(t.header_out, ev.flow, next_pos, corrupted_by);
   };

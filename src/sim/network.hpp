@@ -285,7 +285,7 @@ class Network {
   std::uint32_t occupy_buffer(NodeId node, SimTime from, SimTime until);
 
   void deliver(FlowId flow, NodeId dest, SimTime header_time,
-               std::uint32_t len, NodeId corrupted_by);
+               std::uint32_t len, NodeId corrupted_by, std::uint32_t pos);
 };
 
 /// Exports one run's NetStats as `net.*` metrics (counters plus the

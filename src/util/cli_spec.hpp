@@ -30,11 +30,15 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "check a saved decomposition against a topology"},
     {"campaign",
      "campaign [<name>...] [--list] [--jobs <n>] [--filter <s>] "
-     "[--metrics] [--json-out <p>]",
+     "[--metrics] [--analyze] [--json-out <p>]",
      "run experiment campaigns on the parallel trial engine"},
     {"trace",
-     "trace --campaign <name> [--filter <s>] [--out <file>]",
+     "trace --campaign <name> [--filter <s>] [--out <file|->]",
      "re-run one campaign trial with event tracing (ihc-trace-v1)"},
+    {"analyze",
+     "analyze (--campaign <name> [--filter <s>] | --trace <file>) "
+     "[--out <file|->] [--heatmap]",
+     "critical path, utilization and TraceLint report (ihc-analysis-v1)"},
     {"bench-perf",
      "bench-perf [--quick] [--repeats <n>] [--out <file>]",
      "measure simulator throughput vs the legacy engine (ihc-bench-v1)"},
@@ -42,5 +46,14 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
 
 inline constexpr std::size_t kCliSubcommandCount =
     sizeof(kCliSubcommands) / sizeof(kCliSubcommands[0]);
+
+/// Process exit codes, unified across subcommands: kExitFailure for
+/// runtime failures (failed trials, TraceLint violations, unexpected
+/// exceptions), kExitUsage for configuration errors (unknown subcommand,
+/// campaign, flag or unreadable input) - main() maps ConfigError to
+/// kExitUsage so e.g. a mistyped campaign name exits 2 with the
+/// known-name list in the message.
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
 
 }  // namespace ihc

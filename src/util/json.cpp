@@ -32,6 +32,273 @@ Json& Json::push(Json value) {
   return *this;
 }
 
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<Json>& Json::items() const {
+  IHC_ENSURE(kind_ == Kind::kArray, "items() requires a JSON array");
+  return items_;
+}
+
+std::string_view Json::as_string() const {
+  IHC_ENSURE(kind_ == Kind::kString, "as_string() requires a JSON string");
+  return string_;
+}
+
+double Json::as_double() const {
+  IHC_ENSURE(is_number(), "as_double() requires a JSON number");
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    default: return double_;
+  }
+}
+
+std::int64_t Json::as_int() const {
+  IHC_ENSURE(is_number(), "as_int() requires a JSON number");
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint: return static_cast<std::int64_t>(uint_);
+    default: return std::llround(double_);
+  }
+}
+
+bool Json::as_bool() const {
+  IHC_ENSURE(kind_ == Kind::kBool, "as_bool() requires a JSON bool");
+  return bool_;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.  Depth-limited so hostile input cannot
+/// blow the stack; \uXXXX escapes outside ASCII are encoded as UTF-8.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    Json value;
+    if (!parse_value(value, 0) || (skip_ws(), pos_ != text_.size())) {
+      if (error_.empty()) error_ = "trailing characters";
+      if (error != nullptr) {
+        *error = error_ + " at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool consume(char expected, const char* what) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) return fail(what);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text_.substr(pos_, 4) != "true") return fail("bad literal");
+        pos_ += 4;
+        out = Json(true);
+        return true;
+      case 'f':
+        if (text_.substr(pos_, 5) != "false") return fail("bad literal");
+        pos_ += 5;
+        out = Json(false);
+        return true;
+      case 'n':
+        if (text_.substr(pos_, 4) != "null") return fail("bad literal");
+        pos_ += 4;
+        out = Json(nullptr);
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':'")) return false;
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.set(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "expected '}'");
+    }
+  }
+
+  bool parse_array(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.push(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "expected ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "expected string")) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("expected value");
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    if (integral) {
+      std::int64_t iv = 0;
+      auto [p, ec] = std::from_chars(first, last, iv);
+      if (ec == std::errc() && p == last) {
+        out = Json(iv);
+        return true;
+      }
+      std::uint64_t uv = 0;
+      auto [pu, ecu] = std::from_chars(first, last, uv);
+      if (ecu == std::errc() && pu == last) {
+        out = Json(uv);
+        return true;
+      }
+    }
+    double dv = 0.0;
+    auto [pd, ecd] = std::from_chars(first, last, dv);
+    if (ecd != std::errc() || pd != last) return fail("bad number");
+    out = Json(dv);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -7,11 +7,14 @@
 /// insertion order) with a deterministic serializer: doubles print via
 /// std::to_chars shortest round-trip, so two runs that produce the same
 /// values produce byte-identical documents - the property the engine's
-/// determinism tests compare.  No parser is provided; this is write-only.
+/// determinism tests compare.  A small recursive-descent parser
+/// (Json::parse) covers the read side for the trace-analysis engine,
+/// which loads ChromeTraceSink documents back from disk.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -44,6 +47,40 @@ class Json {
 
   /// Serializes the document.  indent <= 0 yields a single line.
   [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parses a JSON document.  On failure returns nullopt and, when
+  /// `error` is non-null, stores a one-line diagnostic with the byte
+  /// offset of the problem.  Numbers without '.', 'e' or 'E' parse as
+  /// integers (kInt / kUint), everything else as kDouble.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Array elements (array only).
+  [[nodiscard]] const std::vector<Json>& items() const;
+
+  /// String payload (string only).
+  [[nodiscard]] std::string_view as_string() const;
+
+  /// Numeric payload widened to double (number only).
+  [[nodiscard]] double as_double() const;
+
+  /// Numeric payload as integer; doubles are rounded to nearest.
+  [[nodiscard]] std::int64_t as_int() const;
+
+  [[nodiscard]] bool as_bool() const;
 
  private:
   enum class Kind : std::uint8_t {

@@ -115,6 +115,44 @@ TEST(ObsTrace, CollectedEventsMatchTheRunAndValidate) {
   EXPECT_FALSE(metrics.samples("net.link_utilization").empty());
 }
 
+TEST(ObsTrace, BoundedSinkKeepsTheMostRecentEvents) {
+  obs::CollectingSink all;
+  obs::Tracer full;
+  full.attach(&all);
+  run_sq4(&full, nullptr);
+  const std::vector<obs::TraceEvent>& reference = all.events();
+  ASSERT_GT(reference.size(), 500u);
+
+  obs::CollectingSink ring(500);
+  obs::Tracer bounded;
+  bounded.attach(&ring);
+  run_sq4(&bounded, nullptr);
+
+  // The ring holds exactly the most recent max_events events, in
+  // emission order, and dropped() accounts for every eviction.
+  const std::vector<obs::TraceEvent>& kept = ring.events();
+  ASSERT_EQ(kept.size(), 500u);
+  EXPECT_EQ(ring.dropped(), reference.size() - kept.size());
+  EXPECT_EQ(ring.dropped() + kept.size(), bounded.emitted());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const obs::TraceEvent& a = kept[i];
+    const obs::TraceEvent& b = reference[reference.size() - 500 + i];
+    EXPECT_STREQ(a.name, b.name);
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.track, b.track);
+    EXPECT_EQ(a.flow, b.flow);
+  }
+}
+
+TEST(ObsTrace, BoundedSinkBelowCapacityDropsNothing) {
+  obs::CollectingSink sink(std::size_t{1} << 24);
+  obs::Tracer tracer;
+  tracer.attach(&sink);
+  run_sq4(&tracer, nullptr);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.events().size(), tracer.emitted());
+}
+
 TEST(ObsTrace, UntracedRunsAreUnperturbed) {
   const AtaResult plain = run_sq4(nullptr, nullptr);
 

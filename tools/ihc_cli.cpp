@@ -34,6 +34,10 @@
 //       --filter <s>    run only trials whose id contains <s>
 //       --metrics       collect simulator metrics into the report's
 //                       `metrics` block (see EXPERIMENTS.md)
+//       --analyze       trace every trial through a bounded sink and add
+//                       per-trial ihc-analysis-v1 summaries to the
+//                       report's `analysis` block (see docs/ANALYSIS.md)
+//       --max-events <n> bounded per-trial sink capacity for --analyze
 //       --json-out <p>  write ihc-campaign-v1 JSON: a .json file path
 //                       (single campaign only) or a directory receiving
 //                       <p>/<campaign>.json (e.g. bench/results)
@@ -45,7 +49,24 @@
 //       (schema ihc-trace-v1, see docs/TRACING.md).
 //       --filter <s>    trace the first trial whose id contains <s>
 //                       (default: the campaign's first trial)
-//       --out <file>    output path (default <campaign>.trace.json)
+//       --out <file|->  output path (default <campaign>.trace.json);
+//                       `-` streams the JSON to stdout (run info goes
+//                       to stderr)
+//
+//   ihc_cli analyze (--campaign <name> | --trace <file>) [options]
+//       Analyze an ihc-trace-v1 event stream: critical-path extraction,
+//       utilization/contention timelines and TraceLint invariant checks;
+//       writes an ihc-analysis-v1 JSON report (see docs/ANALYSIS.md).
+//       Exits 1 when TraceLint finds violations.
+//       --campaign <n>  re-run + analyze one trial of a builtin campaign
+//       --filter <s>    pick the first trial whose id contains <s>
+//       --trace <file>  analyze a saved trace file instead of re-running
+//       --out <file|->  output path (default <campaign>.analysis.json);
+//                       `-` writes the JSON to stdout (summary goes to
+//                       stderr)
+//       --heatmap       also print the ASCII link-utilization heatmap
+//       --max-events <n> bounded CollectingSink capacity for --campaign
+//                       (default 2^20; evictions surface as `dropped`)
 //
 //   ihc_cli bench-perf [options]
 //       Time the pinned performance workloads on the optimized calendar
@@ -64,6 +85,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/analysis.hpp"
@@ -97,6 +119,7 @@ struct Args {
   std::string filter;
   std::string json_out;
   std::string campaign;
+  std::string trace_file;
   std::uint32_t eta = 0;  // 0 = auto
   std::uint32_t mu = 2;
   std::uint32_t cycles = 0;
@@ -110,9 +133,12 @@ struct Args {
   bool single_link = false;
   bool list = false;
   bool metrics = false;
+  bool analyze = false;
+  bool heatmap = false;
   bool quick = false;
   bool seed_given = false;
   std::uint64_t seed = 0;  // default derived from the run coordinates
+  std::size_t max_events = std::size_t{1} << 20;  // bounded-sink capacity
 };
 
 int usage() {
@@ -127,7 +153,7 @@ int usage() {
                  std::string(sub.summary).c_str());
   std::fprintf(stderr, "topology grammar: %s\n",
                std::string(topology_spec_help()).c_str());
-  return 2;
+  return kExitUsage;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -153,9 +179,13 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--filter") args.filter = next();
     else if (a == "--json-out") args.json_out = next();
     else if (a == "--campaign") args.campaign = next();
+    else if (a == "--trace") args.trace_file = next();
     else if (a == "--repeats") args.repeats = static_cast<int>(std::stol(next()));
+    else if (a == "--max-events") args.max_events = static_cast<std::size_t>(std::stoull(next()));
     else if (a == "--list") args.list = true;
     else if (a == "--metrics") args.metrics = true;
+    else if (a == "--analyze") args.analyze = true;
+    else if (a == "--heatmap") args.heatmap = true;
     else if (a == "--quick") args.quick = true;
     else if (a == "--multihop") args.multihop = true;
     else if (a == "--single-link") args.single_link = true;
@@ -343,6 +373,8 @@ int cmd_campaign(const Args& args) {
   run_options.jobs = args.jobs;
   run_options.filter = args.filter;
   run_options.collect_metrics = args.metrics;
+  run_options.analyze = args.analyze;
+  run_options.analyze_max_events = args.max_events;
 
   std::size_t failed = 0;
   for (const std::string& name : names) {
@@ -383,10 +415,18 @@ int cmd_trace(const Args& args) {
           "no trial of '" + args.campaign + "' matches filter '" +
               args.filter + "'");
 
+  // `--out -` streams the JSON document to stdout; the run info then
+  // moves to stderr so the document stays machine-consumable.
+  const bool to_stdout = args.out == "-";
   const std::string path =
       args.out.empty() ? args.campaign + ".trace.json" : args.out;
-  std::ofstream out(path, std::ios::trunc);
-  require(out.good(), "cannot open " + path + " for writing");
+  std::ofstream file;
+  if (!to_stdout) {
+    file.open(path, std::ios::trunc);
+    require(file.good(), "cannot open " + path + " for writing");
+  }
+  std::ostream& out = to_stdout ? static_cast<std::ostream&>(std::cout)
+                                : static_cast<std::ostream&>(file);
 
   // One trial, inline on this thread, with the full observability stack:
   // a streaming Chrome sink plus a metrics registry.
@@ -397,22 +437,144 @@ int cmd_trace(const Args& args) {
   exp::TrialContext ctx{registry, &tracer};
   const std::vector<exp::Metric> metrics = campaign.run(*chosen, ctx);
   sink.close();
-  out.close();
-  require(out.good(), "failed writing " + path);
+  if (!to_stdout) {
+    file.close();
+    require(file.good(), "failed writing " + path);
+  }
 
-  std::printf("campaign  : %s\n", args.campaign.c_str());
-  std::printf("trial     : %s (seed %llu)\n", chosen->id.c_str(),
-              static_cast<unsigned long long>(chosen->seed));
+  FILE* info = to_stdout ? stderr : stdout;
+  std::fprintf(info, "campaign  : %s\n", args.campaign.c_str());
+  std::fprintf(info, "trial     : %s (seed %llu)\n", chosen->id.c_str(),
+               static_cast<unsigned long long>(chosen->seed));
   for (const exp::Metric& m : metrics)
-    std::printf("metric    : %s = %s\n", m.name.c_str(),
-                fmt_double(m.value, 4).c_str());
-  std::printf("metrics   : %zu simulator metrics collected "
-              "(re-run `campaign %s --metrics --json-out ...` for JSON)\n",
-              registry.size(), args.campaign.c_str());
-  std::printf("trace     : %zu events -> %s (ihc-trace-v1; open in "
-              "https://ui.perfetto.dev or chrome://tracing)\n",
-              sink.event_count(), path.c_str());
+    std::fprintf(info, "metric    : %s = %s\n", m.name.c_str(),
+                 fmt_double(m.value, 4).c_str());
+  std::fprintf(info, "metrics   : %zu simulator metrics collected "
+               "(re-run `campaign %s --metrics --json-out ...` for JSON)\n",
+               registry.size(), args.campaign.c_str());
+  std::fprintf(info, "trace     : %zu events -> %s (ihc-trace-v1; open in "
+               "https://ui.perfetto.dev or chrome://tracing)\n",
+               sink.event_count(), to_stdout ? "stdout" : path.c_str());
   return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  require(args.campaign.empty() != args.trace_file.empty(),
+          "analyze needs exactly one of --campaign <name> or --trace "
+          "<file>");
+
+  std::vector<obs::TraceEvent> events;
+  std::size_t dropped = 0;
+  Json source = Json::object();
+  std::string default_out;
+
+  if (!args.campaign.empty()) {
+    // Re-run one trial with a bounded CollectingSink attached, exactly
+    // like `campaign --analyze` does per trial.
+    const exp::Campaign campaign =
+        exp::make_builtin_campaign(args.campaign);
+    const std::vector<exp::Trial> trials = exp::expand_trials(campaign.spec);
+    const exp::Trial* chosen = nullptr;
+    for (const exp::Trial& t : trials) {
+      if (args.filter.empty() ||
+          t.id.find(args.filter) != std::string::npos) {
+        chosen = &t;
+        break;
+      }
+    }
+    require(chosen != nullptr,
+            "no trial of '" + args.campaign + "' matches filter '" +
+                args.filter + "'");
+    obs::Tracer tracer;
+    obs::CollectingSink sink(args.max_events);
+    tracer.attach(&sink);
+    obs::MetricsRegistry registry;
+    exp::TrialContext ctx{registry, &tracer};
+    campaign.run(*chosen, ctx);
+    events = sink.events();
+    dropped = sink.dropped();
+    source.set("campaign", args.campaign);
+    source.set("trial", chosen->id);
+    source.set("seed", chosen->seed);
+    default_out = args.campaign + ".analysis.json";
+  } else {
+    events = obs::analyze::read_trace_file(args.trace_file);
+    source.set("trace_file", args.trace_file);
+    default_out = std::filesystem::path(args.trace_file).stem().string() +
+                  ".analysis.json";
+  }
+
+  const obs::analyze::Options options;
+  const obs::analyze::Analysis analysis =
+      obs::analyze::analyze_trace(events, options, dropped);
+  const Json doc = obs::analyze::to_json(analysis, &source);
+
+  const bool to_stdout = args.out == "-";
+  const std::string path = args.out.empty() ? default_out : args.out;
+  if (to_stdout) {
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream out(path, std::ios::trunc);
+    require(out.good(), "cannot open " + path + " for writing");
+    out << doc.dump(2) << "\n";
+    out.close();
+    require(out.good(), "failed writing " + path);
+  }
+
+  FILE* info = to_stdout ? stderr : stdout;
+  const bool ps = analysis.timebase == obs::TimeBase::kPicoseconds;
+  auto fmt_t = [&](SimTime t) {
+    return ps ? fmt_time_ps(t) : std::to_string(t) + " cycles";
+  };
+  std::fprintf(info, "events    : %zu analyzed, %zu dropped by the "
+               "bounded sink\n",
+               analysis.events, analysis.dropped);
+  std::fprintf(info, "topology  : %u nodes, %u links, %zu broadcast "
+               "flows\n",
+               analysis.nodes, analysis.links, analysis.flows);
+  if (analysis.critical.flow != obs::TraceEvent::kUnset)
+    std::fprintf(info, "critical  : flow %lld, %zu hops, %s total "
+                 "(wire %s, queue %s, switch %s, store %s, tail %s)\n",
+                 static_cast<long long>(analysis.critical.flow),
+                 analysis.critical.hops.size(),
+                 fmt_t(analysis.critical.total).c_str(),
+                 fmt_t(analysis.critical.wire).c_str(),
+                 fmt_t(analysis.critical.queue).c_str(),
+                 fmt_t(analysis.critical.swtch).c_str(),
+                 fmt_t(analysis.critical.store).c_str(),
+                 fmt_t(analysis.critical.tail).c_str());
+  for (const obs::analyze::StageSummary& s : analysis.stages) {
+    if (s.model != obs::TraceEvent::kUnset)
+      std::fprintf(info, "stage %-4lld: %s measured vs %s closed-form "
+                   "(delta %s)\n",
+                   static_cast<long long>(s.stage),
+                   fmt_t(s.end - s.begin).c_str(), fmt_t(s.model).c_str(),
+                   fmt_t(s.end - s.begin - s.model).c_str());
+  }
+  std::fprintf(info, "links     : %.4f mean busy fraction, %.4f max\n",
+               analysis.util.mean_busy, analysis.util.max_busy);
+  if (args.heatmap)
+    std::fputs(obs::analyze::ascii_heatmap(analysis, options).c_str(),
+               info);
+  for (const obs::analyze::LintSkipped& s : analysis.lint.skipped)
+    std::fprintf(info, "lint skip : %s (%s)\n", s.check.c_str(),
+                 s.reason.c_str());
+  for (const obs::analyze::LintViolation& v : analysis.lint.violations)
+    std::fprintf(info, "VIOLATION : [%s] %s\n", v.check.c_str(),
+                 v.message.c_str());
+  std::fprintf(info, "lint      : %zu checks run, %zu skipped, %zu "
+               "violation(s)\n",
+               analysis.lint.checks_run.size(),
+               analysis.lint.skipped.size(),
+               analysis.lint.violations.size());
+  if (!to_stdout)
+    std::fprintf(info, "wrote %s (schema ihc-analysis-v1, see "
+                 "docs/ANALYSIS.md)\n",
+                 path.c_str());
+  return analysis.lint.ok() ? 0 : kExitFailure;
 }
 
 int cmd_bench_perf(const Args& args) {
@@ -464,10 +626,16 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "bench-perf") return cmd_bench_perf(args);
     return usage();
+  } catch (const ConfigError& e) {
+    // Bad invocation (unknown campaign/flag/file): exit kExitUsage so
+    // scripts can tell misconfiguration from runtime failure.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
 }
