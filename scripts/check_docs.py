@@ -22,12 +22,19 @@ them as part of tier-1 when a build is available):
    (obs/analyze/analysis.cpp to_json) must be documented in
    docs/ANALYSIS.md.
 
-Plus two data checks: every BENCH_*.json at the repo root (the tracked
-performance baselines written by `ihc_cli bench-perf`, see
-docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document, and every
+5. Fault-schedule drift: docs/FAULTS.md must document the
+   ihc-fault-schedule-v1 schema exactly as sim/fault_schedule.cpp
+   parses it (every event kind, field and fault mode), and README.md
+   must surface the `--fault-schedule` / `--recover` run flags.
+
+Plus three data checks: every BENCH_*.json at the repo root (the
+tracked performance baselines written by `ihc_cli bench-perf`, see
+docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document, every
 ANALYSIS_*.json anywhere under the repo (e.g. the analyze-smoke CI
 artifact) must be a valid ihc-analysis-v1 document — correct schema
-tag and the full top-level structure the docs promise.
+tag and the full top-level structure the docs promise — and every
+*.fault.json anywhere under the repo (e.g. examples/q4_chaos.fault.json)
+must be a valid ihc-fault-schedule-v1 document.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.
 """
@@ -264,6 +271,68 @@ def check_analysis_reports(problems):
                             f"(violations: {lint.get('violations')})")
 
 
+# The ihc-fault-schedule-v1 schema (sim/fault_schedule.cpp from_json;
+# docs/FAULTS.md documents exactly these).
+FAULT_EVENT_FIELDS = {
+    "node_fault": ["node", "mode", "at_ps"],
+    "node_repair": ["node", "at_ps"],
+    "link_fail": ["link", "at_ps"],
+    "link_glitch": ["link", "at_ps", "duration_ps"],
+    "degrade": ["node", "at_ps"],
+}
+FAULT_MODES = ["silent", "corrupt", "random", "equivocate", "slow"]
+FAULT_TOP_OPTIONAL = ["seed", "slow_delay_ps"]
+
+
+def check_fault_schedules(problems):
+    faults_md = REPO / "docs/FAULTS.md"
+    if not faults_md.exists():
+        problems.append("docs/FAULTS.md: missing")
+        return
+    text = faults_md.read_text(encoding="utf-8")
+    if "ihc-fault-schedule-v1" not in text:
+        problems.append("docs/FAULTS.md: schema name ihc-fault-schedule-v1 "
+                        "missing")
+    for token in (list(FAULT_EVENT_FIELDS) + FAULT_MODES + FAULT_TOP_OPTIONAL
+                  + ["at_ps", "duration_ps", "node", "link", "mode"]):
+        if f"`{token}`" not in text:
+            problems.append(f"docs/FAULTS.md: ihc-fault-schedule-v1 "
+                            f"'{token}' undocumented")
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for flag in ("--fault-schedule", "--recover"):
+        if flag not in readme:
+            problems.append(f"README.md: run flag '{flag}' undocumented")
+
+    for path in sorted(REPO.rglob("*.fault.json")):
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{rel}: not valid JSON ({err})")
+            continue
+        if doc.get("schema") != "ihc-fault-schedule-v1":
+            problems.append(f"{rel}: schema is {doc.get('schema')!r}, "
+                            "expected 'ihc-fault-schedule-v1'")
+            continue
+        events = doc.get("events")
+        if not isinstance(events, list):
+            problems.append(f"{rel}: 'events' must be an array")
+            continue
+        for i, event in enumerate(events):
+            kind = event.get("kind") if isinstance(event, dict) else None
+            if kind not in FAULT_EVENT_FIELDS:
+                problems.append(f"{rel}: events[{i}] has unknown kind "
+                                f"{kind!r}")
+                continue
+            for field in FAULT_EVENT_FIELDS[kind]:
+                if field not in event:
+                    problems.append(f"{rel}: events[{i}] ({kind}) missing "
+                                    f"field '{field}'")
+            if kind == "node_fault" and event.get("mode") not in FAULT_MODES:
+                problems.append(f"{rel}: events[{i}] has unknown mode "
+                                f"{event.get('mode')!r}")
+
+
 def main():
     problems = []
     check_links(problems)
@@ -271,6 +340,7 @@ def main():
     check_metric_names(problems)
     check_bench_reports(problems)
     check_analysis_reports(problems)
+    check_fault_schedules(problems)
     for p in problems:
         print(p, file=sys.stderr)
     if problems:

@@ -31,6 +31,10 @@ struct AtaOptions {
       DeliveryLedger::Granularity::kCounts;
   /// Optional Byzantine faults (not owned; may be nullptr).
   FaultPlan* faults = nullptr;
+  /// Optional dynamic fault schedule (not owned; may be nullptr):
+  /// timestamped fault onset / repair / link glitches consulted as
+  /// simulated time advances (sim/fault_schedule.hpp, docs/FAULTS.md).
+  FaultSchedule* schedule = nullptr;
   /// Optional signing keys; when set, every packet carries a MAC.
   const KeyRing* keys = nullptr;
   /// Optional per-origin packet contents, indexed by NodeId (not owned;

@@ -37,6 +37,7 @@ AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
                            const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
   add_hc_broadcast(net, topo, source, 0, options);
   net.run();
@@ -46,6 +47,7 @@ AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
 AtaResult run_hc_ata(const Topology& topo, const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
   SimTime start = 0;
   for (NodeId source = 0; source < topo.node_count(); ++source) {

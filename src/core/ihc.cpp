@@ -46,6 +46,7 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
 
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
   const auto overlap =
       static_cast<SimTime>(options.net.mu - 1) * options.net.alpha;

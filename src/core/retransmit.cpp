@@ -5,6 +5,8 @@
 
 #include "core/reassembly.hpp"
 #include "core/runner.hpp"
+#include "obs/obs.hpp"
+#include "sim/fault_schedule.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
@@ -21,6 +23,40 @@ std::uint64_t fragment_payload(NodeId origin, std::uint16_t seq) {
 
 std::uint16_t payload_seq(std::uint64_t payload) {
   return static_cast<std::uint16_t>(payload >> 52);
+}
+
+/// True when a drop is certain or possible through this mode.
+bool drops_relays(std::optional<FaultMode> mode) {
+  return mode == FaultMode::kSilent || mode == FaultMode::kRandom;
+}
+
+/// True when every hop of origin's route along `hc` (position `pos`,
+/// N-1 hops) is usable at time `at`: no dead link and no drop-capable
+/// relay.  `at` is the reissue injection time; a glitch that starts or
+/// ends while the reissue is in flight can still invalidate the guess -
+/// the capped retry loop absorbs that.
+bool route_alive(const Graph& g, const DirectedCycle& hc, std::size_t pos,
+                 const AtaOptions& options, SimTime at) {
+  const std::size_t n = hc.length();
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    const std::size_t i = (pos + step) % n;
+    const LinkId l = g.link(hc.at(i), hc.at((i + 1) % n));
+    if (options.faults != nullptr && options.faults->link_failed(l))
+      return false;
+    if (options.schedule != nullptr && options.schedule->link_dead(l, at))
+      return false;
+    if (step > 0) {
+      const NodeId relay = hc.at(i);
+      if (options.schedule != nullptr &&
+          options.schedule->mode_at(relay, at).has_value()) {
+        if (drops_relays(options.schedule->mode_at(relay, at))) return false;
+      } else if (options.faults != nullptr &&
+                 drops_relays(options.faults->mode_of(relay))) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -52,6 +88,7 @@ RetransmitReport run_with_retransmission(const Topology& topo,
   RetransmitReport report;
   Network net(topo.graph(), base_options.net, DeliveryLedger::Granularity::kFull);
   net.set_fault_plan(base_options.faults);
+  net.set_fault_schedule(base_options.schedule);
   attach_observability(net, base_options);
   SimTime start = 0;
 
@@ -140,6 +177,142 @@ RetransmitReport run_with_retransmission(const Topology& topo,
         break;
       }
     }
+  return report;
+}
+
+RecoveryReport run_ihc_with_recovery(const Topology& topo,
+                                     const IhcOptions& ihc,
+                                     const AtaOptions& options,
+                                     const RecoveryPolicy& policy) {
+  require(ihc.eta >= 1 && ihc.eta <= topo.node_count(),
+          "eta must lie in [1, N]");
+  require(policy.max_retries >= 1, "need at least one recovery retry");
+  require(policy.detection_timeout >= 0,
+          "detection timeout must be >= 0");
+  const auto& cycles = topo.directed_cycles();
+  require(policy.min_copies >= 1 && policy.min_copies <= cycles.size(),
+          "min_copies must lie in [1, gamma]");
+
+  const NodeId n = topo.node_count();
+  Network net(topo.graph(), options.net, options.granularity);
+  net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
+  attach_observability(net, options);
+
+  RecoveryReport report;
+  SimTime start = 0;
+  std::int64_t stage_counter = 0;
+
+  // Initial broadcast: eta-interleaved stages, global barrier (the
+  // detection step below needs the drained network between rounds
+  // anyway, exactly like selective retransmission).
+  const std::uint32_t rounds =
+      ihc_packet_count(ihc.message_units, options.net.mu);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    for (std::uint32_t stage = 0; stage < ihc.eta; ++stage) {
+      const SimTime stage_begin = start;
+      for (std::size_t j = 0; j < cycles.size(); ++j) {
+        const DirectedCycle& hc = cycles[j];
+        for (std::size_t pos = stage; pos < hc.length(); pos += ihc.eta) {
+          const NodeId origin = hc.at(pos);
+          FlowSpec flow = make_flow(origin, static_cast<std::uint16_t>(j),
+                                    start, options);
+          flow.cycle_path = CyclePathRoute{
+              &hc, static_cast<std::uint32_t>(pos), n - 1};
+          net.add_flow(std::move(flow));
+        }
+      }
+      net.run();
+      start = net.stats().finish_time;
+      if (options.tracer != nullptr)
+        options.tracer->stage_span(stage_begin, start, "stage",
+                                   stage_counter);
+      if (options.metrics != nullptr)
+        options.metrics->observe("ihc.stage_latency_ps",
+                                 static_cast<double>(start - stage_begin));
+      ++stage_counter;
+    }
+  }
+  report.initial_finish = net.stats().finish_time;
+  report.finish = report.initial_finish;
+
+  auto pairs_below_target = [&]() {
+    std::uint64_t count = 0;
+    for (NodeId o = 0; o < n; ++o)
+      for (NodeId d = 0; d < n; ++d)
+        if (o != d && net.ledger().copies(o, d) < policy.min_copies)
+          ++count;
+    return count;
+  };
+  report.initial_complete = pairs_below_target() == 0;
+
+  // Recovery rounds: wait out the detection timeout, then re-issue every
+  // missing origin's broadcast on the cycles whose routes are still
+  // alive.  Reissues stay eta-interleaved so the paper's intermediate-
+  // storage capacity argument (eta >= mu) keeps holding during recovery -
+  // TraceLint's buffer_bound check gates that.  A mispredicted glitch
+  // simply feeds the next retry.
+  for (std::uint32_t retry = 1;
+       retry <= policy.max_retries && pairs_below_target() > 0; ++retry) {
+    const SimTime at = report.finish + policy.detection_timeout;
+    std::vector<std::uint8_t> needs(n, 0);
+    for (NodeId o = 0; o < n; ++o)
+      for (NodeId d = 0; d < n; ++d)
+        if (o != d && net.ledger().copies(o, d) < policy.min_copies)
+          needs[o] = 1;
+    std::uint64_t reissued = 0;
+    SimTime reissue_start = at;
+    for (std::uint32_t stage = 0; stage < ihc.eta; ++stage) {
+      std::uint64_t staged = 0;
+      for (std::size_t j = 0; j < cycles.size(); ++j) {
+        const DirectedCycle& hc = cycles[j];
+        for (std::size_t pos = stage; pos < hc.length(); pos += ihc.eta) {
+          const NodeId origin = hc.at(pos);
+          if (needs[origin] == 0) continue;
+          if (!route_alive(topo.graph(), hc, pos, options, reissue_start))
+            continue;
+          FlowSpec flow = make_flow(origin, static_cast<std::uint16_t>(j),
+                                    reissue_start, options);
+          flow.cycle_path = CyclePathRoute{
+              &hc, static_cast<std::uint32_t>(pos), n - 1};
+          net.add_flow(std::move(flow));
+          ++staged;
+        }
+      }
+      if (staged == 0) continue;
+      reissued += staged;
+      net.run();
+      reissue_start = net.stats().finish_time;
+    }
+    if (reissued == 0) break;  // nothing alive to reissue on - give up
+    ++report.retries_used;
+    report.flows_reissued += reissued;
+    report.finish = net.stats().finish_time;
+    if (options.tracer != nullptr)
+      options.tracer->stage_span(at, report.finish, "recovery", retry);
+  }
+
+  report.unrecovered_pairs = pairs_below_target();
+  report.complete = report.unrecovered_pairs == 0;
+  report.recovery_latency = report.finish - report.initial_finish;
+  if (options.metrics != nullptr) {
+    options.metrics->count(
+        "ihc.recovery_retries",
+        static_cast<std::int64_t>(report.retries_used));
+    options.metrics->count(
+        "ihc.recovery_reissues",
+        static_cast<std::int64_t>(report.flows_reissued));
+    options.metrics->count(
+        "ihc.recovery_unrecovered_pairs",
+        static_cast<std::int64_t>(report.unrecovered_pairs));
+    if (report.retries_used > 0)
+      options.metrics->observe(
+          "ihc.recovery_latency_ps",
+          static_cast<double>(report.recovery_latency));
+  }
+  net.flush_metrics();
+  report.stats = net.stats();
+  report.ledger = std::move(net.ledger());
   return report;
 }
 

@@ -43,4 +43,48 @@ struct RetransmitReport {
     const Topology& topo, const AtaOptions& base_options,
     const RetransmitConfig& config);
 
+// --- Mid-broadcast fault recovery ----------------------------------------
+//
+// Graceful degradation at the IHC layer (docs/FAULTS.md): when a
+// Hamiltonian-cycle edge dies mid-stage (AtaOptions::schedule), the
+// affected routes' traffic is re-issued on the surviving edge-disjoint
+// cycles, using the same round machinery as selective retransmission -
+// run, detect (pairs below the per-pair copy target), wait a detection
+// timeout, reissue on routes still alive, repeat up to a retry cap.
+
+struct RecoveryPolicy {
+  /// Simulated time between a round draining and the reissue injections
+  /// (models failure detection plus the control round-trip).
+  SimTime detection_timeout = sim_us(5);
+  std::uint32_t max_retries = 3;
+  /// Per-pair delivery target: a pair with fewer ledger copies than this
+  /// counts as missing.  Use the topology's gamma to demand the full
+  /// edge-disjoint redundancy, 1 for plain delivery.
+  std::uint32_t min_copies = 1;
+};
+
+struct RecoveryReport {
+  bool complete = false;          ///< every pair reached min_copies
+  bool initial_complete = false;  ///< ... already before any retry
+  std::uint32_t retries_used = 0;
+  std::uint64_t flows_reissued = 0;
+  std::uint64_t unrecovered_pairs = 0;
+  SimTime initial_finish = 0;
+  SimTime finish = 0;
+  /// finish - initial_finish: the simulated time recovery added (0 for a
+  /// clean run).
+  SimTime recovery_latency = 0;
+  NetStats stats;
+  DeliveryLedger ledger;
+};
+
+/// Runs an eta-interleaved IHC broadcast (global stage barrier) under the
+/// options' static faults and dynamic schedule, then applies the recovery
+/// policy until every ordered pair holds min_copies copies or the retry
+/// budget is exhausted.  Exports ihc.recovery_* metrics and "recovery"
+/// stage spans through the attached observability.
+[[nodiscard]] RecoveryReport run_ihc_with_recovery(
+    const Topology& topo, const IhcOptions& ihc, const AtaOptions& options,
+    const RecoveryPolicy& policy);
+
 }  // namespace ihc

@@ -71,6 +71,7 @@ AtaResult run_sequential_tree_ata(std::string algorithm,
                                   const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
   SimTime start = 0;
   for (NodeId source = 0; source < topo.node_count(); ++source) {
@@ -93,6 +94,7 @@ AtaResult run_single_tree_broadcast(std::string algorithm,
                                     const AtaOptions& options) {
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
   add_broadcast(net, source, 0, trees(source), options);
   net.run();

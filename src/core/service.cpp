@@ -16,6 +16,7 @@ ServiceReport run_periodic_service(const Topology& topo,
 
   Network net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
+  net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
   const auto& cycles = topo.directed_cycles();
   const NodeId n = topo.node_count();

@@ -4,9 +4,11 @@
 
 #include "core/analysis.hpp"
 #include "core/ihc.hpp"
+#include "core/retransmit.hpp"
 #include "core/service.hpp"
 #include "core/verify.hpp"
 #include "core/vrs.hpp"
+#include "sim/fault_schedule.hpp"
 #include "topology/hypercube.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -225,6 +227,110 @@ Campaign make_duty_cycle() {
   return campaign;
 }
 
+// --- chaos_soak ----------------------------------------------------------
+// Dynamic fault schedules with mid-broadcast recovery (docs/FAULTS.md):
+// IHC on Q_4 under timestamped fault injection - a Hamiltonian-cycle edge
+// dying mid-stage, a node flapping silent and repairing, and a transient
+// link glitch - each recovered by re-issuing the missing traffic on the
+// surviving edge-disjoint cycles (core/retransmit.hpp recovery policy).
+
+CampaignSpec chaos_soak_spec() {
+  CampaignSpec spec;
+  spec.name = "chaos_soak";
+  spec.description =
+      "Mid-broadcast fault injection on Q_4 (gamma = 4): HC-edge death, "
+      "silent node flap and transient link glitch, recovered by reissue "
+      "on surviving cycles (min_copies = gamma)";
+  spec.axes = {
+      {"scenario", {std::string("hc_edge_death"), std::string("node_flap"),
+                    std::string("link_glitch")}},
+  };
+  spec.replicas = 3;
+  return spec;
+}
+
+/// Builds the per-trial fault schedule.  All randomness derives from the
+/// (scenario, replica) coordinates - never from worker identity - so the
+/// report is byte-identical across --jobs counts and repeated runs.
+FaultSchedule chaos_schedule(const Hypercube& cube,
+                             const std::string& scenario,
+                             std::uint32_t replica) {
+  SplitMix64 rng(derive_seed("chaos_soak", "scenario=" + scenario +
+                                               ",rep=" +
+                                               std::to_string(replica)));
+  FaultSchedule schedule(rng());
+  // A victim edge on directed cycle 0: every origin's cycle-0 route
+  // crosses it except the single origin whose route starts just past it.
+  const DirectedCycle& hc = cube.directed_cycles()[0];
+  const std::size_t pos = rng.below(hc.length());
+  const LinkId victim =
+      cube.graph().link(hc.at(pos), hc.at((pos + 1) % hc.length()));
+  if (scenario == "hc_edge_death") {
+    // Permanent death mid-stage-0 (stages land around tau_S = 5 us);
+    // statically unrecoverable at min_copies = gamma, recovered by
+    // reissue on cycle 1.
+    schedule.fail_link(victim, sim_us(2));
+  } else if (scenario == "node_flap") {
+    // A relay goes silent across most of the broadcast and is repaired
+    // before the detection timeout expires, so reissues route through it.
+    const auto node = static_cast<NodeId>(rng.below(cube.node_count()));
+    schedule.fault_node(node, FaultMode::kSilent, sim_us(1), sim_us(7));
+  } else {
+    require(scenario == "link_glitch", "unknown chaos_soak scenario");
+    // Transient glitch: packets committing to the victim link inside the
+    // window are lost; the window closes long before the reissue.  With
+    // tau_S = 5 us the stage-0 relay traffic crosses links at ~5 us, so
+    // the window opens just before that and is over well ahead of the
+    // detection timeout.
+    const auto jitter = static_cast<std::int64_t>(rng.below(1000));
+    schedule.glitch_link(victim, sim_us(4) + sim_ns(jitter), sim_us(3));
+  }
+  return schedule;
+}
+
+Campaign make_chaos_soak() {
+  auto cube = prebuilt_hypercube(4);
+  auto routes = prebuilt_routes(*cube);
+
+  Campaign campaign;
+  campaign.spec = chaos_soak_spec();
+  campaign.run = [cube, routes](const Trial& trial, TrialContext& ctx) {
+    FaultSchedule schedule =
+        chaos_schedule(*cube, trial.get_str("scenario"), trial.replica);
+
+    AtaOptions opt;
+    opt.net.alpha = sim_ns(20);
+    opt.net.tau_s = sim_us(5);
+    opt.net.mu = 2;
+    opt.net.seed = trial.seed;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
+    opt.routes = routes.get();
+    opt.schedule = &schedule;
+
+    RecoveryPolicy policy;
+    policy.detection_timeout = sim_us(5);
+    policy.max_retries = 3;
+    policy.min_copies = cube->gamma();  // demand full redundancy
+    const RecoveryReport r =
+        run_ihc_with_recovery(*cube, IhcOptions{.eta = 2}, opt, policy);
+
+    return std::vector<Metric>{
+        {"complete", r.complete ? 1.0 : 0.0},
+        {"initial_complete", r.initial_complete ? 1.0 : 0.0},
+        {"retries", static_cast<double>(r.retries_used)},
+        {"flows_reissued", static_cast<double>(r.flows_reissued)},
+        {"unrecovered_pairs", static_cast<double>(r.unrecovered_pairs)},
+        {"initial_finish_ps", static_cast<double>(r.initial_finish)},
+        {"recovery_latency_ps", static_cast<double>(r.recovery_latency)},
+        {"finish_ps", static_cast<double>(r.finish)},
+        {"fault_drops", static_cast<double>(r.stats.fault_drops)},
+        {"link_drops", static_cast<double>(r.stats.link_drops)},
+    };
+  };
+  return campaign;
+}
+
 }  // namespace
 
 const std::vector<CampaignInfo>& builtin_campaigns() {
@@ -233,7 +339,8 @@ const std::vector<CampaignInfo>& builtin_campaigns() {
     for (const auto& [spec_of, make] :
          {std::pair{&rho_sweep_spec, &make_rho_sweep},
           std::pair{&fault_tolerance_spec, &make_fault_tolerance},
-          std::pair{&duty_cycle_spec, &make_duty_cycle}}) {
+          std::pair{&duty_cycle_spec, &make_duty_cycle},
+          std::pair{&chaos_soak_spec, &make_chaos_soak}}) {
       const CampaignSpec spec = spec_of();
       v.push_back({spec.name, spec.description, spec.trial_count(), make});
     }

@@ -32,6 +32,7 @@ class Lint {
   LintResult run() {
     schema_valid();
     delivery_completeness();
+    origin_completeness();
     fifo_ordering();
     buffer_bound();
     fault_silence();
@@ -109,6 +110,56 @@ class Lint {
         violation(check, flow_tag(id, f) + " delivered to " +
                              std::to_string(distinct) + " of " +
                              std::to_string(ix_.nodes - 1) + " nodes");
+    }
+  }
+
+  /// Fault-window-aware completeness: with faults present, individual
+  /// flows legitimately die, but across ALL of one origin's flows -
+  /// redundant cycles, retransmissions, recovery reissues - every other
+  /// node must still receive that origin's message.  This is the
+  /// invariant the recovery layer (docs/FAULTS.md) restores after a
+  /// mid-broadcast link death, and it is checkable exactly when
+  /// per-flow delivery_completeness is not.
+  void origin_completeness() {
+    const char* check = "origin_completeness";
+    if (truncated()) return skip(check, kTruncated);
+    if (!ix_.has_fault)
+      return skip(check, "no fault events; per-flow completeness covers it");
+    if (ix_.foreground_flows == 0)
+      return skip(check, "no foreground flows in the trace");
+    if (ix_.nodes == 0) return skip(check, "no topology metadata");
+    mark_run(check);
+    // reached[origin * nodes + node] - the union over the origin's flows.
+    std::vector<std::uint8_t> reached(ix_.nodes * ix_.nodes, 0);
+    std::vector<std::uint8_t> has_origin(ix_.nodes, 0);
+    for (const FlowInfo& f : ix_.flows) {
+      if (!f.injected) continue;
+      if (f.origin < 0 || f.origin >= static_cast<std::int64_t>(ix_.nodes))
+        continue;  // delivery_completeness flags out-of-range coordinates
+      const auto o = static_cast<std::size_t>(f.origin);
+      has_origin[o] = 1;
+      for (const DeliveryRec& d : f.deliveries) {
+        if (d.node < 0 || d.node >= static_cast<std::int64_t>(ix_.nodes))
+          continue;
+        reached[o * ix_.nodes + static_cast<std::size_t>(d.node)] = 1;
+      }
+    }
+    for (std::size_t o = 0; o < ix_.nodes; ++o) {
+      if (has_origin[o] == 0) continue;
+      std::size_t missing = 0;
+      std::string sample;
+      for (std::size_t d = 0; d < ix_.nodes; ++d) {
+        if (d == o || reached[o * ix_.nodes + d] != 0) continue;
+        if (missing == 0) sample = std::to_string(d);
+        ++missing;
+      }
+      if (missing > 0)
+        violation(check, "origin " + std::to_string(o) + ": " +
+                             std::to_string(missing) + " of " +
+                             std::to_string(ix_.nodes - 1) +
+                             " nodes never received its message across "
+                             "any flow (first: node " +
+                             sample + ")");
     }
   }
 

@@ -88,7 +88,8 @@ std::string validate_event(const TraceEvent& e) {
         &TraceEvent::pos, &TraceEvent::depth}, {}},
       {"flit_blocked", "flit", Phase::kInstant,
        {&TraceEvent::link, &TraceEvent::vc, &TraceEvent::flow,
-        &TraceEvent::pos}, {"fifo_full", "channel_owned"}},
+        &TraceEvent::pos},
+       {"fifo_full", "channel_owned", "link_dead", "slow_node"}},
   };
   for (const Rule& rule : rules) {
     if (rule.name != name) continue;

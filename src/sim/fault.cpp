@@ -1,11 +1,16 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
+
 namespace ihc {
 
 std::vector<NodeId> FaultPlan::faulty_nodes() const {
   std::vector<NodeId> out;
   out.reserve(faults_.size());
   for (const auto& [node, mode] : faults_) out.push_back(node);
+  // unordered_map iteration order is standard-library specific; reports,
+  // traces and goldens need a stable order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -40,12 +41,22 @@ enum class RelayAction : std::uint8_t { kFaithful, kDrop, kCorrupt, kDelay };
 
 class FaultPlan {
  public:
-  FaultPlan() = default;
+  /// Every plan takes an explicit seed: a shared default would correlate
+  /// the kRandom coin flips of independently built plans.  Derive one per
+  /// plan (util/rng.hpp derive_seed) as the campaigns do.
   explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
 
   void add(NodeId node, FaultMode mode) { faults_[node] = mode; }
   [[nodiscard]] bool is_faulty(NodeId node) const {
     return faults_.contains(node);
+  }
+  /// The node's configured mode, or nullopt for a healthy node.  Lets
+  /// callers inspect a fault without consuming kRandom RNG draws (which
+  /// on_relay would).
+  [[nodiscard]] std::optional<FaultMode> mode_of(NodeId node) const {
+    const auto it = faults_.find(node);
+    if (it == faults_.end()) return std::nullopt;
+    return it->second;
   }
 
   /// Marks a directed link as failed: every packet that would cross it is
@@ -78,7 +89,7 @@ class FaultPlan {
   std::unordered_map<NodeId, FaultMode> faults_;
   std::unordered_set<LinkId> dead_links_;
   std::int64_t slow_delay_ = 0;
-  SplitMix64 rng_{0xFA17ULL};
+  SplitMix64 rng_;  // always seeded by the constructor
 };
 
 }  // namespace ihc

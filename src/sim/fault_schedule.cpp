@@ -1,0 +1,205 @@
+#include "sim/fault_schedule.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ihc {
+
+namespace {
+
+constexpr std::string_view kSchema = "ihc-fault-schedule-v1";
+
+const char* mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kSilent: return "silent";
+    case FaultMode::kCorrupt: return "corrupt";
+    case FaultMode::kRandom: return "random";
+    case FaultMode::kEquivocate: return "equivocate";
+    case FaultMode::kSlow: return "slow";
+  }
+  return "silent";
+}
+
+FaultMode mode_from_name(std::string_view name) {
+  if (name == "silent") return FaultMode::kSilent;
+  if (name == "corrupt") return FaultMode::kCorrupt;
+  if (name == "random") return FaultMode::kRandom;
+  if (name == "equivocate") return FaultMode::kEquivocate;
+  if (name == "slow") return FaultMode::kSlow;
+  detail::throw_config("fault schedule: unknown mode '" + std::string(name) +
+                       "' (known: silent, corrupt, random, equivocate, slow)");
+}
+
+/// Fetches a required integer member of an event object.
+std::int64_t event_int(const Json& event, std::string_view key,
+                       std::string_view kind) {
+  const Json* v = event.find(key);
+  if (v == nullptr || !v->is_number())
+    detail::throw_config("fault schedule: '" + std::string(kind) +
+                         "' event needs a numeric '" + std::string(key) +
+                         "'");
+  return v->as_int();
+}
+
+}  // namespace
+
+void FaultSchedule::fault_node(NodeId node, FaultMode mode, SimTime at,
+                               SimTime duration) {
+  require(at >= 0 && duration > 0, "fault window needs at >= 0, duration > 0");
+  const SimTime until =
+      duration >= kForever - at ? kForever : at + duration;
+  node_windows_.push_back(NodeWindow{node, mode, at, until});
+}
+
+void FaultSchedule::repair_node(NodeId node, SimTime at) {
+  require(at >= 0, "repair time must be >= 0");
+  for (NodeWindow& w : node_windows_) {
+    if (w.node == node && w.from < at && w.until > at) w.until = at;
+  }
+}
+
+void FaultSchedule::glitch_link(LinkId link, SimTime at, SimTime duration) {
+  require(at >= 0 && duration > 0,
+          "link glitch needs at >= 0, duration > 0");
+  const SimTime until =
+      duration >= kForever - at ? kForever : at + duration;
+  link_windows_.push_back(LinkWindow{link, at, until});
+}
+
+std::optional<FaultMode> FaultSchedule::mode_at(NodeId node, SimTime t) const {
+  // Latest-added window wins; schedules hold a handful of windows, so a
+  // reverse linear scan beats any index.
+  for (auto it = node_windows_.rbegin(); it != node_windows_.rend(); ++it) {
+    if (it->node == node && t >= it->from && t < it->until) return it->mode;
+  }
+  return std::nullopt;
+}
+
+bool FaultSchedule::link_dead(LinkId link, SimTime t) const {
+  for (const LinkWindow& w : link_windows_) {
+    if (w.link == link && t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
+RelayAction FaultSchedule::on_relay(NodeId node, SimTime t) {
+  const std::optional<FaultMode> mode = mode_at(node, t);
+  if (!mode) return RelayAction::kFaithful;
+  switch (*mode) {
+    case FaultMode::kSilent:
+      return RelayAction::kDrop;
+    case FaultMode::kCorrupt:
+      return RelayAction::kCorrupt;
+    case FaultMode::kRandom: {
+      const std::uint64_t r = rng_.below(3);
+      if (r == 0) return RelayAction::kFaithful;
+      return r == 1 ? RelayAction::kDrop : RelayAction::kCorrupt;
+    }
+    case FaultMode::kEquivocate:
+      return RelayAction::kFaithful;
+    case FaultMode::kSlow:
+      return RelayAction::kDelay;
+  }
+  return RelayAction::kFaithful;
+}
+
+FaultSchedule FaultSchedule::from_json(const Json& doc,
+                                       std::uint64_t default_seed) {
+  require(doc.is_object(), "fault schedule: document must be an object");
+  const Json* schema = doc.find("schema");
+  require(schema != nullptr && schema->is_string() &&
+              schema->as_string() == kSchema,
+          "fault schedule: 'schema' must be \"ihc-fault-schedule-v1\"");
+
+  std::uint64_t seed = default_seed;
+  if (const Json* s = doc.find("seed"); s != nullptr) {
+    require(s->is_number(), "fault schedule: 'seed' must be a number");
+    seed = static_cast<std::uint64_t>(s->as_int());
+  }
+  FaultSchedule schedule(seed);
+
+  if (const Json* d = doc.find("slow_delay_ps"); d != nullptr) {
+    require(d->is_number(),
+            "fault schedule: 'slow_delay_ps' must be a number");
+    schedule.set_slow_delay(d->as_int());
+  }
+
+  const Json* events = doc.find("events");
+  require(events != nullptr && events->is_array(),
+          "fault schedule: 'events' array is required");
+  for (const Json& event : events->items()) {
+    require(event.is_object(), "fault schedule: events must be objects");
+    const Json* kind_member = event.find("kind");
+    require(kind_member != nullptr && kind_member->is_string(),
+            "fault schedule: every event needs a string 'kind'");
+    const std::string_view kind = kind_member->as_string();
+    if (kind == "node_fault" || kind == "degrade") {
+      const auto node =
+          static_cast<NodeId>(event_int(event, "node", kind));
+      const SimTime at = event_int(event, "at_ps", kind);
+      SimTime duration = kForever;
+      if (const Json* d = event.find("duration_ps"); d != nullptr)
+        duration = d->as_int();
+      FaultMode mode = FaultMode::kSlow;  // "degrade" sugar
+      if (kind == "node_fault") {
+        const Json* m = event.find("mode");
+        require(m != nullptr && m->is_string(),
+                "fault schedule: 'node_fault' needs a string 'mode'");
+        mode = mode_from_name(m->as_string());
+      }
+      schedule.fault_node(node, mode, at, duration);
+    } else if (kind == "node_repair") {
+      schedule.repair_node(
+          static_cast<NodeId>(event_int(event, "node", kind)),
+          event_int(event, "at_ps", kind));
+    } else if (kind == "link_fail") {
+      schedule.fail_link(static_cast<LinkId>(event_int(event, "link", kind)),
+                         event_int(event, "at_ps", kind));
+    } else if (kind == "link_glitch") {
+      schedule.glitch_link(
+          static_cast<LinkId>(event_int(event, "link", kind)),
+          event_int(event, "at_ps", kind),
+          event_int(event, "duration_ps", kind));
+    } else {
+      detail::throw_config(
+          "fault schedule: unknown event kind '" + std::string(kind) +
+          "' (known: node_fault, node_repair, link_fail, link_glitch, "
+          "degrade)");
+    }
+  }
+  return schedule;
+}
+
+Json FaultSchedule::to_json() const {
+  Json events = Json::array();
+  // Repairs are applied at build time as window truncations, so the
+  // round-trip serializes bounded node_fault windows instead.
+  for (const NodeWindow& w : node_windows_) {
+    Json event = Json::object();
+    event.set("kind", "node_fault");
+    event.set("node", static_cast<std::int64_t>(w.node));
+    event.set("mode", mode_name(w.mode));
+    event.set("at_ps", w.from);
+    if (w.until != kForever) event.set("duration_ps", w.until - w.from);
+    events.push(std::move(event));
+  }
+  for (const LinkWindow& w : link_windows_) {
+    Json event = Json::object();
+    event.set("kind", w.until == kForever ? "link_fail" : "link_glitch");
+    event.set("link", static_cast<std::int64_t>(w.link));
+    event.set("at_ps", w.from);
+    if (w.until != kForever) event.set("duration_ps", w.until - w.from);
+    events.push(std::move(event));
+  }
+  Json doc = Json::object();
+  doc.set("schema", std::string(kSchema));
+  doc.set("seed", seed_);
+  if (slow_delay_ != 0) doc.set("slow_delay_ps", slow_delay_);
+  doc.set("events", std::move(events));
+  return doc;
+}
+
+}  // namespace ihc

@@ -1,0 +1,121 @@
+/// \file fault_schedule.hpp
+/// \brief Dynamic (timestamped) fault injection: faults that arrive,
+/// glitch, and are repaired *while* a broadcast is in flight.
+///
+/// The static FaultPlan freezes the adversary before the run starts; the
+/// paper's setting ("in any manner whatsoever", Section I) and the
+/// clock-sync / distributed-diagnosis applications built on ATA broadcast
+/// both assume the service keeps running across fault arrival and repair.
+/// A FaultSchedule is a set of validity *windows* the simulators consult
+/// as simulated time advances:
+///
+///  * node fault onset/repair: a node behaves per a FaultMode during
+///    [at, at + duration) and is healthy outside the window;
+///  * transient link glitches: a directed link is dead for a bounded
+///    interval (packets crossing it during the window are lost);
+///  * permanent link death: a glitch with no end;
+///  * degradation windows: a kSlow node pays its extra delay only while
+///    degraded.
+///
+/// Both engines consult the same schedule in their own timebase: the
+/// packet engine (sim/network) in picoseconds of simulated time, the flit
+/// engine (sim/flit_network) in flit cycles.  Schedules round-trip
+/// through JSON (schema `ihc-fault-schedule-v1`, docs/FAULTS.md) for the
+/// `ihc_cli run --fault-schedule` input.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/fault.hpp"
+#include "sim/params.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+class Json;
+
+class FaultSchedule {
+ public:
+  /// Open-ended window sentinel (a fault never repaired).
+  static constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+
+  /// Like FaultPlan, every schedule takes an explicit seed (used by the
+  /// kRandom coin flips); derive one per schedule via derive_seed.
+  explicit FaultSchedule(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  // --- builders ----------------------------------------------------------
+
+  /// Node `node` behaves per `mode` during [at, at + duration).
+  void fault_node(NodeId node, FaultMode mode, SimTime at,
+                  SimTime duration = kForever);
+  /// Truncates every window of `node` that is open at `at` (a repair);
+  /// windows starting later (a re-fault) are untouched.
+  void repair_node(NodeId node, SimTime at);
+  /// The directed link is dead during [at, at + duration): every packet
+  /// or flit that would cross it during the window is lost / blocked.
+  void glitch_link(LinkId link, SimTime at, SimTime duration);
+  /// Permanent variant: dead from `at` onward.
+  void fail_link(LinkId link, SimTime at) { glitch_link(link, at, kForever); }
+  /// Extra delay paid by a node while degraded (kSlow window) - applied
+  /// to its *origin* transmissions as well as its relays.  Picoseconds in
+  /// the packet engine, cycles in the flit engine.
+  void set_slow_delay(std::int64_t delay) { slow_delay_ = delay; }
+
+  // --- queries at simulated time t ---------------------------------------
+
+  /// The mode active at `node` at time t (the latest-added matching
+  /// window wins), or nullopt for a healthy node.
+  [[nodiscard]] std::optional<FaultMode> mode_at(NodeId node, SimTime t) const;
+  [[nodiscard]] bool link_dead(LinkId link, SimTime t) const;
+  /// Extra delay `node` imposes at time t: slow_delay() inside a kSlow
+  /// window, 0 otherwise.
+  [[nodiscard]] SimTime slow_penalty(NodeId node, SimTime t) const {
+    return mode_at(node, t) == FaultMode::kSlow ? slow_delay_ : 0;
+  }
+  /// Decides the fate of a relay through `node` at time t.  Draws the RNG
+  /// only inside an active kRandom window, so consulting the schedule for
+  /// healthy nodes never perturbs the stream.
+  [[nodiscard]] RelayAction on_relay(NodeId node, SimTime t);
+
+  [[nodiscard]] std::int64_t slow_delay() const { return slow_delay_; }
+  [[nodiscard]] bool empty() const {
+    return node_windows_.empty() && link_windows_.empty();
+  }
+  [[nodiscard]] std::size_t window_count() const {
+    return node_windows_.size() + link_windows_.size();
+  }
+
+  // --- JSON round-trip (schema ihc-fault-schedule-v1) --------------------
+
+  /// Parses a schedule document; throws ConfigError with a field-level
+  /// diagnostic on schema violations.  `default_seed` is used when the
+  /// document carries no "seed" member.
+  [[nodiscard]] static FaultSchedule from_json(const Json& doc,
+                                               std::uint64_t default_seed);
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct NodeWindow {
+    NodeId node;
+    FaultMode mode;
+    SimTime from;
+    SimTime until;  // exclusive; kForever = never repaired
+  };
+  struct LinkWindow {
+    LinkId link;
+    SimTime from;
+    SimTime until;
+  };
+
+  std::vector<NodeWindow> node_windows_;
+  std::vector<LinkWindow> link_windows_;
+  std::int64_t slow_delay_ = 0;
+  std::uint64_t seed_;  // kept for to_json round-trips
+  SplitMix64 rng_;
+};
+
+}  // namespace ihc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault_schedule.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -30,6 +31,7 @@ void FlitNetwork::reset(const FlitParams& params) {
   rr_.assign(g_->link_count(), 0);
   tracer_ = nullptr;
   metrics_ = nullptr;
+  schedule_ = nullptr;
 }
 
 void FlitNetwork::add_packet(FlitPacketSpec spec) {
@@ -61,6 +63,26 @@ bool FlitNetwork::inject(std::uint32_t p, std::uint64_t cycle) {
   Packet& packet = packets_[p];
   if (packet.flits_injected >= packet.spec.length_flits) return false;
   if (cycle < packet.spec.inject_cycle) return false;
+  if (schedule_ != nullptr) {
+    const auto t = static_cast<SimTime>(cycle);
+    if (schedule_->link_dead(packet.spec.route[0], t)) {
+      note_blocked(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
+                   "link_dead");
+      return false;
+    }
+    // A degraded origin pays slow_delay() cycles before its first flit
+    // enters the network - origin transmissions slow down exactly like
+    // relays (the packet engine's kSlow-at-injection semantics).
+    const SimTime slow =
+        schedule_->slow_penalty(g_->link_source(packet.spec.route[0]), t);
+    if (slow > 0 && packet.flits_injected == 0 &&
+        cycle <
+            packet.spec.inject_cycle + static_cast<std::uint64_t>(slow)) {
+      note_blocked(cycle, packet.spec.route[0], packet.spec.vc[0], p, 0,
+                   "slow_node");
+      return false;
+    }
+  }
   const std::size_t target =
       channel_of(packet.spec.route[0], packet.spec.vc[0]);
   if (fifo_size(target) >= params_.buffer_flits) {
@@ -148,6 +170,23 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
       const std::size_t next_hop = f.hop + 1;
       if (next_hop >= packet.spec.route.size()) continue;  // consumes here
       if (packet.spec.route[next_hop] != l) continue;
+      if (schedule_ != nullptr) {
+        const auto t = static_cast<SimTime>(cycle);
+        if (schedule_->link_dead(l, t)) {
+          note_blocked(cycle, l, packet.spec.vc[next_hop], f.packet,
+                       static_cast<std::uint32_t>(next_hop), "link_dead");
+          continue;
+        }
+        // A relay through a degraded node dwells slow_delay() extra
+        // cycles before crossing the outgoing link.
+        const SimTime slow = schedule_->slow_penalty(src, t);
+        if (slow > 0 &&
+            cycle < f.arrived_cycle + 1 + static_cast<std::uint64_t>(slow)) {
+          note_blocked(cycle, l, packet.spec.vc[next_hop], f.packet,
+                       static_cast<std::uint32_t>(next_hop), "slow_node");
+          continue;
+        }
+      }
       const std::size_t to =
           channel_of(l, packet.spec.vc[next_hop]);
       if (fifo_size(to) >= params_.buffer_flits) {

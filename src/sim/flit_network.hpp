@@ -35,6 +35,8 @@
 
 namespace ihc {
 
+class FaultSchedule;
+
 namespace obs {
 class MetricsRegistry;
 class Tracer;
@@ -97,6 +99,17 @@ class FlitNetwork {
   /// accumulate live.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Optional dynamic fault schedule (not owned; may be nullptr),
+  /// consulted in the flit-cycle timebase: a dead link blocks flits for
+  /// the window (wormhole back-pressure holds the worm in place - the
+  /// lossless counterpart of the packet engine's drop), and a degraded
+  /// (kSlow) node delays both its packet injections and every relay
+  /// through it by slow_delay() cycles.  A permanent link death can
+  /// legitimately trip the deadlock detector: nothing can move.
+  void set_fault_schedule(const FaultSchedule* schedule) {
+    schedule_ = schedule;
+  }
+
  private:
   struct Packet {
     FlitPacketSpec spec;
@@ -136,6 +149,7 @@ class FlitNetwork {
   std::vector<std::uint8_t> rr_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  const FaultSchedule* schedule_ = nullptr;
 
   [[nodiscard]] std::size_t channel_of(LinkId link, std::uint8_t vc) const {
     return static_cast<std::size_t>(vc) * g_->link_count() + link;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault_schedule.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -60,6 +61,7 @@ void Network::reset(const NetworkParams& params,
   params_ = params;
   params_.validate();
   faults_ = nullptr;
+  schedule_ = nullptr;
   flows_.clear();
   flow_finish_.clear();
   std::fill(busy_until_.begin(), busy_until_.end(), 0);
@@ -239,26 +241,51 @@ void Network::process_header(const Event& ev) {
     // Tee: every visited node receives a copy.
     deliver(ev.flow, here, ev.time, len, corrupted_by, ev.pos);
 
-    // Fault behaviour applies to the relay operation at this node.
-    if (faults_ != nullptr && faults_->is_faulty(here)) {
-      const RelayAction action = faults_->on_relay(here);
-      if (action == RelayAction::kDrop) {
-        if (tracer_ != nullptr)
-          tracer_->fault_fired(ev.time, here, ev.flow, "drop", ev.pos);
-        ++stats_.fault_drops;
-        return;
-      }
-      if (action == RelayAction::kCorrupt && corrupted_by == kInvalidNode) {
-        if (tracer_ != nullptr)
-          tracer_->fault_fired(ev.time, here, ev.flow, "corrupt", ev.pos);
-        ++stats_.fault_corruptions;
-        corrupted_by = here;
-      }
-      if (action == RelayAction::kDelay) {
-        if (tracer_ != nullptr)
-          tracer_->fault_fired(ev.time, here, ev.flow, "delay", ev.pos);
-        slow_penalty = faults_->slow_delay();
-      }
+    // Fault behaviour applies to the relay operation at this node.  An
+    // active schedule window overrides the node's static mode.
+    RelayAction action = RelayAction::kFaithful;
+    std::int64_t delay = 0;
+    if (schedule_ != nullptr &&
+        schedule_->mode_at(here, ev.time).has_value()) {
+      action = schedule_->on_relay(here, ev.time);
+      delay = schedule_->slow_delay();
+    } else if (faults_ != nullptr && faults_->is_faulty(here)) {
+      action = faults_->on_relay(here);
+      delay = faults_->slow_delay();
+    }
+    if (action == RelayAction::kDrop) {
+      if (tracer_ != nullptr)
+        tracer_->fault_fired(ev.time, here, ev.flow, "drop", ev.pos);
+      ++stats_.fault_drops;
+      return;
+    }
+    if (action == RelayAction::kCorrupt && corrupted_by == kInvalidNode) {
+      if (tracer_ != nullptr)
+        tracer_->fault_fired(ev.time, here, ev.flow, "corrupt", ev.pos);
+      ++stats_.fault_corruptions;
+      corrupted_by = here;
+    }
+    if (action == RelayAction::kDelay) {
+      if (tracer_ != nullptr)
+        tracer_->fault_fired(ev.time, here, ev.flow, "delay", ev.pos);
+      slow_penalty = delay;
+    }
+  } else {
+    // A degraded (kSlow) node's *origin* transmissions pay the same
+    // penalty as its relays.  Only the mode is inspected here - drawing
+    // on_relay for an injection would consume kRandom stream draws that
+    // belong to relays.
+    std::int64_t origin_delay = 0;
+    if (schedule_ != nullptr &&
+        schedule_->mode_at(here, ev.time) == FaultMode::kSlow)
+      origin_delay = schedule_->slow_delay();
+    else if (faults_ != nullptr &&
+             faults_->mode_of(here) == FaultMode::kSlow)
+      origin_delay = faults_->slow_delay();
+    if (origin_delay > 0) {
+      if (tracer_ != nullptr)
+        tracer_->fault_fired(ev.time, here, ev.flow, "delay", ev.pos);
+      slow_penalty = origin_delay;
     }
   }
 
@@ -268,7 +295,10 @@ void Network::process_header(const Event& ev) {
                    LinkId in_link) {
     const LinkId l = link_between(here, next);
     // A failed link loses the packet (and its downstream deliveries).
-    if (faults_ != nullptr && faults_->link_failed(l)) {
+    // Glitch windows are evaluated at the moment the packet commits to
+    // the link.
+    if ((faults_ != nullptr && faults_->link_failed(l)) ||
+        (schedule_ != nullptr && schedule_->link_dead(l, ev.time))) {
       if (tracer_ != nullptr)
         tracer_->link_dropped(ev.time, here, ev.flow, l, ev.pos);
       ++stats_.link_drops;
@@ -277,7 +307,7 @@ void Network::process_header(const Event& ev) {
     const bool injection = ev.pos == 0;
     if (injection) {
       ++stats_.injections;
-      const SafTiming t = send_saf(l, ev.time, len);
+      const SafTiming t = send_saf(l, ev.time + slow_penalty, len);
       if (tracer_ != nullptr) {
         if (!f.background)
           tracer_->packet_injected(ev.time, ev.flow, f.origin, f.route_tag,

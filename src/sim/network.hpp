@@ -39,6 +39,8 @@
 
 namespace ihc {
 
+class FaultSchedule;
+
 namespace obs {
 class MetricsRegistry;
 class Tracer;
@@ -135,6 +137,12 @@ class Network {
   /// Optional Byzantine fault plan (not owned; may be nullptr).
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
 
+  /// Optional dynamic fault schedule (not owned; may be nullptr),
+  /// consulted at event time (picoseconds).  Composes with the static
+  /// plan: while a node's schedule window is active it overrides the
+  /// node's static mode; link death is the union of both sources.
+  void set_fault_schedule(FaultSchedule* schedule) { schedule_ = schedule; }
+
   /// Attaches a structured-event tracer (not owned; nullptr detaches) and
   /// announces the topology's track layout.  With no tracer attached
   /// every instrumentation site is a branch-on-null no-op, so timing
@@ -207,6 +215,7 @@ class Network {
   const Graph* g_;
   NetworkParams params_;
   FaultPlan* faults_ = nullptr;
+  FaultSchedule* schedule_ = nullptr;
   std::vector<FlowSpec> flows_;
   std::vector<SimTime> flow_finish_;  // last delivery per flow
   std::vector<SimTime> busy_until_;

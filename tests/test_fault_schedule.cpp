@@ -1,0 +1,372 @@
+// Tests for the dynamic fault-and-recovery subsystem: FaultSchedule
+// window semantics and JSON round-trips, kSlow-at-origin parity across
+// both simulation engines, mid-stage link death recovered by reissue on
+// surviving cycles, and chaos_soak report determinism across worker
+// counts (docs/FAULTS.md).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+#include "core/ihc.hpp"
+#include "core/retransmit.hpp"
+#include "exp/exp.hpp"
+#include "graph/cycle.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/flit_network.hpp"
+#include "sim/network.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ihc {
+namespace {
+
+std::uint64_t test_seed() { return derive_seed("tests", "fault_schedule"); }
+
+TEST(FaultSchedule, WindowOnsetRepairAndLatestWins) {
+  FaultSchedule s(test_seed());
+  EXPECT_TRUE(s.empty());
+  s.fault_node(3, FaultMode::kSilent, 100);
+  EXPECT_EQ(s.mode_at(3, 99), std::nullopt);
+  EXPECT_EQ(s.mode_at(3, 100), FaultMode::kSilent);
+  EXPECT_EQ(s.mode_at(3, 1'000'000), FaultMode::kSilent);  // open-ended
+  EXPECT_EQ(s.mode_at(4, 100), std::nullopt);  // other nodes untouched
+
+  // Repair truncates the open window: closed-open [100, 500).
+  s.repair_node(3, 500);
+  EXPECT_EQ(s.mode_at(3, 499), FaultMode::kSilent);
+  EXPECT_EQ(s.mode_at(3, 500), std::nullopt);
+
+  // Overlapping windows: the latest-added wins while it is active, the
+  // earlier one shows through once it closes.
+  s.fault_node(3, FaultMode::kSlow, 200, 100);
+  EXPECT_EQ(s.mode_at(3, 250), FaultMode::kSlow);
+  EXPECT_EQ(s.mode_at(3, 350), FaultMode::kSilent);
+  EXPECT_EQ(s.mode_at(3, 600), std::nullopt);
+  EXPECT_EQ(s.window_count(), 2u);
+}
+
+TEST(FaultSchedule, LinkGlitchAndPermanentDeath) {
+  FaultSchedule s(test_seed());
+  s.glitch_link(7, 100, 50);  // dead over [100, 150)
+  EXPECT_FALSE(s.link_dead(7, 99));
+  EXPECT_TRUE(s.link_dead(7, 100));
+  EXPECT_TRUE(s.link_dead(7, 149));
+  EXPECT_FALSE(s.link_dead(7, 150));
+  EXPECT_FALSE(s.link_dead(8, 120));
+
+  s.fail_link(8, 200);  // permanent from 200 on
+  EXPECT_FALSE(s.link_dead(8, 199));
+  EXPECT_TRUE(s.link_dead(8, 200));
+  EXPECT_TRUE(s.link_dead(8, FaultSchedule::kForever - 1));
+
+  EXPECT_THROW(s.glitch_link(9, -1, 10), ConfigError);
+  EXPECT_THROW(s.glitch_link(9, 0, 0), ConfigError);
+}
+
+TEST(FaultSchedule, JsonRoundTripPreservesEveryWindow) {
+  FaultSchedule s(test_seed());
+  s.set_slow_delay(sim_us(3));
+  s.fault_node(2, FaultMode::kSilent, sim_us(1), sim_us(7));
+  s.fault_node(5, FaultMode::kSlow, 0);
+  s.glitch_link(12, sim_us(4), sim_us(3));
+  s.fail_link(0, sim_us(2));
+
+  const Json doc = s.to_json();
+  const FaultSchedule back = FaultSchedule::from_json(doc, 0);
+  EXPECT_EQ(doc.dump(0), back.to_json().dump(0));
+  EXPECT_EQ(back.mode_at(2, sim_us(5)), FaultMode::kSilent);
+  EXPECT_EQ(back.mode_at(2, sim_us(8)), std::nullopt);
+  EXPECT_EQ(back.mode_at(5, sim_us(100)), FaultMode::kSlow);
+  EXPECT_EQ(back.slow_penalty(5, 0), sim_us(3));
+  EXPECT_TRUE(back.link_dead(12, sim_us(5)));
+  EXPECT_FALSE(back.link_dead(12, sim_us(8)));
+  EXPECT_TRUE(back.link_dead(0, sim_us(100)));
+}
+
+TEST(FaultSchedule, ParsesScheduleDocumentsAndRejectsBadOnes) {
+  std::string error;
+  const auto doc = Json::parse(R"({
+    "schema": "ihc-fault-schedule-v1",
+    "slow_delay_ps": 1000,
+    "events": [
+      {"kind": "degrade", "node": 3, "at_ps": 0, "duration_ps": 500},
+      {"kind": "node_fault", "node": 1, "mode": "silent", "at_ps": 10},
+      {"kind": "node_repair", "node": 1, "at_ps": 90},
+      {"kind": "link_glitch", "link": 4, "at_ps": 20, "duration_ps": 5}
+    ]
+  })", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const FaultSchedule s = FaultSchedule::from_json(*doc, test_seed());
+  EXPECT_EQ(s.mode_at(3, 100), FaultMode::kSlow);  // "degrade" sugar
+  EXPECT_EQ(s.slow_penalty(3, 100), 1000);
+  EXPECT_EQ(s.mode_at(1, 50), FaultMode::kSilent);
+  EXPECT_EQ(s.mode_at(1, 90), std::nullopt);  // repaired
+  EXPECT_TRUE(s.link_dead(4, 22));
+
+  auto reject = [&](const char* text) {
+    std::string err;
+    const auto bad = Json::parse(text, &err);
+    ASSERT_TRUE(bad.has_value()) << err;
+    EXPECT_THROW(FaultSchedule::from_json(*bad, 0), ConfigError);
+  };
+  reject(R"({"schema": "wrong", "events": []})");
+  reject(R"({"schema": "ihc-fault-schedule-v1"})");  // no events
+  reject(R"({"schema": "ihc-fault-schedule-v1",
+             "events": [{"kind": "quantum_flux", "at_ps": 0}]})");
+  reject(R"({"schema": "ihc-fault-schedule-v1",
+             "events": [{"kind": "node_fault", "node": 1, "at_ps": 0}]})");
+  reject(R"({"schema": "ihc-fault-schedule-v1",
+             "events": [{"kind": "link_fail", "at_ps": 0}]})");
+}
+
+// --- kSlow at the origin, identically in both engines ---------------------
+
+/// A path-shaped "cycle" helper matching test_sim_network.cpp.
+struct Ring {
+  Graph g;
+  Cycle cycle;
+  DirectedCycle dir;
+  explicit Ring(NodeId n)
+      : g(make_cycle_graph(n)),
+        cycle([n] {
+          std::vector<NodeId> seq(n);
+          for (NodeId i = 0; i < n; ++i) seq[i] = i;
+          return Cycle(seq);
+        }()),
+        dir(cycle, false, n) {}
+};
+
+SimTime packet_finish(const Ring& r, const FaultSchedule* schedule,
+                      const FaultPlan* plan) {
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_ns(1000);
+  p.mu = 2;
+  Network net(r.g, p);
+  net.set_fault_plan(const_cast<FaultPlan*>(plan));
+  net.set_fault_schedule(const_cast<FaultSchedule*>(schedule));
+  FlowSpec f;
+  f.origin = 0;
+  f.cycle_path = CyclePathRoute{&r.dir, 0, 5};
+  net.add_flow(std::move(f));
+  net.run();
+  return net.stats().finish_time;
+}
+
+TEST(SlowOriginParity, PacketEngineDelaysTheOriginsOwnInjection) {
+  const Ring r(8);
+  const SimTime clean = packet_finish(r, nullptr, nullptr);
+
+  // Dynamic schedule: a degraded origin starts transmitting slow_delay
+  // later; nothing else about the run changes.
+  FaultSchedule schedule(test_seed());
+  schedule.set_slow_delay(sim_us(2));
+  schedule.fault_node(0, FaultMode::kSlow, 0);
+  EXPECT_EQ(packet_finish(r, &schedule, nullptr), clean + sim_us(2));
+
+  // Static plan: same semantics through the legacy fault path.
+  FaultPlan plan(test_seed());
+  plan.add(0, FaultMode::kSlow);
+  plan.set_slow_delay(sim_us(2));
+  EXPECT_EQ(packet_finish(r, nullptr, &plan), clean + sim_us(2));
+
+  // An active schedule window overrides the static plan mode.
+  FaultPlan noisy(test_seed());
+  noisy.add(0, FaultMode::kSlow);
+  noisy.set_slow_delay(sim_us(9));
+  EXPECT_EQ(packet_finish(r, &schedule, &noisy), clean + sim_us(2));
+}
+
+std::uint64_t flit_cycles(const Graph& g, const FaultSchedule* schedule) {
+  FlitNetwork net(g, FlitParams{.vc_count = 1, .buffer_flits = 2});
+  net.set_fault_schedule(schedule);
+  FlitPacketSpec spec;
+  spec.length_flits = 3;
+  for (NodeId i = 0; i < 4; ++i) spec.route.push_back(g.link(i, i + 1));
+  spec.vc.assign(4, 0);
+  net.add_packet(std::move(spec));
+  const FlitRunResult result = net.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 1u);
+  return result.cycles;
+}
+
+TEST(SlowOriginParity, FlitEngineDelaysTheOriginsOwnInjection) {
+  const Graph ring = make_cycle_graph(6);
+  const std::uint64_t clean = flit_cycles(ring, nullptr);
+
+  // Degraded origin: the first flit waits slow_delay cycles - the flit
+  // engine's counterpart of the packet engine's delayed injection.
+  FaultSchedule origin(test_seed());
+  origin.set_slow_delay(5);
+  origin.fault_node(0, FaultMode::kSlow, 0);
+  EXPECT_EQ(flit_cycles(ring, &origin), clean + 5);
+
+  // Degraded relay: every flit dwells the extra cycles at node 2, so the
+  // worm is late by at least slow_delay (more once the dwell backs up
+  // the upstream FIFO) - the same >= bound the packet engine's buffered
+  // slow relay gives.
+  FaultSchedule relay(test_seed());
+  relay.set_slow_delay(5);
+  relay.fault_node(2, FaultMode::kSlow, 0);
+  EXPECT_GE(flit_cycles(ring, &relay), clean + 5);
+}
+
+TEST(FlitEngine, DeadLinkBackPressuresInsteadOfDropping) {
+  // The lossless counterpart of the packet engine's link drop: a worm
+  // blocked by a permanently dead link trips the deadlock detector.
+  const Graph ring = make_cycle_graph(6);
+  FaultSchedule s(test_seed());
+  s.fail_link(ring.link(2, 3), 0);
+  FlitNetwork net(ring, FlitParams{.vc_count = 1, .buffer_flits = 2,
+                                   .stall_threshold = 64});
+  net.set_fault_schedule(&s);
+  FlitPacketSpec spec;
+  spec.length_flits = 3;
+  for (NodeId i = 0; i < 4; ++i) spec.route.push_back(ring.link(i, i + 1));
+  spec.vc.assign(4, 0);
+  net.add_packet(std::move(spec));
+  const FlitRunResult result = net.run();
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 0u);
+}
+
+// --- mid-broadcast recovery ----------------------------------------------
+
+AtaOptions q4_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+TEST(Recovery, MidStageEdgeDeathFailsStaticallyAndRecovers) {
+  const Hypercube q(4);
+  AtaOptions opt = q4_options();
+  FaultSchedule schedule(test_seed());
+  const auto& hc = q.directed_cycles()[0];
+  // Stage-0 relay traffic crosses links around tau_S = 5 us; killing a
+  // cycle-0 edge at 2 us loses every later crossing for good.
+  schedule.fail_link(q.graph().link(hc.at(0), hc.at(1)), sim_us(2));
+  opt.schedule = &schedule;
+
+  // Without recovery, the run cannot deliver the full edge-disjoint
+  // redundancy target.
+  const AtaResult plain = run_ihc(q, IhcOptions{.eta = 2}, opt);
+  EXPECT_FALSE(plain.ledger.all_pairs_have(q.gamma()));
+  EXPECT_GT(plain.stats.link_drops, 0u);
+
+  // With recovery, the missing traffic is reissued on surviving cycles
+  // and every pair reaches min_copies = gamma.
+  obs::MetricsRegistry registry;
+  opt.metrics = &registry;
+  RecoveryPolicy policy;
+  policy.min_copies = q.gamma();
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_GE(rec.retries_used, 1u);
+  EXPECT_GT(rec.flows_reissued, 0u);
+  EXPECT_EQ(rec.unrecovered_pairs, 0u);
+  EXPECT_GT(rec.recovery_latency, 0);
+  EXPECT_EQ(rec.finish, rec.initial_finish + rec.recovery_latency);
+  EXPECT_TRUE(rec.ledger.all_pairs_have(q.gamma()));
+
+  // The recovery metrics the campaign report and TraceLint consume.
+  EXPECT_EQ(registry.counter("ihc.recovery_retries"),
+            static_cast<std::int64_t>(rec.retries_used));
+  EXPECT_EQ(registry.counter("ihc.recovery_reissues"),
+            static_cast<std::int64_t>(rec.flows_reissued));
+  EXPECT_EQ(registry.counter("ihc.recovery_unrecovered_pairs"), 0);
+}
+
+TEST(Recovery, SilentFlapIsRecoveredAfterTheRepair) {
+  const Hypercube q(4);
+  AtaOptions opt = q4_options();
+  FaultSchedule schedule(test_seed());
+  schedule.fault_node(5, FaultMode::kSilent, sim_us(1));
+  schedule.repair_node(5, sim_us(8));
+  opt.schedule = &schedule;
+  RecoveryPolicy policy;
+  policy.min_copies = q.gamma();
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_EQ(rec.unrecovered_pairs, 0u);
+}
+
+TEST(Recovery, CleanRunNeedsNoRetries) {
+  const Hypercube q(3);
+  AtaOptions opt = q4_options();
+  RecoveryPolicy policy;
+  policy.min_copies = q.gamma();
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+  EXPECT_TRUE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_EQ(rec.retries_used, 0u);
+  EXPECT_EQ(rec.flows_reissued, 0u);
+  EXPECT_EQ(rec.recovery_latency, 0);
+}
+
+TEST(Recovery, RejectsUnsatisfiablePolicies) {
+  const Hypercube q(3);
+  const AtaOptions opt = q4_options();
+  RecoveryPolicy policy;
+  policy.min_copies = 0;
+  EXPECT_THROW(run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy),
+               ConfigError);
+  policy.min_copies = q.gamma() + 1;
+  EXPECT_THROW(run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy),
+               ConfigError);
+  policy.min_copies = 1;
+  policy.max_retries = 0;
+  EXPECT_THROW(run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy),
+               ConfigError);
+}
+
+// --- chaos_soak determinism ----------------------------------------------
+
+TEST(ChaosSoak, ReportIsByteIdenticalAcrossJobCountsAndRuns) {
+  const exp::Campaign campaign = exp::make_builtin_campaign("chaos_soak");
+
+  exp::RunOptions serial;
+  serial.jobs = 1;
+  serial.collect_metrics = true;
+  exp::RunOptions parallel;
+  parallel.jobs = 8;
+  parallel.collect_metrics = true;
+
+  const exp::CampaignResult a = exp::run_campaign(campaign, serial);
+  const exp::CampaignResult b = exp::run_campaign(campaign, parallel);
+  const exp::CampaignResult c = exp::run_campaign(campaign, serial);
+  EXPECT_EQ(a.failed_count(), 0u);
+
+  // The golden property: fault injection and recovery derive all their
+  // randomness from trial coordinates, never from worker identity or
+  // wall time, so the timing-free report is byte-identical across job
+  // counts and across repeated runs.
+  const exp::JsonReportOptions no_timing{.include_timing = false};
+  const std::string doc = exp::json_report(a, no_timing);
+  EXPECT_NE(doc, "");
+  EXPECT_EQ(doc, exp::json_report(b, no_timing));
+  EXPECT_EQ(doc, exp::json_report(c, no_timing));
+
+  // Every scenario starts incomplete and ends recovered, and the
+  // recovery summary metrics ride the per-trial report.
+  for (const exp::TrialResult& r : a.trials) {
+    EXPECT_DOUBLE_EQ(r.metric("initial_complete"), 0.0) << r.trial.id;
+    EXPECT_DOUBLE_EQ(r.metric("complete"), 1.0) << r.trial.id;
+    EXPECT_DOUBLE_EQ(r.metric("unrecovered_pairs"), 0.0) << r.trial.id;
+    EXPECT_GE(r.metric("retries"), 1.0) << r.trial.id;
+    EXPECT_GT(r.metric("recovery_latency_ps"), 0.0) << r.trial.id;
+  }
+  EXPECT_GT(a.metrics.counter("ihc.recovery_reissues"), 0);
+}
+
+}  // namespace
+}  // namespace ihc

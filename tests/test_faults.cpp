@@ -2,26 +2,27 @@
 #include <gtest/gtest.h>
 
 #include "sim/fault.hpp"
+#include "util/rng.hpp"
 
 namespace ihc {
 namespace {
 
 TEST(FaultPlan, HealthyNodesRelayFaithfully) {
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "faults"));
   EXPECT_FALSE(plan.is_faulty(3));
   EXPECT_EQ(plan.on_relay(3), RelayAction::kFaithful);
   EXPECT_EQ(plan.fault_count(), 0u);
 }
 
 TEST(FaultPlan, SilentNodesDropEverything) {
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "faults"));
   plan.add(3, FaultMode::kSilent);
   for (int i = 0; i < 10; ++i)
     EXPECT_EQ(plan.on_relay(3), RelayAction::kDrop);
 }
 
 TEST(FaultPlan, CorruptNodesAlterEverything) {
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "faults"));
   plan.add(3, FaultMode::kCorrupt);
   for (int i = 0; i < 10; ++i)
     EXPECT_EQ(plan.on_relay(3), RelayAction::kCorrupt);
@@ -45,7 +46,7 @@ TEST(FaultPlan, RandomNodesAreIntermittent) {
 }
 
 TEST(FaultPlan, EquivocatorsRelayButLieAsOrigins) {
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "faults"));
   plan.add(3, FaultMode::kEquivocate);
   EXPECT_EQ(plan.on_relay(3), RelayAction::kFaithful);
   const std::uint64_t honest = 42;
@@ -57,19 +58,37 @@ TEST(FaultPlan, EquivocatorsRelayButLieAsOrigins) {
 }
 
 TEST(FaultPlan, HonestOriginsAreUnaffected) {
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "faults"));
   plan.add(3, FaultMode::kCorrupt);  // corrupts relays, not its own origin
   EXPECT_EQ(plan.origin_payload(3, 42, 0), 42u);
   EXPECT_EQ(plan.origin_payload(5, 42, 0), 42u);
 }
 
-TEST(FaultPlan, FaultyNodeListing) {
-  FaultPlan plan;
-  plan.add(1, FaultMode::kSilent);
+TEST(FaultPlan, FaultyNodeListingIsSortedByNodeId) {
+  // Regression: the listing used to leak unordered_map iteration order,
+  // which varies across standard libraries.  Insert out of order and
+  // assert the result is sorted WITHOUT sorting it here.
+  FaultPlan plan(derive_seed("tests", "faults"));
   plan.add(7, FaultMode::kCorrupt);
-  auto nodes = plan.faulty_nodes();
-  std::sort(nodes.begin(), nodes.end());
-  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 7}));
+  plan.add(1, FaultMode::kSilent);
+  plan.add(12, FaultMode::kSlow);
+  plan.add(3, FaultMode::kRandom);
+  EXPECT_EQ(plan.faulty_nodes(), (std::vector<NodeId>{1, 3, 7, 12}));
+}
+
+TEST(FaultPlan, ModeAccessorDoesNotConsumeRandomDraws) {
+  FaultPlan plan(derive_seed("tests", "faults"));
+  plan.add(3, FaultMode::kRandom);
+  EXPECT_EQ(plan.mode_of(3), FaultMode::kRandom);
+  EXPECT_EQ(plan.mode_of(4), std::nullopt);
+  // Two plans with the same seed stay in lockstep even when one of them
+  // was inspected via mode_of between draws.
+  FaultPlan twin(derive_seed("tests", "faults"));
+  twin.add(3, FaultMode::kRandom);
+  for (int i = 0; i < 50; ++i) {
+    (void)plan.mode_of(3);
+    EXPECT_EQ(plan.on_relay(3), twin.on_relay(3));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/analysis.hpp"
+#include "util/rng.hpp"
 #include "core/frs.hpp"
 #include "core/verify.hpp"
 
@@ -59,7 +60,7 @@ TEST(Frs, RelayFaultsCorruptDownstreamCopies) {
   const Hypercube q(3);
   AtaOptions opt = base_options();
   opt.granularity = DeliveryLedger::Granularity::kFull;
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "frs"));
   plan.add(1, FaultMode::kCorrupt);
   opt.faults = &plan;
   const auto result = run_frs(q, opt);
@@ -81,7 +82,7 @@ TEST(Frs, SignedModeDetectsTampering) {
   opt.granularity = DeliveryLedger::Granularity::kFull;
   const KeyRing keys(5);
   opt.keys = &keys;
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "frs"));
   plan.add(1, FaultMode::kCorrupt);
   opt.faults = &plan;
   const auto result = run_frs(q, opt);

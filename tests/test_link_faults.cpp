@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 #include "core/analysis.hpp"
 #include "core/ihc.hpp"
@@ -29,7 +30,7 @@ TEST(LinkFaults, OneDeadDirectedLinkCostsPredictableDeliveries) {
   const Hypercube q(4);
   const NodeId n = q.node_count();
   AtaOptions opt = base_options();
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "link_faults"));
   const auto& hc = q.directed_cycles()[0];
   plan.fail_link(q.graph().link(hc.at(0), hc.at(1)));
   opt.faults = &plan;
@@ -52,7 +53,7 @@ TEST(LinkFaults, SeveredCableStillLeavesGammaMinus2Copies) {
   const Hypercube q(4);
   AtaOptions opt = base_options();
   opt.granularity = DeliveryLedger::Granularity::kFull;
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "link_faults"));
   const LinkId l = q.graph().link(3, 7);
   plan.fail_link(l);
   plan.fail_link(q.graph().reverse_link(l));
@@ -77,7 +78,7 @@ TEST(SlowNodes, DelayRelaysWithoutCorruptingAnything) {
   AtaOptions opt = base_options();
   const auto clean = run_ihc(q, IhcOptions{.eta = 2}, opt);
 
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "link_faults"));
   plan.add(5, FaultMode::kSlow);
   plan.set_slow_delay(sim_us(3));
   opt.faults = &plan;
@@ -99,7 +100,7 @@ TEST(SlowNodes, SlowDelayIsVisibleInTheFinishTime) {
   const Hypercube q(3);
   AtaOptions opt = base_options();
   const auto clean = run_ihc(q, IhcOptions{.eta = 2}, opt);
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "link_faults"));
   plan.add(2, FaultMode::kSlow);
   plan.set_slow_delay(sim_us(10));
   opt.faults = &plan;
@@ -108,7 +109,7 @@ TEST(SlowNodes, SlowDelayIsVisibleInTheFinishTime) {
 }
 
 TEST(LinkFaults, PlanBookkeeping) {
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "link_faults"));
   EXPECT_FALSE(plan.link_failed(3));
   plan.fail_link(3);
   EXPECT_TRUE(plan.link_failed(3));

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 #include "core/retransmit.hpp"
 #include "topology/hypercube.hpp"
@@ -63,7 +64,7 @@ TEST(Retransmit, PermanentCorruptionOnAllRoutesCannotComplete) {
   const Hypercube q(3);  // gamma = 2: only two routes per pair!
   const KeyRing keys(5);
   AtaOptions opt = base_options(&keys);
-  FaultPlan plan;
+  FaultPlan plan(derive_seed("tests", "retransmit"));
   plan.add(1, FaultMode::kCorrupt);
   plan.add(6, FaultMode::kCorrupt);
   opt.faults = &plan;

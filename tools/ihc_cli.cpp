@@ -18,6 +18,11 @@
 //       --cycles <k>                use only k directed cycles (IHC)
 //       --message-units <u>         message length per node (IHC)
 //       --seed <s>                  RNG seed
+//       --fault-schedule <file>     dynamic fault schedule JSON
+//                                   (ihc-fault-schedule-v1, docs/FAULTS.md)
+//       --recover                   (ihc) retry missing pairs on surviving
+//                                   cycles until every pair holds gamma
+//                                   copies (mid-broadcast recovery)
 //
 //   ihc_cli decompose <topology> [--out <file>]
 //       Construct (and verify) the Hamiltonian decomposition; print it or
@@ -86,6 +91,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/analysis.hpp"
@@ -93,17 +100,20 @@
 #include "core/hc_broadcast.hpp"
 #include "core/ihc.hpp"
 #include "core/ks.hpp"
+#include "core/retransmit.hpp"
 #include "core/vrs.hpp"
 #include "core/vsq.hpp"
 #include "exp/exp.hpp"
 #include "graph/hc_cache.hpp"
 #include "obs/obs.hpp"
+#include "sim/fault_schedule.hpp"
 #include "topology/factory.hpp"
 #include "topology/hex_mesh.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/lambda.hpp"
 #include "topology/square_mesh.hpp"
 #include "util/cli_spec.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -120,6 +130,7 @@ struct Args {
   std::string json_out;
   std::string campaign;
   std::string trace_file;
+  std::string fault_schedule;
   std::uint32_t eta = 0;  // 0 = auto
   std::uint32_t mu = 2;
   std::uint32_t cycles = 0;
@@ -131,6 +142,7 @@ struct Args {
   int repeats = 0;  // 0 = bench default
   bool multihop = false;
   bool single_link = false;
+  bool recover = false;
   bool list = false;
   bool metrics = false;
   bool analyze = false;
@@ -180,6 +192,8 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--json-out") args.json_out = next();
     else if (a == "--campaign") args.campaign = next();
     else if (a == "--trace") args.trace_file = next();
+    else if (a == "--fault-schedule") args.fault_schedule = next();
+    else if (a == "--recover") args.recover = true;
     else if (a == "--repeats") args.repeats = static_cast<int>(std::stol(next()));
     else if (a == "--max-events") args.max_events = static_cast<std::size_t>(std::stoull(next()));
     else if (a == "--list") args.list = true;
@@ -242,6 +256,24 @@ int cmd_run(const Args& args) {
   else
     require(args.switching == "vct", "switching must be vct|saf|wormhole");
 
+  // Dynamic fault schedule: timestamped node faults / repairs and link
+  // glitches consulted as simulated time advances (docs/FAULTS.md).
+  std::optional<FaultSchedule> schedule;
+  if (!args.fault_schedule.empty()) {
+    std::ifstream in(args.fault_schedule);
+    require(in.good(), "cannot read " + args.fault_schedule);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string parse_error;
+    const auto doc = Json::parse(buffer.str(), &parse_error);
+    require(doc.has_value(),
+            args.fault_schedule + ": " + parse_error);
+    schedule.emplace(FaultSchedule::from_json(*doc, opt.net.seed));
+    opt.schedule = &*schedule;
+  }
+  require(!args.recover || args.algo == "ihc",
+          "--recover applies to --algo ihc only");
+
   AtaResult result;
   double model = 0;
   if (args.algo == "ihc") {
@@ -254,7 +286,24 @@ int cmd_run(const Args& args) {
     io.concurrency = args.single_link
                          ? LinkConcurrency::kSingleLinkPerNode
                          : LinkConcurrency::kAllLinks;
-    result = run_ihc(*topo, io, opt);
+    if (args.recover) {
+      RecoveryPolicy policy;
+      policy.min_copies = topo->gamma();  // full edge-disjoint redundancy
+      RecoveryReport rec = run_ihc_with_recovery(*topo, io, opt, policy);
+      std::printf("recovery  : %s after %u retr%s (%llu flows reissued, "
+                  "latency %s, %llu pair(s) unrecovered)\n",
+                  rec.complete ? "complete" : "INCOMPLETE",
+                  rec.retries_used, rec.retries_used == 1 ? "y" : "ies",
+                  static_cast<unsigned long long>(rec.flows_reissued),
+                  fmt_time_ps(rec.recovery_latency).c_str(),
+                  static_cast<unsigned long long>(rec.unrecovered_pairs));
+      result.algorithm = "ihc+recovery";
+      result.finish = rec.finish;
+      result.stats = rec.stats;
+      result.ledger = std::move(rec.ledger);
+    } else {
+      result = run_ihc(*topo, io, opt);
+    }
     model = model::ihc_message_dedicated(
         topo->node_count(), io.eta,
         args.message_units ? args.message_units : args.mu, opt.net);
