@@ -22,7 +22,11 @@ them as part of tier-1 when a build is available):
    (obs/analyze/analysis.cpp to_json) must be documented in
    docs/ANALYSIS.md.
 
-5. Fault-schedule drift: docs/FAULTS.md must document the
+5. Workload schema drift: docs/WORKLOADS.md must document every field
+   of the ihc-workload-v1 schema (workload/sweep.cpp workload_report),
+   and every WORKLOAD_*.json under the repo (e.g. the workload-smoke CI
+   artifact) must be a valid ihc-workload-v1 document.
+6. Fault-schedule drift: docs/FAULTS.md must document the
    ihc-fault-schedule-v1 schema exactly as sim/fault_schedule.cpp
    parses it (every event kind, field and fault mode), and README.md
    must surface the `--fault-schedule` / `--recover` run flags.
@@ -51,7 +55,8 @@ REPO = Path(__file__).resolve().parent.parent
 TRACE_EVENTS = [
     "packet_injected", "header_advanced", "delivered", "xmit", "buffered",
     "stalled", "fault_fired", "link_dropped", "stage", "fifo_enqueue",
-    "fifo_dequeue", "flit_blocked",
+    "fifo_dequeue", "flit_blocked", "session_arrive", "session_reject",
+    "session",
 ]
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -169,13 +174,15 @@ def check_bench_reports(problems):
 
 
 # Metric keys are namespaced by engine (sim/network -> net.*, runners ->
-# ihc./ata./frs.*, sim/flit_network -> flit.*).  The emit regex tolerates
-# a line break between the call and the key (clang-format wraps long
-# observe() calls); the doc regex only accepts backticked keys in
-# docs/TRACING.md so prose mentions cannot mask a missing table row.
+# ihc./ata./frs.*, sim/flit_network -> flit.*, workload/engine ->
+# workload.*).  The emit regex tolerates a line break between the call
+# and the key (clang-format wraps long observe() calls); the doc regex
+# only accepts backticked keys in docs/TRACING.md so prose mentions
+# cannot mask a missing table row.
 METRIC_EMIT = re.compile(
-    r'(?:count|observe|maximum)\(\s*"((?:net|ihc|ata|frs|flit)\.[a-z0-9_.]+)"')
-METRIC_DOC = re.compile(r"`((?:net|ihc|ata|frs|flit)\.[a-z0-9_.]+)`")
+    r'(?:count|observe|maximum)\(\s*'
+    r'"((?:net|ihc|ata|frs|flit|workload)\.[a-z0-9_.]+)"')
+METRIC_DOC = re.compile(r"`((?:net|ihc|ata|frs|flit|workload)\.[a-z0-9_.]+)`")
 
 
 def check_metric_names(problems):
@@ -271,6 +278,80 @@ def check_analysis_reports(problems):
                             f"(violations: {lint.get('violations')})")
 
 
+# Structure of the ihc-workload-v1 schema (workload/sweep.cpp
+# workload_report; docs/WORKLOADS.md documents exactly these).
+WORKLOAD_TOP_FIELDS = [
+    "schema", "campaign", "description", "saturation_thresholds", "curves",
+]
+WORKLOAD_THRESHOLD_FIELDS = ["accepted_fraction", "latency_blowup"]
+WORKLOAD_CURVE_FIELDS = ["algorithm", "topology", "points", "saturation"]
+WORKLOAD_POINT_FIELDS = [
+    "rate_per_us", "saturated", "offered_per_us", "accepted_per_us",
+    "latency_mean_ps", "latency_p50_ps", "latency_p95_ps", "latency_p99_ps",
+    "latency_p999_ps", "offered_sessions", "admitted_sessions",
+    "rejected_sessions", "completed_sessions", "inflight_at_drain",
+    "batches", "merged_sessions", "max_queue_depth", "warmup_end_ps",
+    "fairness_jain",
+]
+WORKLOAD_SATURATION_FIELDS = ["reached", "rate_per_us",
+                              "zero_load_latency_ps"]
+
+
+def check_workload_reports(problems):
+    workloads_md = REPO / "docs/WORKLOADS.md"
+    if not workloads_md.exists():
+        problems.append("docs/WORKLOADS.md: missing")
+        return
+    text = workloads_md.read_text(encoding="utf-8")
+    if "ihc-workload-v1" not in text:
+        problems.append("docs/WORKLOADS.md: schema name ihc-workload-v1 "
+                        "missing")
+    for field in (WORKLOAD_TOP_FIELDS + WORKLOAD_THRESHOLD_FIELDS +
+                  WORKLOAD_CURVE_FIELDS + WORKLOAD_POINT_FIELDS +
+                  WORKLOAD_SATURATION_FIELDS):
+        if f"`{field}`" not in text:
+            problems.append(f"docs/WORKLOADS.md: ihc-workload-v1 field "
+                            f"'{field}' undocumented")
+
+    for path in sorted(REPO.rglob("WORKLOAD_*.json")):
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{rel}: not valid JSON ({err})")
+            continue
+        if doc.get("schema") != "ihc-workload-v1":
+            problems.append(f"{rel}: schema is {doc.get('schema')!r}, "
+                            "expected 'ihc-workload-v1'")
+            continue
+        for field in WORKLOAD_TOP_FIELDS:
+            if field not in doc:
+                problems.append(f"{rel}: missing top-level field '{field}'")
+        curves = doc.get("curves", [])
+        if not isinstance(curves, list) or not curves:
+            problems.append(f"{rel}: 'curves' must be a non-empty array")
+            continue
+        for curve in curves:
+            algo = curve.get("algorithm", "?")
+            for field in WORKLOAD_CURVE_FIELDS:
+                if field not in curve:
+                    problems.append(f"{rel}: curve {algo!r} missing field "
+                                    f"'{field}'")
+            for field in WORKLOAD_SATURATION_FIELDS:
+                if field not in curve.get("saturation", {}):
+                    problems.append(f"{rel}: curve {algo!r} saturation "
+                                    f"missing field '{field}'")
+            points = curve.get("points", [])
+            if not isinstance(points, list) or not points:
+                problems.append(f"{rel}: curve {algo!r} has no points")
+                continue
+            for i, point in enumerate(points):
+                for field in WORKLOAD_POINT_FIELDS:
+                    if field not in point:
+                        problems.append(f"{rel}: curve {algo!r} point {i} "
+                                        f"missing field '{field}'")
+
+
 # The ihc-fault-schedule-v1 schema (sim/fault_schedule.cpp from_json;
 # docs/FAULTS.md documents exactly these).
 FAULT_EVENT_FIELDS = {
@@ -340,6 +421,7 @@ def main():
     check_metric_names(problems)
     check_bench_reports(problems)
     check_analysis_reports(problems)
+    check_workload_reports(problems)
     check_fault_schedules(problems)
     for p in problems:
         print(p, file=sys.stderr)

@@ -1,0 +1,87 @@
+#include "core/session.hpp"
+
+#include "core/ks.hpp"
+#include "core/runner.hpp"
+#include "core/vrs.hpp"
+#include "core/vsq.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+namespace {
+
+/// IHC session: one flow per directed Hamiltonian cycle, N-1 hops from
+/// the origin's cycle position - the same routes run_ihc() uses, minus
+/// the stage interleaving (a session is a single-origin broadcast, so
+/// there is nothing to interleave with inside it; concurrency comes from
+/// other in-flight sessions).
+std::vector<FlowSpec> ihc_session(const Topology& topo, NodeId origin) {
+  std::vector<FlowSpec> flows;
+  const auto& cycles = topo.directed_cycles();
+  const auto hops = static_cast<std::uint32_t>(topo.node_count() - 1);
+  for (std::size_t j = 0; j < cycles.size(); ++j) {
+    FlowSpec flow;
+    flow.origin = origin;
+    flow.route_tag = static_cast<std::uint16_t>(j);
+    flow.payload = honest_payload(origin);
+    flow.cycle_path = CyclePathRoute{
+        &cycles[j], static_cast<std::uint32_t>(cycles[j].id(origin)), hops};
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> tree_session(
+    NodeId origin, std::vector<std::vector<FlowTreeNode>> trees) {
+  std::vector<FlowSpec> flows;
+  for (std::size_t copy = 0; copy < trees.size(); ++copy) {
+    FlowSpec flow;
+    flow.origin = origin;
+    flow.route_tag = static_cast<std::uint16_t>(copy);
+    flow.payload = honest_payload(origin);
+    flow.tree = std::move(trees[copy]);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+}  // namespace
+
+SessionPlanner SessionPlanner::build(std::string_view algorithm,
+                                     std::shared_ptr<const Topology> topo) {
+  require(topo != nullptr, "session planner needs a topology");
+  SessionPlanner planner;
+  planner.algorithm_ = std::string(algorithm);
+  planner.topo_ = std::move(topo);
+  const Topology& t = *planner.topo_;
+  planner.per_origin_.reserve(t.node_count());
+  for (NodeId origin = 0; origin < t.node_count(); ++origin) {
+    if (algorithm == "ihc") {
+      planner.per_origin_.push_back(ihc_session(t, origin));
+    } else if (algorithm == "vrs") {
+      const auto* cube = dynamic_cast<const Hypercube*>(&t);
+      require(cube != nullptr, "vrs sessions need a hypercube");
+      planner.per_origin_.push_back(
+          tree_session(origin, vrs_trees(*cube, origin)));
+    } else if (algorithm == "ks") {
+      const auto* hex = dynamic_cast<const HexMesh*>(&t);
+      require(hex != nullptr, "ks sessions need a hexagonal mesh");
+      planner.per_origin_.push_back(
+          tree_session(origin, ks_trees(*hex, origin)));
+    } else if (algorithm == "vsq") {
+      const auto* mesh = dynamic_cast<const SquareMesh*>(&t);
+      require(mesh != nullptr, "vsq sessions need a square mesh");
+      planner.per_origin_.push_back(
+          tree_session(origin, vsq_trees(*mesh, origin)));
+    } else {
+      require(false, "unknown session algorithm: " + planner.algorithm_ +
+                         " (expected ihc, vrs, ks or vsq)");
+    }
+  }
+  return planner;
+}
+
+}  // namespace ihc

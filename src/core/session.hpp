@@ -1,0 +1,54 @@
+/// \file session.hpp
+/// \brief Single-origin broadcast session plans for the workload engine.
+///
+/// The ATA drivers (core/ihc.cpp, core/runner.cpp) orchestrate one-shot
+/// all-to-all collectives; the continuous-service workload engine
+/// (src/workload/) instead injects *sessions* - independent single-origin
+/// reliable broadcasts arriving over time.  A SessionPlanner precomputes,
+/// for every origin, the gamma route-disjoint flow templates of one
+/// session: cycle paths along the directed Hamiltonian cycles for IHC,
+/// or the per-source dissemination trees of the VRS / KS / VSQ baselines.
+/// The engine stamps each template with an injection time and a (possibly
+/// FRS-merged) packet length and hands it to the simulator; the templates
+/// themselves are immutable after construction, so one planner is safely
+/// shared by everything a trial does.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class SessionPlanner {
+ public:
+  /// Builds the per-origin flow templates for `algorithm` on `topo`:
+  ///   "ihc"  - gamma cycle paths (any topology with directed cycles);
+  ///   "vrs"  - Ramanathan-Shin trees (topo must be a Hypercube);
+  ///   "ks"   - Kandlur-Shin trees (topo must be a HexMesh);
+  ///   "vsq"  - square-mesh trees (topo must be a SquareMesh).
+  /// The topology is retained (shared ownership) because IHC templates
+  /// point into its directed-cycle storage.
+  static SessionPlanner build(std::string_view algorithm,
+                              std::shared_ptr<const Topology> topo);
+
+  /// The flow templates of one session from `origin` (inject_time = 0,
+  /// length_units = 0; the caller overrides both).
+  [[nodiscard]] const std::vector<FlowSpec>& flows(NodeId origin) const {
+    return per_origin_.at(origin);
+  }
+
+  [[nodiscard]] const std::string& algorithm() const { return algorithm_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+ private:
+  std::string algorithm_;
+  std::shared_ptr<const Topology> topo_;
+  std::vector<std::vector<FlowSpec>> per_origin_;
+};
+
+}  // namespace ihc

@@ -1,17 +1,23 @@
 #include "exp/campaigns.hpp"
 
+#include <map>
 #include <memory>
+#include <span>
 
 #include "core/analysis.hpp"
 #include "core/ihc.hpp"
 #include "core/retransmit.hpp"
 #include "core/service.hpp"
+#include "core/session.hpp"
 #include "core/verify.hpp"
 #include "core/vrs.hpp"
 #include "sim/fault_schedule.hpp"
+#include "topology/hex_mesh.hpp"
 #include "topology/hypercube.hpp"
+#include "topology/square_mesh.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "workload/engine.hpp"
 
 namespace ihc::exp {
 
@@ -331,7 +337,136 @@ Campaign make_chaos_soak() {
   return campaign;
 }
 
+// --- saturation_sweep ----------------------------------------------------
+// Open-loop continuous broadcast service to saturation (docs/WORKLOADS.md,
+// EXPERIMENTS.md E19): Poisson session arrivals from every origin at a
+// swept per-origin rate, bounded admission queues with FRS batching,
+// measured over the steady-state window only.  IHC runs on Q_4; the tree
+// baselines run on their native topologies (VRS on Q_4, VSQ on SQ_4, KS
+// on H_3).  The arrival-stream seed derives from the rate alone, so every
+// algorithm at one rate serves the identical offered traffic realization.
+
+constexpr double kSweepRateAxis[] = {0.2, 0.4, 0.8, 1.2, 1.6};
+constexpr double kQuickRateAxis[] = {0.4, 1.2};
+
+std::string_view sweep_algos[] = {"ihc", "vrs", "vsq", "ks"};
+
+CampaignSpec saturation_spec(std::string name, bool quick) {
+  CampaignSpec spec;
+  spec.name = std::move(name);
+  spec.description =
+      std::string("Open-loop broadcast sessions per origin at rate_per_us "
+                  "(sessions/us), bounded admission queues (8) with FRS "
+                  "batching (<= 4): IHC on Q_4 vs VRS (Q_4), VSQ (SQ_4), "
+                  "KS (H_3); alpha = 20 ns, tau_S = 200 ns, mu = 2") +
+      (quick ? "; quick two-rate CI variant" : "");
+  Axis algo{"algo", {}};
+  for (const std::string_view a : sweep_algos)
+    algo.values.emplace_back(std::string(a));
+  Axis rate{"rate_per_us", {}};
+  for (const double r : quick ? std::span<const double>(kQuickRateAxis)
+                              : std::span<const double>(kSweepRateAxis))
+    rate.values.emplace_back(r);
+  spec.axes = {std::move(algo), std::move(rate)};
+  return spec;
+}
+
+CampaignSpec saturation_sweep_spec() {
+  return saturation_spec("saturation_sweep", false);
+}
+
+CampaignSpec saturation_sweep_quick_spec() {
+  return saturation_spec("saturation_sweep_quick", true);
+}
+
+Campaign make_saturation(CampaignSpec spec, std::size_t sessions_per_origin) {
+  // Planners (and the topologies their routes point into) are built and
+  // frozen here, on the caller's thread; trial workers only read them.
+  auto planners = std::make_shared<
+      std::map<std::string, SessionPlanner, std::less<>>>();
+  {
+    std::shared_ptr<const Topology> q4 = prebuilt_hypercube(4);
+    planners->emplace("ihc", SessionPlanner::build("ihc", q4));
+    planners->emplace("vrs", SessionPlanner::build("vrs", q4));
+    planners->emplace("vsq", SessionPlanner::build(
+                                 "vsq", std::make_shared<SquareMesh>(4)));
+    planners->emplace("ks", SessionPlanner::build(
+                                "ks", std::make_shared<HexMesh>(3)));
+  }
+
+  Campaign campaign;
+  campaign.spec = std::move(spec);
+  campaign.run = [planners, sessions_per_origin](const Trial& trial,
+                                                 TrialContext& ctx) {
+    const std::string& algo = trial.get_str("algo");
+    const double rate = trial.get_double("rate_per_us");
+    require(rate > 0.0, "rate_per_us must be positive");
+
+    workload::WorkloadOptions opt;
+    opt.net.alpha = sim_ns(20);
+    opt.net.tau_s = sim_ns(200);  // small startup so contention dominates
+    opt.net.mu = 2;
+    opt.arrivals.model = workload::ArrivalModel::kPoisson;
+    opt.arrivals.mean_gap_ps = static_cast<SimTime>(
+        static_cast<double>(sim_us(1)) / rate + 0.5);
+    opt.arrivals.sessions_per_origin = sessions_per_origin;
+    opt.queue_capacity = 8;
+    opt.batch_max = 4;
+    // Deliberately independent of the algo axis: every algorithm at one
+    // rate must serve the same offered arrival realization.
+    opt.seed = derive_seed(
+        "saturation_sweep",
+        "rate_per_us=" + format_param(ParamValue(rate)));
+    // Fixed-fraction warmup: every algorithm at one rate serves the same
+    // arrival streams, so a shared measurement window makes accepted-
+    // throughput differences pure admission/service effects instead of
+    // per-algorithm warmup-detection artifacts (warmup.hpp).
+    opt.warmup.mode = workload::WarmupMode::kFixedFraction;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
+
+    const workload::WorkloadResult r =
+        workload::run_workload(planners->at(algo), opt);
+    const workload::MeasurementStats& m = r.measurement;
+    return std::vector<Metric>{
+        {"offered_sessions", static_cast<double>(r.offered)},
+        {"admitted_sessions", static_cast<double>(r.admitted)},
+        {"rejected_sessions", static_cast<double>(r.rejected)},
+        {"completed_sessions", static_cast<double>(r.completed)},
+        {"inflight_at_drain", static_cast<double>(r.inflight_at_drain)},
+        {"batches", static_cast<double>(r.batches)},
+        {"merged_sessions", static_cast<double>(r.merged_sessions)},
+        {"max_queue_depth", static_cast<double>(r.max_queue_depth)},
+        {"warmup_end_ps", static_cast<double>(m.warmup_end)},
+        {"offered_per_us", m.offered_per_us},
+        {"accepted_per_us", m.accepted_per_us},
+        {"latency_mean_ps", m.mean_latency_ps},
+        {"latency_p50_ps", m.latency_ps.p50},
+        {"latency_p95_ps", m.latency_ps.p95},
+        {"latency_p99_ps", m.latency_ps.p99},
+        {"latency_p999_ps", m.latency_ps.p999},
+        {"fairness_jain", m.fairness_jain},
+    };
+  };
+  return campaign;
+}
+
+Campaign make_saturation_sweep() {
+  return make_saturation(saturation_sweep_spec(), 60);
+}
+
+Campaign make_saturation_sweep_quick() {
+  return make_saturation(saturation_sweep_quick_spec(), 24);
+}
+
 }  // namespace
+
+std::string_view saturation_sweep_topology(std::string_view algo) {
+  if (algo == "ihc" || algo == "vrs") return "Q4";
+  if (algo == "vsq") return "SQ4";
+  if (algo == "ks") return "H3";
+  return {};
+}
 
 const std::vector<CampaignInfo>& builtin_campaigns() {
   static const std::vector<CampaignInfo> infos = [] {
@@ -340,7 +475,10 @@ const std::vector<CampaignInfo>& builtin_campaigns() {
          {std::pair{&rho_sweep_spec, &make_rho_sweep},
           std::pair{&fault_tolerance_spec, &make_fault_tolerance},
           std::pair{&duty_cycle_spec, &make_duty_cycle},
-          std::pair{&chaos_soak_spec, &make_chaos_soak}}) {
+          std::pair{&chaos_soak_spec, &make_chaos_soak},
+          std::pair{&saturation_sweep_spec, &make_saturation_sweep},
+          std::pair{&saturation_sweep_quick_spec,
+                    &make_saturation_sweep_quick}}) {
       const CampaignSpec spec = spec_of();
       v.push_back({spec.name, spec.description, spec.trial_count(), make});
     }

@@ -30,4 +30,10 @@ struct CampaignInfo {
 /// the known names when it does not exist.
 [[nodiscard]] Campaign make_builtin_campaign(std::string_view name);
 
+/// Native topology of each saturation_sweep algorithm axis value
+/// ("Q4", "SQ4", "H3"); empty for unknown names.  Shared by the campaign
+/// builder and the `ihc-workload-v1` report writer (workload/sweep.cpp).
+[[nodiscard]] std::string_view saturation_sweep_topology(
+    std::string_view algo);
+
 }  // namespace ihc::exp

@@ -37,6 +37,7 @@ class Lint {
     buffer_bound();
     fault_silence();
     stage_closed_form();
+    session_conservation();
     return std::move(result_);
   }
 
@@ -218,6 +219,9 @@ class Lint {
       return skip(check, "no topology metadata to derive the bound");
     if (derived && ix_.has_background)
       return skip(check, "background traffic lifts the dedicated-mode bound");
+    if (derived && ix_.has_workload)
+      return skip(check,
+                  "streaming workload traffic lifts the dedicated-mode bound");
     mark_run(check);
     for (const BufferRec& b : ix_.buffered) {
       const std::int64_t bound =
@@ -289,6 +293,70 @@ class Lint {
                       std::to_string(measured) + " ps vs closed-form " +
                       std::to_string(model) + " ps (tolerance alpha = " +
                       std::to_string(ix_.alpha) + " ps)");
+    }
+  }
+
+  /// Workload-engine invariant: every session id arrives exactly once and
+  /// is then either rejected at admission XOR served to completion (or
+  /// still in flight at drain - no terminal event).  A session that
+  /// terminates without arriving, arrives twice, or both completes and
+  /// rejects would break the engine's conservation law
+  /// offered = completed + rejected + inflight_at_drain.
+  void session_conservation() {
+    const char* check = "session_conservation";
+    if (!ix_.has_workload)
+      return skip(check, "no workload session events in the trace");
+    if (truncated()) return skip(check, kTruncated);
+    mark_run(check);
+    struct Tally {
+      std::size_t arrives = 0, rejects = 0, completes = 0;
+      SimTime arrive_ts = 0, terminal_ts = 0;
+      std::int64_t origin = kNone;
+      bool origin_conflict = false;
+    };
+    std::map<std::int64_t, Tally> tally;
+    for (const SessionOp& op : ix_.sessions) {
+      Tally& t = tally[op.session];
+      if (t.origin == kNone) {
+        t.origin = op.origin;
+      } else if (op.origin != t.origin) {
+        t.origin_conflict = true;
+      }
+      if (op.kind == "arrive") {
+        ++t.arrives;
+        t.arrive_ts = op.ts;
+      } else if (op.kind == "reject") {
+        ++t.rejects;
+        t.terminal_ts = op.ts;
+      } else {
+        ++t.completes;
+        t.terminal_ts = op.end;
+      }
+    }
+    for (const auto& [id, t] : tally) {
+      const std::string tag = "session " + std::to_string(id);
+      if (t.arrives == 0)
+        violation(check, tag + " was rejected or completed without a "
+                             "session_arrive event");
+      if (t.arrives > 1)
+        violation(check,
+                  tag + " arrived " + std::to_string(t.arrives) + " times");
+      if (t.rejects > 0 && t.completes > 0)
+        violation(check, tag + " was both rejected and completed");
+      if (t.rejects > 1)
+        violation(check,
+                  tag + " rejected " + std::to_string(t.rejects) + " times");
+      if (t.completes > 1)
+        violation(check, tag + " completed " +
+                             std::to_string(t.completes) + " times");
+      if (t.origin_conflict)
+        violation(check, tag + " changed origin between its events");
+      if (t.arrives == 1 && t.rejects + t.completes == 1 &&
+          t.terminal_ts < t.arrive_ts)
+        violation(check, tag + " terminated at " +
+                             std::to_string(t.terminal_ts) +
+                             " ps before arriving at " +
+                             std::to_string(t.arrive_ts) + " ps");
     }
   }
 

@@ -134,6 +134,15 @@ TraceIndex build_index(const std::vector<TraceEvent>& events) {
           {e.ts, e.link, e.vc, e.flow, e.depth, name == "fifo_enqueue"});
       ix.links =
           std::max(ix.links, static_cast<std::uint32_t>(e.link + 1));
+    } else if (name == "session_arrive" || name == "session_reject" ||
+               name == "session") {
+      ix.has_workload = true;
+      ix.sessions.push_back(
+          {e.ts, e.ts + e.dur, e.stage, e.origin,
+           name == "session" ? e.len : kNone,
+           name == "session_arrive"  ? "arrive"
+           : name == "session_reject" ? "reject"
+                                      : "complete"});
     }
     // stalled / flit_blocked spans add no index state beyond the horizon.
   }

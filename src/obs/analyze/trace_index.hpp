@@ -73,6 +73,16 @@ struct FifoOp {
   bool enqueue = false;
 };
 
+/// One workload-engine session event (session_arrive / session_reject
+/// instants, "session" service spans).  `session` is the engine's global
+/// session id (carried in the stage field of the raw event).
+struct SessionOp {
+  SimTime ts = 0, end = 0;  ///< end == ts for instants
+  std::int64_t session = kNone, origin = kNone;
+  std::int64_t batch = kNone;  ///< sessions merged into the span's batch
+  std::string kind;            ///< arrive / reject / complete
+};
+
 struct TraceIndex {
   TimeBase timebase = TimeBase::kPicoseconds;
   std::uint32_t nodes = 0;  ///< from topology metadata (0 when absent)
@@ -83,6 +93,7 @@ struct TraceIndex {
   std::vector<StageRec> stages;
   std::vector<BufferRec> buffered;
   std::vector<FifoOp> fifo_ops;  ///< flit-level ops, emission order
+  std::vector<SessionOp> sessions;  ///< workload sessions, emission order
   SimTime horizon = 0;           ///< max(ts + dur) over all events
   SimTime alpha = kNone;         ///< derived per-hop header latency
   SimTime tau_s = kNone;         ///< derived startup time
@@ -90,6 +101,7 @@ struct TraceIndex {
   bool has_fault = false;           ///< any fault_fired / link_dropped
   bool has_foreground_saf = false;  ///< saf or stall xmit on a foreground flow
   bool has_background = false;      ///< any background traffic
+  bool has_workload = false;        ///< any session_* workload events
 
   /// Links terminating at `node`; kNone when the topology is unknown.
   [[nodiscard]] std::int64_t in_degree(std::int64_t node) const;

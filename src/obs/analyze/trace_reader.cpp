@@ -38,6 +38,9 @@ const NameInfo* lookup(std::string_view name) {
       {"fault_fired", "fault", "action"},
       {"link_dropped", "fault", "detail"},
       {"stage", "stage", "label"},
+      {"session_arrive", "workload", "detail"},
+      {"session_reject", "workload", "detail"},
+      {"session", "workload", "detail"},
       {"fifo_enqueue", "fifo", "detail"},
       {"fifo_dequeue", "fifo", "detail"},
       {"flit_blocked", "flit", "reason"},

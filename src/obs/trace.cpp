@@ -80,6 +80,12 @@ std::string validate_event(const TraceEvent& e) {
       {"link_dropped", "fault", Phase::kInstant,
        {&TraceEvent::node, &TraceEvent::flow, &TraceEvent::link}, {}},
       {"stage", "stage", Phase::kSpan, {}, {}},
+      {"session_arrive", "workload", Phase::kInstant,
+       {&TraceEvent::stage, &TraceEvent::origin}, {}},
+      {"session_reject", "workload", Phase::kInstant,
+       {&TraceEvent::stage, &TraceEvent::origin, &TraceEvent::depth}, {}},
+      {"session", "workload", Phase::kSpan,
+       {&TraceEvent::stage, &TraceEvent::origin, &TraceEvent::len}, {}},
       {"fifo_enqueue", "fifo", Phase::kInstant,
        {&TraceEvent::link, &TraceEvent::vc, &TraceEvent::flow,
         &TraceEvent::pos, &TraceEvent::depth}, {}},
@@ -365,6 +371,46 @@ void Tracer::stage_span(SimTime from, SimTime until, const char* label,
   e.stage = stage;
   e.origin = origin;
   e.detail = label;
+  emit(std::move(e));
+}
+
+void Tracer::session_arrived(SimTime ts, std::int64_t session,
+                             NodeId origin) {
+  TraceEvent e;
+  e.name = "session_arrive";
+  e.cat = "workload";
+  e.ts = ts;
+  e.track = node_track(origin);
+  e.stage = session;
+  e.origin = origin;
+  emit(std::move(e));
+}
+
+void Tracer::session_rejected(SimTime ts, std::int64_t session, NodeId origin,
+                              std::uint32_t depth) {
+  TraceEvent e;
+  e.name = "session_reject";
+  e.cat = "workload";
+  e.ts = ts;
+  e.track = node_track(origin);
+  e.stage = session;
+  e.origin = origin;
+  e.depth = depth;
+  emit(std::move(e));
+}
+
+void Tracer::session_span(SimTime from, SimTime until, std::int64_t session,
+                          NodeId origin, std::uint32_t batch) {
+  TraceEvent e;
+  e.name = "session";
+  e.cat = "workload";
+  e.phase = Phase::kSpan;
+  e.ts = from;
+  e.dur = until - from;
+  e.track = node_track(origin);
+  e.stage = session;
+  e.origin = origin;
+  e.len = batch;
   emit(std::move(e));
 }
 

@@ -192,6 +192,19 @@ class Tracer {
   void stage_span(SimTime from, SimTime until, const char* label,
                   std::int64_t stage, std::int64_t origin = TraceEvent::kUnset);
 
+  // -- workload engine events ----------------------------------------------
+  /// Open-loop session lifecycle (src/workload/engine.hpp).  `session` is
+  /// the engine's global session id, carried in the `stage` field; the
+  /// span's `len` is the FRS batch size the session rode in.
+  void session_arrived(SimTime ts, std::int64_t session, NodeId origin);
+  /// Bounded-queue admission rejection; depth is the queue occupancy the
+  /// arrival found.
+  void session_rejected(SimTime ts, std::int64_t session, NodeId origin,
+                        std::uint32_t depth);
+  /// Arrival-to-completion span of one accepted session.
+  void session_span(SimTime from, SimTime until, std::int64_t session,
+                    NodeId origin, std::uint32_t batch);
+
   // -- flit-level simulator events -----------------------------------------
   void fifo_enqueue(SimTime cycle, LinkId link, std::uint8_t vc,
                     std::uint32_t packet, std::uint32_t hop,

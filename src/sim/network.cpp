@@ -64,6 +64,7 @@ void Network::reset(const NetworkParams& params,
   schedule_ = nullptr;
   flows_.clear();
   flow_finish_.clear();
+  tree_outstanding_.clear();
   std::fill(busy_until_.begin(), busy_until_.end(), 0);
   queue_.reset(bucket_width_hint(params_), params_.legacy_engine);
   link_flat_ = nullptr;  // re-resolved on the next run() (engine may change)
@@ -107,6 +108,7 @@ FlowId Network::add_flow(FlowSpec spec) {
   const auto id = static_cast<FlowId>(flows_.size());
   flows_.push_back(std::move(spec));
   flow_finish_.push_back(0);
+  tree_outstanding_.push_back(0);
   push_header(flows_.back().inject_time, id, 0, kInvalidNode);
   return id;
 }
@@ -115,7 +117,10 @@ void Network::push_header(SimTime time, FlowId flow, std::uint32_t pos,
                           NodeId corrupted_by) {
   queue_.push(Event{time, seq_++, flow, pos, corrupted_by,
                     EventKind::kHeader});
-  if (!flows_[flow].background) ++pending_foreground_events_;
+  if (!flows_[flow].background) {
+    ++pending_foreground_events_;
+    if (!flows_[flow].tree.empty()) ++tree_outstanding_[flow];
+  }
 }
 
 void Network::set_tracer(obs::Tracer* tracer) {
@@ -220,6 +225,27 @@ void Network::deliver(FlowId flow, NodeId dest, SimTime header_time,
 }
 
 void Network::process_header(const Event& ev) {
+  // Tree flows detect completion by event drain: this event is consumed
+  // now, any onward sends re-increment the counter inside the impl, and
+  // a zero balance afterwards means no packet of the flow is in flight
+  // anywhere.  The hook call must stay outside the impl because it may
+  // add_flow(), which can reallocate flows_ under the impl's references.
+  const bool tracked = !flows_[ev.flow].tree.empty() &&
+                       !flows_[ev.flow].background;
+  SimTime tail_time = 0;
+  if (tracked) {
+    IHC_ENSURE(tree_outstanding_[ev.flow] > 0,
+               "tree flow event accounting broke");
+    --tree_outstanding_[ev.flow];
+    tail_time = ev.time + static_cast<SimTime>(flow_length(flows_[ev.flow])) *
+                              params_.alpha;
+  }
+  process_header_impl(ev);
+  if (tracked && tree_outstanding_[ev.flow] == 0 && completion_hook_)
+    completion_hook_(ev.flow, tail_time);
+}
+
+void Network::process_header_impl(const Event& ev) {
   const FlowSpec& f = flows_[ev.flow];
   const std::uint32_t len = flow_length(f);
   const bool is_tree = !f.tree.empty();

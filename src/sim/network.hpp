@@ -181,11 +181,15 @@ class Network {
     return flow_finish_.at(flow);
   }
 
-  /// Completion hook: invoked (during run()) when a cycle-path flow's
-  /// tail is delivered at its final node, with the delivery time.  The
-  /// hook may add_flow() - this is how drivers implement asynchronous
-  /// per-cycle stage progression (Section IV) without draining the event
-  /// queue between stages.
+  /// Completion hook: invoked (during run()) when a flow has finished,
+  /// with the finish time.  A cycle-path flow finishes when its tail is
+  /// delivered at the route's final node; a tree flow finishes when its
+  /// last in-flight packet event drains (all branches delivered - or
+  /// dropped by faults, so a faulty tree still reports completion of
+  /// whatever survived).  The hook may add_flow() - this is how drivers
+  /// implement asynchronous per-cycle stage progression (Section IV) and
+  /// how the workload engine chains continuous broadcast sessions,
+  /// without draining the event queue between stages.
   using CompletionHook = std::function<void(FlowId, SimTime)>;
   void set_completion_hook(CompletionHook hook) {
     completion_hook_ = std::move(hook);
@@ -218,6 +222,11 @@ class Network {
   FaultSchedule* schedule_ = nullptr;
   std::vector<FlowSpec> flows_;
   std::vector<SimTime> flow_finish_;  // last delivery per flow
+  /// In-flight header events per foreground *tree* flow (0 for cycle
+  /// flows, which detect completion positionally): when a tree flow's
+  /// count returns to zero every branch has delivered or dropped, and
+  /// the completion hook fires.
+  std::vector<std::uint32_t> tree_outstanding_;
   std::vector<SimTime> busy_until_;
   CalendarQueue<Event> queue_;
   std::uint32_t seq_ = 0;
@@ -255,6 +264,7 @@ class Network {
   void push_header(SimTime time, FlowId flow, std::uint32_t pos,
                    NodeId corrupted_by);
   void process_header(const Event& ev);
+  void process_header_impl(const Event& ev);
   void process_background_link(const Event& ev);
   void process_background_flow(const Event& ev);
   void start_background_if_needed();

@@ -42,6 +42,10 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
     {"bench-perf",
      "bench-perf [--quick] [--repeats <n>] [--out <file>]",
      "measure simulator throughput vs the legacy engine (ihc-bench-v1)"},
+    {"workload",
+     "workload [--campaign <name>] [--jobs <n>] [--filter <s>] "
+     "[--out <file|->]",
+     "open-loop saturation sweep: rate-vs-latency curves (ihc-workload-v1)"},
 };
 
 inline constexpr std::size_t kCliSubcommandCount =

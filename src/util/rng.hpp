@@ -77,6 +77,102 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Natural logarithm computed without libm: frexp plus the atanh series
+/// ln m = 2 * sum t^(2k+1) / (2k+1) with t = (m-1)/(m+1), m in [0.5, 1).
+/// libm's std::log is correctly rounded on some platforms and off by an
+/// ulp on others, which would leak into the workload engine's arrival
+/// streams and break cross-platform golden tests; this expansion uses
+/// only +, *, / on exactly representable intermediate values, written as
+/// separate statements so no a*b+c shape invites FMA contraction.
+/// Accurate to a few ulps over (0, inf); requires x > 0 and finite.
+[[nodiscard]] inline double portable_log(double x) {
+  IHC_ENSURE(x > 0.0 && x < std::numeric_limits<double>::infinity(),
+             "portable_log needs a positive finite argument");
+  int exp2 = 0;
+  const double m = std::frexp(x, &exp2);  // x = m * 2^exp2, m in [0.5, 1)
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;  // |t| <= 1/3, so terms shrink 9x per step
+  double term = t;
+  double sum = t;
+  for (int k = 3; k <= 41; k += 2) {
+    term *= t2;
+    const double contribution = term / static_cast<double>(k);
+    sum += contribution;
+  }
+  // ln 2 split into an exact high part and a correction so the e*ln2
+  // product stays faithfully rounded for every exponent.
+  constexpr double kLn2Hi = 0x1.62e42fefa39efp-1;
+  constexpr double kLn2Lo = 0x1.abc9e3b39803fp-56;
+  const double e = static_cast<double>(exp2);
+  double result = e * kLn2Hi;
+  result += e * kLn2Lo;
+  const double ln_m = 2.0 * sum;
+  result += ln_m;
+  return result;
+}
+
+/// Exponentially distributed inter-arrival gap with the given mean,
+/// rounded to integer picoseconds (>= 1).  Built on portable_log so one
+/// seed reproduces the identical arrival stream on every platform - the
+/// workload engine's sweeps are golden-tested on exact integer values.
+[[nodiscard]] inline std::int64_t exponential_gap_ps(SplitMix64& rng,
+                                                     std::int64_t mean_ps) {
+  IHC_ENSURE(mean_ps > 0, "mean gap must be positive");
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;  // keep log finite
+  const double gap = -static_cast<double>(mean_ps) * portable_log(u);
+  const auto rounded = static_cast<std::int64_t>(gap + 0.5);
+  return rounded < 1 ? 1 : rounded;
+}
+
+/// Markov-modulated Poisson process with two states (bursty arrivals):
+/// gaps are exponential with the current state's mean, and the process
+/// flips state after an exponential dwell time.  Crossing a dwell
+/// boundary discards the in-progress gap and redraws at the new rate -
+/// exact by the memorylessness of the exponential, not an approximation.
+/// Deterministic and platform-stable for a given seed (exponential_gap_ps
+/// throughout), so MMPP arrival streams are golden-testable too.
+class MmppGaps {
+ public:
+  /// Starts in the fast (burst) state with a freshly drawn dwell.
+  MmppGaps(SplitMix64 rng, std::int64_t fast_mean_ps,
+           std::int64_t slow_mean_ps, std::int64_t dwell_mean_ps)
+      : rng_(rng),
+        fast_mean_ps_(fast_mean_ps),
+        slow_mean_ps_(slow_mean_ps),
+        dwell_mean_ps_(dwell_mean_ps) {
+    IHC_ENSURE(fast_mean_ps > 0 && slow_mean_ps > 0 && dwell_mean_ps > 0,
+               "MMPP means must be positive");
+    dwell_left_ps_ = exponential_gap_ps(rng_, dwell_mean_ps_);
+  }
+
+  /// Next inter-arrival gap in picoseconds (>= 1).
+  [[nodiscard]] std::int64_t next() {
+    std::int64_t waited = 0;
+    for (;;) {
+      const std::int64_t mean = fast_ ? fast_mean_ps_ : slow_mean_ps_;
+      const std::int64_t gap = exponential_gap_ps(rng_, mean);
+      if (gap <= dwell_left_ps_) {
+        dwell_left_ps_ -= gap;
+        return waited + gap;
+      }
+      waited += dwell_left_ps_;
+      fast_ = !fast_;
+      dwell_left_ps_ = exponential_gap_ps(rng_, dwell_mean_ps_);
+    }
+  }
+
+  [[nodiscard]] bool in_burst() const { return fast_; }
+
+ private:
+  SplitMix64 rng_;
+  std::int64_t fast_mean_ps_;
+  std::int64_t slow_mean_ps_;
+  std::int64_t dwell_mean_ps_;
+  std::int64_t dwell_left_ps_ = 0;
+  bool fast_ = true;
+};
+
 /// FNV-1a 64-bit hash of a byte string.  Stable across platforms, runs and
 /// compilers - experiment seeds derived from it are part of the repo's
 /// reproducibility contract.

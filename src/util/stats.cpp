@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ihc {
 
@@ -43,16 +44,40 @@ void Summary::merge(const Summary& other) {
   max_ = std::max(max_, other.max_);
 }
 
-double quantile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  if (q <= 0.0) return values.front();
-  if (q >= 1.0) return values.back();
+namespace {
+
+/// Nearest-rank lookup into an already-sorted non-empty sample.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
   // Nearest rank: the smallest value with at least ceil(q*n) samples <= it.
-  const auto n = static_cast<double>(values.size());
+  const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(std::ceil(q * n));
   if (rank == 0) rank = 1;
-  return values[rank - 1];
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  return sorted_quantile(values, q);
+}
+
+Percentiles percentiles(std::vector<double> values) {
+  Percentiles p;
+  if (values.empty()) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    p.p50 = p.p95 = p.p99 = p.p999 = nan;
+    return p;
+  }
+  std::sort(values.begin(), values.end());
+  p.p50 = sorted_quantile(values, 0.50);
+  p.p95 = sorted_quantile(values, 0.95);
+  p.p99 = sorted_quantile(values, 0.99);
+  p.p999 = sorted_quantile(values, 0.999);
+  return p;
 }
 
 }  // namespace ihc

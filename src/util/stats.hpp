@@ -39,7 +39,23 @@ class Summary {
 };
 
 /// Nearest-rank quantile of a sample, q in [0, 1].  Sorts a copy; returns
-/// 0 for an empty sample (matching Summary's empty-state convention).
+/// quiet NaN for an empty sample - a defined sentinel distinguishable
+/// from any real observation (a 0.0 return would be indistinguishable
+/// from a genuine zero-valued sample).  Serializers render NaN as JSON
+/// null (json_number), so an empty histogram can never masquerade as a
+/// measured zero.
 [[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// The latency percentiles the workload engine reports (p50/p95/p99/
+/// p999), extracted from one sorted pass instead of four quantile()
+/// calls.  All fields are quiet NaN for an empty sample.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+[[nodiscard]] Percentiles percentiles(std::vector<double> values);
 
 }  // namespace ihc

@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ihc::workload {
+
+std::vector<SimTime> generate_arrivals(const ArrivalConfig& config,
+                                       std::uint64_t seed, NodeId origin) {
+  require(config.mean_gap_ps > 0, "mean arrival gap must be positive");
+  require(config.burst_skew >= 0.0 && config.burst_skew < 1.0,
+          "burst_skew must lie in [0, 1)");
+  require(config.dwell_gaps > 0.0, "dwell_gaps must be positive");
+
+  // Per-origin stream: same derivation shape as SplitMix64::fork, keyed
+  // on the origin id so streams are independent and order-free.
+  SplitMix64 rng(mix64(seed ^ (0xd1342543de82ef95ULL * (origin + 1))));
+
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(config.sessions_per_origin);
+  SimTime now = 0;
+  if (config.model == ArrivalModel::kPoisson) {
+    for (std::size_t i = 0; i < config.sessions_per_origin; ++i) {
+      now += exponential_gap_ps(rng, config.mean_gap_ps);
+      arrivals.push_back(now);
+    }
+    return arrivals;
+  }
+
+  const double mean = static_cast<double>(config.mean_gap_ps);
+  const auto fast =
+      static_cast<SimTime>(mean / (1.0 + config.burst_skew) + 0.5);
+  const auto slow =
+      static_cast<SimTime>(mean / (1.0 - config.burst_skew) + 0.5);
+  const auto dwell = static_cast<SimTime>(mean * config.dwell_gaps + 0.5);
+  MmppGaps gaps(rng, fast < 1 ? 1 : fast, slow < 1 ? 1 : slow,
+                dwell < 1 ? 1 : dwell);
+  for (std::size_t i = 0; i < config.sessions_per_origin; ++i) {
+    now += gaps.next();
+    arrivals.push_back(now);
+  }
+  return arrivals;
+}
+
+}  // namespace ihc::workload

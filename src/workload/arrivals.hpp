@@ -1,0 +1,51 @@
+/// \file arrivals.hpp
+/// \brief Deterministic open-loop session arrival processes.
+///
+/// The workload engine drives continuous broadcast service: every origin
+/// generates a stream of session arrivals independent of the network's
+/// state (open-loop, the booksim traffic-sweep methodology), so offered
+/// load is a free parameter and saturation shows up as divergence between
+/// offered and accepted throughput.  Two models:
+///
+///  * Poisson - exponential inter-arrival gaps with the configured mean;
+///  * MMPP    - a two-state Markov-modulated Poisson process alternating
+///    between a burst state (gaps shrunk by 1 + burst_skew) and a lull
+///    state (gaps stretched by the matching factor), state dwell times
+///    exponential.  The skew is rate-preserving in expectation, so a
+///    Poisson and an MMPP sweep at the same mean gap offer the same
+///    long-run load and differ only in burstiness.
+///
+/// Streams are pure functions of (seed, origin): integer-picosecond gaps
+/// from util/rng's platform-stable samplers, so a sweep is byte-identical
+/// across --jobs and across machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/params.hpp"
+
+namespace ihc::workload {
+
+enum class ArrivalModel : std::uint8_t { kPoisson, kMmpp };
+
+struct ArrivalConfig {
+  ArrivalModel model = ArrivalModel::kPoisson;
+  /// Mean inter-arrival gap per origin, picoseconds (> 0).
+  SimTime mean_gap_ps = sim_us(1);
+  /// Sessions offered per origin over the run (the open-loop horizon).
+  std::size_t sessions_per_origin = 64;
+  /// MMPP shape: burst gaps = mean / (1 + skew), lull gaps =
+  /// mean / (1 - skew); skew in [0, 1).  Ignored by Poisson.
+  double burst_skew = 0.6;
+  /// MMPP mean state dwell time as a multiple of mean_gap_ps.
+  double dwell_gaps = 10.0;
+};
+
+/// The arrival times (strictly increasing, picoseconds from 0) of one
+/// origin's session stream.  Deterministic in (config, seed, origin).
+[[nodiscard]] std::vector<SimTime> generate_arrivals(
+    const ArrivalConfig& config, std::uint64_t seed, NodeId origin);
+
+}  // namespace ihc::workload

@@ -1,0 +1,296 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace ihc::workload {
+
+namespace {
+
+struct OriginState {
+  std::size_t next = 0;            ///< next unprocessed arrival index
+  std::deque<std::size_t> queue;   ///< admitted, waiting (global sids)
+  std::vector<std::size_t> batch;  ///< sids of the in-flight broadcast
+  std::uint32_t pending_flows = 0; ///< route copies still in flight
+};
+
+double jain_index(const std::vector<std::uint64_t>& shares) {
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const std::uint64_t x : shares) {
+    const auto v = static_cast<double>(x);
+    sum += v;
+    sq += v * v;
+  }
+  if (sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sq);
+}
+
+}  // namespace
+
+MeasurementStats summarize_measurement(const WorkloadResult& result,
+                                       const WarmupConfig& config) {
+  MeasurementStats m;
+  if (result.sessions.empty() || result.horizon <= 0) return m;
+
+  // The measurement cohort is arrival-based (the booksim convention): a
+  // session belongs to the window its ARRIVAL falls in, and its
+  // completion counts wherever it lands.  Under overload the queues
+  // keep draining long past the arrivals, and folding that tail into
+  // the window would dilute the rates - so the window ends with the
+  // arrivals, not the completions.  Specifically it ends at the
+  // NOMINAL stream duration (sessions_per_origin x mean gap), a fixed
+  // observation interval identical for every algorithm and topology at
+  // a given rate: ending at any realized arrival instead would tie the
+  // window to one stream's sampling luck and skew rate comparisons.
+  const NodeId origins =
+      result.sessions.back().origin + 1;  // origin-major id order
+  const SimTime arrival_horizon = result.nominal_horizon;
+  if (arrival_horizon <= 0) return m;
+
+  std::vector<SimTime> completions;
+  completions.reserve(result.sessions.size());
+  for (const SessionRecord& s : result.sessions)
+    if (s.completion > 0 && s.completion <= arrival_horizon)
+      completions.push_back(s.completion);
+  m.warmup_end = detect_warmup_end(completions, arrival_horizon, config);
+  m.window_ps = arrival_horizon - m.warmup_end;
+  if (m.window_ps <= 0) return m;
+
+  std::vector<std::uint64_t> per_origin_completed(origins, 0);
+  std::vector<double> latencies;
+  for (const SessionRecord& s : result.sessions) {
+    if (s.arrival < m.warmup_end || s.arrival > arrival_horizon) continue;
+    ++m.offered;
+    if (s.rejected) {
+      ++m.rejected;
+    } else if (s.completion > 0) {
+      ++m.completed;
+      ++per_origin_completed[s.origin];
+      latencies.push_back(static_cast<double>(s.completion - s.arrival));
+    }
+  }
+
+  const double window_us =
+      static_cast<double>(m.window_ps) / static_cast<double>(sim_us(1));
+  const double n = static_cast<double>(origins);
+  m.offered_per_us = static_cast<double>(m.offered) / (window_us * n);
+  m.accepted_per_us = static_cast<double>(m.completed) / (window_us * n);
+  if (!latencies.empty()) {
+    Summary summary;
+    for (const double x : latencies) summary.add(x);
+    m.mean_latency_ps = summary.mean();
+    m.latency_ps = percentiles(std::move(latencies));
+  }
+  m.fairness_jain = jain_index(per_origin_completed);
+  return m;
+}
+
+WorkloadResult run_workload(const SessionPlanner& planner,
+                            const WorkloadOptions& options) {
+  require(options.batch_max >= 1, "batch_max must be at least 1");
+  require(options.arrivals.sessions_per_origin >= 1,
+          "need at least one session per origin");
+
+  const Topology& topo = planner.topology();
+  const NodeId origins = topo.node_count();
+  const std::size_t per_origin = options.arrivals.sessions_per_origin;
+
+  WorkloadResult result;
+  result.algorithm = planner.algorithm();
+  result.nominal_horizon =
+      static_cast<SimTime>(per_origin) * options.arrivals.mean_gap_ps;
+  result.sessions.resize(static_cast<std::size_t>(origins) * per_origin);
+
+  std::vector<std::vector<SimTime>> arrivals(origins);
+  for (NodeId o = 0; o < origins; ++o) {
+    arrivals[o] = generate_arrivals(options.arrivals, options.seed, o);
+    for (std::size_t i = 0; i < per_origin; ++i) {
+      SessionRecord& rec = result.sessions[o * per_origin + i];
+      rec.id = static_cast<std::int64_t>(o * per_origin + i);
+      rec.origin = o;
+      rec.arrival = arrivals[o][i];
+    }
+  }
+  result.offered = result.sessions.size();
+
+  Network net(topo.graph(), options.net);
+  if (options.tracer != nullptr) net.set_tracer(options.tracer);
+  if (options.metrics != nullptr) net.set_metrics(options.metrics);
+  if (options.routes != nullptr) net.set_routes(options.routes);
+
+  // The offered stream is known a priori (open loop), so arrival events
+  // go out up front in global time order - the trace then carries the
+  // full offered/accepted ledger regardless of how service interleaves.
+  if (options.tracer != nullptr && options.tracer->active()) {
+    std::vector<std::size_t> order(result.sessions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                const SessionRecord& ra = result.sessions[a];
+                const SessionRecord& rb = result.sessions[b];
+                if (ra.arrival != rb.arrival) return ra.arrival < rb.arrival;
+                return ra.id < rb.id;
+              });
+    for (const std::size_t i : order) {
+      const SessionRecord& rec = result.sessions[i];
+      options.tracer->session_arrived(rec.arrival, rec.id, rec.origin);
+    }
+  }
+
+  std::vector<OriginState> state(origins);
+  std::vector<NodeId> origin_of_flow;
+  const std::uint32_t unit_len =
+      options.net.mu;  // one session's packet length
+
+  auto start_service = [&](NodeId o, std::vector<std::size_t> sids,
+                           SimTime at) {
+    OriginState& st = state[o];
+    IHC_ENSURE(st.pending_flows == 0 && st.batch.empty(),
+               "origin started service while busy");
+    const auto batch_size = static_cast<std::uint32_t>(sids.size());
+    for (const std::size_t sid : sids) {
+      SessionRecord& rec = result.sessions[sid];
+      rec.service_start = at;
+      rec.batch = batch_size;
+    }
+    const std::vector<FlowSpec>& plan = planner.flows(o);
+    for (const FlowSpec& tmpl : plan) {
+      FlowSpec flow = tmpl;  // route storage is shared via the planner
+      flow.inject_time = at;
+      flow.length_units = batch_size * unit_len;
+      const FlowId id = net.add_flow(std::move(flow));
+      IHC_ENSURE(id == origin_of_flow.size(), "flow ids must be dense");
+      origin_of_flow.push_back(o);
+    }
+    st.pending_flows = static_cast<std::uint32_t>(plan.size());
+    st.batch = std::move(sids);
+    ++result.batches;
+    result.merged_sessions += batch_size - 1;
+  };
+
+  // Replays origin o's arrivals up to `now` against the bounded queue.
+  // Queue occupancy only changes at this origin's completions, so the
+  // deferred replay reproduces the per-arrival admission decisions
+  // exactly (arrivals admitted in order until the bound, then rejected).
+  auto absorb_arrivals = [&](NodeId o, SimTime now) {
+    OriginState& st = state[o];
+    while (st.next < per_origin && arrivals[o][st.next] <= now) {
+      const std::size_t sid = o * per_origin + st.next;
+      if (st.queue.size() < options.queue_capacity) {
+        st.queue.push_back(sid);
+        ++result.admitted;
+        result.max_queue_depth = std::max(
+            result.max_queue_depth,
+            static_cast<std::uint32_t>(st.queue.size()));
+      } else {
+        SessionRecord& rec = result.sessions[sid];
+        rec.rejected = true;
+        ++result.rejected;
+        if (options.tracer != nullptr)
+          options.tracer->session_rejected(
+              rec.arrival, rec.id, o,
+              static_cast<std::uint32_t>(st.queue.size()));
+      }
+      ++st.next;
+    }
+  };
+
+  net.set_completion_hook([&](FlowId flow, SimTime at) {
+    const NodeId o = origin_of_flow[flow];
+    OriginState& st = state[o];
+    IHC_ENSURE(st.pending_flows > 0, "completion accounting broke");
+    if (--st.pending_flows > 0) return;
+
+    const std::uint32_t batch_size =
+        static_cast<std::uint32_t>(st.batch.size());
+    for (const std::size_t sid : st.batch) {
+      SessionRecord& rec = result.sessions[sid];
+      rec.completion = at;
+      ++result.completed;
+      if (options.tracer != nullptr)
+        options.tracer->session_span(rec.arrival, at, rec.id, o, batch_size);
+    }
+    st.batch.clear();
+
+    absorb_arrivals(o, at);
+    if (!st.queue.empty()) {
+      // FRS merge: up to batch_max waiting sessions ride one broadcast.
+      std::vector<std::size_t> sids;
+      while (!st.queue.empty() && sids.size() < options.batch_max) {
+        sids.push_back(st.queue.front());
+        st.queue.pop_front();
+      }
+      start_service(o, std::move(sids), at);
+    } else if (st.next < per_origin) {
+      // Idle origin: chain the next arrival directly.  No arrival of o
+      // precedes it (absorb_arrivals drained everything <= `at`), so
+      // serving it the instant it arrives is exact.
+      const std::size_t sid = o * per_origin + st.next;
+      const SimTime when = arrivals[o][st.next];
+      ++st.next;
+      ++result.admitted;
+      start_service(o, {sid}, when);
+    }
+  });
+
+  for (NodeId o = 0; o < origins; ++o) {
+    const std::size_t sid = o * per_origin;
+    state[o].next = 1;
+    ++result.admitted;
+    start_service(o, {sid}, arrivals[o][0]);
+  }
+
+  net.run();
+  net.set_completion_hook(nullptr);
+
+  result.stats = net.stats();
+  result.inflight_at_drain = result.admitted - result.completed;
+  for (const SessionRecord& s : result.sessions)
+    result.horizon =
+        std::max({result.horizon, s.arrival, s.completion});
+
+  result.measurement = summarize_measurement(result, options.warmup);
+
+  if (options.tracer != nullptr && result.horizon > 0) {
+    options.tracer->stage_span(0, result.measurement.warmup_end, "warmup",
+                               0);
+    options.tracer->stage_span(result.measurement.warmup_end,
+                               result.horizon, "measurement", 1);
+  }
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.metrics;
+    m.count("workload.offered_sessions",
+            static_cast<std::int64_t>(result.offered));
+    m.count("workload.admitted_sessions",
+            static_cast<std::int64_t>(result.admitted));
+    m.count("workload.rejected_sessions",
+            static_cast<std::int64_t>(result.rejected));
+    m.count("workload.completed_sessions",
+            static_cast<std::int64_t>(result.completed));
+    m.count("workload.batches", static_cast<std::int64_t>(result.batches));
+    m.count("workload.merged_sessions",
+            static_cast<std::int64_t>(result.merged_sessions));
+    m.count("workload.inflight_at_drain",
+            static_cast<std::int64_t>(result.inflight_at_drain));
+    m.maximum("workload.max_queue_depth",
+              static_cast<std::int64_t>(result.max_queue_depth));
+    // Measurement-phase latencies only: the transient would bias the
+    // histogram low (see docs/WORKLOADS.md).
+    for (const SessionRecord& s : result.sessions) {
+      if (s.arrival < result.measurement.warmup_end) continue;
+      if (s.rejected || s.completion == 0) continue;
+      m.observe("workload.session_latency_ps",
+                static_cast<double>(s.completion - s.arrival));
+    }
+    net.flush_metrics();
+  }
+
+  return result;
+}
+
+}  // namespace ihc::workload

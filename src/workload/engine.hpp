@@ -1,0 +1,130 @@
+/// \file engine.hpp
+/// \brief Continuous-service workload engine: open-loop broadcast
+/// sessions through the packet-level simulator.
+///
+/// One Network, one event-driven run.  Every origin offers an arrival
+/// stream of broadcast sessions (arrivals.hpp); each session is the
+/// gamma-copy single-origin broadcast planned by a SessionPlanner.  The
+/// scheduler keeps a bounded admission queue per origin:
+///
+///  * an arrival while the origin is idle starts service immediately;
+///  * an arrival behind an in-flight broadcast queues, up to
+///    queue_capacity - beyond that it is *rejected* (counted, traced,
+///    never serviced): bounded-queue admission control;
+///  * when a broadcast completes, up to batch_max queued sessions merge
+///    into ONE broadcast carrying their combined payload (length_units
+///    scales with the batch) - the paper's FRS merging idea applied as a
+///    batching policy, amortizing the tau_S startup across the batch.
+///
+/// Service chaining rides the simulator's completion hook, so the whole
+/// run is a single net.run() and stays deterministic under any --jobs
+/// count (nothing here depends on wall-clock or thread scheduling).
+/// Faults are honored (a dropped tree branch still completes its
+/// session's flow accounting; a dropped cycle flow stalls its origin,
+/// surfacing as in-flight-at-drain in the conservation ledger).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/warmup.hpp"
+
+namespace ihc::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace ihc::obs
+
+namespace ihc::workload {
+
+struct WorkloadOptions {
+  ArrivalConfig arrivals;
+  /// Sessions that may wait per origin behind the in-flight broadcast;
+  /// an arrival finding the queue full is rejected.
+  std::uint32_t queue_capacity = 8;
+  /// Most queued sessions one completed broadcast may merge into its
+  /// successor (FRS batching bound; >= 1).
+  std::uint32_t batch_max = 4;
+  /// Arrival-stream seed.  Campaigns share it across the algorithm axis
+  /// so every algorithm serves the identical offered traffic.
+  std::uint64_t seed = 1;
+  NetworkParams net;
+  WarmupConfig warmup;
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  const RoutingTable* routes = nullptr;
+};
+
+/// One offered session's lifecycle, id = origin * sessions_per_origin +
+/// per-origin arrival index.
+struct SessionRecord {
+  std::int64_t id = 0;
+  NodeId origin = kInvalidNode;
+  SimTime arrival = 0;
+  SimTime service_start = 0;  ///< batch injection time (admitted only)
+  SimTime completion = 0;     ///< 0 while in flight / rejected
+  std::uint32_t batch = 0;    ///< sessions merged into its broadcast
+  bool rejected = false;
+};
+
+/// Measurement-phase summary.  The cohort is arrival-based: sessions
+/// whose ARRIVAL falls in [warmup_end, horizon] belong to the window,
+/// and their completions count wherever they land (the queues keep
+/// draining past the last arrival under overload; that tail must not
+/// dilute the rates).  The horizon is the NOMINAL stream duration
+/// (sessions_per_origin x mean gap, WorkloadResult::nominal_horizon) -
+/// a fixed observation interval that is identical for every algorithm
+/// and every topology at a given rate, so rate comparisons are never
+/// skewed by whichever fixed-count stream happens to straggle or
+/// finish early.
+struct MeasurementStats {
+  SimTime warmup_end = 0;
+  SimTime window_ps = 0;  ///< nominal_horizon - warmup_end
+  std::uint64_t offered = 0;    ///< arrivals in the window
+  std::uint64_t completed = 0;  ///< completions of those arrivals
+  std::uint64_t rejected = 0;   ///< rejections of those arrivals
+  double offered_per_us = 0.0;   ///< per origin
+  double accepted_per_us = 0.0;  ///< per origin
+  double mean_latency_ps = 0.0;
+  Percentiles latency_ps;
+  /// Jain fairness index over per-origin completed counts (1 = perfectly
+  /// fair, 1/N = one origin got everything).
+  double fairness_jain = 0.0;
+};
+
+struct WorkloadResult {
+  std::string algorithm;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;           ///< broadcasts injected
+  std::uint64_t merged_sessions = 0;   ///< sessions beyond the first of a batch
+  std::uint64_t inflight_at_drain = 0; ///< admitted but never completed
+  std::uint32_t max_queue_depth = 0;
+  SimTime horizon = 0;                 ///< last completion (or arrival)
+  /// Nominal stream duration: sessions_per_origin x mean_gap_ps.  The
+  /// measurement window ends here (see MeasurementStats).
+  SimTime nominal_horizon = 0;
+  MeasurementStats measurement;
+  std::vector<SessionRecord> sessions; ///< id order (origin-major)
+  NetStats stats;
+};
+
+/// Runs the open-loop workload to drain.  Exports `workload.*` metrics
+/// (and the simulator's `net.*`) into options.metrics when attached;
+/// emits session_arrive / session_reject / session trace events when
+/// options.tracer is attached.
+[[nodiscard]] WorkloadResult run_workload(const SessionPlanner& planner,
+                                          const WorkloadOptions& options);
+
+/// Recomputes the measurement-phase summary of a result under a
+/// different warmup configuration (pure function of result.sessions).
+[[nodiscard]] MeasurementStats summarize_measurement(
+    const WorkloadResult& result, const WarmupConfig& config);
+
+}  // namespace ihc::workload

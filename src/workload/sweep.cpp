@@ -1,0 +1,164 @@
+#include "workload/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "exp/campaigns.hpp"
+#include "util/error.hpp"
+
+namespace ihc::workload {
+
+namespace {
+
+struct Point {
+  double rate = 0.0;
+  const exp::TrialResult* trial = nullptr;
+};
+
+double metric(const exp::TrialResult& r, std::string_view name) {
+  return r.metric(name);  // throws ConfigError when absent
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace
+
+Json workload_report(const exp::CampaignResult& result,
+                     const SaturationThresholds& thresholds) {
+  // algo -> points, in first-seen (axis) order.
+  std::vector<std::string> algo_order;
+  std::map<std::string, std::vector<Point>> by_algo;
+  for (const exp::TrialResult& r : result.trials) {
+    require(r.ok, "workload report needs every trial to succeed; trial '" +
+                      r.trial.id + "' failed: " + r.error);
+    const std::string& algo = r.trial.get_str("algo");
+    if (by_algo.find(algo) == by_algo.end()) algo_order.push_back(algo);
+    by_algo[algo].push_back({r.trial.get_double("rate_per_us"), &r});
+  }
+
+  Json doc = Json::object();
+  doc.set("schema", "ihc-workload-v1");
+  doc.set("campaign", result.spec.name);
+  doc.set("description", result.spec.description);
+  Json config = Json::object();
+  config.set("accepted_fraction", thresholds.accepted_fraction);
+  config.set("latency_blowup", thresholds.latency_blowup);
+  doc.set("saturation_thresholds", std::move(config));
+
+  Json curves = Json::array();
+  for (const std::string& algo : algo_order) {
+    std::vector<Point>& points = by_algo[algo];
+    std::sort(points.begin(), points.end(),
+              [](const Point& a, const Point& b) { return a.rate < b.rate; });
+
+    const double zero_load =
+        metric(*points.front().trial, "latency_mean_ps");
+    double saturation_rate = 0.0;
+    bool reached = false;
+
+    Json curve = Json::object();
+    curve.set("algorithm", algo);
+    curve.set("topology",
+              std::string(exp::saturation_sweep_topology(algo)));
+    Json arr = Json::array();
+    for (const Point& p : points) {
+      const exp::TrialResult& r = *p.trial;
+      const double offered = metric(r, "offered_per_us");
+      const double accepted = metric(r, "accepted_per_us");
+      const double mean = metric(r, "latency_mean_ps");
+      const bool saturated =
+          accepted < thresholds.accepted_fraction * offered ||
+          (zero_load > 0.0 && mean > thresholds.latency_blowup * zero_load);
+      if (saturated && !reached) {
+        reached = true;
+        saturation_rate = p.rate;
+      }
+      Json point = Json::object();
+      point.set("rate_per_us", p.rate);
+      point.set("saturated", saturated);
+      for (const exp::Metric& m : r.metrics)
+        point.set(m.name, std::isfinite(m.value) ? Json(m.value)
+                                                 : Json(nullptr));
+      arr.push(std::move(point));
+    }
+    curve.set("points", std::move(arr));
+
+    Json sat = Json::object();
+    sat.set("reached", reached);
+    sat.set("rate_per_us", reached ? Json(saturation_rate) : Json(nullptr));
+    sat.set("zero_load_latency_ps",
+            std::isfinite(zero_load) ? Json(zero_load) : Json(nullptr));
+    curve.set("saturation", std::move(sat));
+    curves.push(std::move(curve));
+  }
+  doc.set("curves", std::move(curves));
+  return doc;
+}
+
+std::string workload_ascii(const Json& report) {
+  std::string out;
+  const Json* campaign = report.find("campaign");
+  out += "workload sweep: ";
+  out += campaign != nullptr ? std::string(campaign->as_string())
+                             : std::string("?");
+  out += " (rate-vs-latency, per-origin offered rate in sessions/us)\n";
+
+  const Json* curves = report.find("curves");
+  require(curves != nullptr && curves->is_array(),
+          "workload report has no curves");
+  for (const Json& curve : curves->items()) {
+    const Json* algo = curve.find("algorithm");
+    const Json* topo = curve.find("topology");
+    const Json* sat = curve.find("saturation");
+    out += "\n";
+    out += algo != nullptr ? std::string(algo->as_string()) : "?";
+    out += " on ";
+    out += topo != nullptr ? std::string(topo->as_string()) : "?";
+    if (sat != nullptr) {
+      const Json* reached = sat->find("reached");
+      const Json* at = sat->find("rate_per_us");
+      if (reached != nullptr && reached->as_bool() && at != nullptr &&
+          at->is_number()) {
+        out += "  [saturates at rate " + fmt("%.3g", at->as_double()) + "]";
+      } else {
+        out += "  [no saturation in swept range]";
+      }
+    }
+    out += "\n";
+    out += "    rate   offer/us  accept/us   mean_us    p95_us    p99_us"
+           "   rej  fairness\n";
+    const Json* points = curve.find("points");
+    if (points == nullptr || !points->is_array()) continue;
+    for (const Json& p : points->items()) {
+      auto num = [&](const char* key) {
+        const Json* v = p.find(key);
+        return v != nullptr && v->is_number()
+                   ? v->as_double()
+                   : std::numeric_limits<double>::quiet_NaN();
+      };
+      const Json* saturated = p.find("saturated");
+      out += (saturated != nullptr && saturated->as_bool()) ? "  * " : "    ";
+      out += fmt("%-7.3g", num("rate_per_us"));
+      out += fmt("%9.3f", num("offered_per_us"));
+      out += fmt("%11.3f", num("accepted_per_us"));
+      out += fmt("%10.3f", num("latency_mean_ps") / 1e6);
+      out += fmt("%10.3f", num("latency_p95_ps") / 1e6);
+      out += fmt("%10.3f", num("latency_p99_ps") / 1e6);
+      out += fmt("%6.0f", num("rejected_sessions"));
+      out += fmt("%10.3f", num("fairness_jain"));
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ihc::workload

@@ -1,0 +1,40 @@
+/// \file sweep.hpp
+/// \brief `ihc-workload-v1` reports: rate-vs-latency curves + saturation.
+///
+/// Post-processes a saturation-sweep CampaignResult into the booksim-style
+/// artifact: one curve per algorithm (points sorted by offered rate) and
+/// a detected saturation point.  A point is saturated when its measured
+/// accepted throughput falls below `accepted_fraction` of its measured
+/// offered throughput (the network can no longer keep up and the bounded
+/// queues shed load), or when its mean measurement-phase latency exceeds
+/// `latency_blowup` times the curve's zero-load latency (the lowest-rate
+/// point's mean) - whichever rate comes first.  The JSON document is a
+/// pure function of the trial parameters and metrics, with no timing or
+/// job-count fields, so `--jobs 1` and `--jobs 8` runs serialize
+/// byte-identically.
+#pragma once
+
+#include <string>
+
+#include "exp/runner.hpp"
+#include "util/json.hpp"
+
+namespace ihc::workload {
+
+struct SaturationThresholds {
+  double accepted_fraction = 0.95;
+  double latency_blowup = 3.0;
+};
+
+/// Builds the `ihc-workload-v1` document from a campaign run whose trials
+/// carry the saturation_sweep metric set (exp/campaigns.cpp).  Throws
+/// ConfigError when a trial failed or the metric set is incomplete.
+[[nodiscard]] Json workload_report(const exp::CampaignResult& result,
+                                   const SaturationThresholds& thresholds =
+                                       {});
+
+/// ASCII rendering of a workload_report() document: one rate-vs-latency
+/// table per algorithm, saturated points flagged with '*'.
+[[nodiscard]] std::string workload_ascii(const Json& report);
+
+}  // namespace ihc::workload

@@ -1,0 +1,51 @@
+#include "workload/warmup.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace ihc::workload {
+
+SimTime detect_warmup_end(const std::vector<SimTime>& completion_times,
+                          SimTime horizon, const WarmupConfig& config) {
+  require(horizon > 0, "warmup detection needs a positive horizon");
+  require(config.windows >= 2 && config.stable_windows >= 1 &&
+              config.stable_windows <= config.windows,
+          "warmup windows misconfigured");
+  require(config.tolerance > 0.0, "warmup tolerance must be positive");
+
+  const auto fallback = static_cast<SimTime>(
+      static_cast<double>(horizon) * config.fallback_fraction + 0.5);
+  if (config.mode == WarmupMode::kFixedFraction) return fallback;
+  if (completion_times.empty()) return fallback;
+
+  const std::uint32_t w = config.windows;
+  // Ceiling division so the last window covers the horizon endpoint.
+  const SimTime window_len = (horizon + w - 1) / w;
+  std::vector<std::uint64_t> counts(w, 0);
+  for (const SimTime t : completion_times) {
+    auto idx = static_cast<std::size_t>(t / window_len);
+    if (idx >= w) idx = w - 1;
+    ++counts[idx];
+  }
+
+  for (std::uint32_t start = 0; start + config.stable_windows <= w;
+       ++start) {
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < config.stable_windows; ++i)
+      sum += static_cast<double>(counts[start + i]);
+    const double mean = sum / static_cast<double>(config.stable_windows);
+    if (mean <= 0.0) continue;
+    bool stable = true;
+    for (std::uint32_t i = 0; i < config.stable_windows && stable; ++i) {
+      const double dev =
+          std::abs(static_cast<double>(counts[start + i]) - mean);
+      if (dev > config.tolerance * mean) stable = false;
+    }
+    if (stable) return static_cast<SimTime>(start) * window_len;
+  }
+  return fallback;
+}
+
+}  // namespace ihc::workload

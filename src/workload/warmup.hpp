@@ -1,0 +1,54 @@
+/// \file warmup.hpp
+/// \brief Steady-state warmup detection for streaming runs.
+///
+/// Open-loop measurements must discard the initial transient (empty
+/// queues, first-session pipelining) or latency statistics are biased
+/// low.  The detector splits the run horizon into equal windows, counts
+/// session completions per window, and declares warmup over at the first
+/// window that starts a run of `stable_windows` windows whose throughput
+/// stays within `tolerance` of their joint mean - windowed throughput
+/// convergence, evaluated post-hoc on the completion record so it is a
+/// pure deterministic function of the run.  When no stable run exists
+/// (wildly bursty or saturated-beyond-recovery traffic) it falls back to
+/// discarding a fixed fraction of the horizon.
+///
+/// Cross-algorithm sweeps should use kFixedFraction instead: adaptive
+/// detection reads each algorithm's own completion record, so two
+/// algorithms serving the identical arrival streams end up measured
+/// over *different* windows and sub-saturation throughput comparisons
+/// turn into window artifacts.  A fixed fraction of the (shared)
+/// arrival horizon gives every algorithm the same cohort, so accepted
+/// throughput differs only by genuine rejections and in-flight loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.hpp"
+
+namespace ihc::workload {
+
+enum class WarmupMode {
+  kAdaptive,       ///< windowed throughput convergence, fallback below
+  kFixedFraction,  ///< always drop fallback_fraction of the horizon
+};
+
+struct WarmupConfig {
+  WarmupMode mode = WarmupMode::kAdaptive;
+  std::uint32_t windows = 24;         ///< horizon subdivisions (>= 2)
+  std::uint32_t stable_windows = 4;   ///< consecutive windows that must agree
+  double tolerance = 0.25;            ///< relative deviation allowed
+  double fallback_fraction = 0.25;    ///< horizon share dropped when no
+                                      ///< convergence is found (always,
+                                      ///< under kFixedFraction)
+};
+
+/// End of the warmup transient (picoseconds): the start of the first
+/// stable window run, or fallback_fraction * horizon when none exists.
+/// `completion_times` need not be sorted; horizon must be positive and
+/// cover every completion.
+[[nodiscard]] SimTime detect_warmup_end(
+    const std::vector<SimTime>& completion_times, SimTime horizon,
+    const WarmupConfig& config = {});
+
+}  // namespace ihc::workload

@@ -100,10 +100,12 @@ TEST(Analyze, Q4CriticalPathMatchesTheClosedForm) {
   }
   EXPECT_TRUE(a.lint.ok());
   EXPECT_EQ(a.lint.checks_run.size(), 6u);
-  // The only sidelined check is the fault-window one - a clean trace has
-  // nothing for it to add over per-flow delivery_completeness.
-  EXPECT_EQ(a.lint.skipped.size(), 1u);
+  // Sidelined: the fault-window check (a clean trace has nothing for it
+  // to add over per-flow delivery_completeness) and the workload-session
+  // check (a one-shot ATA run has no session events).
+  EXPECT_EQ(a.lint.skipped.size(), 2u);
   EXPECT_TRUE(was_skipped(a, "origin_completeness", "no fault"));
+  EXPECT_TRUE(was_skipped(a, "session_conservation", "no workload"));
 }
 
 TEST(Analyze, ReportIsByteIdenticalAcrossRuns) {

@@ -71,7 +71,8 @@ TEST(CliHelp, TraceSchemaDocExists) {
   for (const char* event :
        {"packet_injected", "header_advanced", "delivered", "xmit", "buffered",
         "stalled", "fault_fired", "link_dropped", "stage", "fifo_enqueue",
-        "fifo_dequeue", "flit_blocked"})
+        "fifo_dequeue", "flit_blocked", "session_arrive", "session_reject",
+        "session"})
     EXPECT_NE(tracing.find(event), std::string::npos)
         << "docs/TRACING.md does not document event '" << event << "'";
 }

@@ -4,6 +4,7 @@
 // (Summary::merge, quantile, JSON serialization).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "core/ihc.hpp"
@@ -284,7 +285,9 @@ TEST(SummaryMerge, MatchesSinglePass) {
 }
 
 TEST(Quantile, NearestRank) {
-  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  // An empty sample has no quantile: NaN, not a fabricated zero (the
+  // workload engine relies on the sentinel to mark starved windows).
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
   EXPECT_DOUBLE_EQ(quantile({7.0}, 0.5), 7.0);
   const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
   EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);

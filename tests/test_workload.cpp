@@ -1,0 +1,470 @@
+// The continuous-service workload engine end-to-end: platform-stable
+// arrival sampling (golden gap sequences), warmup detection, bounded
+// admission-queue conservation, FRS batching, the saturation_sweep
+// campaign's byte-identical reports across --jobs, and the
+// session_conservation TraceLint check (docs/WORKLOADS.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "exp/exp.hpp"
+#include "obs/obs.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/engine.hpp"
+#include "workload/sweep.hpp"
+#include "workload/warmup.hpp"
+
+namespace ihc {
+namespace {
+
+using obs::analyze::Analysis;
+using workload::ArrivalConfig;
+using workload::ArrivalModel;
+using workload::WarmupConfig;
+using workload::WorkloadOptions;
+using workload::WorkloadResult;
+
+// -- platform-stable samplers ---------------------------------------------
+
+TEST(PortableLog, MatchesStdLogAndIsBitStable) {
+  // The truncated-series evaluation is part of the determinism contract:
+  // these exact bit patterns must reproduce on every platform, which is
+  // why the samplers use portable_log instead of std::log (whose last
+  // ulp differs between libms).
+  EXPECT_DOUBLE_EQ(portable_log(0.5), -0x1.62e42fefa39edp-1);
+  EXPECT_DOUBLE_EQ(portable_log(2.0), 0x1.62e42fefa39f1p-1);
+  EXPECT_DOUBLE_EQ(portable_log(0x1.0p-53), -0x1.25e4f7b2737fap+5);
+  EXPECT_DOUBLE_EQ(portable_log(3.141592653589793), 0x1.250d048e7a1bdp+0);
+
+  for (const double x : {1e-9, 0.037, 0.5, 1.0, 3.5, 42.0, 1e12}) {
+    const double exact = std::log(x);
+    const double approx = portable_log(x);
+    EXPECT_NEAR(approx, exact,
+                1e-14 * std::max(1.0, std::fabs(exact)))
+        << "x = " << x;
+  }
+  EXPECT_THROW((void)portable_log(0.0), InvariantError);
+  EXPECT_THROW((void)portable_log(-1.0), InvariantError);
+}
+
+TEST(ExponentialGaps, GoldenSequence) {
+  SplitMix64 rng(derive_seed("golden", "exp"));
+  const std::int64_t expected[] = {901510, 760404, 409428,  882527,
+                                   1300329, 352361, 1002187, 148496};
+  for (const std::int64_t want : expected)
+    EXPECT_EQ(exponential_gap_ps(rng, 1000000), want);
+
+  // Gaps are always at least one picosecond, and the sample mean of an
+  // exponential with mean 1 us lands near 1 us.
+  SplitMix64 rng2(7);
+  std::int64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t gap = exponential_gap_ps(rng2, 1000000);
+    ASSERT_GE(gap, 1);
+    sum += gap;
+  }
+  EXPECT_NEAR(static_cast<double>(sum) / 10000.0, 1e6, 5e4);
+}
+
+TEST(MmppGaps, GoldenSequenceAndRatePreservation) {
+  // The defaults of ArrivalConfig at mean 1 us: burst gaps 1us/1.6,
+  // lull gaps 1us/0.4, dwell 10 us.
+  SplitMix64 rng(derive_seed("golden", "mmpp"));
+  MmppGaps gaps(rng, 625000, 2500000, 10000000);
+  const std::int64_t expected[] = {512861, 357650, 175995, 270746,
+                                   505207, 202804, 361928, 31395};
+  for (const std::int64_t want : expected) EXPECT_EQ(gaps.next(), want);
+
+  // Rate preservation: half the time in each state, so the long-run mean
+  // gap stays near the 1 us the skew was derived from.
+  SplitMix64 rng2(11);
+  MmppGaps gaps2(rng2, 625000, 2500000, 10000000);
+  std::int64_t sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t gap = gaps2.next();
+    ASSERT_GE(gap, 1);
+    sum += gap;
+  }
+  EXPECT_NEAR(static_cast<double>(sum) / 20000.0, 1e6, 1.5e5);
+}
+
+TEST(Arrivals, DeterministicStrictlyIncreasingPerOriginStreams) {
+  ArrivalConfig config;
+  config.sessions_per_origin = 32;
+  for (const ArrivalModel model :
+       {ArrivalModel::kPoisson, ArrivalModel::kMmpp}) {
+    config.model = model;
+    const auto a = workload::generate_arrivals(config, 99, 3);
+    const auto b = workload::generate_arrivals(config, 99, 3);
+    EXPECT_EQ(a, b);  // pure function of (config, seed, origin)
+    ASSERT_EQ(a.size(), 32u);
+    for (std::size_t i = 1; i < a.size(); ++i) ASSERT_GT(a[i], a[i - 1]);
+    // Distinct origins draw decorrelated streams off the same seed.
+    EXPECT_NE(a, workload::generate_arrivals(config, 99, 4));
+  }
+}
+
+// -- percentiles (util/stats) ---------------------------------------------
+
+TEST(Percentiles, NearestRankAndEmptySentinel) {
+  std::vector<double> xs;
+  for (int i = 1000; i >= 1; --i) xs.push_back(i);
+  const Percentiles p = percentiles(std::move(xs));
+  EXPECT_DOUBLE_EQ(p.p50, 500.0);
+  EXPECT_DOUBLE_EQ(p.p95, 950.0);
+  EXPECT_DOUBLE_EQ(p.p99, 990.0);
+  EXPECT_DOUBLE_EQ(p.p999, 999.0);
+
+  const Percentiles empty = percentiles({});
+  EXPECT_TRUE(std::isnan(empty.p50));
+  EXPECT_TRUE(std::isnan(empty.p95));
+  EXPECT_TRUE(std::isnan(empty.p99));
+  EXPECT_TRUE(std::isnan(empty.p999));
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+}
+
+// -- warmup detection -----------------------------------------------------
+
+TEST(Warmup, SteadyStreamNeedsNoWarmup) {
+  // One completion per 100 ps window from the start: stable immediately.
+  std::vector<SimTime> done;
+  for (SimTime t = 50; t < 2400; t += 100) done.push_back(t);
+  EXPECT_EQ(workload::detect_warmup_end(done, 2400, {}), 0);
+}
+
+TEST(Warmup, DetectsAnInitialTransient) {
+  // Six empty 100 ps windows, then one completion per window: warmup must
+  // end exactly where the steady phase begins.
+  std::vector<SimTime> done;
+  for (SimTime t = 650; t < 2400; t += 100) done.push_back(t);
+  EXPECT_EQ(workload::detect_warmup_end(done, 2400, {}), 600);
+}
+
+TEST(Warmup, FixedFractionModeIgnoresTheCompletionRecord) {
+  // Cross-algorithm sweeps use kFixedFraction so every algorithm gets
+  // the same measurement window: the completion record must not matter.
+  WarmupConfig config;
+  config.mode = workload::WarmupMode::kFixedFraction;
+  std::vector<SimTime> steady;
+  for (SimTime t = 50; t < 2400; t += 100) steady.push_back(t);
+  EXPECT_EQ(workload::detect_warmup_end(steady, 2400, config), 600);
+  EXPECT_EQ(workload::detect_warmup_end({}, 2400, config), 600);
+  EXPECT_EQ(workload::detect_warmup_end({1200}, 2400, config), 600);
+}
+
+TEST(Warmup, FallsBackWhenNothingConverges) {
+  const WarmupConfig config;
+  // No completions at all: fixed-fraction fallback.
+  EXPECT_EQ(workload::detect_warmup_end({}, 2400, config), 600);
+  // A single spike can never form a stable 4-window run either.
+  EXPECT_EQ(workload::detect_warmup_end({1200}, 2400, config), 600);
+  EXPECT_THROW((void)workload::detect_warmup_end({}, 0, config),
+               ConfigError);
+}
+
+// -- the engine -----------------------------------------------------------
+
+WorkloadResult overload_q4(std::uint32_t queue_capacity,
+                           std::uint32_t batch_max,
+                           obs::Tracer* tracer = nullptr) {
+  // Offered gap 100 ns against a ~520 ns service time: heavy overload,
+  // so the bounded queue must shed load.
+  const SessionPlanner planner =
+      SessionPlanner::build("ihc", std::make_shared<Hypercube>(4));
+  WorkloadOptions opt;
+  opt.arrivals.mean_gap_ps = sim_ns(100);
+  opt.arrivals.sessions_per_origin = 30;
+  opt.queue_capacity = queue_capacity;
+  opt.batch_max = batch_max;
+  opt.seed = derive_seed("test_workload", "overload");
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_ns(200);
+  opt.net.mu = 2;
+  opt.tracer = tracer;
+  return workload::run_workload(planner, opt);
+}
+
+TEST(WorkloadEngine, AdmissionAccountingConserves) {
+  const WorkloadResult r = overload_q4(/*queue_capacity=*/1,
+                                       /*batch_max=*/1);
+  EXPECT_EQ(r.offered, 16u * 30u);
+  EXPECT_GT(r.rejected, 0u);  // the overload actually shed load
+  // Conservation: every offered session is admitted or rejected, and
+  // every admitted one completes or is in flight at drain (fault-free
+  // runs drain completely).
+  EXPECT_EQ(r.offered, r.admitted + r.rejected);
+  EXPECT_EQ(r.admitted, r.completed + r.inflight_at_drain);
+  EXPECT_EQ(r.inflight_at_drain, 0u);
+  EXPECT_LE(r.max_queue_depth, 1u);
+  EXPECT_GT(r.horizon, 0);
+
+  // The same ledger holds per session record.
+  std::uint64_t completed = 0, rejected = 0;
+  for (const workload::SessionRecord& s : r.sessions) {
+    if (s.rejected) {
+      ++rejected;
+      EXPECT_EQ(s.completion, 0);
+    } else if (s.completion > 0) {
+      ++completed;
+      EXPECT_GE(s.service_start, s.arrival);
+      EXPECT_GT(s.completion, s.service_start);
+      EXPECT_EQ(s.batch, 1u);  // batch_max 1 never merges
+    }
+  }
+  EXPECT_EQ(completed, r.completed);
+  EXPECT_EQ(rejected, r.rejected);
+  EXPECT_EQ(r.batches, r.completed);  // one broadcast per session
+  EXPECT_EQ(r.merged_sessions, 0u);
+}
+
+TEST(WorkloadEngine, FrsBatchingMergesQueuedSessions) {
+  const WorkloadResult r = overload_q4(/*queue_capacity=*/8,
+                                       /*batch_max=*/4);
+  // Overloaded origins accumulate queues, so merges must happen and every
+  // batch stays within the bound.
+  EXPECT_GT(r.merged_sessions, 0u);
+  EXPECT_LT(r.batches, r.completed);
+  EXPECT_EQ(r.completed, r.batches + r.merged_sessions);
+  for (const workload::SessionRecord& s : r.sessions)
+    if (s.completion > 0) EXPECT_LE(s.batch, 4u);
+  EXPECT_LE(r.max_queue_depth, 8u);
+
+  // Batching amortizes tau_s: fewer broadcasts serve more sessions than
+  // the unbatched engine under the identical offered stream.
+  const WorkloadResult serial = overload_q4(1, 1);
+  EXPECT_GT(r.completed, serial.completed);
+}
+
+TEST(WorkloadEngine, SummarizeMeasurementIsAPureFunction) {
+  const WorkloadResult r = overload_q4(8, 4);
+  const workload::MeasurementStats again =
+      workload::summarize_measurement(r, WarmupConfig{});
+  EXPECT_EQ(again.warmup_end, r.measurement.warmup_end);
+  EXPECT_EQ(again.offered, r.measurement.offered);
+  EXPECT_EQ(again.completed, r.measurement.completed);
+  EXPECT_DOUBLE_EQ(again.mean_latency_ps, r.measurement.mean_latency_ps);
+  EXPECT_DOUBLE_EQ(again.fairness_jain, r.measurement.fairness_jain);
+  EXPECT_GT(r.measurement.offered, 0u);  // the window covers arrivals
+  EXPECT_GT(r.measurement.mean_latency_ps, 0.0);
+  EXPECT_GE(r.measurement.latency_ps.p99, r.measurement.latency_ps.p50);
+}
+
+TEST(WorkloadEngine, ModerateLoadServesEveryOriginFairly) {
+  // Well below saturation every arrival is admitted, latency stays near
+  // the unloaded broadcast time and the symmetric origins complete
+  // near-equal shares (Jain index ~ 1).
+  const SessionPlanner planner =
+      SessionPlanner::build("ihc", std::make_shared<Hypercube>(4));
+  WorkloadOptions opt;
+  opt.arrivals.mean_gap_ps = sim_us(2);
+  opt.arrivals.sessions_per_origin = 24;
+  opt.seed = derive_seed("test_workload", "moderate");
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_ns(200);
+  opt.net.mu = 2;
+  const WorkloadResult r = workload::run_workload(planner, opt);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.completed, r.offered);
+  EXPECT_GT(r.measurement.completed, 0u);
+  EXPECT_GT(r.measurement.fairness_jain, 0.9);
+  EXPECT_LE(r.measurement.fairness_jain, 1.0 + 1e-12);
+}
+
+// -- session planner ------------------------------------------------------
+
+TEST(SessionPlanner, IhcPlansGammaCyclePathsPerOrigin) {
+  const auto cube = std::make_shared<Hypercube>(4);
+  const SessionPlanner planner = SessionPlanner::build("ihc", cube);
+  EXPECT_EQ(planner.algorithm(), "ihc");
+  for (NodeId o = 0; o < cube->node_count(); ++o) {
+    const std::vector<FlowSpec>& plan = planner.flows(o);
+    ASSERT_EQ(plan.size(), cube->gamma());
+    for (const FlowSpec& f : plan) {
+      EXPECT_TRUE(f.tree.empty());  // cycle-path routed
+      EXPECT_EQ(f.origin, o);
+      EXPECT_EQ(f.length_units, 0u);  // template: engine stamps length
+    }
+  }
+  EXPECT_THROW((void)SessionPlanner::build("nope", cube), ConfigError);
+  // Tree baselines need their matching topology.
+  EXPECT_THROW((void)SessionPlanner::build("ks", cube), ConfigError);
+}
+
+TEST(SessionPlanner, VrsPlansTreesOnTheHypercube) {
+  const auto cube = std::make_shared<Hypercube>(4);
+  const SessionPlanner planner = SessionPlanner::build("vrs", cube);
+  const std::vector<FlowSpec>& plan = planner.flows(0);
+  ASSERT_FALSE(plan.empty());
+  for (const FlowSpec& f : plan) EXPECT_FALSE(f.tree.empty());
+
+  // Tree flows complete through the completion hook: a one-session run
+  // must drain with the session accounted for.
+  WorkloadOptions opt;
+  opt.arrivals.sessions_per_origin = 2;
+  opt.arrivals.mean_gap_ps = sim_us(2);
+  opt.net.tau_s = sim_ns(200);
+  const WorkloadResult r = workload::run_workload(planner, opt);
+  EXPECT_EQ(r.completed, r.offered);
+  EXPECT_EQ(r.inflight_at_drain, 0u);
+}
+
+// -- the saturation_sweep campaign ----------------------------------------
+
+TEST(SaturationSweep, ReportIsByteIdenticalAcrossJobs) {
+  const exp::Campaign campaign =
+      exp::make_builtin_campaign("saturation_sweep_quick");
+
+  exp::RunOptions one;
+  one.jobs = 1;
+  const exp::CampaignResult r1 = exp::run_campaign(campaign, one);
+  exp::RunOptions eight;
+  eight.jobs = 8;
+  const exp::CampaignResult r8 = exp::run_campaign(campaign, eight);
+
+  ASSERT_EQ(r1.failed_count(), 0u);
+  ASSERT_EQ(r8.failed_count(), 0u);
+
+  const exp::JsonReportOptions no_timing{.include_timing = false};
+  EXPECT_EQ(exp::json_report(r1, no_timing), exp::json_report(r8, no_timing));
+  EXPECT_EQ(workload::workload_report(r1).dump(2),
+            workload::workload_report(r8).dump(2));
+}
+
+TEST(SaturationSweep, CurvesAreMonotoneAndIhcLeadsBelowSaturation) {
+  const exp::Campaign campaign =
+      exp::make_builtin_campaign("saturation_sweep_quick");
+  exp::RunOptions options;
+  const exp::CampaignResult result = exp::run_campaign(campaign, options);
+  ASSERT_EQ(result.failed_count(), 0u);
+
+  const Json doc = workload::workload_report(result);
+  EXPECT_EQ(doc.find("schema")->as_string(), "ihc-workload-v1");
+  const Json* curves = doc.find("curves");
+  ASSERT_NE(curves, nullptr);
+  ASSERT_EQ(curves->items().size(), 4u);  // ihc, vrs, vsq, ks
+
+  double ihc_low_accept = 0.0;
+  bool ihc_low_saturated = true;
+  for (const Json& curve : curves->items()) {
+    const std::string algo(curve.find("algorithm")->as_string());
+    const Json* points = curve.find("points");
+    ASSERT_NE(points, nullptr);
+    // Mean latency must not decrease as offered rate rises.
+    double prev = 0.0;
+    for (const Json& p : points->items()) {
+      const double mean = p.find("latency_mean_ps")->as_double();
+      EXPECT_GE(mean, prev) << algo;
+      prev = mean;
+    }
+    const Json& low = points->items().front();
+    if (algo == "ihc") {
+      ihc_low_accept = low.find("accepted_per_us")->as_double();
+      ihc_low_saturated = low.find("saturated")->as_bool();
+    }
+  }
+  // Below saturation, IHC's accepted throughput at the common low rate is
+  // at least every baseline's (the paper's headline claim, measured on
+  // the streaming engine instead of one-shot finish times).
+  ASSERT_FALSE(ihc_low_saturated);
+  for (const Json& curve : curves->items()) {
+    const std::string algo(curve.find("algorithm")->as_string());
+    if (algo == "ihc") continue;
+    const double accept = curve.find("points")
+                              ->items()
+                              .front()
+                              .find("accepted_per_us")
+                              ->as_double();
+    EXPECT_GE(ihc_low_accept + 1e-9, accept) << "vs " << algo;
+  }
+
+  const std::string ascii = workload::workload_ascii(doc);
+  EXPECT_NE(ascii.find("ihc on Q4"), std::string::npos);
+  EXPECT_NE(ascii.find("rate"), std::string::npos);
+}
+
+// -- TraceLint: session conservation --------------------------------------
+
+std::vector<obs::TraceEvent> collect_workload_trace() {
+  obs::CollectingSink sink;
+  obs::Tracer tracer;
+  tracer.attach(&sink);
+  (void)overload_q4(2, 2, &tracer);
+  return sink.events();
+}
+
+TEST(SessionLint, ChromeTraceRoundTripKeepsSessionEvents) {
+  // `analyze --trace <file>` must accept a workload trace: the Chrome
+  // JSON writer/reader round trip may not drop or reject the session
+  // vocabulary.
+  std::ostringstream doc;
+  {
+    obs::ChromeTraceSink sink(doc);
+    obs::Tracer tracer;
+    tracer.attach(&sink);
+    (void)overload_q4(2, 2, &tracer);
+  }
+  const std::vector<obs::TraceEvent> reloaded =
+      obs::analyze::parse_trace_json(doc.str());
+  const std::vector<obs::TraceEvent> direct = collect_workload_trace();
+  ASSERT_EQ(reloaded.size(), direct.size());
+  const std::string from_file =
+      obs::analyze::to_json(obs::analyze::analyze_trace(reloaded)).dump(2);
+  const std::string in_process =
+      obs::analyze::to_json(obs::analyze::analyze_trace(direct)).dump(2);
+  EXPECT_EQ(from_file, in_process);
+}
+
+TEST(SessionLint, CleanWorkloadTracePassesConservation) {
+  const Analysis a = obs::analyze::analyze_trace(collect_workload_trace());
+  bool ran = false;
+  for (const std::string& c : a.lint.checks_run)
+    ran = ran || c == "session_conservation";
+  EXPECT_TRUE(ran);
+  for (const obs::analyze::LintViolation& v : a.lint.violations)
+    EXPECT_NE(v.check, "session_conservation") << v.message;
+}
+
+TEST(SessionLint, CorruptedTraceTripsExactlySessionConservation) {
+  std::vector<obs::TraceEvent> events = collect_workload_trace();
+  const Analysis clean = obs::analyze::analyze_trace(events);
+
+  // Retarget one completed session span to an id that never arrived: a
+  // session terminating without arriving breaks the conservation ledger.
+  bool corrupted = false;
+  for (obs::TraceEvent& e : events) {
+    if (!corrupted && std::strcmp(e.name, "session") == 0) {
+      e.stage = 999999;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  const Analysis a = obs::analyze::analyze_trace(events);
+  EXPECT_FALSE(a.lint.ok());
+  bool tripped = false;
+  std::vector<std::string> other;
+  for (const obs::analyze::LintViolation& v : a.lint.violations) {
+    if (v.check == "session_conservation") {
+      tripped = true;
+      EXPECT_NE(v.message.find("999999"), std::string::npos);
+    } else {
+      other.push_back(v.check + ": " + v.message);
+    }
+  }
+  EXPECT_TRUE(tripped);
+  // The corruption must trip exactly this check: every other violation
+  // already existed in the clean trace (there are none).
+  EXPECT_EQ(clean.lint.violations.size(), 0u);
+  EXPECT_TRUE(other.empty()) << other.front();
+}
+
+}  // namespace
+}  // namespace ihc

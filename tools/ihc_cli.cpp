@@ -81,6 +81,21 @@
 //       --repeats <n>   timed repetitions per engine (min is reported)
 //       --out <file>    output path (default BENCH_PR3.json)
 //
+//   ihc_cli workload [options]
+//       Run an open-loop continuous-service saturation sweep (streaming
+//       broadcast sessions through bounded admission queues) and print
+//       booksim-style rate-vs-latency curves per algorithm with the
+//       detected saturation point; optionally writes the ihc-workload-v1
+//       JSON report (see docs/WORKLOADS.md).
+//       --campaign <n>  sweep campaign (default saturation_sweep; the
+//                       quick CI variant is saturation_sweep_quick)
+//       --jobs <n>      worker threads (0 = hardware concurrency);
+//                       the report is byte-identical for any job count
+//       --filter <s>    run only trials whose id contains <s> (the
+//                       report then covers the surviving curves only)
+//       --out <file|->  write the JSON report; `-` streams it to stdout
+//                       (curves go to stderr)
+//
 // The subcommand table lives in src/util/cli_spec.hpp; usage() renders
 // it, and tests/test_cli_help.cpp + scripts/check_docs.py keep this
 // header, the help text and the Markdown docs in sync.
@@ -116,6 +131,7 @@
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "workload/sweep.hpp"
 
 using namespace ihc;
 
@@ -662,6 +678,51 @@ int cmd_bench_perf(const Args& args) {
   return 0;
 }
 
+int cmd_workload(const Args& args) {
+  const std::string name =
+      args.campaign.empty() ? "saturation_sweep" : args.campaign;
+  const exp::Campaign campaign = exp::make_builtin_campaign(name);
+
+  exp::RunOptions run_options;
+  run_options.jobs = args.jobs;
+  run_options.filter = args.filter;
+  const exp::CampaignResult result =
+      exp::run_campaign(campaign, run_options);
+  if (result.failed_count() != 0) {
+    for (const exp::TrialResult& r : result.trials)
+      if (!r.ok)
+        std::fprintf(stderr, "trial %s: %s\n", r.trial.id.c_str(),
+                     r.error.c_str());
+    std::fprintf(stderr, "workload: %zu trial(s) failed\n",
+                 result.failed_count());
+    return kExitFailure;
+  }
+
+  const Json doc = workload::workload_report(result);
+
+  // `--out -` streams the JSON document to stdout; the human-readable
+  // curves then move to stderr so the document stays machine-consumable.
+  const bool to_stdout = args.out == "-";
+  FILE* info = to_stdout ? stderr : stdout;
+  std::fputs(workload::workload_ascii(doc).c_str(), info);
+  if (to_stdout) {
+    std::cout << doc.dump(2) << "\n";
+  } else if (!args.out.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(args.out).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream out(args.out, std::ios::trunc);
+    require(out.good(), "cannot open " + args.out + " for writing");
+    out << doc.dump(2) << "\n";
+    out.close();
+    require(out.good(), "failed writing " + args.out);
+    std::fprintf(info, "\nwrote %s (schema ihc-workload-v1, see "
+                 "docs/WORKLOADS.md)\n",
+                 args.out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -677,6 +738,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "bench-perf") return cmd_bench_perf(args);
+    if (cmd == "workload") return cmd_workload(args);
     return usage();
   } catch (const ConfigError& e) {
     // Bad invocation (unknown campaign/flag/file): exit kExitUsage so
