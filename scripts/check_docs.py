@@ -31,6 +31,14 @@ them as part of tier-1 when a build is available):
    parses it (every event kind, field and fault mode), and README.md
    must surface the `--fault-schedule` / `--recover` run flags.
 
+7. Parallel-engine drift: the `--shards` flag must appear in the
+   cli_spec.hpp synopses of run/campaign/bench-perf/workload, be
+   parsed by tools/ihc_cli.cpp, and be documented in README.md and
+   docs/PARALLEL.md; docs/PARALLEL.md must cover the determinism
+   contract's load-bearing vocabulary; and the tracked BENCH_PR7.json
+   baseline (which records the sharded A/B job and `hw_threads`) must
+   exist at the repo root.
+
 Plus three data checks: every BENCH_*.json at the repo root (the
 tracked performance baselines written by `ihc_cli bench-perf`, see
 docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document, every
@@ -127,12 +135,17 @@ def check_cli_surface(problems):
 
 
 # Field sets of the ihc-bench-v1 schema (exp/perf.cpp to_json; the tables
-# in docs/PERFORMANCE.md document exactly these).
-BENCH_TOP_FIELDS = ["schema", "tool", "quick", "repeats", "jobs", "speedups"]
+# in docs/PERFORMANCE.md document exactly these).  hw_threads joined the
+# schema with the sharded A/B job; baselines written before it (listed in
+# LEGACY_BENCH) are tracked history and are not rewritten to add it.
+BENCH_TOP_FIELDS = ["schema", "tool", "quick", "repeats", "hw_threads",
+                    "jobs", "speedups"]
 BENCH_JOB_FIELDS = [
     "name", "workload", "wall_ms", "legacy_wall_ms", "speedup_vs_legacy",
     "events", "events_per_sec", "trials", "trials_per_sec",
 ]
+LEGACY_BENCH = {"BENCH_PR3.json"}
+LEGACY_BENCH_OPTIONAL = {"hw_threads"}
 
 
 def check_bench_reports(problems):
@@ -155,6 +168,9 @@ def check_bench_reports(problems):
                             "expected 'ihc-bench-v1'")
             continue
         for field in BENCH_TOP_FIELDS:
+            if (path.name in LEGACY_BENCH
+                    and field in LEGACY_BENCH_OPTIONAL):
+                continue
             if field not in doc:
                 problems.append(f"{rel}: missing top-level field '{field}'")
         jobs = doc.get("jobs", [])
@@ -181,8 +197,9 @@ def check_bench_reports(problems):
 # cannot mask a missing table row.
 METRIC_EMIT = re.compile(
     r'(?:count|observe|maximum)\(\s*'
-    r'"((?:net|ihc|ata|frs|flit|workload)\.[a-z0-9_.]+)"')
-METRIC_DOC = re.compile(r"`((?:net|ihc|ata|frs|flit|workload)\.[a-z0-9_.]+)`")
+    r'"((?:net|ihc|ata|frs|flit|workload|shard)\.[a-z0-9_.]+)"')
+METRIC_DOC = re.compile(
+    r"`((?:net|ihc|ata|frs|flit|workload|shard)\.[a-z0-9_.]+)`")
 
 
 def check_metric_names(problems):
@@ -352,6 +369,53 @@ def check_workload_reports(problems):
                                         f"missing field '{field}'")
 
 
+# The parallel-engine surface (docs/PARALLEL.md): subcommands that run
+# the packet-level simulator take --shards, and the doc must keep the
+# determinism contract's load-bearing vocabulary so a rewrite cannot
+# silently drop it.
+SHARDED_SUBCOMMANDS = ["run", "campaign", "bench-perf", "workload"]
+PARALLEL_DOC_TOKENS = [
+    "--shards", "lookahead", "byte-identical", "events_scaling",
+    "hw_threads", "BENCH_PR7.json", "TraceLint", "mailbox",
+    "shard.events", "shard.stalls", "shard.window_count",
+]
+
+
+def check_parallel_surface(problems):
+    spec = (REPO / "src/util/cli_spec.hpp").read_text(encoding="utf-8")
+    table = spec.split("kCliSubcommands[]", 1)[1]
+    entries = re.findall(r'\{"([\w-]+)",(.*?)\},', table, re.S)
+    by_name = dict(entries)
+    for name in SHARDED_SUBCOMMANDS:
+        if name not in by_name:
+            problems.append(f"cli_spec.hpp: subcommand '{name}' missing "
+                            "from kCliSubcommands")
+        elif "--shards" not in by_name[name]:
+            problems.append(f"cli_spec.hpp: subcommand '{name}' synopsis "
+                            "lost the --shards flag")
+    cli = (REPO / "tools/ihc_cli.cpp").read_text(encoding="utf-8")
+    if '"--shards"' not in cli:
+        problems.append("tools/ihc_cli.cpp: --shards is in cli_spec.hpp "
+                        "but never parsed")
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    if "--shards" not in readme:
+        problems.append("README.md: run flag '--shards' undocumented")
+    if "docs/PARALLEL.md" not in readme:
+        problems.append("README.md: docs/PARALLEL.md not linked")
+
+    parallel_md = REPO / "docs/PARALLEL.md"
+    if not parallel_md.exists():
+        problems.append("docs/PARALLEL.md: missing")
+        return
+    text = parallel_md.read_text(encoding="utf-8")
+    for token in PARALLEL_DOC_TOKENS:
+        if token not in text:
+            problems.append(f"docs/PARALLEL.md: '{token}' undocumented")
+    if not (REPO / "BENCH_PR7.json").exists():
+        problems.append("BENCH_PR7.json: tracked sharded-baseline report "
+                        "missing at the repo root")
+
+
 # The ihc-fault-schedule-v1 schema (sim/fault_schedule.cpp from_json;
 # docs/FAULTS.md documents exactly these).
 FAULT_EVENT_FIELDS = {
@@ -423,6 +487,7 @@ def main():
     check_analysis_reports(problems)
     check_workload_reports(problems)
     check_fault_schedules(problems)
+    check_parallel_surface(problems)
     for p in problems:
         print(p, file=sys.stderr)
     if problems:

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Performance baseline: build the CLI and run the pinned bench-perf
 # workloads (see docs/PERFORMANCE.md), writing the ihc-bench-v1 report
-# to BENCH_PR3.json at the repository root.
+# to BENCH_PR7.json at the repository root.
 #
 #   scripts/run_bench.sh            full protocol (5 repeats, min kept)
 #   scripts/run_bench.sh --quick    CI smoke (2 repeats, filtered grids)

@@ -6,7 +6,7 @@
 namespace ihc {
 namespace {
 
-void add_hc_broadcast(Network& net, const Topology& topo, NodeId source,
+void add_hc_broadcast(SimEngine& net, const Topology& topo, NodeId source,
                       SimTime start, const AtaOptions& options) {
   const auto& cycles = topo.directed_cycles();
   for (std::size_t j = 0; j < cycles.size(); ++j) {
@@ -20,7 +20,7 @@ void add_hc_broadcast(Network& net, const Topology& topo, NodeId source,
   }
 }
 
-AtaResult finish(std::string name, Network&& net) {
+AtaResult finish(std::string name, SimEngine&& net) {
   net.flush_metrics();
   AtaResult result;
   result.algorithm = std::move(name);
@@ -35,7 +35,7 @@ AtaResult finish(std::string name, Network&& net) {
 
 AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
                            const AtaOptions& options) {
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
@@ -45,7 +45,7 @@ AtaResult run_hc_broadcast(const Topology& topo, NodeId source,
 }
 
 AtaResult run_hc_ata(const Topology& topo, const AtaOptions& options) {
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);

@@ -44,7 +44,7 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
   require(used_cycles >= 1 && used_cycles <= cycles.size(),
           "cycles_to_use must lie in [1, gamma]");
 
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
@@ -98,6 +98,7 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
       const std::uint32_t stage = stage_index % ihc.eta;
       for (std::size_t pos = stage; pos < hc.length(); pos += ihc.eta) {
         const NodeId origin = hc.at(pos);
+        if (ihc.origin_limit != 0 && origin >= ihc.origin_limit) continue;
         FlowSpec flow =
             make_flow(origin, static_cast<std::uint16_t>(j), at, options);
         flow.cycle_path =
@@ -108,6 +109,17 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
         cycle_of_flow.push_back(j);
         ++progress[j].pending;
       }
+    };
+
+    // An origin_limit can leave a stage with no initiators on this cycle;
+    // such a stage is over the moment it starts, so skip ahead until one
+    // actually injects (or the schedule ends).
+    auto inject_from = [&](std::size_t j, std::uint32_t stage_index,
+                           SimTime at) {
+      inject_stage(j, stage_index, at);
+      while (progress[j].pending == 0 &&
+             ++progress[j].stage < total_stages)
+        inject_stage(j, progress[j].stage, at);
     };
 
     net.set_completion_hook([&](FlowId flow, SimTime at) {
@@ -123,10 +135,10 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
               "ihc.stage_latency_ps",
               static_cast<double>(at - stage_started[j]));
         if (++progress[j].stage < total_stages)
-          inject_stage(j, progress[j].stage, at);
+          inject_from(j, progress[j].stage, at);
       }
     });
-    for (std::size_t j = 0; j < used_cycles; ++j) inject_stage(j, 0, 0);
+    for (std::size_t j = 0; j < used_cycles; ++j) inject_from(j, 0, 0);
     net.run();
     net.set_completion_hook(nullptr);
     net.flush_metrics();
@@ -159,6 +171,7 @@ AtaResult run_ihc(const Topology& topo, const IhcOptions& ihc,
                                    : start;
         for (std::size_t pos = stage; pos < hc.length(); pos += ihc.eta) {
           const NodeId origin = hc.at(pos);
+          if (ihc.origin_limit != 0 && origin >= ihc.origin_limit) continue;
           FlowSpec flow = make_flow(origin, static_cast<std::uint16_t>(j),
                                     inject, options);
           flow.cycle_path = CyclePathRoute{

@@ -62,6 +62,12 @@ struct IhcOptions {
   /// packet; larger messages are split into ceil(units / mu) fixed-size
   /// packets (Section IV) broadcast in consecutive IHC rounds.
   std::uint32_t message_units = 0;
+  /// Only nodes with id < origin_limit inject (0 = all N origins).  The
+  /// stage schedule, relay horizon and per-packet delivery pattern are
+  /// unchanged - the run is the chosen origins' slice of the full ATA -
+  /// so huge-topology trials (Q_20, docs/PARALLEL.md) can measure the
+  /// per-broadcast machinery without the N^2 delivery volume.
+  std::uint32_t origin_limit = 0;
 };
 
 /// Number of packets a message of this length needs.

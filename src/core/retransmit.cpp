@@ -86,7 +86,7 @@ RetransmitReport run_with_retransmission(const Topology& topo,
     for (std::uint16_t s = 0; s < total; ++s) pending[o].push_back(s);
 
   RetransmitReport report;
-  Network net(topo.graph(), base_options.net, DeliveryLedger::Granularity::kFull);
+  SimEngine net(topo.graph(), base_options.net, DeliveryLedger::Granularity::kFull);
   net.set_fault_plan(base_options.faults);
   net.set_fault_schedule(base_options.schedule);
   attach_observability(net, base_options);
@@ -194,7 +194,7 @@ RecoveryReport run_ihc_with_recovery(const Topology& topo,
           "min_copies must lie in [1, gamma]");
 
   const NodeId n = topo.node_count();
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);

@@ -5,7 +5,7 @@
 
 namespace ihc {
 
-void attach_observability(Network& net, const AtaOptions& options) {
+void attach_observability(SimEngine& net, const AtaOptions& options) {
   if (options.tracer != nullptr) net.set_tracer(options.tracer);
   if (options.metrics != nullptr) net.set_metrics(options.metrics);
   if (options.routes != nullptr) net.set_routes(options.routes);
@@ -41,7 +41,7 @@ FlowSpec make_flow(NodeId origin, std::uint16_t route_tag,
 
 namespace {
 
-AtaResult finish_result(std::string algorithm, Network&& net) {
+AtaResult finish_result(std::string algorithm, SimEngine&& net) {
   net.flush_metrics();
   AtaResult result;
   result.algorithm = std::move(algorithm);
@@ -52,7 +52,7 @@ AtaResult finish_result(std::string algorithm, Network&& net) {
   return result;
 }
 
-void add_broadcast(Network& net, NodeId source, SimTime start,
+void add_broadcast(SimEngine& net, NodeId source, SimTime start,
                    const std::vector<std::vector<FlowTreeNode>>& trees,
                    const AtaOptions& options) {
   for (std::size_t copy = 0; copy < trees.size(); ++copy) {
@@ -69,7 +69,7 @@ AtaResult run_sequential_tree_ata(std::string algorithm,
                                   const Topology& topo,
                                   const TreeBuilder& trees,
                                   const AtaOptions& options) {
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
@@ -92,7 +92,7 @@ AtaResult run_single_tree_broadcast(std::string algorithm,
                                     const Topology& topo, NodeId source,
                                     const TreeBuilder& trees,
                                     const AtaOptions& options) {
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/ata.hpp"
+#include "sim/engine.hpp"
 #include "topology/topology.hpp"
 
 namespace ihc {
@@ -39,7 +40,7 @@ using TreeBuilder =
 
 /// Attaches the options' tracer / metrics registry (if any) to the
 /// network - every driver calls this right after constructing its
-/// Network.
-void attach_observability(Network& net, const AtaOptions& options);
+/// engine.
+void attach_observability(SimEngine& net, const AtaOptions& options);
 
 }  // namespace ihc

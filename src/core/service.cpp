@@ -14,7 +14,7 @@ ServiceReport run_periodic_service(const Topology& topo,
   require(config.ihc.eta >= 1 && config.ihc.eta <= topo.node_count(),
           "eta must lie in [1, N]");
 
-  Network net(topo.graph(), options.net, options.granularity);
+  SimEngine net(topo.graph(), options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);

@@ -337,6 +337,84 @@ Campaign make_chaos_soak() {
   return campaign;
 }
 
+// --- events_scaling ------------------------------------------------------
+// The time-sharded parallel engine's determinism gate (docs/PARALLEL.md):
+// one IHC run on Q_6 under multi-hop background load, repeated at shard
+// counts 1, 2 and 4.  Every trial re-checks its run against a sequential
+// baseline digest captured at campaign construction - a shard count that
+// moves any number fails the trial, so the campaign is a hard CI gate
+// even on single-core runners where no speedup is observable.
+
+CampaignSpec events_scaling_spec() {
+  CampaignSpec spec;
+  spec.name = "events_scaling";
+  spec.description =
+      "IHC on Q_6, eta = 2, rho = 0.3 multi-hop background, replayed at "
+      "--shards 1/2/4: every trial must reproduce the sequential-window "
+      "baseline byte for byte (docs/PARALLEL.md)";
+  spec.axes = {
+      {"shards", {std::int64_t{1}, std::int64_t{2}, std::int64_t{4}}},
+  };
+  return spec;
+}
+
+Campaign make_events_scaling() {
+  auto cube = prebuilt_hypercube(6);
+  auto routes = prebuilt_routes(*cube);
+  NetworkParams p;
+  p.alpha = sim_ns(20);
+  p.tau_s = sim_ns(200);
+  p.mu = 2;
+  p.background_mu = 8;
+  p.rho = 0.3;
+  p.background_mode = BackgroundMode::kMultiHopFlows;
+  p.seed = derive_seed("events_scaling", "q6");
+
+  auto run_at = [cube, routes, p](std::uint32_t shards,
+                                  TrialContext* ctx) {
+    AtaOptions opt;
+    opt.net = p;
+    opt.net.shards = shards;
+    opt.routes = routes.get();
+    if (ctx != nullptr) {
+      opt.tracer = ctx->tracer;
+      opt.metrics = &ctx->metrics;
+    }
+    return run_ihc(*cube, IhcOptions{.eta = 2}, opt);
+  };
+
+  // The baseline digest, captured once on the constructing thread; the
+  // closure then shares it immutably with every trial worker.
+  const AtaResult base = run_at(1, nullptr);
+
+  Campaign campaign;
+  campaign.spec = events_scaling_spec();
+  campaign.run = [run_at, base](const Trial& trial, TrialContext& ctx) {
+    const auto shards = static_cast<std::uint32_t>(trial.get_int("shards"));
+    const AtaResult run = run_at(shards, &ctx);
+    require(run.finish == base.finish &&
+                run.stats.deliveries == base.stats.deliveries &&
+                run.stats.cut_throughs == base.stats.cut_throughs &&
+                run.stats.buffered_relays == base.stats.buffered_relays &&
+                run.stats.background_packets ==
+                    base.stats.background_packets &&
+                run.stats.total_queue_wait == base.stats.total_queue_wait &&
+                run.stats.events_processed == base.stats.events_processed,
+            "shards=" + std::to_string(shards) +
+                " diverged from the shards=1 baseline (the parallel "
+                "engine's determinism contract is broken)");
+    return std::vector<Metric>{
+        {"finish_ps", static_cast<double>(run.finish)},
+        {"events", static_cast<double>(run.stats.events_processed)},
+        {"deliveries", static_cast<double>(run.stats.deliveries)},
+        {"background_packets",
+         static_cast<double>(run.stats.background_packets)},
+        {"matches_baseline", 1.0},
+    };
+  };
+  return campaign;
+}
+
 // --- saturation_sweep ----------------------------------------------------
 // Open-loop continuous broadcast service to saturation (docs/WORKLOADS.md,
 // EXPERIMENTS.md E19): Poisson session arrivals from every origin at a
@@ -476,6 +554,7 @@ const std::vector<CampaignInfo>& builtin_campaigns() {
           std::pair{&fault_tolerance_spec, &make_fault_tolerance},
           std::pair{&duty_cycle_spec, &make_duty_cycle},
           std::pair{&chaos_soak_spec, &make_chaos_soak},
+          std::pair{&events_scaling_spec, &make_events_scaling},
           std::pair{&saturation_sweep_spec, &make_saturation_sweep},
           std::pair{&saturation_sweep_quick_spec,
                     &make_saturation_sweep_quick}}) {

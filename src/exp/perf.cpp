@@ -1,7 +1,10 @@
 #include "exp/perf.hpp"
 
 #include <chrono>
+#include <thread>
 #include <utility>
+
+#include "util/error.hpp"
 
 #include "core/ihc.hpp"
 #include "exp/campaigns.hpp"
@@ -65,9 +68,14 @@ BenchJob campaign_ab(std::string name, std::string workload,
   ro.jobs = 1;
   ro.filter = std::move(filter);
   ro.collect_metrics = true;  // events = merged net.events_processed
+  // The legacy baseline exists only in the sequential engine, so that
+  // arm pins shards = 0 whatever `--shards` set process-wide (a sharded
+  // "legacy" run would silently measure the parallel engine twice).
+  const std::uint32_t optimized_shards = default_shards();
   for (int r = 0; r < repeats; ++r) {
     for (const bool legacy : {false, true}) {
       set_default_engine_legacy(legacy);
+      set_default_shards(legacy ? 0 : optimized_shards);
       const Campaign c = make_builtin_campaign(campaign);
       CampaignResult last;
       const double ms = wall_ms_once([&] { last = run_campaign(c, ro); });
@@ -82,6 +90,7 @@ BenchJob campaign_ab(std::string name, std::string workload,
     }
   }
   set_default_engine_legacy(false);
+  set_default_shards(optimized_shards);
   finish_ab(job);
   return job;
 }
@@ -108,6 +117,7 @@ BenchJob multihop_ab(int repeats) {
       opt.net.background_mode = BackgroundMode::kMultiHopFlows;
       opt.net.seed = 0x9E3779B9ull;
       opt.net.legacy_engine = legacy;
+      if (legacy) opt.net.shards = 0;  // the baseline is sequential-only
       opt.routes = &routes;
       AtaResult last;
       const double ms = wall_ms_once(
@@ -119,6 +129,59 @@ BenchJob multihop_ab(int repeats) {
         job.events = last.stats.events_processed;
       }
     }
+  }
+  finish_ab(job);
+  return job;
+}
+
+/// The multi-hop workload again, A/B'd across the time-sharded parallel
+/// engine's shard counts: A = `--shards 2` worker threads, B (reported
+/// in the legacy_* slots) = the `--shards 1` inline windowed baseline.
+/// The two runs must agree byte for byte - that determinism check, not
+/// the speedup, is the job's hard gate: on a single-core CI runner the
+/// sharded run cannot be faster, only equally correct (the `hw_threads`
+/// report field says which regime a number was measured in).
+BenchJob multihop_shards_ab(int repeats) {
+  BenchJob job;
+  job.name = "events_q6_multihop_shards";
+  job.workload =
+      "one IHC run on Q_6, eta = 2, rho = 0.3 multi-hop background, on "
+      "the time-sharded parallel engine: --shards 2 vs the --shards 1 "
+      "windowed baseline (byte-identical by contract, docs/PARALLEL.md)";
+  const Hypercube cube(6);
+  (void)cube.directed_cycles();
+  const RoutingTable routes(cube.graph());
+  SimTime base_finish = 0;
+  std::uint64_t base_events = 0;
+  for (int r = 0; r < repeats; ++r) {
+    for (const std::uint32_t shards : {2u, 1u}) {
+      AtaOptions opt;
+      opt.net.alpha = sim_ns(20);
+      opt.net.tau_s = sim_ns(200);
+      opt.net.mu = 2;
+      opt.net.background_mu = 8;
+      opt.net.rho = 0.3;
+      opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+      opt.net.seed = 0x9E3779B9ull;
+      opt.net.shards = shards;
+      opt.routes = &routes;
+      AtaResult last;
+      const double ms = wall_ms_once(
+          [&] { last = run_ihc(cube, IhcOptions{.eta = 2}, opt); });
+      if (shards == 1) {
+        keep_min(job.legacy_wall_ms, ms);
+        base_finish = last.finish;
+        base_events = last.stats.events_processed;
+      } else {
+        keep_min(job.wall_ms, ms);
+        job.events = last.stats.events_processed;
+        IHC_ENSURE(base_finish == 0 || last.finish == base_finish,
+                   "sharded run diverged from the --shards 1 baseline");
+      }
+    }
+    IHC_ENSURE(job.events == base_events,
+               "sharded run processed a different event set than the "
+               "--shards 1 baseline");
   }
   finish_ab(job);
   return job;
@@ -183,6 +246,7 @@ Json BenchReport::to_json() const {
       .set("tool", "ihc_cli bench-perf")
       .set("quick", quick)
       .set("repeats", repeats)
+      .set("hw_threads", static_cast<std::int64_t>(hw_threads))
       .set("jobs", std::move(job_array))
       .set("speedups", std::move(speedups));
   return doc;
@@ -193,6 +257,7 @@ BenchReport run_bench(const BenchOptions& options) {
   report.quick = options.quick;
   report.repeats =
       options.repeats > 0 ? options.repeats : (options.quick ? 2 : 5);
+  report.hw_threads = std::thread::hardware_concurrency();
   set_default_engine_legacy(false);
   report.jobs.push_back(campaign_ab(
       "rho_sweep_q6",
@@ -200,6 +265,7 @@ BenchReport run_bench(const BenchOptions& options) {
       "jobs = 1",
       "rho_sweep", "", report.repeats));
   report.jobs.push_back(multihop_ab(report.repeats));
+  report.jobs.push_back(multihop_shards_ab(report.repeats));
   report.jobs.push_back(flit_wormhole(report.repeats));
   report.jobs.push_back(campaign_ab(
       "campaign_throughput",

@@ -15,9 +15,13 @@
 /// builds or load phases.
 ///
 /// Results serialize as an `ihc-bench-v1` JSON document (see
-/// docs/PERFORMANCE.md for the schema) written to BENCH_PR3.json at the
+/// docs/PERFORMANCE.md for the schema) written to BENCH_PR7.json at the
 /// repo root by scripts/run_bench.sh and validated by
-/// scripts/check_docs.py.
+/// scripts/check_docs.py.  The report records the host's hardware
+/// concurrency (`hw_threads`): the sharded A/B job's speedup is only
+/// meaningful relative to it - on a single-core runner the expected
+/// sharded speedup is <= 1 and the job's value is its byte-identity
+/// check (docs/PARALLEL.md).
 #pragma once
 
 #include <cstdint>
@@ -54,13 +58,16 @@ struct BenchJob {
 struct BenchReport {
   bool quick = false;
   int repeats = 0;
+  /// std::thread::hardware_concurrency() of the measuring host - the
+  /// context every sharded-speedup number must be read against.
+  std::uint32_t hw_threads = 0;
   std::vector<BenchJob> jobs;
 
   /// nullptr when no job has that name.
   [[nodiscard]] const BenchJob* find(std::string_view name) const;
 
-  /// The `ihc-bench-v1` document: schema/tool/quick/repeats, the job
-  /// array, and a `speedups` object of the A/B jobs.
+  /// The `ihc-bench-v1` document: schema/tool/quick/repeats/hw_threads,
+  /// the job array, and a `speedups` object of the A/B jobs.
   [[nodiscard]] Json to_json() const;
 };
 

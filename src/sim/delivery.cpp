@@ -8,6 +8,9 @@ namespace ihc {
 
 DeliveryLedger::DeliveryLedger(NodeId node_count, Granularity granularity)
     : n_(node_count), granularity_(granularity) {
+  // kAggregate keeps no per-pair state: at million-node scale the N^2
+  // counter arrays alone would not fit in memory.
+  if (granularity_ == Granularity::kAggregate) return;
   const std::size_t pairs = static_cast<std::size_t>(n_) * n_;
   counts_.assign(pairs, 0);
   intact_counts_.assign(pairs, 0);
@@ -16,6 +19,14 @@ DeliveryLedger::DeliveryLedger(NodeId node_count, Granularity granularity)
 
 void DeliveryLedger::reset(Granularity granularity) {
   granularity_ = granularity;
+  finish_ = 0;
+  total_ = 0;
+  if (granularity_ == Granularity::kAggregate) {
+    counts_.clear();
+    intact_counts_.clear();
+    full_.clear();
+    return;
+  }
   // Drivers move the ledger into their AtaResult, so a pooled Network may
   // reset a moved-from ledger: restore the arrays when they are gone.
   const std::size_t pairs = static_cast<std::size_t>(n_) * n_;
@@ -30,27 +41,30 @@ void DeliveryLedger::reset(Granularity granularity) {
     full_.resize(counts_.size());
     for (auto& records : full_) records.clear();
   }
-  finish_ = 0;
-  total_ = 0;
 }
 
 void DeliveryLedger::record(NodeId origin, NodeId dest,
                             const CopyRecord& copy) {
   IHC_ENSURE(origin < n_ && dest < n_, "delivery endpoint out of range");
+  finish_ = std::max(finish_, copy.time);
+  ++total_;
+  if (granularity_ == Granularity::kAggregate) return;
   const std::size_t i = index(origin, dest);
   ++counts_[i];
   if (copy.corrupted_by == kInvalidNode) ++intact_counts_[i];
   if (granularity_ == Granularity::kFull) full_[i].push_back(copy);
-  finish_ = std::max(finish_, copy.time);
-  ++total_;
 }
 
 std::uint32_t DeliveryLedger::copies(NodeId origin, NodeId dest) const {
+  IHC_ENSURE(granularity_ != Granularity::kAggregate,
+             "per-pair counts require kCounts or kFull granularity");
   return counts_[index(origin, dest)];
 }
 
 std::uint32_t DeliveryLedger::intact_copies(NodeId origin,
                                             NodeId dest) const {
+  IHC_ENSURE(granularity_ != Granularity::kAggregate,
+             "per-pair counts require kCounts or kFull granularity");
   return intact_counts_[index(origin, dest)];
 }
 
@@ -62,10 +76,31 @@ const std::vector<CopyRecord>& DeliveryLedger::records(NodeId origin,
 }
 
 bool DeliveryLedger::all_pairs_have(std::uint32_t required) const {
+  IHC_ENSURE(granularity_ != Granularity::kAggregate,
+             "per-pair counts require kCounts or kFull granularity");
   for (NodeId o = 0; o < n_; ++o)
     for (NodeId d = 0; d < n_; ++d)
       if (o != d && counts_[index(o, d)] < required) return false;
   return true;
+}
+
+void DeliveryLedger::merge_from(const DeliveryLedger& other) {
+  IHC_ENSURE(other.n_ == n_, "ledger merge needs matching node counts");
+  IHC_ENSURE(other.granularity_ == granularity_,
+             "ledger merge needs matching granularities");
+  finish_ = std::max(finish_, other.finish_);
+  total_ += other.total_;
+  if (granularity_ == Granularity::kAggregate) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] = static_cast<std::uint16_t>(counts_[i] + other.counts_[i]);
+    intact_counts_[i] =
+        static_cast<std::uint16_t>(intact_counts_[i] + other.intact_counts_[i]);
+  }
+  if (granularity_ == Granularity::kFull) {
+    for (std::size_t i = 0; i < full_.size(); ++i)
+      full_[i].insert(full_[i].end(), other.full_[i].begin(),
+                      other.full_[i].end());
+  }
 }
 
 }  // namespace ihc

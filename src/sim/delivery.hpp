@@ -6,11 +6,15 @@
 /// are computed from this ledger, never from algorithm-internal state, so
 /// an algorithm cannot accidentally "self-certify" deliveries.
 ///
-/// Two granularities:
-///  * kCounts - per (origin, dest) counters only; O(N^2) bytes, used for
-///    the large timing runs;
-///  * kFull   - every copy's payload/MAC/route/timestamp; used by the
-///    fault-injection and voting experiments.
+/// Three granularities:
+///  * kCounts    - per (origin, dest) counters only; O(N^2) bytes, used
+///    for the large timing runs;
+///  * kFull      - every copy's payload/MAC/route/timestamp; used by the
+///    fault-injection and voting experiments;
+///  * kAggregate - totals and finish time only, O(1) bytes.  The only
+///    granularity that fits million-node topologies (Q_20's N^2 pair
+///    space would need terabytes), used by the parallel engine's
+///    origin-limited scale trials (docs/PARALLEL.md).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +35,7 @@ struct CopyRecord {
 
 class DeliveryLedger {
  public:
-  enum class Granularity { kCounts, kFull };
+  enum class Granularity { kCounts, kFull, kAggregate };
 
   DeliveryLedger() = default;
   DeliveryLedger(NodeId node_count, Granularity granularity);
@@ -64,6 +68,15 @@ class DeliveryLedger {
   [[nodiscard]] bool all_pairs_have(std::uint32_t required) const;
 
   [[nodiscard]] std::uint64_t total_copies() const { return total_; }
+
+  /// Folds another ledger's recordings into this one (same node count and
+  /// granularity required).  Used by the parallel engine: each shard
+  /// records the deliveries of the nodes it owns into a private ledger,
+  /// and the coordinator merges them after the run.  Because every
+  /// (origin, dest) pair is recorded by exactly one shard (dest's owner),
+  /// the merged kFull record lists are the shards' lists verbatim -
+  /// already in canonical time order, independent of the shard count.
+  void merge_from(const DeliveryLedger& other);
 
  private:
   NodeId n_ = 0;

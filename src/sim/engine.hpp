@@ -1,0 +1,102 @@
+/// \file engine.hpp
+/// \brief Engine facade: one construction point that dispatches between
+/// the sequential Network and the time-sharded ParallelNetwork.
+///
+/// NetworkParams::shards selects the engine: 0 (the default) is the
+/// classic sequential Network - the engine behind every seed golden -
+/// and >= 1 is the windowed parallel engine with that many worker
+/// shards (sim/parallel/, docs/PARALLEL.md).  The facade forwards the
+/// narrow surface the ATA drivers use, so `ihc_cli --shards N` can flip
+/// every driver onto the parallel engine without touching them.
+///
+/// Forwarding calls, not virtual dispatch: the drivers make a handful
+/// of calls per *run*, so the branch is irrelevant, and keeping both
+/// engines as concrete types preserves their individually-tested
+/// surfaces (tests/test_sim_network.cpp, tests/test_parallel_engine.cpp).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "sim/network.hpp"
+#include "sim/parallel/parallel_network.hpp"
+
+namespace ihc {
+
+class SimEngine {
+ public:
+  using CompletionHook = Network::CompletionHook;
+
+  SimEngine(const Graph& g, const NetworkParams& params,
+            DeliveryLedger::Granularity granularity =
+                DeliveryLedger::Granularity::kCounts) {
+    if (params.shards == 0)
+      seq_ = std::make_unique<Network>(g, params, granularity);
+    else
+      par_ = std::make_unique<ParallelNetwork>(g, params, granularity);
+  }
+
+  void set_routes(const RoutingTable* routes) {
+    seq_ ? seq_->set_routes(routes) : par_->set_routes(routes);
+  }
+  void set_fault_plan(FaultPlan* plan) {
+    seq_ ? seq_->set_fault_plan(plan) : par_->set_fault_plan(plan);
+  }
+  void set_fault_schedule(FaultSchedule* schedule) {
+    seq_ ? seq_->set_fault_schedule(schedule)
+         : par_->set_fault_schedule(schedule);
+  }
+  void set_tracer(obs::Tracer* tracer) {
+    seq_ ? seq_->set_tracer(tracer) : par_->set_tracer(tracer);
+  }
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    seq_ ? seq_->set_metrics(metrics) : par_->set_metrics(metrics);
+  }
+  void set_completion_hook(CompletionHook hook) {
+    seq_ ? seq_->set_completion_hook(std::move(hook))
+         : par_->set_completion_hook(std::move(hook));
+  }
+  void flush_metrics() { seq_ ? seq_->flush_metrics() : par_->flush_metrics(); }
+
+  FlowId add_flow(FlowSpec spec) {
+    return seq_ ? seq_->add_flow(std::move(spec))
+                : par_->add_flow(std::move(spec));
+  }
+  void run() { seq_ ? seq_->run() : par_->run(); }
+
+  [[nodiscard]] const NetStats& stats() const {
+    return seq_ ? seq_->stats() : par_->stats();
+  }
+  [[nodiscard]] const DeliveryLedger& ledger() const {
+    return seq_ ? seq_->ledger() : par_->ledger();
+  }
+  [[nodiscard]] DeliveryLedger& ledger() {
+    return seq_ ? seq_->ledger() : par_->ledger();
+  }
+  [[nodiscard]] const Graph& graph() const {
+    return seq_ ? seq_->graph() : par_->graph();
+  }
+  [[nodiscard]] const NetworkParams& params() const {
+    return seq_ ? seq_->params() : par_->params();
+  }
+  [[nodiscard]] double mean_link_utilization() const {
+    return seq_ ? seq_->mean_link_utilization()
+                : par_->mean_link_utilization();
+  }
+  [[nodiscard]] SimTime flow_finish(FlowId flow) const {
+    return seq_ ? seq_->flow_finish(flow) : par_->flow_finish(flow);
+  }
+
+  /// The windowed engine behind the facade, or nullptr when sequential -
+  /// for the parallel-only introspection (partition, window counts).
+  [[nodiscard]] ParallelNetwork* parallel() { return par_.get(); }
+  [[nodiscard]] const ParallelNetwork* parallel() const { return par_.get(); }
+  /// The sequential engine behind the facade, or nullptr when sharded.
+  [[nodiscard]] Network* sequential() { return seq_.get(); }
+
+ private:
+  std::unique_ptr<Network> seq_;
+  std::unique_ptr<ParallelNetwork> par_;
+};
+
+}  // namespace ihc

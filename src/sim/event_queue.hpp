@@ -88,28 +88,8 @@ class CalendarQueue {
       --size_;
       return out;
     }
-    std::size_t b = static_cast<std::size_t>(cur_tick_) & kMask;
-    if (heads_[b] == kNil) {  // fast path: current bucket still draining
-      if (ring_count_ == 0) {
-        // Everything spilled: jump the ring to the spill minimum.
-        cur_tick_ = tick_of(spill_.top().time);
-        sorted_bucket_ = kNoBucket;
-        migrate_spill();
-      } else {
-        advance_to_occupied();
-      }
-      b = static_cast<std::size_t>(cur_tick_) & kMask;
-    }
-    // The head of the current bucket is the global minimum once the
-    // bucket is sorted.  Simulated workloads cluster many events on one
-    // time (symmetric flows, stage barriers), so sorting the bucket once
-    // and popping heads beats re-scanning an unordered list every pop.
-    std::uint32_t head = heads_[b];
-    if (pool_[head].next != kNil &&
-        sorted_bucket_ != static_cast<std::uint32_t>(b)) {
-      sort_bucket(b);
-      head = heads_[b];
-    }
+    const std::uint32_t head = prepare_min();
+    const std::size_t b = static_cast<std::size_t>(cur_tick_) & kMask;
     heads_[b] = pool_[head].next;
     if (heads_[b] == kNil) {
       unmark(b);
@@ -121,6 +101,29 @@ class CalendarQueue {
     --ring_count_;
     --size_;
     return out;
+  }
+
+  /// Time of the earliest queued event without removing it.  Non-const:
+  /// locating the minimum advances the ring cursor and sorts the current
+  /// bucket, which is exactly the work pop_min() would do anyway - pop
+  /// order is unaffected.  The parallel engine's window scheduler uses
+  /// this to jump empty lookahead windows.
+  [[nodiscard]] SimTime peek_min_time() {
+    IHC_ENSURE(size_ > 0, "peek into empty event queue");
+    if (legacy_) return heap_.top().time;
+    return pool_[prepare_min()].ev.time;
+  }
+
+  /// Pops the minimum event into `out` only when its time lies strictly
+  /// before `limit`; returns false (leaving the queue untouched) otherwise
+  /// or when empty.  This is the per-shard drain primitive of the windowed
+  /// parallel engine: a shard consumes events up to its window end and no
+  /// further.
+  bool pop_min_before(SimTime limit, Event& out) {
+    if (size_ == 0) return false;
+    if (peek_min_time() >= limit) return false;
+    out = pop_min();
+    return true;
   }
 
   /// Empties and re-parameterizes the queue, retaining the node pool and
@@ -176,6 +179,36 @@ class CalendarQueue {
   static bool precedes(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
     return a.seq < b.seq;
+  }
+
+  /// Positions the ring on the global minimum (advancing the cursor,
+  /// migrating spill, sorting the current bucket as needed) and returns
+  /// the pool index of the minimum event.  Requires size_ > 0 and the
+  /// calendar engine.  Shared by pop_min() and peek_min_time().
+  [[nodiscard]] std::uint32_t prepare_min() {
+    std::size_t b = static_cast<std::size_t>(cur_tick_) & kMask;
+    if (heads_[b] == kNil) {  // fast path: current bucket still draining
+      if (ring_count_ == 0) {
+        // Everything spilled: jump the ring to the spill minimum.
+        cur_tick_ = tick_of(spill_.top().time);
+        sorted_bucket_ = kNoBucket;
+        migrate_spill();
+      } else {
+        advance_to_occupied();
+      }
+      b = static_cast<std::size_t>(cur_tick_) & kMask;
+    }
+    // The head of the current bucket is the global minimum once the
+    // bucket is sorted.  Simulated workloads cluster many events on one
+    // time (symmetric flows, stage barriers), so sorting the bucket once
+    // and popping heads beats re-scanning an unordered list every pop.
+    std::uint32_t head = heads_[b];
+    if (pool_[head].next != kNil &&
+        sorted_bucket_ != static_cast<std::uint32_t>(b)) {
+      sort_bucket(b);
+      head = heads_[b];
+    }
+    return head;
   }
 
   void link_into_ring(const Event& ev, std::uint64_t tick) {

@@ -82,6 +82,16 @@ class FaultSchedule {
   [[nodiscard]] RelayAction on_relay(NodeId node, SimTime t);
 
   [[nodiscard]] std::int64_t slow_delay() const { return slow_delay_; }
+  /// True when any window uses kRandom coin flips.  kRandom draws its RNG
+  /// in relay-processing order, which depends on the event interleaving -
+  /// well-defined sequentially but not partition-invariant, so the
+  /// time-sharded parallel engine rejects schedules that use it
+  /// (docs/PARALLEL.md).
+  [[nodiscard]] bool uses_random() const {
+    for (const auto& w : node_windows_)
+      if (w.mode == FaultMode::kRandom) return true;
+    return false;
+  }
   [[nodiscard]] bool empty() const {
     return node_windows_.empty() && link_windows_.empty();
   }

@@ -1,0 +1,129 @@
+/// \file mailbox.hpp
+/// \brief Shard-local events, canonical ordering keys, and cross-shard
+/// event mailboxes for the time-sharded parallel engine.
+///
+/// The sequential Network breaks (time) ties with a push-order sequence
+/// number, which depends on global processing order and therefore cannot
+/// survive partitioning.  The parallel engine instead gives every event a
+/// *canonical* 64-bit key derived only from what the event is - never
+/// from when or where it was created:
+///
+///   foreground header:   [0 | flow(39) | pos(24)]
+///   background arrival:  [1 | 0 | generator(26) | occurrence(36)]
+///   background header:   [1 | 1 | source(20) | occurrence(30) | pos(12)]
+///
+/// Two shards (or one) pushing the same logical events in any order pop
+/// them in the same (time, key) order, so per-shard calendar queues plus
+/// a deterministic key make the simulation partition-invariant.  The top
+/// bit orders all foreground events before background events at equal
+/// times, matching the sequential engine's add-flows-first push order on
+/// dedicated runs.
+///
+/// Cross-shard sends travel through per-destination mailboxes: a shard
+/// appends RemoteMsg entries during its window, and the coordinator
+/// drains every (source, dest) box into the destination queue at the
+/// barrier.  The drain order is irrelevant - keys are unique, so the
+/// queue's (time, key) order is the same for every arrival permutation
+/// (asserted in tests/test_parallel_engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/params.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+enum class PEventKind : std::uint8_t {
+  kHeader,          // a flow packet's header reaches a route position
+  kBackgroundLink,  // single-link background occupancy
+  kBackgroundFlow,  // a node generates a multi-hop background packet
+};
+
+/// Event of the parallel engine.  `seq` is the canonical ordering key
+/// (the calendar queue only needs operator< over it); `flow` is a global
+/// FlowId for foreground headers and a shard-local arena slot for
+/// background headers (the canonical key, not the slot, defines order).
+struct PEvent {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t flow;
+  std::uint32_t pos;   // route position (header) / generator id (arrival)
+  std::uint32_t aux;   // corrupting relay for headers
+  PEventKind kind;
+  bool arena_flow;     // header belongs to a shard-local background flow
+};
+
+/// Canonical key of a foreground header event.
+[[nodiscard]] inline std::uint64_t fg_event_key(std::uint32_t flow,
+                                                std::uint32_t pos) {
+  IHC_ENSURE(pos < (1u << 24), "route position exceeds the key space");
+  IHC_ENSURE(flow < (1ull << 39), "flow id exceeds the key space");
+  return (static_cast<std::uint64_t>(flow) << 24) | pos;
+}
+
+/// Canonical key of the k-th arrival event of background generator `gen`
+/// (a link id in kSingleLink mode, a source node in kMultiHopFlows mode).
+[[nodiscard]] inline std::uint64_t bg_arrival_key(std::uint32_t gen,
+                                                  std::uint64_t occurrence) {
+  IHC_ENSURE(gen < (1u << 26), "background generator exceeds the key space");
+  return (1ull << 63) | (static_cast<std::uint64_t>(gen) << 36) |
+         (occurrence & ((1ull << 36) - 1));
+}
+
+/// Canonical key base of the occurrence-th background flow emitted by
+/// `source`; or the key itself with the route position.
+[[nodiscard]] inline std::uint64_t bg_header_key(std::uint32_t source,
+                                                 std::uint64_t occurrence,
+                                                 std::uint32_t pos) {
+  IHC_ENSURE(source < (1u << 20), "background source exceeds the key space");
+  IHC_ENSURE(pos < (1u << 12), "background path exceeds the key space");
+  return (1ull << 63) | (1ull << 62) |
+         (static_cast<std::uint64_t>(source) << 42) |
+         ((occurrence & ((1ull << 30) - 1)) << 12) | pos;
+}
+
+/// A multi-hop background flow, interned in the shard that is currently
+/// processing it.  When its header crosses a shard boundary the whole
+/// spec travels in the mailbox message and is re-interned by the
+/// receiver; `key_base` carries the canonical identity along.
+struct BgFlow {
+  std::vector<NodeId> path;   // shortest path, path[0] = source
+  std::uint64_t key_base = 0; // bg_header_key(source, occurrence, 0)
+  std::uint32_t len = 0;      // packet length in FIFO units
+};
+
+/// One cross-shard hand-off: the event, plus the background-flow spec
+/// when the event is an arena-flow header (empty path otherwise).
+struct RemoteMsg {
+  PEvent ev;
+  BgFlow spec;
+};
+
+/// Outboxes of one shard, indexed by destination shard.  Written by the
+/// owning worker during a window, drained by the coordinator at the
+/// barrier (the barrier's happens-before makes this race-free).
+class ShardMailbox {
+ public:
+  ShardMailbox() = default;
+  explicit ShardMailbox(std::uint32_t shards) : out_(shards) {}
+
+  void send(std::uint32_t dst, RemoteMsg msg) {
+    out_[dst].push_back(std::move(msg));
+  }
+
+  [[nodiscard]] std::vector<RemoteMsg>& outbox(std::uint32_t dst) {
+    return out_[dst];
+  }
+  [[nodiscard]] std::uint32_t box_count() const {
+    return static_cast<std::uint32_t>(out_.size());
+  }
+
+ private:
+  std::vector<std::vector<RemoteMsg>> out_;
+};
+
+}  // namespace ihc

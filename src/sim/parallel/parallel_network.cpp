@@ -1,0 +1,1048 @@
+#include "sim/parallel/parallel_network.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/fault_schedule.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+namespace {
+
+/// Same bucket-width policy as the sequential Network: alpha/8, rounded
+/// up to a power of two by the queue (see docs/PERFORMANCE.md).
+constexpr SimTime bucket_width_hint(const NetworkParams& p) {
+  return p.alpha / 8;
+}
+
+/// The relay action a fault mode implies, mirroring FaultPlan::on_relay
+/// and FaultSchedule::on_relay without touching their RNG.  kRandom's
+/// coin flips are consumed in relay-processing order - well-defined
+/// sequentially, not partition-invariant - so the parallel engine
+/// rejects kRandom up front (check_parallel_support) and every mode
+/// reaching this point maps statically.
+RelayAction action_of(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kSilent:
+      return RelayAction::kDrop;
+    case FaultMode::kCorrupt:
+      return RelayAction::kCorrupt;
+    case FaultMode::kEquivocate:
+      return RelayAction::kFaithful;
+    case FaultMode::kSlow:
+      return RelayAction::kDelay;
+    case FaultMode::kRandom:
+      break;
+  }
+  IHC_ENSURE(false, "kRandom fault reached the parallel relay path");
+  return RelayAction::kFaithful;
+}
+
+}  // namespace
+
+ParallelNetwork::ParallelNetwork(const Graph& g, const NetworkParams& params,
+                                 DeliveryLedger::Granularity granularity)
+    : g_(&g),
+      params_(params),
+      part_(g, std::min<std::uint32_t>(std::max<std::uint32_t>(params.shards, 1),
+                                       g.node_count())),
+      window_(lookahead_window(params_)),
+      granularity_(granularity),
+      busy_until_(g.link_count(), 0),
+      node_buffer_(g.node_count()),
+      ledger_(g.node_count(), granularity) {
+  params_.validate();
+  const SimTime width = bucket_width_hint(params_);
+  shards_.reserve(part_.shard_count());
+  for (std::uint32_t s = 0; s < part_.shard_count(); ++s)
+    shards_.emplace_back(width, g.node_count(), granularity,
+                         part_.shard_count());
+}
+
+void ParallelNetwork::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->announce_topology(*g_);
+}
+
+void ParallelNetwork::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr && link_busy_.empty())
+    link_busy_.assign(g_->link_count(), 0.0);
+}
+
+void ParallelNetwork::flush_metrics() {
+  if (metrics_ == nullptr) return;
+  export_net_stats(stats_, *metrics_);
+  if (stats_.finish_time > 0) {
+    const auto horizon = static_cast<double>(stats_.finish_time);
+    for (LinkId l = 0; l < g_->link_count(); ++l)
+      metrics_->observe("net.link_utilization", link_busy_[l] / horizon);
+  }
+  // Per-shard load balance (docs/PARALLEL.md): events each shard
+  // processed, windows it sat idle in, and the barrier count.
+  for (const Shard& sh : shards_) {
+    metrics_->observe("shard.events",
+                      static_cast<double>(sh.lifetime_events));
+    metrics_->observe("shard.stalls", static_cast<double>(sh.idle_windows));
+  }
+  metrics_->count("shard.window_count", static_cast<std::int64_t>(windows_));
+}
+
+void ParallelNetwork::ensure_link_table() {
+  // Same policy as the sequential engine, minus its legacy-baseline
+  // escape: the flat table is bounded at 4 MiB, huge graphs (Q_20) fall
+  // back to Graph::link's adjacency scan.
+  if (link_flat_ != nullptr) return;
+  if (shared_routes_ != nullptr) {
+    link_flat_ = shared_routes_->link_table();
+    return;
+  }
+  constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+  const std::size_t n = g_->node_count();
+  if (n * n > kMaxEntries) return;
+  if (link_map_.empty()) {
+    link_map_.assign(n * n, kInvalidLink);
+    for (LinkId l = 0; l < g_->link_count(); ++l)
+      link_map_[static_cast<std::size_t>(g_->link_source(l)) * n +
+                g_->link_target(l)] = l;
+  }
+  link_flat_ = link_map_.data();
+}
+
+void ParallelNetwork::check_parallel_support() const {
+  if (faults_ != nullptr) {
+    for (const NodeId v : faults_->faulty_nodes())
+      require(faults_->mode_of(v) != FaultMode::kRandom,
+              "kRandom faults draw their RNG in relay order and cannot run "
+              "on the parallel engine; use the sequential engine "
+              "(--shards 0)");
+  }
+  if (schedule_ != nullptr)
+    require(!schedule_->uses_random(),
+            "kRandom fault windows draw their RNG in relay order and "
+            "cannot run on the parallel engine; use the sequential engine "
+            "(--shards 0)");
+}
+
+FlowId ParallelNetwork::add_flow(FlowSpec spec) {
+  require(spec.origin < g_->node_count(), "flow origin out of range");
+  const bool has_tree = !spec.tree.empty();
+  const bool has_cycle = spec.cycle_path.cycle != nullptr;
+  require(has_tree != has_cycle,
+          "a flow needs exactly one route (tree or cycle path)");
+  if (has_tree) {
+    require(spec.tree[0].parent == -1 && spec.tree[0].node == spec.origin,
+            "tree root must be the origin");
+    for (std::size_t i = 1; i < spec.tree.size(); ++i) {
+      require(spec.tree[i].parent >= 0 &&
+                  static_cast<std::size_t>(spec.tree[i].parent) < i,
+              "tree must be in parent-before-child order");
+    }
+  } else {
+    require(spec.cycle_path.hops < spec.cycle_path.cycle->length(),
+            "cycle path longer than the cycle");
+    require(spec.cycle_path.cycle->at(spec.cycle_path.start) == spec.origin,
+            "cycle path must start at the origin");
+  }
+  const auto id = static_cast<FlowId>(flows_.size());
+  flows_.push_back(std::move(spec));
+  flow_finish_.push_back(0);
+  tree_outstanding_.push_back(0);
+  const FlowSpec& f = flows_.back();
+  // The injection event: position 0 at the origin, pushed straight into
+  // the owning shard's queue.  add_flow only runs between windows (from
+  // drivers before run(), or from a completion hook at a barrier), so
+  // the push is race-free; the canonical key makes its eventual pop
+  // position independent of when it was pushed.
+  Shard& sh = shards_[part_.owner(f.origin)];
+  sh.queue.push(PEvent{f.inject_time, fg_event_key(id, 0), id, 0,
+                       kInvalidNode, PEventKind::kHeader, false});
+  if (!f.background) {
+    ++pending_fg_;
+    if (!f.tree.empty()) ++tree_outstanding_[id];
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side: one shard draining its queue inside one lookahead window.
+// ---------------------------------------------------------------------------
+
+void ParallelNetwork::run_window(std::uint32_t sid) {
+  Shard& sh = shards_[sid];
+  sh.pops = 0;
+  PEvent ev;
+  while (sh.queue.pop_min_before(window_end_, ev)) {
+    ++sh.pops;
+    ++sh.stats.events_processed;
+    switch (ev.kind) {
+      case PEventKind::kBackgroundLink:
+        // The foreground gate is the window-start snapshot, uniform for
+        // every shard; a generator popped with no foreground left does
+        // not re-arm and so dies individually.
+        if (fg_snapshot_ > 0) process_background_link(sh, ev);
+        break;
+      case PEventKind::kBackgroundFlow:
+        if (fg_snapshot_ > 0) process_background_flow(sh, ev);
+        break;
+      case PEventKind::kHeader:
+        process_header(sh, sid, ev);
+        break;
+    }
+  }
+  sh.lifetime_events += sh.pops;
+  if (sh.pops == 0) ++sh.idle_windows;
+}
+
+NodeId ParallelNetwork::route_node(const RouteView& view,
+                                   std::uint32_t pos) const {
+  if (view.bg != nullptr) return view.bg->path[pos];
+  const FlowSpec& f = *view.fg;
+  if (!f.tree.empty()) return f.tree[pos].node;
+  const auto& cp = f.cycle_path;
+  return cp.cycle->at((cp.start + pos) % cp.cycle->length());
+}
+
+std::uint64_t ParallelNetwork::event_key(const RouteView& view,
+                                         std::uint32_t pos) const {
+  if (view.bg != nullptr) {
+    IHC_ENSURE(pos < (1u << 12), "background path exceeds the key space");
+    return view.bg->key_base | pos;
+  }
+  return fg_event_key(view.fg_id, pos);
+}
+
+std::uint32_t ParallelNetwork::alloc_bg_slot(Shard& sh) {
+  if (!sh.bg_free.empty()) {
+    const std::uint32_t slot = sh.bg_free.back();
+    sh.bg_free.pop_back();
+    return slot;
+  }
+  sh.bg_arena.emplace_back();
+  return static_cast<std::uint32_t>(sh.bg_arena.size() - 1);
+}
+
+void ParallelNetwork::record_trace(Shard& sh, const PEvent& ev,
+                                   TraceCall call) {
+  if (tracer_ == nullptr) return;
+  call.ev_time = ev.time;
+  call.key = ev.seq;
+  call.sub = sh.trace_sub++;
+  sh.trace.push_back(call);
+}
+
+void ParallelNetwork::reserve(Shard& sh, LinkId l, SimTime from,
+                              SimTime until) {
+  IHC_ENSURE(from >= busy_until_[l], "link reservation overlaps");
+  busy_until_[l] = until;
+  sh.stats.link_busy_time += static_cast<double>(until - from);
+  if (!link_busy_.empty()) link_busy_[l] += static_cast<double>(until - from);
+}
+
+ParallelNetwork::SafTiming ParallelNetwork::send_saf(Shard& sh, LinkId l,
+                                                     SimTime ready_time,
+                                                     std::uint32_t len) {
+  const SimTime start =
+      std::max(ready_time, busy_until_[l]) + params_.queueing_delay;
+  sh.stats.total_queue_wait += start - params_.queueing_delay - ready_time;
+  const SimTime header_out = start + params_.tau_s;
+  const SimTime tail = header_out + static_cast<SimTime>(len) * params_.alpha;
+  reserve(sh, l, start, tail);
+  return SafTiming{start, header_out, tail};
+}
+
+std::uint32_t ParallelNetwork::occupy_buffer(Shard& sh, NodeId node,
+                                             SimTime from, SimTime until) {
+  auto& held = node_buffer_[node];
+  std::erase_if(held, [from](SimTime release) { return release <= from; });
+  held.push_back(until);
+  const auto depth = static_cast<std::uint32_t>(held.size());
+  sh.stats.max_node_buffer_occupancy =
+      std::max(sh.stats.max_node_buffer_occupancy, depth);
+  return depth;
+}
+
+void ParallelNetwork::deliver(Shard& sh, const RouteView& view,
+                              const PEvent& ev, NodeId dest,
+                              NodeId corrupted_by) {
+  if (view.background) return;  // normal-task traffic is not broadcast state
+  const FlowSpec& f = *view.fg;
+  CopyRecord copy;
+  copy.payload = corrupted_by == kInvalidNode
+                     ? f.payload
+                     : f.payload ^ 0xC0DEC0DEDEADBEEFULL;
+  copy.mac = f.mac;
+  copy.time = ev.time + static_cast<SimTime>(view.len) * params_.alpha;
+  copy.route = f.route_tag;
+  copy.corrupted_by = corrupted_by;
+  sh.ledger.record(f.origin, dest, copy);
+  record_trace(sh, ev,
+               {.fn = TraceCall::Fn::kDelivered,
+                .t0 = copy.time,
+                .flow = static_cast<std::int64_t>(view.fg_id),
+                .a = dest,
+                .b = f.origin,
+                .c = f.route_tag,
+                .d = ev.pos});
+  ++sh.stats.deliveries;
+  sh.stats.finish_time = std::max(sh.stats.finish_time, copy.time);
+  sh.flow_finish[view.fg_id] = std::max(sh.flow_finish[view.fg_id], copy.time);
+}
+
+void ParallelNetwork::process_header(Shard& sh, std::uint32_t sid,
+                                     const PEvent& ev) {
+  RouteView view;
+  if (ev.arena_flow) {
+    view.bg = &sh.bg_arena[ev.flow];
+    view.arena_slot = ev.flow;
+    view.len = view.bg->len;
+    view.background = true;
+    view.hops = static_cast<std::uint32_t>(view.bg->path.size()) - 1;
+    sh.bg_kept = false;
+  } else {
+    const FlowSpec& f = flows_[ev.flow];
+    view.fg = &f;
+    view.fg_id = ev.flow;
+    view.len = flow_length(f);
+    view.background = f.background;
+    view.is_tree = !f.tree.empty();
+    view.hops = view.is_tree ? 0 : f.cycle_path.hops;
+    if (!f.background) {
+      --sh.fg_delta;
+      // Tree flows detect completion by event drain: this event is
+      // consumed now, onward sends record +1 deltas in push_header, and
+      // the coordinator folds the balance at the barrier.
+      if (view.is_tree)
+        sh.tree_deltas.push_back(TreeDelta{
+            ev.flow, -1,
+            ev.time + static_cast<SimTime>(view.len) * params_.alpha});
+    }
+  }
+  sh.trace_sub = 0;
+  process_header_impl(sh, sid, ev, view);
+  // A background path flow keeps exactly one event in flight, so a slot
+  // whose event produced no local continuation (it crossed a shard, was
+  // dropped, or reached the path end) is dead.
+  if (ev.arena_flow && !sh.bg_kept) {
+    sh.bg_arena[ev.flow].path.clear();
+    sh.bg_free.push_back(ev.flow);
+  }
+}
+
+void ParallelNetwork::process_header_impl(Shard& sh, std::uint32_t sid,
+                                          const PEvent& ev,
+                                          const RouteView& view) {
+  const std::uint32_t len = view.len;
+  const NodeId here = route_node(view, ev.pos);
+  // Arena-flow xmits carry no flow id: the slot is shard-local and would
+  // leak partition layout into the trace (docs/PARALLEL.md).
+  const std::int64_t xmit_flow = view.bg != nullptr
+                                     ? obs::TraceEvent::kUnset
+                                     : static_cast<std::int64_t>(view.fg_id);
+  NodeId corrupted_by = ev.aux;
+  SimTime slow_penalty = 0;  // extra relay delay of a kSlow node
+
+  if (ev.pos > 0) {
+    if (!view.background)
+      record_trace(sh, ev,
+                   {.fn = TraceCall::Fn::kAdvanced,
+                    .t0 = ev.time,
+                    .flow = static_cast<std::int64_t>(view.fg_id),
+                    .a = here,
+                    .b = ev.pos});
+
+    // Tee: every visited node receives a copy.
+    deliver(sh, view, ev, here, corrupted_by);
+
+    // Fault behaviour applies to the relay operation at this node.  An
+    // active schedule window overrides the node's static mode.  The
+    // action derives from the mode alone (action_of) - kRandom, the one
+    // mode that draws, was rejected before the run.
+    RelayAction action = RelayAction::kFaithful;
+    std::int64_t delay = 0;
+    std::optional<FaultMode> mode;
+    if (schedule_ != nullptr) mode = schedule_->mode_at(here, ev.time);
+    if (mode.has_value()) {
+      action = action_of(*mode);
+      delay = schedule_->slow_delay();
+    } else if (faults_ != nullptr && faults_->is_faulty(here)) {
+      action = action_of(*faults_->mode_of(here));
+      delay = faults_->slow_delay();
+    }
+    if (action == RelayAction::kDrop) {
+      if (!view.background)
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kFault,
+                      .t0 = ev.time,
+                      .flow = static_cast<std::int64_t>(view.fg_id),
+                      .a = here,
+                      .b = ev.pos,
+                      .label = "drop"});
+      ++sh.stats.fault_drops;
+      return;
+    }
+    if (action == RelayAction::kCorrupt && corrupted_by == kInvalidNode) {
+      if (!view.background)
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kFault,
+                      .t0 = ev.time,
+                      .flow = static_cast<std::int64_t>(view.fg_id),
+                      .a = here,
+                      .b = ev.pos,
+                      .label = "corrupt"});
+      ++sh.stats.fault_corruptions;
+      corrupted_by = here;
+    }
+    if (action == RelayAction::kDelay) {
+      if (!view.background)
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kFault,
+                      .t0 = ev.time,
+                      .flow = static_cast<std::int64_t>(view.fg_id),
+                      .a = here,
+                      .b = ev.pos,
+                      .label = "delay"});
+      slow_penalty = delay;
+    }
+  } else {
+    // A degraded (kSlow) node's *origin* transmissions pay the same
+    // penalty as its relays; only the mode is inspected.
+    std::int64_t origin_delay = 0;
+    if (schedule_ != nullptr &&
+        schedule_->mode_at(here, ev.time) == FaultMode::kSlow)
+      origin_delay = schedule_->slow_delay();
+    else if (faults_ != nullptr && faults_->mode_of(here) == FaultMode::kSlow)
+      origin_delay = faults_->slow_delay();
+    if (origin_delay > 0) {
+      if (!view.background)
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kFault,
+                      .t0 = ev.time,
+                      .flow = static_cast<std::int64_t>(view.fg_id),
+                      .a = here,
+                      .b = ev.pos,
+                      .label = "delay"});
+      slow_penalty = origin_delay;
+    }
+  }
+
+  // Onward sends - a line-by-line mirror of the sequential relay, with
+  // two deviations: wormhole in-link holds are deferred to the barrier
+  // (they cross shard ownership), and trace calls are buffered.
+  const bool force_saf = params_.switching == Switching::kStoreAndForward;
+  auto relay = [&](NodeId next, std::uint32_t next_pos, bool ct_allowed,
+                   LinkId in_link) {
+    const LinkId l = link_between(here, next);
+    if ((faults_ != nullptr && faults_->link_failed(l)) ||
+        (schedule_ != nullptr && schedule_->link_dead(l, ev.time))) {
+      if (!view.background)
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kLinkDrop,
+                      .t0 = ev.time,
+                      .flow = static_cast<std::int64_t>(view.fg_id),
+                      .a = here,
+                      .b = l,
+                      .c = ev.pos});
+      ++sh.stats.link_drops;
+      return;
+    }
+    const bool injection = ev.pos == 0;
+    if (injection) {
+      ++sh.stats.injections;
+      const SafTiming t = send_saf(sh, l, ev.time + slow_penalty, len);
+      if (!view.background)
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kInjected,
+                      .t0 = ev.time,
+                      .flow = static_cast<std::int64_t>(view.fg_id),
+                      .a = view.fg->origin,
+                      .b = view.fg->route_tag,
+                      .c = len});
+      record_trace(sh, ev,
+                   {.fn = TraceCall::Fn::kXmit,
+                    .t0 = t.start,
+                    .t1 = t.tail,
+                    .flow = xmit_flow,
+                    .a = l,
+                    .b = next_pos,
+                    .label = view.background ? "background" : "inject"});
+      push_header(sh, sid, view, t.header_out, next_pos, corrupted_by);
+      return;
+    }
+    if (ct_allowed && !force_saf && slow_penalty == 0) {
+      const SimTime header_ready = ev.time + params_.alpha;
+      if (busy_until_[l] <= header_ready) {
+        ++sh.stats.cut_throughs;
+        const SimTime tail =
+            header_ready + static_cast<SimTime>(len) * params_.alpha;
+        reserve(sh, l, header_ready, tail);
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kXmit,
+                      .t0 = header_ready,
+                      .t1 = tail,
+                      .flow = xmit_flow,
+                      .a = l,
+                      .b = next_pos,
+                      .label =
+                          view.background ? "background" : "cut_through"});
+        push_header(sh, sid, view, header_ready, next_pos, corrupted_by);
+        return;
+      }
+      if (params_.switching == Switching::kWormhole) {
+        // Stall in the network: the header waits for the transmitter;
+        // the incoming link stays held until the tail can move on.  The
+        // hold lands on another shard's link, so it is collected here
+        // and applied at the barrier (max is commutative, so the merged
+        // result is shard-count-invariant).
+        ++sh.stats.wormhole_stalls;
+        const SimTime start = busy_until_[l];
+        sh.stats.total_queue_wait += start - header_ready;
+        const SimTime out = start + params_.alpha;
+        const SimTime tail = out + static_cast<SimTime>(len) * params_.alpha;
+        reserve(sh, l, start, tail);
+        if (!view.background)
+          record_trace(sh, ev,
+                       {.fn = TraceCall::Fn::kStalled,
+                        .t0 = header_ready,
+                        .t1 = start,
+                        .flow = static_cast<std::int64_t>(view.fg_id),
+                        .a = here});
+        record_trace(sh, ev,
+                     {.fn = TraceCall::Fn::kXmit,
+                      .t0 = start,
+                      .t1 = tail,
+                      .flow = xmit_flow,
+                      .a = l,
+                      .b = next_pos,
+                      .label = view.background ? "background" : "stall"});
+        if (in_link != kInvalidLink) sh.link_holds.emplace_back(in_link, tail);
+        push_header(sh, sid, view, out, next_pos, corrupted_by);
+        return;
+      }
+    }
+    // Buffered relay (VCT blocking, forced SAF, or a tree redirect).
+    ++sh.stats.buffered_relays;
+    const SimTime stored =
+        ev.time + static_cast<SimTime>(len) * params_.alpha + slow_penalty;
+    const SafTiming t = send_saf(sh, l, stored, len);
+    const std::uint32_t depth = occupy_buffer(sh, here, stored, t.tail);
+    if (!view.background)
+      record_trace(sh, ev,
+                   {.fn = TraceCall::Fn::kBuffered,
+                    .t0 = stored,
+                    .t1 = t.tail,
+                    .flow = static_cast<std::int64_t>(view.fg_id),
+                    .a = here,
+                    .b = depth});
+    record_trace(sh, ev,
+                 {.fn = TraceCall::Fn::kXmit,
+                  .t0 = t.start,
+                  .t1 = t.tail,
+                  .flow = xmit_flow,
+                  .a = l,
+                  .b = next_pos,
+                  .label = view.background ? "background" : "saf"});
+    push_header(sh, sid, view, t.header_out, next_pos, corrupted_by);
+  };
+
+  if (view.is_tree) {
+    const FlowSpec& f = *view.fg;
+    for (std::uint32_t c = ev.pos + 1; c < f.tree.size(); ++c) {
+      if (f.tree[c].parent != static_cast<std::int32_t>(ev.pos)) continue;
+      const bool ct = f.tree[c].cut_through_preferred;
+      if (!ct && ev.pos != 0) ++sh.stats.redirects;
+      LinkId in_link = kInvalidLink;
+      if (ev.pos > 0) {
+        const NodeId parent_node =
+            f.tree[static_cast<std::size_t>(f.tree[ev.pos].parent)].node;
+        in_link = link_between(parent_node, here);
+      }
+      relay(f.tree[c].node, c, ct, in_link);
+    }
+  } else if (view.bg != nullptr) {
+    // Linear background path; mirrors the path-shaped tree the
+    // sequential engine builds (first hop injected, later hops
+    // cut-through preferred).
+    if (ev.pos < view.hops) {
+      const NodeId next = view.bg->path[ev.pos + 1];
+      LinkId in_link = kInvalidLink;
+      if (ev.pos > 0) in_link = link_between(view.bg->path[ev.pos - 1], here);
+      relay(next, ev.pos + 1, /*ct_allowed=*/ev.pos > 0, in_link);
+    }
+  } else {
+    const auto& cp = view.fg->cycle_path;
+    if (ev.pos < cp.hops) {
+      const NodeId next =
+          cp.cycle->at((cp.start + ev.pos + 1) % cp.cycle->length());
+      LinkId in_link = kInvalidLink;
+      if (ev.pos > 0) {
+        const NodeId prev_node =
+            cp.cycle->at((cp.start + ev.pos - 1) % cp.cycle->length());
+        in_link = link_between(prev_node, here);
+      }
+      relay(next, ev.pos + 1, /*ct_allowed=*/true, in_link);
+    } else if (!view.background) {
+      // Tail delivered at the route's end: complete.  The hook fires at
+      // the barrier, in (finish, flow) order across all shards.
+      sh.completions.push_back(Completion{
+          ev.time + static_cast<SimTime>(len) * params_.alpha, view.fg_id});
+    }
+  }
+}
+
+void ParallelNetwork::push_header(Shard& sh, std::uint32_t sid,
+                                  const RouteView& view, SimTime time,
+                                  std::uint32_t pos, NodeId corrupted_by) {
+  const NodeId dest = route_node(view, pos);
+  const std::uint32_t dst = part_.owner(dest);
+  const PEvent ev{time,
+                  event_key(view, pos),
+                  view.bg != nullptr ? view.arena_slot : view.fg_id,
+                  pos,
+                  corrupted_by,
+                  PEventKind::kHeader,
+                  view.bg != nullptr};
+  if (view.fg != nullptr && !view.background) {
+    ++sh.fg_delta;
+    if (view.is_tree) sh.tree_deltas.push_back(TreeDelta{view.fg_id, 1, 0});
+  }
+  if (dst == sid) {
+    sh.queue.push(ev);
+    if (view.bg != nullptr) sh.bg_kept = true;
+    return;
+  }
+  // Conservative-lookahead invariant: every relay advances simulated
+  // time by at least W, so a cross-shard event always lands at or past
+  // the receiver's window end.
+  IHC_ENSURE(time >= window_end_,
+             "cross-shard event violates the lookahead window");
+  RemoteMsg msg;
+  msg.ev = ev;
+  // An arena flow travels whole: the spec moves into the mailbox (the
+  // route was already read above) and the sender's slot is freed by
+  // process_header once this event is fully handled.
+  if (view.bg != nullptr) msg.spec = std::move(sh.bg_arena[view.arena_slot]);
+  sh.mail.send(dst, std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Background traffic: per-generator Poisson streams.
+// ---------------------------------------------------------------------------
+
+void ParallelNetwork::start_background_if_needed() {
+  if (bg_started_ || params_.rho <= 0.0) return;
+  bg_started_ = true;
+  bg_link_mean_gap_ = static_cast<double>(params_.background_mu) *
+                      static_cast<double>(params_.alpha) / params_.rho;
+  const bool multihop =
+      params_.background_mode == BackgroundMode::kMultiHopFlows;
+  if (multihop) {
+    active_routes_ = shared_routes_;
+    if (active_routes_ == nullptr) {
+      if (!routes_) routes_ = std::make_unique<RoutingTable>(*g_);
+      active_routes_ = routes_.get();
+    }
+    bg_mean_distance_ =
+        active_routes_->mean_distance_estimate(256, params_.seed ^ 0xD157ull);
+    if (bg_mean_distance_ <= 0.0) bg_mean_distance_ = 1.0;
+  }
+  // One private stream per generator (node in kMultiHopFlows mode, link
+  // in kSingleLink mode), seeded from (run seed, generator id): unlike
+  // the sequential engine's single stream consumed in pop order, the
+  // draws a generator sees do not depend on how the network partitions.
+  const std::uint32_t gens = multihop ? g_->node_count() : g_->link_count();
+  bg_rng_.reserve(gens);
+  for (std::uint32_t gen = 0; gen < gens; ++gen)
+    bg_rng_.emplace_back(generator_seed(gen));
+  bg_occurrence_.assign(gens, 0);
+}
+
+void ParallelNetwork::restart_background_if_needed() {
+  if (!bg_started_ || params_.rho <= 0.0) return;
+  if (pending_fg_ == 0) return;
+  // Every generator died by the end of the previous run() (a generator
+  // popped with no foreground left does not re-arm), so a new run()
+  // resumes all arrival processes from the latest simulated time.
+  const SimTime from = stats_.finish_time;
+  if (params_.background_mode == BackgroundMode::kSingleLink) {
+    for (LinkId l = 0; l < g_->link_count(); ++l)
+      schedule_background_link(shards_[part_.link_owner(l)], l, from);
+  } else {
+    for (NodeId v = 0; v < g_->node_count(); ++v)
+      schedule_background_flow(shards_[part_.owner(v)], v, from);
+  }
+}
+
+void ParallelNetwork::schedule_background_link(Shard& sh, LinkId link,
+                                               SimTime after) {
+  const auto gap =
+      static_cast<SimTime>(bg_rng_[link].exponential(bg_link_mean_gap_));
+  const std::uint64_t occ = bg_occurrence_[link]++;
+  sh.queue.push(PEvent{after + gap, bg_arrival_key(link, occ), 0, link, 0,
+                       PEventKind::kBackgroundLink, false});
+}
+
+SimTime ParallelNetwork::background_flow_gap(SplitMix64& rng) {
+  // Same calibration as the sequential engine (see its comment): N
+  // sources at rate lambda fill a fraction rho of the links.
+  const double transmission = static_cast<double>(params_.background_mu) *
+                              static_cast<double>(params_.alpha);
+  const double per_flow_link_time =
+      static_cast<double>(params_.tau_s) + bg_mean_distance_ * transmission;
+  const double lambda =
+      params_.rho * static_cast<double>(g_->link_count()) /
+      (static_cast<double>(g_->node_count()) * per_flow_link_time);
+  return static_cast<SimTime>(rng.exponential(1.0 / lambda));
+}
+
+void ParallelNetwork::schedule_background_flow(Shard& sh, NodeId source,
+                                               SimTime after) {
+  const SimTime gap = background_flow_gap(bg_rng_[source]);
+  const std::uint64_t occ = bg_occurrence_[source]++;
+  sh.queue.push(PEvent{after + gap, bg_arrival_key(source, occ), 0, source,
+                       0, PEventKind::kBackgroundFlow, false});
+}
+
+void ParallelNetwork::process_background_link(Shard& sh, const PEvent& ev) {
+  const LinkId link = ev.pos;
+  const SimTime start = std::max(ev.time, busy_until_[link]);
+  const SimTime until =
+      start + static_cast<SimTime>(params_.background_mu) * params_.alpha;
+  reserve(sh, link, start, until);
+  record_trace(sh, ev,
+               {.fn = TraceCall::Fn::kXmit,
+                .t0 = start,
+                .t1 = until,
+                .flow = obs::TraceEvent::kUnset,
+                .a = link,
+                .b = static_cast<std::uint64_t>(obs::TraceEvent::kUnset),
+                .label = "background"});
+  ++sh.stats.background_packets;
+  schedule_background_link(sh, link, ev.time);
+}
+
+void ParallelNetwork::process_background_flow(Shard& sh, const PEvent& ev) {
+  const auto source = static_cast<NodeId>(ev.pos);
+  SplitMix64& rng = bg_rng_[source];
+  NodeId dest = source;
+  while (dest == source)
+    dest = static_cast<NodeId>(rng.below(g_->node_count()));
+  sh.bg_path.clear();
+  active_routes_->path_into(source, dest, sh.bg_path);
+  const std::uint32_t slot = alloc_bg_slot(sh);
+  BgFlow& flow = sh.bg_arena[slot];
+  flow.path.assign(sh.bg_path.begin(), sh.bg_path.end());
+  // The canonical identity rides the arrival's occurrence counter (the
+  // low 36 bits of its key).
+  flow.key_base = bg_header_key(source, ev.seq & ((1ull << 36) - 1), 0);
+  flow.len = params_.background_mu;
+  ++sh.stats.background_packets;
+  // Inject now, at this node (always shard-local: the generator is the
+  // source node itself).
+  sh.queue.push(PEvent{ev.time, flow.key_base, slot, 0, kInvalidNode,
+                       PEventKind::kHeader, true});
+  schedule_background_flow(sh, source, ev.time);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side: the per-window barrier.
+// ---------------------------------------------------------------------------
+
+void ParallelNetwork::drain_mailboxes() {
+  for (Shard& from : shards_) {
+    for (std::uint32_t dst = 0; dst < shards_.size(); ++dst) {
+      auto& box = from.mail.outbox(dst);
+      if (box.empty()) continue;
+      Shard& to = shards_[dst];
+      for (RemoteMsg& msg : box) {
+        PEvent ev = msg.ev;
+        if (ev.arena_flow) {
+          // Re-intern the travelling background flow; the canonical key
+          // (not the slot) defines its ordering, so the drain order of
+          // the boxes is irrelevant.
+          const std::uint32_t slot = alloc_bg_slot(to);
+          to.bg_arena[slot] = std::move(msg.spec);
+          ev.flow = slot;
+        }
+        to.queue.push(ev);
+      }
+      box.clear();
+    }
+  }
+}
+
+void ParallelNetwork::fold_accounting() {
+  for (Shard& sh : shards_) {
+    IHC_ENSURE(sh.fg_delta >= 0 ||
+                   pending_fg_ >= static_cast<std::uint64_t>(-sh.fg_delta),
+               "foreground event accounting broke");
+    pending_fg_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(pending_fg_) + sh.fg_delta);
+    sh.fg_delta = 0;
+  }
+  // Tree flows complete when their in-flight balance returns to zero.
+  // The completion time is the max consumed tail, which belongs to this
+  // window (all earlier windows hold strictly earlier events).
+  tree_touch_.clear();
+  for (Shard& sh : shards_) {
+    for (const TreeDelta& d : sh.tree_deltas) {
+      tree_outstanding_[d.flow] += d.delta;
+      IHC_ENSURE(tree_outstanding_[d.flow] >= 0,
+                 "tree flow event accounting broke");
+      if (d.delta < 0) tree_touch_.push_back(Completion{d.tail, d.flow});
+    }
+    sh.tree_deltas.clear();
+  }
+  if (tree_touch_.empty()) return;
+  std::sort(tree_touch_.begin(), tree_touch_.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.flow != b.flow ? a.flow < b.flow : a.at < b.at;
+            });
+  for (std::size_t i = 0; i < tree_touch_.size(); ++i) {
+    const bool last_of_flow = i + 1 == tree_touch_.size() ||
+                              tree_touch_[i + 1].flow != tree_touch_[i].flow;
+    if (last_of_flow && tree_outstanding_[tree_touch_[i].flow] == 0)
+      tree_completions_.push_back(tree_touch_[i]);
+  }
+}
+
+void ParallelNetwork::fire_completions() {
+  fire_list_.clear();
+  for (Shard& sh : shards_) {
+    fire_list_.insert(fire_list_.end(), sh.completions.begin(),
+                      sh.completions.end());
+    sh.completions.clear();
+  }
+  fire_list_.insert(fire_list_.end(), tree_completions_.begin(),
+                    tree_completions_.end());
+  tree_completions_.clear();
+  if (fire_list_.empty() || !completion_hook_) return;
+  std::sort(fire_list_.begin(), fire_list_.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.at != b.at ? a.at < b.at : a.flow < b.flow;
+            });
+  for (const Completion& c : fire_list_) completion_hook_(c.flow, c.at);
+  grow_flow_state();  // the hook may have add_flow()ed
+}
+
+void ParallelNetwork::replay_trace() {
+  if (tracer_ == nullptr) return;
+  replay_.clear();
+  for (Shard& sh : shards_) {
+    replay_.insert(replay_.end(), sh.trace.begin(), sh.trace.end());
+    sh.trace.clear();
+  }
+  if (replay_.empty()) return;
+  // Replay in the canonical global order: (event time, event key,
+  // emission index).  This is the order a single-shard run would have
+  // emitted, so the stream is identical for every shard count.
+  std::sort(replay_.begin(), replay_.end(),
+            [](const TraceCall& x, const TraceCall& y) {
+              if (x.ev_time != y.ev_time) return x.ev_time < y.ev_time;
+              if (x.key != y.key) return x.key < y.key;
+              return x.sub < y.sub;
+            });
+  for (const TraceCall& c : replay_) {
+    switch (c.fn) {
+      case TraceCall::Fn::kInjected:
+        tracer_->packet_injected(c.t0, static_cast<std::uint32_t>(c.flow),
+                                 static_cast<NodeId>(c.a),
+                                 static_cast<std::uint16_t>(c.b),
+                                 static_cast<std::uint32_t>(c.c));
+        break;
+      case TraceCall::Fn::kAdvanced:
+        tracer_->header_advanced(c.t0, static_cast<std::uint32_t>(c.flow),
+                                 static_cast<NodeId>(c.a),
+                                 static_cast<std::uint32_t>(c.b));
+        break;
+      case TraceCall::Fn::kDelivered:
+        tracer_->delivered(c.t0, static_cast<std::uint32_t>(c.flow),
+                           static_cast<NodeId>(c.a),
+                           static_cast<NodeId>(c.b),
+                           static_cast<std::uint16_t>(c.c),
+                           static_cast<std::int64_t>(c.d));
+        break;
+      case TraceCall::Fn::kFault:
+        tracer_->fault_fired(c.t0, static_cast<NodeId>(c.a),
+                             static_cast<std::uint32_t>(c.flow), c.label,
+                             static_cast<std::int64_t>(c.b));
+        break;
+      case TraceCall::Fn::kLinkDrop:
+        tracer_->link_dropped(c.t0, static_cast<NodeId>(c.a),
+                              static_cast<std::uint32_t>(c.flow),
+                              static_cast<LinkId>(c.b),
+                              static_cast<std::int64_t>(c.c));
+        break;
+      case TraceCall::Fn::kXmit:
+        tracer_->xmit(c.t0, c.t1, static_cast<LinkId>(c.a), c.label, c.flow,
+                      static_cast<std::int64_t>(c.b));
+        break;
+      case TraceCall::Fn::kStalled:
+        tracer_->stalled(c.t0, c.t1, static_cast<NodeId>(c.a),
+                         static_cast<std::uint32_t>(c.flow));
+        break;
+      case TraceCall::Fn::kBuffered:
+        tracer_->buffered(c.t0, c.t1, static_cast<NodeId>(c.a),
+                          static_cast<std::uint32_t>(c.flow),
+                          static_cast<std::uint32_t>(c.b));
+        break;
+    }
+  }
+}
+
+void ParallelNetwork::schedule_next_window() {
+  SimTime min_time = 0;
+  bool any = false;
+  for (Shard& sh : shards_) {
+    if (sh.queue.empty()) continue;
+    const SimTime t = sh.queue.peek_min_time();
+    if (!any || t < min_time) {
+      min_time = t;
+      any = true;
+    }
+  }
+  if (!any) {
+    done_ = true;
+    return;
+  }
+  done_ = false;
+  // Jump straight to the window holding the global minimum: empty
+  // windows cost O(shards), not a simulated barrier each.
+  const std::uint64_t idx = static_cast<std::uint64_t>(min_time) /
+                            static_cast<std::uint64_t>(window_);
+  window_end_ = static_cast<SimTime>((idx + 1) *
+                                     static_cast<std::uint64_t>(window_));
+  ++windows_;
+  // The background gate for the coming window: one globally consistent
+  // snapshot instead of the sequential engine's live count.
+  fg_snapshot_ = pending_fg_;
+}
+
+void ParallelNetwork::coordinate() {
+  drain_mailboxes();
+  // Deferred wormhole in-link holds: max is commutative, so the merged
+  // busy time is independent of shard count and application order.
+  for (Shard& sh : shards_) {
+    for (const auto& [link, until] : sh.link_holds)
+      busy_until_[link] = std::max(busy_until_[link], until);
+    sh.link_holds.clear();
+  }
+  fold_accounting();
+  fire_completions();
+  replay_trace();
+  schedule_next_window();
+}
+
+void ParallelNetwork::grow_flow_state() {
+  for (Shard& sh : shards_)
+    if (sh.flow_finish.size() < flows_.size())
+      sh.flow_finish.resize(flows_.size(), 0);
+}
+
+void ParallelNetwork::finalize_run() {
+  for (Shard& sh : shards_) {
+    const NetStats& s = sh.stats;
+    stats_.injections += s.injections;
+    stats_.cut_throughs += s.cut_throughs;
+    stats_.buffered_relays += s.buffered_relays;
+    stats_.wormhole_stalls += s.wormhole_stalls;
+    stats_.redirects += s.redirects;
+    stats_.fault_drops += s.fault_drops;
+    stats_.fault_corruptions += s.fault_corruptions;
+    stats_.link_drops += s.link_drops;
+    stats_.background_packets += s.background_packets;
+    stats_.deliveries += s.deliveries;
+    stats_.events_processed += s.events_processed;
+    stats_.total_queue_wait += s.total_queue_wait;
+    stats_.finish_time = std::max(stats_.finish_time, s.finish_time);
+    stats_.link_busy_time += s.link_busy_time;
+    stats_.max_node_buffer_occupancy = std::max(
+        stats_.max_node_buffer_occupancy, s.max_node_buffer_occupancy);
+    sh.stats = NetStats{};
+    ledger_.merge_from(sh.ledger);
+    sh.ledger.reset(granularity_);
+    for (std::size_t i = 0; i < sh.flow_finish.size(); ++i) {
+      if (sh.flow_finish[i] > flow_finish_[i])
+        flow_finish_[i] = sh.flow_finish[i];
+      sh.flow_finish[i] = 0;
+    }
+  }
+}
+
+void ParallelNetwork::run() {
+  check_parallel_support();
+  ensure_link_table();
+  grow_flow_state();
+  start_background_if_needed();
+  restart_background_if_needed();
+  schedule_next_window();
+  const std::uint32_t shard_n = part_.shard_count();
+  if (shard_n == 1) {
+    // One shard runs the identical windowed schedule inline - same code
+    // path, same barriers, no threads: the `--shards 1` baseline every
+    // multi-shard run must reproduce byte for byte.
+    while (!done_) {
+      run_window(0);
+      coordinate();
+    }
+  } else {
+    // The error machinery lives here, not in the object, so the engine
+    // stays movable; the barrier's completion step must be noexcept, so
+    // coordinate() errors are parked and rethrown after the join.
+    std::exception_ptr coordinator_error;
+    std::vector<std::exception_ptr> worker_errors(shard_n);
+    std::atomic<bool> failed{false};
+    auto on_cycle = [&]() noexcept {
+      if (failed.load(std::memory_order_acquire)) {
+        done_ = true;
+        return;
+      }
+      try {
+        coordinate();
+      } catch (...) {
+        coordinator_error = std::current_exception();
+        done_ = true;
+      }
+    };
+    std::barrier barrier(static_cast<std::ptrdiff_t>(shard_n), on_cycle);
+    std::vector<std::thread> workers;
+    workers.reserve(shard_n);
+    for (std::uint32_t sid = 0; sid < shard_n; ++sid) {
+      workers.emplace_back([this, sid, &barrier, &worker_errors, &failed] {
+        // done_ / window_end_ reads are ordered by the barrier: the
+        // completion step writes them, arrive_and_wait publishes them.
+        while (!done_) {
+          try {
+            run_window(sid);
+          } catch (...) {
+            worker_errors[sid] = std::current_exception();
+            failed.store(true, std::memory_order_release);
+          }
+          barrier.arrive_and_wait();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (auto& e : worker_errors)
+      if (e) std::rethrow_exception(e);
+    if (coordinator_error) std::rethrow_exception(coordinator_error);
+  }
+  finalize_run();
+}
+
+double ParallelNetwork::mean_link_utilization() const {
+  if (stats_.finish_time <= 0) return 0.0;
+  const double horizon = static_cast<double>(stats_.finish_time) *
+                         static_cast<double>(g_->link_count());
+  return stats_.link_busy_time / horizon;
+}
+
+}  // namespace ihc

@@ -1,0 +1,305 @@
+/// \file parallel_network.hpp
+/// \brief Conservative time-sharded parallel packet engine.
+///
+/// Partitions the network's nodes across worker shards (partition.hpp)
+/// and advances simulated time in lookahead windows of width
+/// W = min(alpha, tau_S): within window k = [k*W, (k+1)*W) every shard
+/// drains its own calendar queue independently, because no event inside
+/// the window can schedule a cross-shard event before (k+1)*W (every
+/// inter-node hand-off costs at least W).  A barrier per window then
+/// exchanges cross-shard events through mailboxes, applies wormhole
+/// link holds, fires completion hooks, and picks the next non-empty
+/// window from the global queue minimum - so empty windows are skipped
+/// in O(shards), not simulated.
+///
+/// Determinism contract (docs/PARALLEL.md): all simulated results -
+/// stats, ledger, flow finish times, trace streams, metrics - are
+/// byte-identical for any shard count >= 1, including `--shards 1`,
+/// which runs the same windowed schedule inline on the calling thread.
+/// The three pillars:
+///
+///  1. canonical event keys (mailbox.hpp) replace the sequential
+///     engine's push-order tie-break, so per-shard (time, key) pop order
+///     composes into one global order independent of the partition;
+///  2. all shared-state writes are either shard-local (a link's
+///     transmitter is only reserved by its source-node's owner) or
+///     commutative and applied at the barrier (wormhole in-link holds
+///     take a max; completions are sorted by (finish time, flow) before
+///     hooks fire);
+///  3. background traffic draws from per-generator RNG streams seeded
+///     from (params.seed, generator id) instead of one shared stream
+///     consumed in pop order.
+///
+/// The windowed schedule is *semantically equivalent but not pop-order
+/// identical* to the sequential Network under contention: wormhole
+/// in-link holds land at the window barrier instead of instantly, hooks
+/// fire at barriers, and background streams differ.  On dedicated
+/// contention-free runs the windowed engine reproduces the sequential
+/// engine's results exactly (asserted in tests/test_parallel_engine.cpp);
+/// the seed goldens keep running the sequential Network unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "sim/delivery.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/parallel/mailbox.hpp"
+#include "sim/parallel/partition.hpp"
+#include "sim/params.hpp"
+#include "sim/routing.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+class FaultSchedule;
+
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
+/// Drop-in parallel counterpart of Network: same public surface, same
+/// flow model (cycle paths and explicit trees), same timing rules.
+/// params.shards (>= 1) sets the worker count; the graph partition and
+/// all results are independent of it.
+class ParallelNetwork {
+ public:
+  using CompletionHook = Network::CompletionHook;
+
+  ParallelNetwork(const Graph& g, const NetworkParams& params,
+                  DeliveryLedger::Granularity granularity =
+                      DeliveryLedger::Granularity::kCounts);
+
+  void set_routes(const RoutingTable* routes) { shared_routes_ = routes; }
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  void set_fault_schedule(FaultSchedule* schedule) { schedule_ = schedule; }
+  void set_tracer(obs::Tracer* tracer);
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void flush_metrics();
+
+  FlowId add_flow(FlowSpec spec);
+  void run();
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] const DeliveryLedger& ledger() const { return ledger_; }
+  [[nodiscard]] DeliveryLedger& ledger() { return ledger_; }
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+  [[nodiscard]] double mean_link_utilization() const;
+  [[nodiscard]] SimTime flow_finish(FlowId flow) const {
+    return flow_finish_.at(flow);
+  }
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  // -- parallel-engine introspection ---------------------------------------
+  [[nodiscard]] const ShardPartition& partition() const { return part_; }
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return part_.shard_count();
+  }
+  /// Lookahead-window width W = min(alpha, tau_S), picoseconds.
+  [[nodiscard]] SimTime window_width() const { return window_; }
+  /// Barriers executed across all run() calls so far.
+  [[nodiscard]] std::uint64_t window_count() const { return windows_; }
+
+ private:
+  /// One deferred tracer call, tagged with the canonical (event time,
+  /// event key, emission index) of the event whose processing emitted
+  /// it, so the coordinator can replay every shard's calls through the
+  /// real Tracer in one global order.
+  struct TraceCall {
+    enum class Fn : std::uint8_t {
+      kInjected, kAdvanced, kDelivered, kFault, kLinkDrop,
+      kXmit, kStalled, kBuffered,
+    };
+    Fn fn;
+    SimTime t0 = 0;
+    SimTime t1 = 0;
+    std::int64_t flow = 0;    // kUnset for flow-less background xmits
+    std::uint64_t a = 0;      // node / link / origin
+    std::uint64_t b = 0;      // pos / route / depth / len
+    std::uint64_t c = 0;      // pos (secondary) / route
+    std::uint64_t d = 0;      // pos (tertiary, delivered only)
+    const char* label = nullptr;
+    // canonical replay order:
+    SimTime ev_time = 0;
+    std::uint64_t key = 0;
+    std::uint32_t sub = 0;
+  };
+
+  /// A finished flow: a cycle path whose tail was delivered at the route
+  /// end, or a tree flow whose last in-flight event drained.  Hooks fire
+  /// at the barrier, sorted by (finish time, flow id).
+  struct Completion {
+    SimTime at;
+    FlowId flow;
+  };
+
+  /// Per-window in-flight accounting of one foreground tree flow on one
+  /// shard: +1 per pushed event, -1 per consumed event; `tail` is the
+  /// consumed event's tail time (ev.time + len*alpha, 0 for pushes).
+  /// The coordinator folds all shards' deltas into tree_outstanding_;
+  /// a flow whose balance returns to zero has fully drained.
+  struct TreeDelta {
+    FlowId flow;
+    std::int32_t delta;
+    SimTime tail;
+  };
+
+  /// Store-and-forward transmission timing on one link (the sequential
+  /// engine's SafTiming, duplicated because Network keeps it private).
+  struct SafTiming {
+    SimTime start;
+    SimTime header_out;
+    SimTime tail;
+  };
+
+  struct Shard {
+    CalendarQueue<PEvent> queue;
+    NetStats stats;                         // merged + cleared per run()
+    DeliveryLedger ledger;                  // merged + cleared per run()
+    std::vector<SimTime> flow_finish;       // merged + cleared per run()
+    std::vector<BgFlow> bg_arena;           // in-flight background flows
+    std::vector<std::uint32_t> bg_free;     // arena freelist
+    ShardMailbox mail;
+    std::vector<std::pair<LinkId, SimTime>> link_holds;
+    std::vector<Completion> completions;
+    std::vector<TreeDelta> tree_deltas;
+    std::int64_t fg_delta = 0;              // window's fg event-count change
+    std::vector<TraceCall> trace;
+    std::vector<NodeId> bg_path;            // scratch for path_into()
+    std::uint64_t lifetime_events = 0;      // survives the per-run merge
+    std::uint64_t idle_windows = 0;         // windows with zero pops
+    std::uint64_t pops = 0;                 // scratch, per window
+    std::uint32_t trace_sub = 0;            // scratch, per event
+    bool bg_kept = false;                   // scratch, per arena-flow event
+
+    Shard(SimTime width_hint, NodeId nodes,
+          DeliveryLedger::Granularity granularity, std::uint32_t shards)
+        : queue(width_hint), ledger(nodes, granularity), mail(shards) {}
+  };
+
+  /// What the header-processing core needs to know about a route,
+  /// uniform over foreground FlowSpecs and arena background flows.
+  struct RouteView {
+    const FlowSpec* fg = nullptr;   // null for arena background flows
+    const BgFlow* bg = nullptr;
+    FlowId fg_id = 0;
+    std::uint32_t arena_slot = 0;
+    std::uint32_t len = 0;
+    bool background = false;        // suppresses ledger/trace like Network
+    bool is_tree = false;           // explicit foreground tree
+    std::uint32_t hops = 0;         // cycle/bg-path relay horizon
+  };
+
+  const Graph* g_;
+  NetworkParams params_;
+  ShardPartition part_;
+  SimTime window_;
+  DeliveryLedger::Granularity granularity_;
+  FaultPlan* faults_ = nullptr;
+  FaultSchedule* schedule_ = nullptr;
+  std::vector<FlowSpec> flows_;
+  std::vector<SimTime> flow_finish_;
+  std::vector<std::int64_t> tree_outstanding_;
+  std::vector<SimTime> busy_until_;        // owner-shard written
+  std::vector<std::vector<SimTime>> node_buffer_;  // owner-shard written
+  DeliveryLedger ledger_;
+  NetStats stats_;
+  CompletionHook completion_hook_;
+  const RoutingTable* shared_routes_ = nullptr;
+  std::unique_ptr<RoutingTable> routes_;
+  const RoutingTable* active_routes_ = nullptr;
+  std::vector<LinkId> link_map_;
+  const LinkId* link_flat_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<double> link_busy_;          // owner-shard written
+  /// Background generator state, indexed by generator id (link id in
+  /// kSingleLink mode, source node in kMultiHopFlows mode); only the
+  /// generator's owning shard ever touches its entry.
+  std::vector<SplitMix64> bg_rng_;
+  std::vector<std::uint64_t> bg_occurrence_;
+  double bg_mean_distance_ = 0.0;
+  double bg_link_mean_gap_ = 0.0;
+  bool bg_started_ = false;
+  std::uint64_t pending_fg_ = 0;   // fg header events queued, all shards
+  std::uint64_t fg_snapshot_ = 0;  // pending_fg_ at the window start
+  std::uint64_t windows_ = 0;
+  SimTime window_end_ = 0;
+  bool done_ = true;
+
+  std::vector<Shard> shards_;
+
+  // Coordinator scratch, reused across barriers to avoid churn.
+  std::vector<Completion> tree_touch_;        // consumed-event tree deltas
+  std::vector<Completion> tree_completions_;  // drained tree flows
+  std::vector<Completion> fire_list_;
+  std::vector<TraceCall> replay_;
+
+  // -- worker side (one shard, inside a window) ----------------------------
+  void run_window(std::uint32_t sid);
+  void process_header(Shard& sh, std::uint32_t sid, const PEvent& ev);
+  void process_header_impl(Shard& sh, std::uint32_t sid, const PEvent& ev,
+                           const RouteView& view);
+  void process_background_link(Shard& sh, const PEvent& ev);
+  void process_background_flow(Shard& sh, const PEvent& ev);
+  void schedule_background_link(Shard& sh, LinkId link, SimTime after);
+  void schedule_background_flow(Shard& sh, NodeId source, SimTime after);
+  [[nodiscard]] SimTime background_flow_gap(SplitMix64& rng);
+  void push_header(Shard& sh, std::uint32_t sid, const RouteView& view,
+                   SimTime time, std::uint32_t pos, NodeId corrupted_by);
+  void reserve(Shard& sh, LinkId l, SimTime from, SimTime until);
+  SafTiming send_saf(Shard& sh, LinkId l, SimTime ready_time,
+                     std::uint32_t len);
+  std::uint32_t occupy_buffer(Shard& sh, NodeId node, SimTime from,
+                              SimTime until);
+  void deliver(Shard& sh, const RouteView& view, const PEvent& ev,
+               NodeId dest, NodeId corrupted_by);
+  [[nodiscard]] NodeId route_node(const RouteView& view,
+                                  std::uint32_t pos) const;
+  [[nodiscard]] std::uint64_t event_key(const RouteView& view,
+                                        std::uint32_t pos) const;
+  [[nodiscard]] std::uint32_t alloc_bg_slot(Shard& sh);
+  void record_trace(Shard& sh, const PEvent& ev, TraceCall call);
+
+  // -- coordinator side (between windows) ----------------------------------
+  void coordinate();
+  void drain_mailboxes();
+  void fold_accounting();
+  void fire_completions();
+  void replay_trace();
+  void schedule_next_window();
+  void start_background_if_needed();
+  void restart_background_if_needed();
+  void check_parallel_support() const;
+  void finalize_run();
+  void grow_flow_state();
+
+  [[nodiscard]] std::uint32_t flow_length(const FlowSpec& f) const {
+    return f.length_units ? f.length_units : params_.mu;
+  }
+  void ensure_link_table();
+  [[nodiscard]] LinkId link_between(NodeId u, NodeId v) const {
+    if (link_flat_ == nullptr) return g_->link(u, v);
+    return link_flat_[static_cast<std::size_t>(u) * g_->node_count() + v];
+  }
+  /// Seed of background generator `gen`'s private stream: a mix of the
+  /// run seed and the generator id, so streams are mutually independent
+  /// and identical for every shard count.
+  [[nodiscard]] std::uint64_t generator_seed(std::uint32_t gen) const {
+    return mix64(params_.seed ^
+                 (0xd1342543de82ef95ULL *
+                  (static_cast<std::uint64_t>(gen) + 1)));
+  }
+};
+
+}  // namespace ihc

@@ -1,0 +1,85 @@
+/// \file partition.hpp
+/// \brief Static node partition and lookahead-window math for the
+/// conservative time-sharded parallel engine (docs/PARALLEL.md).
+///
+/// Nodes are split into contiguous id blocks, one per shard; a directed
+/// link belongs to the shard that owns its *source* node, because only
+/// events processed at the source ever reserve that link's transmitter.
+/// The block map is a pure function of (node_count, shard_count), so the
+/// ownership of every node and link - and with it the canonical event
+/// order - is identical however many worker threads actually run.
+///
+/// The lookahead window W is the minimum simulated-time distance between
+/// an event at one node and any event it can schedule at a *different*
+/// node.  In the paper's timing model every inter-node hand-off costs at
+/// least one of:
+///
+///   * a cut-through relay:      alpha                     (>= alpha)
+///   * a wormhole stall:         busy wait + alpha         (>= alpha)
+///   * an injection or SAF hop:  tau_S (+ len*alpha, ...)  (>= tau_S)
+///
+/// so W = min(alpha, tau_S) is a safe lookahead: every event a shard
+/// processes inside window k = [k*W, (k+1)*W) schedules cross-shard
+/// events no earlier than (k+1)*W, and a barrier per window suffices for
+/// conservative synchronization.  tau_S = 0 would give zero injection
+/// lookahead, so the parallel engine requires tau_S > 0.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/graph.hpp"
+#include "sim/params.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+class ShardPartition {
+ public:
+  /// \param g       host graph (must outlive the partition)
+  /// \param shards  worker count, in [1, min(1024, node_count)]
+  ShardPartition(const Graph& g, std::uint32_t shards)
+      : g_(&g), shards_(shards), nodes_(g.node_count()) {
+    require(shards >= 1, "shard count must be at least 1");
+    require(shards <= nodes_, "more shards than nodes");
+  }
+
+  [[nodiscard]] std::uint32_t shard_count() const { return shards_; }
+
+  /// Owning shard of a node: contiguous blocks of floor/ceil(N/S) ids.
+  [[nodiscard]] std::uint32_t owner(NodeId v) const {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(v) * shards_) / nodes_);
+  }
+
+  /// Owning shard of a directed link: the shard of its source node (the
+  /// only node whose events reserve this transmitter).
+  [[nodiscard]] std::uint32_t link_owner(LinkId l) const {
+    return owner(g_->link_source(l));
+  }
+
+  /// Node-id range [first, last) owned by shard s.  The first node of
+  /// shard s is the smallest v with v*S >= s*N, i.e. ceil(s*N/S).
+  [[nodiscard]] std::pair<NodeId, NodeId> node_range(std::uint32_t s) const {
+    const auto lo = static_cast<NodeId>(
+        (static_cast<std::uint64_t>(s) * nodes_ + shards_ - 1) / shards_);
+    const auto hi = static_cast<NodeId>(
+        (static_cast<std::uint64_t>(s + 1) * nodes_ + shards_ - 1) / shards_);
+    return {lo, hi};
+  }
+
+ private:
+  const Graph* g_;
+  std::uint32_t shards_;
+  NodeId nodes_;
+};
+
+/// Conservative lookahead window width for the given timing parameters:
+/// min(alpha, tau_S).  Requires tau_S > 0 (see file comment).
+[[nodiscard]] inline SimTime lookahead_window(const NetworkParams& p) {
+  require(p.tau_s > 0,
+          "the parallel engine needs tau_s > 0 for a positive lookahead");
+  return p.alpha < p.tau_s ? p.alpha : p.tau_s;
+}
+
+}  // namespace ihc

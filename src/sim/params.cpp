@@ -4,6 +4,7 @@ namespace ihc {
 
 namespace {
 bool g_engine_legacy = false;
+std::uint32_t g_shards = 0;
 }  // namespace
 
 void set_default_engine_legacy(bool legacy) noexcept {
@@ -11,5 +12,9 @@ void set_default_engine_legacy(bool legacy) noexcept {
 }
 
 bool default_engine_legacy() noexcept { return g_engine_legacy; }
+
+void set_default_shards(std::uint32_t shards) noexcept { g_shards = shards; }
+
+std::uint32_t default_shards() noexcept { return g_shards; }
 
 }  // namespace ihc

@@ -36,6 +36,14 @@ constexpr SimTime sim_ms(std::int64_t v) { return v * 1'000'000'000; }
 void set_default_engine_legacy(bool legacy) noexcept;
 [[nodiscard]] bool default_engine_legacy() noexcept;
 
+/// Process-wide default for NetworkParams::shards (same pattern as
+/// set_default_engine_legacy): lets `ihc_cli --shards N` flip every
+/// network constructed inside campaign/workload trial lambdas onto the
+/// time-sharded parallel engine without threading the knob through every
+/// campaign definition.  Not thread-safe; set before launching workers.
+void set_default_shards(std::uint32_t shards) noexcept;
+[[nodiscard]] std::uint32_t default_shards() noexcept;
+
 /// How the background ("normal task") traffic of rho is generated.
 enum class BackgroundMode {
   /// Independent single-link occupancies: each link receives Poisson
@@ -95,6 +103,14 @@ struct NetworkParams {
   /// to the process-wide value (see set_default_engine_legacy).
   bool legacy_engine = default_engine_legacy();
 
+  /// Number of worker shards for the conservative time-sharded parallel
+  /// engine (sim/parallel/, docs/PARALLEL.md).  0 selects the classic
+  /// sequential Network; >= 1 selects the windowed engine with that many
+  /// workers (1 runs the same windowed schedule inline, so `--shards 1`
+  /// vs `--shards N` is a byte-identical A/B of the same semantics).
+  /// Defaults to the process-wide value (see set_default_shards).
+  std::uint32_t shards = default_shards();
+
   void validate() const {
     require(alpha > 0, "alpha must be positive");
     require(tau_s >= 0, "tau_s must be non-negative");
@@ -102,6 +118,7 @@ struct NetworkParams {
     require(queueing_delay >= 0, "queueing delay must be non-negative");
     require(rho >= 0.0 && rho < 1.0, "rho must lie in [0, 1)");
     require(background_mu >= 1, "background packet length must be >= 1");
+    require(shards <= 1024, "shard count must be at most 1024");
   }
 };
 

@@ -22,15 +22,17 @@ struct CliSubcommand {
 inline constexpr CliSubcommand kCliSubcommands[] = {
     {"info", "info <topology>",
      "topology summary: size, gamma, Hamiltonian cycles, class Lambda"},
-    {"run", "run <topology> [--algo ihc|hc|vrs|ks|vsq|frs] [options]",
+    {"run",
+     "run <topology> [--algo ihc|hc|vrs|ks|vsq|frs] [--shards <n>] "
+     "[options]",
      "run one ATA reliable broadcast and print the results"},
     {"decompose", "decompose <topology> [--out <file>]",
      "construct + verify the Hamiltonian decomposition (ihc-hc-v1)"},
     {"verify", "verify <file> <topology>",
      "check a saved decomposition against a topology"},
     {"campaign",
-     "campaign [<name>...] [--list] [--jobs <n>] [--filter <s>] "
-     "[--metrics] [--analyze] [--json-out <p>]",
+     "campaign [<name>...] [--list] [--jobs <n>] [--shards <n>] "
+     "[--filter <s>] [--metrics] [--analyze] [--json-out <p>]",
      "run experiment campaigns on the parallel trial engine"},
     {"trace",
      "trace --campaign <name> [--filter <s>] [--out <file|->]",
@@ -40,11 +42,11 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "[--out <file|->] [--heatmap]",
      "critical path, utilization and TraceLint report (ihc-analysis-v1)"},
     {"bench-perf",
-     "bench-perf [--quick] [--repeats <n>] [--out <file>]",
+     "bench-perf [--quick] [--repeats <n>] [--shards <n>] [--out <file>]",
      "measure simulator throughput vs the legacy engine (ihc-bench-v1)"},
     {"workload",
-     "workload [--campaign <name>] [--jobs <n>] [--filter <s>] "
-     "[--out <file|->]",
+     "workload [--campaign <name>] [--jobs <n>] [--shards <n>] "
+     "[--filter <s>] [--out <file|->]",
      "open-loop saturation sweep: rate-vs-latency curves (ihc-workload-v1)"},
 };
 

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "obs/obs.hpp"
+#include "sim/engine.hpp"
 #include "util/error.hpp"
 
 namespace ihc::workload {
@@ -117,7 +118,7 @@ WorkloadResult run_workload(const SessionPlanner& planner,
   }
   result.offered = result.sessions.size();
 
-  Network net(topo.graph(), options.net);
+  SimEngine net(topo.graph(), options.net);
   if (options.tracer != nullptr) net.set_tracer(options.tracer);
   if (options.metrics != nullptr) net.set_metrics(options.metrics);
   if (options.routes != nullptr) net.set_routes(options.routes);

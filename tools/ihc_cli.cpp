@@ -18,6 +18,14 @@
 //       --cycles <k>                use only k directed cycles (IHC)
 //       --message-units <u>         message length per node (IHC)
 //       --seed <s>                  RNG seed
+//       --shards <n>                worker shards for the time-sharded
+//                                   parallel engine (0 = sequential
+//                                   engine, the default; results are
+//                                   byte-identical for any n >= 1, see
+//                                   docs/PARALLEL.md)
+//       --origins <k>               (ihc) only nodes with id < k inject
+//                                   (0 = all; the Q_20-scale slice of
+//                                   docs/PARALLEL.md)
 //       --fault-schedule <file>     dynamic fault schedule JSON
 //                                   (ihc-fault-schedule-v1, docs/FAULTS.md)
 //       --recover                   (ihc) retry missing pairs on surviving
@@ -36,6 +44,9 @@
 //       built-ins when no name is given; see `campaign --list`).
 //       --jobs <n>      worker threads (0 = hardware concurrency;
 //                       default 0)
+//       --shards <n>    simulator shards per trial (0 = sequential
+//                       engine; applies to every engine the campaign
+//                       constructs, see docs/PARALLEL.md)
 //       --filter <s>    run only trials whose id contains <s>
 //       --metrics       collect simulator metrics into the report's
 //                       `metrics` block (see EXPERIMENTS.md)
@@ -79,7 +90,9 @@
 //       writes an ihc-bench-v1 JSON report (see docs/PERFORMANCE.md).
 //       --quick         fewer repeats + filtered grids (CI smoke)
 //       --repeats <n>   timed repetitions per engine (min is reported)
-//       --out <file>    output path (default BENCH_PR3.json)
+//       --shards <n>    default shard count for the campaign jobs (the
+//                       dedicated shards job pins its own A/B counts)
+//       --out <file>    output path (default BENCH_PR7.json)
 //
 //   ihc_cli workload [options]
 //       Run an open-loop continuous-service saturation sweep (streaming
@@ -91,6 +104,9 @@
 //                       quick CI variant is saturation_sweep_quick)
 //       --jobs <n>      worker threads (0 = hardware concurrency);
 //                       the report is byte-identical for any job count
+//       --shards <n>    simulator shards per trial (0 = sequential
+//                       engine; the report is also byte-identical for
+//                       any shard count >= 1, see docs/PARALLEL.md)
 //       --filter <s>    run only trials whose id contains <s> (the
 //                       report then covers the surviving curves only)
 //       --out <file|->  write the JSON report; `-` streams it to stdout
@@ -148,6 +164,8 @@ struct Args {
   std::string trace_file;
   std::string fault_schedule;
   std::uint32_t eta = 0;  // 0 = auto
+  std::uint32_t shards = 0;  // 0 = sequential engine
+  std::uint32_t origins = 0;  // 0 = all origins inject (ihc)
   std::uint32_t mu = 2;
   std::uint32_t cycles = 0;
   std::uint32_t message_units = 0;
@@ -196,6 +214,8 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--out") args.out = next();
     else if (a == "--switching") args.switching = next();
     else if (a == "--eta") args.eta = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--shards") args.shards = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--origins") args.origins = static_cast<std::uint32_t>(std::stoul(next()));
     else if (a == "--mu") args.mu = static_cast<std::uint32_t>(std::stoul(next()));
     else if (a == "--cycles") args.cycles = static_cast<std::uint32_t>(std::stoul(next()));
     else if (a == "--message-units") args.message_units = static_cast<std::uint32_t>(std::stoul(next()));
@@ -289,6 +309,8 @@ int cmd_run(const Args& args) {
   }
   require(!args.recover || args.algo == "ihc",
           "--recover applies to --algo ihc only");
+  require(args.origins == 0 || args.algo == "ihc",
+          "--origins applies to --algo ihc only");
 
   AtaResult result;
   double model = 0;
@@ -299,6 +321,7 @@ int cmd_run(const Args& args) {
                  : smallest_contention_free_eta(topo->node_count(), args.mu);
     io.cycles_to_use = args.cycles;
     io.message_units = args.message_units;
+    io.origin_limit = args.origins;
     io.concurrency = args.single_link
                          ? LinkConcurrency::kSingleLinkPerNode
                          : LinkConcurrency::kAllLinks;
@@ -369,10 +392,16 @@ int cmd_run(const Args& args) {
                   result.stats.background_packets));
   const std::uint32_t expected =
       args.algo == "ihc" && args.cycles ? args.cycles : topo->gamma();
-  std::printf("deliveries: %llu copies; every pair has %u: %s\n",
-              static_cast<unsigned long long>(result.stats.deliveries),
-              expected,
-              result.ledger.all_pairs_have(expected) ? "yes" : "NO");
+  if (args.origins != 0)
+    std::printf("deliveries: %llu copies (sliced: %u of %u origins "
+                "injected)\n",
+                static_cast<unsigned long long>(result.stats.deliveries),
+                args.origins, topo->node_count());
+  else
+    std::printf("deliveries: %llu copies; every pair has %u: %s\n",
+                static_cast<unsigned long long>(result.stats.deliveries),
+                expected,
+                result.ledger.all_pairs_have(expected) ? "yes" : "NO");
   std::printf("link util : %.4f mean over the run\n",
               result.mean_link_utilization);
   return 0;
@@ -662,7 +691,7 @@ int cmd_bench_perf(const Args& args) {
   }
   table.print();
 
-  const std::string path = args.out.empty() ? "BENCH_PR3.json" : args.out;
+  const std::string path = args.out.empty() ? "BENCH_PR7.json" : args.out;
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
@@ -728,6 +757,12 @@ int cmd_workload(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    // One process-wide switch (the set_default_engine_legacy pattern):
+    // every NetworkParams constructed after this - campaign trials,
+    // workload sweeps, bench jobs, plain runs - picks up the shard
+    // count, so the time-sharded parallel engine needs no per-call-site
+    // plumbing (docs/PARALLEL.md).
+    set_default_shards(args.shards);
     if (args.positional.empty()) return usage();
     const std::string& cmd = args.positional[0];
     if (cmd == "info") return cmd_info(args);
