@@ -39,6 +39,17 @@ them as part of tier-1 when a build is available):
    baseline (which records the sharded A/B job and `hw_threads`) must
    exist at the repo root.
 
+8. Topology-zoo drift: the catalog table in docs/TOPOLOGIES.md must
+   list every plugin registered in src/topology/zoo/registry.cpp (name
+   and spec grammar, parsed from the `p.name = "...";` /
+   `p.spec_format = "...";` assignment pairs) and nothing else; the
+   `topology` subcommand synopsis must keep its --check/--decompose/
+   --export verbs and be parsed by tools/ihc_cli.cpp; README.md must
+   link docs/TOPOLOGIES.md; EXPERIMENTS.md must document the zoo_sweep
+   campaign and its optimality-gap column; TUTORIAL.md must keep the
+   bring-your-own-topology walkthrough; and every *.topology.json
+   under the repo must be a valid ihc-topology-v1 document.
+
 Plus three data checks: every BENCH_*.json at the repo root (the
 tracked performance baselines written by `ihc_cli bench-perf`, see
 docs/PERFORMANCE.md) must be a valid ihc-bench-v1 document, every
@@ -478,6 +489,131 @@ def check_fault_schedules(problems):
                                 f"{event.get('mode')!r}")
 
 
+# The topology-zoo surface (docs/TOPOLOGIES.md): the registry is the
+# single source of truth for the catalog; the plugin fields are parsed
+# from the assignment pairs in build_registry().
+TOPOLOGY_VERBS = ["--check", "--decompose", "--export"]
+TOPOLOGY_FILE_FORMAT = "ihc-topology-v1"
+
+
+def registry_plugins():
+    text = (REPO / "src/topology/zoo/registry.cpp").read_text(
+        encoding="utf-8")
+    names = re.findall(r'p\.name = "([^"]+)";', text)
+    specs = re.findall(r'p\.spec_format = "([^"]+)";', text)
+    if len(names) < 6 or len(names) != len(specs):
+        raise SystemExit(f"registry.cpp: parsed {len(names)} names / "
+                         f"{len(specs)} spec formats; parser broken?")
+    return list(zip(names, specs))
+
+
+def check_topology_zoo(problems):
+    topo_md = REPO / "docs/TOPOLOGIES.md"
+    if not topo_md.exists():
+        problems.append("docs/TOPOLOGIES.md: missing")
+        return
+    text = topo_md.read_text(encoding="utf-8")
+    if TOPOLOGY_FILE_FORMAT not in text:
+        problems.append("docs/TOPOLOGIES.md: schema name "
+                        f"{TOPOLOGY_FILE_FORMAT} missing")
+
+    # Catalog rows <-> registry: every plugin documented (backticked
+    # name AND spec grammar), and no stale row for an unregistered one.
+    plugins = registry_plugins()
+    for name, spec in plugins:
+        if f"`{name}`" not in text:
+            problems.append(f"docs/TOPOLOGIES.md: registered plugin "
+                            f"'{name}' missing from the catalog")
+        if f"`{spec}`" not in text:
+            problems.append(f"docs/TOPOLOGIES.md: spec grammar '{spec}' "
+                            f"(plugin '{name}') missing from the catalog")
+    registered = {name for name, _ in plugins}
+    for row in re.findall(r"^\| `([\w-]+)` \|", text, re.M):
+        if row not in registered:
+            problems.append(f"docs/TOPOLOGIES.md: catalog row '{row}' has "
+                            "no registered plugin")
+
+    # CLI surface: the topology verbs stay in the synopsis and parser.
+    spec_hpp = (REPO / "src/util/cli_spec.hpp").read_text(encoding="utf-8")
+    table = spec_hpp.split("kCliSubcommands[]", 1)[1]
+    entries = dict(re.findall(r'\{"([\w-]+)",(.*?)\},', table, re.S))
+    if "topology" not in entries:
+        problems.append("cli_spec.hpp: subcommand 'topology' missing")
+    else:
+        for verb in TOPOLOGY_VERBS + ["--list"]:
+            if verb not in entries["topology"]:
+                problems.append(f"cli_spec.hpp: 'topology' synopsis lost "
+                                f"the {verb} verb")
+    cli = (REPO / "tools/ihc_cli.cpp").read_text(encoding="utf-8")
+    for verb in TOPOLOGY_VERBS:
+        if f'"{verb}"' not in cli:
+            problems.append(f"tools/ihc_cli.cpp: topology verb '{verb}' is "
+                            "in cli_spec.hpp but never parsed")
+
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    if "docs/TOPOLOGIES.md" not in readme:
+        problems.append("README.md: docs/TOPOLOGIES.md not linked")
+    experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for token in ("zoo_sweep", "optimality_gap", "optimal_lower_bound"):
+        if token not in experiments:
+            problems.append(f"EXPERIMENTS.md: zoo_sweep protocol token "
+                            f"'{token}' undocumented")
+    tutorial = (REPO / "TUTORIAL.md").read_text(encoding="utf-8")
+    if ".topology.json" not in tutorial:
+        problems.append("TUTORIAL.md: bring-your-own-topology walkthrough "
+                        "(.topology.json) missing")
+
+
+def check_topology_files(problems):
+    for path in sorted(REPO.rglob("*.topology.json")):
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{rel}: not valid JSON ({err})")
+            continue
+        if doc.get("format") != TOPOLOGY_FILE_FORMAT:
+            problems.append(f"{rel}: format is {doc.get('format')!r}, "
+                            f"expected '{TOPOLOGY_FILE_FORMAT}'")
+            continue
+        nodes = doc.get("nodes")
+        if not isinstance(nodes, int) or nodes < 1:
+            problems.append(f"{rel}: 'nodes' must be an integer >= 1")
+            continue
+        edges = doc.get("edges")
+        if not isinstance(edges, list) or not edges:
+            problems.append(f"{rel}: 'edges' must be a non-empty array")
+            continue
+        for i, edge in enumerate(edges):
+            if (not isinstance(edge, list) or len(edge) != 2
+                    or not all(isinstance(v, int) and 0 <= v < nodes
+                               for v in edge)):
+                problems.append(f"{rel}: edges[{i}] must be a [u, v] pair "
+                                f"with 0 <= u, v < {nodes}")
+            elif edge[0] == edge[1]:
+                problems.append(f"{rel}: edges[{i}] is a self-loop")
+        gamma = doc.get("gamma")
+        if gamma is not None and (not isinstance(gamma, int) or gamma < 2
+                                  or gamma % 2 != 0):
+            problems.append(f"{rel}: 'gamma' must be an even integer >= 2")
+        cycles = doc.get("cycles")
+        if cycles is not None:
+            if not isinstance(cycles, list):
+                problems.append(f"{rel}: 'cycles' must be an array")
+            else:
+                for i, cycle in enumerate(cycles):
+                    if (not isinstance(cycle, list)
+                            or not all(isinstance(v, int) and 0 <= v < nodes
+                                       for v in cycle)):
+                        problems.append(f"{rel}: cycles[{i}] must be an "
+                                        "array of node ids")
+        unknown = set(doc) - {"format", "name", "nodes", "edges", "gamma",
+                              "cycles"}
+        if unknown:
+            problems.append(f"{rel}: unknown field(s) "
+                            f"{sorted(unknown)}")
+
+
 def main():
     problems = []
     check_links(problems)
@@ -488,6 +624,8 @@ def main():
     check_workload_reports(problems)
     check_fault_schedules(problems)
     check_parallel_surface(problems)
+    check_topology_zoo(problems)
+    check_topology_files(problems)
     for p in problems:
         print(p, file=sys.stderr)
     if problems:

@@ -6,12 +6,15 @@
 
 #include "core/analysis.hpp"
 #include "core/ihc.hpp"
+#include "core/ks.hpp"
 #include "core/retransmit.hpp"
 #include "core/service.hpp"
 #include "core/session.hpp"
 #include "core/verify.hpp"
 #include "core/vrs.hpp"
+#include "core/vsq.hpp"
 #include "sim/fault_schedule.hpp"
+#include "topology/factory.hpp"
 #include "topology/hex_mesh.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/square_mesh.hpp"
@@ -537,6 +540,125 @@ Campaign make_saturation_sweep_quick() {
   return make_saturation(saturation_sweep_quick_spec(), 24);
 }
 
+// --- zoo_sweep -----------------------------------------------------------
+// Topology-zoo latency survey (docs/TOPOLOGIES.md, EXPERIMENTS.md E20):
+// IHC on every certified zoo family, measured against the Section III
+// lower bound tau_S + (N-1) alpha (model::optimal_lower_bound), plus the
+// native tree baseline where the family has one (VRS on hypercubes, VSQ
+// on square meshes, KS on hex meshes).  Axis labels are comma-free
+// stand-ins for the full specs (e.g. "C13" for "C13:1,5") so trial ids
+// and CSV rows stay single-column.
+
+struct ZooEntry {
+  std::string_view label;  // comma-free axis value
+  std::string_view spec;   // make_topology() spec
+};
+
+constexpr ZooEntry kZooFullAxis[] = {
+    {"Q4", "Q4"},     {"SQ4", "SQ4"}, {"H3", "H3"},       {"C13", "C13:1,5"},
+    {"T3x4", "T3x4"}, {"TQ4", "TQ4"}, {"KT4x2", "KT4x2"},
+};
+constexpr ZooEntry kZooQuickAxis[] = {
+    {"Q3", "Q3"},
+    {"H2", "H2"},
+    {"TQ3", "TQ3"},
+    {"KT3x2", "KT3x2"},
+};
+
+CampaignSpec zoo_spec(std::string name, std::span<const ZooEntry> entries,
+                      bool quick) {
+  CampaignSpec spec;
+  spec.name = std::move(name);
+  spec.description =
+      std::string("IHC latency across the topology zoo vs the Section III "
+                  "lower bound tau_S + (N-1) alpha, plus the native tree "
+                  "baseline (VRS/VSQ/KS) where one exists; alpha = 20 ns, "
+                  "tau_S = 200 ns, eta = mu = 2") +
+      (quick ? "; quick CI variant" : "");
+  Axis topo{"topology", {}};
+  for (const ZooEntry& e : entries)
+    topo.values.emplace_back(std::string(e.label));
+  spec.axes = {std::move(topo)};
+  return spec;
+}
+
+CampaignSpec zoo_sweep_spec() {
+  return zoo_spec("zoo_sweep", kZooFullAxis, false);
+}
+
+CampaignSpec zoo_sweep_quick_spec() {
+  return zoo_spec("zoo_sweep_quick", kZooQuickAxis, true);
+}
+
+Campaign make_zoo(CampaignSpec spec, std::span<const ZooEntry> entries) {
+  // Every zoo topology is built - and its lazily decomposed directed
+  // cycles forced - here on the caller's thread; trial workers only read.
+  auto zoo = std::make_shared<
+      std::map<std::string, std::shared_ptr<const Topology>, std::less<>>>();
+  for (const ZooEntry& e : entries) {
+    std::shared_ptr<const Topology> topo = make_topology(e.spec);
+    (void)topo->directed_cycles();
+    zoo->emplace(std::string(e.label), std::move(topo));
+  }
+
+  Campaign campaign;
+  campaign.spec = std::move(spec);
+  campaign.run = [zoo](const Trial& trial, TrialContext& ctx) {
+    const std::string& label = trial.get_str("topology");
+    const std::shared_ptr<const Topology>& topo = zoo->at(label);
+
+    AtaOptions opt;
+    opt.net.alpha = sim_ns(20);
+    opt.net.tau_s = sim_ns(200);  // small startup: the gap shows routing
+    opt.net.mu = 2;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
+    // Label-derived (not trial.seed) for the usual reason: re-ordering
+    // the axis must not change any topology's traffic realization.
+    opt.net.seed = derive_seed("zoo_sweep", "topology=" + label);
+
+    const AtaResult ihc = run_ihc(*topo, IhcOptions{.eta = 2}, opt);
+    const double lower =
+        model::optimal_lower_bound(topo->node_count(), opt.net);
+
+    std::vector<Metric> metrics{
+        {"nodes", static_cast<double>(topo->node_count())},
+        {"gamma", static_cast<double>(topo->gamma())},
+        {"finish_ps", static_cast<double>(ihc.finish)},
+        {"lower_bound_ps", lower},
+        {"optimality_gap", static_cast<double>(ihc.finish) / lower},
+    };
+
+    // Native tree baseline, for the families that have one.  Its sim
+    // counters stay out of the trial registry so the merged metrics
+    // describe the IHC run alone.
+    AtaOptions base_opt = opt;
+    base_opt.metrics = nullptr;
+    base_opt.tracer = nullptr;
+    double base_finish = 0.0;
+    if (const auto* q = dynamic_cast<const Hypercube*>(topo.get()))
+      base_finish = static_cast<double>(run_vrs_ata(*q, base_opt).finish);
+    else if (const auto* s = dynamic_cast<const SquareMesh*>(topo.get()))
+      base_finish = static_cast<double>(run_vsq_ata(*s, base_opt).finish);
+    else if (const auto* h = dynamic_cast<const HexMesh*>(topo.get()))
+      base_finish = static_cast<double>(run_ks_ata(*h, base_opt).finish);
+    if (base_finish > 0.0) {
+      metrics.push_back({"baseline_finish_ps", base_finish});
+      metrics.push_back({"baseline_gap", base_finish / lower});
+      metrics.push_back(
+          {"ihc_speedup", base_finish / static_cast<double>(ihc.finish)});
+    }
+    return metrics;
+  };
+  return campaign;
+}
+
+Campaign make_zoo_sweep() { return make_zoo(zoo_sweep_spec(), kZooFullAxis); }
+
+Campaign make_zoo_sweep_quick() {
+  return make_zoo(zoo_sweep_quick_spec(), kZooQuickAxis);
+}
+
 }  // namespace
 
 std::string_view saturation_sweep_topology(std::string_view algo) {
@@ -557,7 +679,9 @@ const std::vector<CampaignInfo>& builtin_campaigns() {
           std::pair{&events_scaling_spec, &make_events_scaling},
           std::pair{&saturation_sweep_spec, &make_saturation_sweep},
           std::pair{&saturation_sweep_quick_spec,
-                    &make_saturation_sweep_quick}}) {
+                    &make_saturation_sweep_quick},
+          std::pair{&zoo_sweep_spec, &make_zoo_sweep},
+          std::pair{&zoo_sweep_quick_spec, &make_zoo_sweep_quick}}) {
       const CampaignSpec spec = spec_of();
       v.push_back({spec.name, spec.description, spec.trial_count(), make});
     }

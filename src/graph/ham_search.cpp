@@ -1,0 +1,643 @@
+#include "graph/ham_search.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "graph/decomposer.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/two_factor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+
+// --- independent certification -------------------------------------------
+
+const char* to_string(CertFailure failure) {
+  switch (failure) {
+    case CertFailure::kNone: return "none";
+    case CertFailure::kCycleCount: return "cycle_count";
+    case CertFailure::kNotHamiltonian: return "not_hamiltonian";
+    case CertFailure::kNonEdge: return "non_edge";
+    case CertFailure::kSharedEdge: return "shared_edge";
+    case CertFailure::kCoverage: return "coverage";
+  }
+  return "?";
+}
+
+Certificate certify_decomposition(const Graph& g,
+                                  const std::vector<Cycle>& cycles,
+                                  std::uint32_t gamma,
+                                  bool must_cover_all_edges) {
+  auto fail = [](CertFailure f, std::string detail) {
+    return Certificate{false, f, std::move(detail)};
+  };
+  if (gamma == 0 || gamma % 2 != 0 || cycles.size() != gamma / 2) {
+    return fail(CertFailure::kCycleCount,
+                "gamma = " + std::to_string(gamma) + " requires " +
+                    std::to_string(gamma / 2) + " cycle(s), got " +
+                    std::to_string(cycles.size()));
+  }
+  std::vector<std::uint8_t> edge_seen(g.edge_count(), 0);
+  std::size_t edges_used = 0;
+  std::vector<std::uint8_t> node_seen(g.node_count(), 0);
+  for (std::size_t c = 0; c < cycles.size(); ++c) {
+    const std::vector<NodeId>& seq = cycles[c].nodes();
+    if (seq.size() != g.node_count()) {
+      return fail(CertFailure::kNotHamiltonian,
+                  "cycle " + std::to_string(c) + " visits " +
+                      std::to_string(seq.size()) + " of " +
+                      std::to_string(g.node_count()) + " nodes");
+    }
+    std::fill(node_seen.begin(), node_seen.end(), 0);
+    for (const NodeId v : seq) {
+      if (v >= g.node_count() || node_seen[v]) {
+        return fail(CertFailure::kNotHamiltonian,
+                    "cycle " + std::to_string(c) +
+                        " repeats or exceeds node " + std::to_string(v));
+      }
+      node_seen[v] = 1;
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const NodeId u = seq[i];
+      const NodeId v = seq[(i + 1) % seq.size()];
+      const EdgeId e = g.find_edge(u, v);
+      if (e == kInvalidEdge) {
+        return fail(CertFailure::kNonEdge,
+                    "cycle " + std::to_string(c) + " steps over non-edge " +
+                        std::to_string(u) + "-" + std::to_string(v));
+      }
+      if (edge_seen[e]) {
+        return fail(CertFailure::kSharedEdge,
+                    "edge " + std::to_string(u) + "-" + std::to_string(v) +
+                        " used twice (second use in cycle " +
+                        std::to_string(c) + ")");
+      }
+      edge_seen[e] = 1;
+      ++edges_used;
+    }
+  }
+  if (must_cover_all_edges && edges_used != g.edge_count()) {
+    return fail(CertFailure::kCoverage,
+                "cycles cover " + std::to_string(edges_used) + " of " +
+                    std::to_string(g.edge_count()) +
+                    " edges but gamma equals the degree");
+  }
+  // Cross-check against the library's original verifier: two independent
+  // implementations must agree before anything is certified.
+  const HcSetVerdict verdict =
+      verify_hc_set(g, cycles, must_cover_all_edges);
+  IHC_ENSURE(verdict.ok,
+             "certify_decomposition and verify_hc_set disagree: " +
+                 verdict.reason);
+  return Certificate{true, CertFailure::kNone, {}};
+}
+
+// --- structural precheck --------------------------------------------------
+
+LambdaStructure lambda_structure(const Graph& g) {
+  LambdaStructure s;
+  if (g.node_count() < 3) {
+    s.refuted = true;
+    s.detail = "fewer than 3 nodes admit no cycle";
+    return s;
+  }
+  s.min_degree = g.degree(0);
+  s.max_degree = g.degree(0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    s.min_degree = std::min(s.min_degree, g.degree(v));
+    s.max_degree = std::max(s.max_degree, g.degree(v));
+  }
+  s.regular = s.min_degree == s.max_degree;
+  if (!s.regular) {
+    s.refuted = true;
+    s.detail = "LC1 violated: graph is not regular (degree " +
+               std::to_string(s.min_degree) + ".." +
+               std::to_string(s.max_degree) + ")";
+    return s;
+  }
+  s.degree = s.min_degree;
+  s.connected = g.is_connected();
+  if (!s.connected) {
+    s.refuted = true;
+    s.detail = "graph is disconnected; no Hamiltonian cycle exists";
+    return s;
+  }
+  if (s.degree < 2) {
+    s.refuted = true;
+    s.detail = "degree " + std::to_string(s.degree) +
+               " < 2 admits no Hamiltonian cycle";
+    return s;
+  }
+  s.gamma = (s.degree / 2) * 2;
+  return s;
+}
+
+namespace {
+
+// --- exact stage ----------------------------------------------------------
+//
+// One-cycle-at-a-time backtracking.  Every cycle is rooted at node 0 (a
+// Hamiltonian cycle passes through every node), oriented so its first
+// step goes to the smaller-id neighbor of 0, and cycles are ordered by
+// strictly increasing first step - the standard symmetry reductions, which
+// preserve exhaustiveness.  Pruning per extension:
+//   * degree bounds: every node must retain enough available edges for
+//     its remaining obligations (2 per unbuilt cycle, plus enter/leave or
+//     close duties in the cycle under construction);
+//   * connectivity: the unvisited nodes plus the path endpoint and node 0
+//     must stay connected through available edges;
+//   * forced-edge propagation: while the endpoint has exactly one feasible
+//     extension it is taken without opening a choice point.
+class ExactSearcher {
+ public:
+  ExactSearcher(const Graph& g, std::uint32_t need, std::uint64_t step_limit)
+      : g_(g),
+        n_(g.node_count()),
+        need_(need),
+        step_limit_(step_limit),
+        edge_avail_(g.edge_count(), 1),
+        avail_(g.node_count(), 0),
+        on_path_(g.node_count(), 0) {
+    for (NodeId v = 0; v < n_; ++v) avail_[v] = g_.degree(v);
+  }
+
+  /// Runs the search.  Returns true when a full decomposition was found
+  /// (cycles() holds it); false otherwise, with exhausted() telling
+  /// whether the search space was covered completely.
+  bool run() {
+    found_ = next_cycle(0, /*min_first=*/0);
+    return found_;
+  }
+
+  [[nodiscard]] std::vector<Cycle> cycles() const { return done_; }
+  [[nodiscard]] bool exhausted() const { return !budget_hit_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  bool consume(EdgeId e, NodeId u, NodeId v) {
+    edge_avail_[e] = 0;
+    --avail_[u];
+    --avail_[v];
+    return true;
+  }
+  void restore(EdgeId e, NodeId u, NodeId v) {
+    edge_avail_[e] = 1;
+    ++avail_[u];
+    ++avail_[v];
+  }
+
+  /// Remaining-availability requirement of node w while cycle `c` is under
+  /// construction with `rem_after` cycles still to build afterwards.
+  [[nodiscard]] std::uint32_t requirement(NodeId w,
+                                          std::uint32_t rem_after) const {
+    const std::uint32_t later = 2 * rem_after;
+    if (!on_path_[w]) return 2 + later;              // enter + leave
+    if (w == path_.front() && path_.size() < n_) return 1 + later;  // close
+    if (w == path_.back() && path_.size() < n_) return 1 + later;   // extend
+    return later;
+  }
+
+  [[nodiscard]] bool degree_ok(NodeId w, std::uint32_t rem_after) const {
+    return avail_[w] >= requirement(w, rem_after);
+  }
+
+  /// Unvisited nodes plus {endpoint, node 0} must be connected through
+  /// available edges; otherwise the cycle can never be completed.
+  [[nodiscard]] bool connectivity_ok() const {
+    if (path_.size() >= n_) return true;
+    scratch_.assign(n_, 0);
+    stack_.clear();
+    const NodeId seed = path_.back();
+    scratch_[seed] = 1;
+    stack_.push_back(seed);
+    std::size_t reached = 0;
+    std::size_t wanted = 2;  // endpoint + node 0
+    for (NodeId w = 0; w < n_; ++w)
+      if (!on_path_[w]) ++wanted;
+    while (!stack_.empty()) {
+      const NodeId u = stack_.back();
+      stack_.pop_back();
+      if (!on_path_[u] || u == path_.front() || u == path_.back())
+        ++reached;
+      for (const Adjacency& a : g_.neighbors(u)) {
+        if (!edge_avail_[a.edge] || scratch_[a.neighbor]) continue;
+        if (on_path_[a.neighbor] && a.neighbor != path_.front() &&
+            a.neighbor != path_.back())
+          continue;  // interior path nodes do not relay
+        scratch_[a.neighbor] = 1;
+        stack_.push_back(a.neighbor);
+      }
+    }
+    return reached == wanted;
+  }
+
+  /// Starts (and recursively completes) cycle `c`; `min_first` is the
+  /// symmetry bound: this cycle's first step must exceed the previous
+  /// cycle's first step.
+  bool next_cycle(std::uint32_t c, NodeId min_first) {
+    if (c == need_) return true;
+    const std::uint32_t rem_after = need_ - c - 1;
+    for (const Adjacency& a : g_.neighbors(0)) {
+      if (!edge_avail_[a.edge] || a.neighbor <= min_first) continue;
+      if (budget_hit_) return false;
+      path_.assign(1, NodeId{0});
+      on_path_[0] = 1;
+      consume(a.edge, 0, a.neighbor);
+      path_.push_back(a.neighbor);
+      on_path_[a.neighbor] = 1;
+      if (degree_ok(0, rem_after) && degree_ok(a.neighbor, rem_after) &&
+          connectivity_ok() && extend(c, rem_after)) {
+        return true;
+      }
+      on_path_[a.neighbor] = 0;
+      restore(a.edge, 0, a.neighbor);
+      on_path_[0] = 0;
+    }
+    return false;
+  }
+
+  /// Extends the current cycle's path by one node (or closes it), trying
+  /// every feasible candidate.  Forced-edge propagation: single-candidate
+  /// extensions recurse without opening further choice points, which the
+  /// call structure below gives naturally since the loop then has exactly
+  /// one iteration.
+  bool extend(std::uint32_t c, std::uint32_t rem_after) {
+    if (++steps_ > step_limit_) {
+      budget_hit_ = true;
+      return false;
+    }
+    const NodeId u = path_.back();
+    if (path_.size() == n_) return close(c, rem_after, u);
+    for (const Adjacency& a : g_.neighbors(u)) {
+      const NodeId v = a.neighbor;
+      if (!edge_avail_[a.edge] || on_path_[v]) continue;
+      if (budget_hit_) return false;
+      consume(a.edge, u, v);
+      path_.push_back(v);
+      on_path_[v] = 1;
+      const bool ok = degree_ok(u, rem_after) && degree_ok(v, rem_after) &&
+                      degree_ok(0, rem_after) && connectivity_ok() &&
+                      extend(c, rem_after);
+      if (ok) return true;
+      on_path_[v] = 0;
+      path_.pop_back();
+      restore(a.edge, u, v);
+    }
+    return false;
+  }
+
+  /// Closes the current path into a Hamiltonian cycle and recurses into
+  /// the next cycle.
+  bool close(std::uint32_t c, std::uint32_t rem_after, NodeId u) {
+    if (path_[1] >= u) return false;  // orientation symmetry: first < last
+    const EdgeId e = g_.find_edge(u, 0);
+    if (e == kInvalidEdge || !edge_avail_[e]) return false;
+    consume(e, u, 0);
+    bool ok = true;
+    for (NodeId w = 0; w < n_ && ok; ++w) ok = avail_[w] >= 2 * rem_after;
+    if (ok) {
+      done_.emplace_back(path_);
+      std::vector<NodeId> saved_path = path_;
+      std::fill(on_path_.begin(), on_path_.end(), 0);
+      if (next_cycle(c + 1, saved_path[1])) return true;
+      done_.pop_back();
+      path_ = std::move(saved_path);
+      for (const NodeId w : path_) on_path_[w] = 1;
+    }
+    restore(e, u, 0);
+    return false;
+  }
+
+  const Graph& g_;
+  NodeId n_;
+  std::uint32_t need_;
+  std::uint64_t step_limit_;
+  std::vector<std::uint8_t> edge_avail_;
+  std::vector<std::uint32_t> avail_;
+  std::vector<std::uint8_t> on_path_;
+  std::vector<NodeId> path_;
+  std::vector<Cycle> done_;
+  std::uint64_t steps_ = 0;
+  bool budget_hit_ = false;
+  bool found_ = false;
+  mutable std::vector<std::uint8_t> scratch_;
+  mutable std::vector<NodeId> stack_;
+};
+
+// --- heuristic stage: Posa rotation repair --------------------------------
+
+/// Tries to extract one Hamiltonian cycle from the available subgraph by
+/// randomized greedy extension with Posa rotations.  Returns the cycle's
+/// vertex sequence, or empty on failure.
+std::vector<NodeId> posa_cycle(const Graph& g,
+                               const std::vector<std::uint8_t>& edge_avail,
+                               SplitMix64& rng, std::size_t rotation_limit,
+                               std::uint64_t& rotations) {
+  const NodeId n = g.node_count();
+  std::vector<NodeId> path;
+  std::vector<std::uint32_t> pos(n, kInvalidNode);
+  path.reserve(n);
+  const auto start = static_cast<NodeId>(rng.below(n));
+  path.push_back(start);
+  pos[start] = 0;
+
+  std::vector<NodeId> candidates;
+  std::size_t rotated = 0;
+  while (true) {
+    const NodeId u = path.back();
+    candidates.clear();
+    for (const Adjacency& a : g.neighbors(u))
+      if (edge_avail[a.edge] && pos[a.neighbor] == kInvalidNode)
+        candidates.push_back(a.neighbor);
+    if (!candidates.empty()) {
+      const NodeId v = candidates[rng.below(candidates.size())];
+      pos[v] = static_cast<std::uint32_t>(path.size());
+      path.push_back(v);
+      continue;
+    }
+    // Closing move: the path spans all nodes and the ends are adjacent.
+    if (path.size() == n) {
+      const EdgeId e = g.find_edge(u, path.front());
+      if (e != kInvalidEdge && edge_avail[e]) return path;
+    }
+    // Rotation repair: pick an available neighbor v of u inside the path
+    // and reverse the suffix after v, exposing a new endpoint.
+    candidates.clear();
+    for (const Adjacency& a : g.neighbors(u)) {
+      if (!edge_avail[a.edge]) continue;
+      const std::uint32_t i = pos[a.neighbor];
+      if (i != kInvalidNode && i + 2 < path.size())
+        candidates.push_back(a.neighbor);
+    }
+    if (candidates.empty() || ++rotated > rotation_limit) return {};
+    ++rotations;
+    const NodeId v = candidates[rng.below(candidates.size())];
+    std::reverse(path.begin() + pos[v] + 1, path.end());
+    for (std::uint32_t i = pos[v] + 1; i < path.size(); ++i) pos[path[i]] = i;
+  }
+}
+
+/// If the available subgraph is spanning 2-regular, its components are
+/// determined; returns the single Hamiltonian component, or empty.  This
+/// is the end-game the rotation heuristic cannot handle (no degree-3 node
+/// to rotate around).
+std::vector<NodeId> trace_two_regular(
+    const Graph& g, const std::vector<std::uint8_t>& edge_avail) {
+  const NodeId n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    std::uint32_t d = 0;
+    for (const Adjacency& a : g.neighbors(v)) d += edge_avail[a.edge];
+    if (d != 2) return {};
+  }
+  std::vector<NodeId> seq;
+  seq.reserve(n);
+  NodeId prev = kInvalidNode;
+  NodeId u = 0;
+  do {
+    seq.push_back(u);
+    NodeId next = kInvalidNode;
+    for (const Adjacency& a : g.neighbors(u)) {
+      if (edge_avail[a.edge] && a.neighbor != prev) {
+        next = a.neighbor;
+        break;
+      }
+    }
+    if (next == kInvalidNode) {  // 2-cycle back over prev (multigraphs only)
+      return {};
+    }
+    prev = u;
+    u = next;
+  } while (u != 0 && seq.size() <= n);
+  return seq.size() == n ? seq : std::vector<NodeId>{};
+}
+
+void consume_cycle(const Graph& g, const std::vector<NodeId>& seq,
+                   std::vector<std::uint8_t>& edge_avail) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const EdgeId e = g.find_edge(seq[i], seq[(i + 1) % seq.size()]);
+    IHC_ENSURE(e != kInvalidEdge && edge_avail[e],
+               "heuristic cycle uses an unavailable edge");
+    edge_avail[e] = 0;
+  }
+}
+
+/// One full heuristic attempt: extract `need` edge-disjoint cycles by
+/// rotation repair (with the 2-regular end-game).  Empty result = failed.
+std::vector<Cycle> posa_attempt(const Graph& g, std::uint32_t need,
+                                SplitMix64& rng, std::size_t rotation_limit,
+                                std::uint64_t& rotations) {
+  std::vector<std::uint8_t> edge_avail(g.edge_count(), 1);
+  std::vector<Cycle> cycles;
+  for (std::uint32_t c = 0; c < need; ++c) {
+    std::vector<NodeId> seq = trace_two_regular(g, edge_avail);
+    if (seq.empty())
+      seq = posa_cycle(g, edge_avail, rng, rotation_limit, rotations);
+    if (seq.empty()) return {};
+    consume_cycle(g, seq, edge_avail);
+    cycles.emplace_back(std::move(seq));
+  }
+  return cycles;
+}
+
+// --- heuristic stage: Euler-split cycle-merge -----------------------------
+
+/// Petersen's theorem, constructively: a connected 2k-regular graph has an
+/// Euler circuit; orienting the edges along it yields a k-in/k-out
+/// digraph, whose out/in bipartite graph is k-regular and therefore
+/// splits into k perfect matchings; each matching is a spanning 2-factor.
+/// The alternating-square merge engine (graph/decomposer.hpp) then merges
+/// each factor's cycle components into one Hamiltonian cycle.
+std::vector<Cycle> euler_split_merge(const Graph& g, std::uint32_t k,
+                                     std::uint64_t seed) {
+  const NodeId n = g.node_count();
+  // Hierholzer's algorithm over edge ids.
+  std::vector<std::uint32_t> next_slot(n, 0);
+  std::vector<std::uint8_t> edge_done(g.edge_count(), 0);
+  std::vector<NodeId> stack{0};
+  std::vector<NodeId> circuit;
+  circuit.reserve(g.edge_count() + 1);
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    const auto adj = g.neighbors(u);
+    bool advanced = false;
+    while (next_slot[u] < adj.size()) {
+      const Adjacency& a = adj[next_slot[u]++];
+      if (edge_done[a.edge]) continue;
+      edge_done[a.edge] = 1;
+      stack.push_back(a.neighbor);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      circuit.push_back(u);
+      stack.pop_back();
+    }
+  }
+  IHC_ENSURE(circuit.size() == g.edge_count() + 1,
+             "Euler circuit did not cover every edge");
+
+  // Orientation per undirected edge: +1 when traversed u->v with u < v.
+  // oriented[e] = source node of e's traversal.
+  std::vector<NodeId> oriented(g.edge_count(), kInvalidNode);
+  for (std::size_t i = 0; i + 1 < circuit.size(); ++i) {
+    const EdgeId e = g.find_edge(circuit[i], circuit[i + 1]);
+    oriented[e] = circuit[i];
+  }
+
+  // k rounds of Kuhn's augmenting-path matching on the out/in bipartite
+  // graph; matched oriented edges of round r form 2-factor r.
+  std::vector<std::uint8_t> factor_of_edge(g.edge_count(), 0);
+  std::vector<std::uint8_t> edge_free(g.edge_count(), 1);
+  for (std::uint32_t round = 0; round < k; ++round) {
+    std::vector<EdgeId> match_in(n, kInvalidEdge);   // right node -> edge
+    std::vector<EdgeId> match_out(n, kInvalidEdge);  // left node -> edge
+    std::vector<std::uint8_t> visited(n, 0);
+    // Augment from left node u: find an in-slot for one of u's free
+    // out-edges, displacing existing matches recursively.
+    auto augment = [&](auto&& self, NodeId u) -> bool {
+      for (const Adjacency& a : g.neighbors(u)) {
+        const EdgeId e = a.edge;
+        if (!edge_free[e] || oriented[e] != u) continue;  // not an out-edge
+        const NodeId v = a.neighbor;
+        if (visited[v]) continue;
+        visited[v] = 1;
+        if (match_in[v] == kInvalidEdge ||
+            self(self, oriented[match_in[v]])) {
+          match_in[v] = e;
+          match_out[u] = e;
+          return true;
+        }
+      }
+      return false;
+    };
+    for (NodeId u = 0; u < n; ++u) {
+      if (match_out[u] != kInvalidEdge) continue;
+      std::fill(visited.begin(), visited.end(), 0);
+      IHC_ENSURE(augment(augment, u),
+                 "regular bipartite graph must admit a perfect matching");
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const EdgeId e = match_in[v];
+      factor_of_edge[e] = static_cast<std::uint8_t>(round);
+      edge_free[e] = 0;
+    }
+  }
+
+  FactorSet factors(g, k, std::move(factor_of_edge));
+  DecomposeOptions options;
+  options.seed = seed;
+  return merge_to_hamiltonian(std::move(factors), options);
+}
+
+}  // namespace
+
+// --- orchestration --------------------------------------------------------
+
+HamSearchResult search_hamiltonian_decomposition(
+    const Graph& g, std::uint32_t cycles_needed,
+    const HamSearchOptions& options) {
+  HamSearchResult result;
+  const LambdaStructure structure = lambda_structure(g);
+  if (structure.refuted) {
+    result.status = SearchStatus::kRefuted;
+    result.detail = structure.detail;
+    return result;
+  }
+  const std::uint32_t need =
+      cycles_needed != 0 ? cycles_needed : structure.gamma / 2;
+  require(need >= 1, "cycles_needed must be at least 1");
+  result.gamma = 2 * need;
+  if (result.gamma > structure.degree) {
+    result.status = SearchStatus::kRefuted;
+    result.detail = std::to_string(need) +
+                    " edge-disjoint Hamiltonian cycles need degree >= " +
+                    std::to_string(result.gamma) + "; graph has " +
+                    std::to_string(structure.degree);
+    return result;
+  }
+  const bool must_cover = result.gamma == structure.degree;
+
+  auto certify_or_die = [&](std::vector<Cycle> cycles) {
+    const Certificate cert =
+        certify_decomposition(g, cycles, result.gamma, must_cover);
+    IHC_ENSURE(cert.ok, "search produced an uncertifiable decomposition: " +
+                            cert.detail);
+    result.status = SearchStatus::kFound;
+    result.cycles = std::move(cycles);
+  };
+
+  // Exact stage.
+  const bool try_exact =
+      options.mode == SearchMode::kExact ||
+      (options.mode == SearchMode::kAuto &&
+       g.node_count() <= options.exact_node_limit);
+  if (try_exact) {
+    ExactSearcher searcher(g, need, options.exact_step_limit);
+    const bool found = searcher.run();
+    result.stats.exact_steps = searcher.steps();
+    if (found) {
+      result.stats.exact = true;
+      result.stats.exhausted = false;
+      certify_or_die(searcher.cycles());
+      return result;
+    }
+    if (searcher.exhausted()) {
+      result.stats.exhausted = true;
+      result.status = SearchStatus::kRefuted;
+      result.detail = "exhaustive backtracking found no set of " +
+                      std::to_string(need) +
+                      " edge-disjoint Hamiltonian cycles (" +
+                      std::to_string(searcher.steps()) + " steps)";
+      return result;
+    }
+    if (options.mode == SearchMode::kExact) {
+      result.status = SearchStatus::kUnknown;
+      result.detail = "exact search exceeded its step budget (" +
+                      std::to_string(options.exact_step_limit) +
+                      " steps) without an answer";
+      return result;
+    }
+  }
+
+  // Heuristic stage 1: Posa rotation repair.
+  SplitMix64 rng(options.seed);
+  const std::size_t rotation_limit =
+      options.rotation_factor * g.node_count();
+  for (std::size_t attempt = 0; attempt < options.heuristic_restarts;
+       ++attempt) {
+    result.stats.restarts = attempt + 1;
+    std::vector<Cycle> cycles =
+        posa_attempt(g, need, rng, rotation_limit, result.stats.rotations);
+    if (!cycles.empty()) {
+      certify_or_die(std::move(cycles));
+      return result;
+    }
+  }
+
+  // Heuristic stage 2: Euler-split 2-factorization + alternating-square
+  // cycle merge.  Only applicable when the needed cycles use every edge of
+  // an even-regular graph (Petersen's theorem needs 2k-regularity).
+  if (must_cover && structure.degree % 2 == 0) {
+    try {
+      std::vector<Cycle> cycles =
+          euler_split_merge(g, need, options.seed);
+      result.stats.cycle_merge = true;
+      certify_or_die(std::move(cycles));
+      return result;
+    } catch (const InvariantError&) {
+      // The merge engine's contract: failure to converge means "this seed
+      // factorization was unsuitable" - for an automated search that is a
+      // give-up, not a refutation.
+    }
+  }
+
+  result.status = SearchStatus::kUnknown;
+  result.detail = "heuristics gave up after " +
+                  std::to_string(result.stats.restarts) + " restarts (" +
+                  std::to_string(result.stats.rotations) +
+                  " rotations); existence undecided";
+  return result;
+}
+
+}  // namespace ihc

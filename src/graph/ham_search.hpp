@@ -1,0 +1,146 @@
+/// \file ham_search.hpp
+/// \brief Automated Hamiltonian-decomposition search: class-Lambda
+/// membership as a computed property instead of a hand-coded one.
+///
+/// The paper defines class Lambda structurally - a gamma-regular graph
+/// carrying gamma/2 edge-disjoint Hamiltonian cycles - and exhibits the
+/// decompositions for hypercubes, square meshes and hex meshes by
+/// construction.  Related work shows the class is much richer (twisted
+/// cubes, k-ary n-tori, circulants, ...); this module lets a topology
+/// supply *only its adjacency* and finds (or refutes) the decomposition:
+///
+///   1. structural precheck: regularity, even gamma, connectivity - the
+///      cheap LC1-side refutations;
+///   2. exact stage (small N): one-cycle-at-a-time backtracking with
+///      degree-bound pruning, connectivity pruning and forced-edge
+///      propagation, exhaustive within a step budget - so a completed
+///      exact search that finds nothing is a *refutation*;
+///   3. heuristic stage (large N, or exact budget exhausted): Posa
+///      rotation repair per cycle, falling back to cycle-merge - an
+///      Euler-split 2-factorization (Petersen's theorem) merged to
+///      Hamiltonian cycles by the alternating-square engine
+///      (graph/decomposer.hpp).  A heuristic failure is "unknown", never
+///      a refutation.
+///
+/// Every found decomposition is certified by an independent verifier
+/// (certify_decomposition) before being returned, so search bugs cannot
+/// produce invalid IHC schedules - they can only fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+
+namespace ihc {
+
+// --- independent certification -------------------------------------------
+
+/// Specific failure classes of a decomposition check, for diagnostics and
+/// for the adversarial tests that feed hand-corrupted decompositions.
+enum class CertFailure {
+  kNone,            ///< certified
+  kCycleCount,      ///< wrong number of cycles for the claimed gamma
+  kNotHamiltonian,  ///< a cycle misses nodes or repeats one
+  kNonEdge,         ///< a cycle step is not an edge of the graph
+  kSharedEdge,      ///< two cycles (or one cycle twice) use the same edge
+  kCoverage,        ///< cycles must partition E(g) but leave edges unused
+};
+
+[[nodiscard]] const char* to_string(CertFailure failure);
+
+/// Verdict of the independent verifier.
+struct Certificate {
+  bool ok = false;
+  CertFailure failure = CertFailure::kNone;
+  std::string detail;  ///< one-line diagnostic naming the offending cycle
+};
+
+/// Independently certifies that `cycles` is a valid Lambda decomposition
+/// of g for the claimed gamma: exactly gamma/2 cycles, each a Hamiltonian
+/// cycle of g, pairwise edge-disjoint, and - when `must_cover_all_edges`
+/// (gamma == degree) - partitioning E(g) exactly.  The implementation is
+/// deliberately separate from the search engine's bookkeeping AND is
+/// cross-checked against graph/hamiltonian.hpp's verify_hc_set, so a bug
+/// in either cannot certify an invalid schedule.
+[[nodiscard]] Certificate certify_decomposition(
+    const Graph& g, const std::vector<Cycle>& cycles, std::uint32_t gamma,
+    bool must_cover_all_edges);
+
+// --- structural precheck --------------------------------------------------
+
+/// LC1-side structure of a candidate graph: the broadcast connectivity
+/// gamma it could support (largest even integer <= degree) and the cheap
+/// refutations that need no search at all.
+struct LambdaStructure {
+  bool regular = false;
+  bool connected = false;
+  std::uint32_t degree = 0;      ///< regular degree (0 when irregular)
+  std::uint32_t min_degree = 0;  ///< for the irregular diagnostic
+  std::uint32_t max_degree = 0;
+  std::uint32_t gamma = 0;       ///< 2 * floor(degree / 2); 0 when refuted
+  bool refuted = false;          ///< no decomposition can exist
+  std::string detail;            ///< refutation reason, if any
+};
+
+[[nodiscard]] LambdaStructure lambda_structure(const Graph& g);
+
+// --- search ---------------------------------------------------------------
+
+enum class SearchMode {
+  kAuto,       ///< exact within limits, then heuristic
+  kExact,      ///< backtracking only (refutes when exhaustive)
+  kHeuristic,  ///< rotation repair + cycle-merge only
+};
+
+enum class SearchStatus {
+  kFound,    ///< certified decomposition attached
+  kRefuted,  ///< proven impossible (structure, or exhausted exact search)
+  kUnknown,  ///< heuristics gave up; existence undecided
+};
+
+struct HamSearchOptions {
+  SearchMode mode = SearchMode::kAuto;
+  /// kAuto runs the exact stage only on graphs of at most this many nodes.
+  NodeId exact_node_limit = 40;
+  /// Backtracking extensions before the exact stage gives up.  An exact
+  /// search that terminates *within* the budget without finding a
+  /// decomposition is exhaustive, hence a refutation; exceeding the budget
+  /// falls through to the heuristic stage (kAuto) or returns kUnknown.
+  std::uint64_t exact_step_limit = 2'000'000;
+  std::uint64_t seed = 0x2005eed5u;     ///< heuristic tie-breaking
+  std::size_t heuristic_restarts = 24;  ///< Posa restarts per cycle
+  /// Rotations allowed per Posa attempt, as a multiple of node count.
+  std::size_t rotation_factor = 64;
+};
+
+struct HamSearchStats {
+  std::uint64_t exact_steps = 0;  ///< backtracking extensions performed
+  std::uint64_t rotations = 0;    ///< Posa rotations performed
+  std::size_t restarts = 0;       ///< heuristic restarts consumed
+  bool exact = false;             ///< decomposition came from the exact stage
+  bool exhausted = false;         ///< exact stage completed exhaustively
+  bool cycle_merge = false;       ///< Euler-split + merge produced the result
+};
+
+struct HamSearchResult {
+  SearchStatus status = SearchStatus::kUnknown;
+  std::uint32_t gamma = 0;     ///< the gamma the cycles (would) support
+  std::vector<Cycle> cycles;   ///< certified decomposition when kFound
+  std::string detail;          ///< refutation reason / give-up note
+  HamSearchStats stats;
+};
+
+/// Searches for `cycles_needed` edge-disjoint Hamiltonian cycles of g.
+/// When cycles_needed is 0 it defaults to floor(degree/2), the most the
+/// graph's regularity admits (gamma = 2 * cycles_needed).  The returned
+/// cycles - whatever stage produced them - have passed
+/// certify_decomposition; an invalid internal result throws
+/// InvariantError instead of being returned.
+[[nodiscard]] HamSearchResult search_hamiltonian_decomposition(
+    const Graph& g, std::uint32_t cycles_needed = 0,
+    const HamSearchOptions& options = {});
+
+}  // namespace ihc

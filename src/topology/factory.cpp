@@ -1,83 +1,17 @@
 #include "topology/factory.hpp"
 
-#include <charconv>
-#include <cctype>
-
-#include "topology/circulant.hpp"
-#include "topology/hex_mesh.hpp"
-#include "topology/hypercube.hpp"
-#include "topology/product.hpp"
-#include "topology/square_mesh.hpp"
+#include "topology/zoo/registry.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
-namespace {
-
-/// Parses an unsigned integer from the front of `s`, advancing it.
-std::uint32_t take_number(std::string_view& s, std::string_view what) {
-  std::uint32_t value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(s.data(), s.data() + s.size(), value);
-  require(ec == std::errc() && ptr != s.data(),
-          std::string("expected a number for ") + std::string(what));
-  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
-  return value;
-}
-
-bool take_prefix(std::string_view& s, std::string_view prefix) {
-  if (s.size() < prefix.size()) return false;
-  for (std::size_t i = 0; i < prefix.size(); ++i) {
-    if (std::toupper(static_cast<unsigned char>(s[i])) !=
-        std::toupper(static_cast<unsigned char>(prefix[i])))
-      return false;
-  }
-  s.remove_prefix(prefix.size());
-  return true;
-}
-
-}  // namespace
 
 std::shared_ptr<Topology> make_topology(std::string_view spec) {
-  std::string_view s = spec;
-  if (take_prefix(s, "SQ")) {
-    const auto m = take_number(s, "square mesh side");
-    require(s.empty(), "trailing characters in square mesh spec");
-    return std::make_shared<SquareMesh>(m);
-  }
-  if (take_prefix(s, "Q")) {
-    const auto m = take_number(s, "hypercube dimension");
-    require(s.empty(), "trailing characters in hypercube spec");
-    return std::make_shared<Hypercube>(m);
-  }
-  if (take_prefix(s, "H")) {
-    const auto m = take_number(s, "hex mesh size");
-    require(s.empty(), "trailing characters in hex mesh spec");
-    return std::make_shared<HexMesh>(m);
-  }
-  if (take_prefix(s, "T")) {
-    const auto m = take_number(s, "3-D torus side");
-    require(take_prefix(s, "x"), "expected 'x' in 3-D torus spec");
-    const auto k = take_number(s, "3-D torus depth");
-    require(s.empty(), "trailing characters in 3-D torus spec");
-    return make_torus3d(m, k);
-  }
-  if (take_prefix(s, "C")) {
-    const auto n = take_number(s, "circulant node count");
-    require(take_prefix(s, ":"), "expected ':' before circulant jumps");
-    std::vector<NodeId> jumps;
-    while (true) {
-      jumps.push_back(take_number(s, "circulant jump"));
-      if (s.empty()) break;
-      require(take_prefix(s, ","), "expected ',' between jumps");
-    }
-    return std::make_shared<Circulant>(n, std::move(jumps));
-  }
-  detail::throw_config("unrecognized topology spec '" + std::string(spec) +
-                       "'; " + std::string(topology_spec_help()));
+  const TopologyPlugin* plugin = find_plugin(spec);
+  require(plugin != nullptr, "unrecognized topology spec '" +
+                                 std::string(spec) + "'; " + zoo_spec_help());
+  return plugin->make(spec);
 }
 
-std::string_view topology_spec_help() {
-  return "expected Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k>";
-}
+std::string_view topology_spec_help() { return zoo_spec_help(); }
 
 }  // namespace ihc

@@ -7,6 +7,12 @@
 ///   H<m>            C-wrapped hexagonal mesh H_m      (e.g. "H3")
 ///   C<n>:j1,j2,...  circulant on n nodes with jumps   (e.g. "C15:1,2,4")
 ///   T<m>x<k>        3-D torus SQ_m x C_k              (e.g. "T4x6")
+///   TQ<n>           locally twisted cube LTQ_n        (e.g. "TQ4")
+///   KT<k>x<n>       k-ary n-dimensional torus         (e.g. "KT4x3")
+///   <path>          ihc-topology-v1 JSON file         ("*.topology.json")
+///
+/// The grammar is owned by the plugin registry (topology/zoo/registry.hpp);
+/// this shim is the stable entry point the CLI and configs call.
 #pragma once
 
 #include <memory>

@@ -1,10 +1,8 @@
 #include "topology/hypercube.hpp"
 
-#include <map>
-#include <mutex>
-
 #include "graph/hc_product.hpp"
 #include "util/error.hpp"
+#include "util/memo_cache.hpp"
 
 namespace ihc {
 namespace {
@@ -17,11 +15,18 @@ Cycle gray_code_cycle(unsigned m) {
   return Cycle(std::move(seq));
 }
 
-using Memo = std::map<unsigned, std::vector<Cycle>>;
+/// The memo is process-wide shared state; concurrent experiment trials may
+/// construct Hypercubes from multiple threads.  MemoCache serializes the
+/// whole (recursive) construction - its recursive mutex lets the Theorem
+/// 1/2 splits below re-enter decompose() for their factors.
+MemoCache<unsigned, std::vector<Cycle>>& decomposition_memo() {
+  static MemoCache<unsigned, std::vector<Cycle>> memo;
+  return memo;
+}
 
-std::vector<Cycle> decompose(unsigned m, Memo& memo) {
-  if (auto it = memo.find(m); it != memo.end()) return it->second;
+std::vector<Cycle> decompose(unsigned m);
 
+std::vector<Cycle> compute_decomposition(unsigned m) {
   std::vector<Cycle> result;
   if (m == 2) {
     result.push_back(gray_code_cycle(2));
@@ -32,31 +37,25 @@ std::vector<Cycle> decompose(unsigned m, Memo& memo) {
     const unsigned k = m / 2;
     const unsigned a = (k % 2 == 0) ? k : k - 1;
     const unsigned b = m - a;
-    result = product_hamiltonian_cycles(decompose(a, memo),
-                                        decompose(b, memo), NodeId{1} << b);
+    result = product_hamiltonian_cycles(decompose(a), decompose(b),
+                                        NodeId{1} << b);
   } else {
     // Theorem 2: split into an even part and an odd part.
     const unsigned k = (m - 1) / 2;
     const unsigned a = (k % 2 == 0) ? k : k + 1;  // even factor (high bits)
     const unsigned b = m - a;                     // odd factor
-    result = product_hamiltonian_cycles(decompose(a, memo),
-                                        decompose(b, memo), NodeId{1} << b);
+    result = product_hamiltonian_cycles(decompose(a), decompose(b),
+                                        NodeId{1} << b);
   }
 
   const Graph g = make_hypercube_graph(m);
   ensure_hc_set(g, result, /*must_cover_all_edges=*/m % 2 == 0);
-  memo.emplace(m, result);
   return result;
 }
 
-/// The memo is process-wide shared state; concurrent experiment trials may
-/// construct Hypercubes from multiple threads, so serialize the whole
-/// (recursive) construction under one lock.
 std::vector<Cycle> decompose(unsigned m) {
-  static std::mutex mu;
-  static Memo memo;
-  const std::lock_guard<std::mutex> lock(mu);
-  return decompose(m, memo);
+  return decomposition_memo().get_or_compute(
+      m, [m] { return compute_decomposition(m); });
 }
 
 }  // namespace

@@ -1,0 +1,81 @@
+#include "topology/zoo/kary_torus.hpp"
+
+#include <utility>
+
+#include "graph/ham_search.hpp"
+#include "util/error.hpp"
+#include "util/memo_cache.hpp"
+
+namespace ihc {
+namespace {
+
+NodeId checked_node_count(NodeId arity, unsigned dims) {
+  require(arity >= 3, "torus arity must be at least 3");
+  require(dims >= 1, "torus must have at least one dimension");
+  std::uint64_t n = 1;
+  for (unsigned d = 0; d < dims; ++d) {
+    n *= arity;
+    require(n <= (std::uint64_t{1} << 20),
+            "torus exceeds the 2^20-node limit");
+  }
+  return static_cast<NodeId>(n);
+}
+
+}  // namespace
+
+Graph make_kary_torus_graph(NodeId arity, unsigned dims) {
+  const NodeId n = checked_node_count(arity, dims);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dims);
+  NodeId stride = 1;
+  for (unsigned d = 0; d < dims; ++d) {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId digit = (v / stride) % arity;
+      const NodeId up = digit + 1 == arity ? v - digit * stride : v + stride;
+      edges.emplace_back(v, up);  // the -1 link is the previous node's +1
+    }
+    stride *= arity;
+  }
+  return Graph(n, std::move(edges));
+}
+
+std::vector<Cycle> kary_torus_hamiltonian_cycles(NodeId arity,
+                                                 unsigned dims) {
+  static MemoCache<std::pair<NodeId, unsigned>, std::vector<Cycle>> memo;
+  return memo.get_or_compute({arity, dims}, [&] {
+    const Graph g = make_kary_torus_graph(arity, dims);
+    const HamSearchResult result =
+        search_hamiltonian_decomposition(g, dims);
+    IHC_ENSURE(result.status == SearchStatus::kFound,
+               "k-ary torus decomposition search failed: " + result.detail);
+    return result.cycles;
+  });
+}
+
+KaryTorus::KaryTorus(NodeId arity, unsigned dims)
+    : Topology("KT_" + std::to_string(arity) + "x" + std::to_string(dims),
+               make_kary_torus_graph(arity, dims), 2 * dims),
+      arity_(arity),
+      dims_(dims) {}
+
+NodeId KaryTorus::coordinate(NodeId v, unsigned d) const {
+  NodeId stride = 1;
+  for (unsigned i = 0; i < d; ++i) stride *= arity_;
+  return (v / stride) % arity_;
+}
+
+std::string KaryTorus::node_label(NodeId v) const {
+  std::string label = "(";
+  for (unsigned d = 0; d < dims_; ++d) {
+    if (d > 0) label += ",";
+    label += std::to_string(coordinate(v, d));
+  }
+  label += ")";
+  return label;
+}
+
+std::vector<Cycle> KaryTorus::build_hamiltonian_cycles() const {
+  return kary_torus_hamiltonian_cycles(arity_, dims_);
+}
+
+}  // namespace ihc

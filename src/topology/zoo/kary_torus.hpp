@@ -1,0 +1,50 @@
+/// \file kary_torus.hpp
+/// \brief The k-ary n-dimensional torus - the wormhole-era workhorse
+/// network, generalizing the paper's SQ_m (k-ary 2-torus) and ring.
+///
+/// Nodes are n-digit radix-k coordinates; each node links to its +-1
+/// neighbor (mod k) in every dimension, giving a 2n-regular graph on k^n
+/// nodes.  Jung & Sakho (PAPERS.md) show all-to-all optimality on tori
+/// rests on exactly the paper's cycle structure; the torus is known to
+/// decompose into n edge-disjoint Hamiltonian cycles (Aubert-Schneider,
+/// the paper's reference [2]).  Here the decomposition is *searched*, not
+/// hand-coded: the zoo treats the torus like any foreign adjacency and
+/// lets graph/ham_search.hpp find and certify the n cycles (exact for
+/// small k^n, heuristic above), memoized per (k, n).
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class KaryTorus final : public Topology {
+ public:
+  /// \param arity k >= 3 (k = 2 collapses +-1 into one link)
+  /// \param dims  n >= 1; k^n must not exceed 2^20 nodes
+  KaryTorus(NodeId arity, unsigned dims);
+
+  [[nodiscard]] NodeId arity() const { return arity_; }
+  [[nodiscard]] unsigned dims() const { return dims_; }
+
+  /// Digit d of v's radix-k coordinate vector (d = 0 varies fastest).
+  [[nodiscard]] NodeId coordinate(NodeId v, unsigned d) const;
+
+  [[nodiscard]] std::string node_label(NodeId v) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+
+ private:
+  NodeId arity_;
+  unsigned dims_;
+};
+
+/// Builds the k-ary n-torus graph.
+[[nodiscard]] Graph make_kary_torus_graph(NodeId arity, unsigned dims);
+
+/// Search-found decomposition into n edge-disjoint Hamiltonian cycles;
+/// certified before return, memoized per (arity, dims).
+[[nodiscard]] std::vector<Cycle> kary_torus_hamiltonian_cycles(NodeId arity,
+                                                               unsigned dims);
+
+}  // namespace ihc

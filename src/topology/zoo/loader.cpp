@@ -1,0 +1,153 @@
+#include "topology/zoo/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "graph/ham_search.hpp"
+#include "topology/custom.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ihc {
+namespace {
+
+NodeId node_from_json(const Json& v, NodeId node_count,
+                      std::string_view where) {
+  require(v.is_number(), std::string(where) + " must be a number");
+  const std::int64_t raw = v.as_int();
+  require(raw >= 0 && raw < static_cast<std::int64_t>(node_count),
+          std::string(where) + " node id " + std::to_string(raw) +
+              " out of range [0, " + std::to_string(node_count) + ")");
+  return static_cast<NodeId>(raw);
+}
+
+}  // namespace
+
+TopologyFile parse_topology_file(std::string_view text) {
+  std::string error;
+  const std::optional<Json> doc = Json::parse(text, &error);
+  require(doc.has_value(), "topology file is not valid JSON: " + error);
+  require(doc->is_object(), "topology file must be a JSON object");
+
+  const Json* format = doc->find("format");
+  require(format != nullptr && format->is_string() &&
+              format->as_string() == "ihc-topology-v1",
+          "topology file must declare \"format\": \"ihc-topology-v1\"");
+
+  const Json* nodes = doc->find("nodes");
+  require(nodes != nullptr && nodes->is_number() && nodes->as_int() >= 1,
+          "topology file needs \"nodes\" >= 1");
+  const auto node_count = static_cast<NodeId>(nodes->as_int());
+  require(node_count <= (NodeId{1} << 20),
+          "topology file exceeds the 2^20-node limit");
+
+  const Json* edges = doc->find("edges");
+  require(edges != nullptr && edges->is_array(),
+          "topology file needs an \"edges\" array");
+  std::vector<std::pair<NodeId, NodeId>> edge_list;
+  edge_list.reserve(edges->items().size());
+  for (const Json& e : edges->items()) {
+    require(e.is_array() && e.items().size() == 2,
+            "every edge must be a two-element array [u, v]");
+    const NodeId u = node_from_json(e.items()[0], node_count, "edge");
+    const NodeId v = node_from_json(e.items()[1], node_count, "edge");
+    edge_list.emplace_back(u, v);
+  }
+
+  TopologyFile file{.name = "custom",
+                    .graph = Graph(node_count, std::move(edge_list)),
+                    .gamma = 0,
+                    .cycles = {}};
+
+  if (const Json* name = doc->find("name"); name != nullptr) {
+    require(name->is_string(), "\"name\" must be a string");
+    file.name = std::string(name->as_string());
+  }
+  if (const Json* gamma = doc->find("gamma"); gamma != nullptr) {
+    require(gamma->is_number() && gamma->as_int() >= 2 &&
+                gamma->as_int() % 2 == 0,
+            "\"gamma\" must be an even integer >= 2");
+    file.gamma = static_cast<std::uint32_t>(gamma->as_int());
+  }
+  if (const Json* cycles = doc->find("cycles"); cycles != nullptr) {
+    require(cycles->is_array(), "\"cycles\" must be an array of cycles");
+    for (const Json& c : cycles->items()) {
+      require(c.is_array(), "every cycle must be an array of node ids");
+      std::vector<NodeId> seq;
+      seq.reserve(c.items().size());
+      for (const Json& v : c.items())
+        seq.push_back(node_from_json(v, node_count, "cycle"));
+      file.cycles.emplace_back(std::move(seq));
+    }
+    if (file.gamma == 0)
+      file.gamma = static_cast<std::uint32_t>(2 * file.cycles.size());
+    const bool cover = file.graph.is_regular() &&
+                       file.graph.regular_degree() == file.gamma;
+    const Certificate cert =
+        certify_decomposition(file.graph, file.cycles, file.gamma, cover);
+    require(cert.ok, "embedded cycles rejected (" +
+                         std::string(to_string(cert.failure)) +
+                         "): " + cert.detail);
+  }
+  return file;
+}
+
+TopologyFile load_topology_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot read topology file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_topology_file(buffer.str());
+}
+
+std::string serialize_topology_file(const std::string& name,
+                                    const Graph& graph, std::uint32_t gamma,
+                                    const std::vector<Cycle>& cycles) {
+  Json doc = Json::object();
+  doc.set("format", "ihc-topology-v1");
+  doc.set("name", name);
+  doc.set("nodes", static_cast<std::uint64_t>(graph.node_count()));
+  Json edges = Json::array();
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const auto [u, v] = graph.edge(e);
+    edges.push(Json::array()
+                   .push(static_cast<std::uint64_t>(u))
+                   .push(static_cast<std::uint64_t>(v)));
+  }
+  doc.set("edges", std::move(edges));
+  if (gamma != 0) doc.set("gamma", static_cast<std::uint64_t>(gamma));
+  if (!cycles.empty()) {
+    Json cycle_array = Json::array();
+    for (const Cycle& c : cycles) {
+      Json seq = Json::array();
+      for (const NodeId v : c.nodes())
+        seq.push(static_cast<std::uint64_t>(v));
+      cycle_array.push(std::move(seq));
+    }
+    doc.set("cycles", std::move(cycle_array));
+  }
+  return doc.dump(2) + "\n";
+}
+
+std::shared_ptr<Topology> make_file_topology(const std::string& path) {
+  TopologyFile file = load_topology_file(path);
+  if (!file.cycles.empty()) {
+    const bool cover = file.graph.is_regular() &&
+                       file.graph.regular_degree() == file.gamma;
+    return std::make_shared<CustomTopology>(file.name, std::move(file.graph),
+                                            std::move(file.cycles), cover);
+  }
+  const HamSearchResult result = search_hamiltonian_decomposition(
+      file.graph, file.gamma / 2);
+  require(result.status == SearchStatus::kFound,
+          "'" + path + "' is not a certified class-Lambda member (" +
+              result.detail + "); run `ihc_cli topology --check " + path +
+              "` for details");
+  const bool cover = file.graph.is_regular() &&
+                     file.graph.regular_degree() == result.gamma;
+  return std::make_shared<CustomTopology>(file.name, std::move(file.graph),
+                                          result.cycles, cover);
+}
+
+}  // namespace ihc

@@ -1,0 +1,67 @@
+/// \file loader.hpp
+/// \brief Arbitrary adjacency-list topologies: the `ihc-topology-v1`
+/// JSON format.
+///
+/// The zoo's escape hatch: any graph becomes a candidate topology by
+/// writing a JSON file - no C++ required.  Schema (documented in
+/// docs/TOPOLOGIES.md, drift-checked by scripts/check_docs.py):
+///
+///   {
+///     "format": "ihc-topology-v1",          // required, exactly this
+///     "name":   "my-net",                   // optional display name
+///     "nodes":  6,                          // required, >= 1
+///     "edges":  [[0,1],[1,2], ...],         // required, undirected pairs
+///     "gamma":  4,                          // optional, even; default:
+///                                           //   largest even <= degree
+///     "cycles": [[0,1,2,3,4,5], ...]        // optional known
+///   }                                       //   decomposition (gamma/2
+///                                           //   vertex sequences)
+///
+/// Embedded cycles are certified at load time (certify_decomposition) and
+/// rejected with the verifier's diagnostic when invalid; files without
+/// cycles get their decomposition searched by graph/ham_search.hpp.  A
+/// spec is routed to this loader when it ends in ".topology.json" (or any
+/// ".json").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// Parsed content of an ihc-topology-v1 document.
+struct TopologyFile {
+  std::string name;           ///< display name ("custom" when absent)
+  Graph graph;
+  std::uint32_t gamma = 0;    ///< 0 = unspecified (derive from degree)
+  std::vector<Cycle> cycles;  ///< empty = no embedded decomposition
+};
+
+/// Parses an ihc-topology-v1 document; throws ConfigError on malformed
+/// JSON, schema violations, or embedded cycles that fail certification.
+[[nodiscard]] TopologyFile parse_topology_file(std::string_view text);
+
+/// Reads and parses a file; throws ConfigError when unreadable.
+[[nodiscard]] TopologyFile load_topology_file(const std::string& path);
+
+/// Serializes a graph (plus optional certified cycles) back to the
+/// ihc-topology-v1 format - the write side of `ihc_cli topology --export`.
+[[nodiscard]] std::string serialize_topology_file(
+    const std::string& name, const Graph& graph, std::uint32_t gamma,
+    const std::vector<Cycle>& cycles);
+
+/// Builds a runnable Topology from a file: embedded cycles are used as-is
+/// (already certified by the parser); otherwise the decomposition is
+/// searched, and a refuted/unknown outcome throws ConfigError telling the
+/// user to run `ihc_cli topology --check`.
+[[nodiscard]] std::shared_ptr<Topology> make_file_topology(
+    const std::string& path);
+
+}  // namespace ihc

@@ -1,0 +1,84 @@
+/// \file plugin.hpp
+/// \brief The topology-zoo plugin interface.
+///
+/// The paper hand-codes three members of class Lambda; the zoo turns
+/// membership into a property a plugin *declares or computes*.  A
+/// TopologyPlugin bundles, for one topology family:
+///
+///   * identity: name, spec grammar, parameter schema, one-line summary;
+///   * an adjacency generator (`probe`) that maps a spec string to the
+///     bare graph plus an *optional known-decomposition hint* - hand-coded
+///     families supply their constructed cycles, search-based families
+///     supply nothing and let graph/ham_search.hpp find or refute the
+///     decomposition;
+///   * a `make` factory producing the full Topology object (the concrete
+///     subclass, so baseline algorithms that need mesh/hypercube
+///     coordinates keep working);
+///   * `check_specs`: representative specs certified by
+///     `ihc_cli topology --check` and the zoo-smoke CI job.
+///
+/// Plugins register in src/topology/zoo/registry.cpp; the catalog table in
+/// docs/TOPOLOGIES.md mirrors the registry and is drift-checked by
+/// scripts/check_docs.py.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/cycle.hpp"
+#include "graph/graph.hpp"
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+/// Provenance of a topology's Hamiltonian decomposition.
+enum class DecompSource {
+  kHandCoded,  ///< constructive (paper lemmas / jump cycles / products)
+  kExact,      ///< found by the exact backtracking search
+  kHeuristic,  ///< found by rotation repair or Euler-split cycle-merge
+  kFile,       ///< embedded in an ihc-topology-v1 file
+};
+
+[[nodiscard]] const char* to_string(DecompSource source);
+
+/// Graph-level view of one spec, for the membership pipeline: enough to
+/// check or search a decomposition without constructing a Topology (which
+/// non-members, by design, cannot be).
+struct ZooProbe {
+  std::string display_name;  ///< e.g. "TQ_3"
+  Graph graph;
+  /// Target broadcast connectivity; 0 means "derive from the regular
+  /// degree" (largest even value it admits).
+  std::uint32_t gamma = 0;
+  /// Known decomposition, when the family has one by construction (or the
+  /// file embeds one).  Absent -> the search engine decides membership.
+  std::optional<std::vector<Cycle>> hint;
+  DecompSource hint_source = DecompSource::kHandCoded;
+};
+
+/// One registered topology family.
+struct TopologyPlugin {
+  std::string name;         ///< registry key, e.g. "twisted-cube"
+  std::string spec_format;  ///< grammar, e.g. "TQ<n>"
+  std::string params;       ///< parameter schema, human-readable
+  std::string summary;      ///< one-line description for --list
+  /// How this family's decompositions are (expected to be) obtained.
+  DecompSource source = DecompSource::kHandCoded;
+  /// Specs certified by `topology --check` (no argument) and zoo-smoke CI.
+  std::vector<std::string> check_specs;
+  /// Cheap syntactic test: does this plugin claim the spec?  Must not
+  /// throw; full validation happens in make/probe.
+  std::function<bool(std::string_view spec)> matches;
+  /// Builds the Topology (concrete subclass).  Throws ConfigError on
+  /// malformed or out-of-range specs.
+  std::function<std::shared_ptr<Topology>(std::string_view spec)> make;
+  /// Builds the graph-level probe for the membership pipeline.
+  std::function<ZooProbe(std::string_view spec)> probe;
+};
+
+}  // namespace ihc

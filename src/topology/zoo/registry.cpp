@@ -1,0 +1,393 @@
+#include "topology/zoo/registry.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+#include "topology/circulant.hpp"
+#include "topology/hex_mesh.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/product.hpp"
+#include "topology/square_mesh.hpp"
+#include "topology/zoo/kary_torus.hpp"
+#include "topology/zoo/loader.hpp"
+#include "topology/zoo/twisted_cube.hpp"
+#include "util/error.hpp"
+
+namespace ihc {
+
+const char* to_string(DecompSource source) {
+  switch (source) {
+    case DecompSource::kHandCoded: return "hand-coded";
+    case DecompSource::kExact: return "exact";
+    case DecompSource::kHeuristic: return "heuristic";
+    case DecompSource::kFile: return "file";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Parses an unsigned integer from the front of `s`, advancing it.
+std::uint32_t take_number(std::string_view& s, std::string_view what) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  require(ec == std::errc() && ptr != s.data(),
+          std::string("expected a number for ") + std::string(what));
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return value;
+}
+
+bool take_prefix(std::string_view& s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[i])) !=
+        std::toupper(static_cast<unsigned char>(prefix[i])))
+      return false;
+  }
+  s.remove_prefix(prefix.size());
+  return true;
+}
+
+/// Case-insensitive "starts with `prefix` followed by a digit" - the
+/// matcher shape for all letter-prefixed specs.  Prefix+digit keeps every
+/// family mutually exclusive ("TQ3" cannot match "T<m>x<k>", "SQ4"
+/// cannot match "Q<m>") without relying on registration order.
+bool prefix_then_digit(std::string_view spec, std::string_view prefix) {
+  std::string_view s = spec;
+  if (!take_prefix(s, prefix)) return false;
+  return !s.empty() && std::isdigit(static_cast<unsigned char>(s[0]));
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Probe built from a fully constructed Topology: its verified cycles are
+/// the decomposition hint.
+ZooProbe probe_from_topology(const std::shared_ptr<Topology>& t,
+                             DecompSource source) {
+  return ZooProbe{.display_name = t->name(),
+                  .graph = t->graph(),
+                  .gamma = t->gamma(),
+                  .hint = t->hamiltonian_cycles(),
+                  .hint_source = source};
+}
+
+std::vector<TopologyPlugin> build_registry() {
+  std::vector<TopologyPlugin> plugins;
+
+  {
+    TopologyPlugin p;
+    p.name = "hypercube";
+    p.spec_format = "Q<m>";
+    p.params = "m >= 2: dimension; N = 2^m, gamma = 2*floor(m/2)";
+    p.summary = "binary hypercube Q_m (paper Sec. III-A, Theorems 1-2)";
+    p.source = DecompSource::kHandCoded;
+    p.check_specs = {"Q3", "Q4", "Q5", "Q6"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "Q");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "Q");
+      const auto m = take_number(s, "hypercube dimension");
+      require(s.empty(), "trailing characters in hypercube spec");
+      return std::make_shared<Hypercube>(m);
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "square-mesh";
+    p.spec_format = "SQ<m>";
+    p.params = "m >= 3: side; N = m^2, gamma = 4";
+    p.summary = "torus-wrapped square mesh SQ_m (paper Sec. III-B)";
+    p.source = DecompSource::kHandCoded;
+    p.check_specs = {"SQ4", "SQ5"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "SQ");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "SQ");
+      const auto m = take_number(s, "square mesh side");
+      require(s.empty(), "trailing characters in square mesh spec");
+      return std::make_shared<SquareMesh>(m);
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "hex-mesh";
+    p.spec_format = "H<m>";
+    p.params = "m >= 2: size; N = 3m(m-1)+1, gamma = 6";
+    p.summary = "C-wrapped hexagonal mesh H_m (paper Sec. III-C)";
+    p.source = DecompSource::kHandCoded;
+    p.check_specs = {"H2", "H3"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "H");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "H");
+      const auto m = take_number(s, "hex mesh size");
+      require(s.empty(), "trailing characters in hex mesh spec");
+      return std::make_shared<HexMesh>(m);
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "circulant";
+    p.spec_format = "C<n>:j1,j2,...";
+    p.params =
+        "n >= 3; jumps distinct in [1, n/2) with gcd(j, n) = 1; gamma = 2k";
+    p.summary = "circulant C(n; j1..jk): each jump class a Hamiltonian cycle";
+    p.source = DecompSource::kHandCoded;
+    p.check_specs = {"C13:1,5"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "C");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "C");
+      const auto n = take_number(s, "circulant node count");
+      require(take_prefix(s, ":"), "expected ':' before circulant jumps");
+      std::vector<NodeId> jumps;
+      while (true) {
+        jumps.push_back(take_number(s, "circulant jump"));
+        if (s.empty()) break;
+        require(take_prefix(s, ","), "expected ',' between jumps");
+      }
+      return std::make_shared<Circulant>(n, std::move(jumps));
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "torus3d";
+    p.spec_format = "T<m>x<k>";
+    p.params = "m >= 3 side, k >= 3 depth; N = m^2 * k, gamma = 6";
+    p.summary = "3-D torus SQ_m x C_k via the product construction";
+    p.source = DecompSource::kHandCoded;
+    p.check_specs = {"T3x4"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "T");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "T");
+      const auto m = take_number(s, "3-D torus side");
+      require(take_prefix(s, "x"), "expected 'x' in 3-D torus spec");
+      const auto k = take_number(s, "3-D torus depth");
+      require(s.empty(), "trailing characters in 3-D torus spec");
+      return make_torus3d(m, k);
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "twisted-cube";
+    p.spec_format = "TQ<n>";
+    p.params = "n in [2, 16]: dimension; N = 2^n, gamma = 2 (n <= 3) or 4";
+    p.summary = "locally twisted cube LTQ_n; decomposition found by search";
+    p.source = DecompSource::kExact;
+    p.check_specs = {"TQ3", "TQ4"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "TQ");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "TQ");
+      const auto n = take_number(s, "twisted cube dimension");
+      require(s.empty(), "trailing characters in twisted cube spec");
+      return std::make_shared<TwistedCube>(n);
+    };
+    p.probe = [](std::string_view spec) -> ZooProbe {
+      std::string_view s = spec;
+      take_prefix(s, "TQ");
+      const auto n = take_number(s, "twisted cube dimension");
+      require(s.empty(), "trailing characters in twisted cube spec");
+      return ZooProbe{.display_name = "TQ_" + std::to_string(n),
+                      .graph = make_twisted_cube_graph(n),
+                      .gamma = twisted_cube_gamma(n),
+                      .hint = std::nullopt,
+                      .hint_source = DecompSource::kExact};
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "kary-torus";
+    p.spec_format = "KT<k>x<n>";
+    p.params = "k >= 3 arity, n >= 1 dims; N = k^n <= 2^20, gamma = 2n";
+    p.summary = "k-ary n-torus; decomposition found by search";
+    p.source = DecompSource::kExact;
+    p.check_specs = {"KT3x2", "KT4x2"};
+    p.matches = [](std::string_view spec) {
+      return prefix_then_digit(spec, "KT");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      std::string_view s = spec;
+      take_prefix(s, "KT");
+      const auto k = take_number(s, "torus arity");
+      require(take_prefix(s, "x"), "expected 'x' in k-ary torus spec");
+      const auto n = take_number(s, "torus dimensions");
+      require(s.empty(), "trailing characters in k-ary torus spec");
+      return std::make_shared<KaryTorus>(k, n);
+    };
+    p.probe = [](std::string_view spec) -> ZooProbe {
+      std::string_view s = spec;
+      take_prefix(s, "KT");
+      const auto k = take_number(s, "torus arity");
+      require(take_prefix(s, "x"), "expected 'x' in k-ary torus spec");
+      const auto n = take_number(s, "torus dimensions");
+      require(s.empty(), "trailing characters in k-ary torus spec");
+      return ZooProbe{.display_name = "KT_" + std::to_string(k) + "x" +
+                                      std::to_string(n),
+                      .graph = make_kary_torus_graph(k, n),
+                      .gamma = 2 * n,
+                      .hint = std::nullopt,
+                      .hint_source = DecompSource::kExact};
+    };
+    plugins.push_back(std::move(p));
+  }
+  {
+    TopologyPlugin p;
+    p.name = "file";
+    p.spec_format = "<path>.topology.json";
+    p.params = "path to an ihc-topology-v1 JSON document";
+    p.summary = "arbitrary adjacency list (ihc-topology-v1 JSON)";
+    p.source = DecompSource::kFile;
+    p.check_specs = {};
+    p.matches = [](std::string_view spec) {
+      return ends_with(spec, ".json");
+    };
+    p.make = [](std::string_view spec) -> std::shared_ptr<Topology> {
+      return make_file_topology(std::string(spec));
+    };
+    p.probe = [](std::string_view spec) -> ZooProbe {
+      TopologyFile file = load_topology_file(std::string(spec));
+      ZooProbe probe{.display_name = file.name,
+                     .graph = std::move(file.graph),
+                     .gamma = file.gamma,
+                     .hint = std::nullopt,
+                     .hint_source = DecompSource::kFile};
+      if (!file.cycles.empty()) probe.hint = std::move(file.cycles);
+      return probe;
+    };
+    plugins.push_back(std::move(p));
+  }
+
+  // Hand-coded families share one probe shape: construct the topology and
+  // surface its (verified) cycles as the hint.
+  for (TopologyPlugin& p : plugins) {
+    if (!p.probe) {
+      const auto make = p.make;
+      const auto source = p.source;
+      p.probe = [make, source](std::string_view spec) {
+        return probe_from_topology(make(spec), source);
+      };
+    }
+  }
+  return plugins;
+}
+
+}  // namespace
+
+const std::vector<TopologyPlugin>& topology_registry() {
+  static const std::vector<TopologyPlugin> registry = build_registry();
+  return registry;
+}
+
+const TopologyPlugin* find_plugin(std::string_view spec) {
+  for (const TopologyPlugin& p : topology_registry()) {
+    if (p.matches(spec)) return &p;
+  }
+  return nullptr;
+}
+
+const TopologyPlugin* find_plugin_by_name(std::string_view name) {
+  for (const TopologyPlugin& p : topology_registry()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const std::string& zoo_spec_help() {
+  static const std::string help = [] {
+    std::string s = "expected ";
+    bool first = true;
+    for (const TopologyPlugin& p : topology_registry()) {
+      if (!first) s += " | ";
+      s += p.spec_format;
+      first = false;
+    }
+    return s;
+  }();
+  return help;
+}
+
+MembershipReport check_membership(std::string_view spec,
+                                  const HamSearchOptions& options,
+                                  bool ignore_hint) {
+  const TopologyPlugin* plugin = find_plugin(spec);
+  require(plugin != nullptr, "unrecognized topology spec '" +
+                                 std::string(spec) + "'; " + zoo_spec_help());
+  ZooProbe probe = plugin->probe(spec);
+
+  MembershipReport report;
+  report.spec = std::string(spec);
+  report.plugin = plugin->name;
+  report.display_name = probe.display_name;
+  report.nodes = probe.graph.node_count();
+  report.edges = probe.graph.edge_count();
+  const LambdaStructure structure = lambda_structure(probe.graph);
+  report.degree = structure.regular ? structure.degree : 0;
+
+  if (probe.hint.has_value() && !ignore_hint) {
+    report.gamma = probe.gamma != 0
+                       ? probe.gamma
+                       : static_cast<std::uint32_t>(2 * probe.hint->size());
+    report.cover_all_edges =
+        structure.regular && structure.degree == report.gamma;
+    const Certificate cert = certify_decomposition(
+        probe.graph, *probe.hint, report.gamma, report.cover_all_edges);
+    // Hints are verified constructions (library) or pre-certified files
+    // (loader); a failure here is a bug, not a property of the graph.
+    IHC_ENSURE(cert.ok, "decomposition hint for '" + report.spec +
+                            "' failed certification: " + cert.detail);
+    report.status = SearchStatus::kFound;
+    report.source = probe.hint_source;
+    report.cycles = std::move(*probe.hint);
+    return report;
+  }
+
+  if (structure.refuted) {
+    report.status = SearchStatus::kRefuted;
+    report.gamma = probe.gamma;
+    report.detail = structure.detail;
+    return report;
+  }
+
+  const std::uint32_t need = probe.gamma != 0 ? probe.gamma / 2 : 0;
+  HamSearchResult result =
+      search_hamiltonian_decomposition(probe.graph, need, options);
+  report.gamma = result.gamma;
+  report.status = result.status;
+  report.detail = std::move(result.detail);
+  report.stats = result.stats;
+  if (result.status == SearchStatus::kFound) {
+    report.source = result.stats.exact ? DecompSource::kExact
+                                       : DecompSource::kHeuristic;
+    report.cover_all_edges =
+        structure.regular && structure.degree == result.gamma;
+    report.cycles = std::move(result.cycles);
+  }
+  return report;
+}
+
+}  // namespace ihc

@@ -1,0 +1,68 @@
+/// \file registry.hpp
+/// \brief The topology-zoo registry and the Lambda-membership pipeline.
+///
+/// All topology families - the paper's hand-coded three, the circulant
+/// and product generalizations, the search-based newcomers (twisted cube,
+/// k-ary n-torus) and the ihc-topology-v1 file loader - register here as
+/// TopologyPlugins.  The registry is the single source of truth for:
+///
+///   * spec parsing: topology/factory.hpp's make_topology() dispatches to
+///     the first plugin whose `matches` claims the spec;
+///   * `ihc_cli topology --list/--check/--decompose/--export`;
+///   * the zoo-smoke CI job (every plugin's check_specs must certify);
+///   * the docs/TOPOLOGIES.md catalog (drift-checked by check_docs.py
+///     against the `p.name = "...";` / `p.spec_format = "...";` lines in
+///     registry.cpp, and at runtime by tests/test_zoo.cpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/ham_search.hpp"
+#include "topology/zoo/plugin.hpp"
+
+namespace ihc {
+
+/// All registered plugins, in match-priority order (longer prefixes
+/// before their prefixes: SQ/KT/TQ before Q/T).
+[[nodiscard]] const std::vector<TopologyPlugin>& topology_registry();
+
+/// First plugin claiming `spec`, or nullptr.
+[[nodiscard]] const TopologyPlugin* find_plugin(std::string_view spec);
+
+/// Plugin with the given registry name, or nullptr.
+[[nodiscard]] const TopologyPlugin* find_plugin_by_name(
+    std::string_view name);
+
+/// One-line spec grammar assembled from the registry (usage messages).
+[[nodiscard]] const std::string& zoo_spec_help();
+
+/// Outcome of the membership pipeline for one spec.
+struct MembershipReport {
+  std::string spec;
+  std::string plugin;        ///< registry name of the claiming plugin
+  std::string display_name;  ///< e.g. "TQ_3"
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  std::uint32_t degree = 0;  ///< regular degree (0 when irregular)
+  std::uint32_t gamma = 0;   ///< certified/attempted gamma
+  SearchStatus status = SearchStatus::kUnknown;
+  DecompSource source = DecompSource::kHandCoded;  ///< when certified
+  bool cover_all_edges = false;
+  std::string detail;         ///< refutation reason / give-up note
+  std::vector<Cycle> cycles;  ///< the certified decomposition
+  HamSearchStats stats;       ///< search effort (zero for hints)
+};
+
+/// Runs the full membership pipeline on a spec: probe the plugin,
+/// certify its decomposition hint if it has one, otherwise search (and
+/// possibly refute).  `ignore_hint` forces the search even when the
+/// plugin supplies a construction (for exercising the engine, e.g.
+/// `topology --decompose Q4 --exact`).  Throws ConfigError when no
+/// plugin claims the spec or the spec itself is malformed.
+[[nodiscard]] MembershipReport check_membership(
+    std::string_view spec, const HamSearchOptions& options = {},
+    bool ignore_hint = false);
+
+}  // namespace ihc

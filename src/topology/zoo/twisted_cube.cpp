@@ -1,0 +1,75 @@
+#include "topology/zoo/twisted_cube.hpp"
+
+#include <utility>
+
+#include "graph/ham_search.hpp"
+#include "util/error.hpp"
+#include "util/memo_cache.hpp"
+
+namespace ihc {
+
+Graph make_twisted_cube_graph(unsigned dimension) {
+  require(dimension >= 2, "twisted cube dimension must be at least 2");
+  require(dimension <= 16, "twisted cube dimension must be at most 16");
+  const NodeId n = NodeId{1} << dimension;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dimension / 2);
+  // Recursive definition, unrolled: level d in [2, dimension] glues the
+  // two (d-1)-sub-cubes inside every d-bit block.  Level-1 edges are the
+  // LTQ_2 base case's low-dimension links, handled by d = 1 as plain
+  // hypercube bit-0 edges.
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId u0 = v ^ NodeId{1};  // dimension-0 link (untwisted)
+    if (v < u0) edges.emplace_back(v, u0);
+  }
+  for (unsigned d = 1; d < dimension; ++d) {
+    // Matching between 0-half and 1-half of every (d+1)-bit block:
+    // 0 x_{d-1} ... x_0 <-> 1 (x_{d-1} xor x_0) x_{d-2} ... x_0.
+    // d == 1 degenerates to the plain Q_2 edge (x_{d-1} is x_0 itself;
+    // the twist would leave the block, so LTQ_2 = Q_2 keeps it straight).
+    for (NodeId v = 0; v < n; ++v) {
+      if ((v >> d) & NodeId{1}) continue;  // only from the 0-half
+      NodeId u = v | (NodeId{1} << d);
+      if (d >= 2 && (v & NodeId{1})) u ^= NodeId{1} << (d - 1);
+      edges.emplace_back(v, u);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+std::uint32_t twisted_cube_gamma(unsigned dimension) {
+  return dimension <= 3 ? 2 : 4;
+}
+
+std::vector<Cycle> twisted_cube_hamiltonian_cycles(unsigned dimension) {
+  static MemoCache<unsigned, std::vector<Cycle>> memo;
+  return memo.get_or_compute(dimension, [&] {
+    const Graph g = make_twisted_cube_graph(dimension);
+    const std::uint32_t gamma = twisted_cube_gamma(dimension);
+    const HamSearchResult result =
+        search_hamiltonian_decomposition(g, gamma / 2);
+    IHC_ENSURE(result.status == SearchStatus::kFound,
+               "twisted cube decomposition search failed: " + result.detail);
+    return result.cycles;
+  });
+}
+
+TwistedCube::TwistedCube(unsigned dimension)
+    : Topology("TQ_" + std::to_string(dimension),
+               make_twisted_cube_graph(dimension),
+               twisted_cube_gamma(dimension)),
+      dimension_(dimension) {}
+
+std::string TwistedCube::node_label(NodeId v) const {
+  std::string label(dimension_, '0');
+  for (unsigned b = 0; b < dimension_; ++b) {
+    if ((v >> b) & NodeId{1}) label[dimension_ - 1 - b] = '1';
+  }
+  return label;
+}
+
+std::vector<Cycle> TwistedCube::build_hamiltonian_cycles() const {
+  return twisted_cube_hamiltonian_cycles(dimension_);
+}
+
+}  // namespace ihc

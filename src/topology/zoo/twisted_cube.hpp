@@ -1,0 +1,58 @@
+/// \file twisted_cube.hpp
+/// \brief Locally twisted cube LTQ_n - a class-Lambda member beyond the
+/// paper's three families.
+///
+/// The locally twisted cube (Yang, Evans & Megson) is an n-regular
+/// hypercube variant on 2^n nodes with roughly half the diameter:
+///
+///   LTQ_2 = Q_2 (the 4-cycle);
+///   LTQ_n = 0 LTQ_{n-1}  u  1 LTQ_{n-1}, plus the twisted matching
+///           0 x_{n-2} x_{n-3} ... x_0  <->  1 (x_{n-2} xor x_0) x_{n-3} ... x_0.
+///
+/// Hung proved twisted-cube variants carry two edge-disjoint Hamiltonian
+/// cycles (PAPERS.md), so LTQ_n joins class Lambda with gamma = 4 for
+/// n >= 4 (gamma = 2 below that).  Unlike the paper's families there is no
+/// constructive decomposition in this codebase: the cycles are *found* by
+/// the Hamiltonian-decomposition search engine (exact for small n,
+/// heuristic above), certified, and memoized - the zoo's showcase of
+/// Lambda-membership as a computed property.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ihc {
+
+class TwistedCube final : public Topology {
+ public:
+  /// \param dimension n in [2, 16] (N = 2^n nodes).
+  explicit TwistedCube(unsigned dimension);
+
+  [[nodiscard]] unsigned dimension() const { return dimension_; }
+
+  [[nodiscard]] std::string node_label(NodeId v) const override;
+
+ protected:
+  [[nodiscard]] std::vector<Cycle> build_hamiltonian_cycles() const override;
+  [[nodiscard]] bool cycles_cover_all_edges() const override {
+    return gamma() == dimension_;
+  }
+
+ private:
+  unsigned dimension_;
+};
+
+/// Builds the LTQ_n graph (node ids = n-bit addresses, bit n-1 the split).
+[[nodiscard]] Graph make_twisted_cube_graph(unsigned dimension);
+
+/// Broadcast connectivity of LTQ_n: 2 for n <= 3 (one cycle), 4 for
+/// n >= 4 (Hung's pair of edge-disjoint Hamiltonian cycles).
+[[nodiscard]] std::uint32_t twisted_cube_gamma(unsigned dimension);
+
+/// Search-found decomposition of LTQ_n into gamma/2 edge-disjoint
+/// Hamiltonian cycles; certified before return, memoized per dimension
+/// (util/memo_cache.hpp).  Throws InvariantError if the search fails -
+/// which for the supported range indicates a bug, not a non-member.
+[[nodiscard]] std::vector<Cycle> twisted_cube_hamiltonian_cycles(
+    unsigned dimension);
+
+}  // namespace ihc

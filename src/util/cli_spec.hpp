@@ -30,6 +30,11 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "construct + verify the Hamiltonian decomposition (ihc-hc-v1)"},
     {"verify", "verify <file> <topology>",
      "check a saved decomposition against a topology"},
+    {"topology",
+     "topology (--list | --check [<spec>] | --decompose <spec> | "
+     "--export <spec>) [--exact|--heuristic] [--out <file|->]",
+     "topology zoo: list plugins, certify or refute class-Lambda "
+     "membership (ihc-topology-v1)"},
     {"campaign",
      "campaign [<name>...] [--list] [--jobs <n>] [--shards <n>] "
      "[--filter <s>] [--metrics] [--analyze] [--json-out <p>]",

@@ -1,0 +1,53 @@
+/// \file memo_cache.hpp
+/// \brief Shared thread-safe memoization utility.
+///
+/// Several construction paths memoize expensive, deterministic results in
+/// process-wide tables: the hypercube decomposition memo ("only needs to
+/// be done once for a given size hypercube", Section III-A) and the
+/// Hamiltonian-decomposition search memo of the topology zoo.  Before this
+/// utility each site carried its own ad-hoc `static std::mutex` guard;
+/// MemoCache centralizes the pattern so every memo is thread-safe by
+/// construction (experiment trials build topologies from worker threads
+/// concurrently - asserted under -DIHC_SANITIZE=thread).
+///
+/// The mutex is recursive because compute functions may re-enter the same
+/// cache for sub-problems (the hypercube decomposition of Q_m recurses
+/// into Q_a and Q_b).  Re-entrant lookups therefore serialize with their
+/// parent computation instead of deadlocking; the whole recursive
+/// construction runs under one logical critical section, exactly like the
+/// hand-rolled guard it replaces.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace ihc {
+
+template <typename Key, typename Value>
+class MemoCache {
+ public:
+  /// Returns the cached value for `key`, computing it with `fn()` (under
+  /// the cache lock) and storing it on first use.  `fn` may recursively
+  /// call back into the same cache.
+  template <typename Fn>
+  Value get_or_compute(const Key& key, Fn&& fn) {
+    const std::lock_guard<std::recursive_mutex> lock(mu_);
+    if (auto it = map_.find(key); it != map_.end()) return it->second;
+    Value value = std::forward<Fn>(fn)();
+    map_.emplace(key, value);
+    return value;
+  }
+
+  /// Number of memoized entries (for tests).
+  [[nodiscard]] std::size_t size() {
+    const std::lock_guard<std::recursive_mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  std::recursive_mutex mu_;
+  std::map<Key, Value> map_;
+};
+
+}  // namespace ihc

@@ -1,0 +1,270 @@
+// The Hamiltonian-decomposition search engine (graph/ham_search.hpp):
+// structural refutations, exact search (finds AND refutes), heuristic
+// fallback, golden serialized decompositions, and - most importantly -
+// the independent certifier under adversarial inputs: every hand-crafted
+// corruption class must be rejected with its specific diagnostic.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/ham_search.hpp"
+#include "graph/hc_cache.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/zoo/kary_torus.hpp"
+#include "topology/zoo/twisted_cube.hpp"
+
+namespace ihc {
+namespace {
+
+// A Gray-code Hamiltonian cycle of Q_4, independent of the search engine.
+Cycle gray_cycle_q4() {
+  return Cycle({0, 1, 3, 2, 6, 7, 5, 4, 12, 13, 15, 14, 10, 11, 9, 8});
+}
+
+// --- structural prechecks -------------------------------------------------
+
+TEST(LambdaStructure, RefutesIrregularGraph) {
+  // The 7-node star: degree 6 hub, degree-1 leaves.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < 7; ++v) edges.emplace_back(0, v);
+  const LambdaStructure s = lambda_structure(Graph(7, std::move(edges)));
+  EXPECT_TRUE(s.refuted);
+  EXPECT_FALSE(s.regular);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 6u);
+  EXPECT_NE(s.detail.find("not regular"), std::string::npos);
+}
+
+TEST(LambdaStructure, RefutesDisconnectedGraph) {
+  // Two disjoint triangles: 2-regular but disconnected.
+  const Graph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const LambdaStructure s = lambda_structure(g);
+  EXPECT_TRUE(s.refuted);
+  EXPECT_TRUE(s.regular);
+  EXPECT_FALSE(s.connected);
+}
+
+TEST(LambdaStructure, AcceptsOddDegreeWithReducedGamma) {
+  // Q_3 is 3-regular: gamma = 2 (one cycle), a perfect matching unused.
+  const LambdaStructure s = lambda_structure(make_hypercube_graph(3));
+  EXPECT_FALSE(s.refuted);
+  EXPECT_EQ(s.degree, 3u);
+  EXPECT_EQ(s.gamma, 2u);
+}
+
+// --- exact search: finds --------------------------------------------------
+
+TEST(HamSearch, ExactFindsHypercubeDecompositions) {
+  for (unsigned m = 3; m <= 5; ++m) {
+    const Graph g = make_hypercube_graph(m);
+    const HamSearchResult r = search_hamiltonian_decomposition(g);
+    EXPECT_EQ(r.status, SearchStatus::kFound) << "Q_" << m;
+    EXPECT_TRUE(r.stats.exact) << "Q_" << m;
+    EXPECT_EQ(r.gamma, 2 * (m / 2)) << "Q_" << m;
+    EXPECT_EQ(r.cycles.size(), m / 2) << "Q_" << m;
+    const bool cover = (m % 2 == 0);
+    EXPECT_TRUE(certify_decomposition(g, r.cycles, r.gamma, cover).ok);
+  }
+}
+
+TEST(HamSearch, ExactFindsTwistedCubeDecompositions) {
+  for (unsigned n = 3; n <= 4; ++n) {
+    const Graph g = make_twisted_cube_graph(n);
+    const HamSearchResult r = search_hamiltonian_decomposition(g);
+    EXPECT_EQ(r.status, SearchStatus::kFound) << "TQ_" << n;
+    EXPECT_TRUE(r.stats.exact) << "TQ_" << n;
+    EXPECT_EQ(r.gamma, twisted_cube_gamma(n)) << "TQ_" << n;
+  }
+}
+
+TEST(HamSearch, ExactFindsKaryTorusDecomposition) {
+  // 4-ary 2-torus: 16 nodes, 4-regular, two cycles covering every edge.
+  const Graph g = make_kary_torus_graph(4, 2);
+  const HamSearchResult r = search_hamiltonian_decomposition(g);
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_TRUE(r.stats.exact);
+  EXPECT_EQ(r.cycles.size(), 2u);
+  EXPECT_TRUE(certify_decomposition(g, r.cycles, 4, true).ok);
+}
+
+TEST(HamSearch, ExactFindsCompleteGraphDecomposition) {
+  // K_5 is 4-regular with 10 edges: two edge-disjoint Hamiltonian
+  // cycles partition E exactly (the classic Walecki decomposition).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  const Graph g(5, std::move(edges));
+  const HamSearchResult r = search_hamiltonian_decomposition(g);
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(r.gamma, 4u);
+  EXPECT_TRUE(certify_decomposition(g, r.cycles, 4, true).ok);
+}
+
+// --- exact search: refutes ------------------------------------------------
+
+TEST(HamSearch, ExhaustiveSearchRefutesPetersenGraph) {
+  // The Petersen graph is 3-regular, connected, and famously has no
+  // Hamiltonian cycle: a completed exact search is a *refutation*.
+  const Graph g(10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                     {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+                     {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}});
+  HamSearchOptions opt;
+  opt.mode = SearchMode::kExact;
+  const HamSearchResult r = search_hamiltonian_decomposition(g, 0, opt);
+  EXPECT_EQ(r.status, SearchStatus::kRefuted);
+  EXPECT_TRUE(r.stats.exhausted);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(HamSearch, BudgetExhaustionIsUnknownNotRefuted) {
+  // With a tiny step budget the exact stage cannot finish; in kExact
+  // mode the honest answer is kUnknown - never a false refutation.
+  HamSearchOptions opt;
+  opt.mode = SearchMode::kExact;
+  opt.exact_step_limit = 3;
+  const HamSearchResult r =
+      search_hamiltonian_decomposition(make_hypercube_graph(4), 0, opt);
+  EXPECT_EQ(r.status, SearchStatus::kUnknown);
+  EXPECT_FALSE(r.stats.exhausted);
+}
+
+// --- heuristic stage ------------------------------------------------------
+
+TEST(HamSearch, HeuristicFindsLargeHypercubeDecomposition) {
+  // Q_6 (64 nodes) exceeds the default exact_node_limit of 40: kAuto
+  // routes to the heuristic stage, whose result is still certified.
+  const Graph g = make_hypercube_graph(6);
+  const HamSearchResult r = search_hamiltonian_decomposition(g);
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_FALSE(r.stats.exact);
+  EXPECT_EQ(r.cycles.size(), 3u);
+  EXPECT_TRUE(certify_decomposition(g, r.cycles, 6, true).ok);
+}
+
+TEST(HamSearch, HeuristicModeOnSmallGraphStillCertifies) {
+  HamSearchOptions opt;
+  opt.mode = SearchMode::kHeuristic;
+  const Graph g = make_kary_torus_graph(3, 2);
+  const HamSearchResult r = search_hamiltonian_decomposition(g, 0, opt);
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(r.stats.exact_steps, 0u);
+  EXPECT_TRUE(certify_decomposition(g, r.cycles, 4, true).ok);
+}
+
+// --- golden decompositions ------------------------------------------------
+// The exact stage is deterministic (no randomness, fixed iteration
+// order), so its output is pinned byte-for-byte.  A change here means
+// the search order changed - intentional changes must update the CLI
+// examples in docs/TOPOLOGIES.md too.
+
+TEST(HamSearch, GoldenDecompositionQ3) {
+  const HamSearchResult r =
+      search_hamiltonian_decomposition(make_hypercube_graph(3));
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(serialize_cycles(8, r.cycles),
+            "ihc-hc-v1 8 1\n"
+            "8 0 1 3 2 6 7 5 4\n");
+}
+
+TEST(HamSearch, GoldenDecompositionQ4) {
+  const HamSearchResult r =
+      search_hamiltonian_decomposition(make_hypercube_graph(4));
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(serialize_cycles(16, r.cycles),
+            "ihc-hc-v1 16 2\n"
+            "16 0 1 3 2 6 4 5 7 15 11 9 13 12 14 10 8\n"
+            "16 0 2 10 11 3 7 6 14 15 13 5 1 9 8 12 4\n");
+}
+
+TEST(HamSearch, GoldenDecompositionTQ3) {
+  const HamSearchResult r =
+      search_hamiltonian_decomposition(make_twisted_cube_graph(3));
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(serialize_cycles(8, r.cycles),
+            "ihc-hc-v1 8 1\n"
+            "8 0 1 3 2 6 7 5 4\n");
+}
+
+// --- the certifier under adversarial inputs -------------------------------
+// Each corruption class gets a hand-crafted invalid decomposition; the
+// certifier must reject it with the *specific* failure diagnostic, so a
+// search bug can never masquerade as a different (or absent) problem.
+
+std::vector<Cycle> valid_q4_cycles() {
+  const HamSearchResult r =
+      search_hamiltonian_decomposition(make_hypercube_graph(4));
+  EXPECT_EQ(r.status, SearchStatus::kFound);
+  return r.cycles;
+}
+
+TEST(CertifyAdversary, WrongCycleCountRejected) {
+  const Graph g = make_hypercube_graph(4);
+  std::vector<Cycle> cycles = valid_q4_cycles();
+  cycles.pop_back();  // one cycle cannot support gamma = 4
+  const Certificate cert = certify_decomposition(g, cycles, 4, true);
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.failure, CertFailure::kCycleCount);
+  EXPECT_NE(cert.detail.find("requires 2 cycle(s), got 1"),
+            std::string::npos);
+}
+
+TEST(CertifyAdversary, NonHamiltonianCycleRejected) {
+  const Graph g = make_hypercube_graph(4);
+  std::vector<Cycle> cycles = valid_q4_cycles();
+  // Replace the second cycle with a valid 4-cycle of Q_4: every step is
+  // an edge, but twelve nodes are missed.
+  cycles[1] = Cycle({0, 1, 3, 2});
+  const Certificate cert = certify_decomposition(g, cycles, 4, true);
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.failure, CertFailure::kNotHamiltonian);
+  EXPECT_NE(cert.detail.find("visits 4 of 16 nodes"), std::string::npos);
+}
+
+TEST(CertifyAdversary, NonEdgeStepRejected) {
+  const Graph g = make_hypercube_graph(4);
+  // Swapping two interior nodes of the Gray-code cycle makes the step
+  // 0 -> 3 (Hamming distance 2): not an edge of Q_4.
+  std::vector<NodeId> seq = gray_cycle_q4().nodes();
+  std::swap(seq[1], seq[2]);
+  const Certificate cert =
+      certify_decomposition(g, {Cycle(std::move(seq))}, 2, false);
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.failure, CertFailure::kNonEdge);
+  EXPECT_NE(cert.detail.find("non-edge 0-3"), std::string::npos);
+}
+
+TEST(CertifyAdversary, SharedEdgeRejected) {
+  const Graph g = make_hypercube_graph(4);
+  // The same Hamiltonian cycle twice: edge-disjointness fails on the
+  // first re-used edge.
+  const std::vector<Cycle> cycles{gray_cycle_q4(), gray_cycle_q4()};
+  const Certificate cert = certify_decomposition(g, cycles, 4, true);
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.failure, CertFailure::kSharedEdge);
+  EXPECT_NE(cert.detail.find("used twice"), std::string::npos);
+}
+
+TEST(CertifyAdversary, CoverageGapRejected) {
+  const Graph g = make_hypercube_graph(4);
+  // One valid Hamiltonian cycle with gamma = 2 is fine on its own - but
+  // not when the caller demands a partition of E(g) (16 of 32 edges).
+  const std::vector<Cycle> cycles{gray_cycle_q4()};
+  EXPECT_TRUE(certify_decomposition(g, cycles, 2, false).ok);
+  const Certificate cert = certify_decomposition(g, cycles, 2, true);
+  EXPECT_FALSE(cert.ok);
+  EXPECT_EQ(cert.failure, CertFailure::kCoverage);
+  EXPECT_NE(cert.detail.find("16 of 32"), std::string::npos);
+}
+
+TEST(CertifyAdversary, FailureNamesAreStable) {
+  // The CLI and the loader put these names in user-facing diagnostics.
+  EXPECT_STREQ(to_string(CertFailure::kCycleCount), "cycle_count");
+  EXPECT_STREQ(to_string(CertFailure::kNotHamiltonian), "not_hamiltonian");
+  EXPECT_STREQ(to_string(CertFailure::kNonEdge), "non_edge");
+  EXPECT_STREQ(to_string(CertFailure::kSharedEdge), "shared_edge");
+  EXPECT_STREQ(to_string(CertFailure::kCoverage), "coverage");
+}
+
+}  // namespace
+}  // namespace ihc

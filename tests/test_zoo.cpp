@@ -1,0 +1,326 @@
+// The topology zoo: plugin registry dispatch, the membership pipeline
+// (every registered check spec must certify; known non-members must be
+// refuted), the ihc-topology-v1 loader, the search-based families
+// (twisted cube, k-ary torus), the shared memo cache under concurrency,
+// and zoo_sweep report determinism across job counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ihc.hpp"
+#include "exp/exp.hpp"
+#include "topology/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/zoo/kary_torus.hpp"
+#include "topology/zoo/loader.hpp"
+#include "topology/zoo/registry.hpp"
+#include "topology/zoo/twisted_cube.hpp"
+#include "util/error.hpp"
+#include "util/memo_cache.hpp"
+
+#ifndef IHC_SOURCE_DIR
+#error "IHC_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace ihc {
+namespace {
+
+std::string example(const std::string& name) {
+  return std::string(IHC_SOURCE_DIR) + "/examples/" + name;
+}
+
+// --- registry dispatch ----------------------------------------------------
+
+TEST(ZooRegistry, PluginNamesAreUniqueAndComplete) {
+  const auto& plugins = topology_registry();
+  ASSERT_GE(plugins.size(), 8u);
+  std::vector<std::string> names;
+  for (const TopologyPlugin& p : plugins) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_TRUE(p.matches && p.make && p.probe) << p.name;
+    names.push_back(p.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  for (const char* required :
+       {"hypercube", "square-mesh", "hex-mesh", "circulant", "torus3d",
+        "twisted-cube", "kary-torus", "file"}) {
+    EXPECT_NE(find_plugin_by_name(required), nullptr) << required;
+  }
+}
+
+TEST(ZooRegistry, SpecDispatchIsUnambiguous) {
+  // Prefix families must not shadow each other: SQ/TQ/KT claim their
+  // specs before Q/T get a look.
+  const std::pair<const char*, const char*> cases[] = {
+      {"Q4", "hypercube"},        {"SQ4", "square-mesh"},
+      {"H3", "hex-mesh"},         {"C13:1,5", "circulant"},
+      {"T3x4", "torus3d"},        {"TQ3", "twisted-cube"},
+      {"KT4x2", "kary-torus"},    {"net.topology.json", "file"},
+  };
+  for (const auto& [spec, plugin] : cases) {
+    const TopologyPlugin* p = find_plugin(spec);
+    ASSERT_NE(p, nullptr) << spec;
+    EXPECT_EQ(p->name, plugin) << spec;
+  }
+  EXPECT_EQ(find_plugin("X9"), nullptr);
+  EXPECT_EQ(find_plugin(""), nullptr);
+}
+
+TEST(ZooRegistry, FactoryDelegatesToRegistry) {
+  EXPECT_EQ(make_topology("TQ3")->name(), "TQ_3");
+  EXPECT_EQ(make_topology("KT3x2")->name(), "KT_3x2");
+  EXPECT_THROW((void)make_topology("bogus"), ConfigError);
+}
+
+// --- the membership pipeline ----------------------------------------------
+
+TEST(ZooMembership, EveryRegisteredCheckSpecCertifies) {
+  // The acceptance gate of the zoo (and the zoo-smoke CI job): every
+  // plugin's representative specs - hand-coded hints and searched
+  // families alike - must come back kFound.
+  for (const TopologyPlugin& p : topology_registry()) {
+    for (const std::string& spec : p.check_specs) {
+      const MembershipReport r = check_membership(spec);
+      EXPECT_EQ(r.status, SearchStatus::kFound) << spec << ": " << r.detail;
+      EXPECT_EQ(r.plugin, p.name) << spec;
+      EXPECT_GE(r.gamma, 2u) << spec;
+      EXPECT_EQ(r.cycles.size(), r.gamma / 2) << spec;
+      EXPECT_TRUE(
+          certify_decomposition(p.probe(spec).graph, r.cycles, r.gamma,
+                                r.cover_all_edges)
+              .ok)
+          << spec;
+    }
+  }
+}
+
+TEST(ZooMembership, HypercubesQ3ThroughQ6Certify) {
+  for (unsigned m = 3; m <= 6; ++m) {
+    const MembershipReport r = check_membership("Q" + std::to_string(m));
+    EXPECT_EQ(r.status, SearchStatus::kFound) << m;
+    EXPECT_EQ(r.source, DecompSource::kHandCoded) << m;
+    EXPECT_EQ(r.gamma, 2 * (m / 2)) << m;
+  }
+}
+
+TEST(ZooMembership, SearchedFamiliesReportTheirSource) {
+  const MembershipReport tq = check_membership("TQ4");
+  EXPECT_EQ(tq.status, SearchStatus::kFound);
+  EXPECT_EQ(tq.source, DecompSource::kExact);
+  EXPECT_GT(tq.stats.exact_steps, 0u);
+
+  const MembershipReport kt = check_membership("KT4x2");
+  EXPECT_EQ(kt.status, SearchStatus::kFound);
+  EXPECT_EQ(kt.source, DecompSource::kExact);
+}
+
+TEST(ZooMembership, IgnoreHintForcesTheSearchEngine) {
+  const MembershipReport r = check_membership("Q4", {}, true);
+  EXPECT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(r.source, DecompSource::kExact);
+  EXPECT_GT(r.stats.exact_steps, 0u);
+}
+
+TEST(ZooMembership, StarIsRefutedStructurally) {
+  const MembershipReport r =
+      check_membership(example("star6.topology.json"));
+  EXPECT_EQ(r.status, SearchStatus::kRefuted);
+  EXPECT_NE(r.detail.find("not regular"), std::string::npos);
+  EXPECT_TRUE(r.cycles.empty());
+}
+
+TEST(ZooMembership, PetersenIsRefutedExhaustively) {
+  const MembershipReport r =
+      check_membership(example("petersen.topology.json"));
+  EXPECT_EQ(r.status, SearchStatus::kRefuted);
+  EXPECT_TRUE(r.stats.exhausted);
+}
+
+TEST(ZooMembership, FileMemberCertifiesAndRuns) {
+  const MembershipReport r = check_membership(example("k5.topology.json"));
+  EXPECT_EQ(r.status, SearchStatus::kFound);
+  EXPECT_EQ(r.gamma, 4u);
+
+  // A certified file topology is a first-class IHC citizen.
+  const std::shared_ptr<Topology> topo =
+      make_file_topology(example("k5.topology.json"));
+  AtaOptions opt;
+  const AtaResult run = run_ihc(*topo, IhcOptions{.eta = 2}, opt);
+  EXPECT_GT(run.finish, 0u);
+}
+
+TEST(ZooMembership, UnknownSpecThrowsWithGrammar) {
+  try {
+    (void)check_membership("Z9");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected"), std::string::npos);
+  }
+}
+
+// --- the ihc-topology-v1 loader -------------------------------------------
+
+TEST(ZooLoader, ParsesMinimalDocument) {
+  const TopologyFile f = parse_topology_file(
+      R"({"format": "ihc-topology-v1", "nodes": 3,
+          "edges": [[0,1],[1,2],[2,0]]})");
+  EXPECT_EQ(f.name, "custom");
+  EXPECT_EQ(f.graph.node_count(), 3u);
+  EXPECT_EQ(f.graph.edge_count(), 3u);
+  EXPECT_EQ(f.gamma, 0u);
+  EXPECT_TRUE(f.cycles.empty());
+}
+
+TEST(ZooLoader, RejectsSchemaViolations) {
+  EXPECT_THROW((void)parse_topology_file("{}"), ConfigError);
+  EXPECT_THROW((void)parse_topology_file(
+                   R"({"format": "other", "nodes": 3, "edges": [[0,1]]})"),
+               ConfigError);
+  EXPECT_THROW((void)parse_topology_file(
+                   R"({"format": "ihc-topology-v1", "nodes": 3,
+                       "edges": [[0,3]]})"),
+               ConfigError);
+  EXPECT_THROW((void)parse_topology_file(
+                   R"({"format": "ihc-topology-v1", "nodes": 4,
+                       "edges": [[0,1],[1,2],[2,3],[3,0]], "gamma": 3})"),
+               ConfigError);
+}
+
+TEST(ZooLoader, RejectsInvalidEmbeddedCyclesWithDiagnostic) {
+  // The embedded "decomposition" repeats the ring's edges in reverse:
+  // certification must fail and surface the certifier's failure class.
+  try {
+    (void)parse_topology_file(
+        R"({"format": "ihc-topology-v1", "nodes": 4,
+            "edges": [[0,1],[1,2],[2,3],[3,0],[0,2],[1,3]],
+            "gamma": 4,
+            "cycles": [[0,1,2,3],[0,1,2,3]]})");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("shared_edge"), std::string::npos);
+  }
+}
+
+TEST(ZooLoader, ExportRoundTripsThroughParser) {
+  const MembershipReport r = check_membership("TQ3");
+  ASSERT_EQ(r.status, SearchStatus::kFound);
+  const Graph g = make_twisted_cube_graph(3);
+  const std::string doc =
+      serialize_topology_file("tq3", g, r.gamma, r.cycles);
+  const TopologyFile f = parse_topology_file(doc);
+  EXPECT_EQ(f.name, "tq3");
+  EXPECT_EQ(f.graph.node_count(), g.node_count());
+  EXPECT_EQ(f.graph.edge_count(), g.edge_count());
+  EXPECT_EQ(f.gamma, r.gamma);
+  ASSERT_EQ(f.cycles.size(), r.cycles.size());
+  EXPECT_EQ(f.cycles[0].nodes(), r.cycles[0].nodes());
+}
+
+// --- search-based families ------------------------------------------------
+
+TEST(ZooTwistedCube, MatchesPublishedLtq3Adjacency) {
+  // Yang, Evans & Megson's LTQ_3: the level-2 matching twists the
+  // second bit by the parity of x_0.
+  const Graph g = make_twisted_cube_graph(3);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.regular_degree(), 3u);
+  for (const auto& [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+           {0b000, 0b100}, {0b001, 0b111}, {0b010, 0b110}, {0b011, 0b101}}) {
+    EXPECT_TRUE(g.has_edge(u, v)) << u << "-" << v;
+  }
+  EXPECT_FALSE(g.has_edge(0b001, 0b101));  // untwisted partner absent
+}
+
+TEST(ZooTwistedCube, TopologyRunsIhc) {
+  const TwistedCube tq(4);
+  EXPECT_EQ(tq.name(), "TQ_4");
+  EXPECT_EQ(tq.gamma(), 4u);
+  EXPECT_EQ(tq.node_label(5), "0101");
+  AtaOptions opt;
+  const AtaResult run = run_ihc(tq, IhcOptions{.eta = 2}, opt);
+  EXPECT_GT(run.finish, 0u);
+  EXPECT_THROW(TwistedCube(1), ConfigError);
+}
+
+TEST(ZooKaryTorus, StructureAndCoordinates) {
+  const KaryTorus t(4, 2);
+  EXPECT_EQ(t.name(), "KT_4x2");
+  EXPECT_EQ(t.node_count(), 16u);
+  EXPECT_EQ(t.gamma(), 4u);
+  EXPECT_EQ(t.coordinate(7, 0), 3u);  // 7 = (1,3) radix 4
+  EXPECT_EQ(t.coordinate(7, 1), 1u);
+  const Graph g = make_kary_torus_graph(3, 3);
+  EXPECT_EQ(g.node_count(), 27u);
+  EXPECT_EQ(g.regular_degree(), 6u);
+  EXPECT_EQ(g.edge_count(), 3u * 27u);
+  EXPECT_THROW(KaryTorus(2, 2), ConfigError);
+}
+
+// --- the shared memo cache under concurrency ------------------------------
+// Runs under -DIHC_SANITIZE=thread in CI (ctest -R Parallel): the
+// hypercube decomposition memo and the zoo's search memos share
+// util/memo_cache.hpp, so one test exercises every production cache.
+
+TEST(ZooParallel, MemoCachesAreThreadSafe) {
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> lengths(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([i, &lengths] {
+      const std::vector<Cycle> tq = twisted_cube_hamiltonian_cycles(4);
+      const std::vector<Cycle> kt = kary_torus_hamiltonian_cycles(3, 2);
+      const Hypercube q5(5);
+      lengths[i] = tq.size() + kt.size() + q5.hamiltonian_cycles().size();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::size_t len : lengths) EXPECT_EQ(len, 2u + 2u + 2u);
+}
+
+TEST(ZooParallel, MemoCacheComputesOncePerKey) {
+  MemoCache<int, int> cache;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&cache] {
+      for (int k = 0; k < 16; ++k)
+        (void)cache.get_or_compute(k, [k] { return k * k; });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.get_or_compute(3, [] { return -1; }), 9);
+}
+
+// --- zoo_sweep determinism ------------------------------------------------
+
+TEST(ZooSweep, ReportIsByteIdenticalAcrossJobCounts) {
+  const exp::Campaign campaign =
+      exp::make_builtin_campaign("zoo_sweep_quick");
+
+  exp::RunOptions serial;
+  serial.jobs = 1;
+  serial.collect_metrics = true;
+  exp::RunOptions parallel;
+  parallel.jobs = 8;
+  parallel.collect_metrics = true;
+
+  const exp::CampaignResult a = exp::run_campaign(campaign, serial);
+  const exp::CampaignResult b = exp::run_campaign(campaign, parallel);
+  EXPECT_EQ(a.failed_count(), 0u);
+
+  const exp::JsonReportOptions no_timing{.include_timing = false};
+  const std::string doc = exp::json_report(a, no_timing);
+  EXPECT_NE(doc, "");
+  EXPECT_EQ(doc, exp::json_report(b, no_timing));
+
+  // Every trial reports a gap >= 1 against the Section III lower bound.
+  for (const exp::TrialResult& r : a.trials)
+    EXPECT_GE(r.metric("optimality_gap"), 1.0) << r.trial.id;
+}
+
+}  // namespace
+}  // namespace ihc

@@ -39,6 +39,24 @@
 //   ihc_cli verify <file> <topology>
 //       Load a saved decomposition and verify it against the topology.
 //
+//   ihc_cli topology (--list | --check [<spec>] | --decompose <spec> |
+//                     --export <spec>) [options]
+//       The topology zoo (docs/TOPOLOGIES.md): plugin catalog and the
+//       automated class-Lambda membership pipeline.
+//       --list          table of registered plugins (name, spec, source)
+//       --check [<spec>] certify or refute the Hamiltonian decomposition;
+//                       without a spec, checks every plugin's
+//                       representative specs (the zoo-smoke CI gate).
+//                       Exits 1 when any spec fails to certify.
+//       --decompose <spec> run the search pipeline and print/save the
+//                       cycles in the ihc-hc-v1 text format
+//       --export <spec> write the graph (+ certified cycles) as an
+//                       ihc-topology-v1 JSON document
+//       --exact / --heuristic  force one search stage (default: exact
+//                       for small graphs, then heuristic), bypassing
+//                       hand-coded construction hints
+//       --out <file|->  output path for --decompose/--export (default -)
+//
 //   ihc_cli campaign [<name>...] [options]
 //       Run experiment campaigns on the parallel trial engine (all
 //       built-ins when no name is given; see `campaign --list`).
@@ -116,7 +134,9 @@
 // it, and tests/test_cli_help.cpp + scripts/check_docs.py keep this
 // header, the help text and the Markdown docs in sync.
 //
-// Topology grammar: Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k>
+// Topology grammar: Q<m> | SQ<m> | H<m> | C<n>:j1,j2,... | T<m>x<k> |
+// TQ<n> | KT<k>x<n> | <path>.topology.json  (the zoo registry is the
+// source of truth: src/topology/zoo/registry.cpp, docs/TOPOLOGIES.md)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -143,6 +163,8 @@
 #include "topology/hypercube.hpp"
 #include "topology/lambda.hpp"
 #include "topology/square_mesh.hpp"
+#include "topology/zoo/loader.hpp"
+#include "topology/zoo/registry.hpp"
 #include "util/cli_spec.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -178,6 +200,11 @@ struct Args {
   bool single_link = false;
   bool recover = false;
   bool list = false;
+  bool check = false;
+  bool zoo_decompose = false;
+  bool zoo_export = false;
+  bool exact = false;
+  bool heuristic = false;
   bool metrics = false;
   bool analyze = false;
   bool heatmap = false;
@@ -233,6 +260,11 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--repeats") args.repeats = static_cast<int>(std::stol(next()));
     else if (a == "--max-events") args.max_events = static_cast<std::size_t>(std::stoull(next()));
     else if (a == "--list") args.list = true;
+    else if (a == "--check") args.check = true;
+    else if (a == "--decompose") args.zoo_decompose = true;
+    else if (a == "--export") args.zoo_export = true;
+    else if (a == "--exact") args.exact = true;
+    else if (a == "--heuristic") args.heuristic = true;
     else if (a == "--metrics") args.metrics = true;
     else if (a == "--analyze") args.analyze = true;
     else if (a == "--heatmap") args.heatmap = true;
@@ -440,6 +472,167 @@ int cmd_verify(const Args& args) {
   }
   std::printf("INVALID: %s\n", verdict.reason.c_str());
   return 1;
+}
+
+/// Search options implied by --exact/--heuristic.
+HamSearchOptions zoo_search_options(const Args& args) {
+  require(!(args.exact && args.heuristic),
+          "--exact and --heuristic are mutually exclusive");
+  HamSearchOptions options;
+  if (args.exact) options.mode = SearchMode::kExact;
+  if (args.heuristic) options.mode = SearchMode::kHeuristic;
+  return options;
+}
+
+/// One-line provenance for a membership report.
+std::string zoo_source_line(const MembershipReport& report) {
+  switch (report.source) {
+    case DecompSource::kHandCoded:
+      return "hand-coded construction";
+    case DecompSource::kFile:
+      return "embedded in file (certified)";
+    case DecompSource::kExact:
+      return "exact search (" + std::to_string(report.stats.exact_steps) +
+             " steps)";
+    case DecompSource::kHeuristic:
+      return report.stats.cycle_merge
+                 ? "heuristic search (Euler-split cycle-merge)"
+                 : "heuristic search (rotation repair, " +
+                       std::to_string(report.stats.restarts) + " restart(s))";
+  }
+  return "?";
+}
+
+/// Prints the --check block for one spec; returns true when certified.
+bool zoo_print_check(const MembershipReport& report) {
+  std::printf("spec      : %s\n", report.spec.c_str());
+  std::printf("plugin    : %s\n", report.plugin.c_str());
+  std::printf("name      : %s\n", report.display_name.c_str());
+  if (report.degree != 0) {
+    std::printf("nodes     : %u (%u edges, degree %u)\n", report.nodes,
+                report.edges, report.degree);
+  } else {
+    std::printf("nodes     : %u (%u edges, irregular)\n", report.nodes,
+                report.edges);
+  }
+  switch (report.status) {
+    case SearchStatus::kFound:
+      std::printf("gamma     : %u (%zu cycles, cover all edges: %s)\n",
+                  report.gamma, report.cycles.size(),
+                  report.cover_all_edges ? "yes" : "no");
+      std::printf("status    : certified\n");
+      std::printf("source    : %s\n", zoo_source_line(report).c_str());
+      return true;
+    case SearchStatus::kRefuted:
+      std::printf("status    : refuted (not in class Lambda)\n");
+      std::printf("detail    : %s\n", report.detail.c_str());
+      return false;
+    case SearchStatus::kUnknown:
+      std::printf("status    : unknown (search gave up)\n");
+      std::printf("detail    : %s\n", report.detail.c_str());
+      return false;
+  }
+  return false;
+}
+
+int cmd_topology(const Args& args) {
+  if (args.list) {
+    AsciiTable table("topology zoo (docs/TOPOLOGIES.md)");
+    table.set_header({"name", "spec", "source", "summary"});
+    for (const TopologyPlugin& p : topology_registry())
+      table.add_row({p.name, p.spec_format, to_string(p.source), p.summary});
+    table.print();
+    std::printf("%s\n", zoo_spec_help().c_str());
+    return 0;
+  }
+
+  const HamSearchOptions options = zoo_search_options(args);
+  const bool force_search = args.exact || args.heuristic;
+
+  if (args.check) {
+    if (args.positional.size() >= 2) {
+      const MembershipReport report =
+          check_membership(args.positional[1], options, force_search);
+      return zoo_print_check(report) ? 0 : 1;
+    }
+    // No spec: certify every plugin's representative specs - the
+    // zoo-smoke CI gate.  Any uncertified decomposition hard-fails.
+    std::size_t failed = 0;
+    AsciiTable table("class-Lambda membership across the zoo");
+    table.set_header({"spec", "plugin", "N", "gamma", "status", "source"});
+    for (const TopologyPlugin& p : topology_registry()) {
+      for (const std::string& spec : p.check_specs) {
+        const MembershipReport report =
+            check_membership(spec, options, force_search);
+        const bool ok = report.status == SearchStatus::kFound;
+        if (!ok) ++failed;
+        table.add_row({report.spec, report.plugin,
+                       std::to_string(report.nodes),
+                       std::to_string(report.gamma),
+                       ok ? "certified" : "NOT CERTIFIED",
+                       ok ? zoo_source_line(report) : report.detail});
+      }
+    }
+    table.print();
+    if (failed != 0)
+      std::fprintf(stderr, "topology --check: %zu spec(s) failed\n", failed);
+    return failed == 0 ? 0 : 1;
+  }
+
+  if (args.zoo_decompose) {
+    require(args.positional.size() >= 2,
+            "topology --decompose needs a spec");
+    const MembershipReport report =
+        check_membership(args.positional[1], options, force_search);
+    if (report.status != SearchStatus::kFound) {
+      std::fprintf(stderr, "%s: %s\n",
+                   report.status == SearchStatus::kRefuted ? "refuted"
+                                                           : "unknown",
+                   report.detail.c_str());
+      return 1;
+    }
+    const std::string text = serialize_cycles(report.nodes, report.cycles);
+    if (args.out.empty() || args.out == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(args.out, std::ios::binary);
+      require(out.good(), "cannot write " + args.out);
+      out << text;
+      std::printf("wrote %zu cycles for %s to %s (%s)\n",
+                  report.cycles.size(), report.display_name.c_str(),
+                  args.out.c_str(), zoo_source_line(report).c_str());
+    }
+    return 0;
+  }
+
+  if (args.zoo_export) {
+    require(args.positional.size() >= 2, "topology --export needs a spec");
+    const TopologyPlugin* plugin = find_plugin(args.positional[1]);
+    require(plugin != nullptr, "unrecognized topology spec '" +
+                                   args.positional[1] + "'; " +
+                                   zoo_spec_help());
+    const ZooProbe probe = plugin->probe(args.positional[1]);
+    MembershipReport report =
+        check_membership(args.positional[1], options, force_search);
+    const std::string text = serialize_topology_file(
+        report.display_name, probe.graph,
+        report.status == SearchStatus::kFound ? report.gamma : 0,
+        report.cycles);
+    if (args.out.empty() || args.out == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(args.out, std::ios::binary);
+      require(out.good(), "cannot write " + args.out);
+      out << text;
+      std::printf("wrote %s (%u nodes, %zu cycles) to %s\n",
+                  report.display_name.c_str(), report.nodes,
+                  report.cycles.size(), args.out.c_str());
+    }
+    return report.status == SearchStatus::kFound ? 0 : 1;
+  }
+
+  detail::throw_config(
+      "topology needs one of --list, --check, --decompose, --export");
 }
 
 int cmd_campaign(const Args& args) {
@@ -769,6 +962,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "decompose") return cmd_decompose(args);
     if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "topology") return cmd_topology(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "analyze") return cmd_analyze(args);
