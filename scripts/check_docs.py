@@ -39,7 +39,15 @@ them as part of tier-1 when a build is available):
    baseline (which records the sharded A/B job and `hw_threads`) must
    exist at the repo root.
 
-8. Topology-zoo drift: the catalog table in docs/TOPOLOGIES.md must
+8. Profiling drift: docs/PROFILING.md must document every field and
+   phase of the ihc-profile-v1 schema (obs/prof/profiler.cpp to_json);
+   the `--profile` flag must stay in the synopses of the sharded
+   subcommands and be parsed; the bench-diff subcommand must keep its
+   --threshold flag; and every PROFILE_*.json plus every `profile`
+   block embedded in a BENCH_*.json must be a structurally valid
+   ihc-profile-v1 document.
+
+9. Topology-zoo drift: the catalog table in docs/TOPOLOGIES.md must
    list every plugin registered in src/topology/zoo/registry.cpp (name
    and spec grammar, parsed from the `p.name = "...";` /
    `p.spec_format = "...";` assignment pairs) and nothing else; the
@@ -75,7 +83,7 @@ TRACE_EVENTS = [
     "packet_injected", "header_advanced", "delivered", "xmit", "buffered",
     "stalled", "fault_fired", "link_dropped", "stage", "fifo_enqueue",
     "fifo_dequeue", "flit_blocked", "session_arrive", "session_reject",
-    "session",
+    "session", "host_phase",
 ]
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -387,8 +395,9 @@ def check_workload_reports(problems):
 SHARDED_SUBCOMMANDS = ["run", "campaign", "bench-perf", "workload"]
 PARALLEL_DOC_TOKENS = [
     "--shards", "lookahead", "byte-identical", "events_scaling",
-    "hw_threads", "BENCH_PR7.json", "TraceLint", "mailbox",
-    "shard.events", "shard.stalls", "shard.window_count",
+    "hw_threads", "BENCH_PR7.json", "BENCH_PR9.json", "TraceLint",
+    "mailbox", "shard.events", "shard.stalls", "shard.window_count",
+    "docs/PROFILING.md",
 ]
 
 
@@ -564,6 +573,144 @@ def check_topology_zoo(problems):
                         "(.topology.json) missing")
 
 
+# Structure of the ihc-profile-v1 schema (obs/prof/profiler.cpp to_json;
+# docs/PROFILING.md documents exactly these).  Profile documents appear
+# standalone (PROFILE_*.json, e.g. the bench-smoke CI artifact) and
+# embedded as the optional `profile` block of an ihc-bench-v1 report.
+PROFILE_TOP_FIELDS = [
+    "schema", "tool", "hw_threads", "heartbeat_interval_ms", "heartbeats",
+    "total_wall_ms", "attributed_wall_ms", "coverage", "phases", "shards",
+]
+PROFILE_PHASE_FIELDS = ["name", "wall_ms", "exclusive_ms", "count"]
+PROFILE_PHASE_NAMES = [
+    "setup", "route_build", "event_loop", "trace_replay", "report",
+]
+PROFILE_SHARD_FIELDS = [
+    "shard_count", "runs", "windows", "coordinator_ms", "mailbox_drain_ms",
+    "trace_replay_ms", "window_max_busy_ms", "window_min_busy_ms",
+    "imbalance", "per_shard", "stall_hist_us",
+]
+PROFILE_PER_SHARD_FIELDS = [
+    "shard", "busy_ms", "barrier_wait_ms", "events", "idle_windows",
+]
+PROFILE_IMBALANCE_FIELDS = ["max_busy_ms", "min_busy_ms", "busy_ratio"]
+
+
+def validate_profile_doc(problems, rel, doc, where=""):
+    """Structural validation of one ihc-profile-v1 document."""
+    label = f"{rel}{where}"
+    if doc.get("schema") != "ihc-profile-v1":
+        problems.append(f"{label}: schema is {doc.get('schema')!r}, "
+                        "expected 'ihc-profile-v1'")
+        return
+    for field in PROFILE_TOP_FIELDS:
+        if field not in doc:
+            problems.append(f"{label}: missing top-level field '{field}'")
+    phases = doc.get("phases", [])
+    if ([p.get("name") for p in phases] != PROFILE_PHASE_NAMES
+            if isinstance(phases, list) else True):
+        problems.append(f"{label}: 'phases' must list exactly "
+                        f"{PROFILE_PHASE_NAMES}")
+    else:
+        for phase in phases:
+            for field in PROFILE_PHASE_FIELDS:
+                if field not in phase:
+                    problems.append(f"{label}: phase "
+                                    f"{phase.get('name', '?')!r} missing "
+                                    f"field '{field}'")
+    for sec in doc.get("shards", []):
+        sc = sec.get("shard_count", "?")
+        for field in PROFILE_SHARD_FIELDS:
+            if field not in sec:
+                problems.append(f"{label}: shard section {sc} missing "
+                                f"field '{field}'")
+        for field in PROFILE_IMBALANCE_FIELDS:
+            if field not in sec.get("imbalance", {}):
+                problems.append(f"{label}: shard section {sc} imbalance "
+                                f"missing field '{field}'")
+        for row in sec.get("per_shard", []):
+            for field in PROFILE_PER_SHARD_FIELDS:
+                if field not in row:
+                    problems.append(f"{label}: shard section {sc} shard "
+                                    f"{row.get('shard', '?')} missing "
+                                    f"field '{field}'")
+
+
+def check_profiling_surface(problems):
+    profiling_md = REPO / "docs/PROFILING.md"
+    if not profiling_md.exists():
+        problems.append("docs/PROFILING.md: missing")
+        return
+    text = profiling_md.read_text(encoding="utf-8")
+    if "ihc-profile-v1" not in text:
+        problems.append("docs/PROFILING.md: schema name ihc-profile-v1 "
+                        "missing")
+    for field in (PROFILE_TOP_FIELDS + PROFILE_PHASE_FIELDS +
+                  PROFILE_SHARD_FIELDS + PROFILE_PER_SHARD_FIELDS +
+                  PROFILE_IMBALANCE_FIELDS):
+        if f"`{field}`" not in text:
+            problems.append(f"docs/PROFILING.md: ihc-profile-v1 field "
+                            f"'{field}' undocumented")
+    for name in PROFILE_PHASE_NAMES:
+        if f"`{name}`" not in text:
+            problems.append(f"docs/PROFILING.md: phase '{name}' "
+                            "undocumented")
+    for token in ("bench-diff", "--threshold", "--profile", ".trace.json",
+                  "host_phase", "shard.busy_ns", "shard.barrier_wait_ns"):
+        if token not in text:
+            problems.append(f"docs/PROFILING.md: '{token}' undocumented")
+
+    # CLI surface: --profile in the synopses of every sharded subcommand,
+    # both option flags parsed, bench-diff comparing with a threshold.
+    spec = (REPO / "src/util/cli_spec.hpp").read_text(encoding="utf-8")
+    table = spec.split("kCliSubcommands[]", 1)[1]
+    entries = dict(re.findall(r'\{"([\w-]+)",(.*?)\},', table, re.S))
+    for name in SHARDED_SUBCOMMANDS:
+        if name in entries and "--profile" not in entries[name]:
+            problems.append(f"cli_spec.hpp: subcommand '{name}' synopsis "
+                            "lost the --profile flag")
+    if "bench-diff" not in entries:
+        problems.append("cli_spec.hpp: subcommand 'bench-diff' missing "
+                        "from kCliSubcommands")
+    elif "--threshold" not in entries["bench-diff"]:
+        problems.append("cli_spec.hpp: 'bench-diff' synopsis lost the "
+                        "--threshold flag")
+    cli = (REPO / "tools/ihc_cli.cpp").read_text(encoding="utf-8")
+    for flag in ('"--profile"', '"--threshold"'):
+        if flag not in cli:
+            problems.append(f"tools/ihc_cli.cpp: {flag} is in cli_spec.hpp "
+                            "but never parsed")
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    if "docs/PROFILING.md" not in readme:
+        problems.append("README.md: docs/PROFILING.md not linked")
+    if "--profile" not in readme:
+        problems.append("README.md: run flag '--profile' undocumented")
+
+    # Standalone profile documents (Chrome exports end in .trace.json and
+    # follow the trace schema instead, so they are skipped here).
+    for path in sorted(REPO.rglob("PROFILE_*.json")):
+        if path.name.endswith(".trace.json"):
+            continue
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{rel}: not valid JSON ({err})")
+            continue
+        validate_profile_doc(problems, rel, doc)
+
+    # Profile blocks embedded in tracked benchmark baselines.
+    for path in sorted(REPO.glob("BENCH_*.json")):
+        rel = path.relative_to(REPO)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            continue  # reported by check_bench_reports
+        if "profile" in doc:
+            validate_profile_doc(problems, rel, doc["profile"],
+                                 where=" (profile block)")
+
+
 def check_topology_files(problems):
     for path in sorted(REPO.rglob("*.topology.json")):
         rel = path.relative_to(REPO)
@@ -624,6 +771,7 @@ def main():
     check_workload_reports(problems)
     check_fault_schedules(problems)
     check_parallel_surface(problems)
+    check_profiling_surface(problems)
     check_topology_zoo(problems)
     check_topology_files(problems)
     for p in problems:

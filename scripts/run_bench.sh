@@ -1,15 +1,17 @@
 #!/bin/sh
 # Performance baseline: build the CLI and run the pinned bench-perf
 # workloads (see docs/PERFORMANCE.md), writing the ihc-bench-v1 report
-# to BENCH_PR7.json at the repository root.
+# to BENCH_PR9.json at the repository root with its wall-time
+# attribution embedded (--profile, see docs/PROFILING.md).
 #
 #   scripts/run_bench.sh            full protocol (5 repeats, min kept)
 #   scripts/run_bench.sh --quick    CI smoke (2 repeats, filtered grids)
 #
 # Extra arguments are passed through to `ihc_cli bench-perf`, so e.g.
 # `scripts/run_bench.sh --repeats 9 --out bench/today.json` works too.
+# Compare two baselines with `ihc_cli bench-diff old.json new.json`.
 set -eu
 cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build --target ihc_cli >/dev/null
-exec ./build/tools/ihc_cli bench-perf "$@"
+exec ./build/tools/ihc_cli bench-perf --profile PROFILE_PR9.json "$@"

@@ -1,0 +1,138 @@
+#include "exp/bench_diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <ostream>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace ihc::exp {
+
+namespace {
+
+double number_or_zero(const Json& job, std::string_view key) {
+  const Json* v = job.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+std::uint32_t hw_threads_of(const Json& doc) {
+  const Json* v = doc.find("hw_threads");
+  return v != nullptr && v->is_number()
+             ? static_cast<std::uint32_t>(v->as_int())
+             : 0;
+}
+
+std::string fixed(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+bool BenchDiff::any_regression() const {
+  return std::any_of(deltas.begin(), deltas.end(),
+                     [](const BenchDelta& d) { return d.regressed; });
+}
+
+void BenchDiff::print(std::ostream& out) const {
+  std::size_t width = 4;
+  for (const BenchDelta& d : deltas) width = std::max(width, d.name.size());
+  auto pad = [&](std::string s, std::size_t w) {
+    if (s.size() < w) s.append(w - s.size(), ' ');
+    return s;
+  };
+  out << pad("job", width) << "  " << pad("old_ms", 10) << "  "
+      << pad("new_ms", 10) << "  " << pad("ratio", 7) << "  verdict\n";
+  for (const BenchDelta& d : deltas) {
+    std::string verdict = "ok";
+    if (!d.in_old)
+      verdict = "new only";
+    else if (!d.in_new)
+      verdict = "old only";
+    else if (d.ratio == 0.0)
+      verdict = "no baseline";
+    else if (d.regressed)
+      verdict = "REGRESSION";
+    out << pad(d.name, width) << "  "
+        << pad(d.in_old ? fixed(d.old_wall_ms) : "-", 10) << "  "
+        << pad(d.in_new ? fixed(d.new_wall_ms) : "-", 10) << "  "
+        << pad(d.ratio > 0.0 ? fixed(d.ratio) : "-", 7) << "  " << verdict
+        << "\n";
+  }
+  if (old_hw_threads != new_hw_threads)
+    out << "caveat: hw_threads differ (" << old_hw_threads << " -> "
+        << new_hw_threads
+        << "); wall times were measured on different hosts and sharded "
+           "jobs are not comparable across core counts\n";
+  out << (any_regression() ? "REGRESSION" : "PASS") << ": threshold "
+      << fixed(threshold) << "x\n";
+}
+
+Json parse_bench_report(const std::string& text, const std::string& label) {
+  std::string err;
+  std::optional<Json> doc = Json::parse(text, &err);
+  require(doc.has_value(), label + " is not valid JSON: " + err);
+  require(doc->is_object(), label + " is not a JSON object");
+  const Json* schema = doc->find("schema");
+  require(schema != nullptr && schema->is_string() &&
+              schema->as_string() == "ihc-bench-v1",
+          label + " is not an ihc-bench-v1 document");
+  const Json* jobs = doc->find("jobs");
+  require(jobs != nullptr && jobs->is_array(),
+          label + " has no jobs array");
+  for (const Json& job : jobs->items()) {
+    const Json* name = job.find("name");
+    require(job.is_object() && name != nullptr && name->is_string(),
+            label + " has a job without a name");
+  }
+  return *std::move(doc);
+}
+
+BenchDiff diff_bench_reports(const Json& old_doc, const Json& new_doc,
+                             double threshold) {
+  require(threshold > 1.0, "bench-diff threshold must be > 1");
+  BenchDiff diff;
+  diff.threshold = threshold;
+  diff.old_hw_threads = hw_threads_of(old_doc);
+  diff.new_hw_threads = hw_threads_of(new_doc);
+
+  const std::vector<Json>& old_jobs = old_doc.find("jobs")->items();
+  const std::vector<Json>& new_jobs = new_doc.find("jobs")->items();
+  auto find_job = [](const std::vector<Json>& jobs,
+                     std::string_view name) -> const Json* {
+    for (const Json& job : jobs)
+      if (job.find("name")->as_string() == name) return &job;
+    return nullptr;
+  };
+
+  for (const Json& old_job : old_jobs) {
+    BenchDelta d;
+    d.name = old_job.find("name")->as_string();
+    d.in_old = true;
+    d.old_wall_ms = number_or_zero(old_job, "wall_ms");
+    if (const Json* new_job = find_job(new_jobs, d.name)) {
+      d.in_new = true;
+      d.new_wall_ms = number_or_zero(*new_job, "wall_ms");
+      if (d.old_wall_ms > 0.0) {
+        d.ratio = d.new_wall_ms / d.old_wall_ms;
+        d.regressed = d.ratio > threshold;
+      }
+    }
+    diff.deltas.push_back(std::move(d));
+  }
+  for (const Json& new_job : new_jobs) {
+    const std::string name(new_job.find("name")->as_string());
+    if (find_job(old_jobs, name) != nullptr) continue;
+    BenchDelta d;
+    d.name = name;
+    d.in_new = true;
+    d.new_wall_ms = number_or_zero(new_job, "wall_ms");
+    diff.deltas.push_back(std::move(d));
+  }
+  return diff;
+}
+
+}  // namespace ihc::exp

@@ -1,0 +1,66 @@
+/// \file bench_diff.hpp
+/// \brief Regression comparison of two `ihc-bench-v1` reports.
+///
+/// The tracked baselines (BENCH_PR3.json, BENCH_PR7.json,
+/// BENCH_PR9.json) were only schema-validated until now; this module
+/// gives CI teeth.  `ihc_cli bench-diff <old> <new>` matches jobs by
+/// name, reports the per-job wall-time ratio, and flags any job whose
+/// new time exceeds `threshold` x its old time - the CLI exits non-zero
+/// on a flagged job, so a tracked-baseline regression fails the build
+/// instead of rotting silently (docs/PROFILING.md documents the
+/// protocol, including why CI uses a generous threshold: runners vary,
+/// so only large regressions hard-fail there).
+///
+/// Comparisons across hosts are flagged, not forbidden: a mismatch in
+/// the reports' `hw_threads` is surfaced as a caveat line because e.g.
+/// the sharded A/B job's wall time is not comparable across core
+/// counts (docs/PARALLEL.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ihc::exp {
+
+/// One matched (or unmatched) benchmark job in a comparison.
+struct BenchDelta {
+  std::string name;
+  double old_wall_ms = 0.0;
+  double new_wall_ms = 0.0;
+  /// new / old; 0 when the job is missing from either report or the old
+  /// time is zero (flit-style jobs report wall_ms only).
+  double ratio = 0.0;
+  bool in_old = false;
+  bool in_new = false;
+  bool regressed = false;  ///< ratio > threshold on a matched job
+};
+
+struct BenchDiff {
+  double threshold = 0.0;       ///< ratio above which a job regresses
+  std::uint32_t old_hw_threads = 0;
+  std::uint32_t new_hw_threads = 0;
+  std::vector<BenchDelta> deltas;  ///< old-report job order, then new-only
+
+  [[nodiscard]] bool any_regression() const;
+  /// ASCII table plus caveat lines (hw_threads mismatch, unmatched
+  /// jobs); ends with one PASS/REGRESSION verdict line.
+  void print(std::ostream& out) const;
+};
+
+/// Parses one `ihc-bench-v1` document; throws ConfigError on malformed
+/// JSON, a missing/foreign `schema` tag, or a missing `jobs` array.
+/// `label` names the document in error messages (typically its path).
+[[nodiscard]] Json parse_bench_report(const std::string& text,
+                                      const std::string& label);
+
+/// Compares two parsed reports.  `threshold` must be > 1 (a ratio of
+/// 1.0 is "exactly as fast"); jobs found in only one report are listed
+/// but never regress.
+[[nodiscard]] BenchDiff diff_bench_reports(const Json& old_doc,
+                                           const Json& new_doc,
+                                           double threshold);
+
+}  // namespace ihc::exp

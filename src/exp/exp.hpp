@@ -6,9 +6,11 @@
 /// thread pool fans them out across cores deterministically (runner.hpp),
 /// and reporters emit ASCII tables or ihc-campaign-v1 JSON (report.hpp).
 /// The repo's trial-heavy evaluations are registered in campaigns.hpp;
-/// pinned performance workloads (ihc-bench-v1) live in perf.hpp.
+/// pinned performance workloads (ihc-bench-v1) live in perf.hpp and
+/// their regression comparison (`ihc_cli bench-diff`) in bench_diff.hpp.
 #pragma once
 
+#include "exp/bench_diff.hpp"
 #include "exp/campaign.hpp"
 #include "exp/campaigns.hpp"
 #include "exp/perf.hpp"

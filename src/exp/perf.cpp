@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 
 #include "core/ihc.hpp"
+#include "obs/prof/profiler.hpp"
 #include "exp/campaigns.hpp"
 #include "exp/runner.hpp"
 #include "sim/flit_network.hpp"
@@ -76,7 +77,10 @@ BenchJob campaign_ab(std::string name, std::string workload,
     for (const bool legacy : {false, true}) {
       set_default_engine_legacy(legacy);
       set_default_shards(legacy ? 0 : optimized_shards);
-      const Campaign c = make_builtin_campaign(campaign);
+      const Campaign c = [&] {
+        const obs::prof::ScopedPhase setup(obs::prof::Phase::kSetup);
+        return make_builtin_campaign(campaign);
+      }();
       CampaignResult last;
       const double ms = wall_ms_once([&] { last = run_campaign(c, ro); });
       if (legacy) {
@@ -249,6 +253,7 @@ Json BenchReport::to_json() const {
       .set("hw_threads", static_cast<std::int64_t>(hw_threads))
       .set("jobs", std::move(job_array))
       .set("speedups", std::move(speedups));
+  if (profile.is_object()) doc.set("profile", profile);
   return doc;
 }
 

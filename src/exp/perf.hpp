@@ -15,13 +15,17 @@
 /// builds or load phases.
 ///
 /// Results serialize as an `ihc-bench-v1` JSON document (see
-/// docs/PERFORMANCE.md for the schema) written to BENCH_PR7.json at the
+/// docs/PERFORMANCE.md for the schema) written to BENCH_PR9.json at the
 /// repo root by scripts/run_bench.sh and validated by
-/// scripts/check_docs.py.  The report records the host's hardware
+/// scripts/check_docs.py; `ihc_cli bench-diff` compares two such
+/// documents job-by-job and exits non-zero past a regression threshold
+/// (exp/bench_diff.hpp).  The report records the host's hardware
 /// concurrency (`hw_threads`): the sharded A/B job's speedup is only
 /// meaningful relative to it - on a single-core runner the expected
 /// sharded speedup is <= 1 and the job's value is its byte-identity
-/// check (docs/PARALLEL.md).
+/// check (docs/PARALLEL.md).  When the CLI runs with `--profile`, the
+/// report embeds the wall-clock profiler's `ihc-profile-v1` document as
+/// a `profile` block (docs/PROFILING.md).
 #pragma once
 
 #include <cstdint>
@@ -62,6 +66,9 @@ struct BenchReport {
   /// context every sharded-speedup number must be read against.
   std::uint32_t hw_threads = 0;
   std::vector<BenchJob> jobs;
+  /// Optional embedded `ihc-profile-v1` document (set by the CLI when
+  /// bench-perf runs under --profile); null when absent.
+  Json profile;
 
   /// nullptr when no job has that name.
   [[nodiscard]] const BenchJob* find(std::string_view name) const;

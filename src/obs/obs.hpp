@@ -5,4 +5,5 @@
 
 #include "obs/analyze/analysis.hpp"  // IWYU pragma: export
 #include "obs/metrics.hpp"           // IWYU pragma: export
+#include "obs/prof/profiler.hpp"     // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export

@@ -1,0 +1,249 @@
+#include "obs/prof/profiler.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace ihc::obs::prof {
+
+namespace {
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+Json shard_section_json(std::uint32_t shard_count, std::uint64_t runs,
+                        std::uint64_t windows, std::uint64_t coordinator_ns,
+                        std::uint64_t mailbox_ns, std::uint64_t replay_ns,
+                        std::uint64_t wmax_ns, std::uint64_t wmin_ns,
+                        const std::vector<ShardWindowStats>& shards) {
+  Json sec = Json::object();
+  sec.set("shard_count", static_cast<std::int64_t>(shard_count));
+  sec.set("runs", static_cast<std::int64_t>(runs));
+  sec.set("windows", static_cast<std::int64_t>(windows));
+  sec.set("coordinator_ms", ms(coordinator_ns));
+  sec.set("mailbox_drain_ms", ms(mailbox_ns));
+  sec.set("trace_replay_ms", ms(replay_ns));
+  sec.set("window_max_busy_ms", ms(wmax_ns));
+  sec.set("window_min_busy_ms", ms(wmin_ns));
+
+  std::uint64_t max_busy = 0;
+  std::uint64_t min_busy = ~std::uint64_t{0};
+  std::array<std::uint64_t, kStallBuckets> hist{};
+  Json per_shard = Json::array();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardWindowStats& sh = shards[s];
+    if (sh.busy_ns > max_busy) max_busy = sh.busy_ns;
+    if (sh.busy_ns < min_busy) min_busy = sh.busy_ns;
+    for (std::size_t b = 0; b < kStallBuckets; ++b)
+      hist[b] += sh.stall_hist[b];
+    Json row = Json::object();
+    row.set("shard", static_cast<std::int64_t>(s));
+    row.set("busy_ms", ms(sh.busy_ns));
+    row.set("barrier_wait_ms", ms(sh.barrier_wait_ns));
+    row.set("events", static_cast<std::int64_t>(sh.events));
+    row.set("idle_windows", static_cast<std::int64_t>(sh.idle_windows));
+    per_shard.push(std::move(row));
+  }
+  if (shards.empty()) min_busy = 0;
+
+  Json imbalance = Json::object();
+  imbalance.set("max_busy_ms", ms(max_busy));
+  imbalance.set("min_busy_ms", ms(min_busy));
+  imbalance.set("busy_ratio", min_busy == 0
+                                  ? 0.0
+                                  : static_cast<double>(max_busy) /
+                                        static_cast<double>(min_busy));
+  sec.set("imbalance", std::move(imbalance));
+  sec.set("per_shard", std::move(per_shard));
+
+  Json hist_json = Json::array();
+  for (const std::uint64_t count : hist)
+    hist_json.push(static_cast<std::int64_t>(count));
+  sec.set("stall_hist_us", std::move(hist_json));
+  return sec;
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kSetup: return "setup";
+    case Phase::kRouteBuild: return "route_build";
+    case Phase::kEventLoop: return "event_loop";
+    case Phase::kTraceReplay: return "trace_replay";
+    case Phase::kReport: return "report";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+WallProfiler::WallProfiler()
+    : created_ns_(now_ns()), last_beat_ns_(created_ns_) {}
+
+void WallProfiler::add_phase(Phase p, std::uint64_t total_ns,
+                             std::uint64_t exclusive_ns,
+                             std::uint64_t count) noexcept {
+  const auto i = static_cast<std::size_t>(p);
+  phase_total_ns_[i].fetch_add(total_ns, std::memory_order_relaxed);
+  phase_excl_ns_[i].fetch_add(exclusive_ns, std::memory_order_relaxed);
+  phase_count_[i].fetch_add(count, std::memory_order_relaxed);
+}
+
+void WallProfiler::record_parallel_run(const ParallelRunRecord& rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Section& sec = sections_[rec.shard_count];
+  ++sec.runs;
+  sec.windows += rec.windows;
+  sec.coordinator_ns += rec.coordinator_ns;
+  sec.mailbox_drain_ns += rec.mailbox_drain_ns;
+  sec.trace_replay_ns += rec.trace_replay_ns;
+  sec.window_max_busy_ns += rec.window_max_busy_ns;
+  sec.window_min_busy_ns += rec.window_min_busy_ns;
+  if (sec.shards.size() < rec.shards.size())
+    sec.shards.resize(rec.shards.size());
+  for (std::size_t s = 0; s < rec.shards.size(); ++s) {
+    ShardWindowStats& into = sec.shards[s];
+    const ShardWindowStats& from = rec.shards[s];
+    into.busy_ns += from.busy_ns;
+    into.barrier_wait_ns += from.barrier_wait_ns;
+    into.events += from.events;
+    into.idle_windows += from.idle_windows;
+    for (std::size_t b = 0; b < kStallBuckets; ++b)
+      into.stall_hist[b] += from.stall_hist[b];
+  }
+}
+
+void WallProfiler::heartbeat(const char* label, std::uint64_t events,
+                             SimTime sim_ps, std::uint64_t windows) noexcept {
+  const std::uint64_t now = now_ns();
+  std::uint64_t last = last_beat_ns_.load(std::memory_order_relaxed);
+  if (now - last < interval_ns_.load(std::memory_order_relaxed)) return;
+  // One thread wins the CAS and prints; racing threads just move on.
+  if (!last_beat_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed))
+    return;
+  beats_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "[ihc-prof] +%.1fs %s: %llu events, sim %.3f ms, "
+               "%llu windows\n",
+               static_cast<double>(now - created_ns_) / 1e9, label,
+               static_cast<unsigned long long>(events),
+               static_cast<double>(sim_ps) / 1e9,
+               static_cast<unsigned long long>(windows));
+}
+
+Json WallProfiler::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", "ihc-profile-v1");
+  doc.set("tool", "ihc_cli --profile");
+  doc.set("hw_threads",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  doc.set("heartbeat_interval_ms",
+          static_cast<std::int64_t>(
+              interval_ns_.load(std::memory_order_relaxed) / 1'000'000));
+  doc.set("heartbeats", static_cast<std::int64_t>(heartbeats()));
+
+  const std::uint64_t total_ns = elapsed_ns();
+  std::uint64_t attributed_ns = 0;
+  Json phases = Json::array();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::uint64_t excl = phase_excl_ns_[i].load(std::memory_order_relaxed);
+    attributed_ns += excl;
+    Json row = Json::object();
+    row.set("name", phase_name(static_cast<Phase>(i)));
+    row.set("wall_ms", ms(phase_total_ns_[i].load(std::memory_order_relaxed)));
+    row.set("exclusive_ms", ms(excl));
+    row.set("count", static_cast<std::int64_t>(
+                         phase_count_[i].load(std::memory_order_relaxed)));
+    phases.push(std::move(row));
+  }
+  doc.set("total_wall_ms", ms(total_ns));
+  doc.set("attributed_wall_ms", ms(attributed_ns));
+  doc.set("coverage", total_ns == 0 ? 0.0
+                                    : static_cast<double>(attributed_ns) /
+                                          static_cast<double>(total_ns));
+  doc.set("phases", std::move(phases));
+
+  Json shards = Json::array();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [shard_count, sec] : sections_)
+      shards.push(shard_section_json(
+          shard_count, sec.runs, sec.windows, sec.coordinator_ns,
+          sec.mailbox_drain_ns, sec.trace_replay_ns, sec.window_max_busy_ns,
+          sec.window_min_busy_ns, sec.shards));
+  }
+  doc.set("shards", std::move(shards));
+  return doc;
+}
+
+void WallProfiler::write_chrome(std::ostream& out) const {
+  ChromeTraceSink sink(out);
+  std::uint32_t track = 0;
+
+  auto emit = [&](TraceEvent e) {
+    const std::string reason = validate_event(e);
+    IHC_ENSURE(reason.empty(), "invalid host_phase event: " + reason);
+    sink.event(e);
+  };
+  auto meta = [&](const char* name, std::uint32_t t, std::string label) {
+    TraceEvent e;
+    e.name = name;
+    e.phase = TraceEvent::Phase::kMetadata;
+    e.track = t;
+    e.detail = std::move(label);
+    emit(std::move(e));
+  };
+  // Host nanoseconds render as chrome microseconds through the
+  // picosecond path (ns * 1000 ps, sink divides by 1e6).
+  auto span = [&](std::uint32_t t, std::uint64_t from_ns,
+                  std::uint64_t dur_ns, std::string label) {
+    TraceEvent e;
+    e.name = "host_phase";
+    e.cat = "prof";
+    e.phase = TraceEvent::Phase::kSpan;
+    e.ts = static_cast<SimTime>(from_ns * 1000);
+    e.dur = static_cast<SimTime>(dur_ns * 1000);
+    e.track = t;
+    e.detail = std::move(label);
+    emit(std::move(e));
+  };
+
+  meta("process_name", 0, "ihc-prof");
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto p = static_cast<Phase>(i);
+    meta("thread_name", track, std::string("phase ") + phase_name(p));
+    const std::uint64_t total =
+        phase_total_ns_[i].load(std::memory_order_relaxed);
+    if (total != 0) span(track, 0, total, phase_name(p));
+    ++track;
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [shard_count, sec] : sections_) {
+    const std::string prefix = "shards=" + std::to_string(shard_count);
+    meta("thread_name", track, prefix + " coordinator");
+    span(track, 0, sec.coordinator_ns, prefix + " coordinator");
+    span(track, sec.coordinator_ns, sec.mailbox_drain_ns,
+         prefix + " mailbox_drain");
+    ++track;
+    for (std::size_t s = 0; s < sec.shards.size(); ++s) {
+      const ShardWindowStats& sh = sec.shards[s];
+      meta("thread_name", track,
+           prefix + " shard " + std::to_string(s));
+      span(track, 0, sh.busy_ns, prefix + " busy");
+      span(track, sh.busy_ns, sh.barrier_wait_ns, prefix + " barrier_wait");
+      ++track;
+    }
+  }
+  sink.close();
+}
+
+void set_global_profiler(WallProfiler* p) noexcept {
+  detail::g_profiler.store(p, std::memory_order_release);
+}
+
+}  // namespace ihc::obs::prof

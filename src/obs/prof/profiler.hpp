@@ -1,0 +1,230 @@
+/// \file profiler.hpp
+/// \brief Zero-overhead-when-off wall-clock (host-time) profiling.
+///
+/// PRs 2/4 built *simulated-time* observability (ihc-trace-v1 and the
+/// analysis engine); this module is the *host-time* counterpart, built
+/// to answer ROADMAP item 1's open question: where does the wall clock
+/// go in a sharded run?  It provides
+///
+///  * ScopedPhase - RAII timers over the coarse host phases of a run
+///    (setup / route-build / event-loop / trace-replay / report), all
+///    stamped from std::chrono::steady_clock and kept strictly out of
+///    simulated results;
+///  * per-shard x per-window breakdown recorded by the parallel engine
+///    (compute vs. barrier-wait vs. mailbox-drain vs. coordinator time,
+///    plus an imbalance summary and a log2-microsecond stall histogram);
+///  * a rate-limited stderr heartbeat so Q_20-scale runs are not silent
+///    for minutes;
+///  * serialization as schema-versioned `ihc-profile-v1` JSON and as a
+///    Chrome trace (`host_phase` spans through ChromeTraceSink).
+///
+/// Activation follows the Tracer's null-sink idiom: instrumentation
+/// sites read one process-global pointer (global_profiler()) and branch
+/// on null, so unprofiled runs - tier-1 tests, the seed goldens - pay a
+/// single predictable branch and produce byte-identical outputs
+/// (asserted in tests/test_obs_prof.cpp).  The CLI owns the profiler's
+/// lifetime: `--profile <file>` installs one for the process and writes
+/// the report on exit (docs/PROFILING.md).
+///
+/// Wall-clock numbers are inherently nondeterministic; they live only in
+/// profile documents and (when a profiler is active) in the gated
+/// `shard.busy_ns` / `shard.barrier_wait_ns` metrics - never in stats,
+/// ledgers, traces, or any simulated-result path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "util/json.hpp"
+
+namespace ihc::obs::prof {
+
+/// Coarse host phases of a run.  kEventLoop covers a simulator's run()
+/// (sequential, flit-level, or parallel-windowed); kTraceReplay is the
+/// parallel coordinator's single-threaded trace replay (nested inside
+/// kEventLoop, so it contributes no *exclusive* time); kReport covers
+/// result assembly and serialization.
+enum class Phase : std::uint8_t {
+  kSetup = 0,     ///< topology build, decomposition, campaign assembly
+  kRouteBuild,    ///< BFS all-destination routing tables
+  kEventLoop,     ///< simulator main loops (all engines)
+  kTraceReplay,   ///< parallel coordinator's deferred-trace replay
+  kReport,        ///< result assembly + JSON/ASCII serialization
+  kCount,
+};
+
+inline constexpr std::size_t kPhaseCount =
+    static_cast<std::size_t>(Phase::kCount);
+
+[[nodiscard]] const char* phase_name(Phase p) noexcept;
+
+/// Monotonic host time in nanoseconds (steady_clock).
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Barrier-stall histogram buckets: log2 microseconds.  Bucket 0 holds
+/// waits under 1 us; bucket b >= 1 holds [2^(b-1), 2^b) us; the last
+/// bucket is open-ended.
+inline constexpr std::size_t kStallBuckets = 16;
+
+[[nodiscard]] inline std::size_t stall_bucket(std::uint64_t wait_ns) noexcept {
+  const std::uint64_t us = wait_ns / 1000;
+  std::size_t b = 0;
+  while (b + 1 < kStallBuckets && (std::uint64_t{1} << b) <= us) ++b;
+  return b;
+}
+
+/// Wall-clock accumulators for one shard over one (or more) run() calls.
+struct ShardWindowStats {
+  std::uint64_t busy_ns = 0;          ///< inside run_window (compute)
+  std::uint64_t barrier_wait_ns = 0;  ///< inside barrier arrive_and_wait
+  std::uint64_t events = 0;           ///< events popped
+  std::uint64_t idle_windows = 0;     ///< windows with zero pops
+  std::array<std::uint64_t, kStallBuckets> stall_hist{};
+};
+
+/// One ParallelNetwork::run()'s host-time record, handed to the global
+/// profiler by the main thread after the workers have joined.
+struct ParallelRunRecord {
+  std::uint32_t shard_count = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t coordinator_ns = 0;    ///< whole coordinate() body
+  std::uint64_t mailbox_drain_ns = 0;  ///< drain_mailboxes() share
+  std::uint64_t trace_replay_ns = 0;   ///< replay_trace() share
+  /// Sum over windows of the busiest / laziest shard's compute time in
+  /// that window: the per-window imbalance integral.  Equal sums mean a
+  /// perfectly balanced partition; window_max_busy_ns bounds the
+  /// critical path a barrier schedule can achieve.
+  std::uint64_t window_max_busy_ns = 0;
+  std::uint64_t window_min_busy_ns = 0;
+  std::vector<ShardWindowStats> shards;
+};
+
+/// Thread-safe process-wide collector.  Phase totals are atomics (scopes
+/// close on arbitrary threads); shard sections are aggregated under a
+/// mutex, keyed by shard count so e.g. a campaign mixing --shards 1 and
+/// --shards 4 trials reports the two configurations separately.
+class WallProfiler {
+ public:
+  WallProfiler();
+
+  /// Folds one closed scope into phase `p`.  `exclusive_ns` is nonzero
+  /// only for outermost-on-their-thread scopes; summing it across phases
+  /// never double-counts nested time, which is what makes the report's
+  /// `coverage` ratio meaningful.
+  void add_phase(Phase p, std::uint64_t total_ns, std::uint64_t exclusive_ns,
+                 std::uint64_t count) noexcept;
+
+  void record_parallel_run(const ParallelRunRecord& rec);
+
+  /// Rate-limited progress line on stderr; safe from any thread.  The
+  /// fields are best-effort progress hints, not part of any schema.
+  void heartbeat(const char* label, std::uint64_t events, SimTime sim_ps,
+                 std::uint64_t windows) noexcept;
+  void set_heartbeat_interval_ms(std::uint64_t ms) noexcept {
+    interval_ns_.store(ms * 1'000'000, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t heartbeats() const noexcept {
+    return beats_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since construction (the report's total_wall_ms).
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return now_ns() - created_ns_;
+  }
+
+  /// The `ihc-profile-v1` document (docs/PROFILING.md).  Milliseconds
+  /// throughout; `coverage` = attributed_wall_ms / total_wall_ms.
+  [[nodiscard]] Json to_json() const;
+
+  /// The same data as a Chrome trace: one `host_phase` span per phase
+  /// and per shard-section lane, streamed through ChromeTraceSink.
+  void write_chrome(std::ostream& out) const;
+
+ private:
+  struct Section {
+    std::uint64_t runs = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t coordinator_ns = 0;
+    std::uint64_t mailbox_drain_ns = 0;
+    std::uint64_t trace_replay_ns = 0;
+    std::uint64_t window_max_busy_ns = 0;
+    std::uint64_t window_min_busy_ns = 0;
+    std::vector<ShardWindowStats> shards;
+  };
+
+  std::uint64_t created_ns_;
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_total_ns_{};
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_excl_ns_{};
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_count_{};
+  std::atomic<std::uint64_t> interval_ns_{2'000'000'000};
+  std::atomic<std::uint64_t> last_beat_ns_;
+  std::atomic<std::uint64_t> beats_{0};
+  mutable std::mutex mu_;                    ///< guards sections_
+  std::map<std::uint32_t, Section> sections_;  ///< keyed by shard count
+};
+
+namespace detail {
+/// The process-global profiler pointer; the single word every
+/// instrumentation site reads.  Inline so the null check compiles to a
+/// load + branch with no function call.
+inline std::atomic<WallProfiler*> g_profiler{nullptr};
+}  // namespace detail
+
+[[nodiscard]] inline WallProfiler* global_profiler() noexcept {
+  return detail::g_profiler.load(std::memory_order_acquire);
+}
+
+/// Installs (or, with nullptr, removes) the process profiler.  Not
+/// thread-safe against in-flight scopes: call before spawning workers
+/// and after joining them, as the CLI does.
+void set_global_profiler(WallProfiler* p) noexcept;
+
+/// RAII phase scope.  Captures the global pointer once at construction;
+/// when no profiler is installed both constructor and destructor are a
+/// load + branch.  A thread_local depth counter marks the outermost
+/// scope per thread - only those contribute exclusive time, so nesting
+/// (kTraceReplay inside kEventLoop, kRouteBuild inside kSetup) never
+/// double-counts against coverage.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase p) noexcept : prof_(global_profiler()),
+                                           phase_(p) {
+    if (prof_ == nullptr) return;
+    outermost_ = (scope_depth()++ == 0);
+    start_ = now_ns();
+  }
+  ~ScopedPhase() {
+    if (prof_ == nullptr) return;
+    const std::uint64_t dur = now_ns() - start_;
+    --scope_depth();
+    prof_->add_phase(phase_, dur, outermost_ ? dur : 0, 1);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  static std::uint32_t& scope_depth() noexcept {
+    thread_local std::uint32_t depth = 0;
+    return depth;
+  }
+
+  WallProfiler* prof_;
+  Phase phase_;
+  std::uint64_t start_ = 0;
+  bool outermost_ = false;
+};
+
+}  // namespace ihc::obs::prof

@@ -96,6 +96,10 @@ std::string validate_event(const TraceEvent& e) {
        {&TraceEvent::link, &TraceEvent::vc, &TraceEvent::flow,
         &TraceEvent::pos},
        {"fifo_full", "channel_owned", "link_dead", "slow_node"}},
+      // Host wall-clock span from the profiler's Chrome export
+      // (obs/prof/profiler.hpp); ts/dur are steady-clock nanoseconds
+      // rendered through the picosecond path, not simulated time.
+      {"host_phase", "prof", Phase::kSpan, {}, {}},
   };
   for (const Rule& rule : rules) {
     if (rule.name != name) continue;
@@ -111,8 +115,8 @@ std::string validate_event(const TraceEvent& e) {
         return std::string(name) + ": missing required field";
     if (rule.details.size() != 0 && !is_one_of(e.detail, rule.details))
       return std::string(name) + ": invalid detail '" + e.detail + "'";
-    if (name == "stage" && e.detail.empty())
-      return "stage: needs a label in detail";
+    if ((name == "stage" || name == "host_phase") && e.detail.empty())
+      return std::string(name) + ": needs a label in detail";
     return {};
   }
   return "unknown event '" + std::string(name) + "'";

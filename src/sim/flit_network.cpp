@@ -4,6 +4,7 @@
 
 #include "sim/fault_schedule.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -220,10 +221,15 @@ bool FlitNetwork::advance_link(LinkId l, std::uint64_t cycle) {
 }
 
 FlitRunResult FlitNetwork::run(std::uint64_t max_cycles) {
+  const obs::prof::ScopedPhase prof_scope(obs::prof::Phase::kEventLoop);
+  obs::prof::WallProfiler* const prof = obs::prof::global_profiler();
   FlitRunResult result;
   std::uint64_t idle_cycles = 0;
   std::uint64_t events = 0;  // flit micro-ops: consumes, hops, injections
   for (std::uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+    // Progress heartbeat every 4k flit cycles; rate-limited inside.
+    if (prof != nullptr && (cycle & 0xFFFu) == 0)
+      prof->heartbeat("event_loop", events, static_cast<SimTime>(cycle), 0);
     std::uint64_t moved = consume(cycle);
     for (LinkId l = 0; l < g_->link_count(); ++l) {
       if (advance_link(l, cycle)) {

@@ -4,6 +4,7 @@
 
 #include "sim/fault_schedule.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -545,12 +546,17 @@ void Network::process_background_flow(const Event& ev) {
 }
 
 void Network::run() {
+  const obs::prof::ScopedPhase prof_scope(obs::prof::Phase::kEventLoop);
+  obs::prof::WallProfiler* const prof = obs::prof::global_profiler();
   ensure_link_table();
   start_background_if_needed();
   restart_background_if_needed();
   while (!queue_.empty()) {
     const Event ev = queue_.pop_min();
     ++stats_.events_processed;
+    // Progress heartbeat every 64k events; rate-limited inside.
+    if (prof != nullptr && (stats_.events_processed & 0xFFFFu) == 0)
+      prof->heartbeat("event_loop", stats_.events_processed, ev.time, 0);
     switch (ev.kind) {
       case EventKind::kBackgroundLink:
         --bg_alive_;

@@ -94,6 +94,16 @@ void ParallelNetwork::flush_metrics() {
     metrics_->observe("shard.stalls", static_cast<double>(sh.idle_windows));
   }
   metrics_->count("shard.window_count", static_cast<std::int64_t>(windows_));
+  if (obs::prof::global_profiler() != nullptr) {
+    // Host-time counters (docs/PROFILING.md): emitted only while a
+    // profiler is installed, so unprofiled reports stay byte-identical.
+    for (const Shard& sh : shards_) {
+      metrics_->observe("shard.busy_ns",
+                        static_cast<double>(sh.prof_busy_total));
+      metrics_->observe("shard.barrier_wait_ns",
+                        static_cast<double>(sh.prof_barrier_total));
+    }
+  }
 }
 
 void ParallelNetwork::ensure_link_table() {
@@ -178,6 +188,8 @@ FlowId ParallelNetwork::add_flow(FlowSpec spec) {
 
 void ParallelNetwork::run_window(std::uint32_t sid) {
   Shard& sh = shards_[sid];
+  const std::uint64_t prof_t0 =
+      prof_ != nullptr ? obs::prof::now_ns() : 0;
   sh.pops = 0;
   PEvent ev;
   while (sh.queue.pop_min_before(window_end_, ev)) {
@@ -200,6 +212,13 @@ void ParallelNetwork::run_window(std::uint32_t sid) {
   }
   sh.lifetime_events += sh.pops;
   if (sh.pops == 0) ++sh.idle_windows;
+  if (prof_ != nullptr) {
+    const std::uint64_t busy = obs::prof::now_ns() - prof_t0;
+    sh.prof.busy_ns += busy;
+    // The coordinator reads this window's scratch at the barrier for the
+    // per-window imbalance integral; the barrier orders the accesses.
+    sh.prof_window_busy = busy;
+  }
 }
 
 NodeId ParallelNetwork::route_node(const RouteView& view,
@@ -927,7 +946,10 @@ void ParallelNetwork::schedule_next_window() {
 }
 
 void ParallelNetwork::coordinate() {
+  const bool prof = prof_ != nullptr;
+  const std::uint64_t prof_c0 = prof ? obs::prof::now_ns() : 0;
   drain_mailboxes();
+  if (prof) prof_mailbox_ns_ += obs::prof::now_ns() - prof_c0;
   // Deferred wormhole in-link holds: max is commutative, so the merged
   // busy time is independent of shard count and application order.
   for (Shard& sh : shards_) {
@@ -937,8 +959,25 @@ void ParallelNetwork::coordinate() {
   }
   fold_accounting();
   fire_completions();
+  const std::uint64_t prof_r0 = prof ? obs::prof::now_ns() : 0;
   replay_trace();
+  if (prof) prof_replay_ns_ += obs::prof::now_ns() - prof_r0;
   schedule_next_window();
+  if (prof) {
+    std::uint64_t wmax = 0;
+    std::uint64_t wmin = ~std::uint64_t{0};
+    std::uint64_t events = 0;
+    for (const Shard& sh : shards_) {
+      wmax = std::max(wmax, sh.prof_window_busy);
+      wmin = std::min(wmin, sh.prof_window_busy);
+      events += sh.lifetime_events;
+    }
+    prof_wmax_ns_ += wmax;
+    prof_wmin_ns_ += wmin;
+    prof_coord_ns_ += obs::prof::now_ns() - prof_c0;
+    prof_->heartbeat("event_loop", events, window_end_,
+                     windows_ - prof_windows_base_);
+  }
 }
 
 void ParallelNetwork::grow_flow_state() {
@@ -975,9 +1014,46 @@ void ParallelNetwork::finalize_run() {
       sh.flow_finish[i] = 0;
     }
   }
+  if (prof_ != nullptr) {
+    // Fold this run()'s host-time record into the process profiler; the
+    // workers have joined, so every shard's accumulators are quiescent.
+    obs::prof::ParallelRunRecord rec;
+    rec.shard_count = part_.shard_count();
+    rec.windows = windows_ - prof_windows_base_;
+    rec.coordinator_ns = prof_coord_ns_;
+    rec.mailbox_drain_ns = prof_mailbox_ns_;
+    rec.trace_replay_ns = prof_replay_ns_;
+    rec.window_max_busy_ns = prof_wmax_ns_;
+    rec.window_min_busy_ns = prof_wmin_ns_;
+    rec.shards.reserve(shards_.size());
+    for (Shard& sh : shards_) {
+      obs::prof::ShardWindowStats s = sh.prof;
+      s.events = sh.lifetime_events - sh.prof_events_base;
+      s.idle_windows = sh.idle_windows - sh.prof_idle_base;
+      rec.shards.push_back(s);
+      sh.prof_busy_total += sh.prof.busy_ns;
+      sh.prof_barrier_total += sh.prof.barrier_wait_ns;
+    }
+    if (prof_replay_ns_ != 0)
+      prof_->add_phase(obs::prof::Phase::kTraceReplay, prof_replay_ns_, 0, 1);
+    prof_->record_parallel_run(rec);
+  }
 }
 
 void ParallelNetwork::run() {
+  const obs::prof::ScopedPhase prof_scope(obs::prof::Phase::kEventLoop);
+  prof_ = obs::prof::global_profiler();
+  if (prof_ != nullptr) {
+    prof_coord_ns_ = prof_mailbox_ns_ = prof_replay_ns_ = 0;
+    prof_wmax_ns_ = prof_wmin_ns_ = 0;
+    prof_windows_base_ = windows_;
+    for (Shard& sh : shards_) {
+      sh.prof = obs::prof::ShardWindowStats{};
+      sh.prof_window_busy = 0;
+      sh.prof_events_base = sh.lifetime_events;
+      sh.prof_idle_base = sh.idle_windows;
+    }
+  }
   check_parallel_support();
   ensure_link_table();
   grow_flow_state();
@@ -1026,7 +1102,19 @@ void ParallelNetwork::run() {
             worker_errors[sid] = std::current_exception();
             failed.store(true, std::memory_order_release);
           }
-          barrier.arrive_and_wait();
+          if (prof_ != nullptr) {
+            // Barrier wait = imbalance (waiting for the slowest shard)
+            // plus the completion step itself, which runs coordinate()
+            // on one of the waiting threads (docs/PROFILING.md).
+            const std::uint64_t w0 = obs::prof::now_ns();
+            barrier.arrive_and_wait();
+            const std::uint64_t wait = obs::prof::now_ns() - w0;
+            Shard& sh = shards_[sid];
+            sh.prof.barrier_wait_ns += wait;
+            ++sh.prof.stall_hist[obs::prof::stall_bucket(wait)];
+          } else {
+            barrier.arrive_and_wait();
+          }
         }
       });
     }

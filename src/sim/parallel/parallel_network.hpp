@@ -46,6 +46,7 @@
 
 #include "graph/cycle.hpp"
 #include "graph/graph.hpp"
+#include "obs/prof/profiler.hpp"
 #include "sim/delivery.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
@@ -182,6 +183,15 @@ class ParallelNetwork {
     std::uint32_t trace_sub = 0;            // scratch, per event
     bool bg_kept = false;                   // scratch, per arena-flow event
 
+    // Wall-clock accounting, touched only while a WallProfiler is
+    // installed (docs/PROFILING.md); never feeds simulated results.
+    obs::prof::ShardWindowStats prof;       // reset per run()
+    std::uint64_t prof_busy_total = 0;      // across runs (flush_metrics)
+    std::uint64_t prof_barrier_total = 0;   // across runs (flush_metrics)
+    std::uint64_t prof_window_busy = 0;     // scratch, per window
+    std::uint64_t prof_events_base = 0;     // lifetime_events at run() start
+    std::uint64_t prof_idle_base = 0;       // idle_windows at run() start
+
     Shard(SimTime width_hint, NodeId nodes,
           DeliveryLedger::Granularity granularity, std::uint32_t shards)
         : queue(width_hint), ledger(nodes, granularity), mail(shards) {}
@@ -236,6 +246,18 @@ class ParallelNetwork {
   std::uint64_t windows_ = 0;
   SimTime window_end_ = 0;
   bool done_ = true;
+
+  // Run-scoped wall-clock profiling state: prof_ caches the process
+  // profiler for the duration of one run() (null = every prof site is a
+  // branch); the counters accumulate coordinator-side host time and are
+  // folded into a ParallelRunRecord by finalize_run().
+  obs::prof::WallProfiler* prof_ = nullptr;
+  std::uint64_t prof_coord_ns_ = 0;
+  std::uint64_t prof_mailbox_ns_ = 0;
+  std::uint64_t prof_replay_ns_ = 0;
+  std::uint64_t prof_wmax_ns_ = 0;
+  std::uint64_t prof_wmin_ns_ = 0;
+  std::uint64_t prof_windows_base_ = 0;
 
   std::vector<Shard> shards_;
 

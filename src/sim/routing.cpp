@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "obs/prof/profiler.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -14,6 +15,7 @@ RoutingTable::RoutingTable(const Graph& g)
       dist_(static_cast<std::size_t>(n_) * n_,
             static_cast<std::uint16_t>(-1)),
       links_(static_cast<std::size_t>(n_) * n_, kInvalidLink) {
+  const obs::prof::ScopedPhase prof_scope(obs::prof::Phase::kRouteBuild);
   // BFS from each destination; towards[(v, dst)] = the neighbor of v that
   // is closer to dst (lowest id among equals, fixed by sorted adjacency +
   // FIFO order).  Unreachable pairs keep kInvalidNode / distance 0xFFFF.

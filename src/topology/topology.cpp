@@ -1,5 +1,6 @@
 #include "topology/topology.hpp"
 
+#include "obs/prof/profiler.hpp"
 #include "util/error.hpp"
 
 namespace ihc {
@@ -12,6 +13,7 @@ Topology::Topology(std::string name, Graph graph, std::uint32_t gamma)
 
 void Topology::build_if_needed() const {
   if (built_) return;
+  const obs::prof::ScopedPhase prof_scope(obs::prof::Phase::kSetup);
   cycles_ = build_hamiltonian_cycles();
   IHC_ENSURE(cycles_.size() == gamma_ / 2,
              "topology must provide gamma/2 Hamiltonian cycles (LC2)");

@@ -24,7 +24,7 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "topology summary: size, gamma, Hamiltonian cycles, class Lambda"},
     {"run",
      "run <topology> [--algo ihc|hc|vrs|ks|vsq|frs] [--shards <n>] "
-     "[options]",
+     "[--profile <file>] [options]",
      "run one ATA reliable broadcast and print the results"},
     {"decompose", "decompose <topology> [--out <file>]",
      "construct + verify the Hamiltonian decomposition (ihc-hc-v1)"},
@@ -37,7 +37,8 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "membership (ihc-topology-v1)"},
     {"campaign",
      "campaign [<name>...] [--list] [--jobs <n>] [--shards <n>] "
-     "[--filter <s>] [--metrics] [--analyze] [--json-out <p>]",
+     "[--filter <s>] [--metrics] [--analyze] [--json-out <p>] "
+     "[--profile <file>]",
      "run experiment campaigns on the parallel trial engine"},
     {"trace",
      "trace --campaign <name> [--filter <s>] [--out <file|->]",
@@ -47,11 +48,15 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "[--out <file|->] [--heatmap]",
      "critical path, utilization and TraceLint report (ihc-analysis-v1)"},
     {"bench-perf",
-     "bench-perf [--quick] [--repeats <n>] [--shards <n>] [--out <file>]",
+     "bench-perf [--quick] [--repeats <n>] [--shards <n>] "
+     "[--profile <file>] [--out <file>]",
      "measure simulator throughput vs the legacy engine (ihc-bench-v1)"},
+    {"bench-diff",
+     "bench-diff <old.json> <new.json> [--threshold <x>]",
+     "compare two ihc-bench-v1 reports; exit non-zero on regression"},
     {"workload",
      "workload [--campaign <name>] [--jobs <n>] [--shards <n>] "
-     "[--filter <s>] [--out <file|->]",
+     "[--filter <s>] [--profile <file>] [--out <file|->]",
      "open-loop saturation sweep: rate-vs-latency curves (ihc-workload-v1)"},
 };
 

@@ -1,0 +1,130 @@
+// Tests for the ihc-bench-v1 regression comparison (src/exp/bench_diff.hpp)
+// behind `ihc_cli bench-diff`.  The CI gate's contract: a self-diff is
+// clean, an injected slowdown past the threshold flags exactly that job
+// (and flips the exit path via any_regression), jobs present in only one
+// report are listed but never regress, and malformed documents are
+// rejected as ConfigError (exit kExitUsage) rather than misread.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exp/bench_diff.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ihc::exp {
+namespace {
+
+Json bench_doc(double multihop_ms, double flit_ms, int hw_threads = 1) {
+  Json jobs = Json::array();
+  Json a = Json::object();
+  a.set("name", "events_q6_multihop").set("wall_ms", multihop_ms);
+  jobs.push(std::move(a));
+  Json b = Json::object();
+  b.set("name", "flit_wormhole_h5").set("wall_ms", flit_ms);
+  jobs.push(std::move(b));
+  Json doc = Json::object();
+  doc.set("schema", "ihc-bench-v1")
+      .set("hw_threads", static_cast<std::int64_t>(hw_threads))
+      .set("jobs", std::move(jobs));
+  return doc;
+}
+
+TEST(BenchDiff, SelfDiffIsClean) {
+  const Json doc = bench_doc(100.0, 50.0);
+  const BenchDiff diff = diff_bench_reports(doc, doc, 1.25);
+  EXPECT_FALSE(diff.any_regression());
+  ASSERT_EQ(diff.deltas.size(), 2u);
+  for (const BenchDelta& d : diff.deltas) {
+    EXPECT_TRUE(d.in_old);
+    EXPECT_TRUE(d.in_new);
+    EXPECT_DOUBLE_EQ(d.ratio, 1.0);
+    EXPECT_FALSE(d.regressed);
+  }
+  std::ostringstream out;
+  diff.print(out);
+  EXPECT_NE(out.str().find("PASS"), std::string::npos);
+  EXPECT_EQ(out.str().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiff, InjectedRegressionFlagsOnlyTheSlowedJob) {
+  const Json old_doc = bench_doc(100.0, 50.0);
+  const Json new_doc = bench_doc(100.0, 500.0);  // flit job 10x slower
+  const BenchDiff diff = diff_bench_reports(old_doc, new_doc, 2.0);
+  EXPECT_TRUE(diff.any_regression());
+  ASSERT_EQ(diff.deltas.size(), 2u);
+  EXPECT_FALSE(diff.deltas[0].regressed);
+  EXPECT_TRUE(diff.deltas[1].regressed);
+  EXPECT_DOUBLE_EQ(diff.deltas[1].ratio, 10.0);
+  std::ostringstream out;
+  diff.print(out);
+  EXPECT_NE(out.str().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiff, ThresholdBoundsAreRespected) {
+  const Json old_doc = bench_doc(100.0, 50.0);
+  const Json new_doc = bench_doc(124.0, 50.0);  // 1.24x
+  EXPECT_FALSE(diff_bench_reports(old_doc, new_doc, 1.25).any_regression());
+  EXPECT_TRUE(diff_bench_reports(old_doc, new_doc, 1.20).any_regression());
+  // A ratio of exactly the threshold does not regress (strictly greater).
+  const Json at = bench_doc(125.0, 50.0);
+  EXPECT_FALSE(diff_bench_reports(old_doc, at, 1.25).any_regression());
+  // Thresholds <= 1 are configuration errors.
+  EXPECT_THROW((void)diff_bench_reports(old_doc, new_doc, 1.0), ConfigError);
+}
+
+TEST(BenchDiff, UnmatchedJobsAreListedButNeverRegress) {
+  Json old_doc = bench_doc(100.0, 50.0);
+  Json new_jobs = Json::array();
+  Json renamed = Json::object();
+  renamed.set("name", "events_q6_multihop").set("wall_ms", 90.0);
+  new_jobs.push(std::move(renamed));
+  Json added = Json::object();
+  added.set("name", "brand_new_job").set("wall_ms", 9999.0);
+  new_jobs.push(std::move(added));
+  Json new_doc = Json::object();
+  new_doc.set("schema", "ihc-bench-v1").set("jobs", std::move(new_jobs));
+
+  const BenchDiff diff = diff_bench_reports(old_doc, new_doc, 1.25);
+  EXPECT_FALSE(diff.any_regression());
+  ASSERT_EQ(diff.deltas.size(), 3u);
+  // Old order first (matched, then old-only), then new-only.
+  EXPECT_EQ(diff.deltas[0].name, "events_q6_multihop");
+  EXPECT_EQ(diff.deltas[1].name, "flit_wormhole_h5");
+  EXPECT_FALSE(diff.deltas[1].in_new);
+  EXPECT_EQ(diff.deltas[2].name, "brand_new_job");
+  EXPECT_FALSE(diff.deltas[2].in_old);
+  std::ostringstream out;
+  diff.print(out);
+  EXPECT_NE(out.str().find("old only"), std::string::npos);
+  EXPECT_NE(out.str().find("new only"), std::string::npos);
+}
+
+TEST(BenchDiff, HwThreadsMismatchIsSurfacedAsCaveat) {
+  const Json old_doc = bench_doc(100.0, 50.0, 1);
+  const Json new_doc = bench_doc(100.0, 50.0, 8);
+  const BenchDiff diff = diff_bench_reports(old_doc, new_doc, 1.25);
+  EXPECT_FALSE(diff.any_regression());
+  std::ostringstream out;
+  diff.print(out);
+  EXPECT_NE(out.str().find("hw_threads differ"), std::string::npos);
+}
+
+TEST(BenchDiff, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_bench_report("not json", "x"), ConfigError);
+  EXPECT_THROW((void)parse_bench_report("[1, 2]", "x"), ConfigError);
+  EXPECT_THROW((void)parse_bench_report(R"({"schema": "other-v1"})", "x"),
+               ConfigError);
+  EXPECT_THROW(
+      (void)parse_bench_report(R"({"schema": "ihc-bench-v1"})", "x"),
+      ConfigError);
+  EXPECT_THROW((void)parse_bench_report(
+                   R"({"schema": "ihc-bench-v1", "jobs": [{}]})", "x"),
+               ConfigError);
+  const Json ok = parse_bench_report(bench_doc(1.0, 2.0).dump(), "x");
+  EXPECT_EQ(ok.find("schema")->as_string(), "ihc-bench-v1");
+}
+
+}  // namespace
+}  // namespace ihc::exp

@@ -1,0 +1,267 @@
+// Tests for the wall-clock profiler (src/obs/prof/, docs/PROFILING.md).
+// The module's contract has two halves: with no profiler installed the
+// instrumentation is invisible (simulated results, trace streams and
+// metrics are byte-identical to the seed), and with one installed the
+// *simulated* results are still unchanged - only host-time documents
+// (ihc-profile-v1, the gated shard.* metrics, the Chrome export) appear.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ihc.hpp"
+#include "obs/obs.hpp"
+#include "topology/hypercube.hpp"
+#include "util/json.hpp"
+
+namespace ihc {
+namespace {
+
+using obs::prof::Phase;
+using obs::prof::ScopedPhase;
+using obs::prof::WallProfiler;
+
+/// Installs `p` as the process profiler for one scope.
+struct Install {
+  explicit Install(WallProfiler* p) { obs::prof::set_global_profiler(p); }
+  ~Install() { obs::prof::set_global_profiler(nullptr); }
+};
+
+AtaResult run_q4(std::uint32_t shards, obs::Tracer* tracer = nullptr,
+                 obs::MetricsRegistry* metrics = nullptr) {
+  const Hypercube q4(4);
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_ns(200);
+  opt.net.mu = 2;
+  opt.net.rho = 0.3;
+  opt.net.background_mode = BackgroundMode::kMultiHopFlows;
+  opt.net.seed = 7;
+  opt.net.shards = shards;
+  opt.tracer = tracer;
+  opt.metrics = metrics;
+  return run_ihc(q4, IhcOptions{.eta = 2}, opt);
+}
+
+std::string event_signature(const obs::TraceEvent& e) {
+  std::string s(e.name);
+  s += '|';
+  s += e.cat;
+  for (const std::int64_t v :
+       {static_cast<std::int64_t>(e.phase), e.ts, e.dur,
+        static_cast<std::int64_t>(e.track), e.flow, e.node, e.link,
+        e.origin, e.route, e.pos, e.len, e.depth, e.stage, e.vc}) {
+    s += std::to_string(v);
+    s += '|';
+  }
+  s += e.detail;
+  return s;
+}
+
+std::vector<std::string> trace_stream(const obs::CollectingSink& sink) {
+  std::vector<std::string> stream;
+  stream.reserve(sink.events().size());
+  for (const obs::TraceEvent& e : sink.events())
+    stream.push_back(event_signature(e));
+  return stream;
+}
+
+// ---------------------------------------------------------------------
+// Unit pieces.
+
+TEST(ObsProf, PhaseNamesAreStable) {
+  EXPECT_STREQ(obs::prof::phase_name(Phase::kSetup), "setup");
+  EXPECT_STREQ(obs::prof::phase_name(Phase::kRouteBuild), "route_build");
+  EXPECT_STREQ(obs::prof::phase_name(Phase::kEventLoop), "event_loop");
+  EXPECT_STREQ(obs::prof::phase_name(Phase::kTraceReplay), "trace_replay");
+  EXPECT_STREQ(obs::prof::phase_name(Phase::kReport), "report");
+}
+
+TEST(ObsProf, StallBucketsAreLog2Microseconds) {
+  EXPECT_EQ(obs::prof::stall_bucket(0), 0u);          // < 1 us
+  EXPECT_EQ(obs::prof::stall_bucket(999), 0u);        // still < 1 us
+  EXPECT_EQ(obs::prof::stall_bucket(1'000), 1u);      // [1, 2) us
+  EXPECT_EQ(obs::prof::stall_bucket(1'999), 1u);
+  EXPECT_EQ(obs::prof::stall_bucket(2'000), 2u);      // [2, 4) us
+  EXPECT_EQ(obs::prof::stall_bucket(1'000'000), 10u); // [512, 1024) us
+  // The last bucket is open-ended.
+  EXPECT_EQ(obs::prof::stall_bucket(~std::uint64_t{0}),
+            obs::prof::kStallBuckets - 1);
+}
+
+TEST(ObsProf, HeartbeatIsRateLimited) {
+  WallProfiler p;
+  // The default 2 s interval never fires inside a unit test...
+  p.heartbeat("test", 1, 0, 0);
+  EXPECT_EQ(p.heartbeats(), 0u);
+  // ...a zero interval fires on every call.
+  p.set_heartbeat_interval_ms(0);
+  p.heartbeat("test", 2, 0, 0);
+  p.heartbeat("test", 3, 0, 0);
+  EXPECT_EQ(p.heartbeats(), 2u);
+}
+
+TEST(ObsProf, NestedScopesContributeNoExclusiveTime) {
+  WallProfiler p;
+  const Install install(&p);
+  {
+    const ScopedPhase outer(Phase::kSetup);
+    const ScopedPhase inner(Phase::kRouteBuild);  // nested on this thread
+  }
+  const Json doc = p.to_json();
+  double setup_excl = -1.0, route_excl = -1.0, route_wall = -1.0;
+  for (const Json& row : doc.find("phases")->items()) {
+    const std::string name(row.find("name")->as_string());
+    if (name == "setup") setup_excl = row.find("exclusive_ms")->as_double();
+    if (name == "route_build") {
+      route_excl = row.find("exclusive_ms")->as_double();
+      route_wall = row.find("wall_ms")->as_double();
+    }
+  }
+  EXPECT_GE(setup_excl, 0.0);
+  EXPECT_EQ(route_excl, 0.0) << "nested scope must not count exclusively";
+  EXPECT_GE(route_wall, 0.0);
+  // On a single thread coverage sums exclusive time only, so it can
+  // never exceed elapsed (thread pools stack, docs/PROFILING.md).
+  EXPECT_GE(doc.find("coverage")->as_double(), 0.0);
+  EXPECT_LE(doc.find("coverage")->as_double(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the profiler never touches simulated results.
+
+TEST(ObsProf, UnprofiledRunsAreByteIdentical) {
+  ASSERT_EQ(obs::prof::global_profiler(), nullptr);
+  for (const std::uint32_t shards : {0u, 2u}) {
+    obs::CollectingSink sink_a, sink_b;
+    obs::Tracer tracer_a, tracer_b;
+    tracer_a.attach(&sink_a);
+    tracer_b.attach(&sink_b);
+    obs::MetricsRegistry metrics_a, metrics_b;
+    const AtaResult a = run_q4(shards, &tracer_a, &metrics_a);
+    const AtaResult b = run_q4(shards, &tracer_b, &metrics_b);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.stats.events_processed, b.stats.events_processed);
+    EXPECT_EQ(trace_stream(sink_a), trace_stream(sink_b));
+    EXPECT_EQ(metrics_a.to_json().dump(), metrics_b.to_json().dump());
+    // The wall-time metrics are gated on an installed profiler.
+    EXPECT_TRUE(metrics_a.samples("shard.busy_ns").empty());
+    EXPECT_TRUE(metrics_a.samples("shard.barrier_wait_ns").empty());
+  }
+}
+
+TEST(ObsProf, ProfiledRunKeepsSimulatedResultsUnchanged) {
+  for (const std::uint32_t shards : {0u, 2u}) {
+    obs::CollectingSink sink_off, sink_on;
+    obs::Tracer tracer_off, tracer_on;
+    tracer_off.attach(&sink_off);
+    tracer_on.attach(&sink_on);
+    obs::MetricsRegistry metrics_off, metrics_on;
+    const AtaResult off = run_q4(shards, &tracer_off, &metrics_off);
+
+    WallProfiler p;
+    AtaResult on;
+    {
+      const Install install(&p);
+      on = run_q4(shards, &tracer_on, &metrics_on);
+    }
+
+    EXPECT_EQ(on.finish, off.finish) << "shards " << shards;
+    EXPECT_EQ(on.stats.events_processed, off.stats.events_processed);
+    EXPECT_EQ(on.stats.deliveries, off.stats.deliveries);
+    EXPECT_EQ(on.ledger.total_copies(), off.ledger.total_copies());
+    EXPECT_EQ(trace_stream(sink_on), trace_stream(sink_off));
+    // Simulated metrics agree entry-for-entry; the profiled run merely
+    // gains the host-time shard.* histograms on the parallel engine.
+    EXPECT_EQ(metrics_on.counter("net.events_processed"),
+              metrics_off.counter("net.events_processed"));
+    if (shards >= 1) {
+      EXPECT_EQ(metrics_on.samples("shard.busy_ns").size(), shards);
+      EXPECT_EQ(metrics_on.samples("shard.barrier_wait_ns").size(), shards);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// The ihc-profile-v1 document.
+
+TEST(ObsProf, ProfileDocumentAttributesShardedRun) {
+  WallProfiler p;
+  AtaResult result;
+  {
+    const Install install(&p);
+    result = run_q4(2);
+  }
+  const Json doc = p.to_json();
+  EXPECT_EQ(doc.find("schema")->as_string(), "ihc-profile-v1");
+  EXPECT_GT(doc.find("hw_threads")->as_int(), 0);
+  EXPECT_GT(doc.find("total_wall_ms")->as_double(), 0.0);
+
+  // The event loop ran and contributed exclusive time.
+  bool saw_event_loop = false;
+  for (const Json& row : doc.find("phases")->items()) {
+    if (row.find("name")->as_string() != "event_loop") continue;
+    saw_event_loop = true;
+    EXPECT_GE(row.find("count")->as_int(), 1);
+    EXPECT_GT(row.find("wall_ms")->as_double(), 0.0);
+    EXPECT_GT(row.find("exclusive_ms")->as_double(), 0.0);
+  }
+  EXPECT_TRUE(saw_event_loop);
+
+  // Exactly one shard section (shard_count 2) with a full breakdown.
+  const std::vector<Json>& sections = doc.find("shards")->items();
+  ASSERT_EQ(sections.size(), 1u);
+  const Json& sec = sections[0];
+  EXPECT_EQ(sec.find("shard_count")->as_int(), 2);
+  EXPECT_GE(sec.find("runs")->as_int(), 1);  // run() calls per broadcast
+  EXPECT_GT(sec.find("windows")->as_int(), 0);
+  EXPECT_GT(sec.find("coordinator_ms")->as_double(), 0.0);
+  EXPECT_GE(sec.find("window_max_busy_ms")->as_double(),
+            sec.find("window_min_busy_ms")->as_double());
+
+  const std::vector<Json>& per_shard = sec.find("per_shard")->items();
+  ASSERT_EQ(per_shard.size(), 2u);
+  std::int64_t events = 0;
+  std::uint64_t waits = 0;
+  for (const Json& row : per_shard) {
+    events += row.find("events")->as_int();
+    EXPECT_GE(row.find("busy_ms")->as_double(), 0.0);
+    EXPECT_GE(row.find("barrier_wait_ms")->as_double(), 0.0);
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(events),
+            result.stats.events_processed)
+      << "per-shard event counts must tile the run";
+  const std::vector<Json>& hist = sec.find("stall_hist_us")->items();
+  ASSERT_EQ(hist.size(), obs::prof::kStallBuckets);
+  for (const Json& bucket : hist) waits +=
+      static_cast<std::uint64_t>(bucket.as_int());
+  EXPECT_GT(waits, 0u) << "every barrier wait lands in one bucket";
+
+  const Json* imbalance = sec.find("imbalance");
+  ASSERT_NE(imbalance, nullptr);
+  EXPECT_GE(imbalance->find("max_busy_ms")->as_double(),
+            imbalance->find("min_busy_ms")->as_double());
+}
+
+TEST(ObsProf, ChromeExportEmitsValidHostPhaseSpans) {
+  WallProfiler p;
+  {
+    const Install install(&p);
+    (void)run_q4(2);
+  }
+  std::ostringstream out;
+  p.write_chrome(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("host_phase"), std::string::npos);
+  EXPECT_NE(text.find("ihc-prof"), std::string::npos);
+  std::string err;
+  const auto doc = Json::parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  ASSERT_NE(doc->find("traceEvents"), nullptr);
+  EXPECT_FALSE(doc->find("traceEvents")->items().empty());
+}
+
+}  // namespace
+}  // namespace ihc

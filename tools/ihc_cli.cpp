@@ -31,6 +31,13 @@
 //       --recover                   (ihc) retry missing pairs on surviving
 //                                   cycles until every pair holds gamma
 //                                   copies (mid-broadcast recovery)
+//       --profile <file>            write a wall-clock profile of the run
+//                                   (ihc-profile-v1, or a Chrome trace
+//                                   when <file> ends in .trace.json; see
+//                                   docs/PROFILING.md).  Also enables the
+//                                   rate-limited stderr progress
+//                                   heartbeat.  Simulated results are
+//                                   unchanged.
 //
 //   ihc_cli decompose <topology> [--out <file>]
 //       Construct (and verify) the Hamiltonian decomposition; print it or
@@ -75,6 +82,8 @@
 //       --json-out <p>  write ihc-campaign-v1 JSON: a .json file path
 //                       (single campaign only) or a directory receiving
 //                       <p>/<campaign>.json (e.g. bench/results)
+//       --profile <f>   write a wall-clock profile covering every
+//                       campaign run (docs/PROFILING.md)
 //       --list          list the built-in campaigns and exit
 //
 //   ihc_cli trace --campaign <name> [options]
@@ -110,7 +119,16 @@
 //       --repeats <n>   timed repetitions per engine (min is reported)
 //       --shards <n>    default shard count for the campaign jobs (the
 //                       dedicated shards job pins its own A/B counts)
-//       --out <file>    output path (default BENCH_PR7.json)
+//       --profile <f>   write a wall-clock profile and embed it in the
+//                       report's `profile` block (docs/PROFILING.md)
+//       --out <file>    output path (default BENCH_PR9.json)
+//
+//   ihc_cli bench-diff <old.json> <new.json> [--threshold <x>]
+//       Compare two ihc-bench-v1 reports job-by-job (matched by name)
+//       and flag wall-time regressions; exits 1 when any matched job's
+//       new/old ratio exceeds the threshold (default 1.25; CI uses 2.0
+//       because runners vary, see docs/PROFILING.md).  An `hw_threads`
+//       mismatch between the reports is surfaced as a caveat line.
 //
 //   ihc_cli workload [options]
 //       Run an open-loop continuous-service saturation sweep (streaming
@@ -127,6 +145,8 @@
 //                       any shard count >= 1, see docs/PARALLEL.md)
 //       --filter <s>    run only trials whose id contains <s> (the
 //                       report then covers the surviving curves only)
+//       --profile <f>   write a wall-clock profile covering the sweep
+//                       (docs/PROFILING.md)
 //       --out <file|->  write the JSON report; `-` streams it to stdout
 //                       (curves go to stderr)
 //
@@ -142,9 +162,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/analysis.hpp"
 #include "core/frs.hpp"
@@ -185,6 +207,8 @@ struct Args {
   std::string campaign;
   std::string trace_file;
   std::string fault_schedule;
+  std::string profile;  // --profile output path ("" = profiler off)
+  double threshold = 1.25;  // bench-diff regression ratio
   std::uint32_t eta = 0;  // 0 = auto
   std::uint32_t shards = 0;  // 0 = sequential engine
   std::uint32_t origins = 0;  // 0 = all origins inject (ihc)
@@ -212,6 +236,69 @@ struct Args {
   bool seed_given = false;
   std::uint64_t seed = 0;  // default derived from the run coordinates
   std::size_t max_events = std::size_t{1} << 20;  // bounded-sink capacity
+};
+
+/// Owns the process-wide wall-clock profiler for one subcommand when
+/// --profile was given (docs/PROFILING.md).  Construction installs a
+/// WallProfiler as the global instance - every instrumented scope in
+/// the library starts recording - and destruction uninstalls it and
+/// writes the report: a Chrome trace when the path ends in
+/// .trace.json, the ihc-profile-v1 JSON document otherwise.  With an
+/// empty path this is a no-op and the profiler stays off (the
+/// zero-overhead default).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    prof_ = std::make_unique<obs::prof::WallProfiler>();
+    obs::prof::set_global_profiler(prof_.get());
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() {
+    if (prof_ == nullptr) return;
+    obs::prof::set_global_profiler(nullptr);
+    try {
+      write();
+    } catch (const std::exception& e) {
+      // The profile is a diagnostic side channel; a write failure must
+      // not turn a successful simulation into a failed exit code.
+      std::fprintf(stderr, "profile: %s\n", e.what());
+    }
+  }
+
+  [[nodiscard]] bool active() const { return prof_ != nullptr; }
+
+  /// The ihc-profile-v1 document (for embedding into other reports).
+  [[nodiscard]] Json report_json() const { return prof_->to_json(); }
+
+ private:
+  void write() const {
+    const std::string_view chrome_suffix = ".trace.json";
+    const bool chrome =
+        path_.size() > chrome_suffix.size() &&
+        path_.compare(path_.size() - chrome_suffix.size(),
+                      chrome_suffix.size(), chrome_suffix) == 0;
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream out(path_, std::ios::trunc);
+    require(out.good(), "cannot open " + path_ + " for writing");
+    if (chrome)
+      prof_->write_chrome(out);
+    else
+      out << prof_->to_json().dump(2) << "\n";
+    out.close();
+    require(out.good(), "failed writing " + path_);
+    std::fprintf(stderr, "[ihc-prof] wrote %s (%s)\n", path_.c_str(),
+                 chrome ? "Chrome trace"
+                        : "schema ihc-profile-v1, see docs/PROFILING.md");
+  }
+
+  std::string path_;
+  std::unique_ptr<obs::prof::WallProfiler> prof_;
 };
 
 int usage() {
@@ -256,6 +343,8 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--campaign") args.campaign = next();
     else if (a == "--trace") args.trace_file = next();
     else if (a == "--fault-schedule") args.fault_schedule = next();
+    else if (a == "--profile") args.profile = next();
+    else if (a == "--threshold") args.threshold = std::stod(next());
     else if (a == "--recover") args.recover = true;
     else if (a == "--repeats") args.repeats = static_cast<int>(std::stol(next()));
     else if (a == "--max-events") args.max_events = static_cast<std::size_t>(std::stoull(next()));
@@ -301,6 +390,7 @@ int cmd_info(const Args& args) {
 
 int cmd_run(const Args& args) {
   require(args.positional.size() == 2, "run needs a topology spec");
+  const ProfileScope prof_scope(args.profile);
   const auto topo = make_topology(args.positional[1]);
 
   AtaOptions opt;
@@ -663,11 +753,16 @@ int cmd_campaign(const Args& args) {
   run_options.analyze = args.analyze;
   run_options.analyze_max_events = args.max_events;
 
+  const ProfileScope prof_scope(args.profile);
   std::size_t failed = 0;
   for (const std::string& name : names) {
-    const exp::Campaign campaign = exp::make_builtin_campaign(name);
+    const exp::Campaign campaign = [&] {
+      const obs::prof::ScopedPhase setup(obs::prof::Phase::kSetup);
+      return exp::make_builtin_campaign(name);
+    }();
     const exp::CampaignResult result =
         exp::run_campaign(campaign, run_options);
+    const obs::prof::ScopedPhase report_phase(obs::prof::Phase::kReport);
     std::fputs(exp::ascii_report(result).c_str(), stdout);
     std::fputs("\n", stdout);
     failed += result.failed_count();
@@ -868,8 +963,13 @@ int cmd_bench_perf(const Args& args) {
   exp::BenchOptions options;
   options.quick = args.quick;
   options.repeats = args.repeats;
-  const exp::BenchReport report = exp::run_bench(options);
+  const ProfileScope prof_scope(args.profile);
+  exp::BenchReport report = exp::run_bench(options);
+  // Embed the profiler's document so the tracked BENCH_*.json baseline
+  // carries its own wall-time attribution (docs/PROFILING.md).
+  if (prof_scope.active()) report.profile = prof_scope.report_json();
 
+  const obs::prof::ScopedPhase report_phase(obs::prof::Phase::kReport);
   AsciiTable table("ihc-bench-v1 performance report");
   table.set_header({"job", "wall_ms", "legacy_ms", "speedup", "events/s",
                     "trials/s"});
@@ -884,7 +984,7 @@ int cmd_bench_perf(const Args& args) {
   }
   table.print();
 
-  const std::string path = args.out.empty() ? "BENCH_PR7.json" : args.out;
+  const std::string path = args.out.empty() ? "BENCH_PR9.json" : args.out;
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
@@ -900,10 +1000,36 @@ int cmd_bench_perf(const Args& args) {
   return 0;
 }
 
+int cmd_bench_diff(const Args& args) {
+  require(args.positional.size() == 3,
+          "bench-diff needs <old.json> <new.json>");
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    require(in.good(), "cannot read " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const Json old_doc =
+      exp::parse_bench_report(slurp(args.positional[1]), args.positional[1]);
+  const Json new_doc =
+      exp::parse_bench_report(slurp(args.positional[2]), args.positional[2]);
+  const exp::BenchDiff diff =
+      exp::diff_bench_reports(old_doc, new_doc, args.threshold);
+  std::ostringstream text;
+  diff.print(text);
+  std::fputs(text.str().c_str(), stdout);
+  return diff.any_regression() ? kExitFailure : 0;
+}
+
 int cmd_workload(const Args& args) {
   const std::string name =
       args.campaign.empty() ? "saturation_sweep" : args.campaign;
-  const exp::Campaign campaign = exp::make_builtin_campaign(name);
+  const ProfileScope prof_scope(args.profile);
+  const exp::Campaign campaign = [&] {
+    const obs::prof::ScopedPhase setup(obs::prof::Phase::kSetup);
+    return exp::make_builtin_campaign(name);
+  }();
 
   exp::RunOptions run_options;
   run_options.jobs = args.jobs;
@@ -920,6 +1046,7 @@ int cmd_workload(const Args& args) {
     return kExitFailure;
   }
 
+  const obs::prof::ScopedPhase report_phase(obs::prof::Phase::kReport);
   const Json doc = workload::workload_report(result);
 
   // `--out -` streams the JSON document to stdout; the human-readable
@@ -967,6 +1094,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "bench-perf") return cmd_bench_perf(args);
+    if (cmd == "bench-diff") return cmd_bench_diff(args);
     if (cmd == "workload") return cmd_workload(args);
     return usage();
   } catch (const ConfigError& e) {
