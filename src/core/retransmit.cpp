@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "core/reassembly.hpp"
 #include "core/runner.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/ham_search.hpp"
 #include "obs/obs.hpp"
 #include "sim/fault_schedule.hpp"
+#include "sim/packet_format.hpp"
 #include "util/error.hpp"
+#include "util/memo_cache.hpp"
 
 namespace ihc {
 namespace {
@@ -30,36 +36,203 @@ bool drops_relays(std::optional<FaultMode> mode) {
   return mode == FaultMode::kSilent || mode == FaultMode::kRandom;
 }
 
-/// True when every hop of origin's route along `hc` (position `pos`,
-/// N-1 hops) is usable at time `at`: no dead link and no drop-capable
-/// relay.  `at` is the reissue injection time; a glitch that starts or
-/// ends while the reissue is in flight can still invalidate the guess -
-/// the capped retry loop absorbs that.
-bool route_alive(const Graph& g, const DirectedCycle& hc, std::size_t pos,
-                 const AtaOptions& options, SimTime at) {
+/// Conservative both-layers liveness guess: the node is suspect when
+/// EITHER the dynamic schedule has an active drop-capable window at t OR
+/// the static plan makes it drop-capable.  The simulator itself gives an
+/// active window precedence over the plan (sim/network.cpp), but a
+/// benign window (kSlow) can close while a reissue is still in flight,
+/// at which point the static mode takes back over - so a prediction must
+/// fear both layers.
+bool node_drop_capable_at(const AtaOptions& options, NodeId node, SimTime t) {
+  if (options.schedule != nullptr &&
+      drops_relays(options.schedule->mode_at(node, t)))
+    return true;
+  if (options.faults != nullptr && drops_relays(options.faults->mode_of(node)))
+    return true;
+  return false;
+}
+
+/// The mode the simulator would actually apply at `node` at time t: an
+/// active schedule window wins over the static plan (sim/network.cpp).
+std::optional<FaultMode> effective_mode(const AtaOptions& options, NodeId node,
+                                        SimTime t) {
+  if (options.schedule != nullptr) {
+    if (const auto mode = options.schedule->mode_at(node, t)) return mode;
+  }
+  if (options.faults != nullptr) return options.faults->mode_of(node);
+  return std::nullopt;
+}
+
+bool link_dead_at(const AtaOptions& options, LinkId l, SimTime t) {
+  if (options.faults != nullptr && options.faults->link_failed(l)) return true;
+  if (options.schedule != nullptr && options.schedule->link_dead(l, t))
+    return true;
+  return false;
+}
+
+/// True when destination d can be written off from time t onward: its
+/// effective mode is drop-capable at t and at every later change point
+/// (mode_at is piecewise constant between change points, so those samples
+/// cover every regime in [t, infinity)), or every in-link is permanently
+/// dead.  A protocol-level classification - the paper's reliability
+/// guarantees cover healthy destinations only - used to stop the retry
+/// budget from burning on pairs that can never reach the copy target.
+bool destination_unreachable(const Graph& g, const AtaOptions& options,
+                             NodeId d, SimTime t) {
+  bool dead_forever = drops_relays(effective_mode(options, d, t));
+  if (dead_forever && options.schedule != nullptr) {
+    for (const SimTime s : options.schedule->node_change_points(d, t)) {
+      if (!drops_relays(effective_mode(options, d, s))) {
+        dead_forever = false;
+        break;
+      }
+    }
+  }
+  if (dead_forever) return true;
+
+  bool all_in_links_dead = g.degree(d) > 0;
+  for (const Adjacency& adj : g.neighbors(d)) {
+    const LinkId l = g.link(adj.neighbor, d);
+    const bool dead =
+        (options.faults != nullptr && options.faults->link_failed(l)) ||
+        (options.schedule != nullptr && options.schedule->link_dead_from(l, t));
+    if (!dead) {
+      all_in_links_dead = false;
+      break;
+    }
+  }
+  return all_in_links_dead;
+}
+
+MemoCache<std::string, std::shared_ptr<const detail::RerootPlan>>&
+reroot_cache() {
+  static MemoCache<std::string, std::shared_ptr<const detail::RerootPlan>>
+      cache;
+  return cache;
+}
+
+/// Full-structure cache key: two topologies can share node and edge
+/// counts (Q_4 and TQ_4 both have 16 nodes / 32 edges), so the edge list
+/// itself is part of the key, alongside both alive masks and the cycle
+/// budget.
+std::string reroot_key(const Graph& g,
+                       const std::vector<std::uint8_t>& node_alive,
+                       const std::vector<std::uint8_t>& edge_alive,
+                       std::uint32_t max_cycles) {
+  std::string key = std::to_string(g.node_count());
+  key += '/';
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    key += std::to_string(u);
+    key += ',';
+    key += std::to_string(v);
+    key += ';';
+  }
+  key += '/';
+  for (const std::uint8_t a : node_alive) key += a != 0 ? '1' : '0';
+  key += '/';
+  for (const std::uint8_t a : edge_alive) key += a != 0 ? '1' : '0';
+  key += '/';
+  key += std::to_string(max_cycles);
+  return key;
+}
+
+}  // namespace
+
+const char* to_string(RecoveryLadder ladder) {
+  switch (ladder) {
+    case RecoveryLadder::kStatic: return "static";
+    case RecoveryLadder::kReroot: return "reroot";
+    case RecoveryLadder::kPaths: return "paths";
+  }
+  return "static";
+}
+
+namespace detail {
+
+bool recovery_route_alive(const Graph& g, const DirectedCycle& hc,
+                          std::size_t pos, const AtaOptions& options,
+                          SimTime at) {
   const std::size_t n = hc.length();
   for (std::size_t step = 0; step + 1 < n; ++step) {
     const std::size_t i = (pos + step) % n;
     const LinkId l = g.link(hc.at(i), hc.at((i + 1) % n));
-    if (options.faults != nullptr && options.faults->link_failed(l))
-      return false;
-    if (options.schedule != nullptr && options.schedule->link_dead(l, at))
-      return false;
-    if (step > 0) {
-      const NodeId relay = hc.at(i);
-      if (options.schedule != nullptr &&
-          options.schedule->mode_at(relay, at).has_value()) {
-        if (drops_relays(options.schedule->mode_at(relay, at))) return false;
-      } else if (options.faults != nullptr &&
-                 drops_relays(options.faults->mode_of(relay))) {
-        return false;
-      }
-    }
+    if (link_dead_at(options, l, at)) return false;
+    if (step > 0 && node_drop_capable_at(options, hc.at(i), at)) return false;
   }
   return true;
 }
 
-}  // namespace
+std::shared_ptr<const RerootPlan> rerooted_decomposition(
+    const Graph& g, const std::vector<std::uint8_t>& node_alive,
+    const std::vector<std::uint8_t>& edge_alive, std::uint32_t max_cycles) {
+  require(node_alive.size() == g.node_count() &&
+              edge_alive.size() == g.edge_count(),
+          "rerooted_decomposition: alive masks must match the graph");
+  require(max_cycles >= 1, "rerooted_decomposition: need max_cycles >= 1");
+  return reroot_cache().get_or_compute(
+      reroot_key(g, node_alive, edge_alive, max_cycles),
+      [&]() -> std::shared_ptr<const RerootPlan> {
+        auto plan = std::make_shared<RerootPlan>();
+
+        // Compact the survivor subgraph: only alive nodes, only alive
+        // edges with both endpoints alive.
+        std::vector<NodeId> to_sub(g.node_count(), kInvalidNode);
+        std::vector<NodeId> to_orig;
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          if (node_alive[v] != 0) {
+            to_sub[v] = static_cast<NodeId>(to_orig.size());
+            to_orig.push_back(v);
+          }
+        }
+        if (to_orig.size() < 3) {
+          plan->detail = "survivor subgraph has fewer than 3 nodes";
+          return plan;
+        }
+        std::vector<std::pair<NodeId, NodeId>> edges;
+        for (EdgeId e = 0; e < g.edge_count(); ++e) {
+          if (edge_alive[e] == 0) continue;
+          const auto [u, v] = g.edge(e);
+          if (to_sub[u] == kInvalidNode || to_sub[v] == kInvalidNode) continue;
+          edges.emplace_back(to_sub[u], to_sub[v]);
+        }
+        const Graph sub(static_cast<NodeId>(to_orig.size()), std::move(edges));
+
+        std::uint32_t min_degree = sub.degree(0);
+        for (NodeId v = 1; v < sub.node_count(); ++v)
+          min_degree = std::min(min_degree, sub.degree(v));
+        const std::uint32_t top = std::min(max_cycles, min_degree / 2);
+        if (top == 0) {
+          plan->detail = "survivor min degree below 2";
+          return plan;
+        }
+
+        // Richest decomposition first: each extra edge-disjoint cycle is
+        // another copy per pair, so try floor(min_degree/2) cycles and
+        // step down to a single Hamiltonian cycle before giving up.
+        for (std::uint32_t k = top; k >= 1; --k) {
+          const HamSearchResult result = search_hamiltonian_cycles(sub, k);
+          plan->detail = result.detail;
+          if (result.status != SearchStatus::kFound) continue;
+          plan->found = true;
+          plan->cycles.reserve(result.cycles.size());
+          for (const Cycle& c : result.cycles) {
+            std::vector<NodeId> orig;
+            orig.reserve(c.length());
+            for (const NodeId v : c.nodes()) orig.push_back(to_orig[v]);
+            plan->cycles.emplace_back(std::move(orig));
+          }
+          for (const Cycle& c : plan->cycles) {
+            plan->directed.emplace_back(c, false, g.node_count());
+            plan->directed.emplace_back(c, true, g.node_count());
+          }
+          break;
+        }
+        return plan;
+      });
+}
+
+}  // namespace detail
 
 RetransmitReport run_with_retransmission(const Topology& topo,
                                          const AtaOptions& base_options,
@@ -75,6 +248,8 @@ RetransmitReport run_with_retransmission(const Topology& topo,
       static_cast<std::uint16_t>(ihc_packet_count(
           config.message_units, base_options.net.mu));
   const auto& cycles = topo.directed_cycles();
+  require(cycles.size() <= kMaxHeaderRoutes,
+          "gamma exceeds the packet header's 6-bit route field");
   const KeyRing& keys = *base_options.keys;
 
   // Per-destination reassembly state, fed across rounds.
@@ -132,7 +307,9 @@ RetransmitReport run_with_retransmission(const Topology& topo,
     report.network_time = net.stats().finish_time;
 
     // Harvest this round's deliveries into the reassemblers (duplicates
-    // from earlier rounds are idempotent).
+    // from earlier rounds are idempotent).  Route tags are < gamma <=
+    // kMaxHeaderRoutes (required at entry), so they pack into the 6-bit
+    // header field without aliasing.
     const DeliveryLedger& ledger = net.ledger();
     for (NodeId o = 0; o < n; ++o) {
       for (NodeId d = 0; d < n; ++d) {
@@ -141,8 +318,7 @@ RetransmitReport run_with_retransmission(const Topology& topo,
           if (!keys.verify(o, copy.payload, copy.mac)) continue;  // tampered
           const std::uint16_t seq = payload_seq(copy.payload);
           if (seq >= total) continue;
-          at[d].feed(PacketHeader{o, static_cast<std::uint8_t>(
-                                         copy.route % 64),
+          at[d].feed(PacketHeader{o, static_cast<std::uint8_t>(copy.route),
                                   seq, total, PacketKind::kData},
                      copy.payload);
         }
@@ -189,12 +365,15 @@ RecoveryReport run_ihc_with_recovery(const Topology& topo,
   require(policy.max_retries >= 1, "need at least one recovery retry");
   require(policy.detection_timeout >= 0,
           "detection timeout must be >= 0");
+  require(policy.path_attempts >= 1,
+          "need at least one fallback path attempt");
   const auto& cycles = topo.directed_cycles();
   require(policy.min_copies >= 1 && policy.min_copies <= cycles.size(),
           "min_copies must lie in [1, gamma]");
 
   const NodeId n = topo.node_count();
-  SimEngine net(topo.graph(), options.net, options.granularity);
+  const Graph& g = topo.graph();
+  SimEngine net(g, options.net, options.granularity);
   net.set_fault_plan(options.faults);
   net.set_fault_schedule(options.schedule);
   attach_observability(net, options);
@@ -236,63 +415,221 @@ RecoveryReport run_ihc_with_recovery(const Topology& topo,
   report.initial_finish = net.stats().finish_time;
   report.finish = report.initial_finish;
 
-  auto pairs_below_target = [&]() {
+  // Classify never-again-alive destinations once, at the first possible
+  // retry time: their pairs are written off (unreachable_pairs) instead
+  // of burning the retry budget on broadcasts that can never land.
+  const SimTime first_retry_at =
+      report.initial_finish + policy.detection_timeout;
+  std::vector<std::uint8_t> unreachable_dest(n, 0);
+  for (NodeId d = 0; d < n; ++d)
+    if (destination_unreachable(g, options, d, first_retry_at))
+      unreachable_dest[d] = 1;
+
+  auto count_below = [&](bool reachable_only) {
     std::uint64_t count = 0;
     for (NodeId o = 0; o < n; ++o)
-      for (NodeId d = 0; d < n; ++d)
-        if (o != d && net.ledger().copies(o, d) < policy.min_copies)
-          ++count;
+      for (NodeId d = 0; d < n; ++d) {
+        if (o == d || net.ledger().copies(o, d) >= policy.min_copies)
+          continue;
+        if (reachable_only && unreachable_dest[d] != 0) continue;
+        ++count;
+      }
     return count;
   };
-  report.initial_complete = pairs_below_target() == 0;
+  report.initial_complete = count_below(false) == 0;
 
-  // Recovery rounds: wait out the detection timeout, then re-issue every
-  // missing origin's broadcast on the cycles whose routes are still
-  // alive.  Reissues stay eta-interleaved so the paper's intermediate-
-  // storage capacity argument (eta >= mu) keeps holding during recovery -
-  // TraceLint's buffer_bound check gates that.  A mispredicted glitch
-  // simply feeds the next retry.
-  for (std::uint32_t retry = 1;
-       retry <= policy.max_retries && pairs_below_target() > 0; ++retry) {
-    const SimTime at = report.finish + policy.detection_timeout;
+  // needs[o] = 1 when origin o has a reachable pair below target.
+  auto compute_needs = [&]() {
     std::vector<std::uint8_t> needs(n, 0);
     for (NodeId o = 0; o < n; ++o)
       for (NodeId d = 0; d < n; ++d)
-        if (o != d && net.ledger().copies(o, d) < policy.min_copies)
+        if (o != d && unreachable_dest[d] == 0 &&
+            net.ledger().copies(o, d) < policy.min_copies)
           needs[o] = 1;
+    return needs;
+  };
+
+  // Reissues a retry round of eta-interleaved waves for the needy
+  // origins over `routes`, filtered through the route-liveness guess.
+  // Returns {flows reissued, injection time of the first staged wave}.
+  // The span begin is the first actual injection, not the nominal retry
+  // time, so traces stay honest when early stages staged nothing.
+  auto reissue_round = [&](const std::vector<DirectedCycle>& routes,
+                           std::uint16_t tag_base, SimTime at) {
+    const std::vector<std::uint8_t> needs = compute_needs();
     std::uint64_t reissued = 0;
     SimTime reissue_start = at;
+    SimTime span_begin = at;
     for (std::uint32_t stage = 0; stage < ihc.eta; ++stage) {
       std::uint64_t staged = 0;
-      for (std::size_t j = 0; j < cycles.size(); ++j) {
-        const DirectedCycle& hc = cycles[j];
+      for (std::size_t j = 0; j < routes.size(); ++j) {
+        const DirectedCycle& hc = routes[j];
         for (std::size_t pos = stage; pos < hc.length(); pos += ihc.eta) {
           const NodeId origin = hc.at(pos);
           if (needs[origin] == 0) continue;
-          if (!route_alive(topo.graph(), hc, pos, options, reissue_start))
+          if (!detail::recovery_route_alive(g, hc, pos, options,
+                                            reissue_start))
             continue;
-          FlowSpec flow = make_flow(origin, static_cast<std::uint16_t>(j),
-                                    reissue_start, options);
+          FlowSpec flow = make_flow(
+              origin, static_cast<std::uint16_t>(tag_base + j),
+              reissue_start, options);
           flow.cycle_path = CyclePathRoute{
-              &hc, static_cast<std::uint32_t>(pos), n - 1};
+              &hc, static_cast<std::uint32_t>(pos),
+              static_cast<std::uint32_t>(hc.length() - 1)};
           net.add_flow(std::move(flow));
           ++staged;
         }
       }
       if (staged == 0) continue;
+      if (reissued == 0) span_begin = reissue_start;
       reissued += staged;
       net.run();
       reissue_start = net.stats().finish_time;
     }
-    if (reissued == 0) break;  // nothing alive to reissue on - give up
+    return std::pair<std::uint64_t, SimTime>(reissued, span_begin);
+  };
+
+  // --- Stage 1 (kStatic): reissue on surviving static cycles ------------
+  //
+  // Reissues stay eta-interleaved so the paper's intermediate-storage
+  // capacity argument (eta >= mu) keeps holding during recovery -
+  // TraceLint's buffer_bound check gates that.  A mispredicted glitch
+  // simply feeds the next retry.
+  for (std::uint32_t retry = 1;
+       retry <= policy.max_retries && count_below(true) > 0; ++retry) {
+    const SimTime at = report.finish + policy.detection_timeout;
+    const auto [reissued, span_begin] = reissue_round(cycles, 0, at);
+    if (reissued == 0) break;  // nothing alive to reissue on - escalate
     ++report.retries_used;
     report.flows_reissued += reissued;
     report.finish = net.stats().finish_time;
     if (options.tracer != nullptr)
-      options.tracer->stage_span(at, report.finish, "recovery", retry);
+      options.tracer->stage_span(span_begin, report.finish, "recovery",
+                                 retry);
   }
 
-  report.unrecovered_pairs = pairs_below_target();
+  // --- Stage 2 (kReroot): re-rooted survivor decomposition ---------------
+  if (policy.ladder >= RecoveryLadder::kReroot && count_below(true) > 0) {
+    ++report.escalations;
+    const SimTime reroot_at = report.finish + policy.detection_timeout;
+    std::vector<std::uint8_t> node_alive(n, 1);
+    for (NodeId v = 0; v < n; ++v)
+      if (node_drop_capable_at(options, v, reroot_at)) node_alive[v] = 0;
+    std::vector<std::uint8_t> edge_alive(g.edge_count(), 1);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto [u, v] = g.edge(e);
+      if (link_dead_at(options, g.link(u, v), reroot_at) ||
+          link_dead_at(options, g.link(v, u), reroot_at))
+        edge_alive[e] = 0;
+    }
+    const auto undirected =
+        std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(cycles.size()) / 2);
+    const std::shared_ptr<const detail::RerootPlan> plan =
+        detail::rerooted_decomposition(g, node_alive, edge_alive, undirected);
+    if (plan->found) {
+      report.rerooted_cycles =
+          static_cast<std::uint32_t>(plan->directed.size());
+      for (std::uint32_t retry = 1;
+           retry <= policy.max_retries && count_below(true) > 0; ++retry) {
+        const SimTime at = report.finish + policy.detection_timeout;
+        const auto [reissued, span_begin] = reissue_round(
+            plan->directed, static_cast<std::uint16_t>(cycles.size()), at);
+        if (reissued == 0) break;
+        ++report.retries_used;
+        report.flows_reissued += reissued;
+        report.reroot_reissues += reissued;
+        report.finish = net.stats().finish_time;
+        if (options.tracer != nullptr)
+          options.tracer->stage_span(span_begin, report.finish,
+                                     "recovery_reroot", retry);
+      }
+    }
+  }
+
+  // --- Stage 3 (kPaths): node-disjoint-path unicast fallback -------------
+  //
+  // Meshtastic-style ack ladder: at most path_attempts tries per run,
+  // each waiting one more detection_timeout than the last (growing
+  // backoff).  Each needy pair gets its missing copies unicast over
+  // node-disjoint paths of the survivor graph; one wave per pair, and
+  // the paths within a wave share no relay, so fallback traffic never
+  // contends with itself (buffer_bound stays clean).
+  if (policy.ladder >= RecoveryLadder::kPaths && count_below(true) > 0) {
+    ++report.escalations;
+    const auto path_tag_base = static_cast<std::uint16_t>(
+        cycles.size() + report.rerooted_cycles);
+    for (std::uint32_t attempt = 1;
+         attempt <= policy.path_attempts && count_below(true) > 0;
+         ++attempt) {
+      const SimTime at =
+          report.finish + policy.detection_timeout * attempt;
+      ++report.path_attempts_used;
+      std::uint64_t paths_sent = 0;
+      SimTime wave_start = at;
+      SimTime span_begin = at;
+      for (NodeId o = 0; o < n; ++o) {
+        for (NodeId d = 0; d < n; ++d) {
+          if (o == d || unreachable_dest[d] != 0) continue;
+          const std::uint32_t have = net.ledger().copies(o, d);
+          if (have >= policy.min_copies) continue;
+          // The pair's survivor graph: relays must be alive, but o and d
+          // themselves stay in - a drop-capable origin still injects and
+          // the destination tee fires before the relay fault action.
+          std::vector<std::pair<NodeId, NodeId>> edges;
+          for (EdgeId e = 0; e < g.edge_count(); ++e) {
+            const auto [u, v] = g.edge(e);
+            if ((u != o && u != d &&
+                 node_drop_capable_at(options, u, wave_start)) ||
+                (v != o && v != d &&
+                 node_drop_capable_at(options, v, wave_start)))
+              continue;
+            if (link_dead_at(options, g.link(u, v), wave_start) ||
+                link_dead_at(options, g.link(v, u), wave_start))
+              continue;
+            edges.emplace_back(u, v);
+          }
+          const Graph alive(n, std::move(edges));
+          std::vector<std::vector<NodeId>> paths =
+              node_disjoint_paths(alive, o, d);
+          if (paths.empty()) continue;
+          std::sort(paths.begin(), paths.end(),
+                    [](const std::vector<NodeId>& a,
+                       const std::vector<NodeId>& b) {
+                      return a.size() != b.size() ? a.size() < b.size()
+                                                  : a < b;
+                    });
+          const std::size_t take = std::min<std::size_t>(
+              policy.min_copies - have, paths.size());
+          for (std::size_t p = 0; p < take; ++p) {
+            FlowSpec flow = make_flow(
+                o, static_cast<std::uint16_t>(path_tag_base + p),
+                wave_start, options);
+            flow.tree.reserve(paths[p].size());
+            flow.tree.push_back(FlowTreeNode{o, -1, false});
+            for (std::size_t i = 1; i < paths[p].size(); ++i)
+              flow.tree.push_back(FlowTreeNode{
+                  paths[p][i], static_cast<std::int32_t>(i - 1), true});
+            net.add_flow(std::move(flow));
+          }
+          if (take == 0) continue;
+          if (paths_sent == 0) span_begin = wave_start;
+          paths_sent += take;
+          net.run();
+          wave_start = net.stats().finish_time;
+        }
+      }
+      if (paths_sent == 0) break;  // no usable path anywhere - give up
+      report.fallback_paths += paths_sent;
+      report.finish = net.stats().finish_time;
+      if (options.tracer != nullptr)
+        options.tracer->stage_span(span_begin, report.finish,
+                                   "recovery_paths", attempt);
+    }
+  }
+
+  report.unrecovered_pairs = count_below(true);
+  report.unreachable_pairs = count_below(false) - report.unrecovered_pairs;
   report.complete = report.unrecovered_pairs == 0;
   report.recovery_latency = report.finish - report.initial_finish;
   if (options.metrics != nullptr) {
@@ -305,7 +642,19 @@ RecoveryReport run_ihc_with_recovery(const Topology& topo,
     options.metrics->count(
         "ihc.recovery_unrecovered_pairs",
         static_cast<std::int64_t>(report.unrecovered_pairs));
-    if (report.retries_used > 0)
+    options.metrics->count(
+        "ihc.recovery_unreachable_pairs",
+        static_cast<std::int64_t>(report.unreachable_pairs));
+    options.metrics->count(
+        "ihc.recovery_escalations",
+        static_cast<std::int64_t>(report.escalations));
+    options.metrics->count(
+        "ihc.recovery_rerooted",
+        static_cast<std::int64_t>(report.rerooted_cycles));
+    options.metrics->count(
+        "ihc.recovery_fallback_paths",
+        static_cast<std::int64_t>(report.fallback_paths));
+    if (report.retries_used > 0 || report.path_attempts_used > 0)
       options.metrics->observe(
           "ihc.recovery_latency_ps",
           static_cast<double>(report.recovery_latency));

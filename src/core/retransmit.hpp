@@ -17,6 +17,8 @@
 /// report accounts.
 #pragma once
 
+#include <memory>
+
 #include "core/ata.hpp"
 #include "core/ihc.hpp"
 #include "topology/topology.hpp"
@@ -51,6 +53,34 @@ struct RetransmitReport {
 // cycles, using the same round machinery as selective retransmission -
 // run, detect (pairs below the per-pair copy target), wait a detection
 // timeout, reissue on routes still alive, repeat up to a retry cap.
+//
+// When surviving-cycle reissue is not enough (a dead *node* kills every
+// static cycle through it), the adaptive escalation ladder takes over:
+//
+//   1. kStatic - surviving-cycle reissue only (the PR 5 behavior);
+//   2. kReroot - recompute a Hamiltonian decomposition of the subgraph
+//      induced by the nodes not dead at the retry time
+//      (graph/ham_search exact + Posa stages, memoized per dead-set)
+//      and re-issue the needy origins' broadcasts on the fresh cycles;
+//   3. kPaths  - for pairs still uncovered (e.g. the survivor subgraph
+//      has no Hamiltonian cycle at all), extract node-disjoint paths
+//      (graph/connectivity Menger machinery) and unicast the missing
+//      copies, under a capped attempt/backoff ladder modeled on
+//      meshtastic's ack ladder.
+//
+// Each stage only engages when the previous one leaves reachable pairs
+// below min_copies, so on fault-free or statically recoverable runs the
+// full ladder behaves exactly like kStatic.
+
+/// Highest escalation stage recovery may climb to.  Later stages imply
+/// the earlier ones.
+enum class RecoveryLadder {
+  kStatic,  ///< reissue on surviving static cycles only (PR 5)
+  kReroot,  ///< + re-rooted decomposition of the survivor subgraph
+  kPaths,   ///< + per-pair node-disjoint-path unicast fallback
+};
+
+[[nodiscard]] const char* to_string(RecoveryLadder ladder);
 
 struct RecoveryPolicy {
   /// Simulated time between a round draining and the reissue injections
@@ -61,14 +91,43 @@ struct RecoveryPolicy {
   /// counts as missing.  Use the topology's gamma to demand the full
   /// edge-disjoint redundancy, 1 for plain delivery.
   std::uint32_t min_copies = 1;
+  /// Highest escalation stage this run may use.  Defaults to the full
+  /// adaptive ladder; kStatic reproduces PR 5's surviving-cycle-only
+  /// behavior (the chaos_soak comparison axis).
+  RecoveryLadder ladder = RecoveryLadder::kPaths;
+  /// Fallback-path attempt cap (meshtastic sends a packet at most three
+  /// times before declaring no-ack); each attempt waits one more
+  /// detection_timeout than the previous (the growing backoff delay).
+  std::uint32_t path_attempts = 3;
 };
 
 struct RecoveryReport {
-  bool complete = false;          ///< every pair reached min_copies
+  bool complete = false;          ///< every reachable pair reached min_copies
   bool initial_complete = false;  ///< ... already before any retry
   std::uint32_t retries_used = 0;
   std::uint64_t flows_reissued = 0;
+  /// Reachable ordered pairs still below min_copies when the ladder gave
+  /// up.  complete == (unrecovered_pairs == 0).
   std::uint64_t unrecovered_pairs = 0;
+  /// Ordered pairs written off because the destination can never receive
+  /// again: its node is drop-faulted from the first retry time through
+  /// the end of the schedule (never-again-alive), or every in-link is
+  /// permanently dead.  Distinct from unrecovered_pairs; the retry
+  /// budget is never spent on them (the paper's reliability guarantees
+  /// cover healthy destinations only).
+  std::uint64_t unreachable_pairs = 0;
+  /// Ladder stages escalated into (0 = static reissue sufficed; counts
+  /// kReroot and kPaths activations).
+  std::uint32_t escalations = 0;
+  /// Directed cycles of the re-rooted survivor decomposition (0 when the
+  /// reroot stage never ran or the survivor subgraph had none).
+  std::uint32_t rerooted_cycles = 0;
+  /// Flows reissued on re-rooted cycles (also counted in flows_reissued).
+  std::uint64_t reroot_reissues = 0;
+  /// Node-disjoint fallback paths unicast by the kPaths stage.
+  std::uint64_t fallback_paths = 0;
+  /// Fallback attempt rounds consumed (<= policy.path_attempts).
+  std::uint32_t path_attempts_used = 0;
   SimTime initial_finish = 0;
   SimTime finish = 0;
   /// finish - initial_finish: the simulated time recovery added (0 for a
@@ -80,11 +139,47 @@ struct RecoveryReport {
 
 /// Runs an eta-interleaved IHC broadcast (global stage barrier) under the
 /// options' static faults and dynamic schedule, then applies the recovery
-/// policy until every ordered pair holds min_copies copies or the retry
-/// budget is exhausted.  Exports ihc.recovery_* metrics and "recovery"
-/// stage spans through the attached observability.
+/// policy until every reachable ordered pair holds min_copies copies or
+/// the ladder is exhausted.  Exports ihc.recovery_* metrics and
+/// "recovery" / "recovery_reroot" / "recovery_paths" stage spans through
+/// the attached observability.
 [[nodiscard]] RecoveryReport run_ihc_with_recovery(
     const Topology& topo, const IhcOptions& ihc, const AtaOptions& options,
     const RecoveryPolicy& policy);
+
+namespace detail {
+
+/// Testable core of the reissue route filter: true when every hop of the
+/// route starting at cycle position `pos` (N-1 hops along `hc`) is usable
+/// at time `at` - no dead link and no drop-capable relay.  A relay is
+/// judged dead when EITHER layer can drop it: an active drop-capable
+/// schedule window, or a drop-capable static FaultPlan mode (a statically
+/// silent relay stays suspect even while a benign dynamic window, e.g.
+/// kSlow, is momentarily active - the window may close mid-flight).
+[[nodiscard]] bool recovery_route_alive(const Graph& g,
+                                        const DirectedCycle& hc,
+                                        std::size_t pos,
+                                        const AtaOptions& options,
+                                        SimTime at);
+
+/// Survivor-subgraph re-rooted decomposition, memoized process-wide per
+/// (graph, alive-node-set, dead-edge-set) via util/memo_cache.  Searches
+/// for floor(min_degree/2) down to 1 edge-disjoint Hamiltonian cycles of
+/// the alive-induced subgraph (graph/ham_search exact + Posa stages) and
+/// returns the found cycles in ORIGINAL node ids, together with directed
+/// traversals indexed for the original graph.  `found` is false when the
+/// search refuted or gave up.
+struct RerootPlan {
+  bool found = false;
+  std::string detail;             ///< refutation / give-up diagnostic
+  std::vector<Cycle> cycles;      ///< original-id survivor cycles
+  std::vector<DirectedCycle> directed;  ///< 2 per cycle (both traversals)
+};
+
+[[nodiscard]] std::shared_ptr<const RerootPlan> rerooted_decomposition(
+    const Graph& g, const std::vector<std::uint8_t>& node_alive,
+    const std::vector<std::uint8_t>& edge_alive, std::uint32_t max_cycles);
+
+}  // namespace detail
 
 }  // namespace ihc

@@ -38,8 +38,8 @@ std::shared_ptr<const Hypercube> prebuilt_hypercube(unsigned dimension) {
 /// Routing table over the campaign topology, built once on the caller's
 /// thread.  Immutable after construction, so all trial workers share it
 /// (AtaOptions::routes) instead of each Network deriving its own tables.
-std::shared_ptr<const RoutingTable> prebuilt_routes(const Hypercube& cube) {
-  return std::make_shared<const RoutingTable>(cube.graph());
+std::shared_ptr<const RoutingTable> prebuilt_routes(const Topology& topo) {
+  return std::make_shared<const RoutingTable>(topo.graph());
 }
 
 // --- rho_sweep -----------------------------------------------------------
@@ -238,21 +238,36 @@ Campaign make_duty_cycle() {
 
 // --- chaos_soak ----------------------------------------------------------
 // Dynamic fault schedules with mid-broadcast recovery (docs/FAULTS.md):
-// IHC on Q_4 under timestamped fault injection - a Hamiltonian-cycle edge
-// dying mid-stage, a node flapping silent and repairing, and a transient
-// link glitch - each recovered by re-issuing the missing traffic on the
-// surviving edge-disjoint cycles (core/retransmit.hpp recovery policy).
+// IHC under timestamped fault injection at escalating severities.  The
+// three legacy scenarios (HC-edge death, silent node flap, transient
+// link glitch on Q_4) are statically recoverable - reissue on surviving
+// cycles suffices.  The four escalation scenarios force the later rungs
+// of the adaptive ladder: cycle_cut kills an edge in both arcs of every
+// undirected cycle (no static route survives; the survivor subgraph
+// re-roots), node_death kills a Q_4 node (the bipartite survivor refutes
+// re-rooting; node-disjoint-path unicast recovers), node_death_tq4 kills
+// a twisted-cube node (non-bipartite, so re-rooting succeeds where Q_4
+// could not), and node_storm kills two opposite-parity Q_6 nodes at
+// escalating times.  Every trial also replays its schedule under the
+// PR 5 static-only ladder (no observability attached, mirroring the zoo
+// baselines) so the report carries the latency / retry / traffic
+// comparison, and asserts static recovery fails where escalation is
+// forced.
 
 CampaignSpec chaos_soak_spec() {
   CampaignSpec spec;
   spec.name = "chaos_soak";
   spec.description =
-      "Mid-broadcast fault injection on Q_4 (gamma = 4): HC-edge death, "
-      "silent node flap and transient link glitch, recovered by reissue "
-      "on surviving cycles (min_copies = gamma)";
+      "Mid-broadcast fault injection at escalating node-death rates on "
+      "Q_4/TQ_4/Q_6 (min_copies = gamma): three statically recoverable "
+      "scenarios plus four that force re-rooting or disjoint-path "
+      "fallback, each compared against the static-only ladder";
   spec.axes = {
-      {"scenario", {std::string("hc_edge_death"), std::string("node_flap"),
-                    std::string("link_glitch")}},
+      {"scenario",
+       {std::string("hc_edge_death"), std::string("node_flap"),
+        std::string("link_glitch"), std::string("cycle_cut"),
+        std::string("node_death"), std::string("node_death_tq4"),
+        std::string("node_storm")}},
   };
   spec.replicas = 3;
   return spec;
@@ -261,7 +276,7 @@ CampaignSpec chaos_soak_spec() {
 /// Builds the per-trial fault schedule.  All randomness derives from the
 /// (scenario, replica) coordinates - never from worker identity - so the
 /// report is byte-identical across --jobs counts and repeated runs.
-FaultSchedule chaos_schedule(const Hypercube& cube,
+FaultSchedule chaos_schedule(const Topology& topo,
                              const std::string& scenario,
                              std::uint32_t replica) {
   SplitMix64 rng(derive_seed("chaos_soak", "scenario=" + scenario +
@@ -270,10 +285,10 @@ FaultSchedule chaos_schedule(const Hypercube& cube,
   FaultSchedule schedule(rng());
   // A victim edge on directed cycle 0: every origin's cycle-0 route
   // crosses it except the single origin whose route starts just past it.
-  const DirectedCycle& hc = cube.directed_cycles()[0];
+  const DirectedCycle& hc = topo.directed_cycles()[0];
   const std::size_t pos = rng.below(hc.length());
   const LinkId victim =
-      cube.graph().link(hc.at(pos), hc.at((pos + 1) % hc.length()));
+      topo.graph().link(hc.at(pos), hc.at((pos + 1) % hc.length()));
   if (scenario == "hc_edge_death") {
     // Permanent death mid-stage-0 (stages land around tau_S = 5 us);
     // statically unrecoverable at min_copies = gamma, recovered by
@@ -282,10 +297,9 @@ FaultSchedule chaos_schedule(const Hypercube& cube,
   } else if (scenario == "node_flap") {
     // A relay goes silent across most of the broadcast and is repaired
     // before the detection timeout expires, so reissues route through it.
-    const auto node = static_cast<NodeId>(rng.below(cube.node_count()));
+    const auto node = static_cast<NodeId>(rng.below(topo.node_count()));
     schedule.fault_node(node, FaultMode::kSilent, sim_us(1), sim_us(7));
-  } else {
-    require(scenario == "link_glitch", "unknown chaos_soak scenario");
+  } else if (scenario == "link_glitch") {
     // Transient glitch: packets committing to the victim link inside the
     // window are lost; the window closes long before the reissue.  With
     // tau_S = 5 us the stage-0 relay traffic crosses links at ~5 us, so
@@ -293,36 +307,99 @@ FaultSchedule chaos_schedule(const Hypercube& cube,
     // detection timeout.
     const auto jitter = static_cast<std::int64_t>(rng.below(1000));
     schedule.glitch_link(victim, sim_us(4) + sim_ns(jitter), sim_us(3));
+  } else if (scenario == "cycle_cut") {
+    // Two dead edges (both directions) on every undirected cycle: each
+    // static route uses all of its cycle's edges but one, so every
+    // reissue route is dead and recovery must re-root the survivor
+    // subgraph.  The cut lands at 2 us, before any first hop completes.
+    for (const Cycle& c : topo.hamiltonian_cycles()) {
+      const std::size_t n = c.length();
+      const std::size_t first = rng.below(n);
+      const std::size_t second = (first + 1 + rng.below(n - 1)) % n;
+      for (const std::size_t p : {first, second}) {
+        const NodeId u = c.at(p);
+        const NodeId v = c.at((p + 1) % n);
+        schedule.fail_link(topo.graph().link(u, v), sim_us(2));
+        schedule.fail_link(topo.graph().link(v, u), sim_us(2));
+      }
+    }
+  } else if (scenario == "node_death" || scenario == "node_death_tq4") {
+    // Permanent node death mid-broadcast: every static cycle through the
+    // victim is degraded for good.  On bipartite Q_4 the survivor
+    // subgraph has no Hamiltonian cycle (odd halves), forcing the
+    // disjoint-path fallback; on non-bipartite TQ_4 re-rooting succeeds.
+    const auto node = static_cast<NodeId>(rng.below(topo.node_count()));
+    schedule.fault_node(node, FaultMode::kSilent, sim_ns(2500));
+  } else {
+    require(scenario == "node_storm", "unknown chaos_soak scenario");
+    // Escalating storm on Q_6: a second opposite-parity victim (no
+    // common neighbors) dies while recovery from the first is still
+    // possible, so the re-rooted decomposition must survive both.
+    const auto first = static_cast<NodeId>(rng.below(topo.node_count()));
+    const auto second = static_cast<NodeId>(first ^ 0b000111u);
+    schedule.fault_node(first, FaultMode::kSilent, sim_ns(2500));
+    schedule.fault_node(second, FaultMode::kSilent, sim_us(4));
   }
   return schedule;
 }
 
 Campaign make_chaos_soak() {
-  auto cube = prebuilt_hypercube(4);
-  auto routes = prebuilt_routes(*cube);
+  auto q4 = prebuilt_hypercube(4);
+  auto q4_routes = prebuilt_routes(*q4);
+  std::shared_ptr<const Topology> tq4 = make_topology("TQ4");
+  (void)tq4->directed_cycles();
+  auto tq4_routes = prebuilt_routes(*tq4);
+  auto q6 = prebuilt_hypercube(6);
+  auto q6_routes = prebuilt_routes(*q6);
 
   Campaign campaign;
   campaign.spec = chaos_soak_spec();
-  campaign.run = [cube, routes](const Trial& trial, TrialContext& ctx) {
-    FaultSchedule schedule =
-        chaos_schedule(*cube, trial.get_str("scenario"), trial.replica);
+  campaign.run = [q4, q4_routes, tq4, tq4_routes, q6, q6_routes](
+                     const Trial& trial, TrialContext& ctx) {
+    const std::string scenario = trial.get_str("scenario");
+    const Topology* topo = q4.get();
+    const RoutingTable* routes = q4_routes.get();
+    if (scenario == "node_death_tq4") {
+      topo = tq4.get();
+      routes = tq4_routes.get();
+    } else if (scenario == "node_storm") {
+      topo = q6.get();
+      routes = q6_routes.get();
+    }
 
-    AtaOptions opt;
-    opt.net.alpha = sim_ns(20);
-    opt.net.tau_s = sim_us(5);
-    opt.net.mu = 2;
-    opt.net.seed = trial.seed;
-    opt.tracer = ctx.tracer;
-    opt.metrics = &ctx.metrics;
-    opt.routes = routes.get();
-    opt.schedule = &schedule;
-
+    const auto base_options = [&]() {
+      AtaOptions opt;
+      opt.net.alpha = sim_ns(20);
+      opt.net.tau_s = sim_us(5);
+      opt.net.mu = 2;
+      opt.net.seed = trial.seed;
+      opt.routes = routes;
+      return opt;
+    };
     RecoveryPolicy policy;
     policy.detection_timeout = sim_us(5);
     policy.max_retries = 3;
-    policy.min_copies = cube->gamma();  // demand full redundancy
+    policy.min_copies = topo->gamma();  // demand full redundancy
+
+    // PR 5 comparison replay: the same schedule under the static-only
+    // ladder, with no observability attached (like the zoo baselines) so
+    // the trial's trace and metrics describe the full-ladder run alone.
+    FaultSchedule static_schedule =
+        chaos_schedule(*topo, scenario, trial.replica);
+    AtaOptions static_opt = base_options();
+    static_opt.schedule = &static_schedule;
+    RecoveryPolicy static_policy = policy;
+    static_policy.ladder = RecoveryLadder::kStatic;
+    const RecoveryReport s = run_ihc_with_recovery(
+        *topo, IhcOptions{.eta = 2}, static_opt, static_policy);
+
+    FaultSchedule schedule = chaos_schedule(*topo, scenario, trial.replica);
+    AtaOptions opt = base_options();
+    opt.schedule = &schedule;
+    opt.tracer = ctx.tracer;
+    opt.metrics = &ctx.metrics;
     const RecoveryReport r =
-        run_ihc_with_recovery(*cube, IhcOptions{.eta = 2}, opt, policy);
+        run_ihc_with_recovery(*topo, IhcOptions{.eta = 2}, opt, policy);
 
     return std::vector<Metric>{
         {"complete", r.complete ? 1.0 : 0.0},
@@ -330,11 +407,24 @@ Campaign make_chaos_soak() {
         {"retries", static_cast<double>(r.retries_used)},
         {"flows_reissued", static_cast<double>(r.flows_reissued)},
         {"unrecovered_pairs", static_cast<double>(r.unrecovered_pairs)},
+        {"unreachable_pairs", static_cast<double>(r.unreachable_pairs)},
+        {"escalations", static_cast<double>(r.escalations)},
+        {"rerooted_cycles", static_cast<double>(r.rerooted_cycles)},
+        {"reroot_reissues", static_cast<double>(r.reroot_reissues)},
+        {"fallback_paths", static_cast<double>(r.fallback_paths)},
+        {"path_attempts", static_cast<double>(r.path_attempts_used)},
         {"initial_finish_ps", static_cast<double>(r.initial_finish)},
         {"recovery_latency_ps", static_cast<double>(r.recovery_latency)},
         {"finish_ps", static_cast<double>(r.finish)},
         {"fault_drops", static_cast<double>(r.stats.fault_drops)},
         {"link_drops", static_cast<double>(r.stats.link_drops)},
+        {"static_complete", s.complete ? 1.0 : 0.0},
+        {"static_retries", static_cast<double>(s.retries_used)},
+        {"static_reissues", static_cast<double>(s.flows_reissued)},
+        {"static_unrecovered_pairs",
+         static_cast<double>(s.unrecovered_pairs)},
+        {"static_recovery_latency_ps",
+         static_cast<double>(s.recovery_latency)},
     };
   };
   return campaign;

@@ -530,9 +530,98 @@ std::vector<Cycle> euler_split_merge(const Graph& g, std::uint32_t k,
   return merge_to_hamiltonian(std::move(factors), options);
 }
 
-}  // namespace
-
 // --- orchestration --------------------------------------------------------
+
+/// Shared stage runner: exact backtracking, then Posa rotation repair,
+/// then (when the needed cycles would partition a 2k-regular edge set)
+/// the Euler-split merge.  Prechecks are the caller's job; `result` must
+/// arrive with gamma already set.
+void run_search_stages(const Graph& g, std::uint32_t need, bool must_cover,
+                       const HamSearchOptions& options,
+                       HamSearchResult& result) {
+  auto certify_or_die = [&](std::vector<Cycle> cycles) {
+    const Certificate cert =
+        certify_decomposition(g, cycles, result.gamma, must_cover);
+    IHC_ENSURE(cert.ok, "search produced an uncertifiable decomposition: " +
+                            cert.detail);
+    result.status = SearchStatus::kFound;
+    result.cycles = std::move(cycles);
+  };
+
+  // Exact stage.
+  const bool try_exact =
+      options.mode == SearchMode::kExact ||
+      (options.mode == SearchMode::kAuto &&
+       g.node_count() <= options.exact_node_limit);
+  if (try_exact) {
+    ExactSearcher searcher(g, need, options.exact_step_limit);
+    const bool found = searcher.run();
+    result.stats.exact_steps = searcher.steps();
+    if (found) {
+      result.stats.exact = true;
+      result.stats.exhausted = false;
+      certify_or_die(searcher.cycles());
+      return;
+    }
+    if (searcher.exhausted()) {
+      result.stats.exhausted = true;
+      result.status = SearchStatus::kRefuted;
+      result.detail = "exhaustive backtracking found no set of " +
+                      std::to_string(need) +
+                      " edge-disjoint Hamiltonian cycles (" +
+                      std::to_string(searcher.steps()) + " steps)";
+      return;
+    }
+    if (options.mode == SearchMode::kExact) {
+      result.status = SearchStatus::kUnknown;
+      result.detail = "exact search exceeded its step budget (" +
+                      std::to_string(options.exact_step_limit) +
+                      " steps) without an answer";
+      return;
+    }
+  }
+
+  // Heuristic stage 1: Posa rotation repair.
+  SplitMix64 rng(options.seed);
+  const std::size_t rotation_limit =
+      options.rotation_factor * g.node_count();
+  for (std::size_t attempt = 0; attempt < options.heuristic_restarts;
+       ++attempt) {
+    result.stats.restarts = attempt + 1;
+    std::vector<Cycle> cycles =
+        posa_attempt(g, need, rng, rotation_limit, result.stats.rotations);
+    if (!cycles.empty()) {
+      certify_or_die(std::move(cycles));
+      return;
+    }
+  }
+
+  // Heuristic stage 2: Euler-split 2-factorization + alternating-square
+  // cycle merge.  Only applicable when the needed cycles use every edge of
+  // an even-regular graph (Petersen's theorem needs 2k-regularity).
+  if (must_cover) {  // must_cover implies 2k-regularity here
+    try {
+      std::vector<Cycle> cycles =
+          euler_split_merge(g, need, options.seed);
+      result.stats.cycle_merge = true;
+      certify_or_die(std::move(cycles));
+      return;
+    } catch (const InvariantError&) {
+      // The merge engine's contract: failure to converge means "this seed
+      // factorization was unsuitable" - for an automated search that is a
+      // give-up, not a refutation.
+    }
+  }
+
+  result.status = SearchStatus::kUnknown;
+  result.detail = "heuristics gave up after " +
+                  std::to_string(result.stats.restarts) + " restarts (" +
+                  std::to_string(result.stats.rotations) +
+                  " rotations); existence undecided";
+  return;
+}
+
+}  // namespace
 
 HamSearchResult search_hamiltonian_decomposition(
     const Graph& g, std::uint32_t cycles_needed,
@@ -556,87 +645,50 @@ HamSearchResult search_hamiltonian_decomposition(
                     std::to_string(structure.degree);
     return result;
   }
-  const bool must_cover = result.gamma == structure.degree;
+  // must_cover == (gamma == degree), so the covered edge set is
+  // 2k-regular whenever the Euler-split stage engages.
+  run_search_stages(g, need, result.gamma == structure.degree, options,
+                    result);
+  return result;
+}
 
-  auto certify_or_die = [&](std::vector<Cycle> cycles) {
-    const Certificate cert =
-        certify_decomposition(g, cycles, result.gamma, must_cover);
-    IHC_ENSURE(cert.ok, "search produced an uncertifiable decomposition: " +
-                            cert.detail);
-    result.status = SearchStatus::kFound;
-    result.cycles = std::move(cycles);
-  };
-
-  // Exact stage.
-  const bool try_exact =
-      options.mode == SearchMode::kExact ||
-      (options.mode == SearchMode::kAuto &&
-       g.node_count() <= options.exact_node_limit);
-  if (try_exact) {
-    ExactSearcher searcher(g, need, options.exact_step_limit);
-    const bool found = searcher.run();
-    result.stats.exact_steps = searcher.steps();
-    if (found) {
-      result.stats.exact = true;
-      result.stats.exhausted = false;
-      certify_or_die(searcher.cycles());
-      return result;
-    }
-    if (searcher.exhausted()) {
-      result.stats.exhausted = true;
-      result.status = SearchStatus::kRefuted;
-      result.detail = "exhaustive backtracking found no set of " +
-                      std::to_string(need) +
-                      " edge-disjoint Hamiltonian cycles (" +
-                      std::to_string(searcher.steps()) + " steps)";
-      return result;
-    }
-    if (options.mode == SearchMode::kExact) {
-      result.status = SearchStatus::kUnknown;
-      result.detail = "exact search exceeded its step budget (" +
-                      std::to_string(options.exact_step_limit) +
-                      " steps) without an answer";
-      return result;
-    }
+HamSearchResult search_hamiltonian_cycles(const Graph& g,
+                                          std::uint32_t cycles_needed,
+                                          const HamSearchOptions& options) {
+  require(cycles_needed >= 1, "cycles_needed must be at least 1");
+  HamSearchResult result;
+  result.gamma = 2 * cycles_needed;
+  if (g.node_count() < 3) {
+    result.status = SearchStatus::kRefuted;
+    result.detail = "fewer than 3 nodes admit no cycle";
+    return result;
   }
-
-  // Heuristic stage 1: Posa rotation repair.
-  SplitMix64 rng(options.seed);
-  const std::size_t rotation_limit =
-      options.rotation_factor * g.node_count();
-  for (std::size_t attempt = 0; attempt < options.heuristic_restarts;
-       ++attempt) {
-    result.stats.restarts = attempt + 1;
-    std::vector<Cycle> cycles =
-        posa_attempt(g, need, rng, rotation_limit, result.stats.rotations);
-    if (!cycles.empty()) {
-      certify_or_die(std::move(cycles));
-      return result;
-    }
+  std::uint32_t min_degree = g.degree(0);
+  std::uint32_t max_degree = g.degree(0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    min_degree = std::min(min_degree, g.degree(v));
+    max_degree = std::max(max_degree, g.degree(v));
   }
-
-  // Heuristic stage 2: Euler-split 2-factorization + alternating-square
-  // cycle merge.  Only applicable when the needed cycles use every edge of
-  // an even-regular graph (Petersen's theorem needs 2k-regularity).
-  if (must_cover && structure.degree % 2 == 0) {
-    try {
-      std::vector<Cycle> cycles =
-          euler_split_merge(g, need, options.seed);
-      result.stats.cycle_merge = true;
-      certify_or_die(std::move(cycles));
-      return result;
-    } catch (const InvariantError&) {
-      // The merge engine's contract: failure to converge means "this seed
-      // factorization was unsuitable" - for an automated search that is a
-      // give-up, not a refutation.
-    }
+  if (min_degree < result.gamma) {
+    result.status = SearchStatus::kRefuted;
+    result.detail = std::to_string(cycles_needed) +
+                    " edge-disjoint Hamiltonian cycles need minimum degree "
+                    ">= " +
+                    std::to_string(result.gamma) + "; graph has " +
+                    std::to_string(min_degree);
+    return result;
   }
-
-  result.status = SearchStatus::kUnknown;
-  result.detail = "heuristics gave up after " +
-                  std::to_string(result.stats.restarts) + " restarts (" +
-                  std::to_string(result.stats.rotations) +
-                  " rotations); existence undecided";
+  if (!g.is_connected()) {
+    result.status = SearchStatus::kRefuted;
+    result.detail = "graph is disconnected; no Hamiltonian cycle exists";
+    return result;
+  }
+  // Full edge coverage is only demanded (and only possible) when the
+  // graph happens to be 2k-regular - the irregular survivor subgraphs
+  // this entry exists for leave edges unused by design.
+  const bool must_cover =
+      min_degree == max_degree && result.gamma == min_degree;
+  run_search_stages(g, cycles_needed, must_cover, options, result);
   return result;
 }
 

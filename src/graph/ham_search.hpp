@@ -143,4 +143,19 @@ struct HamSearchResult {
     const Graph& g, std::uint32_t cycles_needed = 0,
     const HamSearchOptions& options = {});
 
+/// Searches for `cycles_needed` edge-disjoint Hamiltonian cycles of a
+/// graph that need NOT be regular.  Class-Lambda membership requires
+/// regularity (LC1), but the adaptive-recovery re-rooting stage
+/// (core/retransmit) searches the *survivor* subgraph of a faulted
+/// topology, which is almost never regular - so this entry skips the
+/// LC1 refutation and runs the same exact + Posa stages (the Euler-split
+/// merge needs 2k-regular full coverage and only engages when the graph
+/// happens to satisfy it).  cycles_needed must be >= 1; structural
+/// refutations (disconnected, min degree < 2 * cycles_needed) still
+/// return kRefuted, and every found cycle set has passed
+/// certify_decomposition / verify_hc_set.
+[[nodiscard]] HamSearchResult search_hamiltonian_cycles(
+    const Graph& g, std::uint32_t cycles_needed,
+    const HamSearchOptions& options = {});
+
 }  // namespace ihc

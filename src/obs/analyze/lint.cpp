@@ -79,6 +79,22 @@ class Lint {
       return skip(check, "no foreground flows in the trace");
     if (ix_.nodes == 0) return skip(check, "no topology metadata");
     mark_run(check);
+    // Escalated-recovery flows (docs/FAULTS.md) legitimately cover less
+    // than the full topology: re-rooted flows broadcast on the survivor
+    // subgraph (dead nodes are excluded from the fresh cycles, with no
+    // fault event recording the omission), and node-disjoint-path
+    // fallback flows are unicasts delivering only along their path.  The
+    // all-nodes requirement does not apply to either (origin_completeness
+    // still audits the union across the origin's flows).  They are
+    // recognized by injection inside a "recovery_reroot" /
+    // "recovery_paths" stage span.
+    const auto is_escalated_recovery = [this](const FlowInfo& f) {
+      for (const StageRec& s : ix_.stages)
+        if ((s.label == "recovery_reroot" || s.label == "recovery_paths") &&
+            f.inject_ts >= s.begin && f.inject_ts < s.end)
+          return true;
+      return false;
+    };
     std::vector<std::uint8_t> copies(ix_.nodes, 0);
     for (std::size_t id = 0; id < ix_.flows.size(); ++id) {
       const FlowInfo& f = ix_.flows[id];
@@ -107,7 +123,8 @@ class Lint {
                                            [](const FaultRec& r) {
                                              return r.kills;
                                            });
-      if (!compromised && distinct != ix_.nodes - 1)
+      if (!compromised && distinct != ix_.nodes - 1 &&
+          !is_escalated_recovery(f))
         violation(check, flow_tag(id, f) + " delivered to " +
                              std::to_string(distinct) + " of " +
                              std::to_string(ix_.nodes - 1) + " nodes");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -83,6 +84,34 @@ bool FaultSchedule::link_dead(LinkId link, SimTime t) const {
     if (w.link == link && t >= w.from && t < w.until) return true;
   }
   return false;
+}
+
+std::vector<SimTime> FaultSchedule::node_change_points(NodeId node,
+                                                       SimTime after) const {
+  std::vector<SimTime> points;
+  for (const NodeWindow& w : node_windows_) {
+    if (w.node != node) continue;
+    if (w.from > after) points.push_back(w.from);
+    if (w.until != kForever && w.until > after) points.push_back(w.until);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+bool FaultSchedule::link_dead_from(LinkId link, SimTime t) const {
+  // Interval-union sweep over this link's windows that end after t.
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (const LinkWindow& w : link_windows_)
+    if (w.link == link && w.until > t) spans.emplace_back(w.from, w.until);
+  std::sort(spans.begin(), spans.end());
+  SimTime covered_to = t;
+  for (const auto& [from, until] : spans) {
+    if (from > covered_to) return false;  // gap: link is alive in it
+    if (until == kForever) return true;
+    covered_to = std::max(covered_to, until);
+  }
+  return false;  // every window repairs eventually
 }
 
 RelayAction FaultSchedule::on_relay(NodeId node, SimTime t) {

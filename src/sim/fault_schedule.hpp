@@ -81,6 +81,19 @@ class FaultSchedule {
   /// healthy nodes never perturbs the stream.
   [[nodiscard]] RelayAction on_relay(NodeId node, SimTime t);
 
+  /// All times > `after` at which `node`'s effective mode can change: the
+  /// starts and (finite) ends of its windows, sorted and deduplicated.
+  /// mode_at(node, .) is piecewise constant between consecutive change
+  /// points, so sampling `after` plus every change point covers every
+  /// regime from `after` to infinity - the recovery layer uses this to
+  /// classify never-again-alive destinations (core/retransmit.hpp).
+  [[nodiscard]] std::vector<SimTime> node_change_points(NodeId node,
+                                                        SimTime after) const;
+  /// True when the link is dead at *every* time >= t, i.e. the union of
+  /// its windows covers [t, infinity).  Only an unrepaired window
+  /// (until == kForever) can close the cover.
+  [[nodiscard]] bool link_dead_from(LinkId link, SimTime t) const;
+
   [[nodiscard]] std::int64_t slow_delay() const { return slow_delay_; }
   /// True when any window uses kRandom coin flips.  kRandom draws its RNG
   /// in relay-processing order, which depends on the event interleaving -

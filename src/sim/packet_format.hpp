@@ -25,6 +25,12 @@
 
 namespace ihc {
 
+/// Width of the header's route field: 6 bits, so a packetized broadcast
+/// can address at most 64 directed routes (gamma <= 64).  Callers that
+/// map route tags into headers must require this bound instead of
+/// silently aliasing route ids (core/retransmit.cpp).
+inline constexpr std::size_t kMaxHeaderRoutes = 64;
+
 enum class PacketKind : std::uint8_t {
   kData = 0,
   kControl = 1,  ///< e.g. the stop-relaying address tags of Section IV

@@ -24,7 +24,7 @@ inline constexpr CliSubcommand kCliSubcommands[] = {
      "topology summary: size, gamma, Hamiltonian cycles, class Lambda"},
     {"run",
      "run <topology> [--algo ihc|hc|vrs|ks|vsq|frs] [--shards <n>] "
-     "[--profile <file>] [options]",
+     "[--recover[=static|reroot|paths]] [--profile <file>] [options]",
      "run one ATA reliable broadcast and print the results"},
     {"decompose", "decompose <topology> [--out <file>]",
      "construct + verify the Hamiltonian decomposition (ihc-hc-v1)"},

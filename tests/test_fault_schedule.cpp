@@ -64,6 +64,45 @@ TEST(FaultSchedule, LinkGlitchAndPermanentDeath) {
   EXPECT_THROW(s.glitch_link(9, 0, 0), ConfigError);
 }
 
+TEST(FaultSchedule, ChangePointsCoverEveryRegimeAfterTheSample) {
+  FaultSchedule s(test_seed());
+  s.fault_node(3, FaultMode::kSilent, 100, 200);  // [100, 300)
+  s.fault_node(3, FaultMode::kSlow, 250, 100);    // [250, 350)
+  s.fault_node(3, FaultMode::kCorrupt, 500);      // [500, forever)
+  s.fault_node(4, FaultMode::kSilent, 150, 10);   // other node: excluded
+
+  // Sorted, deduplicated, strictly after the sample point; the open
+  // window contributes its start but no (infinite) end.
+  EXPECT_EQ(s.node_change_points(3, 0),
+            (std::vector<SimTime>{100, 250, 300, 350, 500}));
+  EXPECT_EQ(s.node_change_points(3, 250),
+            (std::vector<SimTime>{300, 350, 500}));
+  EXPECT_EQ(s.node_change_points(3, 500), (std::vector<SimTime>{}));
+  EXPECT_EQ(s.node_change_points(5, 0), (std::vector<SimTime>{}));
+}
+
+TEST(FaultSchedule, LinkDeadFromNeedsAGaplessCoverToForever) {
+  FaultSchedule s(test_seed());
+  s.glitch_link(7, 100, 50);  // bounded: always repairs
+  EXPECT_FALSE(s.link_dead_from(7, 120));
+
+  // Overlapping windows chaining into an unrepaired one: dead from any
+  // point inside the cover, but not from before it starts.
+  s.glitch_link(8, 100, 100);  // [100, 200)
+  s.glitch_link(8, 180, 120);  // [180, 300)
+  s.fail_link(8, 290);         // [290, forever)
+  EXPECT_TRUE(s.link_dead_from(8, 100));
+  EXPECT_TRUE(s.link_dead_from(8, 250));
+  EXPECT_FALSE(s.link_dead_from(8, 99));  // alive during [0, 100)
+
+  // A gap before the permanent window breaks the cover.
+  s.glitch_link(9, 100, 50);
+  s.fail_link(9, 200);
+  EXPECT_FALSE(s.link_dead_from(9, 120));  // alive during [150, 200)
+  EXPECT_TRUE(s.link_dead_from(9, 200));
+  EXPECT_TRUE(s.link_dead_from(9, 10'000'000));
+}
+
 TEST(FaultSchedule, JsonRoundTripPreservesEveryWindow) {
   FaultSchedule s(test_seed());
   s.set_slow_delay(sim_us(3));
@@ -356,16 +395,49 @@ TEST(ChaosSoak, ReportIsByteIdenticalAcrossJobCountsAndRuns) {
   EXPECT_EQ(doc, exp::json_report(b, no_timing));
   EXPECT_EQ(doc, exp::json_report(c, no_timing));
 
-  // Every scenario starts incomplete and ends recovered, and the
-  // recovery summary metrics ride the per-trial report.
+  // Every scenario starts incomplete and ends recovered under the full
+  // ladder, and the recovery summary metrics ride the per-trial report.
+  // The escalation scenarios are additionally asserted unrecoverable by
+  // the PR 5 static-only replay - the ladder is what saves them - and
+  // each demonstrates its designed rung: cycle_cut and node_death_tq4
+  // re-root, Q_4 node_death falls through to disjoint-path unicast
+  // (its bipartite survivor subgraph has no Hamiltonian cycle).
   for (const exp::TrialResult& r : a.trials) {
+    const std::string scenario = r.trial.get_str("scenario");
     EXPECT_DOUBLE_EQ(r.metric("initial_complete"), 0.0) << r.trial.id;
     EXPECT_DOUBLE_EQ(r.metric("complete"), 1.0) << r.trial.id;
     EXPECT_DOUBLE_EQ(r.metric("unrecovered_pairs"), 0.0) << r.trial.id;
     EXPECT_GE(r.metric("retries"), 1.0) << r.trial.id;
     EXPECT_GT(r.metric("recovery_latency_ps"), 0.0) << r.trial.id;
+    if (scenario == "hc_edge_death" || scenario == "node_flap" ||
+        scenario == "link_glitch") {
+      EXPECT_DOUBLE_EQ(r.metric("static_complete"), 1.0) << r.trial.id;
+      EXPECT_DOUBLE_EQ(r.metric("escalations"), 0.0) << r.trial.id;
+    } else {
+      EXPECT_DOUBLE_EQ(r.metric("static_complete"), 0.0) << r.trial.id;
+      EXPECT_GT(r.metric("static_unrecovered_pairs"), 0.0) << r.trial.id;
+      EXPECT_GE(r.metric("escalations"), 1.0) << r.trial.id;
+    }
+    if (scenario == "cycle_cut") {
+      EXPECT_DOUBLE_EQ(r.metric("escalations"), 1.0) << r.trial.id;
+      EXPECT_GE(r.metric("rerooted_cycles"), 2.0) << r.trial.id;
+      EXPECT_GT(r.metric("reroot_reissues"), 0.0) << r.trial.id;
+      EXPECT_DOUBLE_EQ(r.metric("fallback_paths"), 0.0) << r.trial.id;
+    } else if (scenario == "node_death") {
+      EXPECT_DOUBLE_EQ(r.metric("rerooted_cycles"), 0.0) << r.trial.id;
+      EXPECT_GT(r.metric("fallback_paths"), 0.0) << r.trial.id;
+      EXPECT_DOUBLE_EQ(r.metric("escalations"), 2.0) << r.trial.id;
+    } else if (scenario == "node_death_tq4") {
+      EXPECT_GE(r.metric("rerooted_cycles"), 2.0) << r.trial.id;
+      EXPECT_GT(r.metric("reroot_reissues"), 0.0) << r.trial.id;
+    } else if (scenario == "node_storm") {
+      EXPECT_GE(r.metric("rerooted_cycles"), 2.0) << r.trial.id;
+    }
   }
   EXPECT_GT(a.metrics.counter("ihc.recovery_reissues"), 0);
+  EXPECT_GT(a.metrics.counter("ihc.recovery_escalations"), 0);
+  EXPECT_GT(a.metrics.counter("ihc.recovery_rerooted"), 0);
+  EXPECT_GT(a.metrics.counter("ihc.recovery_fallback_paths"), 0);
 }
 
 }  // namespace

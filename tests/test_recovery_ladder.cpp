@@ -1,0 +1,354 @@
+// Tests for the adaptive-recovery escalation ladder (docs/FAULTS.md):
+// the both-layers route-liveness fix, unreachable-destination write-offs,
+// retry exhaustion under the static ladder, re-rooted survivor
+// decompositions (including their independent certification), and the
+// node-disjoint-path unicast fallback that recovers dead-node scenarios
+// the static ladder provably cannot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/ihc.hpp"
+#include "core/retransmit.hpp"
+#include "graph/cycle.hpp"
+#include "graph/hamiltonian.hpp"
+#include "sim/fault_schedule.hpp"
+#include "topology/factory.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace ihc {
+namespace {
+
+std::uint64_t test_seed() { return derive_seed("tests", "recovery_ladder"); }
+
+AtaOptions q4_options() {
+  AtaOptions opt;
+  opt.net.alpha = sim_ns(20);
+  opt.net.tau_s = sim_us(5);
+  opt.net.mu = 2;
+  return opt;
+}
+
+// --- satellite: both-layers route liveness -------------------------------
+
+TEST(RecoveryRouteAlive, StaticDropCapableRelayStaysSuspectInsideBenignWindow) {
+  const Hypercube q(4);
+  const DirectedCycle& hc = q.directed_cycles()[0];
+  // Relay at offset 1 from the route start (a mid-route relay).
+  const std::size_t pos = 0;
+  const NodeId relay = hc.at(1);
+
+  AtaOptions opt = q4_options();
+  EXPECT_TRUE(detail::recovery_route_alive(q.graph(), hc, pos, opt, sim_us(5)));
+
+  // Statically silent relay: dead, with or without a schedule.
+  FaultPlan plan(test_seed());
+  plan.add(relay, FaultMode::kSilent);
+  opt.faults = &plan;
+  EXPECT_FALSE(
+      detail::recovery_route_alive(q.graph(), hc, pos, opt, sim_us(5)));
+
+  // The regression: a benign (non-dropping) dynamic window over the same
+  // relay used to make the `else if` skip the static check entirely, so
+  // the statically silent relay was judged alive.  Both layers must stay
+  // suspect - the window can close while the reissue is in flight.
+  FaultSchedule schedule(test_seed());
+  schedule.fault_node(relay, FaultMode::kSlow, 0, sim_us(100));
+  opt.schedule = &schedule;
+  EXPECT_FALSE(
+      detail::recovery_route_alive(q.graph(), hc, pos, opt, sim_us(5)));
+
+  // A benign window alone (no static fault) is not a drop.
+  opt.faults = nullptr;
+  EXPECT_TRUE(detail::recovery_route_alive(q.graph(), hc, pos, opt, sim_us(5)));
+
+  // A drop-capable window alone is.
+  FaultSchedule dropping(test_seed());
+  dropping.fault_node(relay, FaultMode::kSilent, 0, sim_us(100));
+  opt.schedule = &dropping;
+  EXPECT_FALSE(
+      detail::recovery_route_alive(q.graph(), hc, pos, opt, sim_us(5)));
+
+  // The terminal node (offset N-1) is the destination, not a relay: a
+  // fault there must not kill the route.
+  AtaOptions tail = q4_options();
+  FaultPlan tail_plan(test_seed());
+  tail_plan.add(hc.at(hc.length() - 1), FaultMode::kSilent);
+  tail.faults = &tail_plan;
+  EXPECT_TRUE(
+      detail::recovery_route_alive(q.graph(), hc, pos, tail, sim_us(5)));
+}
+
+// --- satellite: unreachable destinations ---------------------------------
+
+TEST(Recovery, UnreachableDestinationIsWrittenOffNotRetried) {
+  const Hypercube q(4);
+  AtaOptions opt = q4_options();
+
+  // Sever every in-link of node 11 before the run: it can never receive
+  // a copy again, so its 15 pairs are a write-off, not a retry target.
+  const NodeId dead_dest = 11;
+  FaultPlan plan(test_seed());
+  for (const Adjacency& adj : q.graph().neighbors(dead_dest))
+    plan.fail_link(q.graph().link(adj.neighbor, dead_dest));
+  opt.faults = &plan;
+
+  RecoveryPolicy policy;
+  policy.min_copies = 1;
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+
+  // Every other pair still holds a copy (each undirected cycle delivers
+  // o -> e before the dead sink in one of its two directions), so the
+  // run is complete the moment the dead sink is exempted - without
+  // spending a single retry or escalation on it.
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_EQ(rec.unrecovered_pairs, 0u);
+  EXPECT_EQ(rec.unreachable_pairs, 15u);
+  EXPECT_EQ(rec.retries_used, 0u);
+  EXPECT_EQ(rec.escalations, 0u);
+  EXPECT_EQ(rec.flows_reissued, 0u);
+  EXPECT_EQ(rec.recovery_latency, 0);
+  for (NodeId o = 0; o < q.node_count(); ++o)
+    if (o != dead_dest) EXPECT_EQ(rec.ledger.copies(o, dead_dest), 0u);
+}
+
+// --- satellite: retry exhaustion under the static ladder ------------------
+
+TEST(Recovery, StaticLadderExhaustsItsRetriesOnADeadNode) {
+  const Hypercube q(4);
+  AtaOptions opt = q4_options();
+  FaultPlan plan(test_seed());
+  plan.add(5, FaultMode::kSilent);  // drops every relay through it, always
+  opt.faults = &plan;
+
+  RecoveryPolicy policy;
+  policy.min_copies = q.gamma();
+  policy.max_retries = 2;
+  policy.ladder = RecoveryLadder::kStatic;
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+
+  // Only the dead node's cycle-successors keep an alive static route
+  // (the dead node is their routes' terminal), so reissues trickle while
+  // most origins can stage nothing: the budget runs dry incomplete.
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_FALSE(rec.complete);
+  EXPECT_EQ(rec.retries_used, policy.max_retries);
+  EXPECT_GT(rec.unrecovered_pairs, 0u);
+  EXPECT_EQ(rec.escalations, 0u);
+  EXPECT_EQ(rec.rerooted_cycles, 0u);
+  EXPECT_EQ(rec.fallback_paths, 0u);
+
+  // The dead node itself still *receives* copies (the delivery tee fires
+  // before the relay fault action), so no pair is unreachable.
+  EXPECT_EQ(rec.unreachable_pairs, 0u);
+}
+
+TEST(Recovery, FullLadderRecoversTheDeadNodeViaDisjointPaths) {
+  const Hypercube q(4);
+  AtaOptions opt = q4_options();
+  FaultPlan plan(test_seed());
+  plan.add(5, FaultMode::kSilent);
+  opt.faults = &plan;
+
+  RecoveryPolicy policy;
+  policy.min_copies = q.gamma();
+  policy.max_retries = 2;
+  ASSERT_EQ(policy.ladder, RecoveryLadder::kPaths);  // full ladder default
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+
+  // Q_4 minus a node is an odd-unbalanced bipartite graph, so the reroot
+  // stage is refuted and the ladder climbs to node-disjoint-path unicast,
+  // which tops every reachable pair up to the full copy target.
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_EQ(rec.unrecovered_pairs, 0u);
+  EXPECT_EQ(rec.unreachable_pairs, 0u);
+  EXPECT_EQ(rec.escalations, 2u);
+  EXPECT_EQ(rec.rerooted_cycles, 0u);
+  EXPECT_EQ(rec.reroot_reissues, 0u);
+  EXPECT_GT(rec.fallback_paths, 0u);
+  EXPECT_GE(rec.path_attempts_used, 1u);
+  for (NodeId o = 0; o < q.node_count(); ++o)
+    for (NodeId d = 0; d < q.node_count(); ++d)
+      if (o != d) EXPECT_GE(rec.ledger.copies(o, d), q.gamma()) << o << d;
+}
+
+// --- combined static + dynamic faults ------------------------------------
+
+TEST(Recovery, CombinedStaticAndDynamicFaultsRecoverUnderTheFullLadder) {
+  const Hypercube q(4);
+  AtaOptions opt = q4_options();
+  FaultPlan plan(test_seed());
+  plan.add(5, FaultMode::kSilent);  // static layer: a permanently dead node
+  opt.faults = &plan;
+  FaultSchedule schedule(test_seed());
+  // Dynamic layer: a cycle-0 edge glitch while the broadcast is in
+  // flight, repaired before the recovery retries begin.
+  const DirectedCycle& hc = q.directed_cycles()[0];
+  schedule.glitch_link(q.graph().link(hc.at(2), hc.at(3)), sim_us(2),
+                       sim_us(30));
+  opt.schedule = &schedule;
+
+  RecoveryPolicy policy;
+  policy.min_copies = q.gamma();
+  const RecoveryReport rec =
+      run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_EQ(rec.unrecovered_pairs, 0u);
+  EXPECT_GE(rec.escalations, 1u);
+}
+
+// --- re-rooted decompositions --------------------------------------------
+
+/// Kills two edges per undirected Hamiltonian cycle of Q_4, one in each
+/// arc between the victim pair (o*, d*), so every static route between
+/// the victims crosses a dead edge in both directions of both cycles.
+std::vector<EdgeId> cycle_cut_edges(const Hypercube& q, NodeId victim_origin,
+                                    NodeId victim_dest) {
+  std::vector<EdgeId> dead;
+  for (const Cycle& c : q.hamiltonian_cycles()) {
+    const DirectedCycle forward(c, false, q.node_count());
+    const std::vector<EdgeId> ids = c.edge_ids(q.graph());
+    const std::size_t n = forward.length();
+    const std::size_t from = forward.id(victim_origin);
+    const std::size_t to = forward.id(victim_dest);
+    const std::size_t ahead = (to + n - from) % n;   // forward arc length
+    // edge_ids[i] connects positions i and i+1 of the *cycle sequence*;
+    // DirectedCycle(c, false, .) preserves that order, so position
+    // arithmetic on `forward` indexes `ids` directly.
+    const std::size_t mid_forward = (from + ahead / 2) % n;
+    const std::size_t mid_backward = (to + (n - ahead) / 2) % n;
+    dead.push_back(ids[mid_forward]);
+    dead.push_back(ids[mid_backward]);
+  }
+  return dead;
+}
+
+TEST(Reroot, DecompositionIsCertifiedOnTheSurvivorSubgraph) {
+  const Hypercube q(4);
+  const Graph& g = q.graph();
+  std::vector<std::uint8_t> node_alive(g.node_count(), 1);
+  std::vector<std::uint8_t> edge_alive(g.edge_count(), 1);
+  for (const EdgeId e : cycle_cut_edges(q, 0, 9)) edge_alive[e] = 0;
+
+  const auto plan = detail::rerooted_decomposition(g, node_alive, edge_alive,
+                                                   q.gamma() / 2);
+  ASSERT_TRUE(plan->found) << plan->detail;
+  ASSERT_FALSE(plan->cycles.empty());
+  EXPECT_EQ(plan->directed.size(), 2 * plan->cycles.size());
+
+  // Every re-rooted cycle must avoid the dead edges and certify as a set
+  // of edge-disjoint Hamiltonian cycles of the survivor subgraph.
+  for (const Cycle& c : plan->cycles) {
+    EXPECT_TRUE(c.lies_in(g));
+    for (const EdgeId e : c.edge_ids(g)) EXPECT_EQ(edge_alive[e], 1u);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    if (edge_alive[e] != 0) edges.push_back(g.edge(e));
+  const Graph survivor(g.node_count(), std::move(edges));
+  const HcSetVerdict verdict =
+      verify_hc_set(survivor, plan->cycles, /*must_cover_all_edges=*/false);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+
+  // Memoized: the same dead-set returns the identical plan object.
+  const auto again = detail::rerooted_decomposition(g, node_alive, edge_alive,
+                                                    q.gamma() / 2);
+  EXPECT_EQ(plan.get(), again.get());
+}
+
+TEST(Reroot, DeadNodeDecompositionsAreCertifiedInOriginalIds) {
+  // TQ_4 is non-bipartite, so unlike Q_4 it stays Hamiltonian after a
+  // node death; the re-rooted cycles must come back in original node ids
+  // and certify against the compacted survivor subgraph.
+  const auto tq = make_topology("TQ4");
+  const Graph& g = tq->graph();
+  const NodeId victim = 5;
+  std::vector<std::uint8_t> node_alive(g.node_count(), 1);
+  node_alive[victim] = 0;
+  std::vector<std::uint8_t> edge_alive(g.edge_count(), 1);
+
+  const auto plan = detail::rerooted_decomposition(g, node_alive, edge_alive,
+                                                   tq->gamma() / 2);
+  ASSERT_TRUE(plan->found) << plan->detail;
+
+  std::vector<NodeId> to_sub(g.node_count(), kInvalidNode);
+  NodeId sub_count = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (node_alive[v] != 0) to_sub[v] = sub_count++;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if (u == victim || v == victim) continue;
+    edges.emplace_back(to_sub[u], to_sub[v]);
+  }
+  const Graph survivor(sub_count, std::move(edges));
+  std::vector<Cycle> compacted;
+  for (const Cycle& c : plan->cycles) {
+    std::vector<NodeId> seq;
+    for (const NodeId v : c.nodes()) {
+      ASSERT_NE(v, victim);  // dead nodes never appear on re-rooted cycles
+      seq.push_back(to_sub[v]);
+    }
+    compacted.emplace_back(std::move(seq));
+  }
+  const HcSetVerdict verdict =
+      verify_hc_set(survivor, compacted, /*must_cover_all_edges=*/false);
+  EXPECT_TRUE(verdict.ok) << verdict.reason;
+}
+
+TEST(Reroot, CycleCutIsUnrecoverableStaticallyButRerootsToComplete) {
+  const Hypercube q(4);
+  const NodeId victim_origin = 0;
+  const NodeId victim_dest = 9;
+
+  auto run = [&](RecoveryLadder ladder) {
+    AtaOptions opt = q4_options();
+    FaultSchedule schedule(test_seed());
+    // Mid-run cut at 2 us: with tau_S = 5 us per hop, no packet has
+    // completed its first hop yet, so every dead-edge crossing is lost.
+    for (const EdgeId e : cycle_cut_edges(q, victim_origin, victim_dest)) {
+      const auto [u, v] = q.graph().edge(e);
+      schedule.fail_link(q.graph().link(u, v), sim_us(2));
+      schedule.fail_link(q.graph().link(v, u), sim_us(2));
+    }
+    opt.schedule = &schedule;
+    RecoveryPolicy policy;
+    policy.min_copies = 1;
+    policy.ladder = ladder;
+    return run_ihc_with_recovery(q, IhcOptions{.eta = 2}, opt, policy);
+  };
+
+  // Both arcs of both undirected cycles hold a dead edge, so each static
+  // route (15 of a cycle's 16 edges) crosses one: the static ladder can
+  // stage nothing at all and gives up immediately.
+  const RecoveryReport dead_end = run(RecoveryLadder::kStatic);
+  EXPECT_FALSE(dead_end.initial_complete);
+  EXPECT_FALSE(dead_end.complete);
+  EXPECT_EQ(dead_end.retries_used, 0u);
+  EXPECT_EQ(dead_end.flows_reissued, 0u);
+  EXPECT_EQ(dead_end.ledger.copies(victim_origin, victim_dest), 0u);
+
+  // The full ladder re-roots: Q_4 minus the four cut edges is still
+  // Hamiltonian, and the fresh cycles avoid every dead edge.
+  const RecoveryReport rec = run(RecoveryLadder::kPaths);
+  EXPECT_FALSE(rec.initial_complete);
+  EXPECT_TRUE(rec.complete);
+  EXPECT_EQ(rec.unrecovered_pairs, 0u);
+  EXPECT_EQ(rec.unreachable_pairs, 0u);
+  EXPECT_EQ(rec.escalations, 1u);
+  EXPECT_GE(rec.rerooted_cycles, 2u);
+  EXPECT_GT(rec.reroot_reissues, 0u);
+  EXPECT_EQ(rec.fallback_paths, 0u);
+  EXPECT_GE(rec.ledger.copies(victim_origin, victim_dest), 1u);
+}
+
+}  // namespace
+}  // namespace ihc

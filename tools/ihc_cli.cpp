@@ -28,9 +28,15 @@
 //                                   docs/PARALLEL.md)
 //       --fault-schedule <file>     dynamic fault schedule JSON
 //                                   (ihc-fault-schedule-v1, docs/FAULTS.md)
-//       --recover                   (ihc) retry missing pairs on surviving
-//                                   cycles until every pair holds gamma
-//                                   copies (mid-broadcast recovery)
+//       --recover[=<ladder>]        (ihc) retry missing pairs until every
+//                                   reachable pair holds gamma copies
+//                                   (mid-broadcast recovery).  <ladder>
+//                                   caps the adaptive escalation ladder:
+//                                   static (surviving-cycle reissue only),
+//                                   reroot (+ re-rooted survivor
+//                                   decomposition), paths (+ node-disjoint
+//                                   unicast fallback, the default; see
+//                                   docs/FAULTS.md)
 //       --profile <file>            write a wall-clock profile of the run
 //                                   (ihc-profile-v1, or a Chrome trace
 //                                   when <file> ends in .trace.json; see
@@ -223,6 +229,7 @@ struct Args {
   bool multihop = false;
   bool single_link = false;
   bool recover = false;
+  RecoveryLadder recover_ladder = RecoveryLadder::kPaths;
   bool list = false;
   bool check = false;
   bool zoo_decompose = false;
@@ -345,7 +352,18 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--fault-schedule") args.fault_schedule = next();
     else if (a == "--profile") args.profile = next();
     else if (a == "--threshold") args.threshold = std::stod(next());
-    else if (a == "--recover") args.recover = true;
+    else if (a == "--recover" || a.rfind("--recover=", 0) == 0) {
+      args.recover = true;
+      if (a.size() > 9) {
+        const std::string ladder = a.substr(10);
+        if (ladder == "static") args.recover_ladder = RecoveryLadder::kStatic;
+        else if (ladder == "reroot") args.recover_ladder = RecoveryLadder::kReroot;
+        else if (ladder == "paths") args.recover_ladder = RecoveryLadder::kPaths;
+        else
+          detail::throw_config("--recover ladder must be static, reroot or "
+                               "paths (got " + ladder + ")");
+      }
+    }
     else if (a == "--repeats") args.repeats = static_cast<int>(std::stol(next()));
     else if (a == "--max-events") args.max_events = static_cast<std::size_t>(std::stoull(next()));
     else if (a == "--list") args.list = true;
@@ -450,14 +468,21 @@ int cmd_run(const Args& args) {
     if (args.recover) {
       RecoveryPolicy policy;
       policy.min_copies = topo->gamma();  // full edge-disjoint redundancy
+      policy.ladder = args.recover_ladder;
       RecoveryReport rec = run_ihc_with_recovery(*topo, io, opt, policy);
       std::printf("recovery  : %s after %u retr%s (%llu flows reissued, "
-                  "latency %s, %llu pair(s) unrecovered)\n",
+                  "latency %s, %llu pair(s) unrecovered, %llu unreachable)\n",
                   rec.complete ? "complete" : "INCOMPLETE",
                   rec.retries_used, rec.retries_used == 1 ? "y" : "ies",
                   static_cast<unsigned long long>(rec.flows_reissued),
                   fmt_time_ps(rec.recovery_latency).c_str(),
-                  static_cast<unsigned long long>(rec.unrecovered_pairs));
+                  static_cast<unsigned long long>(rec.unrecovered_pairs),
+                  static_cast<unsigned long long>(rec.unreachable_pairs));
+      std::printf("ladder    : %s (%u escalation%s, %u re-rooted cycle(s), "
+                  "%llu fallback path(s))\n",
+                  to_string(policy.ladder), rec.escalations,
+                  rec.escalations == 1 ? "" : "s", rec.rerooted_cycles,
+                  static_cast<unsigned long long>(rec.fallback_paths));
       result.algorithm = "ihc+recovery";
       result.finish = rec.finish;
       result.stats = rec.stats;
